@@ -1,0 +1,81 @@
+// Ablation of the paper's key solver design choice (section 3): "The
+// multi-level algorithm can achieve much better performance if the special
+// structure in the MC ... is exploited to develop a coarsening or lumping
+// strategy.  For the model of the clock recovery circuit ... we employed a
+// coarsening strategy which lumps the two states corresponding to
+// consecutive discretized phase error values."
+//
+// Compares, on the same chain:
+//   * the structural phase-pair hierarchy (the paper's choice),
+//   * a structure-blind index-pair hierarchy,
+//   * the classical two-level aggregation/disaggregation method,
+//   * V-cycle vs W-cycle shapes.
+#include <cstdio>
+
+#include "common.hpp"
+#include "solvers/stationary.hpp"
+
+int main() {
+  using namespace stocdr;
+  std::printf("=== Ablation: coarsening strategy of the multilevel solver "
+              "===\n\n");
+  const cdr::CdrConfig config = bench::paper_baseline();
+  const cdr::CdrModel model(config);
+  const cdr::CdrChain chain = model.build();
+  std::printf("%s\nstates: %zu, transitions: %zu\n\n",
+              config.summary().c_str(), chain.num_states(),
+              chain.chain().num_transitions());
+
+  solvers::MultilevelOptions options;
+  options.tolerance = 1e-11;
+  options.max_cycles = 300;
+
+  TextTable table({"variant", "cycles", "matvecs", "solve", "residual",
+                   "converged"});
+  const auto report = [&table](const std::string& name,
+                               const solvers::StationaryResult& r) {
+    table.add_row({name, std::to_string(r.stats.iterations),
+                   std::to_string(r.stats.matvec_count),
+                   format_duration(r.stats.seconds),
+                   sci(r.stats.residual, 1),
+                   r.stats.converged ? "yes" : "NO"});
+  };
+
+  {
+    const auto hierarchy = chain.hierarchy(options.coarsest_size);
+    report("phase-pair hierarchy (paper), V-cycle",
+           solvers::solve_stationary_multilevel(chain.chain(), hierarchy,
+                                                options));
+    solvers::MultilevelOptions wopts = options;
+    wopts.cycle_shape = 2;
+    report("phase-pair hierarchy (paper), W-cycle",
+           solvers::solve_stationary_multilevel(chain.chain(), hierarchy,
+                                                wopts));
+  }
+  {
+    const auto blind = solvers::build_index_pair_hierarchy(
+        chain.num_states(), options.coarsest_size);
+    report("index-pair hierarchy (structure-blind), V-cycle",
+           solvers::solve_stationary_multilevel(chain.chain(), blind,
+                                                options));
+  }
+  {
+    // Two-level A/D needs a directly solvable lumped chain: compose the
+    // structural hierarchy down to its coarsest partition.
+    auto hierarchy = chain.hierarchy(3500);
+    markov::Partition flat = hierarchy.front();
+    for (std::size_t l = 1; l < hierarchy.size(); ++l) {
+      flat = flat.compose(hierarchy[l]);
+    }
+    report("two-level aggregation/disaggregation",
+           solvers::solve_stationary_two_level(chain.chain(), flat, options));
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: the structure-aware phase-pair coarsening preserves the\n"
+      "problem ('the lumped problems resemble the original problem but with\n"
+      "coarser phase error discretization') and converges in a handful of\n"
+      "cycles; blind pairing mixes unrelated FSM states into one aggregate\n"
+      "and degrades or stalls.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Decision-diagram storage study — the paper's section 3 outlook: "For
+// solving more complex models, we are looking into using hierarchical
+// generalized Kronecker-algebra and/or probability decision
+// diagram/tree/graph representations."
+//
+// Converts CDR transition matrices into algebraic decision diagrams
+// (interleaved row/column bits) and reports DAG size vs explicit CSR
+// storage, with and without terminal-value quantization — showing that the
+// *pattern* compresses extremely well (shared compositional blocks) while
+// the continuous Gaussian decision probabilities limit lossless value
+// sharing.  Matrix-vector products on the DAG are validated against CSR.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "pdd/manager.hpp"
+#include "pdd/matrix.hpp"
+#include "sparse/coo.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace stocdr;
+
+/// Rounds every value to `digits` decimal digits (lossy value sharing).
+sparse::CsrMatrix quantize_values(const sparse::CsrMatrix& m, int digits) {
+  const double scale = std::pow(10.0, digits);
+  sparse::CooBuilder builder(m.rows(), m.cols());
+  m.for_each([&](std::size_t r, std::size_t c, double v) {
+    builder.add(r, c, std::round(v * scale) / scale);
+  });
+  return builder.to_csr();
+}
+
+void study(const char* name, const sparse::CsrMatrix& pt) {
+  std::size_t k = 0;
+  while ((1ull << k) < pt.rows()) ++k;
+
+  const std::size_t csr_bytes =
+      pt.nnz() * (sizeof(double) + sizeof(std::uint32_t)) +
+      (pt.rows() + 1) * sizeof(std::uint32_t);
+
+  pdd::AddManager manager(2 * k);
+  const Timer build_timer;
+  const pdd::AddMatrix add = pdd::AddMatrix::from_csr(manager, pt);
+  const double build_seconds = build_timer.seconds();
+
+  pdd::AddManager qmanager(2 * k);
+  const pdd::AddMatrix qadd =
+      pdd::AddMatrix::from_csr(qmanager, quantize_values(pt, 3));
+
+  // Structural skeleton: the 0/1 pattern only.
+  pdd::AddManager pmanager(2 * k);
+  sparse::CooBuilder pattern(pt.rows(), pt.cols());
+  pt.for_each([&pattern](std::size_t r, std::size_t c, double) {
+    pattern.add(r, c, 1.0);
+  });
+  const pdd::AddMatrix padd =
+      pdd::AddMatrix::from_csr(pmanager, pattern.to_csr());
+
+  std::printf("%s: %zu states (padded to %zu), %zu transitions\n", name,
+              pt.rows(), add.dimension(), pt.nnz());
+  TextTable table({"representation", "nodes/entries", "bytes",
+                   "vs CSR", "notes"});
+  table.add_row({"CSR (explicit sparse)", std::to_string(pt.nnz()),
+                 std::to_string(csr_bytes), "1.00x", "baseline"});
+  table.add_row({"ADD, exact values", std::to_string(add.dag_size()),
+                 std::to_string(add.storage_bytes()),
+                 fixed(static_cast<double>(add.storage_bytes()) / csr_bytes,
+                       2) + "x",
+                 "built in " + format_duration(build_seconds)});
+  table.add_row(
+      {"ADD, values rounded to 1e-3", std::to_string(qadd.dag_size()),
+       std::to_string(qadd.storage_bytes()),
+       fixed(static_cast<double>(qadd.storage_bytes()) / csr_bytes, 2) + "x",
+       "lossy value sharing"});
+  table.add_row(
+      {"ADD, pattern only (0/1)", std::to_string(padd.dag_size()),
+       std::to_string(padd.storage_bytes()),
+       fixed(static_cast<double>(padd.storage_bytes()) / csr_bytes, 2) + "x",
+       "compositional structure"});
+  std::printf("%s", table.render().c_str());
+
+  // Validate one DAG matvec against CSR.
+  Rng rng(7);
+  std::vector<double> x(add.dimension(), 0.0);
+  for (std::size_t i = 0; i < pt.rows(); ++i) x[i] = rng.uniform(0, 1);
+  const Timer mv_timer;
+  const auto y_add = add.multiply(x);
+  const double add_mv = mv_timer.seconds();
+  std::vector<double> y_csr(pt.rows());
+  const Timer csr_timer;
+  pt.multiply(std::span<const double>(x.data(), pt.rows()), y_csr);
+  const double csr_mv = csr_timer.seconds();
+  double err = 0.0;
+  for (std::size_t i = 0; i < pt.rows(); ++i) {
+    err = std::max(err, std::abs(y_add[i] - y_csr[i]));
+  }
+  std::printf("matvec check: max |ADD - CSR| = %s;  ADD %s vs CSR %s\n\n",
+              sci(err, 1).c_str(), format_duration(add_mv).c_str(),
+              format_duration(csr_mv).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Decision-diagram (ADD) representation of CDR TPMs ===\n\n");
+  for (const std::size_t points : {128ul, 256ul}) {
+    cdr::CdrConfig config = stocdr::bench::paper_baseline();
+    config.phase_points = points;
+    config.max_run_length = 4;
+    config.nr_mean = 0.004;  // registers on the coarser grids
+    config.nr_max = 0.012;
+    const cdr::CdrModel model(config);
+    const cdr::CdrChain chain = model.build();
+    study(("CDR " + std::to_string(points) + "-cell model").c_str(),
+          chain.chain().pt());
+  }
+  std::printf(
+      "reading: the 0/1 pattern compresses by orders of magnitude (the\n"
+      "compositional blocks the paper's Figure 3 shows become shared\n"
+      "subgraphs), but the exact Gaussian decision probabilities make most\n"
+      "terminals distinct; value quantization recovers much of the sharing.\n"
+      "This is why the paper pairs decision diagrams with *hierarchical*\n"
+      "(Kronecker) structure rather than using them alone.\n");
+  return 0;
+}

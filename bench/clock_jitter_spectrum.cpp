@@ -1,0 +1,75 @@
+// Recovered-clock jitter statistics beyond the stationary PDF: the paper
+// notes that "computation of eta is the prerequisite for computing other
+// performance quantities such as the autocorrelation of a function defined
+// on the states of the MC", and that real designs carry "specifications on
+// the recovered clock jitter".
+//
+// Computes the phase-error autocovariance and its power spectral density at
+// two loop bandwidths, plus the integrated correlation time (the loop's
+// memory in bit periods).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/autocorrelation.hpp"
+#include "analysis/eigen.hpp"
+#include "analysis/spectrum.hpp"
+#include "common.hpp"
+#include "support/math.hpp"
+
+int main() {
+  using namespace stocdr;
+  std::printf("=== Recovered-clock jitter autocorrelation and spectrum ===\n");
+
+  for (const std::size_t counter : {2ul, 16ul}) {
+    cdr::CdrConfig config = bench::paper_baseline();
+    config.phase_points = 256;
+    config.sigma_nw = 0.08;
+    config.counter_length = counter;
+    const bench::SolvedCase solved(config);
+
+    // f = phase error in UI, per state.
+    std::vector<double> f(solved.chain.num_states());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = solved.model.grid().value(solved.chain.phase_coordinate()[i]);
+    }
+    const std::size_t max_lag = 400;
+    const auto cov = analysis::autocovariance(
+        solved.chain.chain(), solved.stationary.distribution, f, max_lag);
+    const double tau = analysis::integrated_autocorrelation_time(cov);
+
+    const auto lambda2 = analysis::subdominant_eigenvalue(
+        solved.chain.chain(), solved.stationary.distribution, 1e-7, 50000);
+    std::printf("\n--- counter length %zu ---\n", counter);
+    std::printf("rms jitter: %.4f UI   integrated correlation time: %.1f "
+                "bits\n",
+                std::sqrt(cov[0]), tau);
+    std::printf("|lambda_2| = %.6f -> loop memory %.0f bits (%s)\n",
+                lambda2.magnitude, lambda2.mixing_steps(),
+                lambda2.converged ? "converged" : "estimate");
+    std::printf("autocovariance (normalized):\n");
+    std::printf("  lag:   ");
+    for (const std::size_t k : {0, 1, 2, 5, 10, 20, 50, 100, 200, 400}) {
+      std::printf("%6zu ", k);
+    }
+    std::printf("\n  rho:   ");
+    for (const std::size_t k : {0, 1, 2, 5, 10, 20, 50, 100, 200, 400}) {
+      std::printf("%6.3f ", cov[k] / cov[0]);
+    }
+    std::printf("\n");
+
+    const auto freqs = linspace(0.0, 0.5, 9);
+    const auto psd = analysis::power_spectral_density(cov, freqs);
+    std::printf("jitter PSD (UI^2 per cycle/bit):\n  f:     ");
+    for (const double fq : freqs) std::printf("%9.4f ", fq);
+    std::printf("\n  S(f):  ");
+    for (const double s : psd) std::printf("%9.2e ", s);
+    std::printf("\n");
+  }
+  std::printf(
+      "\nreading: the short counter gives a wide-bandwidth loop — low\n"
+      "correlation time, jitter spread across frequency; the long counter\n"
+      "narrows the loop, concentrating jitter power at low frequency (the\n"
+      "slow drift-tracking residual).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared configuration and reporting helpers for the benchmark harnesses.
+//
+// Each bench binary regenerates one of the paper's figures/tables (see
+// DESIGN.md section 3 and EXPERIMENTS.md).  The operating points below are
+// the calibrated stand-ins for the paper's OCR-lost numeric parameters:
+// counter length 8 is the Figure 5 optimum, the n_r drift leaves the loop a
+// ~4x tracking margin, and sigma(n_w) spans "negligible BER" to ~1e-4.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cdr/config.hpp"
+#include "cdr/measures.hpp"
+#include "cdr/model.hpp"
+#include "solvers/aggregation.hpp"
+#include "support/text.hpp"
+#include "support/timer.hpp"
+
+namespace stocdr::bench {
+
+/// The full-size baseline operating point (~6e4 reachable states; the
+/// paper's examples are at a comparable 1e5 scale).
+inline cdr::CdrConfig paper_baseline() {
+  cdr::CdrConfig config;
+  config.phase_points = 512;
+  config.vco_phases = 16;
+  config.counter_length = 8;
+  config.transition_density = 0.5;
+  config.max_run_length = 8;
+  config.sigma_nw = 0.012;
+  config.nr_mean = 0.001;
+  config.nr_max = 0.003;
+  config.nr_atoms = 7;
+  return config;
+}
+
+/// Figure 4 bottom plot: the eye-opening jitter raised 10x.
+inline cdr::CdrConfig paper_high_noise() {
+  cdr::CdrConfig config = paper_baseline();
+  config.sigma_nw = 10.0 * config.sigma_nw;
+  return config;
+}
+
+/// Figure 5 operating point (counter length set per run).
+inline cdr::CdrConfig paper_counter_sweep(std::size_t counter_length) {
+  cdr::CdrConfig config = paper_baseline();
+  config.sigma_nw = 0.08;
+  config.counter_length = counter_length;
+  return config;
+}
+
+/// One solved experiment with the numbers the paper annotates per plot.
+struct SolvedCase {
+  cdr::CdrConfig config;
+  cdr::CdrModel model;
+  cdr::CdrChain chain;
+  solvers::StationaryResult stationary;
+  double ber = 0.0;
+
+  explicit SolvedCase(const cdr::CdrConfig& cfg,
+                      const solvers::MultilevelOptions& options = {})
+      : config(cfg), model(cfg), chain(model.build()) {
+    stationary = cdr::solve_stationary(chain, options);
+    ber = cdr::bit_error_rate(model, chain, stationary.distribution);
+  }
+
+  /// The paper's annotation line above each plot:
+  /// "COUNTER: 8  STDnw: 1.2e-02  MAXnr: ...  BER: ...".
+  void print_header_line() const {
+    std::printf("%s  BER: %s\n", config.summary().c_str(),
+                sci(ber, 2).c_str());
+  }
+
+  /// The paper's annotation line below each plot:
+  /// "Size: ...  Iter: ...  Matrixformtime: ...  Solvetime: ...".
+  void print_footer_line() const {
+    std::printf(
+        "Size: %zu  Iter: %zu  Matrixformtime: %.2f mins  Solvetime: %.2f "
+        "mins  (residual %s, %s)\n",
+        chain.num_states(), stationary.stats.iterations,
+        chain.form_seconds() / 60.0, stationary.stats.seconds / 60.0,
+        sci(stationary.stats.residual, 1).c_str(),
+        stationary.stats.converged ? "converged" : "NOT CONVERGED");
+  }
+};
+
+/// Prints the two stationary densities the paper plots in Figures 4/5:
+/// the phase error Phi and the phase-detector input Phi + n_w.
+inline void print_density_plots(const SolvedCase& solved) {
+  const auto& grid = solved.model.grid();
+  const auto phase_d = cdr::phase_density(solved.model, solved.chain,
+                                          solved.stationary.distribution);
+  std::printf("stationary density of the phase error Phi (UI):\n%s",
+              ascii_density_plot(grid.values(), phase_d).c_str());
+  const auto xs = grid.values();
+  const auto pd_d = cdr::pd_input_density(
+      solved.model, solved.chain, solved.stationary.distribution, xs);
+  std::printf(
+      "stationary density of the PD input Phi + n_w (UI):\n%s",
+      ascii_density_plot(xs, pd_d).c_str());
+}
+
+}  // namespace stocdr::bench

@@ -1,0 +1,60 @@
+// Section 2's second performance measure: "Another measure of performance
+// for CDR circuits is the average time between cycle slips.  This translates
+// into the computation of mean transition times between certain sets of MC
+// states ... It involves solving a linear system with the (modified) TPM."
+//
+// Sweeps the drift noise n_r and reports, per operating point:
+//   * the steady-state slip flux (exact, from eta),
+//   * the implied mean time between slips,
+//   * the mean first-passage time from lock to the +-0.4 UI boundary band
+//     (the linear solve with the modified TPM), with solver statistics.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace stocdr;
+  std::printf("=== Cycle-slip analysis (mean time between slips) ===\n\n");
+
+  TextTable table({"MEANnr", "slip rate/cycle", "mean cycles between",
+                   "up:down flux", "t(lock->0.4UI band)", "linear solver",
+                   "its"});
+  for (const double drift : {0.001, 0.002, 0.003, 0.004, 0.006}) {
+    cdr::CdrConfig config = bench::paper_baseline();
+    config.phase_points = 256;
+    config.sigma_nw = 0.08;
+    config.nr_mean = drift;
+    config.nr_max = 3.0 * drift;
+    const bench::SolvedCase solved(config);
+    const auto slips = cdr::slip_stats(solved.model, solved.chain,
+                                       solved.stationary.distribution);
+    // The first-passage linear system has condition ~ the slip timescale;
+    // beyond ~1e12 cycles it is not resolvable in double precision and the
+    // solver reports non-convergence — the flux-based figure (exact) is the
+    // meaningful one there.
+    std::string passage_text = "n/a (beyond fp64)";
+    std::string solver_text = "-";
+    std::string iters_text = "-";
+    if (slips.mean_cycles_between() < 1e12) {
+      const auto passage = cdr::mean_time_to_boundary(
+          solved.model, solved.chain, solved.stationary.distribution, 0.4);
+      if (passage.stats.converged && passage.mean_cycles_from_lock > 0.0) {
+        passage_text = sci(passage.mean_cycles_from_lock, 2);
+      }
+      solver_text = passage.stats.method;
+      iters_text = std::to_string(passage.stats.iterations);
+    }
+    table.add_row({sci(drift, 1), sci(slips.rate(), 2),
+                   sci(slips.mean_cycles_between(), 2),
+                   sci(slips.rate_up, 1) + ":" + sci(slips.rate_down, 1),
+                   passage_text, solver_text, iters_text});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: the mean time between slips collapses by orders of\n"
+      "magnitude as the drift approaches the loop's tracking capability\n"
+      "(~4e-3 UI/cycle for G=1/16, counter 8, transition density ~0.53);\n"
+      "the first-passage time to the boundary band tracks the same\n"
+      "timescale from the locked state.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Figure 3: "Nonzero pattern for the transition probability matrix" —
+// "where one can observe the compositional structure of the problem".
+//
+// Builds the baseline CDR chain, reports structural statistics of the TPM,
+// renders a coarse ASCII view of the nonzero pattern, and writes a full
+// PBM bitmap (fig3_tpm_pattern.pbm, viewable with any image tool) next to
+// the binary.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <vector>
+
+#include "common.hpp"
+#include "markov/reachability.hpp"
+
+namespace {
+
+using namespace stocdr;
+
+/// Display permutation: reachable states ordered by their full-space
+/// (lexicographic component) index, which exposes the compositional block
+/// structure the paper's figure shows; raw dense ids follow BFS discovery
+/// order and scramble it.
+std::vector<std::size_t> display_rank(const cdr::CdrChain& chain) {
+  std::vector<std::size_t> order(chain.num_states());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&chain](std::size_t a, std::size_t b) {
+              return chain.composed().full_index(a) <
+                     chain.composed().full_index(b);
+            });
+  std::vector<std::size_t> rank(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  return rank;
+}
+
+/// Writes the pattern of P (row-major, 1 bit per entry) as a PBM, downsampled
+/// by `stride` so the file stays manageable.
+void write_pbm(const sparse::CsrMatrix& pt,
+               const std::vector<std::size_t>& rank, std::size_t stride,
+               const std::string& path) {
+  const std::size_t n = (pt.rows() + stride - 1) / stride;
+  std::vector<std::vector<bool>> bitmap(n, std::vector<bool>(n, false));
+  pt.for_each([&](std::size_t dst, std::size_t src, double) {
+    bitmap[rank[src] / stride][rank[dst] / stride] = true;
+  });
+  std::ofstream out(path);
+  out << "P1\n" << n << ' ' << n << '\n';
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      out << (bitmap[r][c] ? '1' : '0') << (c + 1 < n ? " " : "");
+    }
+    out << '\n';
+  }
+}
+
+/// ASCII view of the same pattern at terminal resolution.
+void print_ascii_pattern(const sparse::CsrMatrix& pt,
+                         const std::vector<std::size_t>& rank,
+                         std::size_t cells) {
+  const std::size_t n = pt.rows();
+  std::vector<std::vector<std::size_t>> counts(
+      cells, std::vector<std::size_t>(cells, 0));
+  pt.for_each([&](std::size_t dst, std::size_t src, double) {
+    counts[rank[src] * cells / n][rank[dst] * cells / n]++;
+  });
+  std::size_t peak = 1;
+  for (const auto& row : counts) {
+    for (const std::size_t v : row) peak = std::max(peak, v);
+  }
+  const char shades[] = " .:+#";
+  for (std::size_t r = 0; r < cells; ++r) {
+    std::printf("    |");
+    for (std::size_t c = 0; c < cells; ++c) {
+      const std::size_t v = counts[r][c];
+      const std::size_t level =
+          v == 0 ? 0 : 1 + (v * 3) / (peak + 1);
+      std::printf("%c", shades[std::min<std::size_t>(level, 4)]);
+    }
+    std::printf("|\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: nonzero pattern of the TPM ===\n\n");
+  const cdr::CdrConfig config = stocdr::bench::paper_baseline();
+  const cdr::CdrModel model(config);
+  const Timer timer;
+  const cdr::CdrChain chain = model.build();
+  const auto& pt = chain.chain().pt();
+
+  std::printf("%s\n", config.summary().c_str());
+  std::printf("reachable states:        %zu (full product space %llu)\n",
+              chain.num_states(),
+              static_cast<unsigned long long>(chain.composed().space().size()));
+  std::printf("stored transitions:      %zu\n", pt.nnz());
+  std::printf("average row degree:      %.2f\n",
+              static_cast<double>(pt.nnz()) / pt.rows());
+  std::printf("matrix form time:        %s\n",
+              format_duration(chain.form_seconds()).c_str());
+  std::printf("irreducible:             %s\n",
+              markov::is_irreducible(chain.chain()) ? "yes" : "no");
+  std::printf("stochasticity defect:    %s\n\n",
+              sci(chain.chain().stochasticity_defect(), 1).c_str());
+
+  // Row-degree histogram (structure induced by the FSM composition).
+  std::vector<std::size_t> degree(pt.cols(), 0);
+  pt.for_each([&](std::size_t, std::size_t src, double) { degree[src]++; });
+  std::size_t dmin = degree[0], dmax = 0;
+  for (const std::size_t d : degree) {
+    dmin = std::min(dmin, d);
+    dmax = std::max(dmax, d);
+  }
+  std::printf("out-degree min/max:      %zu / %zu\n\n", dmin, dmax);
+
+  std::printf("nonzero pattern (rows = source states, 64x64 cells; the\n"
+              "banded blocks are the phase-error walk replicated per\n"
+              "counter/data state, the off-band blocks the counter overflow\n"
+              "corrections and the wrap-around cycle slips):\n");
+  const auto rank = display_rank(chain);
+  print_ascii_pattern(pt, rank, 64);
+
+  write_pbm(pt, rank, std::max<std::size_t>(1, pt.rows() / 1024),
+            "fig3_tpm_pattern.pbm");
+  std::printf("\nfull-resolution pattern written to fig3_tpm_pattern.pbm\n");
+  (void)timer;
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 4: "Phase error probability density, and BER".
+//
+// Two operating points: the baseline ("the noise levels are so small that
+// the CDR system has negligible BER") and the same loop with the eye-opening
+// jitter n_w raised 10x ("the BER increases ..."), each annotated exactly
+// like the paper's plots: the line above gives counter length, STDnw, MAXnr
+// and the BER from tail integration; the line below gives the Markov chain
+// size, the number of multigrid cycles, the matrix-form CPU time and the
+// solve CPU time.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace stocdr;
+  std::printf("=== Figure 4: phase error probability density and BER ===\n");
+
+  std::printf("\n--- top plot: baseline noise ---\n");
+  const bench::SolvedCase low(bench::paper_baseline());
+  low.print_header_line();
+  bench::print_density_plots(low);
+  low.print_footer_line();
+
+  std::printf("\n--- bottom plot: STDnw x 10 ---\n");
+  const bench::SolvedCase high(bench::paper_high_noise());
+  high.print_header_line();
+  bench::print_density_plots(high);
+  high.print_footer_line();
+
+  std::printf(
+      "\nBER ratio (high / low noise): %s\n",
+      sci(high.ber / (low.ber > 0.0 ? low.ber : 1e-300), 1).c_str());
+  std::printf(
+      "shape check vs paper: baseline BER negligible (%s), 10x n_w makes it "
+      "operationally relevant (%s)\n",
+      sci(low.ber, 1).c_str(), sci(high.ber, 1).c_str());
+  return 0;
+}

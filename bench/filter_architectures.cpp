@@ -1,0 +1,66 @@
+// Architecture study: the paper's motivation — "the design process of
+// communication systems would benefit significantly from ... the evaluation
+// of a number of alternative algorithms, architectures, circuit techniques
+// ... in a short time and without the commitment of expensive resources."
+//
+// Compares three digital loop architectures at matched depth, all analyzed
+// through the same framework:
+//   * the paper's up/down overflow counter,
+//   * a majority-vote (ballot) filter,
+//   * the counter with a ternary (dead-zone) phase detector.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace stocdr;
+  std::printf("=== Loop-architecture comparison ===\n\n");
+
+  cdr::CdrConfig base = bench::paper_baseline();
+  base.phase_points = 256;
+  base.sigma_nw = 0.08;
+
+  struct Variant {
+    const char* name;
+    cdr::FilterType filter;
+    double dead_zone;
+  };
+  const std::vector<Variant> variants = {
+      {"up/down counter (paper)", cdr::FilterType::kUpDownCounter, 0.0},
+      {"majority vote", cdr::FilterType::kMajorityVote, 0.0},
+      {"counter + PD dead zone 0.03UI", cdr::FilterType::kUpDownCounter,
+       0.03},
+      {"counter + PD dead zone 0.06UI", cdr::FilterType::kUpDownCounter,
+       0.06},
+  };
+
+  for (const std::size_t depth : {4ul, 8ul}) {
+    std::printf("--- depth %zu ---\n", depth);
+    TextTable table({"architecture", "states", "BER", "slip rate",
+                     "mean Phi", "rms Phi", "solve"});
+    for (const Variant& variant : variants) {
+      cdr::CdrConfig config = base;
+      config.filter_type = variant.filter;
+      config.counter_length = depth;
+      config.pd_dead_zone = variant.dead_zone;
+      const bench::SolvedCase solved(config);
+      const auto slips = cdr::slip_stats(solved.model, solved.chain,
+                                         solved.stationary.distribution);
+      const auto moments = cdr::phase_error_moments(
+          solved.model, solved.chain, solved.stationary.distribution);
+      table.add_row({variant.name,
+                     std::to_string(solved.chain.num_states()),
+                     sci(solved.ber, 2), sci(slips.rate(), 1),
+                     fixed(moments.mean, 4), fixed(moments.rms, 4),
+                     format_duration(solved.stationary.stats.seconds)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "reading: the ballot filter ignores inter-window history and needs\n"
+      "more depth for the same averaging; the dead zone trades a wider\n"
+      "static-offset window (larger mean Phi under drift) for fewer useless\n"
+      "corrections near lock.  All variants drop out of one model family —\n"
+      "the evaluation the paper's introduction asks for.\n");
+  return 0;
+}

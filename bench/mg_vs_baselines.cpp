@@ -1,0 +1,156 @@
+// Section 3 method comparison: the dedicated multilevel solver against the
+// "basic iterative methods such as Jacobi and Gauss-Seidel" (and the power
+// method and classical two-level aggregation/disaggregation) that it is
+// designed to accelerate.  Google-benchmark timings; each benchmark solves
+// the same baseline CDR chain to the same tolerance and also reports the
+// iteration count and final residual as counters.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.hpp"
+#include "solvers/stationary.hpp"
+
+namespace {
+
+using namespace stocdr;
+
+constexpr double kTolerance = 1e-10;
+
+/// The chain is built once and shared by all benchmarks.  The operating
+/// point is deliberately *stiff* — the loop tracks the drift with only a
+/// small margin, so the chain mixes slowly — because that is the regime the
+/// dedicated solver exists for; on fast-mixing chains plain power iteration
+/// is perfectly adequate (and wins — see solver_scaling for the sweep).
+const bench::SolvedCase& shared_case() {
+  static const bench::SolvedCase solved = [] {
+    cdr::CdrConfig config = bench::paper_baseline();
+    config.phase_points = 256;
+    config.counter_length = 16;
+    config.sigma_nw = 0.08;
+    config.nr_mean = 0.002;  // ~1.5x tracking margin at counter 16
+    config.nr_max = 0.006;
+    return bench::SolvedCase(config);
+  }();
+  return solved;
+}
+
+void report(benchmark::State& state, const solvers::SolverStats& stats) {
+  state.counters["iterations"] = static_cast<double>(stats.iterations);
+  state.counters["residual"] = stats.residual;
+  state.counters["converged"] = stats.converged ? 1.0 : 0.0;
+  state.counters["states"] =
+      static_cast<double>(shared_case().chain.num_states());
+}
+
+void BM_Multilevel(benchmark::State& state) {
+  const auto& solved = shared_case();
+  solvers::MultilevelOptions mopts;
+  mopts.tolerance = kTolerance;
+  const auto hierarchy = solved.chain.hierarchy(mopts.coarsest_size);
+  solvers::SolverStats last;
+  for (auto _ : state) {
+    solvers::MultilevelOptions options = mopts;
+    const auto result = solvers::solve_stationary_multilevel(
+        solved.chain.chain(), hierarchy, options);
+    last = result.stats;
+    benchmark::DoNotOptimize(result.distribution.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_Multilevel)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_TwoLevelAd(benchmark::State& state) {
+  const auto& solved = shared_case();
+  // The classical two-level method pays a dense direct solve of the lumped
+  // chain every cycle, so the lumped size is kept moderate (~1.2k groups);
+  // the cycle budget is capped to keep the bench bounded — the method can
+  // need hundreds of cycles on this stiff chain either way.
+  auto hierarchy = solved.chain.hierarchy(1200);
+  markov::Partition flat = hierarchy.front();
+  for (std::size_t l = 1; l < hierarchy.size(); ++l) {
+    flat = flat.compose(hierarchy[l]);
+  }
+  solvers::SolverStats last;
+  for (auto _ : state) {
+    solvers::MultilevelOptions options;
+    options.tolerance = kTolerance;
+    options.max_cycles = 200;
+    const auto result = solvers::solve_stationary_two_level(
+        solved.chain.chain(), flat, options);
+    last = result.stats;
+    benchmark::DoNotOptimize(result.distribution.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_TwoLevelAd)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Power(benchmark::State& state) {
+  const auto& solved = shared_case();
+  solvers::SolverStats last;
+  for (auto _ : state) {
+    solvers::SolverOptions options;
+    options.tolerance = kTolerance;
+    options.max_iterations = 2000000;
+    const auto result =
+        solvers::solve_stationary_power(solved.chain.chain(), options);
+    last = result.stats;
+    benchmark::DoNotOptimize(result.distribution.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_Power)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Jacobi(benchmark::State& state) {
+  const auto& solved = shared_case();
+  solvers::SolverStats last;
+  for (auto _ : state) {
+    solvers::SolverOptions options;
+    options.tolerance = kTolerance;
+    options.max_iterations = 2000000;
+    options.relaxation = 0.95;
+    const auto result =
+        solvers::solve_stationary_jacobi(solved.chain.chain(), options);
+    last = result.stats;
+    benchmark::DoNotOptimize(result.distribution.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_Jacobi)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_GaussSeidel(benchmark::State& state) {
+  const auto& solved = shared_case();
+  solvers::SolverStats last;
+  for (auto _ : state) {
+    solvers::SolverOptions options;
+    options.tolerance = kTolerance;
+    options.max_iterations = 2000000;
+    const auto result =
+        solvers::solve_stationary_gauss_seidel(solved.chain.chain(), options);
+    last = result.stats;
+    benchmark::DoNotOptimize(result.distribution.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_GaussSeidel)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Sor(benchmark::State& state) {
+  const auto& solved = shared_case();
+  solvers::SolverStats last;
+  for (auto _ : state) {
+    solvers::SolverOptions options;
+    options.tolerance = kTolerance;
+    options.max_iterations = 2000000;
+    options.relaxation = 1.1;
+    const auto result =
+        solvers::solve_stationary_sor(solved.chain.chain(), options);
+    last = result.stats;
+    benchmark::DoNotOptimize(result.distribution.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_Sor)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Sinusoidal jitter tolerance mask — the standard receiver compliance plot
+// (tolerated SJ amplitude vs jitter frequency, at a fixed BER target),
+// computed analytically.  The paper's framework covers it because periodic
+// jitter is just one more FSM with a deterministic rotation ("the general
+// model ... can be used for other discrete-time mixed-signal processing
+// circuits"); the correlated tone is modeled exactly, not via the white
+// amplitude-law trick.
+//
+// Expected shape: ~1/f growth at low frequency (the loop tracks slow
+// jitter) flattening to a floor at high frequency (beyond the loop
+// bandwidth the full amplitude hits the sampler).
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace stocdr;
+
+double ber_at(double amplitude, std::size_t period) {
+  // The SJ rotor multiplies the state space by its period, so the rest of
+  // the model is kept lean (the mask shape needs only the loop dynamics).
+  cdr::CdrConfig config;
+  config.phase_points = 64;
+  config.vco_phases = 8;
+  config.counter_length = 4;
+  config.max_run_length = 2;
+  config.sigma_nw = 0.05;
+  config.nr_mean = 0.004;
+  config.nr_max = 0.012;
+  config.nr_atoms = 5;
+  config.sj_amplitude = amplitude;
+  config.sj_period = period;
+  const cdr::CdrModel model(config);
+  const cdr::CdrChain chain = model.build();
+  solvers::MultilevelOptions options;
+  options.tolerance = 1e-10;
+  const auto eta = cdr::solve_stationary(chain, options).distribution;
+  return cdr::bit_error_rate(model, chain, eta);
+}
+
+/// Largest amplitude meeting the BER target, by bisection (BER is monotone
+/// in the SJ amplitude at fixed frequency).
+double tolerance(std::size_t period, double ber_target) {
+  double lo = 0.0, hi = 0.19;
+  if (ber_at(hi, period) < ber_target) return hi;  // cap of the sweep
+  for (int it = 0; it < 5; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (ber_at(mid, period) < ber_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Sinusoidal jitter tolerance mask ===\n\n");
+  const double ber_target = 1e-9;
+  std::printf("BER target: %s;  tone frequency in fractions of the bit "
+              "rate\n\n",
+              stocdr::sci(ber_target, 0).c_str());
+
+  stocdr::TextTable table(
+      {"SJ frequency (1/bits)", "period", "tolerated amplitude (UI)"});
+  for (const std::size_t period : {8ul, 16ul, 32ul, 64ul, 128ul, 256ul}) {
+    const double amp = tolerance(period, ber_target);
+    table.add_row({"1/" + std::to_string(period), std::to_string(period),
+                   stocdr::fixed(amp, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: below the loop bandwidth (long periods) the phase\n"
+      "selector follows the tone and tolerance rises toward the sweep cap;\n"
+      "above it (short periods) tolerance bottoms out at the eye margin —\n"
+      "the classical jitter-tolerance mask, obtained without simulating a\n"
+      "single bit.\n");
+  return 0;
+}

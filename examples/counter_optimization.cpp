@@ -1,0 +1,79 @@
+// Design exploration: find the optimal loop-filter counter length for a
+// given noise environment — the use case the paper's conclusion highlights:
+// "there is an optimal counter length for given levels of noise, the
+// computation of which is enabled by the accurate and efficient analysis
+// method described in the paper."
+//
+// Sweeps the counter length across three noise environments and reports the
+// BER-optimal depth for each, illustrating how the optimum migrates: more
+// eye jitter favours deeper averaging, more drift favours a faster loop.
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "cdr/measures.hpp"
+#include "cdr/model.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace stocdr;
+
+struct Environment {
+  const char* name;
+  double sigma_nw;
+  double nr_mean;
+};
+
+double ber_for(const Environment& env, std::size_t counter_length) {
+  cdr::CdrConfig config;
+  config.phase_points = 192;  // coarser grid keeps the 27-point sweep fast
+  config.vco_phases = 16;
+  config.counter_length = counter_length;
+  config.max_run_length = 8;
+  config.sigma_nw = env.sigma_nw;
+  config.nr_mean = env.nr_mean;
+  config.nr_max = 3.0 * env.nr_mean;
+  const cdr::CdrModel model(config);
+  const cdr::CdrChain chain = model.build();
+  solvers::MultilevelOptions options;
+  options.tolerance = 1e-10;  // plenty for BERs down to ~1e-8
+  const auto eta = cdr::solve_stationary(chain, options).distribution;
+  return cdr::bit_error_rate(model, chain, eta);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Loop-filter (counter length) optimization ===\n\n");
+  const std::vector<Environment> environments = {
+      {"jitter-dominated (sigma=0.10, drift=0.001)", 0.10, 0.001},
+      {"balanced          (sigma=0.08, drift=0.002)", 0.08, 0.002},
+      {"drift-dominated   (sigma=0.06, drift=0.003)", 0.06, 0.003},
+  };
+  const std::vector<std::size_t> lengths{1, 2, 4, 8, 12, 16, 24};
+
+  for (const Environment& env : environments) {
+    std::printf("%s\n", env.name);
+    TextTable table({"counter", "BER"});
+    std::size_t best = lengths.front();
+    double best_ber = std::numeric_limits<double>::infinity();
+    for (const std::size_t n : lengths) {
+      const double ber = ber_for(env, n);
+      table.add_row({std::to_string(n), sci(ber, 2)});
+      if (ber < best_ber) {
+        best_ber = ber;
+        best = n;
+      }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("-> optimal counter length: %zu (BER %s)\n\n", best,
+                sci(best_ber, 2).c_str());
+  }
+  std::printf(
+      "interpretation: a short counter reacts to every (noisy) phase\n"
+      "detector decision and follows n_w; a long counter averages n_w away\n"
+      "but responds too slowly to the n_r drift.  The optimum balances the\n"
+      "two, and shifts toward shorter counters as drift grows.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Jitter-tolerance analysis: the maximum input eye closure (sigma of n_w)
+// this design tolerates while meeting a BER specification — the inverse
+// problem of Figure 4, answered by bisection on the analytic BER.
+//
+// A receiver datasheet quotes exactly this number ("input jitter tolerance
+// at BER 1e-12"), and it is unobtainable by simulation at that BER.
+#include <cstdio>
+
+#include "cdr/measures.hpp"
+#include "cdr/model.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace stocdr;
+
+double ber_at_sigma(double sigma_nw) {
+  cdr::CdrConfig config;
+  config.phase_points = 256;
+  config.vco_phases = 16;
+  config.counter_length = 8;
+  config.max_run_length = 8;
+  config.sigma_nw = sigma_nw;
+  config.nr_mean = 0.001;
+  config.nr_max = 0.003;
+  const cdr::CdrModel model(config);
+  const cdr::CdrChain chain = model.build();
+  const auto eta = cdr::solve_stationary(chain).distribution;
+  return cdr::bit_error_rate(model, chain, eta);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Input jitter tolerance for a BER specification ===\n\n");
+
+  // BER is monotone in sigma(n_w) (verified in the test suite), so bisect.
+  const double ber_spec = 1e-12;
+  double lo = 0.005, hi = 0.25;
+  std::printf("bisecting sigma(n_w) for BER = %s:\n",
+              sci(ber_spec, 0).c_str());
+  TextTable table({"sigma(n_w) [UI rms]", "BER", "verdict"});
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    const double ber = ber_at_sigma(mid);
+    table.add_row({fixed(mid, 4), sci(ber, 2),
+                   ber < ber_spec ? "meets spec" : "fails spec"});
+    if (ber < ber_spec) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\ntolerance: the loop meets BER %s up to sigma(n_w) ~ %.3f UI rms\n"
+      "(total eye closure ~ %.2f UI peak-to-peak at 6 sigma).\n",
+      sci(ber_spec, 0).c_str(), lo, 6.0 * lo);
+  std::printf(
+      "\nverifying this point by simulation would need ~1e14 error-free\n"
+      "bits; the analysis resolves it in seconds per operating point.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Lock acquisition: transient analysis of the loop pulling in from a
+// worst-case initial phase offset — how many bits until the receiver is
+// usable, and how the loop-filter depth trades acquisition speed against
+// steady-state jitter (the classical bandwidth trade-off, quantified
+// exactly from the same Markov model).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/transient.hpp"
+#include "cdr/measures.hpp"
+#include "cdr/model.hpp"
+#include "support/text.hpp"
+
+namespace {
+
+using namespace stocdr;
+
+struct Acquisition {
+  std::size_t counter;
+  double rms_locked;        // steady-state rms phase error (UI)
+  std::size_t settle_bits;  // steps until |E[Phi]| < settle threshold
+};
+
+Acquisition analyze(std::size_t counter_length) {
+  cdr::CdrConfig config;
+  config.phase_points = 256;
+  config.vco_phases = 16;
+  config.counter_length = counter_length;
+  config.max_run_length = 8;
+  config.sigma_nw = 0.04;
+  config.nr_mean = 0.001;
+  config.nr_max = 0.003;
+  const cdr::CdrModel model(config);
+  const cdr::CdrChain chain = model.build();
+  const auto eta = cdr::solve_stationary(chain).distribution;
+
+  // Initial condition: worst-case phase offset (~0.4 UI), loop quiescent.
+  // Build the distribution concentrated on the matching composite state.
+  std::vector<double> x0(chain.num_states(), 0.0);
+  const auto& grid = model.grid();
+  const std::size_t worst_cell = grid.index_of(0.4);
+  // Put the mass uniformly on all states with that phase cell (counter and
+  // data states unknown at power-up).
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < chain.num_states(); ++i) {
+    if (chain.phase_coordinate()[i] == worst_cell) {
+      x0[i] = 1.0;
+      ++hits;
+    }
+  }
+  for (double& v : x0) v /= static_cast<double>(hits);
+
+  // Mean phase-error trajectory.
+  std::vector<double> f(chain.num_states());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = grid.value(chain.phase_coordinate()[i]);
+  }
+  const std::size_t horizon = 4000;
+  const auto trajectory =
+      analysis::expectation_trajectory(chain.chain(), x0, f, horizon);
+
+  Acquisition result{counter_length, 0.0, horizon + 1};
+  const auto moments = cdr::phase_error_moments(model, chain, eta);
+  result.rms_locked = moments.rms;
+  const double settled = moments.mean + 0.02;
+  for (std::size_t k = 0; k < trajectory.size(); ++k) {
+    if (std::abs(trajectory[k]) < std::abs(settled)) {
+      result.settle_bits = k;
+      break;
+    }
+  }
+  // Print a sparse trajectory for the default case.
+  if (counter_length == 8) {
+    std::printf("mean phase error during acquisition (counter 8):\n  bit:  ");
+    for (const std::size_t k : {0, 100, 250, 500, 1000, 1500, 2000, 3000}) {
+      std::printf("%7zu", k);
+    }
+    std::printf("\n  Phi:  ");
+    for (const std::size_t k : {0, 100, 250, 500, 1000, 1500, 2000, 3000}) {
+      std::printf("%7.3f", trajectory[k]);
+    }
+    std::printf("\n\n");
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Lock acquisition vs loop-filter depth ===\n\n");
+  TextTable table(
+      {"counter", "settle bits (|E[Phi]| < offset+0.02UI)", "locked rms Phi"});
+  for (const std::size_t n : {1ul, 2ul, 4ul, 8ul, 16ul}) {
+    const Acquisition a = analyze(n);
+    table.add_row({std::to_string(a.counter),
+                   a.settle_bits > 4000 ? "> 4000"
+                                        : std::to_string(a.settle_bits),
+                   fixed(a.rms_locked, 4) + " UI"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nthe bandwidth trade-off, quantified: shallow counters acquire lock\n"
+      "in fewer bits but sit at a larger steady-state phase error; deep\n"
+      "counters lock slowly but jitter less once locked.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: model a digital clock-and-data-recovery loop, compute its
+// exact steady-state behaviour, and read off the bit-error rate — the
+// 60-second tour of the library.
+//
+//   $ ./quickstart
+//
+// Walks through the full pipeline:
+//   1. describe the circuit with a CdrConfig,
+//   2. compile it into a Markov chain (CdrModel::build),
+//   3. solve the stationary distribution with the multilevel solver,
+//   4. evaluate BER, slip rate and phase-error statistics.
+#include <cstdio>
+
+#include "cdr/measures.hpp"
+#include "cdr/model.hpp"
+#include "support/text.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace stocdr;
+
+  // 1. The design under evaluation: a feedback phase-selection CDR with 16
+  //    VCO clock phases and an 8-deep up/down counter as its loop filter,
+  //    receiving SONET-like data (transition density 0.5, runs capped at 8)
+  //    with 0.012 UI rms eye jitter and a small frequency-offset drift.
+  cdr::CdrConfig config;
+  config.phase_points = 256;     // phase-error discretization
+  config.vco_phases = 16;        // smallest correction G = 1/16 UI
+  config.counter_length = 8;     // loop-filter depth
+  config.transition_density = 0.5;
+  config.max_run_length = 8;
+  config.sigma_nw = 0.012;       // eye-opening jitter, UI rms
+  config.nr_mean = 0.001;        // drift, UI per bit
+  config.nr_max = 0.003;         // drift amplitude bound
+
+  // 2. Compile: four interacting FSMs + noise sources -> one Markov chain
+  //    over the reachable composite states.
+  const cdr::CdrModel model(config);
+  const cdr::CdrChain chain = model.build();
+  std::printf("model compiled: %zu states, %zu transitions (%s to form)\n",
+              chain.num_states(), chain.chain().num_transitions(),
+              format_duration(chain.form_seconds()).c_str());
+
+  // 3. Solve eta P = eta with the dedicated multilevel (multigrid) solver.
+  const auto solution = cdr::solve_stationary(chain);
+  std::printf("stationary solve: %zu cycles, residual %s, %s\n",
+              solution.stats.iterations,
+              sci(solution.stats.residual, 1).c_str(),
+              format_duration(solution.stats.seconds).c_str());
+
+  // 4. Performance measures straight from the stationary distribution.
+  const double ber =
+      cdr::bit_error_rate(model, chain, solution.distribution);
+  const auto slips =
+      cdr::slip_stats(model, chain, solution.distribution);
+  const auto moments =
+      cdr::phase_error_moments(model, chain, solution.distribution);
+
+  std::printf("\nresults:\n");
+  std::printf("  bit-error rate:            %s\n", sci(ber, 2).c_str());
+  std::printf("  cycle-slip rate:           %s per bit\n",
+              sci(slips.rate(), 2).c_str());
+  std::printf("  mean cycles between slips: %s\n",
+              sci(slips.mean_cycles_between(), 2).c_str());
+  std::printf("  static phase offset:       %+.4f UI\n", moments.mean);
+  std::printf("  rms phase error:           %.4f UI\n", moments.rms);
+  std::printf(
+      "\nnote the BER scale: no Monte-Carlo simulation could resolve this —\n"
+      "that is the point of the analysis-based method.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "analysis/autocorrelation.hpp"
+
+#include "analysis/statistics.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::analysis {
+
+std::vector<double> autocorrelation(const markov::MarkovChain& chain,
+                                    std::span<const double> eta,
+                                    std::span<const double> f,
+                                    std::size_t max_lag) {
+  const std::size_t n = chain.num_states();
+  STOCDR_REQUIRE(eta.size() == n && f.size() == n,
+                 "autocorrelation: size mismatch");
+  std::vector<double> r(max_lag + 1, 0.0);
+  // g_k = P^k f, advanced in place with the backward (row-major) product.
+  std::vector<double> g(f.begin(), f.end());
+  std::vector<double> next(n);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += eta[i] * f[i] * g[i];
+    r[k] = acc;
+    if (k < max_lag) {
+      chain.step_backward(g, next);
+      g.swap(next);
+    }
+  }
+  return r;
+}
+
+std::vector<double> autocovariance(const markov::MarkovChain& chain,
+                                   std::span<const double> eta,
+                                   std::span<const double> f,
+                                   std::size_t max_lag) {
+  std::vector<double> c = autocorrelation(chain, eta, f, max_lag);
+  const double mean = expectation(eta, f);
+  for (double& v : c) v -= mean * mean;
+  return c;
+}
+
+double integrated_autocorrelation_time(
+    std::span<const double> autocovariance_sequence) {
+  STOCDR_REQUIRE(!autocovariance_sequence.empty(),
+                 "integrated_autocorrelation_time: empty sequence");
+  const double c0 = autocovariance_sequence[0];
+  if (!(c0 > 0.0)) return 1.0;
+  double tau = 1.0;
+  for (std::size_t k = 1; k < autocovariance_sequence.size(); ++k) {
+    const double rho = autocovariance_sequence[k] / c0;
+    if (rho <= 0.0) break;
+    tau += 2.0 * rho;
+  }
+  return tau;
+}
+
+}  // namespace stocdr::analysis

@@ -1,0 +1,40 @@
+// Autocorrelation of functions on Markov-chain states.
+//
+// The paper (section 3): "computation of eta is the prerequisite for
+// computing other performance quantities such as the autocorrelation of a
+// function defined on the states of the MC".  For a stationary chain and a
+// state function f,
+//
+//   R_f(k) = E[f(X_0) f(X_k)] = sum_i eta_i f_i (P^k f)_i,
+//
+// computed with k sparse backward matvecs (no matrix powers are formed).
+// The autocovariance subtracts the stationary mean; it is what feeds the
+// recovered-clock jitter spectrum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace stocdr::analysis {
+
+/// R_f(k) for k = 0..max_lag (inclusive); eta must be the stationary
+/// distribution of `chain`.
+[[nodiscard]] std::vector<double> autocorrelation(
+    const markov::MarkovChain& chain, std::span<const double> eta,
+    std::span<const double> f, std::size_t max_lag);
+
+/// C_f(k) = R_f(k) - E[f]^2 for k = 0..max_lag.
+[[nodiscard]] std::vector<double> autocovariance(
+    const markov::MarkovChain& chain, std::span<const double> eta,
+    std::span<const double> f, std::size_t max_lag);
+
+/// Integrated autocorrelation time: 1 + 2 sum_{k>=1} C(k)/C(0), truncated at
+/// the first nonpositive term (standard initial-positive-sequence cutoff).
+/// Measures how slowly the loop forgets its state; diverges as the loop
+/// bandwidth shrinks.
+[[nodiscard]] double integrated_autocorrelation_time(
+    std::span<const double> autocovariance_sequence);
+
+}  // namespace stocdr::analysis

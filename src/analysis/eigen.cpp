@@ -1,0 +1,92 @@
+#include "analysis/eigen.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::analysis {
+
+double SubdominantEigenvalue::mixing_steps() const {
+  if (!(magnitude > 0.0) || magnitude >= 1.0) return 0.0;
+  return -1.0 / std::log(magnitude);
+}
+
+SubdominantEigenvalue subdominant_eigenvalue(const markov::MarkovChain& chain,
+                                             std::span<const double> eta,
+                                             double tolerance,
+                                             std::size_t max_iterations) {
+  const std::size_t n = chain.num_states();
+  STOCDR_REQUIRE(eta.size() == n, "subdominant_eigenvalue: eta size mismatch");
+  STOCDR_REQUIRE(tolerance > 0.0, "subdominant_eigenvalue: bad tolerance");
+  SubdominantEigenvalue result;
+  if (n < 2) {
+    result.converged = true;
+    return result;
+  }
+
+  // Deflated operator B x = P^T x - eta (1^T x): the dominant pair
+  // (eigenvalue 1, right vector eta) is projected out exactly; all other
+  // eigenvalues of P^T are preserved.
+  std::vector<double> x(n), y(n);
+  Rng rng(0x5eed);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+  const auto deflated_step = [&](std::vector<double>& in,
+                                 std::vector<double>& out) {
+    chain.step(in, out);
+    double mass = 0.0;
+    for (const double v : in) mass += v;
+    for (std::size_t i = 0; i < n; ++i) out[i] -= eta[i] * mass;
+  };
+  const auto norm2 = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (const double e : v) s += e * e;
+    return std::sqrt(s);
+  };
+
+  // Normalize and iterate, tracking the geometric mean of two consecutive
+  // growth ratios (stable for complex-conjugate subdominant pairs).
+  double nx = norm2(x);
+  if (nx == 0.0) {
+    x[0] = 1.0;
+    nx = 1.0;
+  }
+  for (double& v : x) v /= nx;
+
+  double previous_ratio = 0.0;
+  double previous_estimate = -1.0;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    deflated_step(x, y);
+    const double ratio = norm2(y);
+    if (ratio == 0.0) {
+      // x fell into the kernel: the subdominant eigenvalue is 0.
+      result.magnitude = 0.0;
+      result.converged = true;
+      result.iterations = it + 1;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / ratio;
+
+    if (it > 0) {
+      const double estimate = std::sqrt(ratio * previous_ratio);
+      result.magnitude = estimate;
+      result.iterations = it + 1;
+      if (previous_estimate > 0.0) {
+        const double change =
+            std::abs(estimate - previous_estimate) / estimate;
+        result.residual = change;
+        if (change < tolerance) {
+          result.converged = true;
+          return result;
+        }
+      }
+      previous_estimate = estimate;
+    }
+    previous_ratio = ratio;
+  }
+  return result;
+}
+
+}  // namespace stocdr::analysis

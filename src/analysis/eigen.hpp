@@ -1,0 +1,38 @@
+// Spectral analysis of the transition matrix: the subdominant eigenvalue.
+//
+// |lambda_2| of P sets the chain's asymptotic mixing rate — for the CDR
+// model it is the loop's analytic "bandwidth": the phase error forgets its
+// past at rate -ln|lambda_2| per bit.  Computed by power iteration deflated
+// against the known dominant pair (right eigenvector 1, left eigenvector
+// eta), which requires the stationary distribution first — another of the
+// "other performance quantities" the paper derives from eta.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "markov/chain.hpp"
+
+namespace stocdr::analysis {
+
+/// Result of the deflated power iteration.
+struct SubdominantEigenvalue {
+  double magnitude = 0.0;   ///< |lambda_2| estimate
+  double residual = 0.0;    ///< relative change of the estimate at the end
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  /// Mixing (correlation) time in steps: -1 / ln|lambda_2|.
+  [[nodiscard]] double mixing_steps() const;
+};
+
+/// Estimates |lambda_2(P)| given the stationary distribution eta.
+/// `tolerance` bounds the relative change of the magnitude estimate between
+/// iterations.  Complex subdominant pairs are handled by tracking the
+/// two-step growth ratio (the magnitude is still well defined); the phase
+/// is not reported.
+[[nodiscard]] SubdominantEigenvalue subdominant_eigenvalue(
+    const markov::MarkovChain& chain, std::span<const double> eta,
+    double tolerance = 1e-8, std::size_t max_iterations = 20000);
+
+}  // namespace stocdr::analysis

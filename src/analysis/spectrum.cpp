@@ -1,0 +1,35 @@
+#include "analysis/spectrum.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::analysis {
+
+std::vector<double> power_spectral_density(
+    std::span<const double> autocovariance, std::span<const double> freqs,
+    SpectralWindow window) {
+  STOCDR_REQUIRE(!autocovariance.empty(),
+                 "power_spectral_density: empty autocovariance");
+  const std::size_t kmax = autocovariance.size() - 1;
+  std::vector<double> psd(freqs.size(), 0.0);
+  for (std::size_t q = 0; q < freqs.size(); ++q) {
+    const double f = freqs[q];
+    STOCDR_REQUIRE(f >= 0.0 && f <= 0.5,
+                   "power_spectral_density: frequency out of [0, 1/2]");
+    double acc = autocovariance[0];
+    for (std::size_t k = 1; k <= kmax; ++k) {
+      double w = 1.0;
+      if (window == SpectralWindow::kBartlett) {
+        w = 1.0 - static_cast<double>(k) / static_cast<double>(kmax + 1);
+      }
+      acc += 2.0 * w * autocovariance[k] * std::cos(2.0 * kPi * f *
+                                                    static_cast<double>(k));
+    }
+    psd[q] = acc;
+  }
+  return psd;
+}
+
+}  // namespace stocdr::analysis

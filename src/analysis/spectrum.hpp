@@ -1,0 +1,30 @@
+// Power spectral density of stationary state functions.
+//
+// The recovered-clock jitter spectrum follows from the phase-error
+// autocovariance by the Wiener-Khinchine relation; for a discrete-time
+// process sampled at the bit rate,
+//
+//   S(f) = C(0) + 2 sum_{k=1..K} w_k C(k) cos(2 pi f k),   f in [0, 1/2],
+//
+// evaluated directly (K is small; no FFT machinery needed).  A Bartlett
+// window tapers the truncation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace stocdr::analysis {
+
+/// Window applied to the truncated autocovariance.
+enum class SpectralWindow {
+  kRectangular,  ///< no taper (raw truncation)
+  kBartlett,     ///< triangular taper, guarantees a nonnegative estimate
+};
+
+/// Evaluates the PSD at the normalized frequencies `freqs` (cycles/sample,
+/// in [0, 1/2]) from an autocovariance sequence C(0..K).
+[[nodiscard]] std::vector<double> power_spectral_density(
+    std::span<const double> autocovariance, std::span<const double> freqs,
+    SpectralWindow window = SpectralWindow::kBartlett);
+
+}  // namespace stocdr::analysis

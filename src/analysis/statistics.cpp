@@ -1,0 +1,67 @@
+#include "analysis/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace stocdr::analysis {
+
+double expectation(std::span<const double> eta, std::span<const double> f) {
+  STOCDR_REQUIRE(eta.size() == f.size(), "expectation: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < eta.size(); ++i) acc += eta[i] * f[i];
+  return acc;
+}
+
+double variance(std::span<const double> eta, std::span<const double> f) {
+  const double m = expectation(eta, f);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < eta.size(); ++i) {
+    const double d = f[i] - m;
+    acc += eta[i] * d * d;
+  }
+  return acc;
+}
+
+double tail_probability(std::span<const double> eta, std::span<const double> f,
+                        double threshold) {
+  STOCDR_REQUIRE(eta.size() == f.size(), "tail_probability: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < eta.size(); ++i) {
+    if (f[i] > threshold) acc += eta[i];
+  }
+  return acc;
+}
+
+double two_sided_tail_probability(std::span<const double> eta,
+                                  std::span<const double> f,
+                                  double threshold) {
+  STOCDR_REQUIRE(eta.size() == f.size(),
+                 "two_sided_tail_probability: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < eta.size(); ++i) {
+    if (std::abs(f[i]) > threshold) acc += eta[i];
+  }
+  return acc;
+}
+
+double quantile(std::span<const double> eta, std::span<const double> f,
+                double q) {
+  STOCDR_REQUIRE(eta.size() == f.size() && !eta.empty(),
+                 "quantile: size mismatch");
+  STOCDR_REQUIRE(q > 0.0 && q <= 1.0, "quantile: q must be in (0, 1]");
+  std::vector<std::size_t> order(eta.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&f](std::size_t a, std::size_t b) { return f[a] < f[b]; });
+  double cum = 0.0;
+  for (const std::size_t i : order) {
+    cum += eta[i];
+    if (cum >= q - 1e-15) return f[i];
+  }
+  return f[order.back()];
+}
+
+}  // namespace stocdr::analysis

@@ -1,0 +1,37 @@
+// Expectations of functions defined on Markov-chain states.
+//
+// Once the stationary vector eta is available, every steady-state measure is
+// an expectation E[f(X)] = sum_i eta_i f(x_i); this header provides those
+// plus tail probabilities of state functions (the paper's BER is exactly
+// such a tail).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace stocdr::analysis {
+
+/// E[f(X)] under the distribution eta.
+[[nodiscard]] double expectation(std::span<const double> eta,
+                                 std::span<const double> f);
+
+/// Var[f(X)] under eta.
+[[nodiscard]] double variance(std::span<const double> eta,
+                              std::span<const double> f);
+
+/// P(f(X) > threshold) under eta.
+[[nodiscard]] double tail_probability(std::span<const double> eta,
+                                      std::span<const double> f,
+                                      double threshold);
+
+/// P(|f(X)| > threshold) under eta.
+[[nodiscard]] double two_sided_tail_probability(std::span<const double> eta,
+                                                std::span<const double> f,
+                                                double threshold);
+
+/// Quantile of f(X) under eta: smallest v among the attained values with
+/// P(f(X) <= v) >= q, for q in (0, 1].
+[[nodiscard]] double quantile(std::span<const double> eta,
+                              std::span<const double> f, double q);
+
+}  // namespace stocdr::analysis

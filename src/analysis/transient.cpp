@@ -1,0 +1,76 @@
+#include "analysis/transient.hpp"
+
+#include "analysis/statistics.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::analysis {
+
+std::vector<double> evolve(const markov::MarkovChain& chain,
+                           std::span<const double> initial,
+                           std::size_t steps) {
+  STOCDR_REQUIRE(initial.size() == chain.num_states(),
+                 "evolve: initial size mismatch");
+  std::vector<double> x(initial.begin(), initial.end());
+  std::vector<double> y(x.size());
+  for (std::size_t k = 0; k < steps; ++k) {
+    chain.step(x, y);
+    x.swap(y);
+  }
+  return x;
+}
+
+std::vector<double> convergence_profile(const markov::MarkovChain& chain,
+                                        std::span<const double> initial,
+                                        std::span<const double> reference,
+                                        std::size_t steps) {
+  STOCDR_REQUIRE(initial.size() == chain.num_states() &&
+                     reference.size() == chain.num_states(),
+                 "convergence_profile: size mismatch");
+  std::vector<double> x(initial.begin(), initial.end());
+  std::vector<double> y(x.size());
+  std::vector<double> profile(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    chain.step(x, y);
+    x.swap(y);
+    profile[k] = l1_distance(x, reference);
+  }
+  return profile;
+}
+
+std::vector<double> expectation_trajectory(const markov::MarkovChain& chain,
+                                           std::span<const double> initial,
+                                           std::span<const double> f,
+                                           std::size_t steps) {
+  STOCDR_REQUIRE(initial.size() == chain.num_states() &&
+                     f.size() == chain.num_states(),
+                 "expectation_trajectory: size mismatch");
+  std::vector<double> x(initial.begin(), initial.end());
+  std::vector<double> y(x.size());
+  std::vector<double> traj(steps + 1);
+  traj[0] = expectation(x, f);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    chain.step(x, y);
+    x.swap(y);
+    traj[k] = expectation(x, f);
+  }
+  return traj;
+}
+
+std::size_t mixing_steps(const markov::MarkovChain& chain,
+                         std::span<const double> initial,
+                         std::span<const double> reference, double threshold,
+                         std::size_t max_steps) {
+  STOCDR_REQUIRE(threshold > 0.0, "mixing_steps: threshold must be positive");
+  std::vector<double> x(initial.begin(), initial.end());
+  std::vector<double> y(x.size());
+  if (l1_distance(x, reference) <= threshold) return 0;
+  for (std::size_t k = 1; k <= max_steps; ++k) {
+    chain.step(x, y);
+    x.swap(y);
+    if (l1_distance(x, reference) <= threshold) return k;
+  }
+  return max_steps + 1;
+}
+
+}  // namespace stocdr::analysis

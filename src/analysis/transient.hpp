@@ -1,0 +1,45 @@
+// Transient (time-domain) analysis of a Markov chain: distribution
+// evolution, mixing, and lock-acquisition trajectories.
+//
+// Besides steady-state measures, a CDR designer cares about how fast the
+// loop acquires lock from a frequency/phase offset.  These routines evolve
+// x_{k+1} = P^T x_k explicitly and report distances to the stationary
+// distribution and expectations of state functions along the way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace stocdr::analysis {
+
+/// Distribution after `steps` steps from `initial` (returns the full
+/// trajectory endpoint only).
+[[nodiscard]] std::vector<double> evolve(const markov::MarkovChain& chain,
+                                         std::span<const double> initial,
+                                         std::size_t steps);
+
+/// L1 distance to `reference` after each of `steps` steps (element k is the
+/// distance after k+1 steps).  Monotone non-increasing for an exact
+/// stationary reference.
+[[nodiscard]] std::vector<double> convergence_profile(
+    const markov::MarkovChain& chain, std::span<const double> initial,
+    std::span<const double> reference, std::size_t steps);
+
+/// E[f(X_k)] for k = 0..steps (inclusive) starting from `initial` — e.g.
+/// the mean phase error during lock acquisition.
+[[nodiscard]] std::vector<double> expectation_trajectory(
+    const markov::MarkovChain& chain, std::span<const double> initial,
+    std::span<const double> f, std::size_t steps);
+
+/// Smallest k <= max_steps with L1(x_k, reference) <= threshold, or
+/// max_steps + 1 if never reached: a mixing-time estimate.
+[[nodiscard]] std::size_t mixing_steps(const markov::MarkovChain& chain,
+                                       std::span<const double> initial,
+                                       std::span<const double> reference,
+                                       double threshold,
+                                       std::size_t max_steps);
+
+}  // namespace stocdr::analysis

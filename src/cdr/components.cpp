@@ -1,0 +1,265 @@
+#include "cdr/components.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::cdr {
+
+DataSource::DataSource(double transition_density, std::size_t max_run_length)
+    : Component("data"),
+      density_(transition_density),
+      max_run_(max_run_length) {
+  STOCDR_REQUIRE(transition_density > 0.0 && transition_density <= 1.0,
+                 "DataSource: transition density must be in (0, 1]");
+  STOCDR_REQUIRE(max_run_length >= 1, "DataSource: max run must be >= 1");
+}
+
+void DataSource::enumerate(std::uint32_t state,
+                           std::span<const std::uint32_t> /*inputs*/,
+                           fsm::BranchSink sink) const {
+  STOCDR_REQUIRE(state < max_run_, "DataSource: state out of range");
+  // A transition is forced when the run has reached its specified maximum.
+  const bool forced = state + 1 >= max_run_;
+  const double p_transition = forced ? 1.0 : density_;
+  const std::uint32_t yes = 1;
+  const std::uint32_t no = 0;
+  sink(p_transition, std::span<const std::uint32_t>(&yes, 1), 0);
+  if (p_transition < 1.0) {
+    sink(1.0 - p_transition, std::span<const std::uint32_t>(&no, 1),
+         state + 1);
+  }
+}
+
+PhaseDetector::PhaseDetector(const PhaseGrid& grid, double sigma_nw,
+                             Options options)
+    : Component("pd"),
+      phase_values_(grid.values()),
+      sigma_nw_(sigma_nw),
+      options_(std::move(options)) {
+  STOCDR_REQUIRE(sigma_nw >= 0.0, "PhaseDetector: sigma must be >= 0");
+  STOCDR_REQUIRE(options_.dead_zone >= 0.0,
+                 "PhaseDetector: dead zone must be >= 0");
+}
+
+PhaseDetector::PhaseDetector(const PhaseGrid& grid,
+                             std::vector<double> nw_values, Options options)
+    : Component("pd"),
+      phase_values_(grid.values()),
+      discretized_(true),
+      nw_values_(std::move(nw_values)),
+      options_(std::move(options)) {
+  STOCDR_REQUIRE(!nw_values_.empty(),
+                 "PhaseDetector: discretized n_w needs at least one atom");
+  STOCDR_REQUIRE(options_.dead_zone >= 0.0,
+                 "PhaseDetector: dead zone must be >= 0");
+}
+
+double PhaseDetector::lead_probability(double phi) const {
+  const double dz = options_.dead_zone;
+  if (sigma_nw_ == 0.0) return phi > dz ? 1.0 : 0.0;
+  // P(phi + n_w > dz) = Phi((phi - dz) / sigma).
+  return gaussian_cdf((phi - dz) / sigma_nw_);
+}
+
+double PhaseDetector::lag_probability(double phi) const {
+  const double dz = options_.dead_zone;
+  if (sigma_nw_ == 0.0) return phi < -dz ? 1.0 : 0.0;
+  // P(phi + n_w < -dz) = Phi((-dz - phi) / sigma).
+  return gaussian_cdf((-dz - phi) / sigma_nw_);
+}
+
+void PhaseDetector::enumerate(std::uint32_t /*state*/,
+                              std::span<const std::uint32_t> inputs,
+                              fsm::BranchSink sink) const {
+  const std::uint32_t transition = inputs[0];
+  const std::uint32_t phase_index = inputs[1];
+  STOCDR_REQUIRE(phase_index < phase_values_.size(),
+                 "PhaseDetector: phase index out of range");
+  std::uint32_t cmd;
+  if (transition == 0) {
+    // No data edge: the detector is blind this cycle.
+    cmd = kHold;
+    sink(1.0, std::span<const std::uint32_t>(&cmd, 1), 0);
+    return;
+  }
+  double phi = phase_values_[phase_index];
+  std::size_t next_input = 2;
+  if (has_sj()) {
+    const std::uint32_t sj_index = inputs[next_input++];
+    STOCDR_REQUIRE(sj_index < options_.sj_offsets_ui.size(),
+                   "PhaseDetector: SJ index out of range");
+    phi += options_.sj_offsets_ui[sj_index];
+  }
+  if (discretized_) {
+    const std::uint32_t atom = inputs[next_input];
+    STOCDR_REQUIRE(atom < nw_values_.size(),
+                   "PhaseDetector: n_w atom out of range");
+    const double noisy = phi + nw_values_[atom];
+    const double dz = options_.dead_zone;
+    cmd = noisy > dz ? kUp : (noisy < -dz ? kDown : kHold);
+    sink(1.0, std::span<const std::uint32_t>(&cmd, 1), 0);
+    return;
+  }
+  double p_lead = lead_probability(phi);
+  double p_lag = lag_probability(phi);
+  double p_null = 1.0 - p_lead - p_lag;
+  // With a zero dead zone p_null is mathematically zero but can come out
+  // as a few ulps of residue from the two erfc evaluations; folding that
+  // into the larger branch avoids spurious NULL transitions in the TPM.
+  if (p_null > 0.0 && p_null < 1e-12) {
+    (p_lead >= p_lag ? p_lead : p_lag) += p_null;
+    p_null = 0.0;
+  }
+  if (p_lead > 0.0) {
+    cmd = kUp;
+    sink(p_lead, std::span<const std::uint32_t>(&cmd, 1), 0);
+  }
+  if (p_lag > 0.0) {
+    cmd = kDown;
+    sink(p_lag, std::span<const std::uint32_t>(&cmd, 1), 0);
+  }
+  if (p_null > 0.0) {
+    cmd = kHold;
+    sink(p_null, std::span<const std::uint32_t>(&cmd, 1), 0);
+  }
+}
+
+UpDownCounter::UpDownCounter(std::size_t overflow_length)
+    : DeterministicComponent("counter"), length_(overflow_length) {
+  STOCDR_REQUIRE(overflow_length >= 1,
+                 "UpDownCounter: overflow length must be >= 1");
+}
+
+Command UpDownCounter::emitted(std::uint32_t state,
+                               std::uint32_t pd_command) const {
+  const std::int32_t count = count_of(state);
+  const auto n = static_cast<std::int32_t>(length_);
+  if (pd_command == kUp && count + 1 >= n) return kUp;
+  if (pd_command == kDown && count - 1 <= -n) return kDown;
+  return kHold;
+}
+
+std::uint32_t UpDownCounter::next_state(
+    std::uint32_t state, std::span<const std::uint32_t> inputs) const {
+  const std::uint32_t pd_command = inputs[0];
+  STOCDR_REQUIRE(pd_command <= kUp, "UpDownCounter: bad command");
+  const std::int32_t count = count_of(state);
+  std::int32_t next = count;
+  if (pd_command == kUp) next = count + 1;
+  if (pd_command == kDown) next = count - 1;
+  if (emitted(state, pd_command) != kHold) next = 0;  // overflow resets
+  return static_cast<std::uint32_t>(next +
+                                    static_cast<std::int32_t>(length_) - 1);
+}
+
+void UpDownCounter::outputs(std::uint32_t state,
+                            std::span<const std::uint32_t> inputs,
+                            std::span<std::uint32_t> out) const {
+  out[0] = emitted(state, inputs[0]);
+}
+
+MajorityVoteFilter::MajorityVoteFilter(std::size_t window)
+    : DeterministicComponent("vote"), window_(window) {
+  STOCDR_REQUIRE(window >= 1, "MajorityVoteFilter: window must be >= 1");
+}
+
+std::pair<std::uint32_t, std::int32_t> MajorityVoteFilter::decode(
+    std::uint32_t state) const {
+  STOCDR_REQUIRE(state < window_ * window_,
+                 "MajorityVoteFilter: state out of range");
+  // state = s^2 + (m + s), 0 <= m + s <= 2s.
+  std::uint32_t s = 0;
+  while ((s + 1) * (s + 1) <= state) ++s;
+  const auto m = static_cast<std::int32_t>(state - s * s) -
+                 static_cast<std::int32_t>(s);
+  return {s, m};
+}
+
+Command MajorityVoteFilter::emitted(std::uint32_t state,
+                                    std::uint32_t pd_command) const {
+  if (pd_command == kHold) return kHold;
+  const auto [s, m] = decode(state);
+  if (s + 1 < window_) return kHold;  // window not full yet
+  const std::int32_t final_sum = m + (pd_command == kUp ? 1 : -1);
+  if (final_sum > 0) return kUp;
+  if (final_sum < 0) return kDown;
+  return kHold;  // tie (possible for even windows)
+}
+
+std::uint32_t MajorityVoteFilter::next_state(
+    std::uint32_t state, std::span<const std::uint32_t> inputs) const {
+  const std::uint32_t pd_command = inputs[0];
+  STOCDR_REQUIRE(pd_command <= kUp, "MajorityVoteFilter: bad command");
+  if (pd_command == kHold) return state;  // NULL cycles are not counted
+  const auto [s, m] = decode(state);
+  if (s + 1 >= window_) return 0;  // vote complete: restart
+  const std::uint32_t s_next = s + 1;
+  const std::int32_t m_next = m + (pd_command == kUp ? 1 : -1);
+  return s_next * s_next +
+         static_cast<std::uint32_t>(m_next + static_cast<std::int32_t>(s_next));
+}
+
+void MajorityVoteFilter::outputs(std::uint32_t state,
+                                 std::span<const std::uint32_t> inputs,
+                                 std::span<std::uint32_t> out) const {
+  out[0] = emitted(state, inputs[0]);
+}
+
+PhaseErrorFsm::PhaseErrorFsm(const PhaseGrid& grid, std::size_t step_cells,
+                             std::vector<std::int32_t> nr_offsets,
+                             BoundaryMode boundary, std::uint32_t initial_index)
+    : DeterministicComponent("phase"),
+      points_(grid.size()),
+      step_cells_(static_cast<std::int64_t>(step_cells)),
+      nr_offsets_(std::move(nr_offsets)),
+      boundary_(boundary),
+      initial_(initial_index) {
+  STOCDR_REQUIRE(step_cells >= 1, "PhaseErrorFsm: step must be >= 1 cell");
+  STOCDR_REQUIRE(!nr_offsets_.empty(),
+                 "PhaseErrorFsm: n_r offset table is empty");
+  STOCDR_REQUIRE(initial_index < points_,
+                 "PhaseErrorFsm: initial index out of range");
+  for (const std::int32_t off : nr_offsets_) {
+    STOCDR_REQUIRE(static_cast<std::size_t>(std::abs(off)) < points_ / 4,
+                   "PhaseErrorFsm: n_r offset too large for the grid");
+  }
+  STOCDR_REQUIRE(static_cast<std::size_t>(step_cells_) < points_ / 4,
+                 "PhaseErrorFsm: correction step too large for the grid");
+}
+
+void PhaseErrorFsm::moore_outputs(std::uint32_t state,
+                                  std::span<std::uint32_t> outputs) const {
+  outputs[0] = state;
+}
+
+std::int64_t PhaseErrorFsm::raw_next(std::uint32_t state,
+                                     std::uint32_t command,
+                                     std::uint32_t nr_atom) const {
+  STOCDR_REQUIRE(command <= kUp, "PhaseErrorFsm: bad command");
+  STOCDR_REQUIRE(nr_atom < nr_offsets_.size(),
+                 "PhaseErrorFsm: n_r atom out of range");
+  // Eqn (2): Phi_k = Phi_{k-1} - f(...) + n_r, with f = +G on UP, -G on DOWN.
+  std::int64_t raw = static_cast<std::int64_t>(state);
+  if (command == kUp) raw -= step_cells_;
+  if (command == kDown) raw += step_cells_;
+  raw += nr_offsets_[nr_atom];
+  return raw;
+}
+
+std::uint32_t PhaseErrorFsm::next_state(
+    std::uint32_t state, std::span<const std::uint32_t> inputs) const {
+  const std::int64_t raw = raw_next(state, inputs[0], inputs[1]);
+  const auto n = static_cast<std::int64_t>(points_);
+  if (boundary_ == BoundaryMode::kSaturate) {
+    return static_cast<std::uint32_t>(std::clamp<std::int64_t>(raw, 0, n - 1));
+  }
+  std::int64_t m = raw % n;
+  if (m < 0) m += n;
+  return static_cast<std::uint32_t>(m);
+}
+
+}  // namespace stocdr::cdr

@@ -1,0 +1,229 @@
+// The four interacting FSMs of the paper's clock-recovery model (Figure 2):
+// data statistics, phase detector, up/down counter loop filter, and the
+// discretized phase error driven by n_r.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cdr/config.hpp"
+#include "cdr/grid.hpp"
+#include "fsm/component.hpp"
+#include "noise/discrete.hpp"
+
+namespace stocdr::cdr {
+
+/// Phase-detector / counter command encoding shared by the components.
+enum Command : std::uint32_t { kDown = 0, kHold = 1, kUp = 2 };
+
+/// SONET-style data statistics: a run-length-limited random bit stream,
+/// reduced to its behaviourally relevant content — whether a transition
+/// occurred in the current bit.  State is the current run length (bits since
+/// the last transition); each cycle the stream toggles with probability
+/// `transition_density`, and a transition is forced once the run reaches
+/// `max_run_length` (the longest transition-free sequence in the spec).
+///
+/// Output port 0: 1 if a transition occurred this cycle, else 0 (Mealy).
+class DataSource final : public fsm::Component {
+ public:
+  DataSource(double transition_density, std::size_t max_run_length);
+
+  [[nodiscard]] std::size_t num_states() const override { return max_run_; }
+  [[nodiscard]] std::uint32_t initial_state() const override { return 0; }
+  [[nodiscard]] std::size_t num_input_ports() const override { return 0; }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+
+  void enumerate(std::uint32_t state, std::span<const std::uint32_t> inputs,
+                 fsm::BranchSink sink) const override;
+
+ private:
+  double density_;
+  std::size_t max_run_;
+};
+
+/// The bang-bang phase detector: "a memoryless nonlinear function which
+/// produces the signum of its input" — the input being Phi + n_w, and only
+/// when the data has a transition ("the phase detector can produce a phase
+/// error signal only when a transition occurs").  Optional extensions
+/// beyond the paper's pure signum: a dead zone (ternary detector with a
+/// hold region around zero) and a sinusoidal-jitter offset input.
+///
+/// Input 0: transition indicator (from DataSource).
+/// Input 1: phase-error grid index (from PhaseErrorFsm, Moore).
+/// Input 2 (when sj_offsets_ui is non-empty): sinusoidal-jitter phase index
+///          (from the SJ rotor, Moore); the indexed offset adds to Phi.
+/// Last input (kDiscretized mode only): n_w atom index (from an IidSource).
+/// Output 0: Command (kDown = LAG, kHold = NULL, kUp = LEAD).
+///
+/// In kExactGaussian mode the LEAD/LAG probabilities use the exact Gaussian
+/// CDF; in kDiscretized mode the comparison is deterministic given the
+/// sampled atom.
+/// Optional PhaseDetector behaviours beyond the paper's pure signum
+/// detector.
+struct PhaseDetectorOptions {
+  /// |Phi + n_w| below this produces NULL even on a transition (UI).
+  double dead_zone = 0.0;
+  /// Per-SJ-state data phase offsets (UI); non-empty enables the SJ input
+  /// port.
+  std::vector<double> sj_offsets_ui;
+};
+
+class PhaseDetector final : public fsm::Component {
+ public:
+  using Options = PhaseDetectorOptions;
+
+  /// Exact-Gaussian detector.
+  PhaseDetector(const PhaseGrid& grid, double sigma_nw,
+                Options options = {});
+
+  /// Discretized detector with explicit n_w atom values (UI).
+  PhaseDetector(const PhaseGrid& grid, std::vector<double> nw_values,
+                Options options = {});
+
+  [[nodiscard]] std::size_t num_states() const override { return 1; }
+  [[nodiscard]] std::uint32_t initial_state() const override { return 0; }
+  [[nodiscard]] std::size_t num_input_ports() const override {
+    return 2 + (has_sj() ? 1 : 0) + (discretized_ ? 1 : 0);
+  }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+
+  [[nodiscard]] bool has_sj() const { return !options_.sj_offsets_ui.empty(); }
+
+  void enumerate(std::uint32_t state, std::span<const std::uint32_t> inputs,
+                 fsm::BranchSink sink) const override;
+
+  /// P(output = LEAD | transition) at effective phase value phi (UI).
+  [[nodiscard]] double lead_probability(double phi) const;
+
+  /// P(output = LAG | transition) at effective phase value phi (UI).
+  [[nodiscard]] double lag_probability(double phi) const;
+
+ private:
+  std::vector<double> phase_values_;
+  double sigma_nw_ = 0.0;
+  bool discretized_ = false;
+  std::vector<double> nw_values_;
+  Options options_;
+};
+
+/// The digital loop filter: an up/down counter of overflow length N.
+/// LEAD increments, LAG decrements, NULL holds; reaching +N emits UP and
+/// resets, reaching -N emits DOWN and resets.  State encodes the count
+/// c in [-(N-1), N-1] as c + N - 1.
+///
+/// Input 0: Command from the phase detector.
+/// Output 0: Command to the phase-error FSM (Mealy).
+class UpDownCounter final : public fsm::DeterministicComponent {
+ public:
+  explicit UpDownCounter(std::size_t overflow_length);
+
+  [[nodiscard]] std::size_t num_states() const override {
+    return 2 * length_ - 1;
+  }
+  [[nodiscard]] std::uint32_t initial_state() const override {
+    return static_cast<std::uint32_t>(length_ - 1);  // count 0
+  }
+  [[nodiscard]] std::size_t num_input_ports() const override { return 1; }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+
+  [[nodiscard]] std::uint32_t next_state(
+      std::uint32_t state, std::span<const std::uint32_t> inputs) const override;
+  void outputs(std::uint32_t state, std::span<const std::uint32_t> inputs,
+               std::span<std::uint32_t> out) const override;
+
+  /// Signed count encoded by a state.
+  [[nodiscard]] std::int32_t count_of(std::uint32_t state) const {
+    return static_cast<std::int32_t>(state) -
+           static_cast<std::int32_t>(length_ - 1);
+  }
+
+ private:
+  /// The command the counter emits for a given state/input (shared by
+  /// next_state and outputs so they cannot disagree).
+  [[nodiscard]] Command emitted(std::uint32_t state,
+                                std::uint32_t pd_command) const;
+
+  std::size_t length_;
+};
+
+/// A majority-vote (ballot) loop filter: collects `window` non-NULL phase
+/// detector decisions, then emits the sign of the majority (HOLD on a tie)
+/// and restarts.  Compared with the up/down counter it forgets nothing
+/// within a window but everything between windows.
+///
+/// State encodes (samples seen s, running sum m) with |m| <= s < window as
+/// s^2 + (m + s); only same-parity (s, m) pairs are reachable.
+///
+/// Input 0: Command from the phase detector.
+/// Output 0: Command to the phase-error FSM (Mealy).
+class MajorityVoteFilter final : public fsm::DeterministicComponent {
+ public:
+  explicit MajorityVoteFilter(std::size_t window);
+
+  [[nodiscard]] std::size_t num_states() const override {
+    return window_ * window_;
+  }
+  [[nodiscard]] std::uint32_t initial_state() const override { return 0; }
+  [[nodiscard]] std::size_t num_input_ports() const override { return 1; }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+
+  [[nodiscard]] std::uint32_t next_state(
+      std::uint32_t state, std::span<const std::uint32_t> inputs) const override;
+  void outputs(std::uint32_t state, std::span<const std::uint32_t> inputs,
+               std::span<std::uint32_t> out) const override;
+
+  /// Decodes a state into (samples seen, running sum).
+  [[nodiscard]] std::pair<std::uint32_t, std::int32_t> decode(
+      std::uint32_t state) const;
+
+ private:
+  [[nodiscard]] Command emitted(std::uint32_t state,
+                                std::uint32_t pd_command) const;
+
+  std::size_t window_;
+};
+
+/// The discretized phase-error state (paper eqn (2)): a Moore machine whose
+/// output is its own grid index.  Each cycle it moves by -G on UP, +G on
+/// DOWN (G = phase_step_cells grid cells) plus the sampled n_r offset,
+/// wrapping around the phase circle (a wrap is a cycle slip) or saturating
+/// per BoundaryMode.
+///
+/// Input 0: Command from the counter.
+/// Input 1: n_r atom index (from an IidSource).
+/// Output 0: own grid index (Moore).
+class PhaseErrorFsm final : public fsm::DeterministicComponent {
+ public:
+  PhaseErrorFsm(const PhaseGrid& grid, std::size_t step_cells,
+                std::vector<std::int32_t> nr_offsets, BoundaryMode boundary,
+                std::uint32_t initial_index);
+
+  [[nodiscard]] std::size_t num_states() const override { return points_; }
+  [[nodiscard]] std::uint32_t initial_state() const override {
+    return initial_;
+  }
+  [[nodiscard]] std::size_t num_input_ports() const override { return 2; }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+  [[nodiscard]] bool is_moore() const override { return true; }
+
+  void moore_outputs(std::uint32_t state,
+                     std::span<std::uint32_t> outputs) const override;
+  [[nodiscard]] std::uint32_t next_state(
+      std::uint32_t state, std::span<const std::uint32_t> inputs) const override;
+
+  /// The raw (unwrapped) successor index, exposed so slip detection and the
+  /// Monte-Carlo baseline agree exactly with the TPM construction.
+  [[nodiscard]] std::int64_t raw_next(std::uint32_t state,
+                                      std::uint32_t command,
+                                      std::uint32_t nr_atom) const;
+
+ private:
+  std::size_t points_;
+  std::int64_t step_cells_;
+  std::vector<std::int32_t> nr_offsets_;
+  BoundaryMode boundary_;
+  std::uint32_t initial_;
+};
+
+}  // namespace stocdr::cdr

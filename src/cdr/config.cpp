@@ -1,0 +1,69 @@
+#include "cdr/config.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace stocdr::cdr {
+
+void CdrConfig::validate() const {
+  STOCDR_REQUIRE(phase_points >= 4 && phase_points % 2 == 0,
+                 "phase_points must be even and >= 4");
+  STOCDR_REQUIRE(vco_phases >= 2, "vco_phases must be >= 2");
+  STOCDR_REQUIRE(phase_points % vco_phases == 0,
+                 "vco_phases must divide phase_points");
+  STOCDR_REQUIRE(counter_length >= 1, "counter_length must be >= 1");
+  STOCDR_REQUIRE(pd_dead_zone >= 0.0 && pd_dead_zone < 0.25,
+                 "pd_dead_zone must be in [0, 0.25) UI");
+  STOCDR_REQUIRE(sj_amplitude >= 0.0 && sj_amplitude < 0.5,
+                 "sj_amplitude must be in [0, 0.5) UI");
+  if (sj_amplitude > 0.0) {
+    STOCDR_REQUIRE(sj_period >= 4, "sj_period must be >= 4 cycles");
+    STOCDR_REQUIRE(sj_amplitude < 0.2,
+                   "sj_amplitude above 0.2 UI exceeds the phase-detector "
+                   "linear range of this model");
+  }
+  STOCDR_REQUIRE(transition_density > 0.0 && transition_density <= 1.0,
+                 "transition_density must be in (0, 1]");
+  STOCDR_REQUIRE(max_run_length >= 1, "max_run_length must be >= 1");
+  STOCDR_REQUIRE(sigma_nw >= 0.0, "sigma_nw must be >= 0");
+  STOCDR_REQUIRE(nr_max >= 0.0, "nr_max must be >= 0");
+  STOCDR_REQUIRE(std::abs(nr_mean) <= 0.25,
+                 "nr_mean must be a small fraction of a UI");
+  STOCDR_REQUIRE(nr_atoms >= 3, "nr_atoms must be >= 3");
+  STOCDR_REQUIRE(nw_atoms >= 3, "nw_atoms must be >= 3");
+  // The paper: the grid "needs to be fine enough to accurately capture the
+  // small jumps in phase error due to n_r".
+  const double cell = 1.0 / static_cast<double>(phase_points);
+  if (nr_max > 0.0) {
+    STOCDR_REQUIRE(nr_max >= 0.5 * cell,
+                   "nr_max is below half a grid cell: the drift noise would "
+                   "quantize to zero; increase phase_points or nr_max");
+  }
+  if (std::abs(nr_mean) > 0.0) {
+    STOCDR_REQUIRE(std::abs(nr_mean) + nr_max >= 0.5 * cell,
+                   "n_r quantizes to zero on this grid; refine phase_points");
+  }
+  // The loop must be able to out-run the drift on average, otherwise the
+  // model describes a permanently slipping loop; allow it but nothing to
+  // check here.  Do check the correction is representable:
+  STOCDR_REQUIRE(phase_step_cells() >= 1,
+                 "phase correction smaller than one grid cell");
+}
+
+std::string CdrConfig::summary() const {
+  std::ostringstream os;
+  os << (filter_type == FilterType::kUpDownCounter ? "COUNTER: " : "VOTE: ")
+     << counter_length << "  STDnw: " << sci(sigma_nw, 1)
+     << "  MAXnr: " << sci(nr_max, 1) << "  MEANnr: " << sci(nr_mean, 1)
+     << "  M: " << phase_points << "  G: 1/" << vco_phases << " UI";
+  if (pd_dead_zone > 0.0) os << "  DZ: " << sci(pd_dead_zone, 1);
+  if (sj_amplitude > 0.0) {
+    os << "  SJ: " << sci(sj_amplitude, 1) << "@1/" << sj_period;
+  }
+  return os.str();
+}
+
+}  // namespace stocdr::cdr

@@ -1,0 +1,134 @@
+// Configuration of the digital phase-selection loop model.
+//
+// The parameters mirror the knobs of the paper's industrial design
+// (Figures 1 and 2): number of selectable VCO clock phases, the loop-filter
+// counter length, the SONET data statistics, and the two noise processes
+// n_w (eye-opening jitter) and n_r (drift/interference).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace stocdr::cdr {
+
+/// How the eye-opening jitter n_w enters the phase-detector decision.
+enum class PdNoiseMode {
+  /// The decision probability P(Phi + n_w > 0) uses the exact Gaussian CDF
+  /// (equivalent to an infinitely fine n_w discretization).  Default.
+  kExactGaussian,
+  /// n_w is discretized into `nw_atoms` grid atoms and enters the network
+  /// as an explicit IidSource (the paper's fully discretized formulation;
+  /// kept for cross-validation and for non-Gaussian eye specifications).
+  kDiscretized,
+};
+
+/// Behaviour of the phase error at the +-1/2 UI boundary.
+enum class BoundaryMode {
+  kWrap,      ///< physical: the phase circle wraps; crossing = cycle slip
+  kSaturate,  ///< clamp (useful for studying the loop without slips)
+};
+
+/// Digital loop-filter architecture between the PD and the phase selector.
+enum class FilterType {
+  /// The paper's circuit: an up/down counter of overflow length N that
+  /// emits UP/DOWN on overflow and resets.
+  kUpDownCounter,
+  /// A majority-vote (ballot) filter: collects N non-NULL PD decisions,
+  /// emits the majority sign, resets.  A common alternative in burst-mode
+  /// retimers; compared against the counter in bench/filter_architectures.
+  kMajorityVote,
+};
+
+/// All knobs of the CDR model.  Defaults describe a plausible SONET-type
+/// design near the paper's operating points (see DESIGN.md on OCR-lost
+/// numerals).
+struct CdrConfig {
+  // --- discretization -----------------------------------------------------
+  /// Number of phase-error grid cells (even; powers of two coarsen evenly).
+  std::size_t phase_points = 512;
+
+  // --- circuit ------------------------------------------------------------
+  /// Selectable VCO clock phases; the smallest phase correction is
+  /// G = 1/vco_phases UI.  Must divide phase_points.
+  std::size_t vco_phases = 16;
+
+  /// Loop-filter architecture (see FilterType).
+  FilterType filter_type = FilterType::kUpDownCounter;
+
+  /// Loop-filter depth N: the up/down counter's overflow length, or the
+  /// majority-vote window.  The paper's Figure 5 sweeps this around the
+  /// optimum 8.
+  std::size_t counter_length = 8;
+
+  /// Phase-detector dead zone in UI: |Phi + n_w| below this produces NULL
+  /// even on a data transition (0 = the paper's pure signum detector).
+  /// Ternary ("bang-bang with hold") detectors reduce hunting jitter at the
+  /// cost of a wider static offset window.
+  double pd_dead_zone = 0.0;
+
+  // --- data statistics (SONET) ---------------------------------------------
+  /// Probability of a data transition in each bit (scrambled NRZ ~ 0.5).
+  double transition_density = 0.5;
+
+  /// Maximum run of identical bits; a transition is forced afterwards
+  /// (SONET specifies the longest possible transition-free sequence).
+  std::size_t max_run_length = 8;
+
+  // --- noise --------------------------------------------------------------
+  /// RMS of the zero-mean white Gaussian eye-opening jitter n_w, in UI.
+  double sigma_nw = 0.012;
+
+  /// Mean of the drift noise n_r in UI/cycle (frequency offset between the
+  /// incoming data and the local clock).  With the default loop (G = 1/16
+  /// UI, counter 8, transition density ~0.53) the maximum trackable drift
+  /// is ~0.004 UI/cycle; the default leaves a 4x margin, which places the
+  /// counter-length optimum at 8 as in the paper's Figure 5.
+  double nr_mean = 0.001;
+
+  /// Bound of the (non-Gaussian, biased) n_r amplitude distribution, in UI.
+  double nr_max = 0.003;
+
+  /// Number of atoms in the discretized n_r PMF.
+  std::size_t nr_atoms = 7;
+
+  /// Phase-detector noise handling (see PdNoiseMode).
+  PdNoiseMode pd_noise_mode = PdNoiseMode::kExactGaussian;
+
+  /// Atoms for the discretized n_w (PdNoiseMode::kDiscretized only).
+  std::size_t nw_atoms = 17;
+
+  // --- sinusoidal (periodic) jitter ----------------------------------------
+  /// Amplitude of deterministic sinusoidal jitter on the incoming data, in
+  /// UI (0 = off).  Unlike the white n_w/n_r processes this is *correlated*
+  /// cycle-to-cycle: it is modeled by an explicit rotating-phase FSM whose
+  /// offset adds to the phase-detector input, enabling jitter-tolerance
+  /// masks (amplitude vs frequency) to be computed analytically.
+  double sj_amplitude = 0.0;
+
+  /// Period of the sinusoidal jitter in bit cycles (frequency = 1/period of
+  /// the bit rate).  Must be >= 4 when sj_amplitude > 0.
+  std::size_t sj_period = 64;
+
+  // --- boundary -----------------------------------------------------------
+  BoundaryMode boundary = BoundaryMode::kWrap;
+
+  /// The smallest phase correction G in UI.
+  [[nodiscard]] double phase_step_ui() const {
+    return 1.0 / static_cast<double>(vco_phases);
+  }
+
+  /// The correction G in grid cells.
+  [[nodiscard]] std::size_t phase_step_cells() const {
+    return phase_points / vco_phases;
+  }
+
+  /// Throws PreconditionError if any parameter is out of range or the
+  /// parameters are inconsistent (e.g. vco_phases does not divide
+  /// phase_points, or n_r is too small to register on the grid).
+  void validate() const;
+
+  /// One-line summary used by benches ("COUNTER: 8 STDnw: 1.2e-02 ...").
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace stocdr::cdr

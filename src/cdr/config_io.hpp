@@ -1,0 +1,28 @@
+// Textual (de)serialization of CdrConfig: a simple `key = value` format
+// with `#` comments, so operating points can live in version-controlled
+// files and drive the CLI analyzer (examples/cdr_analyzer).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cdr/config.hpp"
+
+namespace stocdr::cdr {
+
+/// Renders the configuration as `key = value` lines (every field, in a
+/// stable order, with explanatory comments).
+[[nodiscard]] std::string to_text(const CdrConfig& config);
+
+/// Parses the `key = value` format.  Unknown keys and malformed lines throw
+/// PreconditionError; omitted keys keep their defaults.  The parsed
+/// configuration is validated before being returned.
+[[nodiscard]] CdrConfig config_from_text(std::istream& in);
+
+/// Convenience: parses from a string.
+[[nodiscard]] CdrConfig config_from_string(const std::string& text);
+
+/// Convenience: parses from a file.
+[[nodiscard]] CdrConfig config_from_file(const std::string& path);
+
+}  // namespace stocdr::cdr

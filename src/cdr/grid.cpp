@@ -1,0 +1,39 @@
+#include "cdr/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace stocdr::cdr {
+
+PhaseGrid::PhaseGrid(std::size_t points) {
+  STOCDR_REQUIRE(points >= 4 && points % 2 == 0,
+                 "PhaseGrid requires an even number of points >= 4");
+  values_.resize(points);
+  step_ = 1.0 / static_cast<double>(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    values_[i] = -0.5 + (static_cast<double>(i) + 0.5) * step_;
+  }
+}
+
+std::size_t PhaseGrid::index_of(double x) const {
+  // Wrap into [-1/2, 1/2).
+  x -= std::floor(x + 0.5);
+  const auto idx = static_cast<std::int64_t>(std::floor((x + 0.5) / step_));
+  return clamp(idx);
+}
+
+std::size_t PhaseGrid::wrap(std::int64_t raw) const {
+  const auto n = static_cast<std::int64_t>(values_.size());
+  std::int64_t m = raw % n;
+  if (m < 0) m += n;
+  return static_cast<std::size_t>(m);
+}
+
+std::size_t PhaseGrid::clamp(std::int64_t raw) const {
+  const auto n = static_cast<std::int64_t>(values_.size());
+  return static_cast<std::size_t>(std::clamp<std::int64_t>(raw, 0, n - 1));
+}
+
+}  // namespace stocdr::cdr

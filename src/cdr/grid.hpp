@@ -1,0 +1,49 @@
+// The discretized phase-error axis.
+//
+// Phase error is measured in unit intervals (UI; one symbol period) and
+// lives on the circle [-1/2, +1/2) — a sampling instant more than half a
+// symbol away from the ideal point belongs to the neighbouring symbol, which
+// is precisely a bit error / cycle slip.  The grid places `points` cell
+// centers symmetrically, so no grid point falls exactly on 0 or +-1/2 (the
+// comparator and error thresholds are never hit exactly).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stocdr::cdr {
+
+/// Uniform discretization of the phase-error circle [-1/2, +1/2) UI.
+class PhaseGrid {
+ public:
+  /// `points` must be even and >= 4.  Cell i has center
+  /// -1/2 + (i + 1/2) / points.
+  explicit PhaseGrid(std::size_t points);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Cell width in UI.
+  [[nodiscard]] double step() const { return step_; }
+
+  /// Center of cell i, in UI.
+  [[nodiscard]] double value(std::size_t i) const { return values_[i]; }
+
+  /// All cell centers.
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Index of the cell containing phase x (x wrapped into [-1/2, 1/2)).
+  [[nodiscard]] std::size_t index_of(double x) const;
+
+  /// Wraps a raw (possibly out-of-range) cell index onto the circle.
+  [[nodiscard]] std::size_t wrap(std::int64_t raw) const;
+
+  /// Clamps a raw cell index to [0, size).
+  [[nodiscard]] std::size_t clamp(std::int64_t raw) const;
+
+ private:
+  std::vector<double> values_;
+  double step_;
+};
+
+}  // namespace stocdr::cdr

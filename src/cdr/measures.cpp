@@ -1,0 +1,328 @@
+#include "cdr/measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::cdr {
+
+std::vector<double> phase_marginal(const CdrChain& chain,
+                                   std::span<const double> eta) {
+  STOCDR_REQUIRE(eta.size() == chain.num_states(),
+                 "phase_marginal: eta size mismatch");
+  const auto& phase = chain.phase_coordinate();
+  std::size_t cells = 0;
+  for (const std::uint32_t p : phase) {
+    cells = std::max<std::size_t>(cells, p + 1);
+  }
+  std::vector<double> marginal(cells, 0.0);
+  for (std::size_t i = 0; i < eta.size(); ++i) {
+    marginal[phase[i]] += eta[i];
+  }
+  return marginal;
+}
+
+std::vector<double> phase_density(const CdrModel& model, const CdrChain& chain,
+                                  std::span<const double> eta) {
+  std::vector<double> density = phase_marginal(chain, eta);
+  density.resize(model.grid().size(), 0.0);
+  const double step = model.grid().step();
+  for (double& d : density) d /= step;
+  return density;
+}
+
+namespace {
+
+/// Stationary mass aggregated by distinct *effective* phase value (grid
+/// value plus the state's sinusoidal-jitter offset).  With SJ disabled this
+/// coincides with the phase marginal keyed by grid values; with SJ enabled
+/// there are at most (#cells x #SJ states) atoms.
+std::map<double, double> effective_phase_mass(const CdrChain& chain,
+                                              std::span<const double> eta) {
+  STOCDR_REQUIRE(eta.size() == chain.num_states(),
+                 "effective_phase_mass: eta size mismatch");
+  std::map<double, double> mass;
+  const auto& phi = chain.effective_phase_ui();
+  for (std::size_t i = 0; i < eta.size(); ++i) {
+    if (eta[i] != 0.0) mass[phi[i]] += eta[i];
+  }
+  return mass;
+}
+
+}  // namespace
+
+std::vector<double> pd_input_density(const CdrModel& model,
+                                     const CdrChain& chain,
+                                     std::span<const double> eta,
+                                     std::span<const double> xs) {
+  const std::map<double, double> mass = effective_phase_mass(chain, eta);
+  const PhaseGrid& grid = model.grid();
+  std::vector<double> density(xs.size(), 0.0);
+  const auto& cfg = model.config();
+
+  if (cfg.pd_noise_mode == PdNoiseMode::kExactGaussian) {
+    const double sigma = cfg.sigma_nw;
+    if (sigma == 0.0) {
+      // Degenerate: a histogram of the effective phase at grid resolution.
+      const double pstep = grid.step();
+      for (std::size_t q = 0; q < xs.size(); ++q) {
+        double acc = 0.0;
+        for (const auto& [phi, m] : mass) {
+          if (std::abs(xs[q] - phi) <= 0.5 * pstep) acc += m / pstep;
+        }
+        density[q] = acc;
+      }
+      return density;
+    }
+    for (std::size_t q = 0; q < xs.size(); ++q) {
+      double acc = 0.0;
+      for (const auto& [phi, m] : mass) {
+        const double z = (xs[q] - phi) / sigma;
+        acc += m * gaussian_pdf(z) / sigma;
+      }
+      density[q] = acc;
+    }
+    return density;
+  }
+
+  // Discretized n_w: histogram of Phi_eff + n_w with cell width = grid
+  // step, weighting each atom by its PMF from the network's n_w source.
+  const auto& source = dynamic_cast<const fsm::IidSource&>(
+      model.network().component(model.nw_source_index()));
+  const auto& values = model.nw_values();
+  const auto& probs = source.pmf();
+  const double pstep = grid.step();
+  for (std::size_t q = 0; q < xs.size(); ++q) {
+    double acc = 0.0;
+    for (const auto& [phi, m] : mass) {
+      for (std::size_t k = 0; k < values.size(); ++k) {
+        if (std::abs(xs[q] - (phi + values[k])) <= 0.5 * pstep) {
+          acc += m * probs[k] / pstep;
+        }
+      }
+    }
+    density[q] = acc;
+  }
+  return density;
+}
+
+double bit_error_rate(const CdrModel& model, const CdrChain& chain,
+                      std::span<const double> eta) {
+  const std::map<double, double> mass = effective_phase_mass(chain, eta);
+  const auto& cfg = model.config();
+  double ber = 0.0;
+
+  if (cfg.pd_noise_mode == PdNoiseMode::kExactGaussian) {
+    const double sigma = cfg.sigma_nw;
+    for (const auto& [phi, m] : mass) {
+      double p_err;
+      if (sigma == 0.0) {
+        p_err = std::abs(phi) > 0.5 ? 1.0 : 0.0;
+      } else {
+        p_err = gaussian_tail((0.5 - phi) / sigma) +
+                gaussian_tail((0.5 + phi) / sigma);
+      }
+      ber += m * p_err;
+    }
+    return ber;
+  }
+
+  // Discretized: BER from the network's actual n_w atoms and probabilities.
+  const auto& source = dynamic_cast<const fsm::IidSource&>(
+      model.network().component(model.nw_source_index()));
+  const auto& values = model.nw_values();
+  const auto& probs = source.pmf();
+  for (const auto& [phi, m] : mass) {
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      if (std::abs(phi + values[k]) > 0.5) ber += m * probs[k];
+    }
+  }
+  return ber;
+}
+
+double SlipStats::mean_cycles_between() const {
+  const double r = rate();
+  return r > 0.0 ? 1.0 / r : std::numeric_limits<double>::infinity();
+}
+
+SlipStats slip_stats(const CdrModel& model, const CdrChain& chain,
+                     std::span<const double> eta) {
+  STOCDR_REQUIRE(model.config().boundary == BoundaryMode::kWrap,
+                 "slip_stats requires BoundaryMode::kWrap");
+  STOCDR_REQUIRE(eta.size() == chain.num_states(),
+                 "slip_stats: eta size mismatch");
+  const auto& phase = chain.phase_coordinate();
+  const auto half =
+      static_cast<std::int64_t>(model.grid().size() / 2);
+  SlipStats stats;
+  // Per-step phase motion is bounded by G + max|n_r| << M/2, so any
+  // transition whose phase index jumps by more than half the circle must
+  // have wrapped: direction tells which boundary was crossed.
+  chain.chain().pt().for_each(
+      [&](std::size_t dst, std::size_t src, double p) {
+        const std::int64_t delta = static_cast<std::int64_t>(phase[dst]) -
+                                   static_cast<std::int64_t>(phase[src]);
+        if (delta > half) {
+          // Index jumped up by ~M: wrapped downward across -1/2 UI.
+          stats.rate_down += eta[src] * p;
+        } else if (delta < -half) {
+          stats.rate_up += eta[src] * p;
+        }
+      });
+  return stats;
+}
+
+SlipPassage mean_time_to_boundary(const CdrModel& model, const CdrChain& chain,
+                                  std::span<const double> eta, double band_ui,
+                                  const solvers::PassageOptions& options) {
+  STOCDR_REQUIRE(band_ui > 0.0 && band_ui < 0.5,
+                 "mean_time_to_boundary: band must be in (0, 1/2) UI");
+  STOCDR_REQUIRE(eta.size() == chain.num_states(),
+                 "mean_time_to_boundary: eta size mismatch");
+  const PhaseGrid& grid = model.grid();
+  const auto& phase = chain.phase_coordinate();
+
+  std::vector<bool> target(chain.num_states(), false);
+  bool any = false;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (std::abs(grid.value(phase[i])) >= band_ui) {
+      target[i] = true;
+      any = true;
+    }
+  }
+  STOCDR_REQUIRE(any, "mean_time_to_boundary: no state lies in the band; "
+                      "lower band_ui or refine the grid");
+
+  solvers::PassageOptions opts = options;
+  if (!opts.grid_coordinate) {
+    opts.grid_coordinate = chain.phase_coordinate();
+    opts.other_label = chain.other_label();
+  }
+  const solvers::HittingTimeResult hit =
+      solvers::mean_hitting_times(chain.chain(), target, opts);
+
+  // Average over the stationary distribution of the in-lock states.
+  double mass = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (!target[i]) {
+      mass += eta[i];
+      mean += eta[i] * hit.mean_steps[i];
+    }
+  }
+  SlipPassage result;
+  result.mean_cycles_from_lock = mass > 0.0 ? mean / mass : 0.0;
+  result.stats = hit.stats;
+  return result;
+}
+
+LockTime mean_time_to_lock(const CdrModel& model, const CdrChain& chain,
+                           double lock_band_ui,
+                           const solvers::PassageOptions& options) {
+  STOCDR_REQUIRE(lock_band_ui > 0.0 && lock_band_ui < 0.5,
+                 "mean_time_to_lock: band must be in (0, 1/2) UI");
+  const PhaseGrid& grid = model.grid();
+  const auto& phase = chain.phase_coordinate();
+
+  std::vector<bool> locked(chain.num_states(), false);
+  bool any = false;
+  for (std::size_t i = 0; i < locked.size(); ++i) {
+    if (std::abs(grid.value(phase[i])) <= lock_band_ui) {
+      locked[i] = true;
+      any = true;
+    }
+  }
+  STOCDR_REQUIRE(any, "mean_time_to_lock: lock band is empty on this grid");
+
+  solvers::PassageOptions opts = options;
+  if (!opts.grid_coordinate) {
+    opts.grid_coordinate = chain.phase_coordinate();
+    opts.other_label = chain.other_label();
+  }
+  const solvers::HittingTimeResult hit =
+      solvers::mean_hitting_times(chain.chain(), locked, opts);
+
+  // Worst case: average over all states whose phase sits in the outermost
+  // grid cells (|Phi| within one cell of 1/2 UI).
+  const double worst = 0.5 - 1.5 * grid.step();
+  double count = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < locked.size(); ++i) {
+    if (std::abs(grid.value(phase[i])) >= worst) {
+      total += hit.mean_steps[i];
+      count += 1.0;
+    }
+  }
+  LockTime result;
+  result.mean_bits_from_worst_case = count > 0.0 ? total / count : 0.0;
+  result.stats = hit.stats;
+  return result;
+}
+
+SlipDirection slip_direction_probability(
+    const CdrModel& model, const CdrChain& chain, std::span<const double> eta,
+    double band_ui, const solvers::PassageOptions& options) {
+  STOCDR_REQUIRE(band_ui > 0.0 && band_ui < 0.5,
+                 "slip_direction_probability: band must be in (0, 1/2) UI");
+  STOCDR_REQUIRE(eta.size() == chain.num_states(),
+                 "slip_direction_probability: eta size mismatch");
+  const PhaseGrid& grid = model.grid();
+  const auto& phase = chain.phase_coordinate();
+
+  std::vector<bool> up_band(chain.num_states(), false);
+  std::vector<bool> down_band(chain.num_states(), false);
+  bool any_up = false, any_down = false;
+  for (std::size_t i = 0; i < phase.size(); ++i) {
+    const double phi = grid.value(phase[i]);
+    if (phi >= band_ui) {
+      up_band[i] = true;
+      any_up = true;
+    } else if (phi <= -band_ui) {
+      down_band[i] = true;
+      any_down = true;
+    }
+  }
+  STOCDR_REQUIRE(any_up && any_down,
+                 "slip_direction_probability: bands are empty on this grid");
+
+  solvers::PassageOptions opts = options;
+  if (!opts.grid_coordinate) {
+    opts.grid_coordinate = chain.phase_coordinate();
+    opts.other_label = chain.other_label();
+  }
+  const solvers::HittingProbabilityResult hit =
+      solvers::hitting_probability(chain.chain(), up_band, down_band, opts);
+
+  double mass = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < eta.size(); ++i) {
+    if (!up_band[i] && !down_band[i]) {
+      mass += eta[i];
+      weighted += eta[i] * hit.probability[i];
+    }
+  }
+  SlipDirection result;
+  result.probability_up = mass > 0.0 ? weighted / mass : 0.0;
+  result.stats = hit.stats;
+  return result;
+}
+
+PhaseErrorMoments phase_error_moments(const CdrModel& model,
+                                      const CdrChain& chain,
+                                      std::span<const double> eta) {
+  const std::vector<double> marginal = phase_marginal(chain, eta);
+  const PhaseGrid& grid = model.grid();
+  PhaseErrorMoments moments;
+  double second = 0.0;
+  for (std::size_t i = 0; i < marginal.size(); ++i) {
+    const double phi = grid.value(i);
+    moments.mean += marginal[i] * phi;
+    second += marginal[i] * phi * phi;
+  }
+  moments.rms = std::sqrt(second);
+  return moments;
+}
+
+}  // namespace stocdr::cdr

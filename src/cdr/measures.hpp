@@ -1,0 +1,117 @@
+// Performance measures derived from the stationary distribution — the
+// quantities the paper's evaluation reports.
+//
+//   * BER: "whenever the phase error plus the data jitter, i.e.,
+//     Phi_k + n_w[k], becomes larger/smaller than half a clock cycle, the
+//     system might potentially produce bit errors... This probability can be
+//     directly obtained from the steady-state probability distribution"
+//     — computed here as the exact convolution of the stationary phase-error
+//     marginal with the n_w amplitude law, integrated over the |x| > 1/2
+//     tails.
+//   * Cycle slips: "the average time between cycle slips... translates into
+//     the computation of mean transition times between certain sets of MC
+//     states" — computed both as steady-state boundary flux (exact) and as
+//     a first-passage time (linear solve with the modified TPM).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cdr/model.hpp"
+#include "solvers/passage.hpp"
+
+namespace stocdr::cdr {
+
+/// Stationary probability mass per phase-error grid cell.
+[[nodiscard]] std::vector<double> phase_marginal(const CdrChain& chain,
+                                                 std::span<const double> eta);
+
+/// Stationary probability *density* (mass / cell width) per cell — the
+/// quantity plotted in the paper's Figures 4 and 5.
+[[nodiscard]] std::vector<double> phase_density(const CdrModel& model,
+                                                const CdrChain& chain,
+                                                std::span<const double> eta);
+
+/// Density of the phase-detector input Phi + n_w evaluated at the points
+/// `xs` (UI): the Gaussian-smoothed phase-error density (exact mode) or the
+/// discrete-convolution histogram density (discretized mode).
+[[nodiscard]] std::vector<double> pd_input_density(
+    const CdrModel& model, const CdrChain& chain, std::span<const double> eta,
+    std::span<const double> xs);
+
+/// Per-bit probability that the sampling point leaves the bit interval:
+/// BER = P(|Phi + n_w| > 1/2).  Exact Gaussian tail integration in
+/// kExactGaussian mode; discrete convolution in kDiscretized mode.
+[[nodiscard]] double bit_error_rate(const CdrModel& model,
+                                    const CdrChain& chain,
+                                    std::span<const double> eta);
+
+/// Steady-state cycle-slip statistics from the boundary-crossing
+/// probability flux.
+struct SlipStats {
+  double rate_up = 0.0;    ///< per-cycle probability of slipping past +1/2 UI
+  double rate_down = 0.0;  ///< per-cycle probability of slipping past -1/2 UI
+
+  [[nodiscard]] double rate() const { return rate_up + rate_down; }
+
+  /// Mean cycles between slips (infinity if the rate is zero).
+  [[nodiscard]] double mean_cycles_between() const;
+};
+
+/// Computes the slip flux: the eta-weighted probability of transitions that
+/// wrap around the phase boundary.  Requires BoundaryMode::kWrap.
+[[nodiscard]] SlipStats slip_stats(const CdrModel& model,
+                                   const CdrChain& chain,
+                                   std::span<const double> eta);
+
+/// First-passage formulation of slip timing: the mean number of cycles to
+/// first reach the boundary band (|Phi| >= band_ui), averaged over the
+/// stationary distribution restricted to the in-lock states.
+struct SlipPassage {
+  double mean_cycles_from_lock = 0.0;
+  solvers::SolverStats stats;
+};
+
+[[nodiscard]] SlipPassage mean_time_to_boundary(
+    const CdrModel& model, const CdrChain& chain, std::span<const double> eta,
+    double band_ui = 0.45, const solvers::PassageOptions& options = {});
+
+/// Directional slip analysis: from the locked region, the probability that
+/// the first boundary-band excursion happens at +1/2 UI rather than -1/2 UI
+/// — which way the loop loses the bit when it does.  Solved as a
+/// hitting-probability problem between the two bands (paper section 2:
+/// "mean transition times between certain sets of MC states" generalizes to
+/// hitting probabilities with the same modified-TPM machinery).
+struct SlipDirection {
+  /// eta-weighted P(reach the +band before the -band | start in lock).
+  double probability_up = 0.0;
+  solvers::SolverStats stats;
+};
+
+[[nodiscard]] SlipDirection slip_direction_probability(
+    const CdrModel& model, const CdrChain& chain, std::span<const double> eta,
+    double band_ui = 0.45, const solvers::PassageOptions& options = {});
+
+/// Lock-acquisition timing: the mean number of bits to first enter the
+/// lock band |Phi| <= lock_band_ui, starting from the worst-case phase
+/// offset (|Phi| ~ 1/2 UI, loop quiescent) — the power-up pull-in time.
+struct LockTime {
+  double mean_bits_from_worst_case = 0.0;
+  solvers::SolverStats stats;
+};
+
+[[nodiscard]] LockTime mean_time_to_lock(
+    const CdrModel& model, const CdrChain& chain, double lock_band_ui = 0.1,
+    const solvers::PassageOptions& options = {});
+
+/// Mean (signed) phase error and its RMS, in UI — the residual static phase
+/// offset and recovered-clock jitter of the locked loop.
+struct PhaseErrorMoments {
+  double mean = 0.0;
+  double rms = 0.0;
+};
+
+[[nodiscard]] PhaseErrorMoments phase_error_moments(
+    const CdrModel& model, const CdrChain& chain, std::span<const double> eta);
+
+}  // namespace stocdr::cdr

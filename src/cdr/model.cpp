@@ -1,0 +1,198 @@
+#include "cdr/model.hpp"
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "noise/jitter.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/timer.hpp"
+
+namespace stocdr::cdr {
+
+CdrChain::CdrChain(fsm::ComposedChain composed,
+                   std::vector<std::uint32_t> phase,
+                   std::vector<std::uint32_t> label,
+                   std::vector<double> effective_phase_ui,
+                   double form_seconds)
+    : composed_(std::move(composed)),
+      phase_(std::move(phase)),
+      label_(std::move(label)),
+      effective_phase_(std::move(effective_phase_ui)),
+      form_seconds_(form_seconds) {
+  STOCDR_REQUIRE(phase_.size() == composed_.num_states() &&
+                     label_.size() == composed_.num_states() &&
+                     effective_phase_.size() == composed_.num_states(),
+                 "CdrChain: annotation arrays must cover every state");
+}
+
+std::vector<markov::Partition> CdrChain::hierarchy(
+    std::size_t coarsest_size) const {
+  return solvers::build_grid_pair_hierarchy(phase_, label_, coarsest_size);
+}
+
+namespace {
+
+/// The n_r PMF quantized onto the phase grid, from the SONET drift model.
+noise::GridNoise make_nr_noise(const CdrConfig& config,
+                               const PhaseGrid& grid) {
+  if (config.nr_max == 0.0 && config.nr_mean == 0.0) {
+    return noise::GridNoise{{0}, {1.0}};
+  }
+  const noise::DiscreteDistribution dist =
+      noise::sonet_drift_noise(config.nr_mean, config.nr_max, config.nr_atoms);
+  return noise::quantize_to_grid(dist, grid.step());
+}
+
+}  // namespace
+
+CdrModel::CdrModel(const CdrConfig& config)
+    : CdrModel(config, make_nr_noise(config, PhaseGrid(config.phase_points))) {
+}
+
+CdrModel::CdrModel(const CdrConfig& config, noise::GridNoise nr_noise)
+    : config_(config), grid_(config.phase_points) {
+  config_.validate();
+  nr_noise_ = std::move(nr_noise);
+  STOCDR_REQUIRE(!nr_noise_.offsets.empty() &&
+                     nr_noise_.offsets.size() == nr_noise_.probabilities.size(),
+                 "CdrModel: malformed n_r grid noise");
+
+  data_ = network_.add_component(std::make_unique<DataSource>(
+      config_.transition_density, config_.max_run_length));
+
+  // Sinusoidal-jitter rotor: a deterministic cyclic Markov chain whose
+  // Moore output (its own state) indexes the offset table held by the PD.
+  if (config_.sj_amplitude > 0.0) {
+    const std::size_t period = config_.sj_period;
+    sj_offsets_ui_.resize(period);
+    for (std::size_t k = 0; k < period; ++k) {
+      sj_offsets_ui_[k] = config_.sj_amplitude *
+                          std::sin(2.0 * kPi * static_cast<double>(k) /
+                                   static_cast<double>(period));
+    }
+    std::vector<std::vector<double>> rows(period,
+                                          std::vector<double>(period, 0.0));
+    for (std::size_t k = 0; k < period; ++k) rows[k][(k + 1) % period] = 1.0;
+    sj_ = static_cast<std::ptrdiff_t>(network_.add_component(
+        std::make_unique<fsm::MarkovSource>("sj", std::move(rows))));
+  }
+
+  PhaseDetector::Options pd_options;
+  pd_options.dead_zone = config_.pd_dead_zone;
+  pd_options.sj_offsets_ui = sj_offsets_ui_;
+
+  const bool discretized =
+      config_.pd_noise_mode == PdNoiseMode::kDiscretized;
+  if (discretized) {
+    // Atoms span +-4 sigma; the step is chosen so that nw_atoms atoms cover
+    // that support.
+    constexpr double kSupportSigmas = 4.0;
+    const noise::DiscreteDistribution nw =
+        config_.sigma_nw == 0.0
+            ? noise::DiscreteDistribution::point(0.0)
+            : noise::discretize_gaussian(
+                  0.0, config_.sigma_nw,
+                  2.0 * kSupportSigmas * config_.sigma_nw /
+                      static_cast<double>(config_.nw_atoms - 1),
+                  kSupportSigmas);
+    nw_values_.assign(nw.values().begin(), nw.values().end());
+    pd_ = network_.add_component(
+        std::make_unique<PhaseDetector>(grid_, nw_values_, pd_options));
+    nw_ = static_cast<std::ptrdiff_t>(network_.add_component(
+        std::make_unique<fsm::IidSource>(
+            "nw", std::vector<double>(nw.probabilities().begin(),
+                                      nw.probabilities().end()))));
+  } else {
+    pd_ = network_.add_component(
+        std::make_unique<PhaseDetector>(grid_, config_.sigma_nw, pd_options));
+  }
+
+  if (config_.filter_type == FilterType::kUpDownCounter) {
+    counter_ = network_.add_component(
+        std::make_unique<UpDownCounter>(config_.counter_length));
+  } else {
+    counter_ = network_.add_component(
+        std::make_unique<MajorityVoteFilter>(config_.counter_length));
+  }
+
+  // Initial phase error: one correction step off center, a generic
+  // out-of-lock starting point within the pull-in range.
+  const auto initial_index = static_cast<std::uint32_t>(
+      grid_.size() / 2 + config_.phase_step_cells() / 2);
+  phase_ = network_.add_component(std::make_unique<PhaseErrorFsm>(
+      grid_, config_.phase_step_cells(), nr_noise_.offsets, config_.boundary,
+      initial_index));
+
+  nr_ = network_.add_component(
+      std::make_unique<fsm::IidSource>("nr", nr_noise_.probabilities));
+
+  // Wiring (paper Figure 2): data -> PD; phase state -> PD; PD -> counter;
+  // counter -> phase; n_r -> phase; (n_w -> PD in discretized mode).
+  network_.connect({data_, 0}, pd_, 0);
+  network_.connect({phase_, 0}, pd_, 1);
+  std::size_t next_pd_port = 2;
+  if (sj_ >= 0) {
+    network_.connect({static_cast<std::size_t>(sj_), 0}, pd_, next_pd_port++);
+  }
+  if (discretized) {
+    network_.connect({static_cast<std::size_t>(nw_), 0}, pd_, next_pd_port);
+  }
+  network_.connect({pd_, 0}, counter_, 0);
+  network_.connect({counter_, 0}, phase_, 0);
+  network_.connect({nr_, 0}, phase_, 1);
+  network_.validate();
+}
+
+std::size_t CdrModel::sj_index() const {
+  STOCDR_REQUIRE(sj_ >= 0, "sj_index: sinusoidal jitter is disabled");
+  return static_cast<std::size_t>(sj_);
+}
+
+std::size_t CdrModel::nw_source_index() const {
+  STOCDR_REQUIRE(nw_ >= 0,
+                 "nw_source_index: model uses the exact-Gaussian phase "
+                 "detector (no explicit n_w source)");
+  return static_cast<std::size_t>(nw_);
+}
+
+CdrChain CdrModel::build(const fsm::ComposeOptions& options) const {
+  const Timer timer;
+  fsm::ComposedChain composed = network_.compose(options);
+  const double form_seconds = timer.seconds();
+
+  const std::size_t n = composed.num_states();
+  std::vector<std::uint32_t> phase_coord(n);
+  std::vector<std::uint32_t> label(n);
+  // Gap-free labels over the non-phase coordinates: hash the full-space
+  // index with the phase dimension zeroed.
+  std::unordered_map<std::uint64_t, std::uint32_t> label_ids;
+  std::vector<double> effective_phase(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto coords = composed.coordinates(i);
+    phase_coord[i] = coords[phase_];
+    effective_phase[i] = grid_.value(phase_coord[i]);
+    if (sj_ >= 0) {
+      effective_phase[i] +=
+          sj_offsets_ui_[coords[static_cast<std::size_t>(sj_)]];
+    }
+    coords[phase_] = 0;
+    const std::uint64_t key = composed.space().encode(coords);
+    const auto [it, inserted] = label_ids.try_emplace(
+        key, static_cast<std::uint32_t>(label_ids.size()));
+    label[i] = it->second;
+  }
+  return CdrChain(std::move(composed), std::move(phase_coord),
+                  std::move(label), std::move(effective_phase),
+                  form_seconds);
+}
+
+solvers::StationaryResult solve_stationary(
+    const CdrChain& chain, const solvers::MultilevelOptions& options) {
+  const auto hierarchy = chain.hierarchy(options.coarsest_size);
+  return solvers::solve_stationary_multilevel(chain.chain(), hierarchy,
+                                              options);
+}
+
+}  // namespace stocdr::cdr

@@ -1,0 +1,142 @@
+// The composed CDR model: wiring of the four FSMs plus the n_r (and
+// optionally n_w) noise sources into an fsm::Network, and its compilation
+// into the analysis-ready Markov chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdr/components.hpp"
+#include "cdr/config.hpp"
+#include "cdr/grid.hpp"
+#include "fsm/network.hpp"
+#include "markov/lumping.hpp"
+#include "noise/discrete.hpp"
+#include "solvers/aggregation.hpp"
+
+namespace stocdr::cdr {
+
+/// The compiled chain with the structural annotations the solvers and
+/// measures need.
+class CdrChain {
+ public:
+  CdrChain(fsm::ComposedChain composed, std::vector<std::uint32_t> phase,
+           std::vector<std::uint32_t> label,
+           std::vector<double> effective_phase_ui, double form_seconds);
+
+  /// The reachable-state chain and its bookkeeping.
+  [[nodiscard]] const fsm::ComposedChain& composed() const {
+    return composed_;
+  }
+
+  /// The underlying Markov chain.
+  [[nodiscard]] const markov::MarkovChain& chain() const {
+    return composed_.chain();
+  }
+
+  [[nodiscard]] std::size_t num_states() const {
+    return composed_.num_states();
+  }
+
+  /// Phase-error grid index of each dense state.
+  [[nodiscard]] const std::vector<std::uint32_t>& phase_coordinate() const {
+    return phase_;
+  }
+
+  /// Gap-free label of the non-phase coordinates of each dense state.
+  [[nodiscard]] const std::vector<std::uint32_t>& other_label() const {
+    return label_;
+  }
+
+  /// Effective data-vs-clock phase of each dense state in UI: the
+  /// phase-error grid value plus the state's sinusoidal-jitter offset (equal
+  /// to the grid value when SJ is disabled).  This is the quantity whose
+  /// excursion past +-1/2 UI is a bit error.
+  [[nodiscard]] const std::vector<double>& effective_phase_ui() const {
+    return effective_phase_;
+  }
+
+  /// Wall-clock seconds spent forming the TPM (the paper's
+  /// "Matrixformtime").
+  [[nodiscard]] double form_seconds() const { return form_seconds_; }
+
+  /// The paper's coarsening hierarchy for this chain: lump adjacent phase
+  /// pairs, keep other coordinates distinct (see
+  /// solvers::build_grid_pair_hierarchy).
+  [[nodiscard]] std::vector<markov::Partition> hierarchy(
+      std::size_t coarsest_size = 400) const;
+
+ private:
+  fsm::ComposedChain composed_;
+  std::vector<std::uint32_t> phase_;
+  std::vector<std::uint32_t> label_;
+  std::vector<double> effective_phase_;
+  double form_seconds_;
+};
+
+/// Builder/owner of the CDR network (paper Figure 2).
+class CdrModel {
+ public:
+  /// Validates the configuration and wires the network.  The n_r PMF is
+  /// built from the config's parametric SONET drift family.
+  explicit CdrModel(const CdrConfig& config);
+
+  /// Same, but with an explicit grid-quantized n_r PMF replacing the
+  /// parametric family — the hook for arbitrary amplitude laws ("one can
+  /// even mimic deterministic sinusoidally varying jitter by assigning the
+  /// amplitude distribution of n_r appropriately", paper section 2).
+  /// Offsets are in grid cells; probabilities must sum to 1.
+  CdrModel(const CdrConfig& config, noise::GridNoise nr_noise);
+
+  [[nodiscard]] const CdrConfig& config() const { return config_; }
+  [[nodiscard]] const PhaseGrid& grid() const { return grid_; }
+  [[nodiscard]] const fsm::Network& network() const { return network_; }
+
+  /// Component indices within network().
+  [[nodiscard]] std::size_t data_index() const { return data_; }
+  [[nodiscard]] std::size_t phase_detector_index() const { return pd_; }
+  [[nodiscard]] std::size_t counter_index() const { return counter_; }
+  [[nodiscard]] std::size_t phase_index() const { return phase_; }
+  [[nodiscard]] std::size_t nr_source_index() const { return nr_; }
+  /// Index of the n_w source (kDiscretized mode only; throws otherwise).
+  [[nodiscard]] std::size_t nw_source_index() const;
+
+  /// True if the model includes the sinusoidal-jitter rotor.
+  [[nodiscard]] bool has_sj() const { return sj_ >= 0; }
+  /// Index of the SJ rotor component (throws when SJ is disabled).
+  [[nodiscard]] std::size_t sj_index() const;
+  /// Per-SJ-state data phase offsets in UI (empty when SJ is disabled).
+  [[nodiscard]] const std::vector<double>& sj_offsets_ui() const {
+    return sj_offsets_ui_;
+  }
+
+  /// The quantized n_r PMF actually used on the grid.
+  [[nodiscard]] const noise::GridNoise& nr_noise() const { return nr_noise_; }
+
+  /// The n_w atom values (kDiscretized mode; empty in exact mode).
+  [[nodiscard]] const std::vector<double>& nw_values() const {
+    return nw_values_;
+  }
+
+  /// Composes the network into the reachable Markov chain and annotates it
+  /// (phase coordinates, labels, timing).
+  [[nodiscard]] CdrChain build(const fsm::ComposeOptions& options = {}) const;
+
+ private:
+  CdrConfig config_;
+  PhaseGrid grid_;
+  noise::GridNoise nr_noise_;
+  std::vector<double> nw_values_;
+  std::vector<double> sj_offsets_ui_;
+  fsm::Network network_;
+  std::size_t data_ = 0, pd_ = 0, counter_ = 0, phase_ = 0, nr_ = 0;
+  std::ptrdiff_t nw_ = -1;
+  std::ptrdiff_t sj_ = -1;
+};
+
+/// Solves the chain's stationary distribution with the paper's multilevel
+/// solver using the model's phase-pair hierarchy.
+[[nodiscard]] solvers::StationaryResult solve_stationary(
+    const CdrChain& chain, const solvers::MultilevelOptions& options = {});
+
+}  // namespace stocdr::cdr

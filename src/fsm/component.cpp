@@ -1,0 +1,144 @@
+#include "fsm/component.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::fsm {
+
+void Component::moore_outputs(std::uint32_t /*state*/,
+                              std::span<std::uint32_t> /*outputs*/) const {
+  throw InternalError("moore_outputs called on a non-Moore component: " +
+                      name());
+}
+
+void DeterministicComponent::outputs(std::uint32_t /*state*/,
+                                     std::span<const std::uint32_t> /*inputs*/,
+                                     std::span<std::uint32_t> out) const {
+  STOCDR_REQUIRE(out.empty(),
+                 "DeterministicComponent with output ports must override "
+                 "outputs(): " +
+                     name());
+}
+
+void DeterministicComponent::enumerate(std::uint32_t state,
+                                       std::span<const std::uint32_t> inputs,
+                                       BranchSink sink) const {
+  // Moore components publish their outputs via moore_outputs(); the
+  // per-branch outputs are ignored for them, so none are computed here.
+  if (is_moore()) {
+    sink(1.0, {}, next_state(state, inputs));
+    return;
+  }
+  std::uint32_t out_buf[8];
+  const std::size_t nout = num_output_ports();
+  STOCDR_ASSERT(nout <= 8);
+  std::span<std::uint32_t> out(out_buf, nout);
+  outputs(state, inputs, out);
+  sink(1.0, out, next_state(state, inputs));
+}
+
+IidSource::IidSource(std::string name, std::vector<double> pmf)
+    : Component(std::move(name)), pmf_(std::move(pmf)) {
+  STOCDR_REQUIRE(!pmf_.empty(), "IidSource requires a non-empty PMF");
+  double sum = 0.0;
+  for (const double p : pmf_) {
+    STOCDR_REQUIRE(p >= 0.0, "IidSource PMF entries must be nonnegative");
+    sum += p;
+  }
+  STOCDR_REQUIRE(std::abs(sum - 1.0) < 1e-9,
+                 "IidSource PMF must sum to 1 (got " + std::to_string(sum) +
+                     ")");
+  for (double& p : pmf_) p /= sum;
+}
+
+void IidSource::enumerate(std::uint32_t /*state*/,
+                          std::span<const std::uint32_t> /*inputs*/,
+                          BranchSink sink) const {
+  for (std::uint32_t v = 0; v < pmf_.size(); ++v) {
+    if (pmf_[v] == 0.0) continue;
+    const std::uint32_t out = v;
+    sink(pmf_[v], std::span<const std::uint32_t>(&out, 1), 0);
+  }
+}
+
+MarkovSource::MarkovSource(std::string name,
+                           std::vector<std::vector<double>> rows,
+                           std::uint32_t initial)
+    : Component(std::move(name)), rows_(std::move(rows)), initial_(initial) {
+  STOCDR_REQUIRE(!rows_.empty(), "MarkovSource requires at least one state");
+  STOCDR_REQUIRE(initial_ < rows_.size(),
+                 "MarkovSource initial state out of range");
+  for (const auto& row : rows_) {
+    STOCDR_REQUIRE(row.size() == rows_.size(),
+                   "MarkovSource rows must be square");
+    double sum = 0.0;
+    for (const double p : row) {
+      STOCDR_REQUIRE(p >= 0.0, "MarkovSource probabilities must be >= 0");
+      sum += p;
+    }
+    STOCDR_REQUIRE(std::abs(sum - 1.0) < 1e-9,
+                   "MarkovSource rows must sum to 1");
+  }
+}
+
+void MarkovSource::moore_outputs(std::uint32_t state,
+                                 std::span<std::uint32_t> outputs) const {
+  STOCDR_ASSERT(outputs.size() == 1);
+  outputs[0] = state;
+}
+
+void MarkovSource::enumerate(std::uint32_t state,
+                             std::span<const std::uint32_t> /*inputs*/,
+                             BranchSink sink) const {
+  STOCDR_REQUIRE(state < rows_.size(), "MarkovSource state out of range");
+  for (std::uint32_t j = 0; j < rows_.size(); ++j) {
+    const double p = rows_[state][j];
+    if (p == 0.0) continue;
+    sink(p, {}, j);
+  }
+}
+
+DelayLine::DelayLine(std::string name, std::size_t symbol_count,
+                     std::size_t depth, std::uint32_t initial_symbol)
+    : DeterministicComponent(std::move(name)),
+      symbols_(symbol_count),
+      depth_(depth) {
+  STOCDR_REQUIRE(symbol_count >= 2, "DelayLine: need at least 2 symbols");
+  STOCDR_REQUIRE(depth >= 1, "DelayLine: depth must be >= 1");
+  STOCDR_REQUIRE(initial_symbol < symbol_count,
+                 "DelayLine: initial symbol out of range");
+  states_ = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    STOCDR_REQUIRE(states_ <= (1u << 24) / symbol_count,
+                   "DelayLine: state space too large");
+    states_ *= symbol_count;
+  }
+  // Initial state: the pipeline filled with initial_symbol.
+  std::uint32_t init = 0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    init = static_cast<std::uint32_t>(init * symbols_ + initial_symbol);
+  }
+  initial_ = init;
+}
+
+void DelayLine::moore_outputs(std::uint32_t state,
+                              std::span<std::uint32_t> outputs) const {
+  // The oldest symbol occupies the most significant digit.
+  std::uint32_t value = state;
+  for (std::size_t d = 1; d < depth_; ++d) value /= symbols_;
+  outputs[0] = value % symbols_;
+}
+
+std::uint32_t DelayLine::next_state(
+    std::uint32_t state, std::span<const std::uint32_t> inputs) const {
+  STOCDR_REQUIRE(inputs[0] < symbols_, "DelayLine: input symbol out of range");
+  // Shift in the new symbol at the least significant digit, dropping the
+  // most significant one.
+  std::uint64_t shifted = static_cast<std::uint64_t>(state) * symbols_ +
+                          inputs[0];
+  return static_cast<std::uint32_t>(shifted % states_);
+}
+
+}  // namespace stocdr::fsm

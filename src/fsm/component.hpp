@@ -1,0 +1,187 @@
+// The FSM-with-stochastic-inputs component formalism.
+//
+// The paper models "the analyzed circuit ... as finite state machines with
+// inputs described as functions on a Markov chain state-space" and notes the
+// representation "can be generalized to networks of FSMs with stochastic
+// inputs to describe various high-speed communication circuits".  This
+// header is that formalism:
+//
+//   * A Component is a synchronous machine with a finite state set, input
+//     ports, and output ports.  In each clock cycle it observes its input
+//     port values and takes one of several *branches*, each with a
+//     probability, an output-port assignment, and a next state.  A
+//     deterministic machine is simply one branch with probability 1; a pure
+//     noise source is a single-state machine whose branches carry the noise
+//     PMF.
+//
+//   * Moore components additionally promise that their *outputs* depend only
+//     on the current state (moore_outputs); their next state may still
+//     depend on same-cycle inputs.  Moore outputs are what break the
+//     combinational feedback loop of the CDR model (the phase-error state
+//     feeds the phase detector, which feeds the counter, which feeds the
+//     phase-error state).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/function_ref.hpp"
+
+namespace stocdr::fsm {
+
+/// Callback receiving one stochastic branch of a component:
+/// (probability, output port values, next state).  The output span is only
+/// valid during the call.
+using BranchSink =
+    FunctionRef<void(double, std::span<const std::uint32_t>, std::uint32_t)>;
+
+/// A synchronous FSM component with probabilistic branches.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Number of states; state ids are 0 .. num_states()-1.
+  [[nodiscard]] virtual std::size_t num_states() const = 0;
+
+  /// State the machine starts in.
+  [[nodiscard]] virtual std::uint32_t initial_state() const = 0;
+
+  [[nodiscard]] virtual std::size_t num_input_ports() const = 0;
+  [[nodiscard]] virtual std::size_t num_output_ports() const = 0;
+
+  /// True if outputs are a function of the state alone (Moore machine).
+  /// Moore components must implement moore_outputs(), and the outputs
+  /// passed to BranchSink by enumerate() are ignored for them.
+  [[nodiscard]] virtual bool is_moore() const { return false; }
+
+  /// Moore output function; only called when is_moore() is true.
+  /// Writes num_output_ports() values.
+  virtual void moore_outputs(std::uint32_t state,
+                             std::span<std::uint32_t> outputs) const;
+
+  /// Enumerates every stochastic branch available from `state` under the
+  /// given input port values.  Branch probabilities must be nonnegative and
+  /// sum to 1 (the composer verifies the composite sum).  For Moore
+  /// components the per-branch outputs are ignored; pass an empty span.
+  virtual void enumerate(std::uint32_t state,
+                         std::span<const std::uint32_t> inputs,
+                         BranchSink sink) const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Convenience base for deterministic components: implement next_state() and
+/// outputs(); enumerate() emits the single branch with probability 1.
+class DeterministicComponent : public Component {
+ public:
+  using Component::Component;
+
+  /// The (deterministic) transition function.
+  [[nodiscard]] virtual std::uint32_t next_state(
+      std::uint32_t state, std::span<const std::uint32_t> inputs) const = 0;
+
+  /// The (deterministic, Mealy) output function.  Default writes nothing
+  /// (for components with no output ports).
+  virtual void outputs(std::uint32_t state,
+                       std::span<const std::uint32_t> inputs,
+                       std::span<std::uint32_t> out) const;
+
+  void enumerate(std::uint32_t state, std::span<const std::uint32_t> inputs,
+                 BranchSink sink) const final;
+};
+
+/// A single-state noise source emitting an i.i.d. symbol each cycle:
+/// output value v with probability pmf[v].  This is how white
+/// (uncorrelated-in-time) stochastic inputs such as the paper's n_w and n_r
+/// enter a network.
+class IidSource : public Component {
+ public:
+  /// pmf must be nonnegative and sum to 1 within 1e-9 (it is renormalized).
+  IidSource(std::string name, std::vector<double> pmf);
+
+  [[nodiscard]] std::size_t num_states() const override { return 1; }
+  [[nodiscard]] std::uint32_t initial_state() const override { return 0; }
+  [[nodiscard]] std::size_t num_input_ports() const override { return 0; }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+
+  void enumerate(std::uint32_t state, std::span<const std::uint32_t> inputs,
+                 BranchSink sink) const override;
+
+  [[nodiscard]] const std::vector<double>& pmf() const { return pmf_; }
+
+ private:
+  std::vector<double> pmf_;
+};
+
+/// A finite Markov chain wrapped as a component: its output is its current
+/// state (Moore), and it moves to state j with probability row[state][j].
+/// This is the "inputs described as functions on a Markov chain state-space"
+/// building block in its most literal form.
+class MarkovSource : public Component {
+ public:
+  /// rows[i] is the outgoing PMF of state i; all rows must have the same
+  /// length as the number of states.
+  MarkovSource(std::string name, std::vector<std::vector<double>> rows,
+               std::uint32_t initial = 0);
+
+  [[nodiscard]] std::size_t num_states() const override {
+    return rows_.size();
+  }
+  [[nodiscard]] std::uint32_t initial_state() const override {
+    return initial_;
+  }
+  [[nodiscard]] std::size_t num_input_ports() const override { return 0; }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+  [[nodiscard]] bool is_moore() const override { return true; }
+
+  void moore_outputs(std::uint32_t state,
+                     std::span<std::uint32_t> outputs) const override;
+
+  void enumerate(std::uint32_t state, std::span<const std::uint32_t> inputs,
+                 BranchSink sink) const override;
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  std::uint32_t initial_;
+};
+
+/// A shift register of `depth` D flip-flops over an alphabet of
+/// `symbol_count` symbols: output = the input delayed by `depth` cycles
+/// (the "Prev Data D" element of the paper's Figure 2, generalized).
+/// Deterministic Mealy-free: the output depends only on the state.
+class DelayLine final : public DeterministicComponent {
+ public:
+  DelayLine(std::string name, std::size_t symbol_count, std::size_t depth,
+            std::uint32_t initial_symbol = 0);
+
+  [[nodiscard]] std::size_t num_states() const override { return states_; }
+  [[nodiscard]] std::uint32_t initial_state() const override {
+    return initial_;
+  }
+  [[nodiscard]] std::size_t num_input_ports() const override { return 1; }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+  [[nodiscard]] bool is_moore() const override { return true; }
+
+  void moore_outputs(std::uint32_t state,
+                     std::span<std::uint32_t> outputs) const override;
+  [[nodiscard]] std::uint32_t next_state(
+      std::uint32_t state, std::span<const std::uint32_t> inputs) const override;
+
+ private:
+  std::size_t symbols_;
+  std::size_t depth_;
+  std::size_t states_;
+  std::uint32_t initial_;
+};
+
+}  // namespace stocdr::fsm

@@ -1,0 +1,52 @@
+#include "fsm/graphviz.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace stocdr::fsm {
+
+std::string network_to_dot(const Network& network) {
+  std::ostringstream os;
+  os << "digraph fsm_network {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::size_t c = 0; c < network.num_components(); ++c) {
+    const Component& comp = network.component(c);
+    os << "  c" << c << " [label=\"" << comp.name() << "\\n"
+       << comp.num_states() << " states, "
+       << (comp.is_moore() ? "Moore" : "Mealy") << "\"];\n";
+  }
+  // Wires: reconstructed through the public interface by probing every
+  // consumer port is not possible; the Network exposes wiring to friends
+  // only, so we render edges via the validate()-checked structure exposed
+  // through wiring_for_dot().
+  network.for_each_wire([&os](PortRef from, std::size_t consumer,
+                              std::size_t port) {
+    os << "  c" << from.component << " -> c" << consumer << " [label=\"out"
+       << from.port << "->in" << port << "\"];\n";
+  });
+  os << "}\n";
+  return os.str();
+}
+
+std::string chain_to_dot(const markov::MarkovChain& chain,
+                         std::size_t max_states) {
+  STOCDR_REQUIRE(chain.num_states() <= max_states,
+                 "chain_to_dot: chain too large for a readable layout");
+  std::ostringstream os;
+  os << "digraph markov_chain {\n"
+     << "  node [shape=circle, fontname=\"monospace\"];\n";
+  for (std::size_t i = 0; i < chain.num_states(); ++i) {
+    os << "  s" << i << ";\n";
+  }
+  chain.pt().for_each([&os](std::size_t dst, std::size_t src, double p) {
+    os << "  s" << src << " -> s" << dst << " [label=\"" << fixed(p, 3)
+       << "\"];\n";
+  });
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace stocdr::fsm

@@ -1,0 +1,25 @@
+// Graphviz (dot) export of FSM networks and small Markov chains — the
+// block-diagram view of a model (paper Figure 2) and the state graph of a
+// chain, for documentation and debugging.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fsm/network.hpp"
+#include "markov/chain.hpp"
+
+namespace stocdr::fsm {
+
+/// Renders the network's block diagram: one node per component (labelled
+/// with its name, state count and Moore/Mealy kind), one edge per wire
+/// (labelled "port i -> j").
+[[nodiscard]] std::string network_to_dot(const Network& network);
+
+/// Renders a Markov chain's transition graph with probabilities as edge
+/// labels.  Refuses chains larger than `max_states` (dot layouts degrade
+/// quickly); intended for component chains and toy examples.
+[[nodiscard]] std::string chain_to_dot(const markov::MarkovChain& chain,
+                                       std::size_t max_states = 64);
+
+}  // namespace stocdr::fsm

@@ -1,0 +1,401 @@
+#include "fsm/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::fsm {
+
+ComposedChain::ComposedChain(markov::StateSpace space,
+                             std::vector<std::uint64_t> states,
+                             markov::MarkovChain chain)
+    : space_(std::move(space)),
+      full_index_of_(std::move(states)),
+      chain_(std::move(chain)) {
+  STOCDR_REQUIRE(full_index_of_.size() == chain_.num_states(),
+                 "ComposedChain: state list does not match the chain");
+  dense_index_of_.reserve(full_index_of_.size());
+  for (std::size_t i = 0; i < full_index_of_.size(); ++i) {
+    dense_index_of_.emplace(full_index_of_[i], i);
+  }
+}
+
+std::optional<std::size_t> ComposedChain::dense_index(
+    std::uint64_t full) const {
+  const auto it = dense_index_of_.find(full);
+  if (it == dense_index_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Network::add_component(std::unique_ptr<Component> component) {
+  STOCDR_REQUIRE(component != nullptr, "add_component: null component");
+  components_.push_back(std::move(component));
+  wiring_.emplace_back(components_.back()->num_input_ports());
+  return components_.size() - 1;
+}
+
+void Network::connect(PortRef output, std::size_t consumer,
+                      std::size_t input_port) {
+  STOCDR_REQUIRE(output.component < components_.size(),
+                 "connect: producer component out of range");
+  STOCDR_REQUIRE(output.port <
+                     components_[output.component]->num_output_ports(),
+                 "connect: producer port out of range");
+  STOCDR_REQUIRE(consumer < components_.size(),
+                 "connect: consumer component out of range");
+  STOCDR_REQUIRE(input_port < wiring_[consumer].size(),
+                 "connect: consumer port out of range");
+  STOCDR_REQUIRE(!wiring_[consumer][input_port].has_value(),
+                 "connect: input port already wired");
+  wiring_[consumer][input_port] = output;
+}
+
+const Component& Network::component(std::size_t i) const {
+  STOCDR_REQUIRE(i < components_.size(), "component index out of range");
+  return *components_[i];
+}
+
+std::size_t Network::component_index(const std::string& name) const {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i]->name() == name) return i;
+  }
+  throw PreconditionError("Network: no component named '" + name + "'");
+}
+
+void Network::validate() const { (void)make_schedule(); }
+
+Network::Schedule Network::make_schedule() const {
+  STOCDR_REQUIRE(!components_.empty(), "Network has no components");
+  const std::size_t n = components_.size();
+
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t p = 0; p < wiring_[c].size(); ++p) {
+      if (!wiring_[c][p].has_value()) {
+        throw PreconditionError("Network: input port " + std::to_string(p) +
+                                " of component '" + components_[c]->name() +
+                                "' is unwired");
+      }
+    }
+  }
+
+  // Combinational dependency: consumer must be evaluated after each of its
+  // *Mealy* producers (Moore outputs are available before the cycle's
+  // branch draws).  Kahn's algorithm; a leftover node means a cycle.
+  std::vector<std::vector<std::size_t>> successors(n);
+  std::vector<std::size_t> in_degree(n, 0);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (const auto& src : wiring_[c]) {
+      const std::size_t producer = src->component;
+      if (!components_[producer]->is_moore() && producer != c) {
+        successors[producer].push_back(c);
+        in_degree[c]++;
+      }
+      if (producer == c && !components_[c]->is_moore()) {
+        throw PreconditionError(
+            "Network: combinational self-loop at component '" +
+            components_[c]->name() + "' (make it Moore)");
+      }
+    }
+  }
+  Schedule schedule;
+  std::deque<std::size_t> ready;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (in_degree[c] == 0) ready.push_back(c);
+  }
+  while (!ready.empty()) {
+    const std::size_t c = ready.front();
+    ready.pop_front();
+    schedule.order.push_back(c);
+    for (const std::size_t succ : successors[c]) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (schedule.order.size() != n) {
+    throw PreconditionError(
+        "Network: combinational cycle through Mealy outputs; insert a Moore "
+        "component to break the loop");
+  }
+
+  schedule.out_offset.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    schedule.out_offset[c] = schedule.total_outputs;
+    schedule.total_outputs += components_[c]->num_output_ports();
+  }
+  return schedule;
+}
+
+void Network::for_each_wire(
+    FunctionRef<void(PortRef, std::size_t, std::size_t)> f) const {
+  for (std::size_t c = 0; c < wiring_.size(); ++c) {
+    for (std::size_t p = 0; p < wiring_[c].size(); ++p) {
+      if (wiring_[c][p].has_value()) f(*wiring_[c][p], c, p);
+    }
+  }
+}
+
+std::vector<std::uint32_t> Network::initial_states() const {
+  std::vector<std::uint32_t> init(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    init[c] = components_[c]->initial_state();
+    STOCDR_REQUIRE(init[c] < components_[c]->num_states(),
+                   "initial state out of range for component '" +
+                       components_[c]->name() + "'");
+  }
+  return init;
+}
+
+namespace {
+
+/// Shared context for one composite-state expansion: walks the evaluation
+/// order, multiplying branch probabilities and propagating output values.
+class Expander {
+ public:
+  Expander(const std::vector<std::unique_ptr<Component>>& components,
+           const std::vector<std::vector<std::optional<PortRef>>>& wiring,
+           const std::vector<std::size_t>& order,
+           const std::vector<std::size_t>& out_offset,
+           std::size_t total_outputs)
+      : components_(components),
+        wiring_(wiring),
+        order_(order),
+        out_offset_(out_offset),
+        out_values_(total_outputs, 0),
+        next_states_(components.size(), 0),
+        input_buffer_(32, 0) {}
+
+  /// Enumerates all joint branches from the composite state `coords`,
+  /// calling leaf(probability, next_coords) for each.
+  void expand(
+      std::span<const std::uint32_t> coords,
+      FunctionRef<void(double, std::span<const std::uint32_t>)> leaf) {
+    // Pre-compute all Moore outputs: they depend only on current states.
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      const Component& comp = *components_[c];
+      if (comp.is_moore()) {
+        comp.moore_outputs(coords[c],
+                           std::span<std::uint32_t>(
+                               out_values_.data() + out_offset_[c],
+                               comp.num_output_ports()));
+      }
+    }
+    recurse(0, 1.0, coords, leaf);
+  }
+
+ private:
+  void recurse(std::size_t k, double probability,
+               std::span<const std::uint32_t> coords,
+               FunctionRef<void(double, std::span<const std::uint32_t>)> leaf) {
+    if (k == order_.size()) {
+      leaf(probability, next_states_);
+      return;
+    }
+    const std::size_t c = order_[k];
+    const Component& comp = *components_[c];
+
+    // Gather this component's input port values from the wiring.
+    const auto& wires = wiring_[c];
+    if (input_buffer_.size() < wires.size()) {
+      input_buffer_.resize(wires.size());
+    }
+    for (std::size_t p = 0; p < wires.size(); ++p) {
+      const PortRef src = *wires[p];
+      input_buffer_[p] = out_values_[out_offset_[src.component] + src.port];
+    }
+    const std::span<const std::uint32_t> inputs(input_buffer_.data(),
+                                                wires.size());
+    // Inputs must be copied out before recursing: deeper levels reuse the
+    // shared buffer.
+    std::uint32_t local_inputs[16];
+    STOCDR_ASSERT(wires.size() <= 16);
+    std::copy(inputs.begin(), inputs.end(), local_inputs);
+    const std::span<const std::uint32_t> stable_inputs(local_inputs,
+                                                       wires.size());
+
+    const bool moore = comp.is_moore();
+    const std::size_t off = out_offset_[c];
+    auto sink = [&](double p, std::span<const std::uint32_t> outs,
+                    std::uint32_t next) {
+      if (!moore) {
+        STOCDR_ASSERT(outs.size() == comp.num_output_ports());
+        std::copy(outs.begin(), outs.end(), out_values_.begin() + off);
+      }
+      next_states_[c] = next;
+      recurse(k + 1, probability * p, coords, leaf);
+    };
+    comp.enumerate(coords[c], stable_inputs, sink);
+  }
+
+  const std::vector<std::unique_ptr<Component>>& components_;
+  const std::vector<std::vector<std::optional<PortRef>>>& wiring_;
+  const std::vector<std::size_t>& order_;
+  const std::vector<std::size_t>& out_offset_;
+  std::vector<std::uint32_t> out_values_;
+  std::vector<std::uint32_t> next_states_;
+  std::vector<std::uint32_t> input_buffer_;
+};
+
+}  // namespace
+
+ComposedChain Network::compose(const ComposeOptions& options) const {
+  const Schedule schedule = make_schedule();
+
+  std::vector<markov::Dimension> dims;
+  dims.reserve(components_.size());
+  for (const auto& comp : components_) {
+    dims.push_back({comp->name(), comp->num_states()});
+  }
+  markov::StateSpace space(std::move(dims));
+
+  // BFS over reachable composite states.
+  std::unordered_map<std::uint64_t, std::uint32_t> dense_of;
+  std::vector<std::uint64_t> full_of;
+  std::vector<sparse::Triplet> triplets;
+  std::deque<std::uint32_t> frontier;
+
+  const auto intern = [&](std::uint64_t full) -> std::uint32_t {
+    const auto [it, inserted] =
+        dense_of.try_emplace(full, static_cast<std::uint32_t>(full_of.size()));
+    if (inserted) {
+      full_of.push_back(full);
+      frontier.push_back(it->second);
+      if (full_of.size() > options.max_states) {
+        throw PreconditionError(
+            "Network::compose: reachable state set exceeds max_states (" +
+            std::to_string(options.max_states) + ")");
+      }
+    }
+    return it->second;
+  };
+
+  intern(space.encode(initial_states()));
+  Expander expander(components_, wiring_, schedule.order, schedule.out_offset,
+                    schedule.total_outputs);
+
+  while (!frontier.empty()) {
+    const std::uint32_t src = frontier.front();
+    frontier.pop_front();
+    const auto coords = space.decode(full_of[src]);
+    double total = 0.0;
+    auto leaf = [&](double p, std::span<const std::uint32_t> next_coords) {
+      total += p;
+      if (p <= options.drop_tolerance) return;
+      std::vector<std::uint32_t> next(next_coords.begin(), next_coords.end());
+      const std::uint32_t dst = intern(space.encode(next));
+      // Stored orientation is P^T: row = destination, col = source.
+      triplets.push_back({dst, src, p});
+    };
+    expander.expand(coords, leaf);
+    if (std::abs(total - 1.0) > options.probability_tolerance) {
+      throw PreconditionError(
+          "Network::compose: branch probabilities of state [" +
+          space.describe(full_of[src]) + "] sum to " + std::to_string(total));
+    }
+  }
+
+  const std::size_t n = full_of.size();
+  sparse::CooBuilder builder(n, n);
+  builder.reserve(triplets.size());
+  for (const sparse::Triplet& t : triplets) {
+    builder.add(t.row, t.col, t.value);
+  }
+  // Renormalization guard: drop_tolerance may have removed a tiny amount of
+  // probability mass; fold it back proportionally per source state.
+  sparse::CsrMatrix pt = builder.to_csr();
+  if (options.drop_tolerance > 0.0) {
+    std::vector<double> mass = pt.col_sums();
+    std::vector<double> values(pt.values().begin(), pt.values().end());
+    std::vector<std::uint32_t> cols(pt.col_idx().begin(), pt.col_idx().end());
+    std::vector<std::uint32_t> ptr(pt.row_ptr().begin(), pt.row_ptr().end());
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      values[k] /= mass[cols[k]];
+    }
+    pt = sparse::CsrMatrix(n, n, std::move(ptr), std::move(cols),
+                           std::move(values));
+  }
+
+  markov::MarkovChain chain(std::move(pt));
+  return ComposedChain(std::move(space), std::move(full_of),
+                       std::move(chain));
+}
+
+NetworkSimulator::NetworkSimulator(const Network& network)
+    : network_(network), schedule_(network.make_schedule()) {
+  states_ = network.initial_states();
+  out_values_.assign(schedule_.total_outputs, 0);
+  next_states_.assign(network_.components_.size(), 0);
+  std::size_t max_inputs = 0;
+  for (const auto& wires : network_.wiring_) {
+    max_inputs = std::max(max_inputs, wires.size());
+  }
+  inputs_.assign(max_inputs, 0);
+}
+
+void NetworkSimulator::reset() { states_ = network_.initial_states(); }
+
+void NetworkSimulator::set_states(std::span<const std::uint32_t> states) {
+  STOCDR_REQUIRE(states.size() == states_.size(),
+                 "set_states: state vector size mismatch");
+  for (std::size_t c = 0; c < states.size(); ++c) {
+    STOCDR_REQUIRE(states[c] < network_.components_[c]->num_states(),
+                   "set_states: coordinate out of range");
+  }
+  std::copy(states.begin(), states.end(), states_.begin());
+}
+
+std::uint32_t NetworkSimulator::output(std::size_t component,
+                                       std::size_t port) const {
+  STOCDR_REQUIRE(component < network_.components_.size(),
+                 "NetworkSimulator::output component out of range");
+  STOCDR_REQUIRE(port < network_.components_[component]->num_output_ports(),
+                 "NetworkSimulator::output port out of range");
+  return out_values_[schedule_.out_offset[component] + port];
+}
+
+void NetworkSimulator::step(Rng& rng) {
+  const auto& components = network_.components_;
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    const Component& comp = *components[c];
+    if (comp.is_moore()) {
+      comp.moore_outputs(
+          states_[c],
+          std::span<std::uint32_t>(out_values_.data() +
+                                       schedule_.out_offset[c],
+                                   comp.num_output_ports()));
+    }
+  }
+
+  for (const std::size_t c : schedule_.order) {
+    const Component& comp = *components[c];
+    const auto& wires = network_.wiring_[c];
+    for (std::size_t p = 0; p < wires.size(); ++p) {
+      const PortRef src = *wires[p];
+      inputs_[p] = out_values_[schedule_.out_offset[src.component] + src.port];
+    }
+    const std::span<const std::uint32_t> inputs(inputs_.data(), wires.size());
+
+    // Inverse-CDF sampling over the enumerated branches.  Rounding can
+    // leave u marginally above the final cumulative sum; the last branch
+    // visited then wins (last_* track it).
+    const double u = rng.uniform();
+    double cum = 0.0;
+    bool chosen = false;
+    const std::size_t off = schedule_.out_offset[c];
+    auto sink = [&](double p, std::span<const std::uint32_t> outs,
+                    std::uint32_t next) {
+      if (chosen) return;
+      cum += p;
+      if (!comp.is_moore() && !outs.empty()) {
+        std::copy(outs.begin(), outs.end(), out_values_.begin() + off);
+      }
+      next_states_[c] = next;
+      if (u < cum) chosen = true;
+    };
+    comp.enumerate(states_[c], inputs, sink);
+  }
+  std::copy(next_states_.begin(), next_states_.end(), states_.begin());
+}
+
+}  // namespace stocdr::fsm

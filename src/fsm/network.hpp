@@ -1,0 +1,194 @@
+// Networks of FSM components and their composition into a Markov chain.
+//
+// A Network wires component output ports to component input ports.  Its
+// compose() method performs the paper's central modeling step: "It is shown
+// that under these circumstances the entire system can be modeled by a
+// larger Markov chain" whose state set is "the reachable state space of the
+// MC, which is a subset of the Cartesian product" of the component state
+// sets.  The transition probability matrix is assembled compositionally by
+// enumerating, for every reachable composite state, the product of the
+// component branch distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fsm/component.hpp"
+#include "support/function_ref.hpp"
+#include "markov/chain.hpp"
+#include "markov/state_space.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::fsm {
+
+/// Identifies an output port of a component in a network.
+struct PortRef {
+  std::size_t component;
+  std::size_t port;
+};
+
+/// Options controlling composition.
+struct ComposeOptions {
+  /// Abort if the reachable state set exceeds this size.
+  std::size_t max_states = 8'000'000;
+
+  /// Tolerance on each composite state's total outgoing probability.
+  double probability_tolerance = 1e-9;
+
+  /// Entries with magnitude at or below this are dropped from the TPM.
+  double drop_tolerance = 0.0;
+};
+
+/// The result of composing a network: the reachable-state Markov chain plus
+/// the bookkeeping to map between dense chain states and component
+/// coordinates.
+class ComposedChain {
+ public:
+  ComposedChain(markov::StateSpace space, std::vector<std::uint64_t> states,
+                markov::MarkovChain chain);
+
+  /// The full Cartesian product space (one dimension per component).
+  [[nodiscard]] const markov::StateSpace& space() const { return space_; }
+
+  /// The chain over the reachable states only.
+  [[nodiscard]] const markov::MarkovChain& chain() const { return chain_; }
+
+  /// Number of reachable composite states.
+  [[nodiscard]] std::size_t num_states() const {
+    return full_index_of_.size();
+  }
+
+  /// Full-space index of a dense state.
+  [[nodiscard]] std::uint64_t full_index(std::size_t dense) const {
+    return full_index_of_[dense];
+  }
+
+  /// Dense index of a full-space index, if reachable.
+  [[nodiscard]] std::optional<std::size_t> dense_index(
+      std::uint64_t full) const;
+
+  /// Coordinate (component state) of a dense state for component `dim`.
+  [[nodiscard]] std::uint32_t coordinate(std::size_t dense,
+                                         std::size_t dim) const {
+    return space_.coordinate(full_index_of_[dense], dim);
+  }
+
+  /// All coordinates of a dense state.
+  [[nodiscard]] std::vector<std::uint32_t> coordinates(
+      std::size_t dense) const {
+    return space_.decode(full_index_of_[dense]);
+  }
+
+  /// Human-readable description of a dense state.
+  [[nodiscard]] std::string describe(std::size_t dense) const {
+    return space_.describe(full_index_of_[dense]);
+  }
+
+ private:
+  markov::StateSpace space_;
+  std::vector<std::uint64_t> full_index_of_;
+  std::unordered_map<std::uint64_t, std::size_t> dense_index_of_;
+  markov::MarkovChain chain_;
+};
+
+/// A synchronous network of FSM components.
+class Network {
+ public:
+  Network() = default;
+
+  /// Adds a component; returns its index.  The network owns the component.
+  std::size_t add_component(std::unique_ptr<Component> component);
+
+  /// Wires `output` to input port `input_port` of component `consumer`.
+  /// Every input port must be wired exactly once before composition.
+  void connect(PortRef output, std::size_t consumer, std::size_t input_port);
+
+  [[nodiscard]] std::size_t num_components() const {
+    return components_.size();
+  }
+  [[nodiscard]] const Component& component(std::size_t i) const;
+
+  /// Index of the component with the given name; throws if absent.
+  [[nodiscard]] std::size_t component_index(const std::string& name) const;
+
+  /// Verifies wiring completeness and the absence of combinational cycles
+  /// (cycles through Mealy outputs); called automatically by compose() and
+  /// simulate_step().  Throws PreconditionError on violations.
+  void validate() const;
+
+  /// Composite initial state, one coordinate per component.
+  [[nodiscard]] std::vector<std::uint32_t> initial_states() const;
+
+  /// Invokes f(producer_port, consumer, input_port) for every wired
+  /// connection (unwired ports are skipped).
+  void for_each_wire(
+      FunctionRef<void(PortRef, std::size_t, std::size_t)> f) const;
+
+  /// Builds the reachable-state Markov chain (see file comment).
+  [[nodiscard]] ComposedChain compose(const ComposeOptions& options = {}) const;
+
+ private:
+  friend class NetworkSimulator;
+
+  /// Topological evaluation order (Mealy-output dependencies only) and the
+  /// flattened output-value layout.  Computed by validate().
+  struct Schedule {
+    std::vector<std::size_t> order;       ///< component evaluation order
+    std::vector<std::size_t> out_offset;  ///< component -> first output slot
+    std::size_t total_outputs = 0;
+  };
+  [[nodiscard]] Schedule make_schedule() const;
+
+  std::vector<std::unique_ptr<Component>> components_;
+  /// wiring_[c][p] = producer of input port p of component c.
+  std::vector<std::vector<std::optional<PortRef>>> wiring_;
+};
+
+/// Step-by-step stochastic simulation of a network.
+///
+/// Samples one branch per component per clock cycle — by construction this
+/// simulates exactly the process Network::compose() analyzes, which makes it
+/// the cross-validation oracle for the analytic results (and the
+/// "straightforward simulation" whose infeasibility at low BER the paper
+/// argues).  The schedule and scratch buffers are cached, so step() does no
+/// allocation.  The referenced Network must outlive the simulator and must
+/// not be modified while it is in use.
+class NetworkSimulator {
+ public:
+  explicit NetworkSimulator(const Network& network);
+
+  /// Returns the composite state to each component's initial state.
+  void reset();
+
+  /// Advances one clock cycle using `rng` for every branch draw.
+  void step(Rng& rng);
+
+  /// Current component states (one coordinate per component).
+  [[nodiscard]] std::span<const std::uint32_t> states() const {
+    return states_;
+  }
+
+  /// Sets the composite state explicitly.
+  void set_states(std::span<const std::uint32_t> states);
+
+  /// Output-port value of the given component as of the last step()
+  /// (Moore outputs reflect the *pre-step* state used during that cycle).
+  [[nodiscard]] std::uint32_t output(std::size_t component,
+                                     std::size_t port) const;
+
+ private:
+  const Network& network_;
+  Network::Schedule schedule_;
+  std::vector<std::uint32_t> states_;
+  std::vector<std::uint32_t> out_values_;
+  std::vector<std::uint32_t> next_states_;
+  std::vector<std::uint32_t> inputs_;
+};
+
+}  // namespace stocdr::fsm

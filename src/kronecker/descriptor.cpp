@@ -1,0 +1,184 @@
+#include "kronecker/descriptor.hpp"
+
+#include <algorithm>
+
+#include "kronecker/kron.hpp"
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::kron {
+
+namespace {
+
+/// Cheap structural identity check used to skip no-op modes.
+bool is_identity(const sparse::CsrMatrix& m) {
+  if (m.rows() != m.cols() || m.nnz() != m.rows()) return false;
+  const auto cols = m.col_idx();
+  const auto vals = m.values();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (cols[i] != i || vals[i] != 1.0) return false;
+  }
+  return true;
+}
+
+/// z <- (I_L (x) M (x) I_R) z' where z' is `in`; writes to `out`.
+void mode_multiply(const sparse::CsrMatrix& m, std::size_t left,
+                   std::size_t right, std::span<const double> in,
+                   std::span<double> out) {
+  const std::size_t n = m.rows();
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t l = 0; l < left; ++l) {
+    const std::size_t base = l * n * right;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cols = m.row_cols(i);
+      const auto vals = m.row_values(i);
+      double* dst = out.data() + base + i * right;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const double v = vals[k];
+        const double* src = in.data() + base + cols[k] * right;
+        for (std::size_t r = 0; r < right; ++r) dst[r] += v * src[r];
+      }
+    }
+  }
+}
+
+/// z <- (I_L (x) M^T (x) I_R) z'.
+void mode_multiply_transpose(const sparse::CsrMatrix& m, std::size_t left,
+                             std::size_t right, std::span<const double> in,
+                             std::span<double> out) {
+  const std::size_t n = m.rows();
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t l = 0; l < left; ++l) {
+    const std::size_t base = l * n * right;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cols = m.row_cols(i);
+      const auto vals = m.row_values(i);
+      const double* src = in.data() + base + i * right;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const double v = vals[k];
+        double* dst = out.data() + base + cols[k] * right;
+        for (std::size_t r = 0; r < right; ++r) dst[r] += v * src[r];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+KroneckerDescriptor::KroneckerDescriptor(std::vector<std::size_t> dims)
+    : dims_(std::move(dims)) {
+  STOCDR_REQUIRE(!dims_.empty(), "KroneckerDescriptor: no dimensions");
+  for (const std::size_t d : dims_) {
+    STOCDR_REQUIRE(d >= 1, "KroneckerDescriptor: dimensions must be >= 1");
+    total_ *= d;
+  }
+}
+
+void KroneckerDescriptor::add_term(KroneckerTerm term) {
+  STOCDR_REQUIRE(term.factors.size() == dims_.size(),
+                 "KroneckerDescriptor: term must have one factor per "
+                 "dimension");
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    STOCDR_REQUIRE(term.factors[k].rows() == dims_[k] &&
+                       term.factors[k].cols() == dims_[k],
+                   "KroneckerDescriptor: factor shape mismatch");
+  }
+  terms_.push_back(std::move(term));
+}
+
+void KroneckerDescriptor::add_single_factor_term(double coefficient,
+                                                 std::size_t slot,
+                                                 sparse::CsrMatrix m) {
+  STOCDR_REQUIRE(slot < dims_.size(),
+                 "KroneckerDescriptor: slot out of range");
+  KroneckerTerm term;
+  term.coefficient = coefficient;
+  term.factors.reserve(dims_.size());
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    if (k == slot) {
+      term.factors.push_back(std::move(m));
+    } else {
+      term.factors.push_back(sparse::CsrMatrix::identity(dims_[k]));
+    }
+  }
+  add_term(std::move(term));
+}
+
+void KroneckerDescriptor::apply_term(const KroneckerTerm& term, bool transpose,
+                                     std::span<const double> x,
+                                     std::span<double> y,
+                                     std::vector<double>& scratch) const {
+  // Shuffle algorithm: apply one mode at a time, ping-ponging between the
+  // scratch buffer and an accumulator.  Identity factors are skipped.
+  std::vector<double> current(x.begin(), x.end());
+  scratch.resize(total_);
+  std::size_t left = 1;
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    const std::size_t n = dims_[k];
+    const std::size_t right = total_ / (left * n);
+    const sparse::CsrMatrix& m = term.factors[k];
+    if (!is_identity(m)) {
+      if (transpose) {
+        mode_multiply_transpose(m, left, right, current, scratch);
+      } else {
+        mode_multiply(m, left, right, current, scratch);
+      }
+      current.swap(scratch);
+    }
+    left *= n;
+  }
+  for (std::size_t i = 0; i < total_; ++i) {
+    y[i] += term.coefficient * current[i];
+  }
+}
+
+void KroneckerDescriptor::apply(std::span<const double> x,
+                                std::span<double> y) const {
+  STOCDR_REQUIRE(x.size() == total_ && y.size() == total_,
+                 "KroneckerDescriptor::apply size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  std::vector<double> scratch;
+  for (const KroneckerTerm& term : terms_) {
+    apply_term(term, /*transpose=*/false, x, y, scratch);
+  }
+}
+
+void KroneckerDescriptor::apply_transpose(std::span<const double> x,
+                                          std::span<double> y) const {
+  STOCDR_REQUIRE(x.size() == total_ && y.size() == total_,
+                 "KroneckerDescriptor::apply_transpose size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  std::vector<double> scratch;
+  for (const KroneckerTerm& term : terms_) {
+    apply_term(term, /*transpose=*/true, x, y, scratch);
+  }
+}
+
+sparse::CsrMatrix KroneckerDescriptor::to_csr() const {
+  STOCDR_REQUIRE(!terms_.empty(), "KroneckerDescriptor::to_csr: no terms");
+  sparse::CooBuilder builder(total_, total_);
+  for (const KroneckerTerm& term : terms_) {
+    sparse::CsrMatrix product = term.factors[0];
+    for (std::size_t k = 1; k < term.factors.size(); ++k) {
+      product = kronecker_product(product, term.factors[k]);
+    }
+    product.for_each([&](std::size_t r, std::size_t c, double v) {
+      builder.add(r, c, term.coefficient * v);
+    });
+  }
+  return builder.to_csr();
+}
+
+std::size_t KroneckerDescriptor::storage_bytes() const {
+  std::size_t bytes = 0;
+  for (const KroneckerTerm& term : terms_) {
+    for (const sparse::CsrMatrix& m : term.factors) {
+      bytes += m.nnz() * (sizeof(double) + sizeof(std::uint32_t)) +
+               (m.rows() + 1) * sizeof(std::uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace stocdr::kron

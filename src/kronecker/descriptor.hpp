@@ -1,0 +1,68 @@
+// Matrix-free Kronecker descriptors (stochastic-automata-network style).
+//
+// A descriptor represents D = sum_e c_e * (M_{e,1} (x) ... (x) M_{e,K})
+// over K square factor spaces, and can apply D (or D^T) to a vector with
+// the shuffle algorithm in O(sum_k nnz(M_k) * prod_{j!=k} n_j) work and
+// O(prod n_k) memory — without ever materializing the product matrix.
+// This is the paper's stated path to models beyond explicit sparse storage.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace stocdr::kron {
+
+/// One additive term: coefficient * (factors[0] (x) ... (x) factors[K-1]).
+struct KroneckerTerm {
+  double coefficient = 1.0;
+  std::vector<sparse::CsrMatrix> factors;  ///< all square, sizes = dims
+};
+
+/// A sum of Kronecker-product terms over fixed per-component dimensions.
+class KroneckerDescriptor {
+ public:
+  /// `dims` are the component state-space sizes (all >= 1).
+  explicit KroneckerDescriptor(std::vector<std::size_t> dims);
+
+  /// Adds a term.  Every factor must be square with the matching dimension;
+  /// an empty factor list is rejected.
+  void add_term(KroneckerTerm term);
+
+  /// Identity-factor helper: adds coefficient * (I (x) ... (x) M at `slot`
+  /// (x) ... (x) I).
+  void add_single_factor_term(double coefficient, std::size_t slot,
+                              sparse::CsrMatrix m);
+
+  [[nodiscard]] std::size_t num_terms() const { return terms_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// Product of the component dimensions.
+  [[nodiscard]] std::size_t dimension() const { return total_; }
+
+  /// y = D x via the shuffle algorithm.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = D^T x.
+  void apply_transpose(std::span<const double> x, std::span<double> y) const;
+
+  /// Materializes D as an explicit sparse matrix (validation / small cases).
+  [[nodiscard]] sparse::CsrMatrix to_csr() const;
+
+  /// Bytes of factor storage held by the descriptor (compare against
+  /// ~12 bytes/nnz for the explicit product).
+  [[nodiscard]] std::size_t storage_bytes() const;
+
+ private:
+  void apply_term(const KroneckerTerm& term, bool transpose,
+                  std::span<const double> x, std::span<double> y,
+                  std::vector<double>& scratch) const;
+
+  std::vector<std::size_t> dims_;
+  std::size_t total_ = 1;
+  std::vector<KroneckerTerm> terms_;
+};
+
+}  // namespace stocdr::kron

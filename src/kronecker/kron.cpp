@@ -1,0 +1,43 @@
+#include "kronecker/kron.hpp"
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::kron {
+
+sparse::CsrMatrix kronecker_product(const sparse::CsrMatrix& a,
+                                    const sparse::CsrMatrix& b) {
+  const std::size_t rows = a.rows() * b.rows();
+  const std::size_t cols = a.cols() * b.cols();
+  STOCDR_REQUIRE(rows > 0 && cols > 0, "kronecker_product: empty operand");
+  sparse::CooBuilder builder(rows, cols);
+  builder.reserve(a.nnz() * b.nnz());
+  a.for_each([&](std::size_t i1, std::size_t j1, double va) {
+    b.for_each([&](std::size_t i2, std::size_t j2, double vb) {
+      builder.add(i1 * b.rows() + i2, j1 * b.cols() + j2, va * vb);
+    });
+  });
+  return builder.to_csr();
+}
+
+sparse::CsrMatrix kronecker_sum(const sparse::CsrMatrix& a,
+                                const sparse::CsrMatrix& b) {
+  STOCDR_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols(),
+                 "kronecker_sum requires square operands");
+  const std::size_t n = a.rows() * b.rows();
+  sparse::CooBuilder builder(n, n);
+  builder.reserve(a.nnz() * b.rows() + b.nnz() * a.rows());
+  a.for_each([&](std::size_t i1, std::size_t j1, double va) {
+    for (std::size_t k = 0; k < b.rows(); ++k) {
+      builder.add(i1 * b.rows() + k, j1 * b.rows() + k, va);
+    }
+  });
+  b.for_each([&](std::size_t i2, std::size_t j2, double vb) {
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+      builder.add(k * b.rows() + i2, k * b.rows() + j2, vb);
+    }
+  });
+  return builder.to_csr();
+}
+
+}  // namespace stocdr::kron

@@ -1,0 +1,27 @@
+// Kronecker products of sparse matrices.
+//
+// The paper stores its TPM in explicit sparse form but points at
+// "hierarchical generalized Kronecker-algebra" (Plateau's stochastic
+// automata networks, Buchholz's hierarchical Markovian models) as the way to
+// scale beyond ~1e5 states: the TPM of a network of independent components
+// is a Kronecker product of the component matrices, and never needs to be
+// formed.  This header provides the explicit product (for small matrices /
+// validation) and the descriptor machinery lives in descriptor.hpp.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace stocdr::kron {
+
+/// Explicit Kronecker product C = A (x) B, with
+/// C[i1*rowsB + i2][j1*colsB + j2] = A[i1][j1] * B[i2][j2].
+[[nodiscard]] sparse::CsrMatrix kronecker_product(const sparse::CsrMatrix& a,
+                                                  const sparse::CsrMatrix& b);
+
+/// Kronecker sum A (+) B = A (x) I + I (x) B (square inputs) — the
+/// generator composition for independent continuous-time components; kept
+/// for completeness of the algebra.
+[[nodiscard]] sparse::CsrMatrix kronecker_sum(const sparse::CsrMatrix& a,
+                                              const sparse::CsrMatrix& b);
+
+}  // namespace stocdr::kron

@@ -1,0 +1,127 @@
+#include "markov/classify.hpp"
+
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::markov {
+
+ChainStructure classify(const MarkovChain& chain) {
+  ChainStructure structure;
+  structure.component =
+      strongly_connected_components(chain, structure.num_components);
+  const std::size_t n = chain.num_states();
+
+  // A class is closed iff no member has an edge leaving the class.
+  std::vector<bool> closed(structure.num_components, true);
+  chain.pt().for_each([&](std::size_t dst, std::size_t src, double) {
+    if (structure.component[src] != structure.component[dst]) {
+      closed[structure.component[src]] = false;
+    }
+  });
+  structure.recurrent.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    structure.recurrent[i] = closed[structure.component[i]];
+  }
+  structure.num_recurrent_classes = 0;
+  for (const bool c : closed) {
+    if (c) ++structure.num_recurrent_classes;
+  }
+  return structure;
+}
+
+bool is_ergodic_candidate(const ChainStructure& structure) {
+  return structure.num_components == 1;
+}
+
+RestrictedChain restrict_to_recurrent(const MarkovChain& chain) {
+  const ChainStructure structure = classify(chain);
+  STOCDR_REQUIRE(structure.num_recurrent_classes == 1,
+                 "restrict_to_recurrent: the chain has " +
+                     std::to_string(structure.num_recurrent_classes) +
+                     " recurrent classes; select one explicitly");
+  return restrict_chain(chain, structure.recurrent);
+}
+
+std::size_t period(const MarkovChain& chain) {
+  STOCDR_REQUIRE(is_irreducible(chain), "period: chain must be irreducible");
+  const std::size_t n = chain.num_states();
+  // BFS levels from state 0; the period is the gcd of (level(u) + 1 -
+  // level(v)) over all edges u -> v.
+  const sparse::CsrMatrix p = chain.to_row_stochastic();
+  std::vector<std::int64_t> level(n, -1);
+  std::vector<std::size_t> queue{0};
+  level[0] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t u = queue[head];
+    for (const std::uint32_t v : p.row_cols(u)) {
+      if (level[v] < 0) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  std::size_t g = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const std::uint32_t v : p.row_cols(u)) {
+      const auto diff = static_cast<std::size_t>(
+          std::llabs(level[u] + 1 - level[v]));
+      if (diff != 0) g = gcd_size(g, diff);
+    }
+  }
+  return g == 0 ? 1 : g;
+}
+
+sparse::DenseMatrix fundamental_matrix(const MarkovChain& chain,
+                                       std::span<const double> eta) {
+  const std::size_t n = chain.num_states();
+  STOCDR_REQUIRE(eta.size() == n, "fundamental_matrix: eta size mismatch");
+  STOCDR_REQUIRE(n <= 2000,
+                 "fundamental_matrix: dense O(n^3) helper, n must be small");
+  // A = I - P + 1 eta^T, then Z = A^{-1}.
+  sparse::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = eta[j];
+    a.at(i, i) += 1.0;
+  }
+  chain.pt().for_each([&a](std::size_t dst, std::size_t src, double v) {
+    a.at(src, dst) -= v;
+  });
+  const sparse::LuFactorization lu(a);
+  sparse::DenseMatrix z(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const auto column = lu.solve(e);
+    for (std::size_t i = 0; i < n; ++i) z.at(i, j) = column[i];
+    e[j] = 0.0;
+  }
+  return z;
+}
+
+sparse::DenseMatrix mean_first_passage_matrix(const MarkovChain& chain,
+                                              std::span<const double> eta) {
+  const sparse::DenseMatrix z = fundamental_matrix(chain, eta);
+  const std::size_t n = chain.num_states();
+  sparse::DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      STOCDR_REQUIRE(eta[j] > 0.0,
+                     "mean_first_passage_matrix: eta must be positive");
+      m.at(i, j) = (z.at(j, j) - z.at(i, j)) / eta[j];
+    }
+  }
+  return m;
+}
+
+double kemeny_constant(const MarkovChain& chain, std::span<const double> eta) {
+  // K = trace(Z) - 1 (Kemeny-Snell, with the fundamental matrix above).
+  const sparse::DenseMatrix z = fundamental_matrix(chain, eta);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < chain.num_states(); ++i) trace += z.at(i, i);
+  return trace - 1.0;
+}
+
+}  // namespace stocdr::markov

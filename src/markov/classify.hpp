@@ -1,0 +1,73 @@
+// Structural classification of Markov chains: recurrent/transient classes,
+// periodicity, and the small-chain fundamental-matrix toolbox.
+//
+// The compositional builder restricts to the *reachable* state set (as the
+// paper prescribes), but reachable states can still be transient — e.g. the
+// lock-in trajectory of a CDR started far off phase.  Stationary analysis
+// concerns the recurrent class; these routines identify and extract it, and
+// provide the classical closed-form quantities (fundamental matrix, mean
+// first passage matrix, Kemeny constant) used as oracles for the iterative
+// machinery on small chains.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "markov/reachability.hpp"
+#include "sparse/dense.hpp"
+
+namespace stocdr::markov {
+
+/// Per-state classification result.
+struct ChainStructure {
+  /// SCC id of each state (opaque labels).
+  std::vector<std::uint32_t> component;
+  /// Number of SCCs.
+  std::size_t num_components = 0;
+  /// True for states inside a closed (recurrent) SCC.
+  std::vector<bool> recurrent;
+  /// Number of closed SCCs.
+  std::size_t num_recurrent_classes = 0;
+};
+
+/// Classifies every state as recurrent (member of a closed communicating
+/// class) or transient.
+[[nodiscard]] ChainStructure classify(const MarkovChain& chain);
+
+/// True if the chain has a single closed class covering every state
+/// (irreducible) — equivalent to reachability.hpp's is_irreducible but
+/// computed from the classification.
+[[nodiscard]] bool is_ergodic_candidate(const ChainStructure& structure);
+
+/// Restricts the chain to its unique recurrent class; throws
+/// PreconditionError if there are several (the model is then ambiguous and
+/// the caller must choose).  The result's transitions are exactly the
+/// original ones (a closed class leaks nothing), so the restricted chain is
+/// properly stochastic.
+[[nodiscard]] RestrictedChain restrict_to_recurrent(const MarkovChain& chain);
+
+/// Period of an irreducible chain: gcd of all cycle lengths.  1 = aperiodic
+/// (required for plain power iteration to converge).
+[[nodiscard]] std::size_t period(const MarkovChain& chain);
+
+// --- small-chain closed forms (dense; oracles for tests and tiny models) --
+
+/// Fundamental matrix Z = (I - P + 1 eta^T)^{-1} of an irreducible chain
+/// (Kemeny-Snell).  O(n^3); small chains only.
+[[nodiscard]] sparse::DenseMatrix fundamental_matrix(
+    const MarkovChain& chain, std::span<const double> eta);
+
+/// Mean first passage times m_ij = E_i[T_j] for all pairs, from the
+/// fundamental matrix: m_ij = (z_jj - z_ij) / eta_j (m_ii = 0).
+[[nodiscard]] sparse::DenseMatrix mean_first_passage_matrix(
+    const MarkovChain& chain, std::span<const double> eta);
+
+/// Kemeny constant K = sum_j eta_j m_ij (independent of i): the expected
+/// steps to reach a stationarily-chosen target — a single-number mixing
+/// summary.
+[[nodiscard]] double kemeny_constant(const MarkovChain& chain,
+                                     std::span<const double> eta);
+
+}  // namespace stocdr::markov

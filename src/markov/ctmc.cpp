@@ -1,0 +1,115 @@
+#include "markov/ctmc.hpp"
+
+#include <cmath>
+#include <tuple>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::markov {
+
+namespace {
+constexpr double kGeneratorTol = 1e-9;
+}
+
+Ctmc::Ctmc(sparse::CsrMatrix q_transposed) : qt_(std::move(q_transposed)) {
+  STOCDR_REQUIRE(qt_.rows() == qt_.cols(), "Ctmc requires a square generator");
+  // Row sums of Q are column sums of the stored Q^T.
+  const auto sums = qt_.col_sums();
+  for (const double s : sums) {
+    if (std::abs(s) > kGeneratorTol) {
+      throw PreconditionError(
+          "Ctmc: generator row sums must be zero (defect " +
+          std::to_string(s) + ")");
+    }
+  }
+  qt_.for_each([&](std::size_t dst, std::size_t src, double v) {
+    if (dst != src) {
+      STOCDR_REQUIRE(v >= 0.0,
+                     "Ctmc: off-diagonal generator entries must be >= 0");
+    } else {
+      STOCDR_REQUIRE(v <= kGeneratorTol,
+                     "Ctmc: diagonal generator entries must be <= 0");
+      max_exit_rate_ = std::max(max_exit_rate_, -v);
+    }
+  });
+  STOCDR_REQUIRE(max_exit_rate_ > 0.0,
+                 "Ctmc: generator is identically zero");
+}
+
+Ctmc Ctmc::from_rates(
+    std::size_t num_states,
+    const std::vector<std::tuple<std::size_t, std::size_t, double>>& rates) {
+  sparse::CooBuilder builder(num_states, num_states);
+  std::vector<double> exit(num_states, 0.0);
+  for (const auto& [src, dst, rate] : rates) {
+    STOCDR_REQUIRE(src < num_states && dst < num_states,
+                   "Ctmc::from_rates: state out of range");
+    STOCDR_REQUIRE(src != dst, "Ctmc::from_rates: no self-rates");
+    STOCDR_REQUIRE(rate > 0.0, "Ctmc::from_rates: rates must be positive");
+    builder.add(dst, src, rate);  // transposed
+    exit[src] += rate;
+  }
+  for (std::size_t i = 0; i < num_states; ++i) {
+    if (exit[i] > 0.0) builder.add(i, i, -exit[i]);
+  }
+  return Ctmc(builder.to_csr());
+}
+
+MarkovChain Ctmc::uniformize(double lambda) const {
+  if (lambda == 0.0) lambda = 1.02 * max_exit_rate_;
+  STOCDR_REQUIRE(lambda >= max_exit_rate_,
+                 "Ctmc::uniformize: lambda must be >= the max exit rate");
+  const std::size_t n = num_states();
+  sparse::CooBuilder builder(n, n);
+  builder.reserve(qt_.nnz() + n);
+  for (std::size_t i = 0; i < n; ++i) builder.add(i, i, 1.0);
+  qt_.for_each([&](std::size_t dst, std::size_t src, double v) {
+    builder.add(dst, src, v / lambda);
+  });
+  return MarkovChain(builder.to_csr());
+}
+
+std::vector<double> Ctmc::transient(std::span<const double> initial, double t,
+                                    double tolerance) const {
+  const std::size_t n = num_states();
+  STOCDR_REQUIRE(initial.size() == n, "Ctmc::transient: initial size");
+  STOCDR_REQUIRE(t >= 0.0, "Ctmc::transient: time must be >= 0");
+  STOCDR_REQUIRE(tolerance > 0.0 && tolerance < 1.0,
+                 "Ctmc::transient: bad tolerance");
+  std::vector<double> x(initial.begin(), initial.end());
+  if (t == 0.0) return x;
+
+  const double lambda = 1.02 * max_exit_rate_;
+  const MarkovChain p = uniformize(lambda);
+  const double a = lambda * t;
+
+  // Poisson weights computed iteratively; for large a, start from the
+  // log-domain to avoid underflow of the k=0 term.
+  std::vector<double> result(n, 0.0);
+  std::vector<double> next(n);
+  double log_weight = -a;  // ln Pois(0; a)
+  double accumulated = 0.0;
+  // Cap the series generously: mean a, std sqrt(a).
+  const auto max_terms = static_cast<std::size_t>(a + 12.0 * std::sqrt(a) +
+                                                  64.0);
+  for (std::size_t k = 0; k <= max_terms; ++k) {
+    const double weight = std::exp(log_weight);
+    if (weight > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) result[i] += weight * x[i];
+      accumulated += weight;
+      if (1.0 - accumulated < tolerance && k > a) break;
+    }
+    p.step(x, next);
+    x.swap(next);
+    log_weight += std::log(a) - std::log(static_cast<double>(k) + 1.0);
+  }
+  // Renormalize the truncated series (it sums to `accumulated` <= 1).
+  if (accumulated > 0.0) {
+    for (double& v : result) v /= accumulated;
+  }
+  return result;
+}
+
+}  // namespace stocdr::markov

@@ -1,0 +1,62 @@
+// Continuous-time Markov chains: generator matrices and uniformization.
+//
+// The paper's CDR model is synchronous (one step per bit), but the
+// surrounding Markov machinery is general, and mixed-signal duty often
+// brings continuous-time components (charge-pump PLL states, burst arrival
+// processes).  This header completes the substrate: CTMC generators with
+// validation, the uniformized DTMC (which reduces every CTMC question to
+// the discrete solvers in this library), stationary distributions, and
+// transient solutions via the Poisson-weighted uniformization series —
+// the standard numerically robust method (no matrix exponentials, no
+// negative intermediate values).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "sparse/csr.hpp"
+
+namespace stocdr::markov {
+
+/// A continuous-time Markov chain given by its generator Q (row sums zero,
+/// off-diagonal nonnegative).  Stored transposed like MarkovChain.
+class Ctmc {
+ public:
+  /// Constructs from Q^T (rows are destination states).  Validates the
+  /// generator: off-diagonal entries >= 0 and row sums of Q within 1e-9
+  /// of 0.
+  explicit Ctmc(sparse::CsrMatrix q_transposed);
+
+  /// Builds from rate triplets: rate(src -> dst) > 0 for src != dst; the
+  /// diagonal is derived.
+  [[nodiscard]] static Ctmc from_rates(
+      std::size_t num_states,
+      const std::vector<std::tuple<std::size_t, std::size_t, double>>& rates);
+
+  [[nodiscard]] std::size_t num_states() const { return qt_.rows(); }
+  [[nodiscard]] const sparse::CsrMatrix& qt() const { return qt_; }
+
+  /// The largest total exit rate max_i |q_ii| (the uniformization rate).
+  [[nodiscard]] double max_exit_rate() const { return max_exit_rate_; }
+
+  /// The uniformized DTMC P = I + Q / lambda for lambda >= max exit rate
+  /// (default: 1.02 * max_exit_rate so every state keeps a self-loop,
+  /// making the chain aperiodic).  The CTMC and P share their stationary
+  /// distribution.
+  [[nodiscard]] MarkovChain uniformize(double lambda = 0.0) const;
+
+  /// Transient distribution at time t from `initial`, via the
+  /// uniformization series  pi(t) = sum_k Pois(k; lambda t) x P^k,
+  /// truncated when the remaining Poisson mass is below `tolerance`.
+  [[nodiscard]] std::vector<double> transient(std::span<const double> initial,
+                                              double t,
+                                              double tolerance = 1e-12) const;
+
+ private:
+  sparse::CsrMatrix qt_;
+  double max_exit_rate_ = 0.0;
+};
+
+}  // namespace stocdr::markov

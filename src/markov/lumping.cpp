@@ -1,0 +1,240 @@
+#include "markov/lumping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::markov {
+
+Partition::Partition(std::vector<std::uint32_t> group_of)
+    : group_of_(std::move(group_of)) {
+  STOCDR_REQUIRE(!group_of_.empty(), "Partition must cover at least one state");
+  std::uint32_t max_group = 0;
+  for (const std::uint32_t g : group_of_) max_group = std::max(max_group, g);
+  num_groups_ = static_cast<std::size_t>(max_group) + 1;
+  // Verify the group ids are gap-free.
+  std::vector<bool> present(num_groups_, false);
+  for (const std::uint32_t g : group_of_) present[g] = true;
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    STOCDR_REQUIRE(present[g], "Partition group ids must be gap-free");
+  }
+}
+
+Partition Partition::identity(std::size_t n) {
+  std::vector<std::uint32_t> g(n);
+  for (std::size_t i = 0; i < n; ++i) g[i] = static_cast<std::uint32_t>(i);
+  return Partition(std::move(g));
+}
+
+Partition Partition::pairs(std::size_t n) {
+  STOCDR_REQUIRE(n >= 1, "Partition::pairs requires n >= 1");
+  std::vector<std::uint32_t> g(n);
+  for (std::size_t i = 0; i < n; ++i) g[i] = static_cast<std::uint32_t>(i / 2);
+  return Partition(std::move(g));
+}
+
+std::vector<std::size_t> Partition::group_sizes() const {
+  std::vector<std::size_t> sizes(num_groups_, 0);
+  for (const std::uint32_t g : group_of_) sizes[g]++;
+  return sizes;
+}
+
+Partition Partition::compose(const Partition& coarser) const {
+  STOCDR_REQUIRE(coarser.num_states() == num_groups_,
+                 "Partition::compose: coarser partition must cover the groups");
+  std::vector<std::uint32_t> g(group_of_.size());
+  for (std::size_t i = 0; i < group_of_.size(); ++i) {
+    g[i] = coarser.group(group_of_[i]);
+  }
+  return Partition(std::move(g));
+}
+
+bool is_exactly_lumpable(const sparse::CsrMatrix& pt,
+                         const Partition& partition, double tol) {
+  const std::size_t n = pt.rows();
+  STOCDR_REQUIRE(partition.num_states() == n,
+                 "is_exactly_lumpable: partition size mismatch");
+  // Compute, for each source state, its aggregated outgoing distribution
+  // over groups; all states of one group must agree.  We need rows of P,
+  // i.e. columns of pt, so accumulate per (source, dest-group).
+  std::vector<std::unordered_map<std::uint32_t, double>> agg(n);
+  pt.for_each([&](std::size_t dst, std::size_t src, double v) {
+    agg[src][partition.group(dst)] += v;
+  });
+  // Representative per group: the first state encountered.
+  std::vector<std::int64_t> rep(partition.num_groups(), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t g = partition.group(i);
+    if (rep[g] < 0) {
+      rep[g] = static_cast<std::int64_t>(i);
+      continue;
+    }
+    const auto& a = agg[static_cast<std::size_t>(rep[g])];
+    const auto& b = agg[i];
+    // Symmetric comparison over the union of keys.
+    for (const auto& [gj, pa] : a) {
+      const auto it = b.find(gj);
+      const double pb = (it == b.end()) ? 0.0 : it->second;
+      if (std::abs(pa - pb) > tol) return false;
+    }
+    for (const auto& [gj, pb] : b) {
+      if (a.find(gj) == a.end() && std::abs(pb) > tol) return false;
+    }
+  }
+  return true;
+}
+
+sparse::CsrMatrix lump_exact(const sparse::CsrMatrix& pt,
+                             const Partition& partition) {
+  const std::size_t n = pt.rows();
+  STOCDR_REQUIRE(partition.num_states() == n,
+                 "lump_exact: partition size mismatch");
+  const std::size_t m = partition.num_groups();
+  // Use the first state of each group as the representative row of P.
+  std::vector<std::int64_t> rep(m, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t g = partition.group(i);
+    if (rep[g] < 0) rep[g] = static_cast<std::int64_t>(i);
+  }
+  sparse::CooBuilder builder(m, m);
+  pt.for_each([&](std::size_t dst, std::size_t src, double v) {
+    const std::uint32_t gs = partition.group(src);
+    if (rep[gs] == static_cast<std::int64_t>(src)) {
+      builder.add(partition.group(dst), gs, v);
+    }
+  });
+  return builder.to_csr();
+}
+
+sparse::CsrMatrix aggregate_transposed(const sparse::CsrMatrix& pt,
+                                       const Partition& partition,
+                                       std::span<const double> weights) {
+  const std::size_t n = pt.rows();
+  STOCDR_REQUIRE(partition.num_states() == n,
+                 "aggregate_transposed: partition size mismatch");
+  STOCDR_REQUIRE(weights.size() == n,
+                 "aggregate_transposed: weights size mismatch");
+  const std::size_t m = partition.num_groups();
+
+  // Normalized within-group weights: w_i / W_I (uniform for massless groups).
+  std::vector<double> group_mass(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    STOCDR_REQUIRE(weights[i] >= 0.0,
+                   "aggregate_transposed: weights must be nonnegative");
+    group_mass[partition.group(i)] += weights[i];
+  }
+  const auto sizes = partition.group_sizes();
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t g = partition.group(i);
+    scaled[i] = group_mass[g] > 0.0
+                    ? weights[i] / group_mass[g]
+                    : 1.0 / static_cast<double>(sizes[g]);
+  }
+
+  sparse::CooBuilder builder(m, m);
+  builder.reserve(pt.nnz());
+  pt.for_each([&](std::size_t dst, std::size_t src, double v) {
+    builder.add(partition.group(dst), partition.group(src), v * scaled[src]);
+  });
+  return builder.to_csr();
+}
+
+AggregationPlan::AggregationPlan(const sparse::CsrMatrix& pt,
+                                 const Partition& partition)
+    : partition_(partition), fine_nnz_(pt.nnz()) {
+  STOCDR_REQUIRE(partition.num_states() == pt.rows(),
+                 "AggregationPlan: partition size mismatch");
+  // Quotient pattern from the fine *structure* alone: every stored entry
+  // contributes, including explicit zeros (tail probabilities underflow to
+  // exact zero on stiff chains, and coarse matrices produced by a plan keep
+  // such slots — the pattern must remain a superset across cycles).
+  const std::size_t m = partition.num_groups();
+  sparse::CooBuilder pattern_builder(m, m);
+  pattern_builder.reserve(pt.nnz());
+  pt.for_each([&](std::size_t dst, std::size_t src, double) {
+    pattern_builder.add(partition_.group(dst), partition_.group(src), 1.0);
+  });
+  const sparse::CsrMatrix pattern = pattern_builder.to_csr();
+  coarse_ptr_.assign(pattern.row_ptr().begin(), pattern.row_ptr().end());
+  coarse_cols_.assign(pattern.col_idx().begin(), pattern.col_idx().end());
+
+  // Slot of each fine entry: binary search its (coarse row, coarse col) in
+  // the quotient pattern.
+  slot_.resize(fine_nnz_);
+  std::size_t k = 0;
+  pt.for_each([&](std::size_t dst, std::size_t src, double) {
+    const std::uint32_t gd = partition_.group(dst);
+    const std::uint32_t gs = partition_.group(src);
+    const auto begin = coarse_cols_.begin() + coarse_ptr_[gd];
+    const auto end = coarse_cols_.begin() + coarse_ptr_[gd + 1];
+    const auto it = std::lower_bound(begin, end, gs);
+    STOCDR_ASSERT(it != end && *it == gs);
+    slot_[k++] = static_cast<std::uint32_t>(it - coarse_cols_.begin());
+  });
+}
+
+sparse::CsrMatrix AggregationPlan::aggregate(
+    const sparse::CsrMatrix& pt, std::span<const double> weights) const {
+  STOCDR_REQUIRE(pt.nnz() == fine_nnz_ &&
+                     pt.rows() == partition_.num_states(),
+                 "AggregationPlan::aggregate: matrix does not match the plan");
+  STOCDR_REQUIRE(weights.size() == partition_.num_states(),
+                 "AggregationPlan::aggregate: weights size mismatch");
+  const std::size_t m = partition_.num_groups();
+
+  std::vector<double> group_mass(m, 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    group_mass[partition_.group(i)] += weights[i];
+  }
+  const auto sizes = partition_.group_sizes();
+  std::vector<double> scaled(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const std::uint32_t g = partition_.group(i);
+    scaled[i] = group_mass[g] > 0.0
+                    ? weights[i] / group_mass[g]
+                    : 1.0 / static_cast<double>(sizes[g]);
+  }
+
+  std::vector<double> values(coarse_cols_.size(), 0.0);
+  std::size_t k = 0;
+  pt.for_each([&](std::size_t, std::size_t src, double v) {
+    values[slot_[k++]] += v * scaled[src];
+  });
+  return sparse::CsrMatrix(m, m, coarse_ptr_, coarse_cols_,
+                           std::move(values));
+}
+
+std::vector<double> restrict_sum(const Partition& partition,
+                                 std::span<const double> x) {
+  STOCDR_REQUIRE(x.size() == partition.num_states(),
+                 "restrict_sum: vector size mismatch");
+  std::vector<double> coarse(partition.num_groups(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    coarse[partition.group(i)] += x[i];
+  }
+  return coarse;
+}
+
+void disaggregate(const Partition& partition, std::span<const double> coarse,
+                  std::span<double> x) {
+  STOCDR_REQUIRE(coarse.size() == partition.num_groups(),
+                 "disaggregate: coarse size mismatch");
+  STOCDR_REQUIRE(x.size() == partition.num_states(),
+                 "disaggregate: fine size mismatch");
+  const auto mass = restrict_sum(partition, {x.data(), x.size()});
+  const auto sizes = partition.group_sizes();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::uint32_t g = partition.group(i);
+    if (mass[g] > 0.0) {
+      x[i] *= coarse[g] / mass[g];
+    } else {
+      x[i] = coarse[g] / static_cast<double>(sizes[g]);
+    }
+  }
+}
+
+}  // namespace stocdr::markov

@@ -1,0 +1,127 @@
+// State lumping (aggregation) for Markov chains.
+//
+// Section 3 of the paper builds its multigrid solver on lumpability: a
+// partition of the state set induces a coarse process; if the chain is
+// *exactly* (ordinarily) lumpable the coarse process is Markov for every
+// initial distribution, and in general the aggregation weighted by the
+// current iterate (weak-lumpability construction) yields the coarse operator
+// used by aggregation/disaggregation and multi-level methods.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace stocdr::markov {
+
+/// A partition of {0, ..., n-1} into groups {0, ..., num_groups-1}.
+class Partition {
+ public:
+  /// Builds from a group-of-state map; group ids must be a gap-free range
+  /// starting at 0.
+  explicit Partition(std::vector<std::uint32_t> group_of);
+
+  /// The identity partition (every state its own group).
+  [[nodiscard]] static Partition identity(std::size_t n);
+
+  /// Groups states by pairs: {0,1}, {2,3}, ...; a trailing odd state forms
+  /// its own group.  This is the generic building block behind the paper's
+  /// phase-pair coarsening.
+  [[nodiscard]] static Partition pairs(std::size_t n);
+
+  [[nodiscard]] std::size_t num_states() const { return group_of_.size(); }
+  [[nodiscard]] std::size_t num_groups() const { return num_groups_; }
+
+  /// Group of state i.
+  [[nodiscard]] std::uint32_t group(std::size_t i) const {
+    return group_of_[i];
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> group_of() const {
+    return group_of_;
+  }
+
+  /// Number of states in each group.
+  [[nodiscard]] std::vector<std::size_t> group_sizes() const;
+
+  /// Composes with a coarser partition of the groups: state i lands in
+  /// coarser.group(this->group(i)).
+  [[nodiscard]] Partition compose(const Partition& coarser) const;
+
+ private:
+  std::vector<std::uint32_t> group_of_;
+  std::size_t num_groups_ = 0;
+};
+
+/// Tests ordinary (exact) lumpability: the chain is exactly lumpable w.r.t.
+/// the partition iff for every group J, the probability of jumping into J is
+/// identical for all states within any one group I (up to `tol`).
+/// `pt` is the transposed TPM (library orientation).
+[[nodiscard]] bool is_exactly_lumpable(const sparse::CsrMatrix& pt,
+                                       const Partition& partition,
+                                       double tol = 1e-12);
+
+/// Exactly lumps a chain known to be lumpable; the coarse transition
+/// probability from I to J is the (common) probability any state of I jumps
+/// into J.  Returns the coarse P^T.  If the chain is not exactly lumpable
+/// the result is the row-arbitrary representative; use aggregate_transposed
+/// for the weighted (always well-defined) construction instead.
+[[nodiscard]] sparse::CsrMatrix lump_exact(const sparse::CsrMatrix& pt,
+                                           const Partition& partition);
+
+/// Weighted aggregation: given nonnegative weights w (typically the current
+/// iterate of the stationary vector), the coarse chain has
+///
+///   P_c(I, J) = sum_{i in I} (w_i / W_I) * sum_{j in J} P(i, j),
+///
+/// with W_I = sum_{i in I} w_i (uniform weights are used for empty groups).
+/// Input and output are in transposed orientation.  The coarse matrix is
+/// row-stochastic whenever P is.
+[[nodiscard]] sparse::CsrMatrix aggregate_transposed(
+    const sparse::CsrMatrix& pt, const Partition& partition,
+    std::span<const double> weights);
+
+/// Precomputed aggregation.  The sparsity pattern of aggregate_transposed
+/// is weight-independent (it is the quotient graph), so the mapping from
+/// fine entries to coarse value slots can be computed once; re-aggregating
+/// with fresh weights is then a single O(nnz) accumulation pass with no
+/// sorting.  This is what makes multigrid cycles cheap: the paper's solver
+/// rebuilds the lumped chains every cycle with the current iterate as
+/// weights, but only their *values* change.
+class AggregationPlan {
+ public:
+  /// Builds the plan (and the quotient pattern) for the given fine matrix
+  /// and partition.  The fine matrix's pattern must not change afterwards.
+  AggregationPlan(const sparse::CsrMatrix& pt, const Partition& partition);
+
+  /// Equivalent to aggregate_transposed(pt, partition, weights) for any
+  /// matrix with the plan's pattern (entries may carry different values).
+  /// Zero-valued coarse entries are kept explicitly (pattern stability).
+  [[nodiscard]] sparse::CsrMatrix aggregate(
+      const sparse::CsrMatrix& pt, std::span<const double> weights) const;
+
+  [[nodiscard]] const Partition& partition() const { return partition_; }
+  [[nodiscard]] std::size_t coarse_nnz() const { return coarse_cols_.size(); }
+
+ private:
+  Partition partition_;
+  std::size_t fine_nnz_;
+  std::vector<std::uint32_t> slot_;        ///< fine entry -> coarse slot
+  std::vector<std::uint32_t> coarse_ptr_;  ///< coarse CSR structure
+  std::vector<std::uint32_t> coarse_cols_;
+};
+
+/// Restriction of a distribution-like vector: X_I = sum_{i in I} x_i.
+[[nodiscard]] std::vector<double> restrict_sum(const Partition& partition,
+                                               std::span<const double> x);
+
+/// Disaggregation (prolongation) step: scales x within each group so the
+/// group totals match `coarse`:  x_i <- coarse_I * x_i / X_I.  Groups whose
+/// current mass X_I is zero receive the coarse mass spread uniformly.
+void disaggregate(const Partition& partition, std::span<const double> coarse,
+                  std::span<double> x);
+
+}  // namespace stocdr::markov

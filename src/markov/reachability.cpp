@@ -1,0 +1,161 @@
+#include "markov/reachability.hpp"
+
+#include <algorithm>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::markov {
+
+std::vector<bool> reachable_from(const MarkovChain& chain,
+                                 const std::vector<std::size_t>& seeds) {
+  const std::size_t n = chain.num_states();
+  // Forward reachability on P means following columns of the stored P^T;
+  // build the forward adjacency once (it is P itself, pattern only).
+  const sparse::CsrMatrix p = chain.to_row_stochastic();
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> stack;
+  for (const std::size_t s : seeds) {
+    STOCDR_REQUIRE(s < n, "reachable_from: seed out of range");
+    if (!seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t v : p.row_cols(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over a CSR adjacency (values ignored).
+class TarjanScc {
+ public:
+  explicit TarjanScc(const sparse::CsrMatrix& adj)
+      : adj_(adj),
+        n_(adj.rows()),
+        index_(n_, kUnvisited),
+        lowlink_(n_, 0),
+        on_stack_(n_, false),
+        component_(n_, 0) {}
+
+  std::vector<std::uint32_t> run(std::size_t& num_components) {
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (index_[v] == kUnvisited) strong_connect(v);
+    }
+    num_components = components_;
+    return component_;
+  }
+
+ private:
+  static constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;  // next out-edge offset within the row
+  };
+
+  void strong_connect(std::size_t root) {
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    start(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto cols = adj_.row_cols(f.v);
+      if (f.edge < cols.size()) {
+        const std::size_t w = cols[f.edge++];
+        if (index_[w] == kUnvisited) {
+          start(w);
+          frames.push_back({w, 0});
+        } else if (on_stack_[w]) {
+          lowlink_[f.v] = std::min(lowlink_[f.v], index_[w]);
+        }
+      } else {
+        if (lowlink_[f.v] == index_[f.v]) {
+          // f.v is the root of a component: pop the stack down to it.
+          for (;;) {
+            const std::size_t w = stack_.back();
+            stack_.pop_back();
+            on_stack_[w] = false;
+            component_[w] = static_cast<std::uint32_t>(components_);
+            if (w == f.v) break;
+          }
+          ++components_;
+        }
+        const std::size_t child = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink_[frames.back().v] =
+              std::min(lowlink_[frames.back().v], lowlink_[child]);
+        }
+      }
+    }
+  }
+
+  void start(std::size_t v) {
+    index_[v] = lowlink_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const sparse::CsrMatrix& adj_;
+  std::size_t n_;
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint32_t> lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<std::uint32_t> component_;
+  std::vector<std::size_t> stack_;
+  std::uint32_t next_index_ = 0;
+  std::size_t components_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> strongly_connected_components(
+    const MarkovChain& chain, std::size_t& num_components) {
+  const sparse::CsrMatrix p = chain.to_row_stochastic();
+  return TarjanScc(p).run(num_components);
+}
+
+bool is_irreducible(const MarkovChain& chain) {
+  std::size_t count = 0;
+  (void)strongly_connected_components(chain, count);
+  return count == 1;
+}
+
+RestrictedChain restrict_chain(const MarkovChain& chain,
+                               const std::vector<bool>& keep) {
+  const std::size_t n = chain.num_states();
+  STOCDR_REQUIRE(keep.size() == n, "restrict_chain: mask size mismatch");
+  RestrictedChain out;
+  out.to_child.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i]) {
+      out.to_child[i] = static_cast<std::int64_t>(out.to_parent.size());
+      out.to_parent.push_back(i);
+    }
+  }
+  const std::size_t m = out.to_parent.size();
+  sparse::CooBuilder builder(m, m);
+  chain.pt().for_each([&](std::size_t dst, std::size_t src, double v) {
+    const std::int64_t cd = out.to_child[dst];
+    const std::int64_t cs = out.to_child[src];
+    if (cd >= 0 && cs >= 0) {
+      builder.add(static_cast<std::size_t>(cd), static_cast<std::size_t>(cs),
+                  v);
+    }
+  });
+  out.qt = builder.to_csr();
+  return out;
+}
+
+}  // namespace stocdr::markov

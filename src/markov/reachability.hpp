@@ -1,0 +1,48 @@
+// Graph analyses on Markov chains: reachability and strongly connected
+// components.
+//
+// Stationary analysis assumes an irreducible chain (the paper restricts the
+// TPM to "the reachable state space of the MC").  These routines let the
+// library verify irreducibility, restrict a chain to its recurrent class,
+// and power the compositional model builder's reachable-set computation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "markov/chain.hpp"
+
+namespace stocdr::markov {
+
+/// States forward-reachable (in >= 0 steps) from the given seed set under
+/// positive-probability transitions.  Returns a boolean mask.
+[[nodiscard]] std::vector<bool> reachable_from(
+    const MarkovChain& chain, const std::vector<std::size_t>& seeds);
+
+/// Tarjan's strongly-connected-components decomposition of the transition
+/// graph.  Returns the component id of every state; ids are assigned in
+/// reverse topological order (a component only reaches components with
+/// smaller or equal... strictly smaller ids are *not* guaranteed; treat ids
+/// as opaque labels).  `num_components` receives the component count.
+[[nodiscard]] std::vector<std::uint32_t> strongly_connected_components(
+    const MarkovChain& chain, std::size_t& num_components);
+
+/// True if the chain is irreducible (single strongly connected component).
+[[nodiscard]] bool is_irreducible(const MarkovChain& chain);
+
+/// Result of restricting a chain to a subset of its states.
+struct RestrictedChain {
+  sparse::CsrMatrix qt;                ///< Q^T: transposed sub-stochastic TPM
+  std::vector<std::size_t> to_parent;  ///< restricted index -> parent index
+  std::vector<std::int64_t> to_child;  ///< parent index -> restricted (-1 out)
+};
+
+/// Restricts the chain to the states with keep[i] == true, dropping all
+/// transitions that enter or leave the kept set.  The result is generally
+/// sub-stochastic: the mass of dropped transitions is the "leak" used by
+/// first-passage analysis.
+[[nodiscard]] RestrictedChain restrict_chain(const MarkovChain& chain,
+                                             const std::vector<bool>& keep);
+
+}  // namespace stocdr::markov

@@ -1,0 +1,73 @@
+#include "markov/state_space.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace stocdr::markov {
+
+StateSpace::StateSpace(std::vector<Dimension> dims) : dims_(std::move(dims)) {
+  STOCDR_REQUIRE(!dims_.empty(), "StateSpace requires at least one dimension");
+  stride_.assign(dims_.size(), 1);
+  total_ = 1;
+  // Last dimension fastest: compute strides right-to-left.
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    STOCDR_REQUIRE(dims_[d].size >= 1,
+                   "StateSpace dimension sizes must be positive");
+    stride_[d] = total_;
+    STOCDR_REQUIRE(
+        total_ <= std::numeric_limits<std::uint64_t>::max() / dims_[d].size,
+        "StateSpace size overflows 64 bits");
+    total_ *= dims_[d].size;
+  }
+}
+
+std::size_t StateSpace::dimension_index(const std::string& name) const {
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (dims_[d].name == name) return d;
+  }
+  throw PreconditionError("StateSpace: no dimension named '" + name + "'");
+}
+
+std::uint64_t StateSpace::encode(
+    const std::vector<std::uint32_t>& coords) const {
+  STOCDR_REQUIRE(coords.size() == dims_.size(),
+                 "StateSpace::encode rank mismatch");
+  std::uint64_t index = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    STOCDR_REQUIRE(coords[d] < dims_[d].size,
+                   "StateSpace::encode coordinate out of range");
+    index += stride_[d] * coords[d];
+  }
+  return index;
+}
+
+std::vector<std::uint32_t> StateSpace::decode(std::uint64_t index) const {
+  STOCDR_REQUIRE(index < total_, "StateSpace::decode index out of range");
+  std::vector<std::uint32_t> coords(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    coords[d] = static_cast<std::uint32_t>(index / stride_[d]);
+    index %= stride_[d];
+  }
+  return coords;
+}
+
+std::uint32_t StateSpace::coordinate(std::uint64_t index,
+                                     std::size_t dim) const {
+  STOCDR_REQUIRE(index < total_ && dim < dims_.size(),
+                 "StateSpace::coordinate out of range");
+  return static_cast<std::uint32_t>((index / stride_[dim]) % dims_[dim].size);
+}
+
+std::string StateSpace::describe(std::uint64_t index) const {
+  const auto coords = decode(index);
+  std::ostringstream os;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (d != 0) os << ' ';
+    os << dims_[d].name << '=' << coords[d];
+  }
+  return os.str();
+}
+
+}  // namespace stocdr::markov

@@ -1,0 +1,65 @@
+// Composite (mixed-radix) state spaces.
+//
+// The global state of a network of FSMs is a tuple of component states; the
+// paper's CDR model has the composite state (data source, phase detector
+// memory, counter, phase error).  StateSpace encodes/decodes such tuples to
+// and from flat indices, names each dimension, and supports marginalization
+// bookkeeping.  The flat index convention is "last dimension fastest", i.e.
+// lexicographic with dimension 0 most significant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stocdr::markov {
+
+/// One coordinate of a composite state space.
+struct Dimension {
+  std::string name;   ///< human-readable name, e.g. "counter"
+  std::size_t size;   ///< number of values this coordinate can take
+};
+
+/// A mixed-radix product space over named dimensions.
+class StateSpace {
+ public:
+  /// Constructs from dimensions; every size must be >= 1 and the product
+  /// must fit in 64 bits.
+  explicit StateSpace(std::vector<Dimension> dims);
+
+  /// Number of dimensions.
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+
+  /// Total number of composite states (product of dimension sizes).
+  [[nodiscard]] std::uint64_t size() const { return total_; }
+
+  /// The dimensions, in order.
+  [[nodiscard]] const std::vector<Dimension>& dimensions() const {
+    return dims_;
+  }
+
+  /// Index of the dimension with the given name; throws if absent.
+  [[nodiscard]] std::size_t dimension_index(const std::string& name) const;
+
+  /// Encodes a coordinate tuple into a flat index.
+  [[nodiscard]] std::uint64_t encode(
+      const std::vector<std::uint32_t>& coords) const;
+
+  /// Decodes a flat index into a coordinate tuple.
+  [[nodiscard]] std::vector<std::uint32_t> decode(std::uint64_t index) const;
+
+  /// Extracts a single coordinate from a flat index without full decoding.
+  [[nodiscard]] std::uint32_t coordinate(std::uint64_t index,
+                                         std::size_t dim) const;
+
+  /// Renders a flat index as "name0=v0 name1=v1 ..." for diagnostics.
+  [[nodiscard]] std::string describe(std::uint64_t index) const;
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<std::uint64_t> stride_;  ///< stride of each dimension
+  std::uint64_t total_ = 1;
+};
+
+}  // namespace stocdr::markov

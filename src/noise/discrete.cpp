@@ -1,0 +1,134 @@
+#include "noise/discrete.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::noise {
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> values,
+                                           std::vector<double> probabilities) {
+  STOCDR_REQUIRE(values.size() == probabilities.size() && !values.empty(),
+                 "DiscreteDistribution: parallel arrays required");
+  // Sort by value and merge duplicates.
+  std::vector<std::size_t> index(values.size());
+  std::iota(index.begin(), index.end(), 0);
+  std::sort(index.begin(), index.end(), [&values](std::size_t a,
+                                                  std::size_t b) {
+    return values[a] < values[b];
+  });
+  double total = 0.0;
+  for (const std::size_t i : index) {
+    const double v = values[i];
+    const double p = probabilities[i];
+    STOCDR_REQUIRE(std::isfinite(v), "DiscreteDistribution: non-finite value");
+    STOCDR_REQUIRE(p >= 0.0,
+                   "DiscreteDistribution: negative probability");
+    if (p == 0.0) continue;
+    if (!values_.empty() && values_.back() == v) {
+      probs_.back() += p;
+    } else {
+      values_.push_back(v);
+      probs_.push_back(p);
+    }
+    total += p;
+  }
+  STOCDR_REQUIRE(total > 0.0,
+                 "DiscreteDistribution: total probability must be positive");
+  for (double& p : probs_) p /= total;
+  cumulative_.resize(probs_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    cum += probs_[i];
+    cumulative_[i] = cum;
+  }
+  cumulative_.back() = 1.0;
+}
+
+DiscreteDistribution DiscreteDistribution::point(double value) {
+  return DiscreteDistribution({value}, {1.0});
+}
+
+double DiscreteDistribution::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) m += values_[i] * probs_[i];
+  return m;
+}
+
+double DiscreteDistribution::variance() const {
+  const double m = mean();
+  double v = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double d = values_[i] - m;
+    v += d * d * probs_[i];
+  }
+  return v;
+}
+
+double DiscreteDistribution::stddev() const { return std::sqrt(variance()); }
+
+double DiscreteDistribution::cdf(double x) const {
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  if (it == values_.begin()) return 0.0;
+  return cumulative_[static_cast<std::size_t>(it - values_.begin()) - 1];
+}
+
+double DiscreteDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t i = it == cumulative_.end()
+                            ? cumulative_.size() - 1
+                            : static_cast<std::size_t>(
+                                  it - cumulative_.begin());
+  return values_[i];
+}
+
+DiscreteDistribution DiscreteDistribution::convolve(
+    const DiscreteDistribution& other) const {
+  std::map<double, double> atoms;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    for (std::size_t j = 0; j < other.values_.size(); ++j) {
+      atoms[values_[i] + other.values_[j]] += probs_[i] * other.probs_[j];
+    }
+  }
+  std::vector<double> v, p;
+  v.reserve(atoms.size());
+  p.reserve(atoms.size());
+  for (const auto& [value, prob] : atoms) {
+    v.push_back(value);
+    p.push_back(prob);
+  }
+  return DiscreteDistribution(std::move(v), std::move(p));
+}
+
+DiscreteDistribution DiscreteDistribution::affine(double a, double b) const {
+  std::vector<double> v(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) v[i] = a * values_[i] + b;
+  return DiscreteDistribution(std::move(v), probs_);
+}
+
+GridNoise quantize_to_grid(const DiscreteDistribution& dist, double step) {
+  STOCDR_REQUIRE(step > 0.0, "quantize_to_grid: step must be positive");
+  std::map<std::int32_t, double> atoms;
+  const auto values = dist.values();
+  const auto probs = dist.probabilities();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double q = values[i] / step;
+    STOCDR_REQUIRE(std::abs(q) < 2e9, "quantize_to_grid: offset overflow");
+    atoms[static_cast<std::int32_t>(std::llround(q))] += probs[i];
+  }
+  GridNoise noise;
+  noise.offsets.reserve(atoms.size());
+  noise.probabilities.reserve(atoms.size());
+  for (const auto& [offset, prob] : atoms) {
+    noise.offsets.push_back(offset);
+    noise.probabilities.push_back(prob);
+  }
+  return noise;
+}
+
+}  // namespace stocdr::noise

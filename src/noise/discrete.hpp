@@ -1,0 +1,75 @@
+// Discrete probability distributions on the real line.
+//
+// The paper's stochastic inputs (data jitter n_w, drift noise n_r) enter the
+// Markov model as discretized amplitude distributions: "Almost all jitter
+// specifications on the incoming data can be represented together by n_w and
+// n_r by assigning appropriate amplitude distributions".  This type carries
+// (value, probability) atoms with exact moment computation, sampling,
+// convolution, and quantization onto a phase grid.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace stocdr::noise {
+
+/// A finite discrete distribution: atoms (value_i, prob_i), values strictly
+/// increasing, probabilities summing to 1.
+class DiscreteDistribution {
+ public:
+  /// Constructs from parallel arrays.  Values need not be sorted (they are
+  /// sorted and merged); probabilities must be nonnegative and are
+  /// renormalized (their sum must be positive).
+  DiscreteDistribution(std::vector<double> values,
+                       std::vector<double> probabilities);
+
+  /// The deterministic distribution concentrated at `value`.
+  [[nodiscard]] static DiscreteDistribution point(double value);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<const double> probabilities() const {
+    return probs_;
+  }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return values_.front(); }
+  [[nodiscard]] double max() const { return values_.back(); }
+
+  /// P(X <= x).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Draws one sample (inverse-CDF over the atom list).
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Distribution of X + Y for independent X, Y.
+  [[nodiscard]] DiscreteDistribution convolve(
+      const DiscreteDistribution& other) const;
+
+  /// Distribution of a*X + b.
+  [[nodiscard]] DiscreteDistribution affine(double a, double b) const;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> probs_;
+  std::vector<double> cumulative_;  ///< inclusive prefix sums for sampling
+};
+
+/// An integer-offset noise PMF: the quantized form used when assembling the
+/// TPM (offsets are multiples of the phase-grid spacing).
+struct GridNoise {
+  std::vector<std::int32_t> offsets;  ///< strictly increasing grid offsets
+  std::vector<double> probabilities;  ///< matching probabilities, sum 1
+};
+
+/// Quantizes a distribution onto a grid of spacing `step`: each atom's value
+/// is rounded to the nearest multiple of step and colliding atoms merge.
+[[nodiscard]] GridNoise quantize_to_grid(const DiscreteDistribution& dist,
+                                         double step);
+
+}  // namespace stocdr::noise

@@ -1,0 +1,105 @@
+#include "noise/jitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::noise {
+
+DiscreteDistribution discretize_gaussian(double mean, double sigma,
+                                         double step,
+                                         double support_sigmas) {
+  STOCDR_REQUIRE(sigma >= 0.0, "discretize_gaussian: sigma must be >= 0");
+  STOCDR_REQUIRE(step > 0.0, "discretize_gaussian: step must be positive");
+  STOCDR_REQUIRE(support_sigmas > 0.0,
+                 "discretize_gaussian: support must be positive");
+  if (sigma == 0.0) return DiscreteDistribution::point(mean);
+
+  // Atoms at k*step nearest the mean, spanning mean +- support_sigmas*sigma.
+  const double lo = mean - support_sigmas * sigma;
+  const double hi = mean + support_sigmas * sigma;
+  const auto k_lo = static_cast<long long>(std::floor(lo / step));
+  const auto k_hi = static_cast<long long>(std::ceil(hi / step));
+  STOCDR_REQUIRE(k_hi - k_lo + 1 <= 2'000'000,
+                 "discretize_gaussian: too many atoms; increase step");
+
+  std::vector<double> values, probs;
+  values.reserve(static_cast<std::size_t>(k_hi - k_lo + 1));
+  probs.reserve(values.capacity());
+  for (long long k = k_lo; k <= k_hi; ++k) {
+    const double v = static_cast<double>(k) * step;
+    // Quantization cell [v - step/2, v + step/2); tail cells absorb the
+    // remainder so the PMF sums to exactly 1.
+    const double a =
+        k == k_lo ? -1e300 : (v - 0.5 * step - mean) / sigma;
+    const double b = k == k_hi ? 1e300 : (v + 0.5 * step - mean) / sigma;
+    const double p = (k == k_lo)   ? gaussian_cdf(b)
+                     : (k == k_hi) ? gaussian_tail(a)
+                                   : gaussian_interval(a, b);
+    values.push_back(v);
+    probs.push_back(p);
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+DiscreteDistribution sonet_drift_noise(double mean, double max_amplitude,
+                                       std::size_t atoms) {
+  STOCDR_REQUIRE(max_amplitude >= 0.0,
+                 "sonet_drift_noise: max amplitude must be >= 0");
+  STOCDR_REQUIRE(atoms >= 3, "sonet_drift_noise: need at least 3 atoms");
+  if (max_amplitude == 0.0) return DiscreteDistribution::point(mean);
+
+  // Symmetric triangular weights on the zero-mean part, then shift: the
+  // bounded support and central concentration mirror the SONET frequency
+  // drift spec without assuming Gaussianity.
+  std::vector<double> values(atoms), probs(atoms);
+  const double half = static_cast<double>(atoms - 1) / 2.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    const double t = (static_cast<double>(i) - half) / half;  // in [-1, 1]
+    values[i] = mean + t * max_amplitude;
+    probs[i] = 1.0 - std::abs(t) + 1.0 / static_cast<double>(atoms);
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+DiscreteDistribution sinusoidal_jitter(double amplitude, std::size_t atoms) {
+  STOCDR_REQUIRE(amplitude > 0.0,
+                 "sinusoidal_jitter: amplitude must be positive");
+  STOCDR_REQUIRE(atoms >= 2, "sinusoidal_jitter: need at least 2 atoms");
+  // P(X in [a,b]) for X = A sin(U), U uniform phase, is
+  // (asin(b/A) - asin(a/A)) / pi; atoms at the cell centers.
+  std::vector<double> values(atoms), probs(atoms);
+  const double cell = 2.0 * amplitude / static_cast<double>(atoms);
+  for (std::size_t i = 0; i < atoms; ++i) {
+    const double a = -amplitude + cell * static_cast<double>(i);
+    const double b = a + cell;
+    values[i] = 0.5 * (a + b);
+    const double sa = std::asin(std::clamp(a / amplitude, -1.0, 1.0));
+    const double sb = std::asin(std::clamp(b / amplitude, -1.0, 1.0));
+    probs[i] = (sb - sa) / kPi;
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+DiscreteDistribution uniform_jitter(double max_amplitude, std::size_t atoms) {
+  STOCDR_REQUIRE(max_amplitude > 0.0,
+                 "uniform_jitter: amplitude must be positive");
+  STOCDR_REQUIRE(atoms >= 2, "uniform_jitter: need at least 2 atoms");
+  std::vector<double> values(atoms);
+  const double cell = 2.0 * max_amplitude / static_cast<double>(atoms);
+  for (std::size_t i = 0; i < atoms; ++i) {
+    values[i] = -max_amplitude + cell * (static_cast<double>(i) + 0.5);
+  }
+  return DiscreteDistribution(std::move(values),
+                              std::vector<double>(atoms, 1.0));
+}
+
+DiscreteDistribution dual_dirac_jitter(double dj_pp) {
+  STOCDR_REQUIRE(dj_pp >= 0.0, "dual_dirac_jitter: dj_pp must be >= 0");
+  if (dj_pp == 0.0) return DiscreteDistribution::point(0.0);
+  return DiscreteDistribution({-0.5 * dj_pp, 0.5 * dj_pp}, {0.5, 0.5});
+}
+
+}  // namespace stocdr::noise

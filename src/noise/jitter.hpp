@@ -1,0 +1,56 @@
+// Jitter amplitude-distribution builders.
+//
+// Constructors for the concrete noise models used in the paper's CDR
+// analysis:
+//
+//   n_w — "a zero-mean white ... noise process that is usually Gaussian.
+//          n_w models the eye opening of the data."
+//   n_r — "usually a nonzero mean white noise process" whose random part
+//          accumulates (random walk with drift); the examples use "a
+//          non-zero mean, non-Gaussian distribution with probability density
+//          function chosen to reflect SONET system specifications".
+//
+// The paper also notes "one can even mimic deterministic sinusoidally
+// varying jitter by assigning the amplitude distribution of n_r
+// appropriately" — sinusoidal_jitter() builds that arcsine amplitude law.
+#pragma once
+
+#include <cstddef>
+
+#include "noise/discrete.hpp"
+
+namespace stocdr::noise {
+
+/// Discretizes a Gaussian N(mean, sigma^2) onto atoms at multiples of `step`
+/// covering +-support_sigmas standard deviations; each atom receives the
+/// exact probability of its half-open quantization interval, so the PMF
+/// sums to 1 and the first two moments match closely for fine steps.
+[[nodiscard]] DiscreteDistribution discretize_gaussian(
+    double mean, double sigma, double step, double support_sigmas = 6.0);
+
+/// The SONET-style drift noise n_r: a bounded, biased, non-Gaussian PMF.
+/// The shape is a discrete triangular distribution on [-max_amplitude,
+/// +max_amplitude] shifted to the requested mean (a frequency-offset drift
+/// term); `atoms` is the number of grid points (>= 3, odd recommended).
+[[nodiscard]] DiscreteDistribution sonet_drift_noise(double mean,
+                                                     double max_amplitude,
+                                                     std::size_t atoms = 7);
+
+/// Amplitude distribution of a sinusoid of the given amplitude sampled at a
+/// uniformly random phase (the arcsine law): used to mimic deterministic
+/// sinusoidal jitter in the white-noise framework.  `atoms` quantization
+/// cells each receive their exact arcsine probability.
+[[nodiscard]] DiscreteDistribution sinusoidal_jitter(double amplitude,
+                                                     std::size_t atoms = 15);
+
+/// Uniform amplitude distribution on [-max_amplitude, +max_amplitude]
+/// (bounded uncorrelated jitter; the conservative eye-closure model).
+[[nodiscard]] DiscreteDistribution uniform_jitter(double max_amplitude,
+                                                  std::size_t atoms = 15);
+
+/// Two-point "dual-Dirac" jitter model (deterministic jitter of peak
+/// separation dj_pp): atoms at +-dj_pp/2 with equal mass.  Combine with
+/// discretize_gaussian via convolve() for the classical DJ+RJ model.
+[[nodiscard]] DiscreteDistribution dual_dirac_jitter(double dj_pp);
+
+}  // namespace stocdr::noise

@@ -1,0 +1,207 @@
+#include "pdd/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace stocdr::pdd {
+
+AddManager::AddManager(std::size_t num_vars) : num_vars_(num_vars) {
+  STOCDR_REQUIRE(num_vars >= 1 && num_vars <= 62,
+                 "AddManager supports 1..62 variables");
+  zero_ = constant(0.0);
+}
+
+NodeRef AddManager::constant(double value) {
+  STOCDR_REQUIRE(std::isfinite(value), "AddManager: non-finite terminal");
+  if (value == 0.0) value = 0.0;  // normalize -0.0
+  const auto it = terminal_table_.find(value);
+  if (it != terminal_table_.end()) return it->second;
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back({kTerminalVar, 0, 0, value});
+  terminal_table_.emplace(value, ref);
+  return ref;
+}
+
+NodeRef AddManager::make_node(std::size_t var, NodeRef low, NodeRef high) {
+  STOCDR_REQUIRE(var < num_vars_, "make_node: variable out of range");
+  STOCDR_REQUIRE(low < nodes_.size() && high < nodes_.size(),
+                 "make_node: dangling child");
+  STOCDR_REQUIRE(
+      (is_terminal(low) || node_var(low) > var) &&
+          (is_terminal(high) || node_var(high) > var),
+      "make_node: children must test later variables (ordering violation)");
+  if (low == high) return low;  // reduction rule
+  const UniqueKey key{static_cast<std::uint32_t>(var), low, high};
+  const auto it = unique_table_.find(key);
+  if (it != unique_table_.end()) return it->second;
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back({static_cast<std::uint32_t>(var), low, high, 0.0});
+  unique_table_.emplace(key, ref);
+  return ref;
+}
+
+bool AddManager::is_terminal(NodeRef node) const {
+  STOCDR_REQUIRE(node < nodes_.size(), "is_terminal: bad node");
+  return nodes_[node].var == kTerminalVar;
+}
+
+double AddManager::terminal_value(NodeRef node) const {
+  STOCDR_REQUIRE(is_terminal(node), "terminal_value: not a terminal");
+  return nodes_[node].value;
+}
+
+std::size_t AddManager::node_var(NodeRef node) const {
+  STOCDR_REQUIRE(!is_terminal(node), "node_var: terminal node");
+  return nodes_[node].var;
+}
+
+NodeRef AddManager::node_low(NodeRef node) const {
+  STOCDR_REQUIRE(!is_terminal(node), "node_low: terminal node");
+  return nodes_[node].low;
+}
+
+NodeRef AddManager::node_high(NodeRef node) const {
+  STOCDR_REQUIRE(!is_terminal(node), "node_high: terminal node");
+  return nodes_[node].high;
+}
+
+double AddManager::apply_terminal(Op op, double a, double b) const {
+  switch (op) {
+    case Op::kPlus:
+      return a + b;
+    case Op::kTimes:
+      return a * b;
+    case Op::kMax:
+      return std::max(a, b);
+  }
+  throw InternalError("apply_terminal: unknown op");
+}
+
+NodeRef AddManager::apply(Op op, NodeRef a, NodeRef b) {
+  // Terminal base cases and algebraic short-circuits.
+  if (is_terminal(a) && is_terminal(b)) {
+    return constant(apply_terminal(op, terminal_value(a), terminal_value(b)));
+  }
+  if (op == Op::kTimes && (a == zero_ || b == zero_)) return zero_;
+  if (op == Op::kPlus) {
+    if (a == zero_) return b;
+    if (b == zero_) return a;
+  }
+  // Commutative ops: canonicalize the operand order for the cache.
+  if (a > b) std::swap(a, b);
+
+  const ApplyKey key{static_cast<std::uint8_t>(op), a, b};
+  const auto it = apply_cache_.find(key);
+  if (it != apply_cache_.end()) return it->second;
+
+  // Recurse on the top variable.
+  const std::size_t va = is_terminal(a) ? num_vars_ : node_var(a);
+  const std::size_t vb = is_terminal(b) ? num_vars_ : node_var(b);
+  const std::size_t var = std::min(va, vb);
+  const NodeRef a_low = va == var ? node_low(a) : a;
+  const NodeRef a_high = va == var ? node_high(a) : a;
+  const NodeRef b_low = vb == var ? node_low(b) : b;
+  const NodeRef b_high = vb == var ? node_high(b) : b;
+  const NodeRef low = apply(op, a_low, b_low);
+  const NodeRef high = apply(op, a_high, b_high);
+  const NodeRef result = make_node(var, low, high);
+  apply_cache_.emplace(key, result);
+  return result;
+}
+
+NodeRef AddManager::plus(NodeRef a, NodeRef b) { return apply(Op::kPlus, a, b); }
+NodeRef AddManager::times(NodeRef a, NodeRef b) {
+  return apply(Op::kTimes, a, b);
+}
+NodeRef AddManager::max(NodeRef a, NodeRef b) { return apply(Op::kMax, a, b); }
+
+NodeRef AddManager::sum_out(NodeRef node, const std::vector<bool>& sum_var) {
+  STOCDR_REQUIRE(sum_var.size() == num_vars_,
+                 "sum_out: mask must cover every variable");
+  std::unordered_map<std::uint64_t, NodeRef> cache;
+  return sum_out_rec(node, 0, sum_var, cache);
+}
+
+NodeRef AddManager::sum_out_rec(
+    NodeRef node, std::size_t var, const std::vector<bool>& sum_var,
+    std::unordered_map<std::uint64_t, NodeRef>& cache) {
+  // A terminal still carries an implicit 2^k factor for every summed
+  // variable at or below `var` that it skips.
+  if (var == num_vars_) return node;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(var) << 32) | node;
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  NodeRef result;
+  const std::size_t node_level = is_terminal(node) ? num_vars_ : node_var(node);
+  if (node_level == var) {
+    const NodeRef low = sum_out_rec(node_low(node), var + 1, sum_var, cache);
+    const NodeRef high = sum_out_rec(node_high(node), var + 1, sum_var, cache);
+    result = sum_var[var] ? plus(low, high) : make_node(var, low, high);
+  } else {
+    // Variable `var` is skipped by this node: both branches are `node`.
+    const NodeRef sub = sum_out_rec(node, var + 1, sum_var, cache);
+    if (sum_var[var]) {
+      result = plus(sub, sub);
+    } else {
+      result = sub;
+    }
+  }
+  cache.emplace(key, result);
+  return result;
+}
+
+double AddManager::evaluate(NodeRef node, std::uint64_t index) const {
+  STOCDR_REQUIRE(index < (1ull << num_vars_), "evaluate: index out of range");
+  NodeRef current = node;
+  while (!is_terminal(current)) {
+    const std::size_t var = node_var(current);
+    const bool bit = (index >> (num_vars_ - 1 - var)) & 1ull;
+    current = bit ? node_high(current) : node_low(current);
+  }
+  return terminal_value(current);
+}
+
+NodeRef AddManager::from_vector(std::span<const double> values) {
+  STOCDR_REQUIRE(values.size() == (1ull << num_vars_),
+                 "from_vector: need exactly 2^num_vars values");
+  return from_vector_rec(values, 0);
+}
+
+NodeRef AddManager::from_vector_rec(std::span<const double> values,
+                                    std::size_t var) {
+  if (var == num_vars_) return constant(values[0]);
+  const std::size_t half = values.size() / 2;
+  const NodeRef low = from_vector_rec(values.subspan(0, half), var + 1);
+  const NodeRef high = from_vector_rec(values.subspan(half), var + 1);
+  return make_node(var, low, high);
+}
+
+std::vector<double> AddManager::to_vector(NodeRef node) const {
+  const std::size_t n = 1ull << num_vars_;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = evaluate(node, i);
+  return values;
+}
+
+std::size_t AddManager::dag_size(NodeRef node) const {
+  STOCDR_REQUIRE(node < nodes_.size(), "dag_size: bad node");
+  std::unordered_set<NodeRef> seen;
+  std::vector<NodeRef> stack{node};
+  while (!stack.empty()) {
+    const NodeRef current = stack.back();
+    stack.pop_back();
+    if (!seen.insert(current).second) continue;
+    if (!is_terminal(current)) {
+      stack.push_back(node_low(current));
+      stack.push_back(node_high(current));
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace stocdr::pdd

@@ -1,0 +1,160 @@
+// Algebraic decision diagrams (ADDs / MTBDDs) over ordered boolean
+// variables — the paper's second future-work direction for scaling beyond
+// explicit sparse storage (section 3, citing Bozga & Maler, "On the
+// Representation of Probabilities over Structured Domains"): probability
+// vectors and transition matrices represented as reduced DAGs that share
+// isomorphic substructure.
+//
+// The manager owns all nodes (hash-consed, so equal functions are the same
+// node and equality is pointer equality), provides the standard apply
+// algebra (+, *, max) with memoization, abstraction (summing out
+// variables), and conversions from/to dense vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace stocdr::pdd {
+
+/// Handle to a node owned by an AddManager.
+using NodeRef = std::uint32_t;
+
+/// Manager of a single ADD universe with a fixed variable order 0..n-1
+/// (variable 0 is tested first / outermost).
+class AddManager {
+ public:
+  /// Creates a manager for functions over `num_vars` boolean variables.
+  explicit AddManager(std::size_t num_vars);
+
+  [[nodiscard]] std::size_t num_vars() const { return num_vars_; }
+
+  /// The constant function v.
+  [[nodiscard]] NodeRef constant(double value);
+
+  /// The zero constant (cached).
+  [[nodiscard]] NodeRef zero() const { return zero_; }
+
+  /// Internal node: "if var then high else low", reduced (low == high
+  /// collapses) and hash-consed.  `var` must be smaller than the variables
+  /// tested inside low/high.
+  [[nodiscard]] NodeRef make_node(std::size_t var, NodeRef low, NodeRef high);
+
+  /// True if the node is a terminal (constant).
+  [[nodiscard]] bool is_terminal(NodeRef node) const;
+
+  /// Value of a terminal node.
+  [[nodiscard]] double terminal_value(NodeRef node) const;
+
+  /// Variable tested by an internal node.
+  [[nodiscard]] std::size_t node_var(NodeRef node) const;
+  [[nodiscard]] NodeRef node_low(NodeRef node) const;
+  [[nodiscard]] NodeRef node_high(NodeRef node) const;
+
+  // --- algebra ------------------------------------------------------------
+
+  /// a + b, pointwise.
+  [[nodiscard]] NodeRef plus(NodeRef a, NodeRef b);
+
+  /// a * b, pointwise.
+  [[nodiscard]] NodeRef times(NodeRef a, NodeRef b);
+
+  /// max(a, b), pointwise.
+  [[nodiscard]] NodeRef max(NodeRef a, NodeRef b);
+
+  /// Sums out every variable with sum_var[v] == true:
+  /// f'(rest) = sum over assignments of the summed variables.
+  [[nodiscard]] NodeRef sum_out(NodeRef node, const std::vector<bool>& sum_var);
+
+  // --- conversions ----------------------------------------------------------
+
+  /// Evaluates the function at the assignment given by the bits of `index`
+  /// (bit num_vars-1-v of index is variable v, i.e. variable 0 is the most
+  /// significant bit).
+  [[nodiscard]] double evaluate(NodeRef node, std::uint64_t index) const;
+
+  /// Builds the ADD of a dense vector of length 2^num_vars indexed as in
+  /// evaluate().
+  [[nodiscard]] NodeRef from_vector(std::span<const double> values);
+
+  /// Materializes the function densely (2^num_vars entries).
+  [[nodiscard]] std::vector<double> to_vector(NodeRef node) const;
+
+  // --- statistics -----------------------------------------------------------
+
+  /// Total nodes ever created in this manager.
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Nodes reachable from `node` (the size of that function's DAG).
+  [[nodiscard]] std::size_t dag_size(NodeRef node) const;
+
+  /// Discards the operation memo table (node storage is untouched).  Long
+  /// sequences of apply operations — e.g. repeated matrix-vector products —
+  /// should clear periodically to bound memory.
+  void clear_apply_cache() { apply_cache_.clear(); }
+
+  /// Approximate bytes per node (for storage comparisons).
+  [[nodiscard]] static constexpr std::size_t bytes_per_node() {
+    return sizeof(Node);
+  }
+
+ private:
+  struct Node {
+    std::uint32_t var;  ///< kTerminalVar for terminals
+    NodeRef low;
+    NodeRef high;
+    double value;  ///< terminal value (unused for internal nodes)
+  };
+  static constexpr std::uint32_t kTerminalVar = 0xffffffffu;
+
+  enum class Op : std::uint8_t { kPlus, kTimes, kMax };
+
+  [[nodiscard]] NodeRef apply(Op op, NodeRef a, NodeRef b);
+  [[nodiscard]] double apply_terminal(Op op, double a, double b) const;
+  [[nodiscard]] NodeRef from_vector_rec(std::span<const double> values,
+                                        std::size_t var);
+  [[nodiscard]] NodeRef sum_out_rec(
+      NodeRef node, std::size_t var, const std::vector<bool>& sum_var,
+      std::unordered_map<std::uint64_t, NodeRef>& cache);
+
+  std::size_t num_vars_;
+  std::vector<Node> nodes_;
+  NodeRef zero_ = 0;
+
+  struct UniqueKey {
+    std::uint32_t var;
+    NodeRef low;
+    NodeRef high;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const {
+      std::uint64_t h = k.var;
+      h = h * 0x9e3779b97f4a7c15ull + k.low;
+      h = h * 0x9e3779b97f4a7c15ull + k.high;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+  struct ApplyKey {
+    std::uint8_t op;
+    NodeRef a;
+    NodeRef b;
+    bool operator==(const ApplyKey&) const = default;
+  };
+  struct ApplyKeyHash {
+    std::size_t operator()(const ApplyKey& k) const {
+      std::uint64_t h = k.op;
+      h = h * 0x9e3779b97f4a7c15ull + k.a;
+      h = h * 0x9e3779b97f4a7c15ull + k.b;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  std::unordered_map<double, NodeRef> terminal_table_;
+  std::unordered_map<UniqueKey, NodeRef, UniqueKeyHash> unique_table_;
+  std::unordered_map<ApplyKey, NodeRef, ApplyKeyHash> apply_cache_;
+};
+
+}  // namespace stocdr::pdd

@@ -1,0 +1,159 @@
+#include "pdd/matrix.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::pdd {
+
+namespace {
+
+/// Interleaved bit index of (row, col): from the MSB down,
+/// r_{k-1}, c_{k-1}, ..., r_0, c_0.
+std::uint64_t interleave(std::uint64_t row, std::uint64_t col,
+                         std::size_t k) {
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    key |= ((row >> i) & 1ull) << (2 * i + 1);
+    key |= ((col >> i) & 1ull) << (2 * i);
+  }
+  return key;
+}
+
+/// Recursive sparse construction over a sorted (key, value) range.
+NodeRef build_sorted(AddManager& manager,
+                     std::span<const std::pair<std::uint64_t, double>> range,
+                     std::size_t var, std::size_t num_vars) {
+  if (range.empty()) return manager.zero();
+  if (var == num_vars) {
+    // All bits fixed: duplicates were merged by the caller.
+    return manager.constant(range[0].second);
+  }
+  const std::uint64_t bit = 1ull << (num_vars - 1 - var);
+  // The range is sorted and agrees on every bit above `bit`, so it is
+  // partitioned by this bit: clear first, set second.
+  const auto split = std::partition_point(
+      range.begin(), range.end(),
+      [bit](const std::pair<std::uint64_t, double>& entry) {
+        return (entry.first & bit) == 0;
+      });
+  const auto mid = static_cast<std::size_t>(split - range.begin());
+  const NodeRef low =
+      build_sorted(manager, range.subspan(0, mid), var + 1, num_vars);
+  const NodeRef high =
+      build_sorted(manager, range.subspan(mid), var + 1, num_vars);
+  return manager.make_node(var, low, high);
+}
+
+}  // namespace
+
+AddMatrix::AddMatrix(AddManager& manager, std::size_t k, NodeRef root)
+    : manager_(&manager), k_(k), root_(root) {
+  STOCDR_REQUIRE(manager.num_vars() == 2 * k,
+                 "AddMatrix: manager must have 2k variables");
+}
+
+AddMatrix AddMatrix::from_csr(AddManager& manager,
+                              const sparse::CsrMatrix& matrix) {
+  const std::size_t dim = std::max(matrix.rows(), matrix.cols());
+  std::size_t k = 0;
+  while ((1ull << k) < dim) ++k;
+  k = std::max<std::size_t>(k, 1);
+  STOCDR_REQUIRE(manager.num_vars() == 2 * k,
+                 "AddMatrix::from_csr: manager has the wrong variable count "
+                 "for this matrix (need 2*ceil(log2(dim)))");
+
+  std::vector<std::pair<std::uint64_t, double>> entries;
+  entries.reserve(matrix.nnz());
+  matrix.for_each([&](std::size_t r, std::size_t c, double v) {
+    entries.emplace_back(interleave(r, c, k), v);
+  });
+  std::sort(entries.begin(), entries.end());
+  // Keys are unique by CSR construction; build directly.
+  const NodeRef root = build_sorted(manager, entries, 0, 2 * k);
+  return AddMatrix(manager, k, root);
+}
+
+double AddMatrix::at(std::size_t row, std::size_t col) const {
+  STOCDR_REQUIRE(row < dimension() && col < dimension(),
+                 "AddMatrix::at out of range");
+  return manager_->evaluate(root_, interleave(row, col, k_));
+}
+
+NodeRef AddMatrix::vector_to_add(std::span<const double> x,
+                                 bool on_columns) const {
+  STOCDR_REQUIRE(x.size() == dimension(),
+                 "AddMatrix: vector length must equal the dimension");
+  // Recursive split over this dimension's bits, skipping the other
+  // dimension's variables entirely (the function does not depend on them).
+  const std::size_t num_vars = 2 * k_;
+  // var v is a column bit iff v is odd.
+  const auto is_ours = [on_columns](std::size_t var) {
+    return on_columns ? (var % 2 == 1) : (var % 2 == 0);
+  };
+  struct Builder {
+    AddManager& manager;
+    std::size_t num_vars;
+    const decltype(is_ours)& ours;
+
+    NodeRef build(std::span<const double> range, std::size_t var) {
+      if (var == num_vars) return manager.constant(range[0]);
+      if (!ours(var)) return build(range, var + 1);
+      const std::size_t half = range.size() / 2;
+      const NodeRef low = build(range.subspan(0, half), var + 1);
+      const NodeRef high = build(range.subspan(half), var + 1);
+      return manager.make_node(var, low, high);
+    }
+  };
+  Builder builder{*manager_, num_vars, is_ours};
+  return builder.build(x, 0);
+}
+
+std::vector<double> AddMatrix::add_to_vector(NodeRef node,
+                                             bool on_columns) const {
+  std::vector<double> values(dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    const std::uint64_t index =
+        on_columns ? interleave(0, i, k_) : interleave(i, 0, k_);
+    values[i] = manager_->evaluate(node, index);
+  }
+  return values;
+}
+
+std::vector<double> AddMatrix::multiply(std::span<const double> x) const {
+  const NodeRef vec = vector_to_add(x, /*on_columns=*/true);
+  const NodeRef product = manager_->times(root_, vec);
+  std::vector<bool> sum_cols(2 * k_, false);
+  for (std::size_t v = 1; v < 2 * k_; v += 2) sum_cols[v] = true;
+  const NodeRef summed = manager_->sum_out(product, sum_cols);
+  return add_to_vector(summed, /*on_columns=*/false);
+}
+
+std::vector<double> AddMatrix::multiply_transpose(
+    std::span<const double> x) const {
+  const NodeRef vec = vector_to_add(x, /*on_columns=*/false);
+  const NodeRef product = manager_->times(root_, vec);
+  std::vector<bool> sum_rows(2 * k_, false);
+  for (std::size_t v = 0; v < 2 * k_; v += 2) sum_rows[v] = true;
+  const NodeRef summed = manager_->sum_out(product, sum_rows);
+  return add_to_vector(summed, /*on_columns=*/true);
+}
+
+sparse::CsrMatrix AddMatrix::to_csr(std::size_t rows, std::size_t cols) const {
+  STOCDR_REQUIRE(rows <= dimension() && cols <= dimension(),
+                 "AddMatrix::to_csr: trim exceeds the dimension");
+  STOCDR_REQUIRE(k_ <= 12,
+                 "AddMatrix::to_csr: dense read-back limited to k <= 12");
+  sparse::CooBuilder builder(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = at(r, c);
+      if (v != 0.0) builder.add(r, c, v);
+    }
+  }
+  return builder.to_csr();
+}
+
+}  // namespace stocdr::pdd

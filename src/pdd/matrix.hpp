@@ -1,0 +1,83 @@
+// Matrices as ADDs with interleaved row/column bit variables.
+//
+// A 2^k x 2^k matrix is a function of 2k boolean variables ordered
+// r_{k-1}, c_{k-1}, r_{k-2}, c_{k-2}, ..., r_0, c_0 (most significant bits
+// outermost, row bit before its column bit).  Interleaving is what makes
+// block-structured matrices — like the compositional TPMs of this library —
+// compress: equal blocks become shared subgraphs.  Matrix-vector products
+// run entirely on the DAGs (pointwise product, then summing out the column
+// variables), independent of the dense dimension.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pdd/manager.hpp"
+#include "sparse/csr.hpp"
+
+namespace stocdr::pdd {
+
+/// A square matrix of dimension 2^k stored as an ADD in an AddManager with
+/// 2k variables.
+class AddMatrix {
+ public:
+  /// Wraps an existing root in `manager` (must have 2k variables).
+  AddMatrix(AddManager& manager, std::size_t k, NodeRef root);
+
+  /// Builds from a sparse matrix, zero-padding the dimension up to the next
+  /// power of two.  The construction is recursive over sorted interleaved
+  /// indices: O(nnz * k) node creations, never densifying.
+  [[nodiscard]] static AddMatrix from_csr(AddManager& manager,
+                                          const sparse::CsrMatrix& matrix);
+
+  /// Number of row (= column) bits.
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+  /// Dense dimension 2^k.
+  [[nodiscard]] std::size_t dimension() const { return 1ull << k_; }
+
+  [[nodiscard]] NodeRef root() const { return root_; }
+  [[nodiscard]] AddManager& manager() const { return *manager_; }
+
+  /// Entry (row, col).
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  /// y = A x on dense vectors of length dimension(): builds the vector ADD,
+  /// multiplies pointwise, sums out the column variables, reads back.
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// y = A^T x (sums out the row variables instead).
+  [[nodiscard]] std::vector<double> multiply_transpose(
+      std::span<const double> x) const;
+
+  /// Materializes as CSR, trimmed to `rows` x `cols`.
+  [[nodiscard]] sparse::CsrMatrix to_csr(std::size_t rows,
+                                         std::size_t cols) const;
+
+  /// Nodes in this matrix's DAG.
+  [[nodiscard]] std::size_t dag_size() const {
+    return manager_->dag_size(root_);
+  }
+
+  /// Approximate bytes of DAG storage.
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return dag_size() * AddManager::bytes_per_node();
+  }
+
+ private:
+  /// Lifts a dense vector onto the row (transpose=false sums columns later)
+  /// or column variables of the matrix universe.
+  [[nodiscard]] NodeRef vector_to_add(std::span<const double> x,
+                                      bool on_columns) const;
+
+  /// Reads a vector ADD living on row (or column) variables back densely.
+  [[nodiscard]] std::vector<double> add_to_vector(NodeRef node,
+                                                  bool on_columns) const;
+
+  AddManager* manager_;
+  std::size_t k_;
+  NodeRef root_;
+};
+
+}  // namespace stocdr::pdd

@@ -1,0 +1,56 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace stocdr::sim {
+
+BatchMeans batch_means(std::span<const double> samples,
+                       std::size_t num_batches) {
+  STOCDR_REQUIRE(num_batches >= 2, "batch_means: need at least 2 batches");
+  STOCDR_REQUIRE(samples.size() >= num_batches,
+                 "batch_means: fewer samples than batches");
+  BatchMeans result;
+  result.batch_size = samples.size() / num_batches;
+  result.batches = num_batches;
+
+  std::vector<double> means(num_batches, 0.0);
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < result.batch_size; ++i) {
+      sum += samples[b * result.batch_size + i];
+    }
+    means[b] = sum / static_cast<double>(result.batch_size);
+  }
+
+  double grand = 0.0;
+  for (const double m : means) grand += m;
+  grand /= static_cast<double>(num_batches);
+  result.mean = grand;
+
+  double var = 0.0;
+  for (const double m : means) var += (m - grand) * (m - grand);
+  var /= static_cast<double>(num_batches - 1);
+  result.std_error = std::sqrt(var / static_cast<double>(num_batches));
+
+  // Lag-1 correlation of the batch means (diagnostic).
+  if (var > 0.0) {
+    double cov = 0.0;
+    for (std::size_t b = 0; b + 1 < num_batches; ++b) {
+      cov += (means[b] - grand) * (means[b + 1] - grand);
+    }
+    cov /= static_cast<double>(num_batches - 1);
+    result.lag1_correlation = cov / var;
+  }
+  return result;
+}
+
+double effective_sample_size(std::size_t n, double tau) {
+  STOCDR_REQUIRE(tau >= 1.0, "effective_sample_size: tau must be >= 1");
+  return std::max(1.0, static_cast<double>(n) / tau);
+}
+
+}  // namespace stocdr::sim

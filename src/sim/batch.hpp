@@ -1,0 +1,43 @@
+// Batch-means analysis for correlated simulation output.
+//
+// The Wilson interval in confidence.hpp treats each bit as an independent
+// trial, but CDR error events are correlated over the loop's memory
+// (tens of bits — see analysis/eigen.hpp).  The method of batch means
+// recovers honest error bars: split the run into contiguous batches much
+// longer than the correlation time, treat batch averages as approximately
+// independent, and report their spread.  The lag-1 batch correlation is
+// returned as a diagnostic — if it is not small, the batches are too short.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace stocdr::sim {
+
+/// Result of a batch-means analysis.
+struct BatchMeans {
+  double mean = 0.0;        ///< grand mean of the samples
+  double std_error = 0.0;   ///< standard error of the mean via batch spread
+  std::size_t batches = 0;  ///< batches actually used
+  std::size_t batch_size = 0;
+  double lag1_correlation = 0.0;  ///< correlation of consecutive batch means
+
+  [[nodiscard]] double lower(double z = 1.96) const {
+    return mean - z * std_error;
+  }
+  [[nodiscard]] double upper(double z = 1.96) const {
+    return mean + z * std_error;
+  }
+};
+
+/// Computes batch means over `samples` using `num_batches` equal batches
+/// (a partial trailing batch is dropped).  Requires at least 2 batches with
+/// at least 1 sample each.
+[[nodiscard]] BatchMeans batch_means(std::span<const double> samples,
+                                     std::size_t num_batches = 32);
+
+/// Effective sample size of a correlated sequence given its integrated
+/// autocorrelation time tau: n / tau (bounded below by 1).
+[[nodiscard]] double effective_sample_size(std::size_t n, double tau);
+
+}  // namespace stocdr::sim

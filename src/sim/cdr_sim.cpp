@@ -1,0 +1,80 @@
+#include "sim/cdr_sim.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::sim {
+
+CdrSimulator::CdrSimulator(const cdr::CdrModel& model, std::uint64_t seed)
+    : model_(model), simulator_(model.network()), rng_(seed) {}
+
+void CdrSimulator::reset() { simulator_.reset(); }
+
+CdrSimResult CdrSimulator::run(std::uint64_t cycles, std::uint64_t burn_in) {
+  const auto& cfg = model_.config();
+  const cdr::PhaseGrid& grid = model_.grid();
+  const std::size_t phase_comp = model_.phase_index();
+  const std::size_t data_comp = model_.data_index();
+  const auto half = static_cast<std::int64_t>(grid.size() / 2);
+  const bool discretized =
+      cfg.pd_noise_mode == cdr::PdNoiseMode::kDiscretized;
+
+  for (std::uint64_t k = 0; k < burn_in; ++k) simulator_.step(rng_);
+
+  CdrSimResult result;
+  result.cycles = cycles;
+  result.phase_occupancy.assign(grid.size(), 0.0);
+
+  std::uint32_t prev_phase = simulator_.states()[phase_comp];
+  const bool has_sj = model_.has_sj();
+  const std::size_t sj_comp = has_sj ? model_.sj_index() : 0;
+  for (std::uint64_t k = 0; k < cycles; ++k) {
+    // Effective phase in effect during this bit (pre-update state),
+    // including the sinusoidal-jitter offset when enabled.
+    const std::uint32_t phase_idx = simulator_.states()[phase_comp];
+    double phi = grid.value(phase_idx);
+    if (has_sj) {
+      phi += model_.sj_offsets_ui()[simulator_.states()[sj_comp]];
+    }
+    result.phase_occupancy[phase_idx] += 1.0;
+
+    simulator_.step(rng_);
+
+    // Bit-error check: |Phi + n_w| > 1/2 for this bit's n_w draw.  In the
+    // discretized model the atom actually drawn by the network is reused;
+    // in the exact model an independent draw is used — n_w is white, so the
+    // marginal error probability is identical (see DESIGN.md).
+    double nw;
+    if (discretized) {
+      const std::uint32_t atom =
+          simulator_.output(model_.nw_source_index(), 0);
+      nw = model_.nw_values()[atom];
+    } else {
+      nw = rng_.normal(0.0, cfg.sigma_nw);
+    }
+    if (std::abs(phi + nw) > 0.5) result.bit_errors++;
+    if (simulator_.output(data_comp, 0) == 1) result.transitions++;
+
+    // Slip detection: same index-distance rule as cdr::slip_stats.
+    const std::uint32_t next_phase = simulator_.states()[phase_comp];
+    const std::int64_t delta = static_cast<std::int64_t>(next_phase) -
+                               static_cast<std::int64_t>(phase_idx);
+    if (cfg.boundary == cdr::BoundaryMode::kWrap) {
+      if (delta > half) result.slips_down++;
+      if (delta < -half) result.slips_up++;
+    }
+    prev_phase = next_phase;
+  }
+  (void)prev_phase;
+
+  if (cycles > 0) {
+    for (double& v : result.phase_occupancy) {
+      v /= static_cast<double>(cycles);
+    }
+  }
+  return result;
+}
+
+}  // namespace stocdr::sim

@@ -1,0 +1,38 @@
+#include "sim/confidence.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace stocdr::sim {
+
+Proportion wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                           double z) {
+  STOCDR_REQUIRE(trials > 0, "wilson_interval: trials must be positive");
+  STOCDR_REQUIRE(successes <= trials,
+                 "wilson_interval: successes exceed trials");
+  STOCDR_REQUIRE(z > 0.0, "wilson_interval: z must be positive");
+  Proportion p;
+  p.successes = successes;
+  p.trials = trials;
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  p.estimate = phat;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  p.lower = std::max(0.0, center - half);
+  p.upper = std::min(1.0, center + half);
+  return p;
+}
+
+double required_trials(double p, double rel_error) {
+  STOCDR_REQUIRE(p > 0.0 && p < 1.0, "required_trials: p must be in (0, 1)");
+  STOCDR_REQUIRE(rel_error > 0.0, "required_trials: rel_error must be > 0");
+  // Var(phat) = p(1-p)/n; relative std error r = sqrt((1-p)/(p n)).
+  return (1.0 - p) / (p * rel_error * rel_error);
+}
+
+}  // namespace stocdr::sim

@@ -1,0 +1,33 @@
+// Confidence intervals for Monte-Carlo event-rate estimates.
+//
+// The whole argument of the paper rests on how many trials a simulation
+// needs before its BER estimate means anything; the Wilson score interval
+// quantifies that (and unlike the normal approximation it behaves sanely
+// when the observed count is zero — the typical outcome when simulating a
+// 1e-12 BER for a feasible number of cycles).
+#pragma once
+
+#include <cstdint>
+
+namespace stocdr::sim {
+
+/// A binomial proportion estimate with a confidence interval.
+struct Proportion {
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+  double estimate = 0.0;  ///< successes / trials
+  double lower = 0.0;     ///< Wilson lower bound
+  double upper = 0.0;     ///< Wilson upper bound
+};
+
+/// Wilson score interval at the given z (1.96 ~ 95%, 2.576 ~ 99%).
+[[nodiscard]] Proportion wilson_interval(std::uint64_t successes,
+                                         std::uint64_t trials,
+                                         double z = 1.96);
+
+/// Number of trials needed before a Monte-Carlo estimate of an event of
+/// probability p has relative standard error `rel_error` (the 1/(p r^2)
+/// rule): the "extremely long sequence" the paper's introduction invokes.
+[[nodiscard]] double required_trials(double p, double rel_error = 0.1);
+
+}  // namespace stocdr::sim

@@ -1,0 +1,277 @@
+#include "solvers/aggregation.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "solvers/stationary.hpp"
+#include "sparse/gth.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/timer.hpp"
+
+namespace stocdr::solvers {
+
+namespace {
+
+/// Residual-reduction factor regarded as a stall, and how many consecutive
+/// stalled cycles trigger the V-to-W escalation.
+constexpr double kStallFactor = 0.7;
+constexpr std::size_t kStallWindow = 3;
+
+/// One damped power sweep x <- (1-w) x + w P^T x, renormalized.
+void smooth(const sparse::CsrMatrix& pt, double w, std::vector<double>& x,
+            std::vector<double>& scratch) {
+  pt.multiply(x, scratch);
+  if (w == 1.0) {
+    x.swap(scratch);
+  } else {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = (1.0 - w) * x[i] + w * scratch[i];
+    }
+  }
+  normalize_l1(x);
+}
+
+/// Exact coarsest-level solve; falls back to heavy smoothing if the
+/// (weighted) coarse chain happens to be reducible.
+void solve_coarsest(const sparse::CsrMatrix& pt, std::vector<double>& x,
+                    std::vector<double>& scratch, std::size_t* matvecs) {
+  try {
+    x = sparse::gth_stationary_transposed(pt);
+  } catch (const NumericalError&) {
+    constexpr std::size_t kFallbackSweeps = 60;
+    for (std::size_t s = 0; s < kFallbackSweeps; ++s) {
+      smooth(pt, 1.0, x, scratch);
+    }
+    *matvecs += kFallbackSweeps;
+  }
+}
+
+/// Recursive V/W-cycle worker.  `level` indexes into `hierarchy`; `pt` is
+/// the (transposed) TPM of this level's chain and `x` its current iterate.
+class MultilevelWorker {
+ public:
+  MultilevelWorker(const std::vector<markov::Partition>& hierarchy,
+                   const MultilevelOptions& options)
+      : hierarchy_(hierarchy),
+        options_(options),
+        cycle_shape_(options.cycle_shape) {}
+
+  void cycle(std::size_t level, const sparse::CsrMatrix& pt,
+             std::vector<double>& x) {
+    std::vector<double> scratch(x.size());
+    if (pt.rows() <= options_.coarsest_size || level >= hierarchy_.size()) {
+      if (pt.rows() <= kGthSizeLimit) {
+        solve_coarsest(pt, x, scratch, &matvecs_);
+      } else {
+        // Hierarchy exhausted but the level is still too large for a dense
+        // direct solve: polish iteratively instead.
+        constexpr std::size_t kBottomSweeps = 40;
+        for (std::size_t s = 0; s < kBottomSweeps; ++s) {
+          smooth(pt, options_.smoothing_damping, x, scratch);
+        }
+        matvecs_ += kBottomSweeps;
+      }
+      return;
+    }
+
+    const markov::Partition& part = hierarchy_[level];
+    STOCDR_ASSERT(part.num_states() == pt.rows());
+
+    for (std::size_t s = 0; s < options_.pre_smooth; ++s) {
+      smooth(pt, options_.smoothing_damping, x, scratch);
+    }
+    matvecs_ += options_.pre_smooth;
+
+    // Lump with the current iterate as aggregation weights, recurse on the
+    // coarse chain, then expand the coarse solution back.  The quotient
+    // pattern per level is fixed across cycles, so it is planned once and
+    // each re-aggregation is a single accumulation pass.
+    if (plans_.size() <= level) plans_.resize(level + 1);
+    if (!plans_[level]) {
+      plans_[level] = std::make_unique<markov::AggregationPlan>(pt, part);
+    }
+    for (std::size_t visit = 0; visit < cycle_shape_; ++visit) {
+      const sparse::CsrMatrix coarse_pt = plans_[level]->aggregate(pt, x);
+      ++matvecs_;  // aggregation is one O(nnz) pass
+      std::vector<double> xc = markov::restrict_sum(part, x);
+      cycle(level + 1, coarse_pt, xc);
+      markov::disaggregate(part, xc, x);
+    }
+
+    for (std::size_t s = 0; s < options_.post_smooth; ++s) {
+      smooth(pt, options_.smoothing_damping, x, scratch);
+    }
+    matvecs_ += options_.post_smooth;
+    normalize_l1(x);
+  }
+
+  [[nodiscard]] std::size_t matvecs() const { return matvecs_; }
+
+  /// Changes the number of recursive coarse visits per level (1 = V-cycle,
+  /// 2 = W-cycle); used by the driver's stall-escalation logic.
+  void set_cycle_shape(std::size_t shape) { cycle_shape_ = shape; }
+
+  [[nodiscard]] std::size_t cycle_shape() const { return cycle_shape_; }
+
+ private:
+  // Dense GTH beyond this size would dominate the cycle cost.
+  static constexpr std::size_t kGthSizeLimit = 4000;
+
+  const std::vector<markov::Partition>& hierarchy_;
+  const MultilevelOptions& options_;
+  std::size_t cycle_shape_ = 1;
+  std::size_t matvecs_ = 0;
+  std::vector<std::unique_ptr<markov::AggregationPlan>> plans_;
+};
+
+}  // namespace
+
+std::vector<markov::Partition> build_grid_pair_hierarchy(
+    std::span<const std::uint32_t> grid_coordinate,
+    std::span<const std::uint32_t> other_label, std::size_t coarsest_size) {
+  STOCDR_REQUIRE(grid_coordinate.size() == other_label.size(),
+                 "grid/label spans must have equal length");
+  STOCDR_REQUIRE(!grid_coordinate.empty(),
+                 "hierarchy requires at least one state");
+
+  std::vector<std::uint32_t> grid(grid_coordinate.begin(),
+                                  grid_coordinate.end());
+  std::vector<std::uint32_t> label(other_label.begin(), other_label.end());
+  std::vector<markov::Partition> hierarchy;
+
+  while (grid.size() > coarsest_size) {
+    // Group key: (label, grid / 2).  Assign gap-free ids in first-seen order
+    // so group ids are deterministic.
+    std::unordered_map<std::uint64_t, std::uint32_t> ids;
+    ids.reserve(grid.size());
+    std::vector<std::uint32_t> group_of(grid.size());
+    std::vector<std::uint32_t> next_grid;
+    std::vector<std::uint32_t> next_label;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(label[i]) << 32) | (grid[i] >> 1);
+      const auto [it, inserted] =
+          ids.try_emplace(key, static_cast<std::uint32_t>(ids.size()));
+      group_of[i] = it->second;
+      if (inserted) {
+        next_grid.push_back(grid[i] >> 1);
+        next_label.push_back(label[i]);
+      }
+    }
+    if (next_grid.size() == grid.size()) break;  // no further reduction
+    hierarchy.emplace_back(std::move(group_of));
+    grid = std::move(next_grid);
+    label = std::move(next_label);
+  }
+  return hierarchy;
+}
+
+std::vector<markov::Partition> build_index_pair_hierarchy(
+    std::size_t num_states, std::size_t coarsest_size) {
+  STOCDR_REQUIRE(num_states >= 1, "hierarchy requires at least one state");
+  std::vector<markov::Partition> hierarchy;
+  std::size_t n = num_states;
+  while (n > coarsest_size && n > 1) {
+    hierarchy.push_back(markov::Partition::pairs(n));
+    n = hierarchy.back().num_groups();
+  }
+  return hierarchy;
+}
+
+StationaryResult solve_stationary_multilevel(
+    const markov::MarkovChain& chain,
+    const std::vector<markov::Partition>& hierarchy,
+    const MultilevelOptions& options, std::span<const double> initial) {
+  const Timer timer;
+  STOCDR_REQUIRE(hierarchy.empty() ||
+                     hierarchy.front().num_states() == chain.num_states(),
+                 "hierarchy does not match the chain");
+  StationaryResult result;
+  result.stats.method = "multilevel";
+  std::vector<double> x = detail::make_initial(chain, initial);
+
+  MultilevelWorker worker(hierarchy, options);
+  double previous_residual = 0.0;
+  std::size_t slow_cycles = 0;
+  for (std::size_t c = 0; c < options.max_cycles; ++c) {
+    worker.cycle(0, chain.pt(), x);
+    const double res = stationary_residual(chain, x);
+    result.stats.iterations = c + 1;
+    result.stats.residual = res;
+    if (res < options.tolerance) {
+      result.stats.converged = true;
+      break;
+    }
+    // Stall escalation: a V-cycle whose residual reduction degrades toward
+    // 1 (slowly-mixing chains: the coarse levels are themselves stiff and
+    // the recursion error compounds) is upgraded to a W-cycle — the
+    // standard multigrid remedy.
+    if (c > 0 && worker.cycle_shape() == 1 &&
+        res > kStallFactor * previous_residual) {
+      if (++slow_cycles >= kStallWindow) {
+        worker.set_cycle_shape(2);
+        result.stats.method = "multilevel(auto-W)";
+      }
+    } else {
+      slow_cycles = 0;
+    }
+    previous_residual = res;
+  }
+  result.stats.matvec_count = worker.matvecs();
+  result.distribution = std::move(x);
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+StationaryResult solve_stationary_two_level(
+    const markov::MarkovChain& chain, const markov::Partition& partition,
+    const MultilevelOptions& options, std::span<const double> initial) {
+  const Timer timer;
+  STOCDR_REQUIRE(partition.num_states() == chain.num_states(),
+                 "partition does not match the chain");
+  STOCDR_REQUIRE(partition.num_groups() <= 4000,
+                 "two-level A/D solves the lumped chain with dense GTH; the "
+                 "partition must have at most 4000 groups");
+  StationaryResult result;
+  result.stats.method = "two-level-ad";
+  std::vector<double> x = detail::make_initial(chain, initial);
+  std::vector<double> scratch(x.size());
+  std::size_t matvecs = 0;
+
+  for (std::size_t c = 0; c < options.max_cycles; ++c) {
+    for (std::size_t s = 0; s < options.pre_smooth; ++s) {
+      smooth(chain.pt(), options.smoothing_damping, x, scratch);
+    }
+    matvecs += options.pre_smooth;
+
+    const sparse::CsrMatrix coarse_pt =
+        markov::aggregate_transposed(chain.pt(), partition, x);
+    ++matvecs;
+    std::vector<double> xc = markov::restrict_sum(partition, x);
+    std::vector<double> coarse_scratch(xc.size());
+    solve_coarsest(coarse_pt, xc, coarse_scratch, &matvecs);
+    markov::disaggregate(partition, xc, x);
+
+    for (std::size_t s = 0; s < options.post_smooth; ++s) {
+      smooth(chain.pt(), options.smoothing_damping, x, scratch);
+    }
+    matvecs += options.post_smooth;
+    normalize_l1(x);
+
+    const double res = stationary_residual(chain, x);
+    result.stats.iterations = c + 1;
+    result.stats.residual = res;
+    if (res < options.tolerance) {
+      result.stats.converged = true;
+      break;
+    }
+  }
+  result.stats.matvec_count = matvecs;
+  result.distribution = std::move(x);
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace stocdr::solvers

@@ -1,0 +1,84 @@
+// Aggregation/disaggregation and multi-level (multigrid) stationary solvers.
+//
+// This is the paper's dedicated solver (section 3): a hierarchy of
+// recursively lumped chains — for the CDR model, each level lumps the two
+// states corresponding to consecutive discretized phase-error values —
+// traversed in V-cycles, with lumping/expanding steps interleaved with
+// damped Gauss-Jacobi (power) sweeps and the coarsest problem solved exactly
+// with a direct method (GTH).  The generalization to multiple levels follows
+// Horton & Leutenegger's multi-level algorithm; the two-level variant is the
+// classical iterative aggregation/disaggregation method.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "markov/lumping.hpp"
+#include "solvers/options.hpp"
+
+namespace stocdr::solvers {
+
+/// Options for the aggregation-based solvers.
+struct MultilevelOptions {
+  /// Convergence threshold on ||P^T x - x||_1, checked after every cycle.
+  double tolerance = 1e-12;
+
+  /// Maximum number of outer cycles.
+  std::size_t max_cycles = 500;
+
+  /// Damped power (Gauss-Jacobi) sweeps before aggregation at each level.
+  std::size_t pre_smooth = 3;
+
+  /// Sweeps after disaggregation at each level.
+  std::size_t post_smooth = 3;
+
+  /// Damping factor of the smoothing sweeps.
+  double smoothing_damping = 0.95;
+
+  /// Levels at or below this many states are solved exactly with GTH.
+  /// Dense GTH costs O(n^3) *per cycle*, so this should stay small; the
+  /// convergence rate is insensitive to it once the hierarchy is deep.
+  std::size_t coarsest_size = 400;
+
+  /// Recursive coarse visits per cycle: 1 = V-cycle, 2 = W-cycle.
+  std::size_t cycle_shape = 1;
+};
+
+/// Builds the paper's coarsening hierarchy for a chain whose states carry a
+/// grid coordinate (the discretized phase error) plus a residual label (all
+/// remaining FSM coordinates): each level merges states with equal labels
+/// and grid coordinates 2k, 2k+1.  Levels are produced until either the
+/// level size drops to `coarsest_size` or the grid collapses to one point.
+///
+/// hierarchy[0] partitions the fine states; hierarchy[l] partitions the
+/// groups of hierarchy[l-1].
+[[nodiscard]] std::vector<markov::Partition> build_grid_pair_hierarchy(
+    std::span<const std::uint32_t> grid_coordinate,
+    std::span<const std::uint32_t> other_label, std::size_t coarsest_size);
+
+/// Fallback hierarchy when no structural information is available: states
+/// are paired by index at every level.  Useful for generic chains and as a
+/// baseline showing the value of the structure-aware coarsening.
+[[nodiscard]] std::vector<markov::Partition> build_index_pair_hierarchy(
+    std::size_t num_states, std::size_t coarsest_size);
+
+/// The multi-level aggregation solver.  `hierarchy` follows the convention
+/// of build_grid_pair_hierarchy; it may be empty, in which case the solve
+/// degenerates to smoothing plus a direct solve if the chain is small
+/// enough.  Reports cycles in stats.iterations.
+[[nodiscard]] StationaryResult solve_stationary_multilevel(
+    const markov::MarkovChain& chain,
+    const std::vector<markov::Partition>& hierarchy,
+    const MultilevelOptions& options = {}, std::span<const double> initial = {});
+
+/// Classical two-level iterative aggregation/disaggregation: smooth,
+/// aggregate through `partition`, solve the lumped chain exactly,
+/// disaggregate, repeat.  This is the method the multi-level algorithm
+/// generalizes; kept as a baseline for the solver comparison benches.
+[[nodiscard]] StationaryResult solve_stationary_two_level(
+    const markov::MarkovChain& chain, const markov::Partition& partition,
+    const MultilevelOptions& options = {}, std::span<const double> initial = {});
+
+}  // namespace stocdr::solvers

@@ -1,0 +1,131 @@
+// Sparse linear-system solvers for transient Markov-chain analyses.
+//
+// The paper's second performance measure — mean time between cycle slips —
+// "involves solving a linear system with the (modified) TPM": with Q the TPM
+// restricted to the non-slip states, mean hitting times solve
+//
+//   (I - Q) t = 1.
+//
+// Because slips are rare, ||Q|| is within ~1e-9 of 1 and plain relaxation
+// stalls; we therefore provide restarted GMRES with an optional aggregation
+// multigrid preconditioner built on the same phase-pair hierarchy as the
+// stationary solver (the near-null vector of I - Q is nearly constant, which
+// piecewise-constant coarse spaces capture exactly).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "markov/lumping.hpp"
+#include "solvers/options.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace stocdr::solvers {
+
+/// y = A x for the operator A = I - Q, with Q given transposed (the
+/// library's stored orientation for restricted chains).
+class TransientOperator {
+ public:
+  /// qt is Q^T; rows are destination states.
+  explicit TransientOperator(const sparse::CsrMatrix& qt);
+
+  [[nodiscard]] std::size_t size() const { return qt_->rows(); }
+
+  /// y = (I - Q) x.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Diagonal of I - Q (used by Jacobi smoothing).
+  [[nodiscard]] const std::vector<double>& diagonal() const { return diag_; }
+
+  [[nodiscard]] const sparse::CsrMatrix& qt() const { return *qt_; }
+
+ private:
+  const sparse::CsrMatrix* qt_;
+  std::vector<double> diag_;
+  mutable std::vector<double> scratch_;
+};
+
+/// Preconditioner interface: z <- M^{-1} r (an approximate solve).
+using Preconditioner =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Unsmoothed-aggregation multigrid preconditioner for A = I - Q.
+///
+/// Coarse operators are Galerkin sums A_{l+1} = P^T A_l P over
+/// piecewise-constant prolongations defined by a partition hierarchy; one
+/// V-cycle with damped-Jacobi smoothing approximates A^{-1}.  All level
+/// matrices are built once at construction.
+/// Tuning knobs for AggregationPreconditioner.
+struct AggregationPreconditionerOptions {
+  std::size_t pre_smooth = 2;
+  std::size_t post_smooth = 2;
+  double smoothing_damping = 0.7;
+  std::size_t coarsest_size = 800;  ///< dense LU at or below this size
+};
+
+class AggregationPreconditioner {
+ public:
+  using Options = AggregationPreconditionerOptions;
+
+  /// Builds the level hierarchy for A = I - Q (qt is Q^T).  The partition
+  /// hierarchy follows the same convention as the stationary solver:
+  /// hierarchy[l] partitions level l's unknowns.
+  AggregationPreconditioner(const sparse::CsrMatrix& qt,
+                            const std::vector<markov::Partition>& hierarchy,
+                            const Options& options = {});
+
+  /// One V-cycle from a zero initial guess: z ~= A^{-1} r.
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  /// Number of levels actually built (including the finest).
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+
+ private:
+  struct Level {
+    sparse::CsrMatrix a;          ///< row-major A_l
+    std::vector<double> diag;     ///< diagonal of A_l
+    markov::Partition partition;  ///< maps level l to level l+1 (unused last)
+    bool has_partition = false;
+  };
+
+  void vcycle(std::size_t level, std::span<const double> b,
+              std::span<double> x) const;
+
+  Options options_;
+  std::vector<Level> levels_;
+  std::unique_ptr<sparse::LuFactorization> coarsest_lu_;
+};
+
+/// Result of a linear solve.
+struct LinearResult {
+  std::vector<double> solution;
+  SolverStats stats;
+};
+
+/// Restarted GMRES(m) on A x = b with optional right preconditioning.
+/// `restart` is the Krylov subspace dimension m.  Convergence is measured on
+/// the true relative residual ||b - A x||_2 / ||b||_2 against
+/// options.tolerance.
+[[nodiscard]] LinearResult gmres(
+    const TransientOperator& op, std::span<const double> b,
+    const SolverOptions& options = {}, std::size_t restart = 80,
+    const Preconditioner& preconditioner = nullptr);
+
+/// Damped-Jacobi iteration on A x = b (baseline; stalls on stiff systems).
+[[nodiscard]] LinearResult jacobi_linear(const TransientOperator& op,
+                                         std::span<const double> b,
+                                         const SolverOptions& options = {});
+
+/// BiCGSTAB on A x = b with optional right preconditioning: the
+/// short-recurrence Krylov alternative to GMRES (O(n) memory independent of
+/// the iteration count).  Convergence on the true relative 2-norm residual.
+[[nodiscard]] LinearResult bicgstab(
+    const TransientOperator& op, std::span<const double> b,
+    const SolverOptions& options = {},
+    const Preconditioner& preconditioner = nullptr);
+
+}  // namespace stocdr::solvers

@@ -1,0 +1,41 @@
+// Shared option and statistics types for all solvers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stocdr::solvers {
+
+/// Options common to the iterative solvers.
+struct SolverOptions {
+  /// Convergence threshold on the L1 residual ||P^T x - x||_1 (stationary
+  /// solvers, with ||x||_1 = 1) or ||b - A x||_1 / ||b||_1 (linear solvers).
+  double tolerance = 1e-12;
+
+  /// Hard iteration cap (sweeps for relaxation methods, cycles for the
+  /// multilevel methods, outer iterations for GMRES).
+  std::size_t max_iterations = 200000;
+
+  /// Relaxation / damping factor where the method supports one
+  /// (power iteration, Jacobi, SOR).  1.0 = undamped.
+  double relaxation = 1.0;
+};
+
+/// Statistics describing how a solve went.
+struct SolverStats {
+  std::string method;           ///< human-readable solver name
+  std::size_t iterations = 0;   ///< iterations (or cycles) performed
+  double residual = 0.0;        ///< final residual (solver's own metric)
+  double seconds = 0.0;         ///< wall-clock time of the solve
+  bool converged = false;       ///< tolerance reached within the budget
+  std::size_t matvec_count = 0; ///< matrix-vector products consumed
+};
+
+/// Result of a stationary-distribution solve.
+struct StationaryResult {
+  std::vector<double> distribution;  ///< eta with eta P = eta, sum = 1
+  SolverStats stats;
+};
+
+}  // namespace stocdr::solvers

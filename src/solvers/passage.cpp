@@ -1,0 +1,139 @@
+#include "solvers/passage.hpp"
+
+#include <algorithm>
+
+#include "markov/reachability.hpp"
+#include "solvers/aggregation.hpp"
+#include "solvers/linear.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::solvers {
+
+namespace {
+
+/// Builds the multigrid hierarchy for the restricted chain: structural
+/// (grid-pair) if coordinates were supplied, index-pair otherwise.
+std::vector<markov::Partition> restricted_hierarchy(
+    const PassageOptions& options, const std::vector<std::size_t>& to_parent,
+    std::size_t coarsest_size) {
+  if (options.grid_coordinate && options.other_label) {
+    std::vector<std::uint32_t> grid(to_parent.size());
+    std::vector<std::uint32_t> label(to_parent.size());
+    for (std::size_t i = 0; i < to_parent.size(); ++i) {
+      grid[i] = options.grid_coordinate->at(to_parent[i]);
+      label[i] = options.other_label->at(to_parent[i]);
+    }
+    return build_grid_pair_hierarchy(grid, label, coarsest_size);
+  }
+  return build_index_pair_hierarchy(to_parent.size(), coarsest_size);
+}
+
+/// Solves (I - Q) x = b with the configured method.
+LinearResult solve_restricted(const sparse::CsrMatrix& qt,
+                              const std::vector<double>& b,
+                              const std::vector<std::size_t>& to_parent,
+                              const PassageOptions& options) {
+  const TransientOperator op(qt);
+  switch (options.method) {
+    case PassageMethod::kJacobi:
+      return jacobi_linear(op, b, options.linear);
+    case PassageMethod::kGmres:
+      return gmres(op, b, options.linear, options.gmres_restart);
+    case PassageMethod::kGmresMultilevel: {
+      AggregationPreconditioner::Options popts;
+      const auto hierarchy =
+          restricted_hierarchy(options, to_parent, popts.coarsest_size);
+      const AggregationPreconditioner precond(qt, hierarchy, popts);
+      const Preconditioner apply =
+          [&precond](std::span<const double> r, std::span<double> z) {
+            precond.apply(r, z);
+          };
+      return gmres(op, b, options.linear, options.gmres_restart, apply);
+    }
+  }
+  throw InternalError("solve_restricted: unknown method");
+}
+
+}  // namespace
+
+HittingTimeResult mean_hitting_times(const markov::MarkovChain& chain,
+                                     const std::vector<bool>& target,
+                                     const PassageOptions& options) {
+  const std::size_t n = chain.num_states();
+  STOCDR_REQUIRE(target.size() == n, "mean_hitting_times: mask size mismatch");
+  STOCDR_REQUIRE(std::find(target.begin(), target.end(), true) != target.end(),
+                 "mean_hitting_times: target set is empty");
+
+  std::vector<bool> keep(n);
+  bool any_kept = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    keep[i] = !target[i];
+    any_kept = any_kept || keep[i];
+  }
+  HittingTimeResult result;
+  result.mean_steps.assign(n, 0.0);
+  if (!any_kept) {
+    result.stats.method = "trivial";
+    result.stats.converged = true;
+    return result;
+  }
+
+  const markov::RestrictedChain restricted =
+      markov::restrict_chain(chain, keep);
+  const std::vector<double> b(restricted.to_parent.size(), 1.0);
+  LinearResult solve =
+      solve_restricted(restricted.qt, b, restricted.to_parent, options);
+  for (std::size_t i = 0; i < restricted.to_parent.size(); ++i) {
+    result.mean_steps[restricted.to_parent[i]] = solve.solution[i];
+  }
+  result.stats = std::move(solve.stats);
+  return result;
+}
+
+HittingProbabilityResult hitting_probability(const markov::MarkovChain& chain,
+                                             const std::vector<bool>& target_a,
+                                             const std::vector<bool>& target_b,
+                                             const PassageOptions& options) {
+  const std::size_t n = chain.num_states();
+  STOCDR_REQUIRE(
+      target_a.size() == n && target_b.size() == n,
+      "hitting_probability: mask size mismatch");
+  std::vector<bool> keep(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    STOCDR_REQUIRE(!(target_a[i] && target_b[i]),
+                   "hitting_probability: target sets must be disjoint");
+    keep[i] = !target_a[i] && !target_b[i];
+  }
+
+  HittingProbabilityResult result;
+  result.probability.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (target_a[i]) result.probability[i] = 1.0;
+  }
+
+  const markov::RestrictedChain restricted =
+      markov::restrict_chain(chain, keep);
+  if (restricted.to_parent.empty()) {
+    result.stats.method = "trivial";
+    result.stats.converged = true;
+    return result;
+  }
+
+  // r_i = one-step probability of entering A from kept state i.
+  std::vector<double> rhs(restricted.to_parent.size(), 0.0);
+  chain.pt().for_each([&](std::size_t dst, std::size_t src, double v) {
+    if (target_a[dst] && restricted.to_child[src] >= 0) {
+      rhs[static_cast<std::size_t>(restricted.to_child[src])] += v;
+    }
+  });
+
+  LinearResult solve =
+      solve_restricted(restricted.qt, rhs, restricted.to_parent, options);
+  for (std::size_t i = 0; i < restricted.to_parent.size(); ++i) {
+    result.probability[restricted.to_parent[i]] = solve.solution[i];
+  }
+  result.stats = std::move(solve.stats);
+  return result;
+}
+
+}  // namespace stocdr::solvers

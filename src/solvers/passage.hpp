@@ -1,0 +1,69 @@
+// First-passage analyses: mean hitting times and hitting probabilities.
+//
+// These provide the paper's "mean transition times between certain sets of
+// MC states" (mean time between cycle slips) via a linear solve with the
+// TPM restricted to the complement of the target set.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "markov/lumping.hpp"
+#include "solvers/options.hpp"
+
+namespace stocdr::solvers {
+
+/// How the restricted linear system is solved.
+enum class PassageMethod {
+  kGmres,             ///< restarted GMRES, unpreconditioned
+  kGmresMultilevel,   ///< GMRES with the aggregation V-cycle preconditioner
+  kJacobi,            ///< damped Jacobi (baseline; slow on stiff systems)
+};
+
+/// Options for first-passage solves.
+struct PassageOptions {
+  SolverOptions linear{.tolerance = 1e-10, .max_iterations = 400,
+                       .relaxation = 0.9};
+  PassageMethod method = PassageMethod::kGmresMultilevel;
+  std::size_t gmres_restart = 60;
+
+  /// Optional structural coordinates (indexed by *full-chain* state) used to
+  /// build the multigrid hierarchy on the restricted chain; when absent an
+  /// index-pair hierarchy is used.
+  std::optional<std::vector<std::uint32_t>> grid_coordinate;
+  std::optional<std::vector<std::uint32_t>> other_label;
+};
+
+/// Result of a mean-hitting-time computation.
+struct HittingTimeResult {
+  /// Expected number of steps to first reach the target set, per state
+  /// (zero on target states).
+  std::vector<double> mean_steps;
+  SolverStats stats;
+};
+
+/// Solves E_i[T_A] for A = {i : target[i]}: t = (I - Q)^{-1} 1 on the
+/// complement of A.  Every non-target state must be able to reach A
+/// (otherwise the system is singular and the solve fails to converge).
+[[nodiscard]] HittingTimeResult mean_hitting_times(
+    const markov::MarkovChain& chain, const std::vector<bool>& target,
+    const PassageOptions& options = {});
+
+/// Result of a hitting-probability computation.
+struct HittingProbabilityResult {
+  /// P_i(T_A < T_B) per state: 1 on A, 0 on B.
+  std::vector<double> probability;
+  SolverStats stats;
+};
+
+/// Probability of reaching set A before set B from each state
+/// (A and B must be disjoint): h = (I - Q)^{-1} r with r the one-step
+/// probability of entering A, Q the chain restricted to the complement of
+/// A union B.
+[[nodiscard]] HittingProbabilityResult hitting_probability(
+    const markov::MarkovChain& chain, const std::vector<bool>& target_a,
+    const std::vector<bool>& target_b, const PassageOptions& options = {});
+
+}  // namespace stocdr::solvers

@@ -1,0 +1,191 @@
+#include "solvers/stationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparse/gth.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/timer.hpp"
+
+namespace stocdr::solvers {
+
+namespace detail {
+
+std::vector<double> make_initial(const markov::MarkovChain& chain,
+                                 std::span<const double> initial) {
+  if (initial.empty()) return chain.uniform_distribution();
+  STOCDR_REQUIRE(initial.size() == chain.num_states(),
+                 "initial guess size must match the chain");
+  std::vector<double> x(initial.begin(), initial.end());
+  for (double& v : x) v = std::max(v, 0.0);
+  normalize_l1(x);
+  return x;
+}
+
+}  // namespace detail
+
+double stationary_residual(const markov::MarkovChain& chain,
+                           std::span<const double> x) {
+  std::vector<double> y(x.size());
+  chain.step(x, y);
+  return l1_distance(x, y);
+}
+
+StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
+                                        const SolverOptions& options,
+                                        std::span<const double> initial) {
+  const Timer timer;
+  StationaryResult result;
+  result.stats.method = "power";
+  std::vector<double> x = detail::make_initial(chain, initial);
+  std::vector<double> y(x.size());
+  const double w = options.relaxation;
+  STOCDR_REQUIRE(w > 0.0 && w <= 1.0,
+                 "power iteration damping must be in (0, 1]");
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    chain.step(x, y);
+    ++result.stats.matvec_count;
+    const double res = l1_distance(x, y);
+    if (w == 1.0) {
+      x.swap(y);
+    } else {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = (1.0 - w) * x[i] + w * y[i];
+      }
+    }
+    if (!std::isfinite(res)) {
+      result.stats.residual = std::numeric_limits<double>::infinity();
+      result.stats.iterations = it + 1;
+      break;  // diverged; report converged = false
+    }
+    normalize_l1(x);
+    result.stats.iterations = it + 1;
+    result.stats.residual = res;
+    if (res < options.tolerance) {
+      result.stats.converged = true;
+      break;
+    }
+  }
+  result.distribution = std::move(x);
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+namespace {
+
+/// Shared core for Jacobi / Gauss-Seidel / SOR.  `in_place` selects
+/// Gauss-Seidel ordering; `w` is the relaxation factor.
+StationaryResult relaxation_solve(const markov::MarkovChain& chain,
+                                  const SolverOptions& options,
+                                  std::span<const double> initial,
+                                  bool in_place, double w,
+                                  const char* method) {
+  const Timer timer;
+  StationaryResult result;
+  result.stats.method = method;
+  const auto& pt = chain.pt();
+  const std::size_t n = chain.num_states();
+  std::vector<double> x = detail::make_initial(chain, initial);
+
+  // Cache the diagonal of P (p_ii = pt(i, i)).
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = pt.at(i, i);
+
+  std::vector<double> next(in_place ? 0 : n);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    double delta = 0.0;  // L1 change across the sweep
+    for (std::size_t i = 0; i < n; ++i) {
+      // Incoming probability mass excluding the self-loop.
+      double acc = 0.0;
+      const auto cols = pt.row_cols(i);
+      const auto vals = pt.row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] != i) acc += vals[k] * x[cols[k]];
+      }
+      const double denom = 1.0 - diag[i];
+      if (!(denom > 0.0)) {
+        throw NumericalError(
+            "relaxation solver: absorbing state encountered (p_ii = 1)");
+      }
+      const double xi_new = (1.0 - w) * x[i] + w * (acc / denom);
+      if (in_place) {
+        delta += std::abs(xi_new - x[i]);
+        x[i] = xi_new;
+      } else {
+        next[i] = xi_new;
+      }
+    }
+    ++result.stats.matvec_count;
+    if (!in_place) {
+      delta = l1_distance(x, next);
+      x.swap(next);
+    }
+    // Divergence (e.g. over-relaxed SOR on a non-dominant chain) shows up
+    // as a non-finite sweep delta or an iterate whose total mass is no
+    // longer positive (overshoot into negative entries): stop and report
+    // non-convergence instead of propagating NaNs.
+    const double mass = kahan_sum(x);
+    if (!std::isfinite(delta) || !std::isfinite(mass) || !(mass > 0.0)) {
+      result.stats.residual = std::numeric_limits<double>::infinity();
+      result.stats.iterations = it + 1;
+      result.distribution = std::move(x);
+      result.stats.seconds = timer.seconds();
+      return result;
+    }
+    for (double& v : x) v /= mass;
+    result.stats.iterations = it + 1;
+    result.stats.residual = delta;
+    if (delta < options.tolerance) {
+      result.stats.converged = true;
+      break;
+    }
+  }
+  // Report the true stationary residual rather than the sweep delta.
+  result.stats.residual = stationary_residual(chain, x);
+  result.distribution = std::move(x);
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+StationaryResult solve_stationary_jacobi(const markov::MarkovChain& chain,
+                                         const SolverOptions& options,
+                                         std::span<const double> initial) {
+  STOCDR_REQUIRE(options.relaxation > 0.0 && options.relaxation <= 1.0,
+                 "Jacobi relaxation must be in (0, 1]");
+  return relaxation_solve(chain, options, initial, /*in_place=*/false,
+                          options.relaxation, "jacobi");
+}
+
+StationaryResult solve_stationary_gauss_seidel(
+    const markov::MarkovChain& chain, const SolverOptions& options,
+    std::span<const double> initial) {
+  return relaxation_solve(chain, options, initial, /*in_place=*/true, 1.0,
+                          "gauss-seidel");
+}
+
+StationaryResult solve_stationary_sor(const markov::MarkovChain& chain,
+                                      const SolverOptions& options,
+                                      std::span<const double> initial) {
+  STOCDR_REQUIRE(options.relaxation > 0.0 && options.relaxation < 2.0,
+                 "SOR relaxation must be in (0, 2)");
+  return relaxation_solve(chain, options, initial, /*in_place=*/true,
+                          options.relaxation, "sor");
+}
+
+StationaryResult solve_stationary_direct(const markov::MarkovChain& chain) {
+  const Timer timer;
+  StationaryResult result;
+  result.stats.method = "gth-direct";
+  result.distribution = sparse::gth_stationary_transposed(chain.pt());
+  result.stats.iterations = 1;
+  result.stats.converged = true;
+  result.stats.residual = stationary_residual(chain, result.distribution);
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace stocdr::solvers

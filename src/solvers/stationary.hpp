@@ -1,0 +1,58 @@
+// Basic iterative stationary-distribution solvers.
+//
+// These are the classical methods the paper's multigrid is benchmarked
+// against (section 3: "basic iterative methods such as Jacobi and
+// Gauss-Seidel"), plus the power method.  All solve eta P = eta with
+// sum(eta) = 1 on an irreducible chain.
+#pragma once
+
+#include <span>
+
+#include "markov/chain.hpp"
+#include "solvers/options.hpp"
+
+namespace stocdr::solvers {
+
+/// Damped power iteration: x <- (1-w) x + w P^T x, renormalized.
+/// With w < 1 this converges for periodic chains as well.
+[[nodiscard]] StationaryResult solve_stationary_power(
+    const markov::MarkovChain& chain, const SolverOptions& options = {},
+    std::span<const double> initial = {});
+
+/// Gauss-Jacobi sweeps on (P^T - I) x = 0:
+///   x_i <- (sum_{j != i} p_ji x_j) / (1 - p_ii),  renormalized each sweep,
+/// damped by options.relaxation.  This is the smoother the paper interleaves
+/// with its lumping/expanding steps.
+[[nodiscard]] StationaryResult solve_stationary_jacobi(
+    const markov::MarkovChain& chain, const SolverOptions& options = {},
+    std::span<const double> initial = {});
+
+/// Gauss-Seidel sweeps: same update as Jacobi but in place, so later states
+/// see already-updated values within the sweep.
+[[nodiscard]] StationaryResult solve_stationary_gauss_seidel(
+    const markov::MarkovChain& chain, const SolverOptions& options = {},
+    std::span<const double> initial = {});
+
+/// Successive over-relaxation: Gauss-Seidel blended with the previous value
+/// by options.relaxation (w in (0, 2)).
+[[nodiscard]] StationaryResult solve_stationary_sor(
+    const markov::MarkovChain& chain, const SolverOptions& options = {},
+    std::span<const double> initial = {});
+
+/// Direct GTH solve wrapped in the common result type (small chains only;
+/// cost is O(n^3) dense).
+[[nodiscard]] StationaryResult solve_stationary_direct(
+    const markov::MarkovChain& chain);
+
+/// L1 residual ||P^T x - x||_1 of a (normalized) candidate vector.
+[[nodiscard]] double stationary_residual(const markov::MarkovChain& chain,
+                                         std::span<const double> x);
+
+namespace detail {
+/// Fills x with the initial guess: a copy of `initial` if non-empty
+/// (validated and normalized), otherwise the uniform distribution.
+std::vector<double> make_initial(const markov::MarkovChain& chain,
+                                 std::span<const double> initial);
+}  // namespace detail
+
+}  // namespace stocdr::solvers

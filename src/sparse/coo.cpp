@@ -1,0 +1,64 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/csr.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::sparse {
+
+CooBuilder::CooBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  STOCDR_REQUIRE(rows <= 0xffffffffull && cols <= 0xffffffffull,
+                 "CooBuilder dimensions must fit in 32 bits");
+}
+
+void CooBuilder::add(std::size_t row, std::size_t col, double value) {
+  STOCDR_REQUIRE(row < rows_ && col < cols_, "CooBuilder::add out of range");
+  if (value == 0.0) return;
+  triplets_.push_back({static_cast<std::uint32_t>(row),
+                       static_cast<std::uint32_t>(col), value});
+}
+
+CsrMatrix CooBuilder::to_csr(double drop_tol) const {
+  // Counting sort by row, then sort each row's slice by column.  This is
+  // O(nnz log rowlen) and avoids sorting the whole triplet array at once.
+  std::vector<std::uint32_t> row_ptr(rows_ + 1, 0);
+  for (const Triplet& t : triplets_) row_ptr[t.row + 1]++;
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  std::vector<Triplet> sorted(triplets_.size());
+  {
+    std::vector<std::uint32_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    for (const Triplet& t : triplets_) sorted[cursor[t.row]++] = t;
+  }
+
+  std::vector<std::uint32_t> out_ptr(rows_ + 1, 0);
+  std::vector<std::uint32_t> out_col;
+  std::vector<double> out_val;
+  out_col.reserve(sorted.size());
+  out_val.reserve(sorted.size());
+
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto begin = sorted.begin() + row_ptr[r];
+    auto end = sorted.begin() + row_ptr[r + 1];
+    std::sort(begin, end, [](const Triplet& a, const Triplet& b) {
+      return a.col < b.col;
+    });
+    for (auto it = begin; it != end;) {
+      const std::uint32_t col = it->col;
+      double sum = 0.0;
+      for (; it != end && it->col == col; ++it) sum += it->value;
+      if (std::abs(sum) > drop_tol) {
+        out_col.push_back(col);
+        out_val.push_back(sum);
+      }
+    }
+    out_ptr[r + 1] = static_cast<std::uint32_t>(out_col.size());
+  }
+  return CsrMatrix(rows_, cols_, std::move(out_ptr), std::move(out_col),
+                   std::move(out_val));
+}
+
+}  // namespace stocdr::sparse

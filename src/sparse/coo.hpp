@@ -1,0 +1,60 @@
+// Coordinate-format sparse matrix assembly.
+//
+// Transition probability matrices are assembled entry-by-entry while
+// enumerating FSM transitions and noise realizations; the same (row, col)
+// pair is typically hit several times (different noise samples leading to the
+// same successor state), so assembly must accumulate duplicates.  CooBuilder
+// collects triplets and compresses them into CSR.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stocdr::sparse {
+
+class CsrMatrix;
+
+/// A single (row, col, value) triplet.
+struct Triplet {
+  std::uint32_t row;
+  std::uint32_t col;
+  double value;
+};
+
+/// Accumulating COO assembler.
+///
+/// add() appends triplets (duplicates allowed); to_csr() sorts, merges
+/// duplicates by summation, and produces a compressed CSR matrix.  The
+/// builder can be reused after to_csr().
+class CooBuilder {
+ public:
+  /// Creates a builder for a rows x cols matrix.
+  CooBuilder(std::size_t rows, std::size_t cols);
+
+  /// Appends value at (row, col).  Zero values are skipped.
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// Pre-allocates space for n triplets.
+  void reserve(std::size_t n) { triplets_.reserve(n); }
+
+  /// Number of accumulated triplets (before duplicate merging).
+  [[nodiscard]] std::size_t triplet_count() const { return triplets_.size(); }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Compresses into CSR, merging duplicate coordinates by summation and
+  /// dropping entries whose merged magnitude is below `drop_tol`.
+  [[nodiscard]] CsrMatrix to_csr(double drop_tol = 0.0) const;
+
+  /// Discards all accumulated triplets, keeping the shape.
+  void clear() { triplets_.clear(); }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace stocdr::sparse

@@ -1,0 +1,152 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace stocdr::sparse {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::uint32_t> row_ptr,
+                     std::vector<std::uint32_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  STOCDR_REQUIRE(row_ptr_.size() == rows_ + 1,
+                 "CsrMatrix: row_ptr must have rows+1 entries");
+  STOCDR_REQUIRE(col_idx_.size() == values_.size(),
+                 "CsrMatrix: col_idx/values size mismatch");
+  STOCDR_REQUIRE(row_ptr_.front() == 0 && row_ptr_.back() == values_.size(),
+                 "CsrMatrix: row_ptr bounds inconsistent with values");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    STOCDR_REQUIRE(row_ptr_[r] <= row_ptr_[r + 1],
+                   "CsrMatrix: row_ptr must be non-decreasing");
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      STOCDR_REQUIRE(col_idx_[k] < cols_, "CsrMatrix: column out of range");
+      if (k > row_ptr_[r]) {
+        STOCDR_REQUIRE(col_idx_[k - 1] < col_idx_[k],
+                       "CsrMatrix: columns must be strictly increasing");
+      }
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::identity(std::size_t n) {
+  std::vector<std::uint32_t> ptr(n + 1);
+  std::vector<std::uint32_t> col(n);
+  std::vector<double> val(n, 1.0);
+  for (std::size_t i = 0; i <= n; ++i) ptr[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < n; ++i) col[i] = static_cast<std::uint32_t>(i);
+  return CsrMatrix(n, n, std::move(ptr), std::move(col), std::move(val));
+}
+
+std::span<const std::uint32_t> CsrMatrix::row_cols(std::size_t r) const {
+  STOCDR_REQUIRE(r < rows_, "CsrMatrix::row_cols out of range");
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t r) const {
+  STOCDR_REQUIRE(r < rows_, "CsrMatrix::row_values out of range");
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  STOCDR_REQUIRE(r < rows_ && c < cols_, "CsrMatrix::at out of range");
+  const auto cols = row_cols(r);
+  const auto it = std::lower_bound(cols.begin(), cols.end(),
+                                   static_cast<std::uint32_t>(c));
+  if (it == cols.end() || *it != c) return 0.0;
+  return values_[row_ptr_[r] + static_cast<std::size_t>(it - cols.begin())];
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  STOCDR_REQUIRE(x.size() == cols_ && y.size() == rows_,
+                 "CsrMatrix::multiply dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::multiply_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  STOCDR_REQUIRE(x.size() == rows_ && y.size() == cols_,
+                 "CsrMatrix::multiply_transpose dimension mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * xr;
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<std::uint32_t> ptr(cols_ + 1, 0);
+  for (const std::uint32_t c : col_idx_) ptr[c + 1]++;
+  for (std::size_t c = 0; c < cols_; ++c) ptr[c + 1] += ptr[c];
+  std::vector<std::uint32_t> col(values_.size());
+  std::vector<double> val(values_.size());
+  std::vector<std::uint32_t> cursor(ptr.begin(), ptr.end() - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::uint32_t dst = cursor[col_idx_[k]]++;
+      col[dst] = static_cast<std::uint32_t>(r);
+      val[dst] = values_[k];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(ptr), std::move(col),
+                   std::move(val));
+}
+
+std::vector<double> CsrMatrix::row_sums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k];
+    }
+    sums[r] = acc;
+  }
+  return sums;
+}
+
+std::vector<double> CsrMatrix::col_sums() const {
+  std::vector<double> sums(cols_, 0.0);
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    sums[col_idx_[k]] += values_[k];
+  }
+  return sums;
+}
+
+void CsrMatrix::for_each(
+    const std::function<void(std::size_t, std::size_t, double)>& f) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      f(r, col_idx_[k], values_[k]);
+    }
+  }
+}
+
+double CsrMatrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : values_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+bool CsrMatrix::equals(const CsrMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+         values_ == other.values_;
+}
+
+}  // namespace stocdr::sparse

@@ -1,0 +1,97 @@
+// Compressed sparse row matrix.
+//
+// This is the workhorse storage for transition probability matrices.  As
+// described in DESIGN.md, the library stores the TPM *transposed* (rows of
+// the stored matrix are destination states); the two matvec flavours below
+// then cover both orientations without a second copy:
+//
+//   multiply()           y = A x        (gather; rows of the stored matrix)
+//   multiply_transpose() y = A^T x      (scatter; columns of the stored one)
+//
+// so with A = P^T stored, multiply computes P^T x (stationary iterations
+// x_{k+1} = P^T x_k) and multiply_transpose computes P x (first-passage
+// iterations t = 1 + Q t).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace stocdr::sparse {
+
+/// Immutable CSR sparse matrix with double values and 32-bit column indices.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// Constructs from raw CSR arrays.  row_ptr must have rows+1 entries,
+  /// col_idx/values must have row_ptr.back() entries, and column indices
+  /// must be sorted and in range within each row.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::uint32_t> row_ptr,
+            std::vector<std::uint32_t> col_idx, std::vector<double> values);
+
+  /// Builds an n x n identity matrix.
+  [[nodiscard]] static CsrMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  [[nodiscard]] std::span<const std::uint32_t> row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  /// Column indices of row r.
+  [[nodiscard]] std::span<const std::uint32_t> row_cols(std::size_t r) const;
+
+  /// Values of row r.
+  [[nodiscard]] std::span<const double> row_values(std::size_t r) const;
+
+  /// Value at (r, c); zero if the entry is not stored.  O(log nnz(row)).
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// y = A x (gather kernel).  y must have rows() entries, x cols().
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T x (scatter kernel).  y must have cols() entries, x rows().
+  void multiply_transpose(std::span<const double> x,
+                          std::span<double> y) const;
+
+  /// Returns the explicit transpose (fresh storage).
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// Sum of each row's values (for stochasticity checks on P-oriented
+  /// storage) — index i gets sum_j a_ij.
+  [[nodiscard]] std::vector<double> row_sums() const;
+
+  /// Sum of each column's values (for stochasticity checks on P^T-oriented
+  /// storage) — index j gets sum_i a_ij.
+  [[nodiscard]] std::vector<double> col_sums() const;
+
+  /// Applies f(row, col, value) to every stored entry in row-major order.
+  void for_each(
+      const std::function<void(std::size_t, std::size_t, double)>& f) const;
+
+  /// Frobenius-style maximum absolute entry.
+  [[nodiscard]] double max_abs() const;
+
+  /// True if shapes, patterns and values match exactly.
+  [[nodiscard]] bool equals(const CsrMatrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> row_ptr_ = {0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace stocdr::sparse

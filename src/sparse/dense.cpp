@@ -1,0 +1,160 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/csr.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::sparse {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix d(a.rows(), a.cols());
+  a.for_each([&d](std::size_t r, std::size_t c, double v) { d.at(r, c) = v; });
+  return d;
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d.at(i, i) = 1.0;
+  return d;
+}
+
+void DenseMatrix::multiply(std::span<const double> x,
+                           std::span<double> y) const {
+  STOCDR_REQUIRE(x.size() == cols_ && y.size() == rows_,
+                 "DenseMatrix::multiply dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void DenseMatrix::multiply_transpose(std::span<const double> x,
+                                     std::span<double> y) const {
+  STOCDR_REQUIRE(x.size() == rows_ && y.size() == cols_,
+                 "DenseMatrix::multiply_transpose dimension mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& b) const {
+  STOCDR_REQUIRE(cols_ == b.rows_, "DenseMatrix::multiply shape mismatch");
+  DenseMatrix c(rows_, b.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = at(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data_.data() + k * b.cols_;
+      double* crow = c.data_.data() + i * b.cols_;
+      for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+double DenseMatrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+LuFactorization::LuFactorization(const DenseMatrix& a) : lu_(a) {
+  STOCDR_REQUIRE(a.rows() == a.cols(),
+                 "LuFactorization requires a square matrix");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k at/below k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_.at(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      throw NumericalError("LuFactorization: matrix is singular");
+    }
+    perm_[k] = pivot;
+    if (pivot != k) {
+      auto rk = lu_.row(k);
+      auto rp = lu_.row(pivot);
+      std::swap_ranges(rk.begin(), rk.end(), rp.begin());
+    }
+    const double inv_pivot = 1.0 / lu_.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_.at(r, k) * inv_pivot;
+      lu_.at(r, k) = factor;  // store L below the diagonal
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_.at(r, c) -= factor * lu_.at(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  STOCDR_REQUIRE(b.size() == n, "LuFactorization::solve size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  // Apply the row permutation, then forward/back substitution.
+  for (std::size_t k = 0; k < n; ++k) std::swap(x[k], x[perm_[k]]);
+  for (std::size_t r = 1; r < n; ++r) {
+    double acc = x[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_.at(r, c) * x[c];
+    x[r] = acc;
+  }
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = x[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= lu_.at(r, c) * x[c];
+    x[r] = acc / lu_.at(r, r);
+  }
+  return x;
+}
+
+std::vector<double> LuFactorization::solve_transpose(
+    std::span<const double> b) const {
+  // A^T = (P^T L U)^T = U^T L^T P, so solve U^T z = b, L^T w = z, x = P^T w.
+  const std::size_t n = lu_.rows();
+  STOCDR_REQUIRE(b.size() == n,
+                 "LuFactorization::solve_transpose size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  // U^T is lower triangular: forward substitution with the U part.
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = x[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_.at(c, r) * x[c];
+    x[r] = acc / lu_.at(r, r);
+  }
+  // L^T is upper triangular with unit diagonal: back substitution.
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = x[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= lu_.at(c, r) * x[c];
+    x[r] = acc;
+  }
+  // Undo the permutation (applied in reverse order).
+  for (std::size_t k = n; k-- > 0;) std::swap(x[k], x[perm_[k]]);
+  return x;
+}
+
+}  // namespace stocdr::sparse

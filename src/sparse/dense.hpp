@@ -1,0 +1,92 @@
+// Dense matrix with LU factorization.
+//
+// Used for the coarsest level of the multigrid hierarchy and as an oracle in
+// the test suite (small problems only; everything large stays sparse).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stocdr::sparse {
+
+class CsrMatrix;
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix initialized to zero.
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  /// Materializes a sparse matrix densely (test/oracle use).
+  [[nodiscard]] static DenseMatrix from_csr(const CsrMatrix& a);
+
+  /// n x n identity.
+  [[nodiscard]] static DenseMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Row r as a span.
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T x.
+  void multiply_transpose(std::span<const double> x,
+                          std::span<double> y) const;
+
+  /// C = A * B.
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& b) const;
+
+  /// Transposed copy.
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  /// Maximum absolute entry.
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Throws NumericalError on (numerical) singularity.  Solves A x = b for
+/// multiple right-hand sides after a single factorization.
+class LuFactorization {
+ public:
+  /// Factorizes a (copied; the original is untouched).
+  explicit LuFactorization(const DenseMatrix& a);
+
+  /// Solves A x = b; returns x.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves A^T x = b; returns x.
+  [[nodiscard]] std::vector<double> solve_transpose(
+      std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;  // row permutation: pivot row of step k
+};
+
+}  // namespace stocdr::sparse

@@ -1,0 +1,151 @@
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::sparse {
+
+namespace {
+
+/// Reads the next non-comment, non-blank line; false at EOF.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i == line.size() || line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+struct Header {
+  bool matrix = false;
+  bool coordinate = false;  // vs array
+  bool real_or_integer = false;
+  bool general = false;
+};
+
+Header parse_header(std::istream& in) {
+  std::string line;
+  STOCDR_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 "matrix market: empty stream");
+  std::istringstream fields(lower(line));
+  std::string banner, object, format, field, symmetry;
+  fields >> banner >> object >> format >> field >> symmetry;
+  STOCDR_REQUIRE(banner == "%%matrixmarket",
+                 "matrix market: missing %%MatrixMarket banner");
+  Header header;
+  header.matrix = object == "matrix";
+  header.coordinate = format == "coordinate";
+  header.real_or_integer = field == "real" || field == "integer";
+  header.general = symmetry == "general";
+  return header;
+}
+
+}  // namespace
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& matrix,
+                         const std::string& comment) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  if (!comment.empty()) out << "% " << comment << '\n';
+  out << matrix.rows() << ' ' << matrix.cols() << ' ' << matrix.nnz() << '\n';
+  out.precision(17);
+  matrix.for_each([&out](std::size_t r, std::size_t c, double v) {
+    out << (r + 1) << ' ' << (c + 1) << ' ' << v << '\n';
+  });
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& matrix,
+                              const std::string& comment) {
+  std::ofstream out(path);
+  STOCDR_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  write_matrix_market(out, matrix, comment);
+  STOCDR_REQUIRE(out.good(), "write to '" + path + "' failed");
+}
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  const Header header = parse_header(in);
+  STOCDR_REQUIRE(header.matrix && header.coordinate &&
+                     header.real_or_integer && header.general,
+                 "matrix market: only coordinate real/integer general "
+                 "matrices are supported");
+  std::string line;
+  STOCDR_REQUIRE(next_data_line(in, line),
+                 "matrix market: missing size line");
+  std::istringstream size_line(line);
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  size_line >> rows >> cols >> nnz;
+  STOCDR_REQUIRE(!size_line.fail(), "matrix market: malformed size line");
+
+  CooBuilder builder(rows, cols);
+  builder.reserve(nnz);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    STOCDR_REQUIRE(next_data_line(in, line),
+                   "matrix market: truncated entry list");
+    std::istringstream entry(line);
+    std::size_t r = 0, c = 0;
+    double v = 0.0;
+    entry >> r >> c >> v;
+    STOCDR_REQUIRE(!entry.fail() && r >= 1 && c >= 1 && r <= rows &&
+                       c <= cols,
+                   "matrix market: malformed entry '" + line + "'");
+    builder.add(r - 1, c - 1, v);
+  }
+  return builder.to_csr();
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  STOCDR_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+  return read_matrix_market(in);
+}
+
+void write_vector_market(std::ostream& out, std::span<const double> vector,
+                         const std::string& comment) {
+  out << "%%MatrixMarket matrix array real general\n";
+  if (!comment.empty()) out << "% " << comment << '\n';
+  out << vector.size() << " 1\n";
+  out.precision(17);
+  for (const double v : vector) out << v << '\n';
+}
+
+std::vector<double> read_vector_market(std::istream& in) {
+  const Header header = parse_header(in);
+  STOCDR_REQUIRE(header.matrix && !header.coordinate &&
+                     header.real_or_integer && header.general,
+                 "matrix market: expected an array real general vector");
+  std::string line;
+  STOCDR_REQUIRE(next_data_line(in, line),
+                 "matrix market: missing size line");
+  std::istringstream size_line(line);
+  std::size_t rows = 0, cols = 0;
+  size_line >> rows >> cols;
+  STOCDR_REQUIRE(!size_line.fail() && cols == 1,
+                 "matrix market: vector must be n x 1");
+  std::vector<double> values(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    STOCDR_REQUIRE(next_data_line(in, line),
+                   "matrix market: truncated vector");
+    std::istringstream entry(line);
+    entry >> values[i];
+    STOCDR_REQUIRE(!entry.fail(), "matrix market: malformed value");
+  }
+  return values;
+}
+
+}  // namespace stocdr::sparse

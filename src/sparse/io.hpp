@@ -1,0 +1,41 @@
+// Sparse matrix and vector interchange: Matrix Market (.mtx) read/write.
+//
+// The de-facto exchange format for sparse matrices; lets the TPMs built
+// here be inspected in Octave/SciPy/SuiteSparse tooling and lets external
+// chains be analyzed with this library's solvers.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace stocdr::sparse {
+
+/// Writes `matrix` in Matrix Market coordinate/real/general format.
+/// `comment`, if non-empty, is embedded as a % header line.
+void write_matrix_market(std::ostream& out, const CsrMatrix& matrix,
+                         const std::string& comment = "");
+
+/// Convenience: writes to a file; throws PreconditionError on I/O failure.
+void write_matrix_market_file(const std::string& path, const CsrMatrix& matrix,
+                              const std::string& comment = "");
+
+/// Parses Matrix Market coordinate/real (or integer) general format.
+/// Duplicate coordinates are summed.  Throws PreconditionError on malformed
+/// input or unsupported variants (complex, pattern, symmetric).
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience: reads from a file.
+[[nodiscard]] CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes a dense vector in Matrix Market array format.
+void write_vector_market(std::ostream& out, std::span<const double> vector,
+                         const std::string& comment = "");
+
+/// Reads a dense vector in Matrix Market array format (n x 1).
+[[nodiscard]] std::vector<double> read_vector_market(std::istream& in);
+
+}  // namespace stocdr::sparse

@@ -1,0 +1,22 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace stocdr::detail {
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << msg << " [" << expr << " at " << file << ":"
+     << line << "]";
+  throw PreconditionError(os.str());
+}
+
+void throw_internal(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ":"
+     << line;
+  throw InternalError(os.str());
+}
+
+}  // namespace stocdr::detail

@@ -1,0 +1,62 @@
+// Error handling for the stocdr library.
+//
+// The library reports precondition violations and numerical failures with
+// exceptions derived from stocdr::Error.  The STOCDR_REQUIRE macro is used at
+// public API boundaries; STOCDR_ASSERT is an internal invariant check that is
+// active in all build types (the cost is negligible next to the numerical
+// kernels it guards).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stocdr {
+
+/// Base class for all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or produced an invalid result.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated (library bug, not caller error).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace stocdr
+
+/// Check a documented precondition of a public entry point; throws
+/// stocdr::PreconditionError with the failing expression and a caller message.
+#define STOCDR_REQUIRE(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::stocdr::detail::throw_precondition(#expr, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)
+
+/// Check an internal invariant; throws stocdr::InternalError on failure.
+#define STOCDR_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::stocdr::detail::throw_internal(#expr, __FILE__, __LINE__);       \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,53 @@
+// A lightweight non-owning callable reference (in the spirit of
+// std::function_ref from C++26).
+//
+// The FSM composition inner loop invokes a branch callback for every
+// stochastic alternative of every component in every reachable state;
+// std::function's ownership and allocation semantics are unnecessary there.
+// FunctionRef is two words, trivially copyable, and valid only while the
+// referenced callable is alive — callers must not store it.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace stocdr {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds to any callable object with a compatible signature.  The
+  /// callable must outlive the FunctionRef.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             !std::is_function_v<std::remove_reference_t<F>> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): by design
+      : object_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  /// Binds to a plain function (pointer); functions have static lifetime so
+  /// no dangling concern applies.
+  FunctionRef(R (*fn)(Args...))  // NOLINT(google-explicit-constructor)
+      : object_(reinterpret_cast<void*>(fn)),
+        invoke_([](void* object, Args... args) -> R {
+          return reinterpret_cast<R (*)(Args...)>(object)(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace stocdr

@@ -1,0 +1,118 @@
+#include "support/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace stocdr {
+
+double gaussian_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * kPi);
+}
+
+double gaussian_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double gaussian_tail(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+double gaussian_interval(double lo, double hi) {
+  STOCDR_REQUIRE(lo <= hi, "gaussian_interval requires lo <= hi");
+  if (lo >= 0.0) {
+    // Right tail: difference of upper tails keeps relative accuracy.
+    return gaussian_tail(lo) - gaussian_tail(hi);
+  }
+  if (hi <= 0.0) {
+    // Left tail: mirror.
+    return gaussian_tail(-hi) - gaussian_tail(-lo);
+  }
+  // Interval straddles zero: both CDF evaluations are well conditioned.
+  return gaussian_cdf(hi) - gaussian_cdf(lo);
+}
+
+bool almost_equal(double a, double b, double rtol, double atol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= atol + rtol * scale;
+}
+
+double kahan_sum(std::span<const double> values) {
+  double sum = 0.0;
+  double c = 0.0;
+  for (const double v : values) {
+    const double y = v - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double l1_norm(std::span<const double> values) {
+  double sum = 0.0;
+  double c = 0.0;
+  for (const double v : values) {
+    const double y = std::abs(v) - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double linf_norm(std::span<const double> values) {
+  double m = 0.0;
+  for (const double v : values) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double l1_distance(std::span<const double> a, std::span<const double> b) {
+  STOCDR_REQUIRE(a.size() == b.size(), "l1_distance requires equal sizes");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+void normalize_l1(std::span<double> values) {
+  const double sum = kahan_sum({values.data(), values.size()});
+  if (!(sum > 0.0) || !std::isfinite(sum)) {
+    throw NumericalError("normalize_l1: vector sum is zero or non-finite");
+  }
+  for (double& v : values) v /= sum;
+}
+
+double ipow(double base, unsigned exponent) {
+  double result = 1.0;
+  double b = base;
+  unsigned e = exponent;
+  while (e != 0) {
+    if (e & 1u) result *= b;
+    b *= b;
+    e >>= 1;
+  }
+  return result;
+}
+
+std::size_t gcd_size(std::size_t a, std::size_t b) {
+  while (b != 0) {
+    const std::size_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  STOCDR_REQUIRE(n >= 2, "linspace requires at least two points");
+  std::vector<double> grid(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid[i] = lo + step * static_cast<double>(i);
+  }
+  grid.back() = hi;
+  return grid;
+}
+
+}  // namespace stocdr

@@ -1,0 +1,69 @@
+// Scalar math helpers shared across the library: Gaussian density/CDF/tails,
+// safe floating-point comparisons, and small numeric utilities.
+//
+// The phase-detector decision probabilities and the exact BER tail
+// integration (DESIGN.md section 2) are built on gaussian_cdf/gaussian_tail,
+// so these are implemented with erfc for full accuracy far into the tails —
+// the whole point of the paper is evaluating probabilities near 1e-12 and
+// below, where naive 1 - Phi(x) formulations lose all precision.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stocdr {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Standard normal probability density at x.
+[[nodiscard]] double gaussian_pdf(double x);
+
+/// Standard normal CDF: P(Z <= x).  Accurate over the full range.
+[[nodiscard]] double gaussian_cdf(double x);
+
+/// Upper tail of the standard normal: P(Z > x) = erfc(x / sqrt(2)) / 2.
+/// Keeps full relative accuracy for large x (e.g. returns ~1e-100 at x=21
+/// rather than underflowing through 1 - cdf).
+[[nodiscard]] double gaussian_tail(double x);
+
+/// P(lo < Z <= hi) for a standard normal, computed to preserve accuracy
+/// when the interval lies far in a tail.
+[[nodiscard]] double gaussian_interval(double lo, double hi);
+
+/// Approximate relative/absolute equality for doubles:
+/// |a - b| <= atol + rtol * max(|a|, |b|).
+[[nodiscard]] bool almost_equal(double a, double b, double rtol = 1e-12,
+                                double atol = 1e-300);
+
+/// Sum of a span using Kahan compensated summation.  Stationary vectors have
+/// entries spanning ~300 orders of magnitude; naive summation of a million
+/// entries is fine for the norm but compensated summation costs nothing and
+/// removes a source of doubt in the validation tests.
+[[nodiscard]] double kahan_sum(std::span<const double> values);
+
+/// L1 norm of a span.
+[[nodiscard]] double l1_norm(std::span<const double> values);
+
+/// Infinity norm of a span.
+[[nodiscard]] double linf_norm(std::span<const double> values);
+
+/// L1 distance between two equally sized spans.
+[[nodiscard]] double l1_distance(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// Scales a nonnegative vector so its entries sum to one.  Throws
+/// NumericalError if the sum is zero or not finite.
+void normalize_l1(std::span<double> values);
+
+/// Integer power of a double (exponentiation by squaring).
+[[nodiscard]] double ipow(double base, unsigned exponent);
+
+/// Greatest common divisor of two positive integers.
+[[nodiscard]] std::size_t gcd_size(std::size_t a, std::size_t b);
+
+/// Linearly spaced grid of n points covering [lo, hi] inclusive (n >= 2).
+[[nodiscard]] std::vector<double> linspace(double lo, double hi,
+                                           std::size_t n);
+
+}  // namespace stocdr

@@ -1,0 +1,45 @@
+// Plain-text rendering used by the benchmark harnesses: aligned tables for
+// the paper's per-experiment annotation lines, and ASCII density plots for
+// the stationary phase-error PDFs of Figures 4 and 5.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stocdr {
+
+/// Column-aligned text table.  Rows are added as vectors of cells; render()
+/// pads every column to its widest cell.
+class TextTable {
+ public:
+  /// Creates a table with the given header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; it may have at most as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator line under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a discrete density (values at grid points) as an ASCII area plot,
+/// `height` rows tall, one column per (possibly downsampled) grid point.
+/// Used to reproduce the probability-density figures in text form.
+[[nodiscard]] std::string ascii_density_plot(std::span<const double> x,
+                                             std::span<const double> density,
+                                             std::size_t width = 72,
+                                             std::size_t height = 14);
+
+/// Formats a double in the compact scientific style the paper's annotations
+/// use, e.g. "1.6e-09".
+[[nodiscard]] std::string sci(double value, int digits = 2);
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fixed(double value, int digits = 3);
+
+}  // namespace stocdr

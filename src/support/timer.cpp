@@ -1,0 +1,24 @@
+#include "support/timer.hpp"
+
+#include <cstdio>
+
+namespace stocdr {
+
+double Timer::seconds() const {
+  const auto elapsed = Clock::now() - start_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fmin", seconds / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace stocdr

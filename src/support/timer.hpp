@@ -1,0 +1,36 @@
+// Wall-clock timing used by solver statistics and the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace stocdr {
+
+/// Simple monotonic wall-clock stopwatch.
+///
+/// The paper reports "Matrixformtime" and "Solvetime" for each experiment;
+/// this is the clock those numbers come from in our reproduction.
+class Timer {
+ public:
+  /// Constructs a running timer.
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer from zero.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const;
+
+  /// Elapsed time in minutes (the unit the paper's annotations use).
+  [[nodiscard]] double minutes() const { return seconds() / 60.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as a compact human-readable string,
+/// e.g. "183ms", "2.41s", "3.2min".
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace stocdr

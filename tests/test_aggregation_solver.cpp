@@ -1,0 +1,168 @@
+#include "solvers/aggregation.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "solvers/stationary.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::solvers {
+namespace {
+
+using markov::MarkovChain;
+using markov::Partition;
+
+TEST(GridPairHierarchyTest, HalvesTheGridPerLevel) {
+  // 16 grid points x 3 labels = 48 states.
+  std::vector<std::uint32_t> grid(48), label(48);
+  for (std::size_t i = 0; i < 48; ++i) {
+    grid[i] = static_cast<std::uint32_t>(i % 16);
+    label[i] = static_cast<std::uint32_t>(i / 16);
+  }
+  const auto hierarchy = build_grid_pair_hierarchy(grid, label, 6);
+  ASSERT_FALSE(hierarchy.empty());
+  EXPECT_EQ(hierarchy[0].num_states(), 48u);
+  EXPECT_EQ(hierarchy[0].num_groups(), 24u);  // grid 16 -> 8
+  EXPECT_EQ(hierarchy[1].num_groups(), 12u);  // grid 8 -> 4
+  EXPECT_EQ(hierarchy[2].num_groups(), 6u);   // grid 4 -> 2
+  EXPECT_EQ(hierarchy.size(), 3u);            // stop at coarsest_size=6
+}
+
+TEST(GridPairHierarchyTest, NeverMergesAcrossLabels) {
+  std::vector<std::uint32_t> grid{0, 1, 0, 1};
+  std::vector<std::uint32_t> label{0, 0, 1, 1};
+  const auto hierarchy = build_grid_pair_hierarchy(grid, label, 1);
+  ASSERT_FALSE(hierarchy.empty());
+  const Partition& p = hierarchy[0];
+  EXPECT_EQ(p.group(0), p.group(1));
+  EXPECT_EQ(p.group(2), p.group(3));
+  EXPECT_NE(p.group(0), p.group(2));
+}
+
+TEST(GridPairHierarchyTest, StopsWhenGridCollapses) {
+  // Single grid point per label: no reduction possible.
+  std::vector<std::uint32_t> grid{0, 0, 0};
+  std::vector<std::uint32_t> label{0, 1, 2};
+  const auto hierarchy = build_grid_pair_hierarchy(grid, label, 1);
+  EXPECT_TRUE(hierarchy.empty());
+}
+
+TEST(IndexPairHierarchyTest, HalvesUntilThreshold) {
+  const auto hierarchy = build_index_pair_hierarchy(64, 5);
+  ASSERT_EQ(hierarchy.size(), 4u);  // 64->32->16->8->4
+  EXPECT_EQ(hierarchy[0].num_states(), 64u);
+  EXPECT_EQ(hierarchy.back().num_groups(), 4u);
+}
+
+TEST(MultilevelTest, MatchesGthOnRandomChains) {
+  for (const std::uint64_t seed : {1ull, 9ull}) {
+    const MarkovChain chain(test::random_sparse_stochastic_pt(200, 4, seed));
+    const auto oracle = solve_stationary_direct(chain);
+    const auto hierarchy = build_index_pair_hierarchy(200, 20);
+    MultilevelOptions options;
+    options.tolerance = 1e-13;
+    options.coarsest_size = 20;
+    const auto result =
+        solve_stationary_multilevel(chain, hierarchy, options);
+    EXPECT_TRUE(result.stats.converged);
+    EXPECT_LT(test::l1(result.distribution, oracle.distribution), 1e-9);
+  }
+}
+
+TEST(MultilevelTest, BirthDeathWithGridHierarchy) {
+  // A birth-death chain is exactly a 1-D grid: the structural hierarchy
+  // applies directly (single label).  A near-balanced random walk is the
+  // stiffest case for unsmoothed-aggregation V-cycles (the coarse levels
+  // are random walks themselves), so the W-cycle is used here — the
+  // standard remedy when recursion error compounds up the hierarchy.
+  const std::size_t n = 256;
+  const MarkovChain chain(test::birth_death_pt(n, 0.3, 0.31));
+  std::vector<std::uint32_t> grid(n), label(n, 0);
+  for (std::size_t i = 0; i < n; ++i) grid[i] = static_cast<std::uint32_t>(i);
+  const auto hierarchy = build_grid_pair_hierarchy(grid, label, 8);
+  MultilevelOptions options;
+  options.tolerance = 1e-11;
+  options.coarsest_size = 8;
+  options.cycle_shape = 2;  // W-cycle
+  options.max_cycles = 200;
+  const auto result = solve_stationary_multilevel(chain, hierarchy, options);
+  EXPECT_TRUE(result.stats.converged);
+  const auto expected = test::birth_death_stationary(n, 0.3, 0.31);
+  EXPECT_LT(test::l1(result.distribution, expected), 1e-7);
+}
+
+TEST(MultilevelTest, EmptyHierarchyFallsBackToDirect) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(30, 2));
+  MultilevelOptions options;
+  options.coarsest_size = 100;  // chain smaller than threshold
+  const auto result = solve_stationary_multilevel(chain, {}, options);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_LE(result.stats.iterations, 2u);
+  const auto oracle = solve_stationary_direct(chain);
+  EXPECT_LT(test::l1(result.distribution, oracle.distribution), 1e-10);
+}
+
+TEST(MultilevelTest, WCycleConverges) {
+  const MarkovChain chain(test::random_sparse_stochastic_pt(150, 3, 4));
+  const auto hierarchy = build_index_pair_hierarchy(150, 15);
+  MultilevelOptions options;
+  options.cycle_shape = 2;  // W-cycle
+  options.coarsest_size = 15;
+  options.tolerance = 1e-12;
+  const auto result = solve_stationary_multilevel(chain, hierarchy, options);
+  EXPECT_TRUE(result.stats.converged);
+  const auto oracle = solve_stationary_direct(chain);
+  EXPECT_LT(test::l1(result.distribution, oracle.distribution), 1e-8);
+}
+
+TEST(MultilevelTest, HierarchyMismatchRejected) {
+  const MarkovChain chain(test::birth_death_pt(10, 0.3, 0.3));
+  const auto wrong = build_index_pair_hierarchy(12, 2);
+  EXPECT_THROW((void)solve_stationary_multilevel(chain, wrong, {}),
+               PreconditionError);
+}
+
+TEST(TwoLevelTest, MatchesDirectSolve) {
+  const MarkovChain chain(test::random_sparse_stochastic_pt(120, 4, 6));
+  const Partition partition = Partition::pairs(120);
+  MultilevelOptions options;
+  options.tolerance = 1e-13;
+  const auto result = solve_stationary_two_level(chain, partition, options);
+  EXPECT_TRUE(result.stats.converged);
+  const auto oracle = solve_stationary_direct(chain);
+  EXPECT_LT(test::l1(result.distribution, oracle.distribution), 1e-9);
+}
+
+TEST(TwoLevelTest, ConvergesFasterThanPlainSmoothing) {
+  // On a slowly-mixing chain the coarse correction must beat plain power
+  // iteration in iteration count.
+  const MarkovChain chain(test::birth_death_pt(200, 0.3, 0.305));
+  SolverOptions popts;
+  popts.tolerance = 1e-10;
+  popts.max_iterations = 3000000;
+  const auto power = solve_stationary_power(chain, popts);
+
+  MultilevelOptions options;
+  options.tolerance = 1e-10;
+  const auto two = solve_stationary_two_level(chain, Partition::pairs(200),
+                                              options);
+  EXPECT_TRUE(two.stats.converged);
+  EXPECT_TRUE(power.stats.converged);
+  // Each A/D cycle costs ~7 sweeps + a 200-state GTH; power needed
+  // thousands of sweeps.
+  EXPECT_LT(two.stats.iterations * 10, power.stats.iterations);
+}
+
+TEST(TwoLevelTest, RejectsOversizedCoarseProblem) {
+  // The lumped chain is solved with dense GTH; a partition with more than
+  // 4000 groups would make that explode and is rejected up front.
+  const MarkovChain chain(test::birth_death_pt(5000, 0.3, 0.3));
+  EXPECT_THROW(
+      (void)solve_stationary_two_level(chain, Partition::identity(5000), {}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::solvers

@@ -1,0 +1,67 @@
+#include "analysis/statistics.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace stocdr::analysis {
+namespace {
+
+const std::vector<double> kEta{0.1, 0.2, 0.3, 0.4};
+const std::vector<double> kF{1.0, 2.0, 3.0, 4.0};
+
+TEST(ExpectationTest, WeightedMean) {
+  EXPECT_DOUBLE_EQ(expectation(kEta, kF), 3.0);
+}
+
+TEST(ExpectationTest, SizeMismatchRejected) {
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW((void)expectation(kEta, bad), PreconditionError);
+}
+
+TEST(VarianceTest, MatchesHandComputation) {
+  // E[f] = 3, E[(f-3)^2] = 0.1*4 + 0.2*1 + 0.3*0 + 0.4*1 = 1.0.
+  EXPECT_DOUBLE_EQ(variance(kEta, kF), 1.0);
+}
+
+TEST(VarianceTest, ZeroForConstantFunction) {
+  const std::vector<double> f(4, 7.0);
+  EXPECT_DOUBLE_EQ(variance(kEta, f), 0.0);
+}
+
+TEST(TailTest, OneSided) {
+  EXPECT_DOUBLE_EQ(tail_probability(kEta, kF, 2.5), 0.7);
+  EXPECT_DOUBLE_EQ(tail_probability(kEta, kF, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(tail_probability(kEta, kF, 0.0), 1.0);
+}
+
+TEST(TailTest, TwoSided) {
+  const std::vector<double> f{-3.0, -1.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(two_sided_tail_probability(kEta, f, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(two_sided_tail_probability(kEta, f, 0.5), 1.0);
+}
+
+TEST(QuantileTest, StepsThroughCdf) {
+  EXPECT_DOUBLE_EQ(quantile(kEta, kF, 0.05), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(kEta, kF, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(kEta, kF, 0.3), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(kEta, kF, 0.6), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(kEta, kF, 1.0), 4.0);
+}
+
+TEST(QuantileTest, UnsortedFunctionValues) {
+  const std::vector<double> eta{0.5, 0.5};
+  const std::vector<double> f{10.0, -10.0};
+  EXPECT_DOUBLE_EQ(quantile(eta, f, 0.5), -10.0);
+  EXPECT_DOUBLE_EQ(quantile(eta, f, 0.9), 10.0);
+}
+
+TEST(QuantileTest, RejectsBadQ) {
+  EXPECT_THROW((void)quantile(kEta, kF, 0.0), PreconditionError);
+  EXPECT_THROW((void)quantile(kEta, kF, 1.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::analysis

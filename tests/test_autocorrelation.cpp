@@ -1,0 +1,101 @@
+#include "analysis/autocorrelation.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/gth.hpp"
+
+namespace stocdr::analysis {
+namespace {
+
+using markov::MarkovChain;
+
+/// Two-state symmetric chain with stay probability p: the autocovariance of
+/// any f decays as lambda^k with lambda = 2p - 1.
+MarkovChain two_state(double p) {
+  sparse::CooBuilder b(2, 2);
+  b.add(0, 0, p);
+  b.add(1, 0, 1 - p);
+  b.add(0, 1, 1 - p);
+  b.add(1, 1, p);
+  return MarkovChain(b.to_csr());
+}
+
+TEST(AutocorrelationTest, TwoStateGeometricDecay) {
+  const double p = 0.8;
+  const MarkovChain chain = two_state(p);
+  const std::vector<double> eta{0.5, 0.5};
+  const std::vector<double> f{-1.0, 1.0};
+  const auto c = autocovariance(chain, eta, f, 10);
+  const double lambda = 2 * p - 1;
+  for (std::size_t k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(c[k], std::pow(lambda, static_cast<double>(k)), 1e-12) << k;
+  }
+}
+
+TEST(AutocorrelationTest, LagZeroIsSecondMoment) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(8, 4));
+  const auto eta = sparse::gth_stationary_transposed(chain.pt());
+  std::vector<double> f(8);
+  for (std::size_t i = 0; i < 8; ++i) f[i] = static_cast<double>(i * i);
+  const auto r = autocorrelation(chain, eta, f, 0);
+  double second = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) second += eta[i] * f[i] * f[i];
+  EXPECT_NEAR(r[0], second, 1e-12);
+}
+
+TEST(AutocorrelationTest, IidChainHasNoMemory) {
+  // All rows equal: X_{k+1} independent of X_k, so C(k) = 0 for k >= 1.
+  sparse::CooBuilder b(3, 3);
+  for (std::size_t src = 0; src < 3; ++src) {
+    b.add(0, src, 0.2);
+    b.add(1, src, 0.5);
+    b.add(2, src, 0.3);
+  }
+  const MarkovChain chain(b.to_csr());
+  const std::vector<double> eta{0.2, 0.5, 0.3};
+  const std::vector<double> f{1.0, -2.0, 5.0};
+  const auto c = autocovariance(chain, eta, f, 5);
+  EXPECT_GT(c[0], 0.0);
+  for (std::size_t k = 1; k <= 5; ++k) EXPECT_NEAR(c[k], 0.0, 1e-12) << k;
+}
+
+TEST(AutocorrelationTest, DecaysToMeanSquare) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(10, 6));
+  const auto eta = sparse::gth_stationary_transposed(chain.pt());
+  std::vector<double> f(10);
+  for (std::size_t i = 0; i < 10; ++i) f[i] = static_cast<double>(i);
+  const auto r = autocorrelation(chain, eta, f, 60);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) mean += eta[i] * f[i];
+  EXPECT_NEAR(r[60], mean * mean, 1e-10);
+}
+
+TEST(IntegratedTimeTest, IidGivesOne) {
+  const std::vector<double> c{2.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(integrated_autocorrelation_time(c), 1.0);
+}
+
+TEST(IntegratedTimeTest, GeometricSequence) {
+  // rho(k) = 0.5^k: tau = 1 + 2 * (0.5 + 0.25 + ...) -> 3 as K grows.
+  std::vector<double> c(30);
+  for (std::size_t k = 0; k < 30; ++k) c[k] = std::pow(0.5, k);
+  EXPECT_NEAR(integrated_autocorrelation_time(c), 3.0, 1e-6);
+}
+
+TEST(IntegratedTimeTest, TruncatesAtFirstNonPositive) {
+  const std::vector<double> c{1.0, 0.4, -0.1, 0.3};
+  EXPECT_DOUBLE_EQ(integrated_autocorrelation_time(c), 1.8);
+}
+
+TEST(IntegratedTimeTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(integrated_autocorrelation_time(std::vector<double>{0.0}),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace stocdr::analysis

@@ -1,0 +1,86 @@
+#include "sim/batch.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::sim {
+namespace {
+
+TEST(BatchMeansTest, IidSamplesMatchClassicalStandardError) {
+  Rng rng(101);
+  const std::size_t n = 64000;
+  std::vector<double> samples(n);
+  double sum = 0.0, sum2 = 0.0;
+  for (double& s : samples) {
+    s = rng.normal(5.0, 2.0);
+    sum += s;
+    sum2 += s * s;
+  }
+  const double classical_se =
+      std::sqrt((sum2 / n - (sum / n) * (sum / n)) / n);
+  const BatchMeans bm = batch_means(samples, 32);
+  EXPECT_NEAR(bm.mean, 5.0, 0.05);
+  // For iid data, batch means reproduce the classical SE (within the noise
+  // of estimating a variance from 32 batches).
+  EXPECT_NEAR(bm.std_error / classical_se, 1.0, 0.5);
+  EXPECT_LT(std::abs(bm.lag1_correlation), 0.5);
+}
+
+TEST(BatchMeansTest, CorrelatedSamplesWidenTheInterval) {
+  // AR(1) with phi = 0.95: tau = (1+phi)/(1-phi) = 39; the naive SE is
+  // ~sqrt(39) ~ 6x too small.
+  Rng rng(7);
+  const std::size_t n = 200000;
+  const double phi = 0.95;
+  std::vector<double> samples(n);
+  double x = 0.0;
+  for (double& s : samples) {
+    x = phi * x + rng.normal();
+    s = x;
+  }
+  double sum = 0.0, sum2 = 0.0;
+  for (const double s : samples) {
+    sum += s;
+    sum2 += s * s;
+  }
+  const double naive_se =
+      std::sqrt((sum2 / n - (sum / n) * (sum / n)) / n);
+  const BatchMeans bm = batch_means(samples, 40);
+  EXPECT_GT(bm.std_error, 3.0 * naive_se);
+  // The true SE of the mean is sqrt(var * tau / n) with var ~ 1/(1-phi^2).
+  const double true_se = std::sqrt(1.0 / (1.0 - phi * phi) *
+                                   (1.0 + phi) / (1.0 - phi) / n);
+  EXPECT_NEAR(bm.std_error / true_se, 1.0, 0.6);
+}
+
+TEST(BatchMeansTest, IntervalCoversMean) {
+  Rng rng(55);
+  std::vector<double> samples(4000);
+  for (double& s : samples) s = rng.uniform(0.0, 1.0);
+  const BatchMeans bm = batch_means(samples, 20);
+  EXPECT_LT(bm.lower(), 0.5);
+  EXPECT_GT(bm.upper(), 0.5);
+  EXPECT_EQ(bm.batches, 20u);
+  EXPECT_EQ(bm.batch_size, 200u);
+}
+
+TEST(BatchMeansTest, ValidatesInput) {
+  const std::vector<double> tiny{1.0};
+  EXPECT_THROW((void)batch_means(tiny, 2), PreconditionError);
+  const std::vector<double> some(10, 1.0);
+  EXPECT_THROW((void)batch_means(some, 1), PreconditionError);
+}
+
+TEST(EffectiveSampleSizeTest, DividesByTau) {
+  EXPECT_DOUBLE_EQ(effective_sample_size(1000, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(effective_sample_size(5, 100.0), 1.0);
+  EXPECT_THROW((void)effective_sample_size(10, 0.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::sim

@@ -1,0 +1,270 @@
+#include "cdr/components.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::cdr {
+namespace {
+
+struct Branch {
+  double probability;
+  std::vector<std::uint32_t> outputs;
+  std::uint32_t next_state;
+};
+
+std::vector<Branch> enumerate(const fsm::Component& comp, std::uint32_t state,
+                              std::vector<std::uint32_t> inputs = {}) {
+  std::vector<Branch> branches;
+  auto sink = [&branches](double p, std::span<const std::uint32_t> outs,
+                          std::uint32_t next) {
+    branches.push_back({p, {outs.begin(), outs.end()}, next});
+  };
+  comp.enumerate(state, inputs, sink);
+  return branches;
+}
+
+// ---------------------------------------------------------------- DataSource
+
+TEST(DataSourceTest, ToggleProbability) {
+  const DataSource data(0.4, 8);
+  const auto branches = enumerate(data, 0);
+  ASSERT_EQ(branches.size(), 2u);
+  EXPECT_DOUBLE_EQ(branches[0].probability, 0.4);
+  EXPECT_EQ(branches[0].outputs[0], 1u);  // transition
+  EXPECT_EQ(branches[0].next_state, 0u);  // run resets
+  EXPECT_DOUBLE_EQ(branches[1].probability, 0.6);
+  EXPECT_EQ(branches[1].outputs[0], 0u);
+  EXPECT_EQ(branches[1].next_state, 1u);  // run grows
+}
+
+TEST(DataSourceTest, ForcedTransitionAtMaxRun) {
+  const DataSource data(0.4, 4);
+  // State 3 = run of 3; one more identical bit would exceed the spec.
+  const auto branches = enumerate(data, 3);
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_DOUBLE_EQ(branches[0].probability, 1.0);
+  EXPECT_EQ(branches[0].outputs[0], 1u);
+  EXPECT_EQ(branches[0].next_state, 0u);
+}
+
+TEST(DataSourceTest, AlwaysTogglingSource) {
+  const DataSource data(1.0, 1);
+  const auto branches = enumerate(data, 0);
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].outputs[0], 1u);
+}
+
+TEST(DataSourceTest, StationaryTransitionDensity) {
+  // For max_run R and toggle probability t, the long-run fraction of bits
+  // with transitions solves a small renewal equation; verify against the
+  // run-length chain's stationary distribution directly.
+  const double t = 0.5;
+  const std::size_t r = 4;
+  const DataSource data(t, r);
+  // Build the run-length chain by hand: run k -> 0 w.p. t (or 1 at cap).
+  std::vector<double> eta(r, 0.0);
+  eta[0] = 1.0;  // solve by power iteration (tiny chain)
+  for (int it = 0; it < 2000; ++it) {
+    std::vector<double> next(r, 0.0);
+    for (std::size_t k = 0; k < r; ++k) {
+      const double toggle = (k + 1 >= r) ? 1.0 : t;
+      next[0] += eta[k] * toggle;
+      if (k + 1 < r) next[k + 1] += eta[k] * (1.0 - toggle);
+    }
+    eta = next;
+  }
+  // Expected transition density = sum_k eta_k * toggle_k = eta_0 after one
+  // more step (mass entering run 0).
+  double density = 0.0;
+  for (std::size_t k = 0; k < r; ++k) {
+    density += eta[k] * ((k + 1 >= r) ? 1.0 : t);
+  }
+  // The forced toggle raises the density above t.
+  EXPECT_GT(density, t);
+  EXPECT_LT(density, 1.0);
+}
+
+// ------------------------------------------------------------- PhaseDetector
+
+TEST(PhaseDetectorTest, NoTransitionMeansNull) {
+  const PhaseGrid grid(64);
+  const PhaseDetector pd(grid, 0.05);
+  const auto branches = enumerate(pd, 0, {0, 10});
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].outputs[0], static_cast<std::uint32_t>(kHold));
+  EXPECT_DOUBLE_EQ(branches[0].probability, 1.0);
+}
+
+TEST(PhaseDetectorTest, LeadProbabilityIsGaussianCdf) {
+  const PhaseGrid grid(64);
+  const double sigma = 0.05;
+  const PhaseDetector pd(grid, sigma);
+  const std::uint32_t idx = 40;  // positive phase error
+  const double phi = grid.value(idx);
+  const auto branches = enumerate(pd, 0, {1, idx});
+  ASSERT_EQ(branches.size(), 2u);
+  EXPECT_EQ(branches[0].outputs[0], static_cast<std::uint32_t>(kUp));
+  EXPECT_NEAR(branches[0].probability, gaussian_cdf(phi / sigma), 1e-14);
+  EXPECT_EQ(branches[1].outputs[0], static_cast<std::uint32_t>(kDown));
+  EXPECT_NEAR(branches[0].probability + branches[1].probability, 1.0, 1e-14);
+}
+
+TEST(PhaseDetectorTest, LeadProbabilityMonotoneInPhase) {
+  const PhaseGrid grid(64);
+  const PhaseDetector pd(grid, 0.1);
+  double prev = -1.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double p = pd.lead_probability(grid.value(i));
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PhaseDetectorTest, ZeroSigmaIsHardComparator) {
+  const PhaseGrid grid(64);
+  const PhaseDetector pd(grid, 0.0);
+  const auto lead = enumerate(pd, 0, {1, 50});
+  ASSERT_EQ(lead.size(), 1u);
+  EXPECT_EQ(lead[0].outputs[0], static_cast<std::uint32_t>(kUp));
+  const auto lag = enumerate(pd, 0, {1, 5});
+  ASSERT_EQ(lag.size(), 1u);
+  EXPECT_EQ(lag[0].outputs[0], static_cast<std::uint32_t>(kDown));
+}
+
+TEST(PhaseDetectorTest, DiscretizedComparator) {
+  const PhaseGrid grid(64);
+  const PhaseDetector pd(grid, std::vector<double>{-0.2, 0.0, 0.2});
+  EXPECT_EQ(pd.num_input_ports(), 3u);
+  // phi = value(40) ~ 0.133; with atom -0.2 the noisy input is negative.
+  const auto lag = enumerate(pd, 0, {1, 40, 0});
+  ASSERT_EQ(lag.size(), 1u);
+  EXPECT_EQ(lag[0].outputs[0], static_cast<std::uint32_t>(kDown));
+  const auto lead = enumerate(pd, 0, {1, 40, 2});
+  EXPECT_EQ(lead[0].outputs[0], static_cast<std::uint32_t>(kUp));
+}
+
+// ------------------------------------------------------------ UpDownCounter
+
+TEST(UpDownCounterTest, CountsAndHolds) {
+  const UpDownCounter counter(4);
+  EXPECT_EQ(counter.num_states(), 7u);
+  const std::uint32_t zero = counter.initial_state();
+  EXPECT_EQ(counter.count_of(zero), 0);
+  // UP increments.
+  const auto up = enumerate(counter, zero, {kUp});
+  EXPECT_EQ(counter.count_of(up[0].next_state), 1);
+  EXPECT_EQ(up[0].outputs[0], static_cast<std::uint32_t>(kHold));
+  // NULL holds.
+  const auto hold = enumerate(counter, zero, {kHold});
+  EXPECT_EQ(counter.count_of(hold[0].next_state), 0);
+  // DOWN decrements.
+  const auto down = enumerate(counter, zero, {kDown});
+  EXPECT_EQ(counter.count_of(down[0].next_state), -1);
+}
+
+TEST(UpDownCounterTest, OverflowEmitsAndResets) {
+  const UpDownCounter counter(4);
+  // State with count +3: one more UP overflows.
+  const std::uint32_t at3 = counter.initial_state() + 3;
+  ASSERT_EQ(counter.count_of(at3), 3);
+  const auto branches = enumerate(counter, at3, {kUp});
+  EXPECT_EQ(branches[0].outputs[0], static_cast<std::uint32_t>(kUp));
+  EXPECT_EQ(counter.count_of(branches[0].next_state), 0);
+  // Mirror: count -3, DOWN.
+  const std::uint32_t atm3 = counter.initial_state() - 3;
+  const auto down = enumerate(counter, atm3, {kDown});
+  EXPECT_EQ(down[0].outputs[0], static_cast<std::uint32_t>(kDown));
+  EXPECT_EQ(counter.count_of(down[0].next_state), 0);
+}
+
+TEST(UpDownCounterTest, LengthOneIsTransparent) {
+  // N=1: every PD pulse overflows immediately (no filtering).
+  const UpDownCounter counter(1);
+  EXPECT_EQ(counter.num_states(), 1u);
+  const auto up = enumerate(counter, 0, {kUp});
+  EXPECT_EQ(up[0].outputs[0], static_cast<std::uint32_t>(kUp));
+  const auto down = enumerate(counter, 0, {kDown});
+  EXPECT_EQ(down[0].outputs[0], static_cast<std::uint32_t>(kDown));
+  const auto hold = enumerate(counter, 0, {kHold});
+  EXPECT_EQ(hold[0].outputs[0], static_cast<std::uint32_t>(kHold));
+}
+
+TEST(UpDownCounterTest, OverflowSequenceTiming) {
+  // N=3: three consecutive LEADs produce exactly one UP.
+  const UpDownCounter counter(3);
+  std::uint32_t state = counter.initial_state();
+  int ups = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto b = enumerate(counter, state, {kUp});
+    if (b[0].outputs[0] == static_cast<std::uint32_t>(kUp)) ++ups;
+    state = b[0].next_state;
+  }
+  EXPECT_EQ(ups, 1);
+  EXPECT_EQ(counter.count_of(state), 0);
+}
+
+// ------------------------------------------------------------ PhaseErrorFsm
+
+PhaseErrorFsm make_phase(const PhaseGrid& grid, BoundaryMode boundary) {
+  return PhaseErrorFsm(grid, /*step_cells=*/4,
+                       /*nr_offsets=*/{-1, 0, 1}, boundary,
+                       /*initial_index=*/static_cast<std::uint32_t>(
+                           grid.size() / 2));
+}
+
+TEST(PhaseErrorFsmTest, MooreOutputIsOwnIndex) {
+  const PhaseGrid grid(64);
+  const PhaseErrorFsm phase = make_phase(grid, BoundaryMode::kWrap);
+  EXPECT_TRUE(phase.is_moore());
+  std::uint32_t out = 0;
+  phase.moore_outputs(17, std::span<std::uint32_t>(&out, 1));
+  EXPECT_EQ(out, 17u);
+}
+
+TEST(PhaseErrorFsmTest, CorrectionDirections) {
+  const PhaseGrid grid(64);
+  const PhaseErrorFsm phase = make_phase(grid, BoundaryMode::kWrap);
+  // UP subtracts G (eqn (2): Phi -= G when the loop says "lead").
+  EXPECT_EQ(phase.raw_next(32, kUp, 1), 28);
+  EXPECT_EQ(phase.raw_next(32, kDown, 1), 36);
+  EXPECT_EQ(phase.raw_next(32, kHold, 1), 32);
+  // n_r offsets add on top.
+  EXPECT_EQ(phase.raw_next(32, kHold, 0), 31);
+  EXPECT_EQ(phase.raw_next(32, kHold, 2), 33);
+}
+
+TEST(PhaseErrorFsmTest, WrapAroundBoundary) {
+  const PhaseGrid grid(64);
+  const PhaseErrorFsm phase = make_phase(grid, BoundaryMode::kWrap);
+  // Near the top, a DOWN command pushes past the boundary and wraps.
+  const auto b = enumerate(phase, 62, {kDown, 2});
+  EXPECT_EQ(b[0].next_state, (62 + 4 + 1) % 64);
+}
+
+TEST(PhaseErrorFsmTest, SaturateMode) {
+  const PhaseGrid grid(64);
+  const PhaseErrorFsm phase = make_phase(grid, BoundaryMode::kSaturate);
+  const auto hi = enumerate(phase, 62, {kDown, 2});
+  EXPECT_EQ(hi[0].next_state, 63u);
+  const auto lo = enumerate(phase, 1, {kUp, 0});
+  EXPECT_EQ(lo[0].next_state, 0u);
+}
+
+TEST(PhaseErrorFsmTest, RejectsOversizedSteps) {
+  const PhaseGrid grid(64);
+  EXPECT_THROW(PhaseErrorFsm(grid, 20, {0}, BoundaryMode::kWrap, 0),
+               PreconditionError);
+  EXPECT_THROW(PhaseErrorFsm(grid, 4, {-30}, BoundaryMode::kWrap, 0),
+               PreconditionError);
+  EXPECT_THROW(PhaseErrorFsm(grid, 4, {}, BoundaryMode::kWrap, 0),
+               PreconditionError);
+  EXPECT_THROW(PhaseErrorFsm(grid, 4, {0}, BoundaryMode::kWrap, 64),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::cdr

@@ -1,0 +1,89 @@
+#include "cdr/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace stocdr::cdr {
+namespace {
+
+TEST(CdrConfigTest, DefaultsAreValid) {
+  CdrConfig config;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(CdrConfigTest, PhaseStepHelpers) {
+  CdrConfig config;
+  config.phase_points = 512;
+  config.vco_phases = 16;
+  EXPECT_DOUBLE_EQ(config.phase_step_ui(), 1.0 / 16.0);
+  EXPECT_EQ(config.phase_step_cells(), 32u);
+}
+
+TEST(CdrConfigTest, RejectsInconsistentDiscretization) {
+  CdrConfig config;
+  config.phase_points = 100;
+  config.vco_phases = 16;  // does not divide 100
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(CdrConfigTest, RejectsOddGrid) {
+  CdrConfig config;
+  config.phase_points = 127;
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(CdrConfigTest, RejectsSubCellDriftNoise) {
+  // n_r far below the grid resolution would silently quantize to zero —
+  // the paper's warning about grid granularity made into a hard error.
+  CdrConfig config;
+  config.phase_points = 64;  // cell = 0.0156 UI
+  config.vco_phases = 16;
+  config.nr_mean = 0.0;
+  config.nr_max = 1e-4;
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(CdrConfigTest, RejectsBadDensityAndRuns) {
+  CdrConfig config;
+  config.transition_density = 0.0;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config = CdrConfig{};
+  config.transition_density = 1.5;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config = CdrConfig{};
+  config.max_run_length = 0;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config = CdrConfig{};
+  config.counter_length = 0;
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(CdrConfigTest, RejectsNegativeNoise) {
+  CdrConfig config;
+  config.sigma_nw = -0.1;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config = CdrConfig{};
+  config.nr_max = -1.0;
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(CdrConfigTest, SummaryMentionsKeyParameters) {
+  CdrConfig config;
+  config.counter_length = 8;
+  const std::string s = config.summary();
+  EXPECT_NE(s.find("COUNTER: 8"), std::string::npos);
+  EXPECT_NE(s.find("STDnw"), std::string::npos);
+  EXPECT_NE(s.find("MAXnr"), std::string::npos);
+}
+
+TEST(CdrConfigTest, ZeroNoiseConfigurationsAllowed) {
+  CdrConfig config;
+  config.sigma_nw = 0.0;
+  config.nr_mean = 0.0;
+  config.nr_max = 0.0;
+  EXPECT_NO_THROW(config.validate());
+}
+
+}  // namespace
+}  // namespace stocdr::cdr

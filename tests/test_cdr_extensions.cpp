@@ -1,0 +1,283 @@
+// Tests for the model extensions beyond the paper's baseline circuit:
+// phase-detector dead zone, majority-vote loop filter, and the sinusoidal
+// (correlated periodic) jitter rotor.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "cdr/measures.hpp"
+#include "cdr/model.hpp"
+#include "sim/cdr_sim.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::cdr {
+namespace {
+
+CdrConfig base_config() {
+  CdrConfig config;
+  config.phase_points = 64;
+  config.vco_phases = 8;
+  config.counter_length = 3;
+  config.sigma_nw = 0.05;
+  config.nr_mean = 0.01;
+  config.nr_max = 0.03;
+  config.nr_atoms = 5;
+  config.max_run_length = 3;
+  return config;
+}
+
+struct Solved {
+  CdrModel model;
+  CdrChain chain;
+  std::vector<double> eta;
+
+  explicit Solved(const CdrConfig& config)
+      : model(config), chain(model.build()) {
+    eta = solve_stationary(chain).distribution;
+  }
+};
+
+// ------------------------------------------------------------- dead zone
+
+TEST(DeadZoneTest, ProbabilitiesSplitThreeWays) {
+  const PhaseGrid grid(64);
+  PhaseDetector::Options options;
+  options.dead_zone = 0.1;
+  const PhaseDetector pd(grid, 0.05, options);
+  const double phi = 0.05;  // inside the dead zone
+  const double p_lead = pd.lead_probability(phi);
+  const double p_lag = pd.lag_probability(phi);
+  EXPECT_NEAR(p_lead, gaussian_cdf((phi - 0.1) / 0.05), 1e-14);
+  EXPECT_NEAR(p_lag, gaussian_cdf((-0.1 - phi) / 0.05), 1e-14);
+  EXPECT_GT(1.0 - p_lead - p_lag, 0.5);  // mostly NULL inside the zone
+}
+
+TEST(DeadZoneTest, HardComparatorWithDeadZone) {
+  const PhaseGrid grid(64);
+  PhaseDetector::Options options;
+  options.dead_zone = 0.1;
+  const PhaseDetector pd(grid, 0.0, options);
+  EXPECT_DOUBLE_EQ(pd.lead_probability(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(pd.lag_probability(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(pd.lead_probability(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(pd.lag_probability(-0.2), 1.0);
+}
+
+TEST(DeadZoneTest, ModelStillStochasticAndSolvable) {
+  CdrConfig config = base_config();
+  config.pd_dead_zone = 0.05;
+  const Solved s(config);
+  EXPECT_LT(s.chain.chain().stochasticity_defect(), 1e-9);
+  const double total = std::accumulate(s.eta.begin(), s.eta.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DeadZoneTest, WidensStaticOffsetWindow) {
+  // With a dead zone the loop stops correcting once |Phi| sits inside it,
+  // so the drift parks the loop near the dead-zone edge: the mean offset
+  // grows with the zone width.
+  CdrConfig plain = base_config();
+  CdrConfig dz = base_config();
+  dz.pd_dead_zone = 0.08;
+  const Solved a(plain), b(dz);
+  const auto ma = phase_error_moments(a.model, a.chain, a.eta);
+  const auto mb = phase_error_moments(b.model, b.chain, b.eta);
+  EXPECT_GT(mb.mean, ma.mean);
+}
+
+// --------------------------------------------------------- majority vote
+
+TEST(MajorityVoteTest, StateCodecRoundTrip) {
+  const MajorityVoteFilter filter(5);
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    for (std::int32_t m = -static_cast<std::int32_t>(s);
+         m <= static_cast<std::int32_t>(s); m += 2) {
+      const std::uint32_t id =
+          s * s + static_cast<std::uint32_t>(m + static_cast<std::int32_t>(s));
+      const auto [ds, dm] = filter.decode(id);
+      EXPECT_EQ(ds, s);
+      EXPECT_EQ(dm, m);
+    }
+  }
+}
+
+TEST(MajorityVoteTest, EmitsMajorityAfterWindow) {
+  const MajorityVoteFilter filter(3);
+  std::uint32_t state = filter.initial_state();
+  std::vector<std::uint32_t> outs;
+  // Sequence UP, DOWN, UP: majority UP emitted on the third sample.
+  for (const std::uint32_t cmd : {kUp, kDown, kUp}) {
+    std::uint32_t out = 99;
+    const std::uint32_t in = cmd;
+    filter.outputs(state, std::span<const std::uint32_t>(&in, 1),
+                   std::span<std::uint32_t>(&out, 1));
+    outs.push_back(out);
+    state = filter.next_state(state, std::span<const std::uint32_t>(&in, 1));
+  }
+  EXPECT_EQ(outs[0], static_cast<std::uint32_t>(kHold));
+  EXPECT_EQ(outs[1], static_cast<std::uint32_t>(kHold));
+  EXPECT_EQ(outs[2], static_cast<std::uint32_t>(kUp));
+  EXPECT_EQ(state, filter.initial_state());  // restarted
+}
+
+TEST(MajorityVoteTest, NullCyclesNotCounted) {
+  const MajorityVoteFilter filter(3);
+  std::uint32_t state = filter.initial_state();
+  const std::uint32_t hold = kHold;
+  const std::uint32_t next =
+      filter.next_state(state, std::span<const std::uint32_t>(&hold, 1));
+  EXPECT_EQ(next, state);
+}
+
+TEST(MajorityVoteTest, EvenWindowTieHolds) {
+  const MajorityVoteFilter filter(2);
+  std::uint32_t state = filter.initial_state();
+  const std::uint32_t up = kUp;
+  state = filter.next_state(state, std::span<const std::uint32_t>(&up, 1));
+  std::uint32_t out = 99;
+  const std::uint32_t down = kDown;
+  filter.outputs(state, std::span<const std::uint32_t>(&down, 1),
+                 std::span<std::uint32_t>(&out, 1));
+  EXPECT_EQ(out, static_cast<std::uint32_t>(kHold));  // +1 -1 = tie
+}
+
+TEST(MajorityVoteTest, ModelBuildsAndLocks) {
+  CdrConfig config = base_config();
+  config.filter_type = FilterType::kMajorityVote;
+  config.counter_length = 3;  // vote window
+  const Solved s(config);
+  EXPECT_LT(s.chain.chain().stochasticity_defect(), 1e-9);
+  const auto moments = phase_error_moments(s.model, s.chain, s.eta);
+  EXPECT_LT(moments.rms, 0.25);  // locked, not wandering the circle
+  const double ber = bit_error_rate(s.model, s.chain, s.eta);
+  EXPECT_LT(ber, 1e-2);
+}
+
+TEST(MajorityVoteTest, AgreesWithMonteCarlo) {
+  CdrConfig config = base_config();
+  config.filter_type = FilterType::kMajorityVote;
+  config.sigma_nw = 0.15;  // events observable
+  const Solved s(config);
+  sim::CdrSimulator simulator(s.model, 555);
+  const auto mc = simulator.run(800'000, 20'000);
+  const auto marginal = phase_marginal(s.chain, s.eta);
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < marginal.size(); ++i) {
+    l1 += std::abs(mc.phase_occupancy[i] - marginal[i]);
+  }
+  EXPECT_LT(l1, 0.03);
+}
+
+// ------------------------------------------------------ sinusoidal jitter
+
+TEST(SinusoidalJitterTest, RotorWiredIn) {
+  CdrConfig config = base_config();
+  config.sj_amplitude = 0.05;
+  config.sj_period = 16;
+  const CdrModel model(config);
+  EXPECT_TRUE(model.has_sj());
+  EXPECT_EQ(model.sj_offsets_ui().size(), 16u);
+  // Offsets trace one sine period.
+  EXPECT_NEAR(model.sj_offsets_ui()[0], 0.0, 1e-12);
+  EXPECT_NEAR(model.sj_offsets_ui()[4], 0.05, 1e-12);
+  EXPECT_NEAR(model.sj_offsets_ui()[12], -0.05, 1e-12);
+  EXPECT_EQ(model.network().num_components(), 6u);
+}
+
+TEST(SinusoidalJitterTest, DisabledByDefault) {
+  const CdrModel model(base_config());
+  EXPECT_FALSE(model.has_sj());
+  EXPECT_THROW((void)model.sj_index(), PreconditionError);
+  // Effective phase equals the grid value everywhere.
+  const CdrChain chain = model.build();
+  for (std::size_t i = 0; i < chain.num_states(); i += 17) {
+    EXPECT_DOUBLE_EQ(chain.effective_phase_ui()[i],
+                     model.grid().value(chain.phase_coordinate()[i]));
+  }
+}
+
+TEST(SinusoidalJitterTest, EffectivePhaseIncludesOffset) {
+  CdrConfig config = base_config();
+  config.sj_amplitude = 0.05;
+  config.sj_period = 8;
+  const CdrModel model(config);
+  const CdrChain chain = model.build();
+  const std::size_t sj_dim = model.sj_index();
+  for (std::size_t i = 0; i < chain.num_states(); i += 13) {
+    const auto coords = chain.composed().coordinates(i);
+    EXPECT_NEAR(chain.effective_phase_ui()[i],
+                model.grid().value(chain.phase_coordinate()[i]) +
+                    model.sj_offsets_ui()[coords[sj_dim]],
+                1e-12);
+  }
+}
+
+TEST(SinusoidalJitterTest, RaisesBer) {
+  CdrConfig plain = base_config();
+  plain.sigma_nw = 0.08;
+  CdrConfig sj = plain;
+  sj.sj_amplitude = 0.15;
+  sj.sj_period = 128;  // slow enough that it matters, too fast to track
+  const Solved a(plain), b(sj);
+  const double ber_plain = bit_error_rate(a.model, a.chain, a.eta);
+  const double ber_sj = bit_error_rate(b.model, b.chain, b.eta);
+  EXPECT_GT(ber_sj, 2.0 * ber_plain);
+}
+
+TEST(SinusoidalJitterTest, SlowJitterIsTracked) {
+  // The loop tracks slow SJ (period >> loop time constant), so a slow tone
+  // hurts far less than a fast one of equal amplitude.
+  CdrConfig fast = base_config();
+  fast.sigma_nw = 0.06;
+  fast.sj_amplitude = 0.12;
+  fast.sj_period = 12;
+  CdrConfig slow = fast;
+  slow.sj_period = 512;
+  const Solved a(fast), b(slow);
+  const double ber_fast = bit_error_rate(a.model, a.chain, a.eta);
+  const double ber_slow = bit_error_rate(b.model, b.chain, b.eta);
+  EXPECT_LT(ber_slow, ber_fast);
+}
+
+TEST(SinusoidalJitterTest, BerMatchesMonteCarlo) {
+  CdrConfig config = base_config();
+  config.sigma_nw = 0.12;
+  config.sj_amplitude = 0.1;
+  config.sj_period = 32;
+  const Solved s(config);
+  const double analytic = bit_error_rate(s.model, s.chain, s.eta);
+  ASSERT_GT(analytic, 1e-5);
+  sim::CdrSimulator simulator(s.model, 808);
+  const auto mc = simulator.run(2'000'000, 30'000);
+  const auto ci = mc.ber();
+  EXPECT_GT(analytic, ci.lower * 0.7);
+  EXPECT_LT(analytic, ci.upper * 1.3);
+}
+
+TEST(SinusoidalJitterTest, ConfigValidation) {
+  CdrConfig config = base_config();
+  config.sj_amplitude = 0.1;
+  config.sj_period = 2;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config.sj_period = 64;
+  config.sj_amplitude = 0.3;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config.sj_amplitude = 0.1;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(SummaryTest, MentionsExtensions) {
+  CdrConfig config = base_config();
+  config.filter_type = FilterType::kMajorityVote;
+  config.pd_dead_zone = 0.02;
+  config.sj_amplitude = 0.05;
+  const std::string s = config.summary();
+  EXPECT_NE(s.find("VOTE"), std::string::npos);
+  EXPECT_NE(s.find("DZ"), std::string::npos);
+  EXPECT_NE(s.find("SJ"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stocdr::cdr

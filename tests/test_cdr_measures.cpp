@@ -1,0 +1,228 @@
+#include "cdr/measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::cdr {
+namespace {
+
+CdrConfig base_config() {
+  CdrConfig config;
+  config.phase_points = 64;
+  config.vco_phases = 8;
+  config.counter_length = 3;
+  config.sigma_nw = 0.05;
+  config.nr_mean = 0.01;
+  config.nr_max = 0.03;
+  config.nr_atoms = 5;
+  config.max_run_length = 3;
+  return config;
+}
+
+struct Solved {
+  CdrModel model;
+  CdrChain chain;
+  std::vector<double> eta;
+
+  explicit Solved(const CdrConfig& config)
+      : model(config), chain(model.build()) {
+    eta = solve_stationary(chain).distribution;
+  }
+};
+
+TEST(PhaseMarginalTest, SumsToOne) {
+  const Solved s(base_config());
+  const auto marginal = phase_marginal(s.chain, s.eta);
+  const double total = std::accumulate(marginal.begin(), marginal.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (const double m : marginal) EXPECT_GE(m, 0.0);
+}
+
+TEST(PhaseDensityTest, IntegratesToOne) {
+  const Solved s(base_config());
+  const auto density = phase_density(s.model, s.chain, s.eta);
+  EXPECT_EQ(density.size(), s.model.grid().size());
+  double integral = 0.0;
+  for (const double d : density) integral += d * s.model.grid().step();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(PhaseDensityTest, ConcentratedNearLockPoint) {
+  const Solved s(base_config());
+  const auto marginal = phase_marginal(s.chain, s.eta);
+  // Most of the mass lies within 2 correction steps of center.
+  const double step_ui = s.model.config().phase_step_ui();
+  double near = 0.0;
+  for (std::size_t i = 0; i < marginal.size(); ++i) {
+    if (std::abs(s.model.grid().value(i)) < 2.5 * step_ui) {
+      near += marginal[i];
+    }
+  }
+  EXPECT_GT(near, 0.95);
+}
+
+TEST(PdInputDensityTest, IntegratesToOneOnWideGrid) {
+  const Solved s(base_config());
+  const auto xs = linspace(-0.8, 0.8, 401);
+  const auto density = pd_input_density(s.model, s.chain, s.eta, xs);
+  double integral = 0.0;
+  const double dx = xs[1] - xs[0];
+  for (const double d : density) integral += d * dx;
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(PdInputDensityTest, SmootherThanPhaseDensity) {
+  // Convolving with n_w widens the distribution: the PD-input peak is lower
+  // than the phase-density peak.
+  const Solved s(base_config());
+  const auto phase_d = phase_density(s.model, s.chain, s.eta);
+  const auto xs = linspace(-0.5, 0.5, 501);
+  const auto pd_d = pd_input_density(s.model, s.chain, s.eta, xs);
+  const double phase_peak =
+      *std::max_element(phase_d.begin(), phase_d.end());
+  const double pd_peak = *std::max_element(pd_d.begin(), pd_d.end());
+  EXPECT_LT(pd_peak, phase_peak);
+}
+
+TEST(BerTest, WithinUnitInterval) {
+  const Solved s(base_config());
+  const double ber = bit_error_rate(s.model, s.chain, s.eta);
+  EXPECT_GE(ber, 0.0);
+  EXPECT_LT(ber, 1.0);
+}
+
+TEST(BerTest, MonotoneInEyeJitter) {
+  CdrConfig low = base_config();
+  low.sigma_nw = 0.03;
+  CdrConfig high = base_config();
+  high.sigma_nw = 0.09;
+  const Solved a(low), b(high);
+  const double ber_low = bit_error_rate(a.model, a.chain, a.eta);
+  const double ber_high = bit_error_rate(b.model, b.chain, b.eta);
+  EXPECT_LT(ber_low, ber_high);
+  EXPECT_GT(ber_high, 0.0);
+}
+
+TEST(BerTest, TinyForCleanLoop) {
+  CdrConfig clean = base_config();
+  clean.sigma_nw = 0.01;
+  clean.nr_mean = 0.005;
+  clean.nr_max = 0.015;
+  const Solved s(clean);
+  EXPECT_LT(bit_error_rate(s.model, s.chain, s.eta), 1e-15);
+}
+
+TEST(SlipStatsTest, RatesNonNegativeAndTiny) {
+  const Solved s(base_config());
+  const SlipStats slips = slip_stats(s.model, s.chain, s.eta);
+  EXPECT_GE(slips.rate_up, 0.0);
+  EXPECT_GE(slips.rate_down, 0.0);
+  EXPECT_LT(slips.rate(), 1e-3);
+  if (slips.rate() > 0.0) {
+    EXPECT_NEAR(slips.mean_cycles_between(), 1.0 / slips.rate(), 1e-6);
+  }
+}
+
+TEST(SlipStatsTest, DriftDirectionDominates) {
+  // Strong positive drift with a weak loop: slips across +1/2 dominate.
+  CdrConfig config = base_config();
+  config.counter_length = 10;
+  config.nr_mean = 0.03;
+  config.nr_max = 0.06;
+  const Solved s(config);
+  const SlipStats slips = slip_stats(s.model, s.chain, s.eta);
+  EXPECT_GT(slips.rate(), 0.0);
+  EXPECT_GT(slips.rate_up, slips.rate_down);
+}
+
+TEST(SlipStatsTest, RequiresWrapMode) {
+  CdrConfig config = base_config();
+  config.boundary = BoundaryMode::kSaturate;
+  const Solved s(config);
+  EXPECT_THROW((void)slip_stats(s.model, s.chain, s.eta), PreconditionError);
+}
+
+TEST(SlipStatsTest, ZeroWhenSlipsImpossible) {
+  // Saturating boundary cannot wrap -> verify against wrap-mode model run
+  // at a noise level too small to ever reach the boundary.
+  CdrConfig config = base_config();
+  config.sigma_nw = 0.01;
+  config.nr_mean = 0.005;
+  config.nr_max = 0.015;
+  const Solved s(config);
+  const SlipStats slips = slip_stats(s.model, s.chain, s.eta);
+  EXPECT_LT(slips.rate(), 1e-12);
+}
+
+TEST(MeanTimeToBoundaryTest, ConsistentWithSlipTimescale) {
+  CdrConfig config = base_config();
+  config.counter_length = 8;
+  config.nr_mean = 0.025;
+  config.nr_max = 0.05;
+  const Solved s(config);
+  const SlipStats slips = slip_stats(s.model, s.chain, s.eta);
+  ASSERT_GT(slips.rate(), 1e-12);
+
+  const SlipPassage passage =
+      mean_time_to_boundary(s.model, s.chain, s.eta, 0.4);
+  EXPECT_TRUE(passage.stats.converged);
+  EXPECT_GT(passage.mean_cycles_from_lock, 1.0);
+  // Reaching the 0.4 UI band precedes an actual wrap: the first-passage
+  // time is bounded by the mean time between slips.
+  EXPECT_LT(passage.mean_cycles_from_lock, slips.mean_cycles_between());
+}
+
+TEST(MeanTimeToBoundaryTest, BandValidation) {
+  const Solved s(base_config());
+  EXPECT_THROW(
+      (void)mean_time_to_boundary(s.model, s.chain, s.eta, 0.0),
+      PreconditionError);
+  EXPECT_THROW(
+      (void)mean_time_to_boundary(s.model, s.chain, s.eta, 0.6),
+      PreconditionError);
+}
+
+TEST(LockTimeTest, DeeperFilterLocksSlower) {
+  CdrConfig fast = base_config();
+  fast.counter_length = 1;
+  CdrConfig slow = base_config();
+  slow.counter_length = 8;
+  const Solved a(fast), b(slow);
+  const auto ta = mean_time_to_lock(a.model, a.chain, 0.1);
+  const auto tb = mean_time_to_lock(b.model, b.chain, 0.1);
+  EXPECT_TRUE(ta.stats.converged);
+  EXPECT_TRUE(tb.stats.converged);
+  EXPECT_GT(ta.mean_bits_from_worst_case, 1.0);
+  EXPECT_GT(tb.mean_bits_from_worst_case,
+            2.0 * ta.mean_bits_from_worst_case);
+}
+
+TEST(LockTimeTest, BandValidation) {
+  const Solved s(base_config());
+  EXPECT_THROW((void)mean_time_to_lock(s.model, s.chain, 0.0),
+               PreconditionError);
+  EXPECT_THROW((void)mean_time_to_lock(s.model, s.chain, 0.7),
+               PreconditionError);
+}
+
+TEST(PhaseMomentsTest, DriftShiftsMean) {
+  CdrConfig pos = base_config();
+  CdrConfig neg = base_config();
+  neg.nr_mean = -pos.nr_mean;
+  const Solved a(pos), b(neg);
+  const auto ma = phase_error_moments(a.model, a.chain, a.eta);
+  const auto mb = phase_error_moments(b.model, b.chain, b.eta);
+  // Positive drift parks the loop at positive phase error and vice versa.
+  EXPECT_GT(ma.mean, 0.0);
+  EXPECT_LT(mb.mean, 0.0);
+  EXPECT_GT(ma.rms, std::abs(ma.mean) * 0.5);
+}
+
+}  // namespace
+}  // namespace stocdr::cdr

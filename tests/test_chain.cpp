@@ -1,0 +1,98 @@
+#include "markov/chain.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::markov {
+namespace {
+
+TEST(MarkovChainTest, AcceptsValidChain) {
+  const MarkovChain chain(test::birth_death_pt(5, 0.3, 0.2));
+  EXPECT_EQ(chain.num_states(), 5u);
+  EXPECT_LT(chain.stochasticity_defect(), 1e-12);
+}
+
+TEST(MarkovChainTest, RejectsSubStochastic) {
+  sparse::CooBuilder b(2, 2);
+  b.add(0, 0, 0.5);  // state 0 leaks half its mass
+  b.add(1, 1, 1.0);
+  EXPECT_THROW(MarkovChain{b.to_csr()}, PreconditionError);
+}
+
+TEST(MarkovChainTest, RejectsNegativeProbabilities) {
+  sparse::CooBuilder b(2, 2);
+  b.add(0, 0, 1.5);
+  b.add(1, 0, -0.5);
+  b.add(1, 1, 1.0);
+  EXPECT_THROW(MarkovChain{b.to_csr()}, PreconditionError);
+}
+
+TEST(MarkovChainTest, ValidationCanBeDisabled) {
+  sparse::CooBuilder b(2, 2);
+  b.add(0, 0, 0.5);
+  b.add(1, 1, 1.0);
+  EXPECT_NO_THROW(MarkovChain(b.to_csr(), Validation::kNone));
+}
+
+TEST(MarkovChainTest, RejectsNonSquare) {
+  sparse::CooBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  EXPECT_THROW(MarkovChain{b.to_csr()}, PreconditionError);
+}
+
+TEST(MarkovChainTest, FromRowStochasticTransposes) {
+  // P with p(0->1) = 1, p(1->0) = 1.
+  sparse::CooBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const MarkovChain chain = MarkovChain::from_row_stochastic(b.to_csr());
+  EXPECT_DOUBLE_EQ(chain.probability(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(chain.probability(0, 0), 0.0);
+}
+
+TEST(MarkovChainTest, StepPropagatesDistribution) {
+  // Deterministic cycle 0 -> 1 -> 2 -> 0.
+  sparse::CooBuilder b(3, 3);
+  b.add(1, 0, 1.0);
+  b.add(2, 1, 1.0);
+  b.add(0, 2, 1.0);
+  const MarkovChain chain(b.to_csr());
+  std::vector<double> x{1.0, 0.0, 0.0}, y(3);
+  chain.step(x, y);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  chain.step(y, x);
+  EXPECT_DOUBLE_EQ(x[2], 1.0);
+}
+
+TEST(MarkovChainTest, StepBackwardIsExpectationRecursion) {
+  // E[f(X_1) | X_0 = i] = (P f)(i).
+  const MarkovChain chain(test::birth_death_pt(4, 0.5, 0.25));
+  std::vector<double> f{0.0, 1.0, 2.0, 3.0}, g(4);
+  chain.step_backward(f, g);
+  // State 0: stays w.p. 0.25+0.25=... p=0.5 up, q=0.25 down (stays at 0),
+  // stay = 0.25 + q = 0.5.  E = 0.5*1 + 0.5*0 = 0.5.
+  EXPECT_NEAR(g[0], 0.5, 1e-14);
+  // Interior state 1: 0.5*f(2) + 0.25*f(0) + 0.25*f(1) = 1 + 0 + 0.25.
+  EXPECT_NEAR(g[1], 1.25, 1e-14);
+}
+
+TEST(MarkovChainTest, UniformDistribution) {
+  const MarkovChain chain(test::birth_death_pt(8, 0.3, 0.3));
+  const auto u = chain.uniform_distribution();
+  ASSERT_EQ(u.size(), 8u);
+  for (const double v : u) EXPECT_DOUBLE_EQ(v, 0.125);
+}
+
+TEST(MarkovChainTest, ToRowStochasticRoundTrip) {
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(6, 99);
+  const MarkovChain chain(pt);
+  EXPECT_TRUE(chain.to_row_stochastic().transpose().equals(chain.pt()));
+}
+
+}  // namespace
+}  // namespace stocdr::markov

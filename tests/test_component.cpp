@@ -1,0 +1,172 @@
+#include "fsm/component.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace stocdr::fsm {
+namespace {
+
+/// Collects branches emitted by enumerate() for inspection.
+struct BranchLog {
+  struct Entry {
+    double probability;
+    std::vector<std::uint32_t> outputs;
+    std::uint32_t next_state;
+  };
+  std::vector<Entry> entries;
+
+  void collect(const Component& comp, std::uint32_t state,
+               std::vector<std::uint32_t> inputs = {}) {
+    entries.clear();
+    auto sink = [this](double p, std::span<const std::uint32_t> outs,
+                       std::uint32_t next) {
+      entries.push_back({p, {outs.begin(), outs.end()}, next});
+    };
+    comp.enumerate(state, inputs, sink);
+  }
+
+  [[nodiscard]] double total_probability() const {
+    double sum = 0.0;
+    for (const auto& e : entries) sum += e.probability;
+    return sum;
+  }
+};
+
+TEST(IidSourceTest, EnumeratesPmf) {
+  const IidSource source("noise", {0.2, 0.5, 0.3});
+  BranchLog log;
+  log.collect(source, 0);
+  ASSERT_EQ(log.entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.entries[0].probability, 0.2);
+  EXPECT_EQ(log.entries[1].outputs[0], 1u);
+  EXPECT_DOUBLE_EQ(log.total_probability(), 1.0);
+  // Single-state machine: next state always 0.
+  for (const auto& e : log.entries) EXPECT_EQ(e.next_state, 0u);
+}
+
+TEST(IidSourceTest, SkipsZeroAtoms) {
+  const IidSource source("noise", {0.5, 0.0, 0.5});
+  BranchLog log;
+  log.collect(source, 0);
+  EXPECT_EQ(log.entries.size(), 2u);
+}
+
+TEST(IidSourceTest, RenormalizesNearOne) {
+  const IidSource source("noise", {0.3 + 1e-12, 0.7});
+  double sum = 0.0;
+  for (const double p : source.pmf()) sum += p;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(IidSourceTest, RejectsBadPmf) {
+  EXPECT_THROW(IidSource("x", {}), PreconditionError);
+  EXPECT_THROW(IidSource("x", {0.5, -0.1, 0.6}), PreconditionError);
+  EXPECT_THROW(IidSource("x", {0.5, 0.2}), PreconditionError);
+}
+
+TEST(MarkovSourceTest, MooreOutputIsState) {
+  const MarkovSource source("mc", {{0.9, 0.1}, {0.4, 0.6}}, 1);
+  EXPECT_TRUE(source.is_moore());
+  EXPECT_EQ(source.initial_state(), 1u);
+  std::uint32_t out = 99;
+  source.moore_outputs(1, std::span<std::uint32_t>(&out, 1));
+  EXPECT_EQ(out, 1u);
+}
+
+TEST(MarkovSourceTest, BranchesFollowRow) {
+  const MarkovSource source("mc", {{0.9, 0.1}, {0.4, 0.6}});
+  BranchLog log;
+  log.collect(source, 1);
+  ASSERT_EQ(log.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(log.entries[0].probability, 0.4);
+  EXPECT_EQ(log.entries[0].next_state, 0u);
+  EXPECT_DOUBLE_EQ(log.entries[1].probability, 0.6);
+  EXPECT_EQ(log.entries[1].next_state, 1u);
+}
+
+TEST(MarkovSourceTest, RejectsBadRows) {
+  EXPECT_THROW(MarkovSource("x", {}), PreconditionError);
+  EXPECT_THROW(MarkovSource("x", {{0.5}}, 2), PreconditionError);
+  EXPECT_THROW(MarkovSource("x", {{0.5, 0.2}, {0.5, 0.5}}),
+               PreconditionError);
+  EXPECT_THROW(MarkovSource("x", {{1.0, 0.0}, {1.0}}), PreconditionError);
+}
+
+/// A 2-state toggle with one output echoing its input.
+class Echo final : public DeterministicComponent {
+ public:
+  Echo() : DeterministicComponent("echo") {}
+  [[nodiscard]] std::size_t num_states() const override { return 2; }
+  [[nodiscard]] std::uint32_t initial_state() const override { return 0; }
+  [[nodiscard]] std::size_t num_input_ports() const override { return 1; }
+  [[nodiscard]] std::size_t num_output_ports() const override { return 1; }
+  [[nodiscard]] std::uint32_t next_state(
+      std::uint32_t state,
+      std::span<const std::uint32_t> /*in*/) const override {
+    return state ^ 1u;
+  }
+  void outputs(std::uint32_t /*state*/, std::span<const std::uint32_t> in,
+               std::span<std::uint32_t> out) const override {
+    out[0] = in[0] + 1;
+  }
+};
+
+TEST(DeterministicComponentTest, SingleUnitBranch) {
+  const Echo echo;
+  BranchLog log;
+  log.collect(echo, 0, {41});
+  ASSERT_EQ(log.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(log.entries[0].probability, 1.0);
+  EXPECT_EQ(log.entries[0].outputs[0], 42u);
+  EXPECT_EQ(log.entries[0].next_state, 1u);
+}
+
+TEST(DelayLineTest, DelaysInputByDepth) {
+  const DelayLine line("d", 3, 2, 0);
+  EXPECT_EQ(line.num_states(), 9u);
+  EXPECT_TRUE(line.is_moore());
+  std::uint32_t state = line.initial_state();
+  std::vector<std::uint32_t> outputs;
+  const std::vector<std::uint32_t> inputs{1, 2, 0, 2, 1};
+  for (const std::uint32_t in : inputs) {
+    std::uint32_t out = 99;
+    line.moore_outputs(state, std::span<std::uint32_t>(&out, 1));
+    outputs.push_back(out);
+    state = line.next_state(state, std::span<const std::uint32_t>(&in, 1));
+  }
+  // Depth 2, initially filled with 0: outputs are 0, 0, then the inputs
+  // delayed by two cycles.
+  EXPECT_EQ(outputs, (std::vector<std::uint32_t>{0, 0, 1, 2, 0}));
+}
+
+TEST(DelayLineTest, DepthOneIsPrevValue) {
+  const DelayLine line("d", 2, 1, 1);
+  std::uint32_t out = 9;
+  line.moore_outputs(line.initial_state(), std::span<std::uint32_t>(&out, 1));
+  EXPECT_EQ(out, 1u);
+  const std::uint32_t zero = 0;
+  const std::uint32_t next = line.next_state(
+      line.initial_state(), std::span<const std::uint32_t>(&zero, 1));
+  line.moore_outputs(next, std::span<std::uint32_t>(&out, 1));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(DelayLineTest, Validation) {
+  EXPECT_THROW(DelayLine("d", 1, 2), PreconditionError);
+  EXPECT_THROW(DelayLine("d", 2, 0), PreconditionError);
+  EXPECT_THROW(DelayLine("d", 2, 2, 5), PreconditionError);
+  EXPECT_THROW(DelayLine("d", 16, 10), PreconditionError);  // 16^10 states
+}
+
+TEST(ComponentTest, MooreOutputsOnNonMooreThrows) {
+  const IidSource source("x", {1.0});
+  std::uint32_t out;
+  EXPECT_THROW(source.moore_outputs(0, std::span<std::uint32_t>(&out, 1)),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace stocdr::fsm

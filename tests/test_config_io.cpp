@@ -1,0 +1,90 @@
+#include "cdr/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace stocdr::cdr {
+namespace {
+
+TEST(ConfigIoTest, RoundTripPreservesEveryField) {
+  CdrConfig config;
+  config.phase_points = 256;
+  config.vco_phases = 8;
+  config.filter_type = FilterType::kMajorityVote;
+  config.counter_length = 5;
+  config.pd_dead_zone = 0.0375;
+  config.transition_density = 0.45;
+  config.max_run_length = 6;
+  config.sigma_nw = 0.0625;
+  config.nr_mean = 0.00125;
+  config.nr_max = 0.00875;
+  config.nr_atoms = 9;
+  config.pd_noise_mode = PdNoiseMode::kDiscretized;
+  config.nw_atoms = 21;
+  config.sj_amplitude = 0.0775;
+  config.sj_period = 48;
+  config.boundary = BoundaryMode::kSaturate;
+
+  const CdrConfig parsed = config_from_string(to_text(config));
+  EXPECT_EQ(parsed.phase_points, config.phase_points);
+  EXPECT_EQ(parsed.vco_phases, config.vco_phases);
+  EXPECT_EQ(parsed.filter_type, config.filter_type);
+  EXPECT_EQ(parsed.counter_length, config.counter_length);
+  EXPECT_DOUBLE_EQ(parsed.pd_dead_zone, config.pd_dead_zone);
+  EXPECT_DOUBLE_EQ(parsed.transition_density, config.transition_density);
+  EXPECT_EQ(parsed.max_run_length, config.max_run_length);
+  EXPECT_DOUBLE_EQ(parsed.sigma_nw, config.sigma_nw);
+  EXPECT_DOUBLE_EQ(parsed.nr_mean, config.nr_mean);
+  EXPECT_DOUBLE_EQ(parsed.nr_max, config.nr_max);
+  EXPECT_EQ(parsed.nr_atoms, config.nr_atoms);
+  EXPECT_EQ(parsed.pd_noise_mode, config.pd_noise_mode);
+  EXPECT_EQ(parsed.nw_atoms, config.nw_atoms);
+  EXPECT_DOUBLE_EQ(parsed.sj_amplitude, config.sj_amplitude);
+  EXPECT_EQ(parsed.sj_period, config.sj_period);
+  EXPECT_EQ(parsed.boundary, config.boundary);
+}
+
+TEST(ConfigIoTest, CommentsWhitespaceAndDefaults) {
+  const CdrConfig parsed = config_from_string(
+      "# just two overrides\n"
+      "  sigma_nw =  0.05   # inline comment\n"
+      "\n"
+      "counter_length=4\n");
+  EXPECT_DOUBLE_EQ(parsed.sigma_nw, 0.05);
+  EXPECT_EQ(parsed.counter_length, 4u);
+  // Everything else stays at its default.
+  EXPECT_EQ(parsed.phase_points, CdrConfig{}.phase_points);
+}
+
+TEST(ConfigIoTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)config_from_string("sigma_nw 0.05\n"),
+               PreconditionError);
+  EXPECT_THROW((void)config_from_string("mystery_key = 1\n"),
+               PreconditionError);
+  EXPECT_THROW((void)config_from_string("sigma_nw = banana\n"),
+               PreconditionError);
+  EXPECT_THROW((void)config_from_string("filter_type = fir\n"),
+               PreconditionError);
+  EXPECT_THROW((void)config_from_string("boundary = reflect\n"),
+               PreconditionError);
+  EXPECT_THROW((void)config_from_string("pd_noise_mode = fuzzy\n"),
+               PreconditionError);
+  EXPECT_THROW((void)config_from_string("counter_length = -3\n"),
+               PreconditionError);
+}
+
+TEST(ConfigIoTest, ParsedConfigIsValidated) {
+  // Syntactically fine but semantically invalid: caught by validate().
+  EXPECT_THROW((void)config_from_string("phase_points = 100\n"
+                                        "vco_phases = 16\n"),
+               PreconditionError);
+}
+
+TEST(ConfigIoTest, MissingFileRejected) {
+  EXPECT_THROW((void)config_from_file("/nonexistent/config.txt"),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::cdr

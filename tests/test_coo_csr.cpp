@@ -1,0 +1,179 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::sparse {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 3 ]
+  // [ 4 5 0 ]
+  CooBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 2, 2.0);
+  b.add(1, 2, 3.0);
+  b.add(2, 0, 4.0);
+  b.add(2, 1, 5.0);
+  return b.to_csr();
+}
+
+TEST(CooBuilderTest, MergesDuplicates) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, -1.0);
+  b.add(1, 1, 1.0);  // cancels to zero but stays (above drop_tol 0 is false)
+  const CsrMatrix m = b.to_csr();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);  // dropped: |0| > 0 is false
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(CooBuilderTest, DropToleranceRemovesSmallEntries) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1e-14);
+  b.add(0, 1, 1.0);
+  const CsrMatrix m = b.to_csr(1e-12);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+}
+
+TEST(CooBuilderTest, SkipsExplicitZeros) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 0.0);
+  EXPECT_EQ(b.triplet_count(), 0u);
+}
+
+TEST(CooBuilderTest, RangeChecked) {
+  CooBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), PreconditionError);
+  EXPECT_THROW(b.add(0, 2, 1.0), PreconditionError);
+}
+
+TEST(CooBuilderTest, ColumnsSortedWithinRows) {
+  CooBuilder b(1, 5);
+  b.add(0, 4, 4.0);
+  b.add(0, 1, 1.0);
+  b.add(0, 3, 3.0);
+  const CsrMatrix m = b.to_csr();
+  const auto cols = m.row_cols(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 1u);
+  EXPECT_EQ(cols[1], 3u);
+  EXPECT_EQ(cols[2], 4u);
+}
+
+TEST(CsrMatrixTest, AtAndRowAccess) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 5.0);
+  EXPECT_EQ(m.row_cols(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row_values(1)[0], 3.0);
+  EXPECT_EQ(m.nnz(), 5u);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(y[1], 9.0);   // 3*3
+  EXPECT_DOUBLE_EQ(y[2], 14.0);  // 4*1 + 5*2
+}
+
+TEST(CsrMatrixTest, MultiplyTransposeMatchesExplicitTranspose) {
+  Rng rng(5);
+  CooBuilder b(7, 4);
+  for (int k = 0; k < 15; ++k) {
+    b.add(rng.below(7), rng.below(4), rng.uniform(-1, 1));
+  }
+  const CsrMatrix m = b.to_csr();
+  const CsrMatrix mt = m.transpose();
+  std::vector<double> x(7);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y1(4), y2(4);
+  m.multiply_transpose(x, y1);
+  mt.multiply(x, y2);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(CsrMatrixTest, TransposeRoundTrip) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_TRUE(m.transpose().transpose().equals(m));
+}
+
+TEST(CsrMatrixTest, RowAndColSums) {
+  const CsrMatrix m = small_matrix();
+  const auto rs = m.row_sums();
+  EXPECT_DOUBLE_EQ(rs[0], 3.0);
+  EXPECT_DOUBLE_EQ(rs[1], 3.0);
+  EXPECT_DOUBLE_EQ(rs[2], 9.0);
+  const auto cs = m.col_sums();
+  EXPECT_DOUBLE_EQ(cs[0], 5.0);
+  EXPECT_DOUBLE_EQ(cs[1], 5.0);
+  EXPECT_DOUBLE_EQ(cs[2], 5.0);
+}
+
+TEST(CsrMatrixTest, Identity) {
+  const CsrMatrix i = CsrMatrix::identity(4);
+  EXPECT_EQ(i.nnz(), 4u);
+  std::vector<double> x{1, 2, 3, 4}, y(4);
+  i.multiply(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(CsrMatrixTest, ForEachVisitsAllEntries) {
+  const CsrMatrix m = small_matrix();
+  double total = 0.0;
+  std::size_t count = 0;
+  m.for_each([&](std::size_t, std::size_t, double v) {
+    total += v;
+    ++count;
+  });
+  EXPECT_EQ(count, 5u);
+  EXPECT_DOUBLE_EQ(total, 15.0);
+}
+
+TEST(CsrMatrixTest, MaxAbs) {
+  EXPECT_DOUBLE_EQ(small_matrix().max_abs(), 5.0);
+  EXPECT_DOUBLE_EQ(CsrMatrix().max_abs(), 0.0);
+}
+
+TEST(CsrMatrixTest, ValidatesStructure) {
+  // Unsorted columns rejected.
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 1}, {1.0, 1.0}),
+               PreconditionError);
+  // Column out of range rejected.
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {2}, {1.0}), PreconditionError);
+  // row_ptr inconsistent with values.
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 2}, {0}, {1.0}), PreconditionError);
+}
+
+TEST(CsrMatrixTest, DimensionMismatchThrows) {
+  const CsrMatrix m = small_matrix();
+  std::vector<double> bad(2), y(3);
+  EXPECT_THROW(m.multiply(bad, y), PreconditionError);
+  EXPECT_THROW(m.multiply_transpose(bad, y), PreconditionError);
+}
+
+TEST(DenseFromCsrTest, RoundTripValues) {
+  const CsrMatrix m = small_matrix();
+  const DenseMatrix d = DenseMatrix::from_csr(m);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(d.at(r, c), m.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stocdr::sparse

@@ -1,0 +1,109 @@
+#include "markov/ctmc.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solvers/stationary.hpp"
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::markov {
+namespace {
+
+/// Two-state CTMC with rates a (0->1) and b (1->0): stationary (b, a)/(a+b)
+/// and transient p_01(t) = a/(a+b) (1 - exp(-(a+b) t)).
+Ctmc two_state(double a, double b) {
+  return Ctmc::from_rates(2, {{0, 1, a}, {1, 0, b}});
+}
+
+TEST(CtmcTest, ValidatesGenerator) {
+  // Row sums must be zero.
+  sparse::CooBuilder b(2, 2);
+  b.add(0, 0, -1.0);
+  b.add(1, 0, 0.5);  // leaks
+  b.add(1, 1, 0.0);
+  EXPECT_THROW(Ctmc{b.to_csr()}, PreconditionError);
+
+  // Negative off-diagonal rejected.
+  sparse::CooBuilder c(2, 2);
+  c.add(0, 0, 1.0);
+  c.add(1, 0, -1.0);
+  c.add(0, 1, 1.0);
+  c.add(1, 1, -1.0);
+  EXPECT_THROW(Ctmc{c.to_csr()}, PreconditionError);
+}
+
+TEST(CtmcTest, FromRatesBuildsGenerator) {
+  const Ctmc ctmc = two_state(2.0, 3.0);
+  EXPECT_EQ(ctmc.num_states(), 2u);
+  EXPECT_DOUBLE_EQ(ctmc.max_exit_rate(), 3.0);
+  EXPECT_DOUBLE_EQ(ctmc.qt().at(1, 0), 2.0);   // rate 0 -> 1
+  EXPECT_DOUBLE_EQ(ctmc.qt().at(0, 0), -2.0);  // diagonal
+  EXPECT_THROW(Ctmc::from_rates(2, {{0, 0, 1.0}}), PreconditionError);
+  EXPECT_THROW(Ctmc::from_rates(2, {{0, 1, -1.0}}), PreconditionError);
+  EXPECT_THROW(Ctmc::from_rates(2, {{0, 3, 1.0}}), PreconditionError);
+}
+
+TEST(CtmcTest, UniformizedChainIsStochasticAndAperiodic) {
+  const Ctmc ctmc = two_state(2.0, 3.0);
+  const MarkovChain p = ctmc.uniformize();
+  EXPECT_LT(p.stochasticity_defect(), 1e-12);
+  // Default lambda leaves self-loops.
+  EXPECT_GT(p.probability(1, 1), 0.0);
+  EXPECT_THROW(ctmc.uniformize(1.0), PreconditionError);  // below exit rate
+}
+
+TEST(CtmcTest, StationaryViaUniformization) {
+  const double a = 2.0, b = 3.0;
+  const Ctmc ctmc = two_state(a, b);
+  const auto result = solvers::solve_stationary_direct(ctmc.uniformize());
+  EXPECT_NEAR(result.distribution[0], b / (a + b), 1e-12);
+  EXPECT_NEAR(result.distribution[1], a / (a + b), 1e-12);
+}
+
+TEST(CtmcTest, TransientMatchesClosedForm) {
+  const double a = 2.0, b = 3.0;
+  const Ctmc ctmc = two_state(a, b);
+  const std::vector<double> initial{1.0, 0.0};
+  for (const double t : {0.0, 0.05, 0.2, 1.0, 5.0}) {
+    const auto pi = ctmc.transient(initial, t);
+    const double expected1 =
+        a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+    EXPECT_NEAR(pi[1], expected1, 1e-9) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  }
+}
+
+TEST(CtmcTest, TransientConvergesToStationary) {
+  // M/M/1/K-style birth-death CTMC.
+  std::vector<std::tuple<std::size_t, std::size_t, double>> rates;
+  const std::size_t k = 8;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    rates.emplace_back(i, i + 1, 1.0);      // arrivals
+    rates.emplace_back(i + 1, i, 1.5);      // services
+  }
+  const Ctmc ctmc = Ctmc::from_rates(k, rates);
+  std::vector<double> initial(k, 0.0);
+  initial[0] = 1.0;
+  const auto late = ctmc.transient(initial, 200.0);
+  const auto eta =
+      solvers::solve_stationary_direct(ctmc.uniformize()).distribution;
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(late[i], eta[i], 1e-8) << i;
+  }
+  // Geometric stationary with ratio 2/3.
+  EXPECT_NEAR(eta[1] / eta[0], 2.0 / 3.0, 1e-10);
+}
+
+TEST(CtmcTest, TransientHandlesLargeTimeArgument) {
+  // lambda t ~ 1e4: the k=0 Poisson weight underflows; the log-domain
+  // recursion must still deliver a normalized distribution.
+  const Ctmc ctmc = two_state(20.0, 30.0);
+  const auto pi = ctmc.transient(std::vector<double>{1.0, 0.0}, 300.0);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-9);
+  EXPECT_NEAR(pi[0], 0.6, 1e-6);
+}
+
+}  // namespace
+}  // namespace stocdr::markov

@@ -1,0 +1,122 @@
+#include "sparse/dense.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::sparse {
+namespace {
+
+TEST(DenseMatrixTest, MultiplyAndTranspose) {
+  DenseMatrix a(2, 3);
+  a.at(0, 0) = 1.0;
+  a.at(0, 2) = 2.0;
+  a.at(1, 1) = 3.0;
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+
+  const std::vector<double> z{1.0, 1.0};
+  std::vector<double> w(3);
+  a.multiply_transpose(z, w);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 3.0);
+  EXPECT_DOUBLE_EQ(w[2], 2.0);
+
+  const DenseMatrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 2.0);
+}
+
+TEST(DenseMatrixTest, MatrixProduct) {
+  DenseMatrix a = DenseMatrix::identity(3);
+  a.at(0, 1) = 2.0;
+  DenseMatrix b(3, 2);
+  b.at(0, 0) = 1.0;
+  b.at(1, 1) = 1.0;
+  b.at(2, 0) = 5.0;
+  const DenseMatrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c.at(2, 0), 5.0);
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const LuFactorization lu(a);
+  const auto x = lu.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  DenseMatrix a(2, 2);
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  const LuFactorization lu(a);
+  const auto x = lu.solve(std::vector<double>{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(LuTest, RandomSystemsSolveToMachinePrecision) {
+  Rng rng(31);
+  for (const std::size_t n : {3u, 8u, 20u, 50u}) {
+    DenseMatrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform(-1, 1);
+      a.at(r, r) += 3.0;  // keep well conditioned
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.uniform(-2, 2);
+    std::vector<double> b(n);
+    a.multiply(x_true, b);
+    const LuFactorization lu(a);
+    const auto x = lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(LuTest, SolveTransposeMatchesTransposedSolve) {
+  Rng rng(37);
+  const std::size_t n = 12;
+  DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform(-1, 1);
+    a.at(r, r) += 4.0;
+  }
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.uniform(-1, 1);
+  const LuFactorization lu(a);
+  const auto x1 = lu.solve_transpose(b);
+  const LuFactorization lut(a.transpose());
+  const auto x2 = lut.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+}
+
+TEST(LuTest, SingularThrows) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW(LuFactorization{a}, NumericalError);
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  const DenseMatrix a(2, 3);
+  EXPECT_THROW(LuFactorization{a}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::sparse

@@ -1,0 +1,102 @@
+#include "analysis/eigen.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/gth.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::analysis {
+namespace {
+
+using markov::MarkovChain;
+
+TEST(SubdominantTest, TwoStateClosedForm) {
+  // P = [[1-a, a], [b, 1-b]]: eigenvalues 1 and 1-a-b.
+  const double a = 0.3, b = 0.2;
+  sparse::CooBuilder builder(2, 2);
+  builder.add(0, 0, 1 - a);
+  builder.add(1, 0, a);
+  builder.add(0, 1, b);
+  builder.add(1, 1, 1 - b);
+  const MarkovChain chain(builder.to_csr());
+  const std::vector<double> eta{b / (a + b), a / (a + b)};
+  const auto result = subdominant_eigenvalue(chain, eta);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.magnitude, 1 - a - b, 1e-6);
+}
+
+TEST(SubdominantTest, CirculantComplexPair) {
+  // A lazy 3-cycle: P = (1-p) I + p C; eigenvalues 1-p + p w^k for cube
+  // roots w.  The subdominant pair is complex with magnitude
+  // |1-p + p w| = sqrt((1 - 1.5p)^2 + 3p^2/4).
+  const double p = 0.6;
+  sparse::CooBuilder builder(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    builder.add(i, i, 1 - p);
+    builder.add((i + 1) % 3, i, p);
+  }
+  const MarkovChain chain(builder.to_csr());
+  const std::vector<double> eta(3, 1.0 / 3.0);
+  const auto result = subdominant_eigenvalue(chain, eta, 1e-9, 100000);
+  const double expected =
+      std::sqrt((1 - 1.5 * p) * (1 - 1.5 * p) + 0.75 * p * p);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.magnitude, expected, 1e-5);
+}
+
+TEST(SubdominantTest, IidChainHasZeroSubdominant) {
+  // All rows equal -> P has rank 1 -> lambda_2 = 0.
+  sparse::CooBuilder builder(3, 3);
+  for (std::size_t src = 0; src < 3; ++src) {
+    builder.add(0, src, 0.2);
+    builder.add(1, src, 0.5);
+    builder.add(2, src, 0.3);
+  }
+  const MarkovChain chain(builder.to_csr());
+  const std::vector<double> eta{0.2, 0.5, 0.3};
+  const auto result = subdominant_eigenvalue(chain, eta);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.magnitude, 1e-10);
+}
+
+TEST(SubdominantTest, RandomChainBelowOne) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(20, 3));
+  const auto eta = sparse::gth_stationary_transposed(chain.pt());
+  const auto result = subdominant_eigenvalue(chain, eta);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.magnitude, 0.0);
+  EXPECT_LT(result.magnitude, 1.0);
+  EXPECT_GT(result.mixing_steps(), 0.0);
+}
+
+TEST(SubdominantTest, SlowChainHasLongMixing) {
+  // Nearly balanced birth-death walk: lambda_2 ~ 1 - O(1/n^2).
+  const std::size_t n = 64;
+  const MarkovChain chain(test::birth_death_pt(n, 0.3, 0.31));
+  const auto eta = test::birth_death_stationary(n, 0.3, 0.31);
+  const auto result = subdominant_eigenvalue(chain, eta, 1e-9, 200000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.magnitude, 0.99);
+  EXPECT_GT(result.mixing_steps(), 100.0);
+}
+
+TEST(SubdominantTest, MixingStepsEdgeCases) {
+  SubdominantEigenvalue r;
+  r.magnitude = 0.0;
+  EXPECT_DOUBLE_EQ(r.mixing_steps(), 0.0);
+  r.magnitude = 0.5;
+  EXPECT_NEAR(r.mixing_steps(), 1.0 / std::log(2.0), 1e-12);
+}
+
+TEST(SubdominantTest, ValidatesInput) {
+  const MarkovChain chain(test::birth_death_pt(4, 0.3, 0.3));
+  const std::vector<double> bad(3, 0.25);
+  EXPECT_THROW((void)subdominant_eigenvalue(chain, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::analysis

@@ -1,0 +1,49 @@
+#include "support/function_ref.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace stocdr {
+namespace {
+
+int free_function(int x) { return x * 2; }
+
+TEST(FunctionRefTest, CallsLambda) {
+  const auto f = [](int x) { return x + 1; };
+  FunctionRef<int(int)> ref = f;
+  EXPECT_EQ(ref(41), 42);
+}
+
+TEST(FunctionRefTest, CallsFreeFunction) {
+  FunctionRef<int(int)> ref = free_function;
+  EXPECT_EQ(ref(21), 42);
+}
+
+TEST(FunctionRefTest, MutatesCapturedState) {
+  int counter = 0;
+  auto f = [&counter](int delta) { counter += delta; };
+  FunctionRef<void(int)> ref = f;
+  ref(5);
+  ref(7);
+  EXPECT_EQ(counter, 12);
+}
+
+TEST(FunctionRefTest, PassesReferencesThrough) {
+  auto f = [](std::string& s) { s += "!"; };
+  FunctionRef<void(std::string&)> ref = f;
+  std::string s = "hi";
+  ref(s);
+  EXPECT_EQ(s, "hi!");
+}
+
+TEST(FunctionRefTest, IsTriviallyCopyable) {
+  static_assert(std::is_trivially_copyable_v<FunctionRef<void()>>);
+  const auto f = [] { return 3; };
+  FunctionRef<int()> a = f;
+  FunctionRef<int()> b = a;
+  EXPECT_EQ(b(), 3);
+}
+
+}  // namespace
+}  // namespace stocdr

@@ -1,0 +1,55 @@
+#include "fsm/graphviz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "cdr/model.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::fsm {
+namespace {
+
+TEST(GraphvizTest, NetworkDiagramListsComponentsAndWires) {
+  cdr::CdrConfig config;
+  config.phase_points = 64;
+  config.vco_phases = 8;
+  config.counter_length = 3;
+  config.sigma_nw = 0.05;
+  config.nr_mean = 0.01;
+  config.nr_max = 0.03;
+  const cdr::CdrModel model(config);
+  const std::string dot = network_to_dot(model.network());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("data"), std::string::npos);
+  EXPECT_NE(dot.find("pd"), std::string::npos);
+  EXPECT_NE(dot.find("counter"), std::string::npos);
+  EXPECT_NE(dot.find("phase"), std::string::npos);
+  EXPECT_NE(dot.find("Moore"), std::string::npos);
+  EXPECT_NE(dot.find("Mealy"), std::string::npos);
+  // The paper's Figure 2 wiring: 5 wires in the exact-Gaussian model
+  // (data->pd, phase->pd, pd->counter, counter->phase, nr->phase).
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 2)) {
+    ++arrows;
+  }
+  // "out0->in0" labels also contain "->": 2 per wire.
+  EXPECT_EQ(arrows, 10u);
+}
+
+TEST(GraphvizTest, ChainGraphHasProbabilities) {
+  const markov::MarkovChain chain(test::birth_death_pt(3, 0.25, 0.5));
+  const std::string dot = chain_to_dot(chain);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+  EXPECT_NE(dot.find("0.250"), std::string::npos);
+  EXPECT_NE(dot.find("0.500"), std::string::npos);
+}
+
+TEST(GraphvizTest, LargeChainRejected) {
+  const markov::MarkovChain chain(test::birth_death_pt(100, 0.3, 0.3));
+  EXPECT_THROW((void)chain_to_dot(chain), PreconditionError);
+  EXPECT_NO_THROW((void)chain_to_dot(chain, 100));
+}
+
+}  // namespace
+}  // namespace stocdr::fsm

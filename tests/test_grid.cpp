@@ -1,0 +1,61 @@
+#include "cdr/grid.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace stocdr::cdr {
+namespace {
+
+TEST(PhaseGridTest, CellCentersSymmetric) {
+  const PhaseGrid grid(8);
+  EXPECT_EQ(grid.size(), 8u);
+  EXPECT_DOUBLE_EQ(grid.step(), 0.125);
+  EXPECT_DOUBLE_EQ(grid.value(0), -0.4375);
+  EXPECT_DOUBLE_EQ(grid.value(7), 0.4375);
+  // Symmetric pairs around zero; no grid point at exactly 0 or +-1/2.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(grid.value(i), -grid.value(7 - i), 1e-15);
+    EXPECT_NE(grid.value(i), 0.0);
+    EXPECT_LT(std::abs(grid.value(i)), 0.5);
+  }
+}
+
+TEST(PhaseGridTest, IndexOfRoundTrip) {
+  const PhaseGrid grid(64);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid.index_of(grid.value(i)), i);
+  }
+}
+
+TEST(PhaseGridTest, IndexOfWrapsPhase) {
+  const PhaseGrid grid(16);
+  // x + 1 UI is the same phase.
+  EXPECT_EQ(grid.index_of(0.2), grid.index_of(1.2));
+  EXPECT_EQ(grid.index_of(-0.3), grid.index_of(0.7));
+}
+
+TEST(PhaseGridTest, WrapIsModular) {
+  const PhaseGrid grid(16);
+  EXPECT_EQ(grid.wrap(16), 0u);
+  EXPECT_EQ(grid.wrap(-1), 15u);
+  EXPECT_EQ(grid.wrap(35), 3u);
+  EXPECT_EQ(grid.wrap(-17), 15u);
+}
+
+TEST(PhaseGridTest, ClampSaturates) {
+  const PhaseGrid grid(16);
+  EXPECT_EQ(grid.clamp(-5), 0u);
+  EXPECT_EQ(grid.clamp(99), 15u);
+  EXPECT_EQ(grid.clamp(7), 7u);
+}
+
+TEST(PhaseGridTest, RejectsBadSizes) {
+  EXPECT_THROW(PhaseGrid(2), PreconditionError);
+  EXPECT_THROW(PhaseGrid(7), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::cdr

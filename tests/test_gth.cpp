@@ -1,0 +1,99 @@
+#include "sparse/gth.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/dense.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::sparse {
+namespace {
+
+TEST(GthTest, TwoStateClosedForm) {
+  // P = [[1-a, a], [b, 1-b]] has stationary (b, a) / (a + b).
+  const double a = 0.3, b = 0.1;
+  DenseMatrix p(2, 2);
+  p.at(0, 0) = 1 - a;
+  p.at(0, 1) = a;
+  p.at(1, 0) = b;
+  p.at(1, 1) = 1 - b;
+  const auto eta = gth_stationary(p);
+  EXPECT_NEAR(eta[0], b / (a + b), 1e-15);
+  EXPECT_NEAR(eta[1], a / (a + b), 1e-15);
+}
+
+TEST(GthTest, BirthDeathGeometric) {
+  const std::size_t n = 12;
+  const double p = 0.2, q = 0.3;
+  const CsrMatrix pt = test::birth_death_pt(n, p, q);
+  const auto eta = gth_stationary_transposed(pt);
+  const auto expected = test::birth_death_stationary(n, p, q);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(eta[i], expected[i], 1e-14) << "state " << i;
+  }
+}
+
+TEST(GthTest, StiffChainKeepsTinyProbabilitiesAccurate) {
+  // Strong downward drift: stationary tail spans ~20 orders of magnitude.
+  const std::size_t n = 24;
+  const double p = 1e-2, q = 0.9;
+  const auto eta = gth_stationary_transposed(test::birth_death_pt(n, p, q));
+  const auto expected = test::birth_death_stationary(n, p, q);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_GT(eta[i], 0.0);
+    // Relative accuracy even for ~1e-45 entries — the GTH guarantee.
+    EXPECT_NEAR(eta[i] / expected[i], 1.0, 1e-10) << "state " << i;
+  }
+}
+
+TEST(GthTest, MatchesFixedPointOnRandomChains) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const CsrMatrix pt = test::random_dense_stochastic_pt(15, seed);
+    const auto eta = gth_stationary_transposed(pt);
+    // eta is a fixed point: P^T eta == eta.
+    std::vector<double> y(15);
+    pt.multiply(eta, y);
+    for (std::size_t i = 0; i < 15; ++i) EXPECT_NEAR(y[i], eta[i], 1e-14);
+    // Normalized.
+    double sum = 0.0;
+    for (const double v : eta) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-13);
+  }
+}
+
+TEST(GthTest, CsrRowOrientedOverload) {
+  const CsrMatrix pt = test::birth_death_pt(6, 0.4, 0.3);
+  const auto from_pt = gth_stationary_transposed(pt);
+  const auto from_p = gth_stationary(pt.transpose());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(from_pt[i], from_p[i], 1e-15);
+  }
+}
+
+TEST(GthTest, ReducibleChainThrows) {
+  // Two disconnected absorbing states.
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  EXPECT_THROW(gth_stationary_transposed(b.to_csr()), NumericalError);
+}
+
+TEST(GthTest, SingleState) {
+  CooBuilder b(1, 1);
+  b.add(0, 0, 1.0);
+  const auto eta = gth_stationary_transposed(b.to_csr());
+  ASSERT_EQ(eta.size(), 1u);
+  EXPECT_DOUBLE_EQ(eta[0], 1.0);
+}
+
+TEST(GthTest, RejectsNonSquare) {
+  const DenseMatrix a(2, 3);
+  EXPECT_THROW(gth_stationary(a), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::sparse

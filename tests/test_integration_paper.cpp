@@ -1,0 +1,150 @@
+// End-to-end integration tests reproducing the *shape* of the paper's
+// evaluation results on scaled-down configurations (the full-size runs live
+// in bench/):
+//
+//   * Figure 4: raising the eye-opening jitter n_w raises the BER by orders
+//     of magnitude.
+//   * Figure 5: the BER as a function of counter length has an interior
+//     optimum — too short follows n_w, too long cannot track the n_r drift.
+//   * Section 3: the multilevel solver's cycle count is (nearly) independent
+//     of the phase-grid resolution, unlike single-level iteration counts.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdr/measures.hpp"
+#include "cdr/model.hpp"
+#include "solvers/stationary.hpp"
+
+namespace stocdr::cdr {
+namespace {
+
+CdrConfig paper_like_config() {
+  // A scaled-down (128-cell) version of the paper-like operating point: the
+  // loop tracks the drift with ~4x margin, so the counter optimum sits at 8.
+  CdrConfig config;
+  config.phase_points = 128;
+  config.vco_phases = 16;
+  config.counter_length = 8;
+  config.sigma_nw = 0.012;
+  // The 128-cell grid has 0.0078-UI cells, so the drift spec must be large
+  // enough to register after quantization.
+  config.nr_mean = 0.003;
+  config.nr_max = 0.009;
+  config.nr_atoms = 5;
+  config.max_run_length = 4;
+  return config;
+}
+
+double solve_ber(const CdrConfig& config) {
+  const CdrModel model(config);
+  const CdrChain chain = model.build();
+  const auto eta = solve_stationary(chain).distribution;
+  return bit_error_rate(model, chain, eta);
+}
+
+TEST(PaperShapeTest, Figure4NoiseLevelRaisesBer) {
+  CdrConfig low = paper_like_config();
+  CdrConfig high = paper_like_config();
+  high.sigma_nw = 10.0 * low.sigma_nw;
+  const double ber_low = solve_ber(low);
+  const double ber_high = solve_ber(high);
+  // "the noise levels are so small that the CDR system has negligible BER";
+  // "when the standard deviation ... is increased 10 times, the BER
+  // increases" by many orders of magnitude.
+  EXPECT_LT(ber_low, 1e-10);
+  EXPECT_GT(ber_high, 1e-4);
+  EXPECT_GT(ber_high / (ber_low + 1e-300), 1e6);
+}
+
+TEST(PaperShapeTest, Figure5CounterLengthHasInteriorOptimum) {
+  // Noise chosen so both failure modes are visible: a short counter follows
+  // n_w (random corrections), a long one cannot track the n_r drift.
+  CdrConfig config = paper_like_config();
+  config.phase_points = 256;
+  config.sigma_nw = 0.08;
+  config.nr_mean = 0.001;  // 4x tracking margin at counter 8
+  config.nr_max = 0.003;
+  std::vector<std::size_t> lengths{2, 8, 32};
+  std::vector<double> bers;
+  for (const std::size_t n : lengths) {
+    config.counter_length = n;
+    bers.push_back(solve_ber(config));
+  }
+  // "the best BER performance is obtained when counter length is set to 8"
+  EXPECT_LT(bers[1], bers[0]);
+  EXPECT_LT(bers[1], bers[2]);
+}
+
+TEST(PaperShapeTest, MultilevelCyclesNearlyGridIndependent) {
+  std::vector<std::size_t> grids{64, 128, 256};
+  std::vector<std::size_t> cycles;
+  for (const std::size_t m : grids) {
+    CdrConfig config = paper_like_config();
+    config.phase_points = m;
+    const CdrModel model(config);
+    const CdrChain chain = model.build();
+    solvers::MultilevelOptions options;
+    options.tolerance = 1e-11;
+    const auto result = solve_stationary(chain, options);
+    EXPECT_TRUE(result.stats.converged) << m;
+    cycles.push_back(result.stats.iterations);
+  }
+  // Quadrupling the grid must not blow up the cycle count (mesh
+  // independence up to a small factor).
+  EXPECT_LE(cycles[2], 3 * cycles[0] + 5);
+}
+
+TEST(PaperShapeTest, MultilevelAgreesWithPowerOnPaperConfig) {
+  const CdrModel model(paper_like_config());
+  const CdrChain chain = model.build();
+  const auto mg = solve_stationary(chain);
+  solvers::SolverOptions popts;
+  popts.tolerance = 1e-12;
+  popts.max_iterations = 1000000;
+  const auto power = solvers::solve_stationary_power(chain.chain(), popts);
+  ASSERT_TRUE(mg.stats.converged);
+  ASSERT_TRUE(power.stats.converged);
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < mg.distribution.size(); ++i) {
+    l1 += std::abs(mg.distribution[i] - power.distribution[i]);
+  }
+  EXPECT_LT(l1, 1e-8);
+  // And the derived BERs agree in relative terms (a far-tail quantity, so
+  // an L1-1e-8 distribution difference can still move it by ~0.1%).
+  const double ber_mg = bit_error_rate(model, chain, mg.distribution);
+  const double ber_pw = bit_error_rate(model, chain, power.distribution);
+  if (ber_mg > 1e-300) {
+    EXPECT_NEAR(ber_pw / ber_mg, 1.0, 0.01);
+  }
+}
+
+TEST(PaperShapeTest, SlipTimescaleShrinksWithDrift) {
+  // More interference drift -> more cycle slips (shorter mean time
+  // between).  This is the "mean time between failures" measure of §2.
+  CdrConfig mild = paper_like_config();
+  mild.counter_length = 16;
+  mild.sigma_nw = 0.08;
+  mild.nr_mean = 0.004;
+  mild.nr_max = 0.012;
+  CdrConfig harsh = mild;
+  harsh.nr_mean = 3.0 * mild.nr_mean;
+  harsh.nr_max = 3.0 * mild.nr_max;
+
+  const CdrModel model_mild(mild);
+  const CdrChain chain_mild = model_mild.build();
+  const auto eta_mild = solve_stationary(chain_mild).distribution;
+  const CdrModel model_harsh(harsh);
+  const CdrChain chain_harsh = model_harsh.build();
+  const auto eta_harsh = solve_stationary(chain_harsh).distribution;
+
+  const double t_mild =
+      slip_stats(model_mild, chain_mild, eta_mild).mean_cycles_between();
+  const double t_harsh =
+      slip_stats(model_harsh, chain_harsh, eta_harsh).mean_cycles_between();
+  EXPECT_GT(t_mild, t_harsh);
+}
+
+}  // namespace
+}  // namespace stocdr::cdr

@@ -1,0 +1,129 @@
+#include "noise/jitter.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::noise {
+namespace {
+
+TEST(DiscretizeGaussianTest, MassSumsToOne) {
+  const DiscreteDistribution d = discretize_gaussian(0.0, 1.0, 0.1);
+  double total = 0.0;
+  for (const double p : d.probabilities()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(DiscretizeGaussianTest, MomentsMatchForFineGrids) {
+  const DiscreteDistribution d = discretize_gaussian(0.3, 0.05, 0.002, 8.0);
+  EXPECT_NEAR(d.mean(), 0.3, 1e-6);
+  EXPECT_NEAR(d.stddev(), 0.05, 1e-4);
+}
+
+TEST(DiscretizeGaussianTest, SymmetricAroundZeroMean) {
+  const DiscreteDistribution d = discretize_gaussian(0.0, 1.0, 0.25);
+  const auto v = d.values();
+  const auto p = d.probabilities();
+  // Atom at -x and +x carry equal mass.
+  for (std::size_t i = 0; i < d.size() / 2; ++i) {
+    EXPECT_NEAR(p[i], p[d.size() - 1 - i], 1e-12) << i;
+    EXPECT_NEAR(v[i], -v[d.size() - 1 - i], 1e-12) << i;
+  }
+}
+
+TEST(DiscretizeGaussianTest, TailCellsAbsorbRemainder) {
+  // Narrow support: the edge atoms soak up the outer tails so mass stays 1.
+  const DiscreteDistribution d = discretize_gaussian(0.0, 1.0, 0.5, 1.0);
+  double total = 0.0;
+  for (const double p : d.probabilities()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_LE(std::abs(d.max()), 1.5);
+}
+
+TEST(DiscretizeGaussianTest, ZeroSigmaIsPoint) {
+  const DiscreteDistribution d = discretize_gaussian(0.7, 0.0, 0.1);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.7);
+}
+
+TEST(DiscretizeGaussianTest, RejectsBadArguments) {
+  EXPECT_THROW(discretize_gaussian(0.0, -1.0, 0.1), PreconditionError);
+  EXPECT_THROW(discretize_gaussian(0.0, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(discretize_gaussian(0.0, 1.0, 0.1, -2.0), PreconditionError);
+  EXPECT_THROW(discretize_gaussian(0.0, 1.0, 1e-9), PreconditionError);
+}
+
+TEST(SonetDriftTest, BoundedBiasedSupport) {
+  const DiscreteDistribution d = sonet_drift_noise(0.002, 0.006, 7);
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_NEAR(d.min(), 0.002 - 0.006, 1e-15);
+  EXPECT_NEAR(d.max(), 0.002 + 0.006, 1e-15);
+  EXPECT_NEAR(d.mean(), 0.002, 1e-12);  // symmetric shape about the mean
+  EXPECT_GT(d.variance(), 0.0);
+}
+
+TEST(SonetDriftTest, CentralAtomHeaviest) {
+  const DiscreteDistribution d = sonet_drift_noise(0.0, 1.0, 9);
+  const auto p = d.probabilities();
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_LT(p[i], p[i + 1]) << i;  // rising toward the center
+  }
+}
+
+TEST(SonetDriftTest, ZeroAmplitudeIsPoint) {
+  const DiscreteDistribution d = sonet_drift_noise(0.01, 0.0);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.01);
+}
+
+TEST(SinusoidalJitterTest, ArcsineShape) {
+  const DiscreteDistribution d = sinusoidal_jitter(1.0, 21);
+  double total = 0.0;
+  for (const double p : d.probabilities()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Arcsine law: mass concentrates at the extremes.
+  const auto p = d.probabilities();
+  EXPECT_GT(p.front(), p[d.size() / 2]);
+  EXPECT_GT(p.back(), p[d.size() / 2]);
+  // Symmetric, zero mean (up to atom-placement roundoff), variance A^2/2.
+  EXPECT_NEAR(d.mean(), 0.0, 1e-7);
+  EXPECT_NEAR(d.variance(), 0.5, 0.02);
+}
+
+TEST(SinusoidalJitterTest, AmplitudeScaling) {
+  const DiscreteDistribution d = sinusoidal_jitter(0.25, 31);
+  EXPECT_NEAR(d.variance(), 0.25 * 0.25 / 2.0, 0.002);
+  EXPECT_LE(d.max(), 0.25);
+  EXPECT_GE(d.min(), -0.25);
+}
+
+TEST(UniformJitterTest, Variance) {
+  const DiscreteDistribution d = uniform_jitter(0.3, 101);
+  EXPECT_NEAR(d.mean(), 0.0, 1e-12);
+  EXPECT_NEAR(d.variance(), 0.3 * 0.3 / 3.0, 1e-4);
+}
+
+TEST(DualDiracTest, TwoAtoms) {
+  const DiscreteDistribution d = dual_dirac_jitter(0.2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.values()[0], -0.1);
+  EXPECT_DOUBLE_EQ(d.values()[1], 0.1);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.01);
+  EXPECT_EQ(dual_dirac_jitter(0.0).size(), 1u);
+}
+
+TEST(JitterCompositionTest, DjPlusRjConvolution) {
+  // The classical dual-Dirac + Gaussian jitter model via convolution.
+  const DiscreteDistribution dj = dual_dirac_jitter(0.1);
+  const DiscreteDistribution rj = discretize_gaussian(0.0, 0.02, 0.002);
+  const DiscreteDistribution total = dj.convolve(rj);
+  EXPECT_NEAR(total.mean(), 0.0, 1e-10);
+  EXPECT_NEAR(total.variance(), dj.variance() + rj.variance(), 1e-8);
+}
+
+}  // namespace
+}  // namespace stocdr::noise

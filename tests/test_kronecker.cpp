@@ -1,0 +1,184 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "kronecker/descriptor.hpp"
+#include "kronecker/kron.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/gth.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::kron {
+namespace {
+
+sparse::CsrMatrix random_matrix(std::size_t n, std::uint64_t seed,
+                                double density = 0.5) {
+  Rng rng(seed);
+  sparse::CooBuilder b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (rng.uniform() < density) b.add(r, c, rng.uniform(-1, 1));
+    }
+  }
+  return b.to_csr();
+}
+
+TEST(KroneckerProductTest, HandComputed2x2) {
+  sparse::CooBuilder ab(2, 2);
+  ab.add(0, 0, 1.0);
+  ab.add(0, 1, 2.0);
+  ab.add(1, 1, 3.0);
+  const sparse::CsrMatrix a = ab.to_csr();
+  sparse::CooBuilder bb(2, 2);
+  bb.add(0, 0, 5.0);
+  bb.add(1, 0, 7.0);
+  const sparse::CsrMatrix b = bb.to_csr();
+  const sparse::CsrMatrix c = kronecker_product(a, b);
+  EXPECT_EQ(c.rows(), 4u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 5.0);    // a00*b00
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 7.0);    // a00*b10
+  EXPECT_DOUBLE_EQ(c.at(0, 2), 10.0);   // a01*b00
+  EXPECT_DOUBLE_EQ(c.at(1, 2), 14.0);   // a01*b10
+  EXPECT_DOUBLE_EQ(c.at(2, 2), 15.0);   // a11*b00
+  EXPECT_DOUBLE_EQ(c.at(3, 2), 21.0);   // a11*b10
+  EXPECT_EQ(c.nnz(), 6u);
+}
+
+TEST(KroneckerProductTest, StochasticFactorsStayStochastic) {
+  // The generators are stored transposed (column-stochastic), and the
+  // Kronecker product preserves that: column sums stay 1.
+  const sparse::CsrMatrix a = test::random_dense_stochastic_pt(3, 1);
+  const sparse::CsrMatrix b = test::random_dense_stochastic_pt(4, 2);
+  const sparse::CsrMatrix c = kronecker_product(a, b);
+  for (const double s : c.col_sums()) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(KroneckerSumTest, MatchesDefinition) {
+  const sparse::CsrMatrix a = random_matrix(2, 3);
+  const sparse::CsrMatrix b = random_matrix(3, 4);
+  const sparse::CsrMatrix sum = kronecker_sum(a, b);
+  // A (+) B = A (x) I + I (x) B.
+  const sparse::CsrMatrix left =
+      kronecker_product(a, sparse::CsrMatrix::identity(3));
+  const sparse::CsrMatrix right =
+      kronecker_product(sparse::CsrMatrix::identity(2), b);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(sum.at(r, c), left.at(r, c) + right.at(r, c), 1e-14);
+    }
+  }
+}
+
+class DescriptorApplyTest
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(DescriptorApplyTest, ShuffleMatchesExplicitProduct) {
+  const std::vector<std::size_t> dims = GetParam();
+  KroneckerDescriptor descriptor(dims);
+  Rng rng(55);
+  for (int term = 0; term < 3; ++term) {
+    KroneckerTerm t;
+    t.coefficient = rng.uniform(-2, 2);
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      t.factors.push_back(
+          random_matrix(dims[k], 100 * term + k + 1, 0.6));
+    }
+    descriptor.add_term(std::move(t));
+  }
+  const sparse::CsrMatrix explicit_d = descriptor.to_csr();
+  std::vector<double> x(descriptor.dimension());
+  for (double& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y1(x.size()), y2(x.size());
+  descriptor.apply(x, y1);
+  explicit_d.multiply(x, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y1[i], y2[i], 1e-11) << i;
+  }
+  // Transposed apply too.
+  descriptor.apply_transpose(x, y1);
+  explicit_d.transpose().multiply(x, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y1[i], y2[i], 1e-11) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DescriptorApplyTest,
+    ::testing::Values(std::vector<std::size_t>{4},
+                      std::vector<std::size_t>{2, 3},
+                      std::vector<std::size_t>{3, 2, 4},
+                      std::vector<std::size_t>{2, 2, 2, 3},
+                      std::vector<std::size_t>{1, 5, 1}));
+
+TEST(DescriptorTest, SingleFactorTermSkipsIdentities) {
+  KroneckerDescriptor d({3, 4, 2});
+  d.add_single_factor_term(2.0, 1, random_matrix(4, 9));
+  EXPECT_EQ(d.num_terms(), 1u);
+  const sparse::CsrMatrix explicit_d = d.to_csr();
+  Rng rng(1);
+  std::vector<double> x(24), y1(24), y2(24);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  d.apply(x, y1);
+  explicit_d.multiply(x, y2);
+  for (std::size_t i = 0; i < 24; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(DescriptorTest, IndependentChainsStationaryFactorizes) {
+  // The TPM of two independent chains is P1 (x) P2; applying the descriptor
+  // transpose in a power iteration must converge to the product stationary
+  // distribution without ever forming the product matrix.
+  const sparse::CsrMatrix p1t = test::random_dense_stochastic_pt(4, 61);
+  const sparse::CsrMatrix p2t = test::random_dense_stochastic_pt(5, 62);
+  // Descriptor holds P (row stochastic), i.e. the transposes of the above.
+  KroneckerDescriptor d({4, 5});
+  KroneckerTerm term;
+  term.factors.push_back(p1t.transpose());
+  term.factors.push_back(p2t.transpose());
+  d.add_term(std::move(term));
+
+  std::vector<double> x(20, 1.0 / 20), y(20);
+  for (int it = 0; it < 500; ++it) {
+    d.apply_transpose(x, y);  // x <- P^T x
+    x.swap(y);
+  }
+  const auto eta1 = sparse::gth_stationary_transposed(p1t);
+  const auto eta2 = sparse::gth_stationary_transposed(p2t);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(x[i * 5 + j], eta1[i] * eta2[j], 1e-10);
+    }
+  }
+}
+
+TEST(DescriptorTest, StorageFarBelowExplicit) {
+  KroneckerDescriptor d({16, 16, 16});
+  KroneckerTerm term;
+  for (int k = 0; k < 3; ++k) {
+    term.factors.push_back(test::random_dense_stochastic_pt(16, k + 1));
+  }
+  d.add_term(std::move(term));
+  const std::size_t explicit_nnz = 16u * 16 * 16 * 16 * 16 * 16;
+  EXPECT_LT(d.storage_bytes(),
+            explicit_nnz * (sizeof(double) + sizeof(std::uint32_t)) / 100);
+}
+
+TEST(DescriptorTest, ValidatesShapes) {
+  KroneckerDescriptor d({2, 3});
+  KroneckerTerm bad;
+  bad.factors.push_back(random_matrix(2, 1));
+  EXPECT_THROW(d.add_term(std::move(bad)), PreconditionError);
+  KroneckerTerm wrong;
+  wrong.factors.push_back(random_matrix(2, 1));
+  wrong.factors.push_back(random_matrix(4, 1));
+  EXPECT_THROW(d.add_term(std::move(wrong)), PreconditionError);
+  EXPECT_THROW(KroneckerDescriptor({}), PreconditionError);
+  EXPECT_THROW(d.add_single_factor_term(1.0, 5, random_matrix(2, 1)),
+               PreconditionError);
+  std::vector<double> x(6), y(5);
+  EXPECT_THROW(d.apply(x, y), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::kron

@@ -1,0 +1,264 @@
+#include "solvers/linear.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "markov/reachability.hpp"
+#include "solvers/aggregation.hpp"
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::solvers {
+namespace {
+
+/// A restricted (sub-stochastic) Q^T from a birth-death chain with the top
+/// state removed: every state leaks toward the absorbing top.
+sparse::CsrMatrix leaky_qt(std::size_t n, double p, double q) {
+  const markov::MarkovChain chain(test::birth_death_pt(n + 1, p, q));
+  std::vector<bool> keep(n + 1, true);
+  keep[n] = false;
+  return markov::restrict_chain(chain, keep).qt;
+}
+
+TEST(TransientOperatorTest, AppliesIMinusQ) {
+  const sparse::CsrMatrix qt = leaky_qt(5, 0.3, 0.2);
+  const TransientOperator op(qt);
+  EXPECT_EQ(op.size(), 5u);
+  // x = e_0: (I - Q) e_0 = e_0 - Q e_0; column 0 of Q is row 0 of Q...
+  std::vector<double> x(5, 0.0), y(5);
+  x[0] = 1.0;
+  op.apply(x, y);
+  // Row-major semantics: y_i = x_i - sum_j Q[i][j] x_j = e0_i - Q[i][0].
+  // Q[0][0] = stay at 0 = 1 - p - q + q = 0.7 and Q[1][0] = q = 0.2.
+  EXPECT_NEAR(y[0], 0.3, 1e-14);
+  EXPECT_NEAR(y[1], -0.2, 1e-14);
+}
+
+TEST(TransientOperatorTest, DiagonalMatchesMatrix) {
+  const sparse::CsrMatrix qt = leaky_qt(6, 0.25, 0.3);
+  const TransientOperator op(qt);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(op.diagonal()[i], 1.0 - qt.at(i, i), 1e-15);
+  }
+}
+
+TEST(GmresTest, SolvesRestrictedSystemToTolerance) {
+  const sparse::CsrMatrix qt = leaky_qt(40, 0.3, 0.25);
+  const TransientOperator op(qt);
+  const std::vector<double> b(40, 1.0);
+  SolverOptions options;
+  options.tolerance = 1e-12;
+  const auto result = gmres(op, b, options, 50);
+  EXPECT_TRUE(result.stats.converged);
+  // Verify the residual independently.
+  std::vector<double> ax(40);
+  op.apply(result.solution, ax);
+  double rnorm = 0.0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    rnorm += (b[i] - ax[i]) * (b[i] - ax[i]);
+  }
+  EXPECT_LT(std::sqrt(rnorm / 40.0), 1e-10);
+}
+
+TEST(GmresTest, ZeroRhsGivesZeroSolution) {
+  const sparse::CsrMatrix qt = leaky_qt(10, 0.3, 0.2);
+  const TransientOperator op(qt);
+  const std::vector<double> b(10, 0.0);
+  const auto result = gmres(op, b);
+  EXPECT_TRUE(result.stats.converged);
+  for (const double v : result.solution) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(GmresTest, RestartSmallerThanProblemStillConverges) {
+  const sparse::CsrMatrix qt = leaky_qt(100, 0.3, 0.25);
+  const TransientOperator op(qt);
+  const std::vector<double> b(100, 1.0);
+  SolverOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 200;
+  const auto result = gmres(op, b, options, 10);
+  EXPECT_TRUE(result.stats.converged);
+}
+
+TEST(JacobiLinearTest, MatchesGmresOnEasySystem) {
+  // Drift toward the absorbing target keeps rho(Q) well below 1, so plain
+  // Jacobi converges.
+  const sparse::CsrMatrix qt = leaky_qt(20, 0.4, 0.2);
+  const TransientOperator op(qt);
+  const std::vector<double> b(20, 1.0);
+  SolverOptions options;
+  options.tolerance = 1e-11;
+  options.max_iterations = 100000;
+  options.relaxation = 1.0;
+  const auto jac = jacobi_linear(op, b, options);
+  const auto gm = gmres(op, b, options);
+  EXPECT_TRUE(jac.stats.converged);
+  EXPECT_TRUE(gm.stats.converged);
+  EXPECT_LT(test::l1(jac.solution, gm.solution), 1e-6);
+}
+
+TEST(PreconditionerTest, MakesShortGmresSufficient) {
+  // Unsmoothed aggregation is not a convergent standalone iteration (the
+  // piecewise-constant correction over/under-shoots), but wrapped in even a
+  // very short GMRES it solves the system quickly — which is how the
+  // library uses it.
+  const sparse::CsrMatrix qt = leaky_qt(128, 0.3, 0.29);
+  std::vector<std::uint32_t> grid(128), label(128, 0);
+  for (std::size_t i = 0; i < 128; ++i) {
+    grid[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto hierarchy = build_grid_pair_hierarchy(grid, label, 8);
+  AggregationPreconditioner::Options popts;
+  popts.coarsest_size = 8;
+  const AggregationPreconditioner precond(qt, hierarchy, popts);
+  EXPECT_GT(precond.num_levels(), 2u);
+
+  const TransientOperator op(qt);
+  const std::vector<double> b(128, 1.0);
+  const Preconditioner apply = [&precond](std::span<const double> r,
+                                          std::span<double> z) {
+    precond.apply(r, z);
+  };
+  SolverOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 10;
+  const auto result = gmres(op, b, options, 8, apply);
+  EXPECT_TRUE(result.stats.converged);
+  std::vector<double> az(128);
+  op.apply(result.solution, az);
+  for (std::size_t i = 0; i < 128; ++i) EXPECT_NEAR(az[i], b[i], 1e-7);
+}
+
+TEST(PreconditionerTest, AcceleratesGmresOnStiffSystem) {
+  // Nearly balanced random walk with a tiny leak: kappa(I - Q) is large and
+  // unpreconditioned GMRES(20) needs many restarts.
+  const sparse::CsrMatrix qt = leaky_qt(600, 0.3, 0.299);
+  const TransientOperator op(qt);
+  const std::vector<double> b(600, 1.0);
+  SolverOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 400;
+
+  std::vector<std::uint32_t> grid(600), label(600, 0);
+  for (std::size_t i = 0; i < 600; ++i) {
+    grid[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto hierarchy = build_grid_pair_hierarchy(grid, label, 20);
+  AggregationPreconditioner::Options popts;
+  popts.coarsest_size = 20;
+  const AggregationPreconditioner precond(qt, hierarchy, popts);
+  const Preconditioner apply = [&precond](std::span<const double> r,
+                                          std::span<double> z) {
+    precond.apply(r, z);
+  };
+  const auto with = gmres(op, b, options, 20, apply);
+  const auto without = gmres(op, b, options, 20);
+  EXPECT_TRUE(with.stats.converged);
+  // Preconditioning must cut the matvec count substantially.
+  if (without.stats.converged) {
+    EXPECT_LT(with.stats.matvec_count * 2, without.stats.matvec_count);
+  }
+  // And the answer must solve the system.
+  std::vector<double> ax(600);
+  op.apply(with.solution, ax);
+  double rnorm = 0.0;
+  for (std::size_t i = 0; i < 600; ++i) rnorm += std::abs(b[i] - ax[i]);
+  EXPECT_LT(rnorm / 600.0, 1e-8);
+}
+
+TEST(PreconditionerTest, EmptyHierarchyActsAsCoarsestSolve) {
+  const sparse::CsrMatrix qt = leaky_qt(30, 0.3, 0.2);
+  const AggregationPreconditioner precond(qt, {});
+  EXPECT_EQ(precond.num_levels(), 1u);
+  // With n <= coarsest_size the "V-cycle" is a direct solve: residual ~ 0.
+  const TransientOperator op(qt);
+  const std::vector<double> b(30, 1.0);
+  std::vector<double> z(30), az(30);
+  precond.apply(b, z);
+  op.apply(z, az);
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_NEAR(az[i], b[i], 1e-9);
+}
+
+TEST(BicgstabTest, SolvesRestrictedSystem) {
+  const sparse::CsrMatrix qt = leaky_qt(50, 0.35, 0.25);
+  const TransientOperator op(qt);
+  const std::vector<double> b(50, 1.0);
+  SolverOptions options;
+  options.tolerance = 1e-11;
+  options.max_iterations = 500;
+  const auto result = bicgstab(op, b, options);
+  EXPECT_TRUE(result.stats.converged);
+  std::vector<double> ax(50);
+  op.apply(result.solution, ax);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(BicgstabTest, AgreesWithGmres) {
+  const sparse::CsrMatrix qt = leaky_qt(80, 0.3, 0.28);
+  const TransientOperator op(qt);
+  const std::vector<double> b(80, 1.0);
+  SolverOptions options;
+  options.tolerance = 1e-11;
+  options.max_iterations = 2000;
+  const auto bi = bicgstab(op, b, options);
+  const auto gm = gmres(op, b, options, 80);
+  ASSERT_TRUE(bi.stats.converged);
+  ASSERT_TRUE(gm.stats.converged);
+  EXPECT_LT(test::l1(bi.solution, gm.solution),
+            1e-5 * test::l1(gm.solution, std::vector<double>(80, 0.0)));
+}
+
+TEST(BicgstabTest, PreconditionedConvergesFasterOnStiffSystem) {
+  const sparse::CsrMatrix qt = leaky_qt(400, 0.3, 0.299);
+  const TransientOperator op(qt);
+  const std::vector<double> b(400, 1.0);
+  SolverOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 5000;
+
+  std::vector<std::uint32_t> grid(400), label(400, 0);
+  for (std::size_t i = 0; i < 400; ++i) {
+    grid[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto hierarchy = build_grid_pair_hierarchy(grid, label, 20);
+  AggregationPreconditioner::Options popts;
+  popts.coarsest_size = 20;
+  const AggregationPreconditioner precond(qt, hierarchy, popts);
+  const Preconditioner apply = [&precond](std::span<const double> r,
+                                          std::span<double> z) {
+    precond.apply(r, z);
+  };
+  const auto with = bicgstab(op, b, options, apply);
+  EXPECT_TRUE(with.stats.converged);
+  const auto without = bicgstab(op, b, options);
+  if (without.stats.converged) {
+    EXPECT_LT(with.stats.matvec_count, without.stats.matvec_count);
+  }
+  std::vector<double> ax(400);
+  op.apply(with.solution, ax);
+  double rnorm = 0.0;
+  for (std::size_t i = 0; i < 400; ++i) rnorm += std::abs(b[i] - ax[i]);
+  EXPECT_LT(rnorm / 400.0, 1e-7);
+}
+
+TEST(BicgstabTest, ZeroRhs) {
+  const sparse::CsrMatrix qt = leaky_qt(10, 0.3, 0.2);
+  const TransientOperator op(qt);
+  const auto result = bicgstab(op, std::vector<double>(10, 0.0));
+  EXPECT_TRUE(result.stats.converged);
+  for (const double v : result.solution) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(GmresTest, SizeMismatchRejected) {
+  const sparse::CsrMatrix qt = leaky_qt(5, 0.3, 0.2);
+  const TransientOperator op(qt);
+  const std::vector<double> bad(4, 1.0);
+  EXPECT_THROW((void)gmres(op, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::solvers

@@ -1,0 +1,218 @@
+#include "markov/lumping.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/gth.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::markov {
+namespace {
+
+TEST(PartitionTest, BasicProperties) {
+  const Partition p({0, 0, 1, 2, 1});
+  EXPECT_EQ(p.num_states(), 5u);
+  EXPECT_EQ(p.num_groups(), 3u);
+  EXPECT_EQ(p.group(4), 1u);
+  const auto sizes = p.group_sizes();
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 1u);
+}
+
+TEST(PartitionTest, RejectsGappyGroups) {
+  EXPECT_THROW(Partition({0, 2}), PreconditionError);
+  EXPECT_THROW(Partition({1}), PreconditionError);
+  EXPECT_THROW(Partition(std::vector<std::uint32_t>{}), PreconditionError);
+}
+
+TEST(PartitionTest, IdentityAndPairs) {
+  const Partition id = Partition::identity(4);
+  EXPECT_EQ(id.num_groups(), 4u);
+  const Partition pairs = Partition::pairs(5);
+  EXPECT_EQ(pairs.num_groups(), 3u);
+  EXPECT_EQ(pairs.group(0), pairs.group(1));
+  EXPECT_EQ(pairs.group(4), 2u);
+}
+
+TEST(PartitionTest, Compose) {
+  const Partition fine = Partition::pairs(8);   // 8 -> 4
+  const Partition coarse = Partition::pairs(4); // 4 -> 2
+  const Partition both = fine.compose(coarse);
+  EXPECT_EQ(both.num_groups(), 2u);
+  EXPECT_EQ(both.group(0), both.group(3));
+  EXPECT_NE(both.group(0), both.group(4));
+  EXPECT_THROW(fine.compose(Partition::pairs(6)), PreconditionError);
+}
+
+/// A chain built to be exactly lumpable w.r.t. pairs: a 4-state chain where
+/// states {0,1} and {2,3} behave identically toward the blocks.
+sparse::CsrMatrix lumpable_pt() {
+  sparse::CooBuilder b(4, 4);
+  // From block A = {0,1}: 0.7 to block A, 0.3 to block B, split arbitrarily
+  // *within* the destination block (lumpability only constrains block sums).
+  b.add(0, 0, 0.5);
+  b.add(1, 0, 0.2);
+  b.add(2, 0, 0.1);
+  b.add(3, 0, 0.2);
+  b.add(0, 1, 0.3);
+  b.add(1, 1, 0.4);
+  b.add(2, 1, 0.3);
+  // From block B = {2,3}: 0.4 to A, 0.6 to B.
+  b.add(0, 2, 0.4);
+  b.add(2, 2, 0.6);
+  b.add(1, 3, 0.4);
+  b.add(2, 3, 0.1);
+  b.add(3, 3, 0.5);
+  return b.to_csr();
+}
+
+TEST(LumpabilityTest, DetectsExactLumpability) {
+  const Partition pairs = Partition::pairs(4);
+  EXPECT_TRUE(is_exactly_lumpable(lumpable_pt(), pairs));
+}
+
+TEST(LumpabilityTest, DetectsNonLumpability) {
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(4, 77);
+  EXPECT_FALSE(is_exactly_lumpable(pt, Partition::pairs(4)));
+}
+
+TEST(LumpabilityTest, IdentityPartitionAlwaysLumpable) {
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(5, 3);
+  EXPECT_TRUE(is_exactly_lumpable(pt, Partition::identity(5)));
+}
+
+TEST(LumpabilityTest, SingleGroupAlwaysLumpable) {
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(5, 3);
+  EXPECT_TRUE(
+      is_exactly_lumpable(pt, Partition(std::vector<std::uint32_t>(5, 0))));
+}
+
+TEST(LumpExactTest, MatchesHandComputation) {
+  const sparse::CsrMatrix coarse =
+      lump_exact(lumpable_pt(), Partition::pairs(4));
+  // Block chain: A->A 0.7, A->B 0.3, B->A 0.4, B->B 0.6 (transposed store).
+  EXPECT_NEAR(coarse.at(0, 0), 0.7, 1e-14);
+  EXPECT_NEAR(coarse.at(1, 0), 0.3, 1e-14);
+  EXPECT_NEAR(coarse.at(0, 1), 0.4, 1e-14);
+  EXPECT_NEAR(coarse.at(1, 1), 0.6, 1e-14);
+}
+
+TEST(AggregateTest, PreservesStochasticity) {
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(10, 21);
+  std::vector<double> w(10);
+  Rng rng(5);
+  for (double& v : w) v = rng.uniform();
+  const sparse::CsrMatrix coarse =
+      aggregate_transposed(pt, Partition::pairs(10), w);
+  const auto sums = coarse.col_sums();  // outgoing mass per coarse state
+  for (const double s : sums) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(AggregateTest, ExactWeightsReproduceLumpedStationary) {
+  // Aggregating with the *exact* stationary weights yields a coarse chain
+  // whose stationary distribution is the restriction of the fine one —
+  // the core identity behind aggregation/disaggregation methods.
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(12, 8);
+  const auto eta = sparse::gth_stationary_transposed(pt);
+  const Partition part = Partition::pairs(12);
+  const sparse::CsrMatrix coarse = aggregate_transposed(pt, part, eta);
+  const auto eta_coarse = sparse::gth_stationary_transposed(coarse);
+  const auto restricted = restrict_sum(part, eta);
+  for (std::size_t g = 0; g < part.num_groups(); ++g) {
+    EXPECT_NEAR(eta_coarse[g], restricted[g], 1e-12);
+  }
+}
+
+TEST(AggregateTest, UniformWeightsForMasslessGroups) {
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(4, 2);
+  const std::vector<double> w{0.0, 0.0, 1.0, 1.0};  // group 0 massless
+  const sparse::CsrMatrix coarse =
+      aggregate_transposed(pt, Partition::pairs(4), w);
+  const auto sums = coarse.col_sums();
+  EXPECT_NEAR(sums[0], 1.0, 1e-12);
+}
+
+TEST(AggregationPlanTest, MatchesDirectAggregation) {
+  const sparse::CsrMatrix pt = test::random_sparse_stochastic_pt(40, 3, 13);
+  const Partition part = Partition::pairs(40);
+  const AggregationPlan plan(pt, part);
+  Rng rng(9);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<double> w(40);
+    for (double& v : w) v = rng.uniform(0.0, 1.0);
+    const sparse::CsrMatrix direct = aggregate_transposed(pt, part, w);
+    const sparse::CsrMatrix planned = plan.aggregate(pt, w);
+    // Same values everywhere (the plan may keep extra explicit zeros).
+    direct.for_each([&planned](std::size_t r, std::size_t c, double v) {
+      EXPECT_NEAR(planned.at(r, c), v, 1e-14);
+    });
+    planned.for_each([&direct](std::size_t r, std::size_t c, double v) {
+      EXPECT_NEAR(direct.at(r, c), v, 1e-14);
+    });
+  }
+}
+
+TEST(AggregationPlanTest, HandlesZeroWeightsAndExplicitZeros) {
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(6, 3);
+  const Partition part = Partition::pairs(6);
+  const AggregationPlan plan(pt, part);
+  // Zero out one whole pair: its scaled weights fall back to uniform; the
+  // coarse matrix stays stochastic and the pattern intact.
+  std::vector<double> w{0.0, 0.0, 1.0, 2.0, 3.0, 4.0};
+  const sparse::CsrMatrix coarse = plan.aggregate(pt, w);
+  for (const double sum : coarse.col_sums()) EXPECT_NEAR(sum, 1.0, 1e-12);
+  // A second-level plan over the (possibly explicit-zero-bearing) coarse
+  // matrix must construct and apply cleanly.
+  const Partition coarse_part = Partition::pairs(coarse.rows());
+  const AggregationPlan second(coarse, coarse_part);
+  const std::vector<double> cw(coarse.rows(), 1.0);
+  const sparse::CsrMatrix coarser = second.aggregate(coarse, cw);
+  for (const double sum : coarser.col_sums()) EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AggregationPlanTest, RejectsMismatchedMatrix) {
+  const sparse::CsrMatrix pt = test::random_dense_stochastic_pt(6, 3);
+  const AggregationPlan plan(pt, Partition::pairs(6));
+  const sparse::CsrMatrix other = test::random_sparse_stochastic_pt(6, 1, 5);
+  const std::vector<double> w(6, 1.0);
+  EXPECT_THROW((void)plan.aggregate(other, w), PreconditionError);
+}
+
+TEST(RestrictDisaggregateTest, RoundTrip) {
+  const Partition part = Partition::pairs(6);
+  std::vector<double> x{0.1, 0.2, 0.3, 0.1, 0.2, 0.1};
+  const auto coarse = restrict_sum(part, x);
+  EXPECT_NEAR(coarse[0], 0.3, 1e-15);
+  EXPECT_NEAR(coarse[1], 0.4, 1e-15);
+  EXPECT_NEAR(coarse[2], 0.3, 1e-15);
+  // Disaggregating the restriction leaves x unchanged.
+  std::vector<double> y = x;
+  disaggregate(part, coarse, y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-15);
+}
+
+TEST(RestrictDisaggregateTest, ScalesWithinGroups) {
+  const Partition part = Partition::pairs(4);
+  std::vector<double> x{1.0, 3.0, 1.0, 1.0};
+  const std::vector<double> target{1.0, 1.0};
+  disaggregate(part, target, x);
+  EXPECT_NEAR(x[0], 0.25, 1e-15);
+  EXPECT_NEAR(x[1], 0.75, 1e-15);
+  EXPECT_NEAR(x[2], 0.5, 1e-15);
+}
+
+TEST(RestrictDisaggregateTest, MasslessGroupSpreadUniformly) {
+  const Partition part = Partition::pairs(4);
+  std::vector<double> x{0.0, 0.0, 1.0, 1.0};
+  const std::vector<double> target{0.6, 0.4};
+  disaggregate(part, target, x);
+  EXPECT_NEAR(x[0], 0.3, 1e-15);
+  EXPECT_NEAR(x[1], 0.3, 1e-15);
+}
+
+}  // namespace
+}  // namespace stocdr::markov

@@ -1,0 +1,124 @@
+#include "support/math.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace stocdr {
+namespace {
+
+TEST(GaussianTest, PdfPeakAndSymmetry) {
+  EXPECT_NEAR(gaussian_pdf(0.0), 1.0 / std::sqrt(2.0 * kPi), 1e-15);
+  EXPECT_DOUBLE_EQ(gaussian_pdf(1.3), gaussian_pdf(-1.3));
+  EXPECT_LT(gaussian_pdf(5.0), gaussian_pdf(0.0));
+}
+
+TEST(GaussianTest, CdfKnownValues) {
+  EXPECT_NEAR(gaussian_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(gaussian_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(gaussian_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(gaussian_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(GaussianTest, TailComplementsCdf) {
+  for (const double x : {-3.0, -1.0, 0.0, 0.5, 2.0}) {
+    EXPECT_NEAR(gaussian_tail(x) + gaussian_cdf(x), 1.0, 1e-14) << x;
+  }
+}
+
+TEST(GaussianTest, DeepTailKeepsRelativeAccuracy) {
+  // 1 - cdf would be exactly 0 here; erfc-based tails must not be.
+  const double t20 = gaussian_tail(20.0);
+  EXPECT_GT(t20, 0.0);
+  EXPECT_LT(t20, 1e-80);
+  // Known value: Q(20) ~ 2.75e-89.
+  EXPECT_NEAR(std::log10(t20), -88.56, 0.05);
+  // Monotone decreasing in the far tail.
+  EXPECT_GT(gaussian_tail(19.0), gaussian_tail(20.0));
+  EXPECT_GT(gaussian_tail(20.0), gaussian_tail(21.0));
+}
+
+TEST(GaussianTest, IntervalMatchesCdfDifference) {
+  EXPECT_NEAR(gaussian_interval(-1.0, 1.0),
+              gaussian_cdf(1.0) - gaussian_cdf(-1.0), 1e-14);
+  // Far-tail interval retains relative precision.
+  const double p = gaussian_interval(10.0, 11.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_NEAR(p, gaussian_tail(10.0) - gaussian_tail(11.0), p * 1e-12);
+}
+
+TEST(GaussianTest, IntervalRejectsInvertedBounds) {
+  EXPECT_THROW((void)gaussian_interval(1.0, 0.0), PreconditionError);
+}
+
+TEST(AlmostEqualTest, RelativeAndAbsolute) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(almost_equal(1.0, 1.0 + 1e-9));
+  EXPECT_TRUE(almost_equal(0.0, 0.0));
+  EXPECT_TRUE(almost_equal(1e20, 1e20 * (1 + 1e-13)));
+}
+
+TEST(KahanSumTest, CompensatesSmallTerms) {
+  // 1 + 1e-16 * 10000 loses everything in naive double order; Kahan keeps it.
+  std::vector<double> values{1.0};
+  values.insert(values.end(), 10000, 1e-16);
+  EXPECT_NEAR(kahan_sum(values), 1.0 + 1e-12, 1e-15);
+}
+
+TEST(NormTest, L1AndLinf) {
+  const std::vector<double> v{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(l1_norm(v), 6.0);
+  EXPECT_DOUBLE_EQ(linf_norm(v), 3.0);
+  const std::vector<double> w{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(l1_distance(v, w), 6.0);
+}
+
+TEST(NormTest, L1DistanceRequiresEqualSizes) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)l1_distance(a, b), PreconditionError);
+}
+
+TEST(NormalizeTest, ScalesToUnitMass) {
+  std::vector<double> v{1.0, 3.0};
+  normalize_l1(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(NormalizeTest, RejectsZeroAndNonFinite) {
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(normalize_l1(zero), NumericalError);
+  std::vector<double> inf{std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(normalize_l1(inf), NumericalError);
+}
+
+TEST(IpowTest, MatchesStdPow) {
+  EXPECT_DOUBLE_EQ(ipow(2.0, 10), 1024.0);
+  EXPECT_DOUBLE_EQ(ipow(3.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ipow(0.5, 3), 0.125);
+  EXPECT_NEAR(ipow(1.1, 27), std::pow(1.1, 27), 1e-9);
+}
+
+TEST(GcdTest, Basics) {
+  EXPECT_EQ(gcd_size(12, 18), 6u);
+  EXPECT_EQ(gcd_size(7, 13), 1u);
+  EXPECT_EQ(gcd_size(0, 5), 5u);
+  EXPECT_EQ(gcd_size(5, 0), 5u);
+}
+
+TEST(LinspaceTest, EndpointsAndSpacing) {
+  const auto g = linspace(-1.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), -1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.0);
+  EXPECT_THROW(linspace(0.0, 1.0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr

@@ -1,0 +1,141 @@
+#include "noise/discrete.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::noise {
+namespace {
+
+TEST(DiscreteDistributionTest, SortsAndMergesAtoms) {
+  const DiscreteDistribution d({2.0, -1.0, 2.0}, {0.25, 0.5, 0.25});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.values()[0], -1.0);
+  EXPECT_DOUBLE_EQ(d.values()[1], 2.0);
+  EXPECT_DOUBLE_EQ(d.probabilities()[0], 0.5);
+  EXPECT_DOUBLE_EQ(d.probabilities()[1], 0.5);
+}
+
+TEST(DiscreteDistributionTest, Renormalizes) {
+  const DiscreteDistribution d({0.0, 1.0}, {2.0, 6.0});
+  EXPECT_DOUBLE_EQ(d.probabilities()[0], 0.25);
+  EXPECT_DOUBLE_EQ(d.probabilities()[1], 0.75);
+}
+
+TEST(DiscreteDistributionTest, DropsZeroProbabilityAtoms) {
+  const DiscreteDistribution d({0.0, 1.0, 2.0}, {0.5, 0.0, 0.5});
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DiscreteDistributionTest, Moments) {
+  const DiscreteDistribution d({-1.0, 1.0}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(d.stddev(), 1.0);
+  EXPECT_DOUBLE_EQ(d.min(), -1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 1.0);
+}
+
+TEST(DiscreteDistributionTest, Cdf) {
+  const DiscreteDistribution d({0.0, 1.0, 2.0}, {0.2, 0.3, 0.5});
+  EXPECT_DOUBLE_EQ(d.cdf(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.2);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(5.0), 1.0);
+}
+
+TEST(DiscreteDistributionTest, PointMass) {
+  const DiscreteDistribution d = DiscreteDistribution::point(3.5);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(DiscreteDistributionTest, SampleFrequencies) {
+  const DiscreteDistribution d({0.0, 1.0, 2.0}, {0.2, 0.3, 0.5});
+  Rng rng(15);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<int>(d.sample(rng))]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(DiscreteDistributionTest, ConvolutionAddsMoments) {
+  const DiscreteDistribution a({-1.0, 1.0}, {0.5, 0.5});
+  const DiscreteDistribution b({0.0, 2.0}, {0.25, 0.75});
+  const DiscreteDistribution c = a.convolve(b);
+  EXPECT_NEAR(c.mean(), a.mean() + b.mean(), 1e-14);
+  EXPECT_NEAR(c.variance(), a.variance() + b.variance(), 1e-14);
+  // Support is the Minkowski sum.
+  EXPECT_DOUBLE_EQ(c.min(), -1.0);
+  EXPECT_DOUBLE_EQ(c.max(), 3.0);
+}
+
+TEST(DiscreteDistributionTest, ConvolutionMergesCollidingSums) {
+  const DiscreteDistribution a({0.0, 1.0}, {0.5, 0.5});
+  const DiscreteDistribution c = a.convolve(a);
+  // Sums: 0, 1, 1, 2 -> three atoms with probs 0.25, 0.5, 0.25.
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.probabilities()[1], 0.5);
+}
+
+TEST(DiscreteDistributionTest, AffineTransform) {
+  const DiscreteDistribution d({1.0, 2.0}, {0.5, 0.5});
+  const DiscreteDistribution t = d.affine(2.0, -1.0);
+  EXPECT_DOUBLE_EQ(t.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.values()[1], 3.0);
+  EXPECT_NEAR(t.mean(), 2.0 * d.mean() - 1.0, 1e-14);
+  EXPECT_NEAR(t.variance(), 4.0 * d.variance(), 1e-14);
+}
+
+TEST(DiscreteDistributionTest, RejectsBadInput) {
+  EXPECT_THROW(DiscreteDistribution({}, {}), PreconditionError);
+  EXPECT_THROW(DiscreteDistribution({1.0}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(DiscreteDistribution({1.0}, {-1.0}), PreconditionError);
+  EXPECT_THROW(DiscreteDistribution({1.0, 2.0}, {0.0, 0.0}),
+               PreconditionError);
+}
+
+TEST(QuantizeTest, RoundsToNearestGridPoint) {
+  const DiscreteDistribution d({0.04, 0.11, -0.06}, {0.3, 0.3, 0.4});
+  const GridNoise g = quantize_to_grid(d, 0.1);
+  // 0.04 -> 0, 0.11 -> 1, -0.06 -> -1.
+  ASSERT_EQ(g.offsets.size(), 3u);
+  EXPECT_EQ(g.offsets[0], -1);
+  EXPECT_EQ(g.offsets[1], 0);
+  EXPECT_EQ(g.offsets[2], 1);
+  EXPECT_DOUBLE_EQ(g.probabilities[0], 0.4);
+  EXPECT_DOUBLE_EQ(g.probabilities[1], 0.3);
+  EXPECT_DOUBLE_EQ(g.probabilities[2], 0.3);
+}
+
+TEST(QuantizeTest, MergesCollidingAtomsAndPreservesMass) {
+  const DiscreteDistribution d({0.01, 0.02, 0.98}, {0.4, 0.4, 0.2});
+  const GridNoise g = quantize_to_grid(d, 1.0);
+  ASSERT_EQ(g.offsets.size(), 2u);
+  EXPECT_EQ(g.offsets[0], 0);
+  EXPECT_EQ(g.offsets[1], 1);
+  EXPECT_DOUBLE_EQ(g.probabilities[0], 0.8);
+  EXPECT_DOUBLE_EQ(g.probabilities[1], 0.2);
+  double total = 0.0;
+  for (const double p : g.probabilities) total += p;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(QuantizeTest, RejectsBadStep) {
+  const DiscreteDistribution d = DiscreteDistribution::point(0.0);
+  EXPECT_THROW(quantize_to_grid(d, 0.0), PreconditionError);
+  EXPECT_THROW(quantize_to_grid(d, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::noise

@@ -1,0 +1,217 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "kronecker/kron.hpp"
+#include "pdd/manager.hpp"
+#include "pdd/matrix.hpp"
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::pdd {
+namespace {
+
+TEST(AddManagerTest, TerminalsAreHashConsed) {
+  AddManager manager(3);
+  EXPECT_EQ(manager.constant(0.5), manager.constant(0.5));
+  EXPECT_NE(manager.constant(0.5), manager.constant(0.25));
+  EXPECT_EQ(manager.constant(0.0), manager.zero());
+  EXPECT_TRUE(manager.is_terminal(manager.zero()));
+  EXPECT_DOUBLE_EQ(manager.terminal_value(manager.constant(0.5)), 0.5);
+}
+
+TEST(AddManagerTest, ReductionCollapsesEqualChildren) {
+  AddManager manager(2);
+  const NodeRef half = manager.constant(0.5);
+  EXPECT_EQ(manager.make_node(0, half, half), half);
+  const NodeRef one = manager.constant(1.0);
+  const NodeRef node = manager.make_node(0, half, one);
+  EXPECT_FALSE(manager.is_terminal(node));
+  // Hash-consing: same triple gives the same node.
+  EXPECT_EQ(manager.make_node(0, half, one), node);
+}
+
+TEST(AddManagerTest, OrderingViolationRejected) {
+  AddManager manager(3);
+  const NodeRef inner =
+      manager.make_node(1, manager.constant(1.0), manager.constant(2.0));
+  // A node testing variable 2 cannot have a child that tests variable 1.
+  EXPECT_THROW((void)manager.make_node(2, inner, manager.zero()),
+               PreconditionError);
+}
+
+TEST(AddManagerTest, VectorRoundTrip) {
+  AddManager manager(3);
+  const std::vector<double> values{1.0, 0.0, 2.0, 2.0, 1.0, 0.0, 2.0, 2.0};
+  const NodeRef node = manager.from_vector(values);
+  EXPECT_EQ(manager.to_vector(node), values);
+  // Repeated halves share structure: the DAG is much smaller than 8 leaves.
+  EXPECT_LE(manager.dag_size(node), 6u);
+}
+
+TEST(AddManagerTest, EvaluateUsesMsbFirstIndexing) {
+  AddManager manager(2);
+  // f = [10, 20, 30, 40]: index 2 = binary 10 -> var0=1, var1=0 -> 30.
+  const NodeRef node =
+      manager.from_vector(std::vector<double>{10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(manager.evaluate(node, 2), 30.0);
+  EXPECT_DOUBLE_EQ(manager.evaluate(node, 1), 20.0);
+  EXPECT_THROW((void)manager.evaluate(node, 4), PreconditionError);
+}
+
+TEST(AddManagerTest, PointwiseAlgebraMatchesDense) {
+  AddManager manager(4);
+  Rng rng(71);
+  std::vector<double> a(16), b(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = rng.below(4) == 0 ? 0.0 : rng.uniform(-2, 2);
+    b[i] = rng.below(4) == 0 ? 0.0 : rng.uniform(-2, 2);
+  }
+  const NodeRef na = manager.from_vector(a);
+  const NodeRef nb = manager.from_vector(b);
+  const auto sum = manager.to_vector(manager.plus(na, nb));
+  const auto prod = manager.to_vector(manager.times(na, nb));
+  const auto mx = manager.to_vector(manager.max(na, nb));
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(sum[i], a[i] + b[i], 1e-15);
+    EXPECT_NEAR(prod[i], a[i] * b[i], 1e-15);
+    EXPECT_NEAR(mx[i], std::max(a[i], b[i]), 1e-15);
+  }
+}
+
+TEST(AddManagerTest, AlgebraicShortCircuits) {
+  AddManager manager(2);
+  const NodeRef f =
+      manager.from_vector(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(manager.times(f, manager.zero()), manager.zero());
+  EXPECT_EQ(manager.plus(f, manager.zero()), f);
+  EXPECT_EQ(manager.plus(manager.zero(), f), f);
+}
+
+TEST(AddManagerTest, SumOutMatchesDenseMarginal) {
+  AddManager manager(3);
+  Rng rng(5);
+  std::vector<double> values(8);
+  for (double& v : values) v = rng.uniform(0, 1);
+  const NodeRef node = manager.from_vector(values);
+  // Sum out the middle variable (var 1): g(v0, v2) = f(v0,0,v2)+f(v0,1,v2).
+  const NodeRef summed =
+      manager.sum_out(node, std::vector<bool>{false, true, false});
+  for (const std::uint64_t v0 : {0ull, 1ull}) {
+    for (const std::uint64_t v2 : {0ull, 1ull}) {
+      const double expected =
+          values[(v0 << 2) | v2] + values[(v0 << 2) | 2ull | v2];
+      EXPECT_NEAR(manager.evaluate(summed, (v0 << 2) | v2), expected, 1e-15);
+    }
+  }
+}
+
+TEST(AddManagerTest, SumOutDoublesSkippedVariables) {
+  AddManager manager(2);
+  // The constant function 3 summed over both variables is 12.
+  const NodeRef c = manager.constant(3.0);
+  const NodeRef summed = manager.sum_out(c, std::vector<bool>{true, true});
+  EXPECT_DOUBLE_EQ(manager.evaluate(summed, 0), 12.0);
+}
+
+TEST(AddMatrixTest, FromCsrAndAt) {
+  AddManager manager(4);  // k = 2
+  sparse::CooBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(1, 2, 2.5);
+  b.add(2, 1, -3.0);
+  const AddMatrix m = AddMatrix::from_csr(manager, b.to_csr());
+  EXPECT_EQ(m.dimension(), 4u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 2.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), -3.0);
+  EXPECT_DOUBLE_EQ(m.at(3, 3), 0.0);  // zero padding
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(AddMatrixTest, ToCsrRoundTrip) {
+  AddManager manager(6);  // k = 3
+  const sparse::CsrMatrix original = test::random_sparse_stochastic_pt(7, 2, 4);
+  const AddMatrix m = AddMatrix::from_csr(manager, original);
+  EXPECT_TRUE(m.to_csr(7, 7).equals(original));
+}
+
+class AddMatrixMultiplyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AddMatrixMultiplyTest, MatchesCsrMultiply) {
+  const std::size_t n = GetParam();
+  std::size_t k = 0;
+  while ((1ull << k) < n) ++k;
+  AddManager manager(2 * std::max<std::size_t>(k, 1));
+
+  const sparse::CsrMatrix csr = test::random_sparse_stochastic_pt(n, 3, n);
+  const AddMatrix m = AddMatrix::from_csr(manager, csr);
+
+  Rng rng(n);
+  std::vector<double> x(m.dimension(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rng.uniform(-1, 1);
+
+  const auto y_add = m.multiply(x);
+  std::vector<double> y_csr(n);
+  csr.multiply(std::span<const double>(x.data(), n), y_csr);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y_add[i], y_csr[i], 1e-12);
+  // Padding rows stay zero.
+  for (std::size_t i = n; i < m.dimension(); ++i) {
+    EXPECT_DOUBLE_EQ(y_add[i], 0.0);
+  }
+
+  const auto yt_add = m.multiply_transpose(x);
+  std::vector<double> yt_csr(n);
+  csr.multiply_transpose(std::span<const double>(x.data(), n), yt_csr);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(yt_add[i], yt_csr[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AddMatrixMultiplyTest,
+                         ::testing::Values(2, 3, 8, 13, 16, 37, 64));
+
+TEST(AddMatrixTest, BlockStructureCompresses) {
+  // I_16 (x) B has 16 identical blocks: the interleaved ADD shares them,
+  // so its DAG is dramatically smaller than the entry count.
+  AddManager manager(12);  // k = 6 -> dimension 64
+  const sparse::CsrMatrix block = test::random_dense_stochastic_pt(4, 9);
+  const sparse::CsrMatrix big =
+      kron::kronecker_product(sparse::CsrMatrix::identity(16), block);
+  const AddMatrix m = AddMatrix::from_csr(manager, big);
+  EXPECT_EQ(big.nnz(), 256u);
+  // The DAG needs the identity skeleton (log 16 levels) + one shared block.
+  EXPECT_LT(m.dag_size(), 64u);
+  // And it still multiplies correctly.
+  Rng rng(2);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.uniform(0, 1);
+  const auto y_add = m.multiply(x);
+  std::vector<double> y_csr(64);
+  big.multiply(x, y_csr);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(y_add[i], y_csr[i], 1e-12);
+}
+
+TEST(AddMatrixTest, ManagerMismatchRejected) {
+  AddManager manager(4);
+  sparse::CooBuilder b(9, 9);  // needs k = 4 -> 8 vars
+  b.add(0, 0, 1.0);
+  EXPECT_THROW((void)AddMatrix::from_csr(manager, b.to_csr()), PreconditionError);
+}
+
+TEST(AddMatrixTest, ClearApplyCacheKeepsResultsValid) {
+  AddManager manager(4);
+  const sparse::CsrMatrix csr = test::random_dense_stochastic_pt(4, 11);
+  const AddMatrix m = AddMatrix::from_csr(manager, csr);
+  std::vector<double> x{0.25, 0.25, 0.25, 0.25};
+  const auto y1 = m.multiply(x);
+  manager.clear_apply_cache();
+  const auto y2 = m.multiply(x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+}  // namespace
+}  // namespace stocdr::pdd

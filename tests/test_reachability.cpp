@@ -1,0 +1,108 @@
+#include "markov/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "sparse/coo.hpp"
+
+namespace stocdr::markov {
+namespace {
+
+/// Chain: 0 -> 1 -> 2 (absorbing), 3 -> 3 isolated.
+MarkovChain transient_chain() {
+  sparse::CooBuilder b(4, 4);
+  b.add(1, 0, 1.0);  // 0 -> 1
+  b.add(2, 1, 1.0);  // 1 -> 2
+  b.add(2, 2, 1.0);  // 2 -> 2
+  b.add(3, 3, 1.0);  // 3 -> 3
+  return MarkovChain(b.to_csr());
+}
+
+TEST(ReachabilityTest, ForwardReachableSet) {
+  const MarkovChain chain = transient_chain();
+  const auto mask = reachable_from(chain, {0});
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_FALSE(mask[3]);
+}
+
+TEST(ReachabilityTest, MultipleSeeds) {
+  const MarkovChain chain = transient_chain();
+  const auto mask = reachable_from(chain, {2, 3});
+  EXPECT_FALSE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+}
+
+TEST(SccTest, TransientChainDecomposition) {
+  const MarkovChain chain = transient_chain();
+  std::size_t count = 0;
+  const auto comp = strongly_connected_components(chain, count);
+  EXPECT_EQ(count, 4u);  // each state its own SCC
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  sparse::CooBuilder b(3, 3);
+  b.add(1, 0, 1.0);
+  b.add(2, 1, 1.0);
+  b.add(0, 2, 1.0);
+  const MarkovChain chain(b.to_csr());
+  std::size_t count = 0;
+  const auto comp = strongly_connected_components(chain, count);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+}
+
+TEST(SccTest, TwoCyclesBridged) {
+  // Cycle {0,1} -> bridge -> cycle {2,3}: two SCCs.
+  sparse::CooBuilder b(4, 4);
+  b.add(1, 0, 0.5);
+  b.add(0, 1, 1.0);
+  b.add(2, 0, 0.5);  // bridge 0 -> 2
+  b.add(3, 2, 1.0);
+  b.add(2, 3, 1.0);
+  const MarkovChain chain(b.to_csr());
+  std::size_t count = 0;
+  const auto comp = strongly_connected_components(chain, count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(SccTest, IrreducibilityOfRandomChains) {
+  EXPECT_TRUE(
+      is_irreducible(MarkovChain(test::random_dense_stochastic_pt(20, 5))));
+  EXPECT_TRUE(is_irreducible(
+      MarkovChain(test::random_sparse_stochastic_pt(100, 3, 7))));
+  EXPECT_FALSE(is_irreducible(transient_chain()));
+}
+
+TEST(RestrictTest, DropsCrossTransitions) {
+  const MarkovChain chain = transient_chain();
+  const std::vector<bool> keep{true, true, false, false};
+  const RestrictedChain r = restrict_chain(chain, keep);
+  EXPECT_EQ(r.to_parent.size(), 2u);
+  EXPECT_EQ(r.to_parent[0], 0u);
+  EXPECT_EQ(r.to_parent[1], 1u);
+  EXPECT_EQ(r.to_child[2], -1);
+  // 0 -> 1 kept; 1 -> 2 dropped (leak).
+  EXPECT_DOUBLE_EQ(r.qt.at(1, 0), 1.0);
+  const auto sums = r.qt.col_sums();
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);  // state 1 leaks everything
+}
+
+TEST(RestrictTest, FullMaskIsIdentityRestriction) {
+  const MarkovChain chain(test::birth_death_pt(6, 0.3, 0.2));
+  const RestrictedChain r =
+      restrict_chain(chain, std::vector<bool>(6, true));
+  EXPECT_TRUE(r.qt.equals(chain.pt()));
+}
+
+}  // namespace
+}  // namespace stocdr::markov

@@ -1,0 +1,86 @@
+#include "sim/confidence.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace stocdr::sim {
+namespace {
+
+TEST(WilsonTest, PointEstimate) {
+  const Proportion p = wilson_interval(30, 100);
+  EXPECT_DOUBLE_EQ(p.estimate, 0.3);
+  EXPECT_LT(p.lower, 0.3);
+  EXPECT_GT(p.upper, 0.3);
+  EXPECT_GT(p.lower, 0.2);
+  EXPECT_LT(p.upper, 0.42);
+}
+
+TEST(WilsonTest, ZeroSuccessesHasInformativeUpperBound) {
+  // The key property for rare-event simulation: zero observed events still
+  // yields a nonzero upper bound ~ z^2 / n.
+  const Proportion p = wilson_interval(0, 1000000);
+  EXPECT_DOUBLE_EQ(p.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(p.lower, 0.0);
+  EXPECT_GT(p.upper, 1e-7);
+  EXPECT_LT(p.upper, 1e-5);
+}
+
+TEST(WilsonTest, AllSuccesses) {
+  const Proportion p = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(p.estimate, 1.0);
+  EXPECT_DOUBLE_EQ(p.upper, 1.0);
+  EXPECT_LT(p.lower, 1.0);
+  EXPECT_GT(p.lower, 0.9);
+}
+
+TEST(WilsonTest, IntervalShrinksWithTrials) {
+  const Proportion small = wilson_interval(10, 100);
+  const Proportion large = wilson_interval(1000, 10000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(WilsonTest, HigherZWidensInterval) {
+  const Proportion z95 = wilson_interval(20, 200, 1.96);
+  const Proportion z99 = wilson_interval(20, 200, 2.576);
+  EXPECT_LT(z95.upper - z95.lower, z99.upper - z99.lower);
+}
+
+TEST(WilsonTest, EmpiricalCoverage) {
+  // The 95% interval should cover the true p in ~95% of repeated
+  // experiments (binomial sampling with fixed seed).
+  Rng rng(2025);
+  const double p_true = 0.05;
+  const int trials = 500, n = 400;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t hits = 0;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(p_true) ? 1 : 0;
+    const Proportion ci = wilson_interval(hits, n);
+    if (ci.lower <= p_true && p_true <= ci.upper) ++covered;
+  }
+  EXPECT_GT(covered, trials * 0.92);
+  EXPECT_LT(covered, trials * 0.99);
+}
+
+TEST(WilsonTest, ValidatesInput) {
+  EXPECT_THROW((void)wilson_interval(1, 0), PreconditionError);
+  EXPECT_THROW((void)wilson_interval(5, 3), PreconditionError);
+  EXPECT_THROW((void)wilson_interval(1, 10, 0.0), PreconditionError);
+}
+
+TEST(RequiredTrialsTest, InverseInP) {
+  // To see a 1e-12 event with 10% relative error: ~1e14 trials — the
+  // paper's infeasibility argument in one number.
+  EXPECT_NEAR(required_trials(1e-12, 0.1), 1e14, 1e12);
+  EXPECT_NEAR(required_trials(0.5, 0.1), 100.0, 1.0);
+  EXPECT_GT(required_trials(1e-6, 0.01), required_trials(1e-6, 0.1));
+  EXPECT_THROW((void)required_trials(0.0, 0.1), PreconditionError);
+  EXPECT_THROW((void)required_trials(0.5, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::sim

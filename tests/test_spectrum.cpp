@@ -1,0 +1,69 @@
+#include "analysis/spectrum.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::analysis {
+namespace {
+
+TEST(SpectrumTest, WhiteNoiseIsFlat) {
+  const std::vector<double> c{1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> freqs{0.0, 0.1, 0.25, 0.5};
+  const auto psd = power_spectral_density(c, freqs);
+  for (const double s : psd) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(SpectrumTest, Ar1LowPassShape) {
+  // C(k) = lambda^k gives a Lorentzian-like monotone-decreasing PSD.
+  std::vector<double> c(60);
+  for (std::size_t k = 0; k < 60; ++k) c[k] = std::pow(0.8, k);
+  const auto freqs = linspace(0.0, 0.5, 21);
+  const auto psd =
+      power_spectral_density(c, freqs, SpectralWindow::kRectangular);
+  for (std::size_t i = 1; i < psd.size(); ++i) {
+    EXPECT_LT(psd[i], psd[i - 1]) << i;
+  }
+  // Closed form at f=0 (rectangular, long window):
+  // S(0) = 1 + 2 * sum lambda^k ~ (1+l)/(1-l) = 9.
+  EXPECT_NEAR(psd.front(), 9.0, 0.01);
+}
+
+TEST(SpectrumTest, AlternatingCovarianceIsHighPass) {
+  std::vector<double> c(40);
+  for (std::size_t k = 0; k < 40; ++k) {
+    c[k] = std::pow(-0.7, static_cast<double>(k));
+  }
+  const std::vector<double> freqs{0.0, 0.5};
+  const auto psd = power_spectral_density(c, freqs);
+  EXPECT_LT(psd[0], psd[1]);
+}
+
+TEST(SpectrumTest, BartlettEstimateNonNegative) {
+  // Even with a truncated oscillatory covariance, the Bartlett window
+  // guarantees a nonnegative estimate.
+  std::vector<double> c(16);
+  for (std::size_t k = 0; k < 16; ++k) {
+    c[k] = std::cos(0.9 * static_cast<double>(k));
+  }
+  const auto freqs = linspace(0.0, 0.5, 64);
+  const auto psd = power_spectral_density(c, freqs, SpectralWindow::kBartlett);
+  for (const double s : psd) EXPECT_GE(s, -1e-12);
+}
+
+TEST(SpectrumTest, ValidatesInput) {
+  EXPECT_THROW(power_spectral_density({}, std::vector<double>{0.1}),
+               PreconditionError);
+  const std::vector<double> c{1.0};
+  EXPECT_THROW(power_spectral_density(c, std::vector<double>{0.6}),
+               PreconditionError);
+  EXPECT_THROW(power_spectral_density(c, std::vector<double>{-0.1}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace stocdr::analysis

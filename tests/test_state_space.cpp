@@ -1,0 +1,69 @@
+#include "markov/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace stocdr::markov {
+namespace {
+
+StateSpace make_space() {
+  return StateSpace({{"a", 3}, {"b", 4}, {"c", 2}});
+}
+
+TEST(StateSpaceTest, SizeIsProduct) {
+  EXPECT_EQ(make_space().size(), 24u);
+  EXPECT_EQ(make_space().rank(), 3u);
+}
+
+TEST(StateSpaceTest, EncodeDecodeRoundTrip) {
+  const StateSpace space = make_space();
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.encode(space.decode(i)), i);
+  }
+}
+
+TEST(StateSpaceTest, LastDimensionFastest) {
+  const StateSpace space = make_space();
+  EXPECT_EQ(space.encode({0, 0, 0}), 0u);
+  EXPECT_EQ(space.encode({0, 0, 1}), 1u);
+  EXPECT_EQ(space.encode({0, 1, 0}), 2u);
+  EXPECT_EQ(space.encode({1, 0, 0}), 8u);
+}
+
+TEST(StateSpaceTest, CoordinateExtraction) {
+  const StateSpace space = make_space();
+  const std::uint64_t idx = space.encode({2, 3, 1});
+  EXPECT_EQ(space.coordinate(idx, 0), 2u);
+  EXPECT_EQ(space.coordinate(idx, 1), 3u);
+  EXPECT_EQ(space.coordinate(idx, 2), 1u);
+}
+
+TEST(StateSpaceTest, DimensionIndexByName) {
+  const StateSpace space = make_space();
+  EXPECT_EQ(space.dimension_index("b"), 1u);
+  EXPECT_THROW((void)space.dimension_index("z"), PreconditionError);
+}
+
+TEST(StateSpaceTest, Describe) {
+  const StateSpace space = make_space();
+  EXPECT_EQ(space.describe(space.encode({1, 2, 0})), "a=1 b=2 c=0");
+}
+
+TEST(StateSpaceTest, RejectsBadInput) {
+  EXPECT_THROW(StateSpace({}), PreconditionError);
+  EXPECT_THROW(StateSpace({{"a", 0}}), PreconditionError);
+  const StateSpace space = make_space();
+  EXPECT_THROW((void)space.encode({3, 0, 0}), PreconditionError);
+  EXPECT_THROW((void)space.encode({0, 0}), PreconditionError);
+  EXPECT_THROW(space.decode(24), PreconditionError);
+}
+
+TEST(StateSpaceTest, SingleDimension) {
+  const StateSpace space({{"only", 5}});
+  EXPECT_EQ(space.size(), 5u);
+  EXPECT_EQ(space.encode({3}), 3u);
+}
+
+}  // namespace
+}  // namespace stocdr::markov

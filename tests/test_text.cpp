@@ -1,0 +1,72 @@
+#include "support/text.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace stocdr {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // All data rows end aligned: each line containing 'a' pads to same width.
+  EXPECT_NE(out.find("a            1"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"x"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TextTableTest, RejectsOverlongRows) {
+  TextTable table({"a"});
+  EXPECT_THROW(table.add_row({"1", "2"}), PreconditionError);
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(AsciiDensityPlotTest, RendersPeak) {
+  std::vector<double> x(100), d(100, 0.0);
+  for (std::size_t i = 0; i < 100; ++i) x[i] = static_cast<double>(i);
+  d[50] = 1.0;
+  const std::string plot = ascii_density_plot(x, d, 50, 8);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find("peak"), std::string::npos);
+  // Axis labels include the range endpoints.
+  EXPECT_NE(plot.find('0'), std::string::npos);
+  EXPECT_NE(plot.find("99"), std::string::npos);
+}
+
+TEST(AsciiDensityPlotTest, HandlesZeroDensity) {
+  std::vector<double> x{0.0, 1.0};
+  std::vector<double> d{0.0, 0.0};
+  EXPECT_NE(ascii_density_plot(x, d).find("zero"), std::string::npos);
+}
+
+TEST(AsciiDensityPlotTest, RejectsBadInput) {
+  std::vector<double> x{0.0, 1.0};
+  std::vector<double> d{0.0};
+  EXPECT_THROW(ascii_density_plot(x, d), PreconditionError);
+  std::vector<double> d2{0.0, 1.0};
+  EXPECT_THROW(ascii_density_plot(x, d2, 4, 2), PreconditionError);
+}
+
+TEST(FormatTest, SciAndFixed) {
+  EXPECT_EQ(sci(0.00123, 2), "1.23e-03");
+  EXPECT_EQ(sci(1.6e-9, 1), "1.6e-09");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace stocdr

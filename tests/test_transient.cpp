@@ -1,0 +1,106 @@
+#include "analysis/transient.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tests/test_util.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/gth.hpp"
+#include "support/math.hpp"
+
+namespace stocdr::analysis {
+namespace {
+
+using markov::MarkovChain;
+
+TEST(EvolveTest, ConservesProbabilityMass) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(12, 9));
+  std::vector<double> x(12, 0.0);
+  x[3] = 1.0;
+  const auto y = evolve(chain, x, 25);
+  EXPECT_NEAR(kahan_sum(y), 1.0, 1e-12);
+  for (const double v : y) EXPECT_GE(v, 0.0);
+}
+
+TEST(EvolveTest, ZeroStepsIsIdentity) {
+  const MarkovChain chain(test::birth_death_pt(5, 0.3, 0.2));
+  std::vector<double> x{0.2, 0.2, 0.2, 0.2, 0.2};
+  EXPECT_EQ(evolve(chain, x, 0), x);
+}
+
+TEST(EvolveTest, ConvergesToStationary) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(10, 11));
+  const auto eta = sparse::gth_stationary_transposed(chain.pt());
+  std::vector<double> x(10, 0.0);
+  x[0] = 1.0;
+  const auto y = evolve(chain, x, 200);
+  EXPECT_LT(test::l1(y, eta), 1e-10);
+}
+
+TEST(ConvergenceProfileTest, MonotoneForExactReference) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(8, 21));
+  const auto eta = sparse::gth_stationary_transposed(chain.pt());
+  std::vector<double> x(8, 0.0);
+  x[7] = 1.0;
+  const auto profile = convergence_profile(chain, x, eta, 50);
+  ASSERT_EQ(profile.size(), 50u);
+  for (std::size_t k = 1; k < profile.size(); ++k) {
+    EXPECT_LE(profile[k], profile[k - 1] + 1e-14) << k;
+  }
+  EXPECT_LT(profile.back(), 1e-8);
+}
+
+TEST(ExpectationTrajectoryTest, TracksMeanPosition) {
+  // Biased walk starting at the bottom: the mean position rises toward the
+  // stationary mean.
+  const std::size_t n = 20;
+  const MarkovChain chain(test::birth_death_pt(n, 0.4, 0.2));
+  std::vector<double> x(n, 0.0);
+  x[0] = 1.0;
+  std::vector<double> f(n);
+  for (std::size_t i = 0; i < n; ++i) f[i] = static_cast<double>(i);
+  const auto traj = expectation_trajectory(chain, x, f, 100);
+  ASSERT_EQ(traj.size(), 101u);
+  EXPECT_DOUBLE_EQ(traj[0], 0.0);
+  EXPECT_GT(traj[10], traj[0]);
+  EXPECT_GT(traj[100], traj[10]);
+  // Stationary mean of the geometric distribution with ratio 2 on 20 states
+  // is close to n-2 (top-heavy).
+  EXPECT_GT(traj[100], 15.0);
+}
+
+TEST(MixingStepsTest, FindsThresholdCrossing) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(6, 2));
+  const auto eta = sparse::gth_stationary_transposed(chain.pt());
+  std::vector<double> x(6, 0.0);
+  x[0] = 1.0;
+  const std::size_t k = mixing_steps(chain, x, eta, 1e-6, 1000);
+  EXPECT_GT(k, 0u);
+  EXPECT_LT(k, 1000u);
+  // Verify: evolving k steps is inside, k-1 steps outside the threshold.
+  EXPECT_LE(test::l1(evolve(chain, x, k), eta), 1e-6);
+  if (k > 1) {
+    EXPECT_GT(test::l1(evolve(chain, x, k - 1), eta), 1e-6);
+  }
+}
+
+TEST(MixingStepsTest, ImmediateWhenAlreadyMixed) {
+  const MarkovChain chain(test::random_dense_stochastic_pt(6, 2));
+  const auto eta = sparse::gth_stationary_transposed(chain.pt());
+  EXPECT_EQ(mixing_steps(chain, eta, eta, 1e-9, 10), 0u);
+}
+
+TEST(MixingStepsTest, ReportsFailureAsMaxPlusOne) {
+  // Periodic 2-cycle never mixes from a point mass.
+  sparse::CooBuilder b(2, 2);
+  b.add(1, 0, 1.0);
+  b.add(0, 1, 1.0);
+  const MarkovChain chain(b.to_csr());
+  std::vector<double> x{1.0, 0.0};
+  const std::vector<double> eta{0.5, 0.5};
+  EXPECT_EQ(mixing_steps(chain, x, eta, 1e-3, 50), 51u);
+}
+
+}  // namespace
+}  // namespace stocdr::analysis
