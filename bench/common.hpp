@@ -8,12 +8,17 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cdr/config.hpp"
 #include "cdr/measures.hpp"
 #include "cdr/model.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solvers/aggregation.hpp"
 #include "support/text.hpp"
 #include "support/timer.hpp"
@@ -68,23 +73,113 @@ struct SolvedCase {
 
   /// The paper's annotation line above each plot:
   /// "COUNTER: 8  STDnw: 1.2e-02  MAXnr: ...  BER: ...".
-  void print_header_line() const {
-    std::printf("%s  BER: %s\n", config.summary().c_str(),
-                sci(ber, 2).c_str());
+  [[nodiscard]] std::string header_line() const {
+    return config.summary() + "  BER: " + sci(ber, 2);
   }
 
   /// The paper's annotation line below each plot:
   /// "Size: ...  Iter: ...  Matrixformtime: ...  Solvetime: ...".
+  [[nodiscard]] std::string footer_line() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "Size: %zu  Iter: %zu  Matrixformtime: %.2f mins  "
+                  "Solvetime: %.2f mins  (residual %s, %s)",
+                  chain.num_states(), stationary.stats.iterations,
+                  chain.form_seconds() / 60.0,
+                  stationary.stats.seconds / 60.0,
+                  sci(stationary.stats.residual, 1).c_str(),
+                  stationary.stats.converged ? "converged" : "NOT CONVERGED");
+    return buf;
+  }
+
+  void print_header_line() const {
+    std::printf("%s\n", header_line().c_str());
+  }
   void print_footer_line() const {
-    std::printf(
-        "Size: %zu  Iter: %zu  Matrixformtime: %.2f mins  Solvetime: %.2f "
-        "mins  (residual %s, %s)\n",
-        chain.num_states(), stationary.stats.iterations,
-        chain.form_seconds() / 60.0, stationary.stats.seconds / 60.0,
-        sci(stationary.stats.residual, 1).c_str(),
-        stationary.stats.converged ? "converged" : "NOT CONVERGED");
+    std::printf("%s\n", footer_line().c_str());
+  }
+
+  /// Serializes the case — configuration, problem sizes, solver telemetry
+  /// including the (capped) residual trajectory, and timings — as one JSON
+  /// object.  This is the machine-readable twin of the annotation lines.
+  [[nodiscard]] std::string to_json(const std::string& name) const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("name", name);
+    w.key("config");
+    w.begin_object();
+    w.field("phase_points", std::uint64_t{config.phase_points});
+    w.field("vco_phases", std::uint64_t{config.vco_phases});
+    w.field("counter_length", std::uint64_t{config.counter_length});
+    w.field("transition_density", config.transition_density);
+    w.field("max_run_length", std::uint64_t{config.max_run_length});
+    w.field("sigma_nw", config.sigma_nw);
+    w.field("nr_mean", config.nr_mean);
+    w.field("nr_max", config.nr_max);
+    w.field("summary", config.summary());
+    w.end_object();
+    w.field("states", std::uint64_t{chain.num_states()});
+    w.field("transitions",
+            std::uint64_t{chain.chain().num_transitions()});
+    w.field("ber", ber);
+    w.field("matrix_form_seconds", chain.form_seconds());
+    const solvers::SolverStats& stats = stationary.stats;
+    w.key("solve");
+    w.begin_object();
+    w.field("method", stats.method);
+    w.field("iterations", std::uint64_t{stats.iterations});
+    w.field("matvecs", std::uint64_t{stats.matvec_count});
+    w.field("seconds", stats.seconds);
+    w.field("residual", stats.residual);
+    w.field("converged", stats.converged);
+    w.key("residual_history");
+    w.begin_array();
+    for (const double r : stats.residual_history) w.value(r);
+    w.end_array();
+    w.end_object();
+    w.field("peak_rss_bytes", obs::peak_rss_bytes());
+    w.end_object();
+    return std::move(w).str();
+  }
+
+  /// Drops a `BENCH_<name>.json` artifact in the working directory.
+  /// Returns false (with a note on stderr) if the file cannot be written.
+  bool write_bench_json(const std::string& name) const {
+    const std::string path = "BENCH_" + name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = to_json(name);
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
   }
 };
+
+/// True when bench binaries should drop BENCH_<name>.json artifacts
+/// (STOCDR_BENCH_JSON set to anything but "" or "0").
+inline bool bench_json_enabled() {
+  const char* v = std::getenv("STOCDR_BENCH_JSON");
+  return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+}
+
+/// The one per-case report path shared by all bench binaries: the paper's
+/// annotation lines (optionally wrapped around the density plots), plus the
+/// BENCH_<name>.json artifact when STOCDR_BENCH_JSON is set.  Emits a
+/// "bench.report" span so traced runs show reporting next to solve spans.
+void print_density_plots(const SolvedCase& solved);
+inline void report_case(const std::string& name, const SolvedCase& solved,
+                        bool with_densities = false) {
+  obs::Span span("bench.report");
+  if (span.active()) span.attr("case", std::string_view(name));
+  solved.print_header_line();
+  if (with_densities) print_density_plots(solved);
+  solved.print_footer_line();
+  if (bench_json_enabled()) solved.write_bench_json(name);
+}
 
 /// Prints the two stationary densities the paper plots in Figures 4/5:
 /// the phase error Phi and the phase-detector input Phi + n_w.

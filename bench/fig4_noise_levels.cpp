@@ -17,15 +17,11 @@ int main() {
 
   std::printf("\n--- top plot: baseline noise ---\n");
   const bench::SolvedCase low(bench::paper_baseline());
-  low.print_header_line();
-  bench::print_density_plots(low);
-  low.print_footer_line();
+  bench::report_case("fig4_baseline", low, /*with_densities=*/true);
 
   std::printf("\n--- bottom plot: STDnw x 10 ---\n");
   const bench::SolvedCase high(bench::paper_high_noise());
-  high.print_header_line();
-  bench::print_density_plots(high);
-  high.print_footer_line();
+  bench::report_case("fig4_high_noise", high, /*with_densities=*/true);
 
   std::printf(
       "\nBER ratio (high / low noise): %s\n",

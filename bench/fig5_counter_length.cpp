@@ -25,9 +25,8 @@ int main() {
   for (const std::size_t n : lengths) {
     std::printf("\n--- counter length %zu ---\n", n);
     const bench::SolvedCase solved(bench::paper_counter_sweep(n));
-    solved.print_header_line();
-    bench::print_density_plots(solved);
-    solved.print_footer_line();
+    bench::report_case("fig5_counter" + std::to_string(n), solved,
+                       /*with_densities=*/true);
     bers.push_back(solved.ber);
   }
 

@@ -14,20 +14,23 @@ int main() {
 
   struct Case {
     std::string name;
+    std::string slug;  // BENCH_<slug>.json artifact name
     cdr::CdrConfig config;
   };
   const std::vector<Case> cases = {
-      {"fig4-top (baseline)", bench::paper_baseline()},
-      {"fig4-bottom (10x nw)", bench::paper_high_noise()},
-      {"fig5 counter=2", bench::paper_counter_sweep(2)},
-      {"fig5 counter=8", bench::paper_counter_sweep(8)},
-      {"fig5 counter=32", bench::paper_counter_sweep(32)},
+      {"fig4-top (baseline)", "table_fig4_top", bench::paper_baseline()},
+      {"fig4-bottom (10x nw)", "table_fig4_bottom",
+       bench::paper_high_noise()},
+      {"fig5 counter=2", "table_fig5_c2", bench::paper_counter_sweep(2)},
+      {"fig5 counter=8", "table_fig5_c8", bench::paper_counter_sweep(8)},
+      {"fig5 counter=32", "table_fig5_c32", bench::paper_counter_sweep(32)},
   };
 
   TextTable table({"experiment", "states", "transitions", "MG cycles",
                    "matvecs", "form", "solve", "residual", "BER"});
   for (const Case& c : cases) {
     const bench::SolvedCase solved(c.config);
+    if (bench::bench_json_enabled()) solved.write_bench_json(c.slug);
     table.add_row({c.name, std::to_string(solved.chain.num_states()),
                    std::to_string(solved.chain.chain().num_transitions()),
                    std::to_string(solved.stationary.stats.iterations),

@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
 
@@ -112,6 +113,7 @@ std::vector<double> pd_input_density(const CdrModel& model,
 
 double bit_error_rate(const CdrModel& model, const CdrChain& chain,
                       std::span<const double> eta) {
+  obs::Span span("cdr.measure.ber");
   const std::map<double, double> mass = effective_phase_mass(chain, eta);
   const auto& cfg = model.config();
   double ber = 0.0;
@@ -179,6 +181,7 @@ SlipStats slip_stats(const CdrModel& model, const CdrChain& chain,
 SlipPassage mean_time_to_boundary(const CdrModel& model, const CdrChain& chain,
                                   std::span<const double> eta, double band_ui,
                                   const solvers::PassageOptions& options) {
+  obs::Span span("cdr.measure.time_to_boundary");
   STOCDR_REQUIRE(band_ui > 0.0 && band_ui < 0.5,
                  "mean_time_to_boundary: band must be in (0, 1/2) UI");
   STOCDR_REQUIRE(eta.size() == chain.num_states(),
@@ -223,6 +226,7 @@ SlipPassage mean_time_to_boundary(const CdrModel& model, const CdrChain& chain,
 LockTime mean_time_to_lock(const CdrModel& model, const CdrChain& chain,
                            double lock_band_ui,
                            const solvers::PassageOptions& options) {
+  obs::Span span("cdr.measure.time_to_lock");
   STOCDR_REQUIRE(lock_band_ui > 0.0 && lock_band_ui < 0.5,
                  "mean_time_to_lock: band must be in (0, 1/2) UI");
   const PhaseGrid& grid = model.grid();
@@ -265,6 +269,7 @@ LockTime mean_time_to_lock(const CdrModel& model, const CdrChain& chain,
 SlipDirection slip_direction_probability(
     const CdrModel& model, const CdrChain& chain, std::span<const double> eta,
     double band_ui, const solvers::PassageOptions& options) {
+  obs::Span span("cdr.measure.slip_direction");
   STOCDR_REQUIRE(band_ui > 0.0 && band_ui < 0.5,
                  "slip_direction_probability: band must be in (0, 1/2) UI");
   STOCDR_REQUIRE(eta.size() == chain.num_states(),

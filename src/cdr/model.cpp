@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "noise/jitter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
 #include "support/timer.hpp"
@@ -159,9 +161,20 @@ std::size_t CdrModel::nw_source_index() const {
 
 CdrChain CdrModel::build(const fsm::ComposeOptions& options) const {
   const Timer timer;
+  // The paper's "Matrixformtime": state/transition enumeration plus the
+  // phase annotation pass, each traced as its own sub-span.
+  obs::Span span("cdr.matrix_form");
+
+  obs::Span compose_span("cdr.compose");
   fsm::ComposedChain composed = network_.compose(options);
+  if (compose_span.active()) {
+    compose_span.attr("states", composed.num_states());
+    compose_span.attr("transitions", composed.chain().num_transitions());
+  }
+  compose_span.end();
   const double form_seconds = timer.seconds();
 
+  obs::Span annotate_span("cdr.annotate");
   const std::size_t n = composed.num_states();
   std::vector<std::uint32_t> phase_coord(n);
   std::vector<std::uint32_t> label(n);
@@ -183,6 +196,16 @@ CdrChain CdrModel::build(const fsm::ComposeOptions& options) const {
         key, static_cast<std::uint32_t>(label_ids.size()));
     label[i] = it->second;
   }
+  if (annotate_span.active()) annotate_span.attr("labels", label_ids.size());
+  annotate_span.end();
+
+  obs::MetricsRegistry::instance().gauge("cdr.reachable_states")
+      .set(static_cast<double>(n));
+  if (span.active()) {
+    span.attr("states", n);
+    span.attr("transitions", composed.chain().num_transitions());
+    span.attr("form_s", form_seconds);
+  }
   return CdrChain(std::move(composed), std::move(phase_coord),
                   std::move(label), std::move(effective_phase),
                   form_seconds);
@@ -190,6 +213,8 @@ CdrChain CdrModel::build(const fsm::ComposeOptions& options) const {
 
 solvers::StationaryResult solve_stationary(
     const CdrChain& chain, const solvers::MultilevelOptions& options) {
+  obs::Span span("cdr.solve_stationary");
+  if (span.active()) span.attr("states", chain.num_states());
   const auto hierarchy = chain.hierarchy(options.coarsest_size);
   return solvers::solve_stationary_multilevel(chain.chain(), hierarchy,
                                               options);

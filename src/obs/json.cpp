@@ -1,0 +1,115 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace stocdr::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    if (std::isnan(value)) return "\"nan\"";
+    return value > 0.0 ? "\"inf\"" : "\"-inf\"";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void JsonWriter::separate() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+}
+
+void JsonWriter::value(std::string_view v) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  out_ += json_number(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+}  // namespace stocdr::obs

@@ -1,0 +1,69 @@
+// Minimal JSON emission used by the observability sinks and the bench
+// artifact writer.  Only what the JSONL trace format and BENCH_<name>.json
+// need: objects, arrays, strings with correct escaping, numbers, booleans.
+// Not a parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace stocdr::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes are not
+/// added).  Handles quotes, backslashes, and control characters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON number.  Non-finite values (which JSON cannot
+/// represent) are rendered as strings: "inf", "-inf", "nan".
+[[nodiscard]] std::string json_number(double value);
+
+/// Incremental writer for a single JSON value tree.  Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.field("name", "solve");
+///   w.field("states", std::uint64_t{1024});
+///   w.key("history"); w.begin_array();
+///   w.value(1.0); w.value(0.5);
+///   w.end_array();
+///   w.end_object();
+///   std::string line = std::move(w).str();
+///
+/// Commas between siblings are inserted automatically.  The writer does not
+/// validate nesting beyond what is needed for comma placement.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; must be followed by exactly one value.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+
+  /// key() + value() in one call.
+  template <typename T>
+  void field(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+  [[nodiscard]] const std::string& str() const& { return out_; }
+
+ private:
+  void separate();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace stocdr::obs

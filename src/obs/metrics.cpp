@@ -1,0 +1,127 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace stocdr::obs {
+
+namespace {
+
+/// CAS-accumulate: applies `op` to the stored value until the update wins.
+template <typename Op>
+void atomic_update(std::atomic<double>& target, double v, Op op) {
+  double expected = target.load(std::memory_order_relaxed);
+  double desired = op(expected, v);
+  while (desired != expected &&
+         !target.compare_exchange_weak(expected, desired,
+                                       std::memory_order_relaxed)) {
+    desired = op(expected, v);
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_update(sum_, v, [](double a, double b) { return a + b; });
+  atomic_update(min_, v, [](double a, double b) { return std::min(a, b); });
+  atomic_update(max_, v, [](double a, double b) { return std::max(a, b); });
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// Lookup is a linear scan under the mutex: registration happens once per
+// call site (callers cache the reference) and registries stay small.
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) {
+    if (entry.name == name) return *entry.metric;
+  }
+  counters_.push_back({std::string(name), std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : gauges_) {
+    if (entry.name == name) return *entry.metric;
+  }
+  gauges_.push_back({std::string(name), std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : histograms_) {
+    if (entry.name == name) return *entry.metric;
+  }
+  histograms_.push_back({std::string(name), std::make_unique<Histogram>()});
+  return *histograms_.back().metric;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& entry : counters_) {
+      out.push_back({entry.name, MetricSample::Kind::kCounter,
+                     static_cast<double>(entry.metric->value()), 0, 0.0, 0.0});
+    }
+    for (const auto& entry : gauges_) {
+      out.push_back({entry.name, MetricSample::Kind::kGauge,
+                     entry.metric->value(), 0, 0.0, 0.0});
+    }
+    for (const auto& entry : histograms_) {
+      out.push_back({entry.name, MetricSample::Kind::kHistogram,
+                     entry.metric->mean(), entry.metric->count(),
+                     entry.metric->min(), entry.metric->max()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset_counters() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.metric->reset();
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace stocdr::obs

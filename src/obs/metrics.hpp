@@ -1,0 +1,125 @@
+// Process-global metrics registry: named counters, gauges, and histograms
+// that any component can update cheaply and a reporter can snapshot.
+//
+// Design constraints:
+//   * hot-path updates are a single atomic op — callers cache the returned
+//     Counter&/Gauge&/Histogram& (addresses are stable for process lifetime);
+//   * registration is thread-safe (mutex-protected map, node-stable storage);
+//   * snapshot() is consistent enough for reporting (each value is read
+//     atomically; the set of metrics only grows).
+//
+// Naming convention: dotted lowercase paths, e.g. "solver.matvec",
+// "mg.level2.coarsen_ratio", "cdr.states".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stocdr::obs {
+
+/// Monotonic counter (events, matvecs, states expanded).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (current level size, coarsening ratio, peak RSS).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming summary histogram: count / sum / min / max of observed values
+/// (residual-reduction factors, per-cycle seconds).  Observation takes one
+/// mutex-free CAS loop per extremum; contention is negligible at solver
+/// cadence.
+class Histogram {
+ public:
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Extrema; 0 before the first observation.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// One metric in a snapshot.
+struct MetricSample {
+  std::string name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  double value = 0.0;          ///< counter/gauge value, histogram mean
+  std::uint64_t count = 0;     ///< histogram observation count
+  double min = 0.0, max = 0.0; ///< histogram extrema
+};
+
+/// The process-global registry.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Returns the metric with this name, creating it on first use.  The
+  /// returned reference is valid for the process lifetime; hot paths should
+  /// call once and cache it.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All metrics, sorted by name.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Resets counters to zero (gauges and histograms keep their last state);
+  /// intended for tests and between bench cases.
+  void reset_counters();
+
+ private:
+  MetricsRegistry() = default;
+
+  // Node-stable storage: metrics are never destroyed or moved.
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::unique_ptr<T> metric;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+/// Peak resident-set size of this process in bytes (0 if unavailable).
+/// Reported by bench artifacts alongside solver cost.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace stocdr::obs

@@ -1,0 +1,45 @@
+// Solver progress callbacks.
+//
+// Iterative solvers report one ProgressEvent per sweep / cycle / outer
+// iteration through a non-owning FunctionRef installed in the solver
+// options.  This is the programmatic counterpart of the residual_history
+// recorded in SolverStats: the callback sees the trajectory live (for
+// cancellation UIs, convergence dashboards, adaptive drivers) without the
+// solver allocating anything on its behalf.
+//
+// The observer is invoked synchronously on the solver thread; it must be
+// cheap and must outlive the solve (FunctionRef does not own the callable).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "support/function_ref.hpp"
+
+namespace stocdr::obs {
+
+/// One solver progress tick.
+struct ProgressEvent {
+  const char* method = "";      ///< solver name ("power", "multilevel", ...)
+  std::size_t iteration = 0;    ///< 1-based sweep / cycle / outer iteration
+  double residual = 0.0;        ///< residual after this iteration
+  std::size_t matvec_count = 0; ///< cumulative matrix-vector products
+};
+
+/// Non-owning per-iteration callback (see support/function_ref.hpp for
+/// lifetime rules).
+using ProgressObserver = FunctionRef<void(const ProgressEvent&)>;
+
+/// How solver options store an optional observer.
+using OptionalProgress = std::optional<ProgressObserver>;
+
+/// Invokes `progress` if set.  Inline fast path: one branch when unset.
+inline void notify(const OptionalProgress& progress, const char* method,
+                   std::size_t iteration, double residual,
+                   std::size_t matvecs) {
+  if (progress) {
+    (*progress)(ProgressEvent{method, iteration, residual, matvecs});
+  }
+}
+
+}  // namespace stocdr::obs

@@ -1,0 +1,95 @@
+// Trace sinks: where finished spans go.
+//
+// A sink receives one SpanRecord per completed span, already stamped with
+// monotonic times.  Sinks must be safe to call from multiple threads (the
+// provided sinks serialize internally); they should be cheap, since the
+// tracer calls them synchronously from the instrumented code.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace stocdr::obs {
+
+/// Attribute value attached to a span: unsigned integer (counts, sizes),
+/// double (residuals, seconds), or string (method names, labels).
+using AttrValue = std::variant<std::uint64_t, double, std::string>;
+
+/// A completed span as handed to the sink.
+struct SpanRecord {
+  const char* name = "";       ///< static span name ("mg.cycle", ...)
+  std::uint64_t id = 0;        ///< process-unique span id
+  std::uint64_t parent_id = 0; ///< 0 = root span
+  std::uint32_t depth = 0;     ///< nesting depth on the emitting thread
+  std::uint64_t start_ns = 0;  ///< monotonic ns since the tracer epoch
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, AttrValue>> attrs;
+};
+
+/// Abstract destination for completed spans.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_span(const SpanRecord& span) = 0;
+};
+
+/// Writes one JSON object per span per line (JSONL).  The format is stable:
+/// {"name":..,"id":..,"parent":..,"depth":..,"ts_ns":..,"dur_ns":..,
+///  "attrs":{..}}.
+class JsonlFileSink final : public TraceSink {
+ public:
+  /// Opens `path` for appending; throws IoError if it cannot be opened.
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  JsonlFileSink(const JsonlFileSink&) = delete;
+  JsonlFileSink& operator=(const JsonlFileSink&) = delete;
+
+  void on_span(const SpanRecord& span) override;
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Human-readable sink: one indented line per span on stderr, e.g.
+///   [trace]     mg.level  1.23ms  level=2 states=1024
+class ConsoleSink final : public TraceSink {
+ public:
+  explicit ConsoleSink(std::FILE* out = stderr) : out_(out) {}
+
+  void on_span(const SpanRecord& span) override;
+
+ private:
+  std::mutex mutex_;
+  std::FILE* out_;
+};
+
+/// Test/diagnostic sink: counts spans and optionally retains them.
+class CollectingSink final : public TraceSink {
+ public:
+  explicit CollectingSink(bool keep_records = true)
+      : keep_records_(keep_records) {}
+
+  void on_span(const SpanRecord& span) override;
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::vector<SpanRecord> records() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  bool keep_records_;
+  std::size_t count_ = 0;
+  std::vector<SpanRecord> records_;
+};
+
+/// Renders a span's attribute value as text (used by ConsoleSink and tests).
+[[nodiscard]] std::string attr_to_string(const AttrValue& value);
+
+}  // namespace stocdr::obs

@@ -1,0 +1,101 @@
+#include "obs/sink.hpp"
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::obs {
+
+std::string attr_to_string(const AttrValue& value) {
+  if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    return std::to_string(*u);
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    return buf;
+  }
+  return std::get<std::string>(value);
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {
+  if (file_ == nullptr) {
+    throw IoError("JsonlFileSink: cannot open trace file: " + path);
+  }
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::on_span(const SpanRecord& span) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", span.name);
+  w.field("id", span.id);
+  w.field("parent", span.parent_id);
+  w.field("depth", std::uint64_t{span.depth});
+  w.field("ts_ns", span.start_ns);
+  w.field("dur_ns", span.duration_ns);
+  if (!span.attrs.empty()) {
+    w.key("attrs");
+    w.begin_object();
+    for (const auto& [key, value] : span.attrs) {
+      w.key(key);
+      if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+        w.value(*u);
+      } else if (const auto* d = std::get_if<double>(&value)) {
+        w.value(*d);
+      } else {
+        w.value(std::get<std::string>(value));
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  const std::string line = std::move(w).str();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void ConsoleSink::on_span(const SpanRecord& span) {
+  std::string attrs;
+  for (const auto& [key, value] : span.attrs) {
+    attrs += ' ';
+    attrs += key;
+    attrs += '=';
+    attrs += attr_to_string(value);
+  }
+  const double ms = static_cast<double>(span.duration_ns) * 1e-6;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(out_, "[trace] %*s%s  %.3fms %s\n",
+               static_cast<int>(2 * span.depth), "", span.name, ms,
+               attrs.c_str());
+}
+
+void CollectingSink::on_span(const SpanRecord& span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  if (keep_records_) records_.push_back(span);
+}
+
+std::size_t CollectingSink::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::vector<SpanRecord> CollectingSink::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void CollectingSink::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  records_.clear();
+}
+
+}  // namespace stocdr::obs

@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace stocdr::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+/// Installed sinks are retired, not destroyed, when replaced: a thread may
+/// still hold the raw pointer inside an open Span.  The set is bounded by
+/// the number of install() calls (normally one).
+std::mutex g_install_mutex;
+std::vector<std::unique_ptr<TraceSink>>& retired_sinks() {
+  static std::vector<std::unique_ptr<TraceSink>> sinks;
+  return sinks;
+}
+
+std::once_flag g_env_once;
+
+void install_locked(std::unique_ptr<TraceSink> sink) {
+  g_sink.store(sink.get(), std::memory_order_release);
+  if (sink) retired_sinks().push_back(std::move(sink));
+}
+
+/// One-time sink selection from STOCDR_TRACE / STOCDR_TRACE_FILE.
+void init_from_env() {
+  const char* file = std::getenv("STOCDR_TRACE_FILE");
+  const char* mode = std::getenv("STOCDR_TRACE");
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
+  if (g_sink.load(std::memory_order_acquire) != nullptr) {
+    return;  // a programmatic install won the race
+  }
+  if (file != nullptr && *file != '\0') {
+    // A bad environment value must not abort the traced program: degrade
+    // to untraced with a warning (this runs inside the first Span).
+    try {
+      install_locked(std::make_unique<JsonlFileSink>(file));
+    } catch (const IoError& e) {
+      std::fprintf(stderr, "stocdr: tracing disabled: %s\n", e.what());
+    }
+  } else if (mode != nullptr && std::strcmp(mode, "console") == 0) {
+    install_locked(std::make_unique<ConsoleSink>());
+  }
+}
+
+/// Per-thread innermost open span, for parent/depth bookkeeping.
+thread_local Span* t_current_span = nullptr;
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void Tracer::install(std::unique_ptr<TraceSink> sink) {
+  // Mark env processing as done so a later lazy call cannot override an
+  // explicit install (including an explicit uninstall).
+  std::call_once(g_env_once, [] {});
+  const std::lock_guard<std::mutex> lock(g_install_mutex);
+  install_locked(std::move(sink));
+}
+
+TraceSink* Tracer::sink() {
+  std::call_once(g_env_once, init_from_env);
+  return g_sink.load(std::memory_order_acquire);
+}
+
+std::uint64_t Tracer::now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+Span::Span(const char* name) : sink_(Tracer::sink()) {
+  if (sink_ == nullptr) return;
+  record_.name = name;
+  record_.id = next_span_id();
+  parent_ = t_current_span;
+  if (parent_ != nullptr) {
+    record_.parent_id = parent_->record_.id;
+    record_.depth = parent_->record_.depth + 1;
+  }
+  t_current_span = this;
+  record_.start_ns = Tracer::now_ns();
+}
+
+void Span::attr(std::string_view key, std::uint64_t value) {
+  if (sink_ == nullptr) return;
+  record_.attrs.emplace_back(std::string(key), AttrValue(value));
+}
+
+void Span::attr(std::string_view key, double value) {
+  if (sink_ == nullptr) return;
+  record_.attrs.emplace_back(std::string(key), AttrValue(value));
+}
+
+void Span::attr(std::string_view key, std::string_view value) {
+  if (sink_ == nullptr) return;
+  record_.attrs.emplace_back(std::string(key), AttrValue(std::string(value)));
+}
+
+void Span::end() {
+  if (sink_ == nullptr) return;
+  record_.duration_ns = Tracer::now_ns() - record_.start_ns;
+  if (t_current_span == this) t_current_span = parent_;
+  TraceSink* sink = sink_;
+  sink_ = nullptr;  // idempotent: further calls are no-ops
+  sink->on_span(record_);
+}
+
+}  // namespace stocdr::obs

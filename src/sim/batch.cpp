@@ -4,12 +4,18 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace stocdr::sim {
 
 BatchMeans batch_means(std::span<const double> samples,
                        std::size_t num_batches) {
+  obs::Span span("sim.batch_means");
+  if (span.active()) {
+    span.attr("samples", samples.size());
+    span.attr("batches", num_batches);
+  }
   STOCDR_REQUIRE(num_batches >= 2, "batch_means: need at least 2 batches");
   STOCDR_REQUIRE(samples.size() >= num_batches,
                  "batch_means: fewer samples than batches");

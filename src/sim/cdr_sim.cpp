@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
 
@@ -13,6 +15,14 @@ CdrSimulator::CdrSimulator(const cdr::CdrModel& model, std::uint64_t seed)
 void CdrSimulator::reset() { simulator_.reset(); }
 
 CdrSimResult CdrSimulator::run(std::uint64_t cycles, std::uint64_t burn_in) {
+  obs::Span span("sim.run");
+  if (span.active()) {
+    span.attr("cycles", cycles);
+    span.attr("burn_in", burn_in);
+  }
+  static obs::Counter& cycle_counter =
+      obs::MetricsRegistry::instance().counter("sim.cycles");
+  cycle_counter.add(cycles + burn_in);
   const auto& cfg = model_.config();
   const cdr::PhaseGrid& grid = model_.grid();
   const std::size_t phase_comp = model_.phase_index();

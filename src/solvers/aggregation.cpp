@@ -4,6 +4,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solvers/stationary.hpp"
 #include "sparse/gth.hpp"
 #include "support/error.hpp"
@@ -13,6 +15,19 @@
 namespace stocdr::solvers {
 
 namespace {
+
+obs::Counter& multilevel_matvec_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::instance().counter("solver.stationary.matvec");
+  return counter;
+}
+
+/// Residual-reduction factor per outer cycle across all multilevel solves.
+obs::Histogram& cycle_reduction_histogram() {
+  static obs::Histogram& hist =
+      obs::MetricsRegistry::instance().histogram("mg.residual_reduction");
+  return hist;
+}
 
 /// Residual-reduction factor regarded as a stall, and how many consecutive
 /// stalled cycles trigger the V-to-W escalation.
@@ -60,10 +75,17 @@ class MultilevelWorker {
 
   void cycle(std::size_t level, const sparse::CsrMatrix& pt,
              std::vector<double>& x) {
+    obs::Span span("mg.level");
+    const bool traced = span.active();
+    if (traced) {
+      span.attr("level", level);
+      span.attr("states", pt.rows());
+    }
     std::vector<double> scratch(x.size());
     if (pt.rows() <= options_.coarsest_size || level >= hierarchy_.size()) {
       if (pt.rows() <= kGthSizeLimit) {
         solve_coarsest(pt, x, scratch, &matvecs_);
+        if (traced) span.attr("role", std::string_view("coarsest-gth"));
       } else {
         // Hierarchy exhausted but the level is still too large for a dense
         // direct solve: polish iteratively instead.
@@ -72,6 +94,7 @@ class MultilevelWorker {
           smooth(pt, options_.smoothing_damping, x, scratch);
         }
         matvecs_ += kBottomSweeps;
+        if (traced) span.attr("role", std::string_view("coarsest-smooth"));
       }
       return;
     }
@@ -79,10 +102,12 @@ class MultilevelWorker {
     const markov::Partition& part = hierarchy_[level];
     STOCDR_ASSERT(part.num_states() == pt.rows());
 
+    Timer phase_timer;  // per-phase cost split, only read when traced
     for (std::size_t s = 0; s < options_.pre_smooth; ++s) {
       smooth(pt, options_.smoothing_damping, x, scratch);
     }
     matvecs_ += options_.pre_smooth;
+    if (traced) span.attr("pre_smooth_s", phase_timer.seconds());
 
     // Lump with the current iterate as aggregation weights, recurse on the
     // coarse chain, then expand the coarse solution back.  The quotient
@@ -92,19 +117,36 @@ class MultilevelWorker {
     if (!plans_[level]) {
       plans_[level] = std::make_unique<markov::AggregationPlan>(pt, part);
     }
+    double lump_seconds = 0.0;
+    double expand_seconds = 0.0;
     for (std::size_t visit = 0; visit < cycle_shape_; ++visit) {
+      phase_timer.reset();
       const sparse::CsrMatrix coarse_pt = plans_[level]->aggregate(pt, x);
       ++matvecs_;  // aggregation is one O(nnz) pass
       std::vector<double> xc = markov::restrict_sum(part, x);
+      if (traced) lump_seconds += phase_timer.seconds();
       cycle(level + 1, coarse_pt, xc);
+      phase_timer.reset();
       markov::disaggregate(part, xc, x);
+      if (traced) expand_seconds += phase_timer.seconds();
     }
 
+    phase_timer.reset();
     for (std::size_t s = 0; s < options_.post_smooth; ++s) {
       smooth(pt, options_.smoothing_damping, x, scratch);
     }
     matvecs_ += options_.post_smooth;
     normalize_l1(x);
+    if (traced) {
+      span.attr("post_smooth_s", phase_timer.seconds());
+      span.attr("lump_s", lump_seconds);
+      span.attr("expand_s", expand_seconds);
+      span.attr("coarse_states", part.num_groups());
+    }
+    obs::MetricsRegistry::instance()
+        .gauge("mg.level" + std::to_string(level) + ".coarsen_ratio")
+        .set(static_cast<double>(part.num_groups()) /
+             static_cast<double>(part.num_states()));
   }
 
   [[nodiscard]] std::size_t matvecs() const { return matvecs_; }
@@ -185,21 +227,45 @@ StationaryResult solve_stationary_multilevel(
     const std::vector<markov::Partition>& hierarchy,
     const MultilevelOptions& options, std::span<const double> initial) {
   const Timer timer;
+  obs::Span span("solve.multilevel");
+  if (span.active()) {
+    span.attr("states", chain.num_states());
+    span.attr("levels", hierarchy.size());
+  }
   STOCDR_REQUIRE(hierarchy.empty() ||
                      hierarchy.front().num_states() == chain.num_states(),
                  "hierarchy does not match the chain");
   StationaryResult result;
   result.stats.method = "multilevel";
+  ResidualRecorder recorder(result.stats.residual_history);
   std::vector<double> x = detail::make_initial(chain, initial);
 
   MultilevelWorker worker(hierarchy, options);
   double previous_residual = 0.0;
   std::size_t slow_cycles = 0;
   for (std::size_t c = 0; c < options.max_cycles; ++c) {
+    obs::Span cycle_span("mg.cycle");
+    if (cycle_span.active()) {
+      cycle_span.attr("cycle", c + 1);
+      cycle_span.attr("shape",
+                      std::string_view(worker.cycle_shape() == 1 ? "V" : "W"));
+    }
     worker.cycle(0, chain.pt(), x);
     const double res = stationary_residual(chain, x);
     result.stats.iterations = c + 1;
     result.stats.residual = res;
+    recorder.record(res);
+    if (c > 0 && previous_residual > 0.0) {
+      cycle_reduction_histogram().observe(res / previous_residual);
+    }
+    if (cycle_span.active()) {
+      cycle_span.attr("residual", res);
+      if (c > 0 && previous_residual > 0.0) {
+        cycle_span.attr("reduction", res / previous_residual);
+      }
+    }
+    cycle_span.end();
+    obs::notify(options.progress, "multilevel", c + 1, res, worker.matvecs());
     if (res < options.tolerance) {
       result.stats.converged = true;
       break;
@@ -220,8 +286,17 @@ StationaryResult solve_stationary_multilevel(
     previous_residual = res;
   }
   result.stats.matvec_count = worker.matvecs();
+  recorder.finish(result.stats.residual);
+  multilevel_matvec_counter().add(result.stats.matvec_count);
   result.distribution = std::move(x);
   result.stats.seconds = timer.seconds();
+  if (span.active()) {
+    span.attr("cycles", result.stats.iterations);
+    span.attr("matvecs", result.stats.matvec_count);
+    span.attr("residual", result.stats.residual);
+    span.attr("converged", result.stats.converged);
+    span.attr("method", std::string_view(result.stats.method));
+  }
   return result;
 }
 
@@ -234,8 +309,10 @@ StationaryResult solve_stationary_two_level(
   STOCDR_REQUIRE(partition.num_groups() <= 4000,
                  "two-level A/D solves the lumped chain with dense GTH; the "
                  "partition must have at most 4000 groups");
+  obs::Span span("solve.two-level-ad");
   StationaryResult result;
   result.stats.method = "two-level-ad";
+  ResidualRecorder recorder(result.stats.residual_history);
   std::vector<double> x = detail::make_initial(chain, initial);
   std::vector<double> scratch(x.size());
   std::size_t matvecs = 0;
@@ -263,14 +340,24 @@ StationaryResult solve_stationary_two_level(
     const double res = stationary_residual(chain, x);
     result.stats.iterations = c + 1;
     result.stats.residual = res;
+    recorder.record(res);
+    obs::notify(options.progress, "two-level-ad", c + 1, res, matvecs);
     if (res < options.tolerance) {
       result.stats.converged = true;
       break;
     }
   }
   result.stats.matvec_count = matvecs;
+  recorder.finish(result.stats.residual);
+  multilevel_matvec_counter().add(result.stats.matvec_count);
   result.distribution = std::move(x);
   result.stats.seconds = timer.seconds();
+  if (span.active()) {
+    span.attr("states", chain.num_states());
+    span.attr("cycles", result.stats.iterations);
+    span.attr("residual", result.stats.residual);
+    span.attr("converged", result.stats.converged);
+  }
   return result;
 }
 

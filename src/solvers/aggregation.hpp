@@ -44,6 +44,10 @@ struct MultilevelOptions {
 
   /// Recursive coarse visits per cycle: 1 = V-cycle, 2 = W-cycle.
   std::size_t cycle_shape = 1;
+
+  /// Optional per-cycle callback (see obs/progress.hpp).  Non-owning: the
+  /// callable must outlive the solve.
+  obs::OptionalProgress progress;
 };
 
 /// Builds the paper's coarsening hierarchy for a chain whose states carry a

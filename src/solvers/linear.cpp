@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/coo.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
@@ -166,12 +168,34 @@ double l2_norm(std::span<const double> v) {
   return std::sqrt(s);
 }
 
+obs::Counter& linear_matvec_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::instance().counter("solver.linear.matvec");
+  return counter;
+}
+
+/// Shared epilogue of the linear solvers: history tail, metrics, span attrs.
+void finish_linear(LinearResult& result, ResidualRecorder& recorder,
+                   obs::Span& span, std::size_t n, const Timer& timer) {
+  recorder.finish(result.stats.residual);
+  linear_matvec_counter().add(result.stats.matvec_count);
+  result.stats.seconds = timer.seconds();
+  if (span.active()) {
+    span.attr("method", std::string_view(result.stats.method));
+    span.attr("unknowns", n);
+    span.attr("iterations", result.stats.iterations);
+    span.attr("residual", result.stats.residual);
+    span.attr("converged", result.stats.converged);
+  }
+}
+
 }  // namespace
 
 LinearResult gmres(const TransientOperator& op, std::span<const double> b,
                    const SolverOptions& options, std::size_t restart,
                    const Preconditioner& preconditioner) {
   const Timer timer;
+  obs::Span span("solve.linear");
   const std::size_t n = op.size();
   STOCDR_REQUIRE(b.size() == n, "gmres: rhs size mismatch");
   STOCDR_REQUIRE(restart >= 1, "gmres: restart must be positive");
@@ -179,12 +203,13 @@ LinearResult gmres(const TransientOperator& op, std::span<const double> b,
 
   LinearResult result;
   result.stats.method = preconditioner ? "gmres+amg" : "gmres";
+  ResidualRecorder recorder(result.stats.residual_history);
   std::vector<double> x(n, 0.0);
   const double bnorm = l2_norm(b);
   if (bnorm == 0.0) {
     result.solution = std::move(x);
     result.stats.converged = true;
-    result.stats.seconds = timer.seconds();
+    finish_linear(result, recorder, span, n, timer);
     return result;
   }
 
@@ -214,6 +239,9 @@ LinearResult gmres(const TransientOperator& op, std::span<const double> b,
     const double rnorm = l2_norm(v[0]);
     true_residual = rnorm / bnorm;
     result.stats.residual = true_residual;
+    recorder.record(true_residual);
+    obs::notify(options.progress, result.stats.method.c_str(), outer + 1,
+                true_residual, result.stats.matvec_count);
     if (true_residual < options.tolerance) {
       result.stats.converged = true;
       break;
@@ -278,7 +306,7 @@ LinearResult gmres(const TransientOperator& op, std::span<const double> b,
   }
 
   result.solution = std::move(x);
-  result.stats.seconds = timer.seconds();
+  finish_linear(result, recorder, span, n, timer);
   return result;
 }
 
@@ -286,17 +314,19 @@ LinearResult bicgstab(const TransientOperator& op, std::span<const double> b,
                       const SolverOptions& options,
                       const Preconditioner& preconditioner) {
   const Timer timer;
+  obs::Span span("solve.linear");
   const std::size_t n = op.size();
   STOCDR_REQUIRE(b.size() == n, "bicgstab: rhs size mismatch");
   LinearResult result;
   result.stats.method = preconditioner ? "bicgstab+amg" : "bicgstab";
+  ResidualRecorder recorder(result.stats.residual_history);
 
   std::vector<double> x(n, 0.0), r(b.begin(), b.end());
   const double bnorm = l2_norm(b);
   if (bnorm == 0.0) {
     result.solution = std::move(x);
     result.stats.converged = true;
-    result.stats.seconds = timer.seconds();
+    finish_linear(result, recorder, span, n, timer);
     return result;
   }
   const std::vector<double> r0(r);  // shadow residual
@@ -344,6 +374,9 @@ LinearResult bicgstab(const TransientOperator& op, std::span<const double> b,
       result.stats.iterations = it + 1;
       result.stats.residual = l2_norm(s) / bnorm;
       result.stats.converged = true;
+      recorder.record(result.stats.residual);
+      obs::notify(options.progress, result.stats.method.c_str(), it + 1,
+                  result.stats.residual, result.stats.matvec_count);
       break;
     }
 
@@ -359,6 +392,9 @@ LinearResult bicgstab(const TransientOperator& op, std::span<const double> b,
     }
     result.stats.iterations = it + 1;
     result.stats.residual = l2_norm(r) / bnorm;
+    recorder.record(result.stats.residual);
+    obs::notify(options.progress, result.stats.method.c_str(), it + 1,
+                result.stats.residual, result.stats.matvec_count);
     if (result.stats.residual < options.tolerance) {
       result.stats.converged = true;
       break;
@@ -366,7 +402,7 @@ LinearResult bicgstab(const TransientOperator& op, std::span<const double> b,
     if (omega == 0.0) break;
   }
   result.solution = std::move(x);
-  result.stats.seconds = timer.seconds();
+  finish_linear(result, recorder, span, n, timer);
   return result;
 }
 
@@ -374,10 +410,12 @@ LinearResult jacobi_linear(const TransientOperator& op,
                            std::span<const double> b,
                            const SolverOptions& options) {
   const Timer timer;
+  obs::Span span("solve.linear");
   const std::size_t n = op.size();
   STOCDR_REQUIRE(b.size() == n, "jacobi_linear: rhs size mismatch");
   LinearResult result;
   result.stats.method = "jacobi-linear";
+  ResidualRecorder recorder(result.stats.residual_history);
   std::vector<double> x(n, 0.0);
   std::vector<double> ax(n);
   const double bnorm = std::max(l1_norm(b), 1e-300);
@@ -394,13 +432,16 @@ LinearResult jacobi_linear(const TransientOperator& op,
     }
     result.stats.iterations = it + 1;
     result.stats.residual = rnorm / bnorm;
+    recorder.record(result.stats.residual);
+    obs::notify(options.progress, "jacobi-linear", it + 1,
+                result.stats.residual, result.stats.matvec_count);
     if (result.stats.residual < options.tolerance) {
       result.stats.converged = true;
       break;
     }
   }
   result.solution = std::move(x);
-  result.stats.seconds = timer.seconds();
+  finish_linear(result, recorder, span, n, timer);
   return result;
 }
 

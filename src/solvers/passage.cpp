@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "markov/reachability.hpp"
+#include "obs/trace.hpp"
 #include "solvers/aggregation.hpp"
 #include "solvers/linear.hpp"
 #include "support/error.hpp"
@@ -59,7 +60,9 @@ LinearResult solve_restricted(const sparse::CsrMatrix& qt,
 HittingTimeResult mean_hitting_times(const markov::MarkovChain& chain,
                                      const std::vector<bool>& target,
                                      const PassageOptions& options) {
+  obs::Span span("passage.hitting_times");
   const std::size_t n = chain.num_states();
+  if (span.active()) span.attr("states", n);
   STOCDR_REQUIRE(target.size() == n, "mean_hitting_times: mask size mismatch");
   STOCDR_REQUIRE(std::find(target.begin(), target.end(), true) != target.end(),
                  "mean_hitting_times: target set is empty");
@@ -94,7 +97,9 @@ HittingProbabilityResult hitting_probability(const markov::MarkovChain& chain,
                                              const std::vector<bool>& target_a,
                                              const std::vector<bool>& target_b,
                                              const PassageOptions& options) {
+  obs::Span span("passage.hitting_probability");
   const std::size_t n = chain.num_states();
+  if (span.active()) span.attr("states", n);
   STOCDR_REQUIRE(
       target_a.size() == n && target_b.size() == n,
       "hitting_probability: mask size mismatch");

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/gth.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
@@ -12,6 +14,12 @@
 namespace stocdr::solvers {
 
 namespace detail {
+
+obs::Counter& stationary_matvec_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::instance().counter("solver.stationary.matvec");
+  return counter;
+}
 
 std::vector<double> make_initial(const markov::MarkovChain& chain,
                                  std::span<const double> initial) {
@@ -37,8 +45,10 @@ StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
                                         const SolverOptions& options,
                                         std::span<const double> initial) {
   const Timer timer;
+  obs::Span span("solve.power");
   StationaryResult result;
   result.stats.method = "power";
+  ResidualRecorder recorder(result.stats.residual_history);
   std::vector<double> x = detail::make_initial(chain, initial);
   std::vector<double> y(x.size());
   const double w = options.relaxation;
@@ -48,6 +58,9 @@ StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
     chain.step(x, y);
     ++result.stats.matvec_count;
     const double res = l1_distance(x, y);
+    recorder.record(res);
+    obs::notify(options.progress, "power", it + 1, res,
+                result.stats.matvec_count);
     if (w == 1.0) {
       x.swap(y);
     } else {
@@ -68,8 +81,16 @@ StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
       break;
     }
   }
+  recorder.finish(result.stats.residual);
+  detail::stationary_matvec_counter().add(result.stats.matvec_count);
   result.distribution = std::move(x);
   result.stats.seconds = timer.seconds();
+  if (span.active()) {
+    span.attr("states", chain.num_states());
+    span.attr("iterations", result.stats.iterations);
+    span.attr("residual", result.stats.residual);
+    span.attr("converged", result.stats.converged);
+  }
   return result;
 }
 
@@ -83,8 +104,11 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
                                   bool in_place, double w,
                                   const char* method) {
   const Timer timer;
+  obs::Span span("solve.relaxation");
+  if (span.active()) span.attr("method", std::string_view(method));
   StationaryResult result;
   result.stats.method = method;
+  ResidualRecorder recorder(result.stats.residual_history);
   const auto& pt = chain.pt();
   const std::size_t n = chain.num_states();
   std::vector<double> x = detail::make_initial(chain, initial);
@@ -130,6 +154,7 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
     if (!std::isfinite(delta) || !std::isfinite(mass) || !(mass > 0.0)) {
       result.stats.residual = std::numeric_limits<double>::infinity();
       result.stats.iterations = it + 1;
+      recorder.finish(result.stats.residual);
       result.distribution = std::move(x);
       result.stats.seconds = timer.seconds();
       return result;
@@ -137,6 +162,9 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
     for (double& v : x) v /= mass;
     result.stats.iterations = it + 1;
     result.stats.residual = delta;
+    recorder.record(delta);
+    obs::notify(options.progress, method, it + 1, delta,
+                result.stats.matvec_count);
     if (delta < options.tolerance) {
       result.stats.converged = true;
       break;
@@ -144,8 +172,16 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
   }
   // Report the true stationary residual rather than the sweep delta.
   result.stats.residual = stationary_residual(chain, x);
+  recorder.finish(result.stats.residual);
+  detail::stationary_matvec_counter().add(result.stats.matvec_count);
   result.distribution = std::move(x);
   result.stats.seconds = timer.seconds();
+  if (span.active()) {
+    span.attr("states", chain.num_states());
+    span.attr("iterations", result.stats.iterations);
+    span.attr("residual", result.stats.residual);
+    span.attr("converged", result.stats.converged);
+  }
   return result;
 }
 
@@ -178,13 +214,19 @@ StationaryResult solve_stationary_sor(const markov::MarkovChain& chain,
 
 StationaryResult solve_stationary_direct(const markov::MarkovChain& chain) {
   const Timer timer;
+  obs::Span span("solve.gth-direct");
   StationaryResult result;
   result.stats.method = "gth-direct";
   result.distribution = sparse::gth_stationary_transposed(chain.pt());
   result.stats.iterations = 1;
   result.stats.converged = true;
   result.stats.residual = stationary_residual(chain, result.distribution);
+  result.stats.residual_history.push_back(result.stats.residual);
   result.stats.seconds = timer.seconds();
+  if (span.active()) {
+    span.attr("states", chain.num_states());
+    span.attr("residual", result.stats.residual);
+  }
   return result;
 }
 

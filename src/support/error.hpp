@@ -36,6 +36,12 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// A file or stream operation failed (trace files, bench artifacts, I/O).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_precondition(const char* expr, const char* file,
                                      int line, const std::string& msg);

@@ -1,0 +1,172 @@
+// Observability primitives: JSON emission, metrics, and trace sinks.
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::obs {
+namespace {
+
+// --- JSON emission ----------------------------------------------------------
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("mg.level"), "mg.level");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumberTest, FiniteAndNonFinite) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "\"inf\"");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()),
+            "\"nan\"");
+}
+
+TEST(JsonWriterTest, NestedObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "solve");
+  w.field("states", std::uint64_t{1024});
+  w.field("residual", 0.5);
+  w.field("converged", true);
+  w.key("history");
+  w.begin_array();
+  w.value(1.0);
+  w.value(0.25);
+  w.end_array();
+  w.key("nested");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"name\":\"solve\",\"states\":1024,\"residual\":0.5,"
+            "\"converged\":true,\"history\":[1,0.25],\"nested\":{}}");
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(MetricsPrimitivesTest, CounterAddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add(5);
+  counter.add(2);
+  EXPECT_EQ(counter.value(), 7u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsPrimitivesTest, HistogramTracksExtremaAndMean) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.min(), 0.0);  // defined zero before any observation
+  EXPECT_EQ(histogram.max(), 0.0);
+  histogram.observe(2.0);
+  histogram.observe(-1.0);
+  histogram.observe(5.0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.min(), -1.0);
+  EXPECT_EQ(histogram.max(), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 2.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("obs.test.zzz").add(1);
+  registry.gauge("obs.test.aaa").set(1.0);
+  registry.histogram("obs.test.mmm").observe(1.0);
+  const auto samples = registry.snapshot();
+  ASSERT_GE(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].name, samples[i].name);
+  }
+}
+
+// --- sinks ------------------------------------------------------------------
+
+SpanRecord make_record() {
+  SpanRecord record;
+  record.name = "test.span";
+  record.id = 42;
+  record.parent_id = 7;
+  record.depth = 1;
+  record.start_ns = 1000;
+  record.duration_ns = 2500;
+  record.attrs.emplace_back("states", AttrValue{std::uint64_t{64}});
+  record.attrs.emplace_back("residual", AttrValue{0.5});
+  record.attrs.emplace_back("method", AttrValue{std::string("power")});
+  return record;
+}
+
+TEST(AttrToStringTest, AllVariantAlternatives) {
+  EXPECT_EQ(attr_to_string(AttrValue{std::uint64_t{9}}), "9");
+  EXPECT_EQ(attr_to_string(AttrValue{std::string("x")}), "x");
+  EXPECT_FALSE(attr_to_string(AttrValue{0.25}).empty());
+}
+
+TEST(JsonlFileSinkTest, WritesOneParseableObjectPerLine) {
+  const std::string path =
+      ::testing::TempDir() + "/stocdr_test_trace.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonlFileSink sink(path);
+    sink.on_span(make_record());
+    sink.on_span(make_record());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"name\":\"test.span\""), std::string::npos);
+    EXPECT_NE(line.find("\"dur_ns\":2500"), std::string::npos);
+    EXPECT_NE(line.find("\"method\":\"power\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlFileSinkTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(JsonlFileSink("/nonexistent-dir/trace.jsonl"), IoError);
+}
+
+TEST(CollectingSinkTest, CountsWithoutKeepingWhenAsked) {
+  CollectingSink sink(/*keep_records=*/false);
+  sink.on_span(make_record());
+  sink.on_span(make_record());
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_TRUE(sink.records().empty());
+  sink.clear();
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+// --- tracer clock -----------------------------------------------------------
+
+TEST(TracerTest, ClockIsMonotone) {
+  const auto a = Tracer::now_ns();
+  const auto b = Tracer::now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace stocdr::obs

@@ -1,0 +1,91 @@
+#include "support/timer.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace stocdr {
+namespace {
+
+// --- format_duration -------------------------------------------------------
+
+TEST(FormatDurationTest, ZeroSeconds) {
+  EXPECT_EQ(format_duration(0.0), "0ms");
+}
+
+TEST(FormatDurationTest, SubMillisecondFloorsToZeroMs) {
+  // Anything below half a millisecond renders as "0ms": the format is for
+  // human-scale solver timings, not microbenchmarks.
+  EXPECT_EQ(format_duration(0.0001), "0ms");
+  EXPECT_EQ(format_duration(1e-9), "0ms");
+}
+
+TEST(FormatDurationTest, MillisecondRange) {
+  EXPECT_EQ(format_duration(0.183), "183ms");
+  EXPECT_EQ(format_duration(0.999), "999ms");
+}
+
+TEST(FormatDurationTest, SecondsRange) {
+  EXPECT_EQ(format_duration(1.0), "1.00s");
+  EXPECT_EQ(format_duration(2.41), "2.41s");
+  EXPECT_EQ(format_duration(119.99), "119.99s");
+}
+
+TEST(FormatDurationTest, ExactlySixtySecondsStaysInSeconds) {
+  // The switch to minutes happens at 120s, so a one-minute duration is
+  // still rendered in seconds (matching the paper's second-scale solves).
+  EXPECT_EQ(format_duration(60.0), "60.00s");
+}
+
+TEST(FormatDurationTest, MinutesRange) {
+  EXPECT_EQ(format_duration(120.0), "2.0min");
+  EXPECT_EQ(format_duration(192.0), "3.2min");
+}
+
+TEST(FormatDurationTest, MultiHour) {
+  EXPECT_EQ(format_duration(2.0 * 3600.0), "120.0min");
+  EXPECT_EQ(format_duration(10.0 * 3600.0 + 6.0), "600.1min");
+}
+
+// --- Timer -----------------------------------------------------------------
+
+TEST(TimerTest, SecondsIsNonNegativeAndMonotone) {
+  Timer timer;
+  const double a = timer.seconds();
+  const double b = timer.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.seconds(), 0.015);
+}
+
+TEST(TimerTest, ResetRestartsFromZero) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double before = timer.seconds();
+  timer.reset();
+  const double after = timer.seconds();
+  // The pre-reset reading includes the sleep; the post-reset reading is a
+  // fresh start and must be far below it.
+  EXPECT_GE(before, 0.015);
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 0.0);
+}
+
+TEST(TimerTest, MinutesIsSecondsOverSixty) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = timer.seconds();
+  const double m = timer.minutes();
+  // minutes() reads the clock again, so allow the later/larger reading.
+  EXPECT_GE(m * 60.0, s);
+  EXPECT_NEAR(m * 60.0, s, 0.05);
+}
+
+}  // namespace
+}  // namespace stocdr
