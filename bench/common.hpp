@@ -9,8 +9,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cdr/config.hpp"
@@ -19,7 +21,10 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/robust_solver.hpp"
 #include "solvers/aggregation.hpp"
+#include "support/atomic_file.hpp"
+#include "support/error.hpp"
 #include "support/text.hpp"
 #include "support/timer.hpp"
 
@@ -62,12 +67,35 @@ struct SolvedCase {
   cdr::CdrModel model;
   cdr::CdrChain chain;
   solvers::StationaryResult stationary;
+  /// Present when the case was solved through the robust ladder.
+  std::optional<robust::RobustSolveReport> robust_report;
   double ber = 0.0;
 
   explicit SolvedCase(const cdr::CdrConfig& cfg,
                       const solvers::MultilevelOptions& options = {})
       : config(cfg), model(cfg), chain(model.build()) {
     stationary = cdr::solve_stationary(chain, options);
+    ber = cdr::bit_error_rate(model, chain, stationary.distribution);
+  }
+
+  /// Robust variant: the solve runs through the fallback ladder and the
+  /// structured report rides along into the annotations and artifacts.
+  SolvedCase(const cdr::CdrConfig& cfg, const robust::RobustOptions& options)
+      : config(cfg), model(cfg), chain(model.build()) {
+    robust::RobustResult result = cdr::solve_stationary_robust(chain, options);
+    stationary.distribution = std::move(result.distribution);
+    stationary.stats.method =
+        result.report.final_method.empty()
+            ? std::string("robust")
+            : "robust:" + result.report.final_method;
+    for (const robust::RungReport& rung : result.report.rungs) {
+      stationary.stats.iterations += rung.stats.iterations;
+      stationary.stats.matvec_count += rung.stats.matvec_count;
+    }
+    stationary.stats.seconds = result.report.seconds;
+    stationary.stats.residual = result.report.residual;
+    stationary.stats.converged = result.report.converged;
+    robust_report = std::move(result.report);
     ber = cdr::bit_error_rate(model, chain, stationary.distribution);
   }
 
@@ -137,24 +165,31 @@ struct SolvedCase {
     for (const double r : stats.residual_history) w.value(r);
     w.end_array();
     w.end_object();
+    if (robust_report) {
+      w.key("robust");
+      w.raw_value(robust_report->to_json());
+    }
     w.field("peak_rss_bytes", obs::peak_rss_bytes());
     w.end_object();
     return std::move(w).str();
   }
 
-  /// Drops a `BENCH_<name>.json` artifact in the working directory.
+  /// Drops a `BENCH_<name>.json` artifact in the working directory.  The
+  /// write is atomic (temp file + rename), so a crashed or concurrent bench
+  /// run never leaves a truncated artifact behind.
   /// Returns false (with a note on stderr) if the file cannot be written.
   bool write_bench_json(const std::string& name) const {
     const std::string path = "BENCH_" + name + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    try {
+      AtomicFileWriter writer(path);
+      writer.write(to_json(name));
+      writer.write("\n");
+      writer.commit();
+    } catch (const IoError& e) {
+      std::fprintf(stderr, "bench: cannot write %s: %s\n", path.c_str(),
+                   e.what());
       return false;
     }
-    const std::string body = to_json(name);
-    std::fwrite(body.data(), 1, body.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
     return true;
   }
 };
@@ -178,6 +213,9 @@ inline void report_case(const std::string& name, const SolvedCase& solved,
   solved.print_header_line();
   if (with_densities) print_density_plots(solved);
   solved.print_footer_line();
+  if (solved.robust_report) {
+    std::printf("robust: %s\n", solved.robust_report->summary().c_str());
+  }
   if (bench_json_enabled()) solved.write_bench_json(name);
 }
 

@@ -4,14 +4,23 @@
 //
 // Usage:
 //   cdr_analyzer [config.txt] [--export-prefix PREFIX] [--print-config]
+//                [--robust] [--time-budget SECONDS]
+//
+// With --robust the stationary solve runs through the fault-tolerant
+// fallback ladder (src/robust/): divergence sentinels, checkpoint/restart
+// between methods, and an optional --time-budget wall-clock deadline that
+// returns the best iterate reached instead of hanging.
 //
 // With --export-prefix the tool writes PREFIX.mtx (the transition matrix,
 // Matrix Market), PREFIX.eta.mtx (the stationary vector) and PREFIX.dot
 // (the FSM network diagram for Graphviz).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
+#include <utility>
 
 #include "analysis/eigen.hpp"
 #include "cdr/config_io.hpp"
@@ -30,6 +39,8 @@ int run(int argc, char** argv) {
   cdr::CdrConfig config;
   std::string export_prefix;
   bool print_config = false;
+  bool use_robust = false;
+  double time_budget = std::numeric_limits<double>::infinity();
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -41,10 +52,19 @@ int run(int argc, char** argv) {
       export_prefix = argv[++i];
     } else if (arg == "--print-config") {
       print_config = true;
+    } else if (arg == "--robust") {
+      use_robust = true;
+    } else if (arg == "--time-budget") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--time-budget needs a value (seconds)\n");
+        return 2;
+      }
+      time_budget = std::strtod(argv[++i], nullptr);
+      use_robust = true;  // a budget only makes sense on the robust path
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: cdr_analyzer [config.txt] [--export-prefix PREFIX] "
-          "[--print-config]\n");
+          "[--print-config] [--robust] [--time-budget SECONDS]\n");
       return 0;
     } else {
       config = cdr::config_from_file(arg);
@@ -65,12 +85,28 @@ int run(int argc, char** argv) {
               chain.num_states(), chain.chain().num_transitions(),
               format_duration(chain.form_seconds()).c_str());
 
-  const auto solution = cdr::solve_stationary(chain);
-  std::printf("solve: %zu cycles, residual %s, %s (%s)\n\n",
-              solution.stats.iterations,
-              sci(solution.stats.residual, 1).c_str(),
-              format_duration(solution.stats.seconds).c_str(),
-              solution.stats.converged ? "converged" : "NOT CONVERGED");
+  solvers::StationaryResult solution;
+  if (use_robust) {
+    robust::RobustOptions ropts;
+    ropts.time_budget_seconds = time_budget;
+    auto result = cdr::solve_stationary_robust(chain, ropts);
+    std::printf("solve (robust): %s, residual %s, %s, %zu rung(s), "
+                "%zu checkpoint(s)\n\n",
+                result.report.summary().c_str(),
+                sci(result.report.residual, 1).c_str(),
+                format_duration(result.report.seconds).c_str(),
+                result.report.rungs.size(), result.report.checkpoints_taken);
+    solution.distribution = std::move(result.distribution);
+    solution.stats.residual = result.report.residual;
+    solution.stats.converged = result.report.converged;
+  } else {
+    solution = cdr::solve_stationary(chain);
+    std::printf("solve: %zu cycles, residual %s, %s (%s)\n\n",
+                solution.stats.iterations,
+                sci(solution.stats.residual, 1).c_str(),
+                format_duration(solution.stats.seconds).c_str(),
+                solution.stats.converged ? "converged" : "NOT CONVERGED");
+  }
 
   const auto& eta = solution.distribution;
   const double ber = cdr::bit_error_rate(model, chain, eta);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -24,7 +25,11 @@ std::string trim(const std::string& s) {
 
 std::size_t parse_size(const std::string& value, const std::string& key) {
   try {
-    const long long parsed = std::stoll(value);
+    std::size_t consumed = 0;
+    const long long parsed = std::stoll(value, &consumed);
+    // Trailing garbage ("8x", "1 2") must not silently truncate.
+    STOCDR_REQUIRE(consumed == value.size(),
+                   "config: bad integer for '" + key + "': " + value);
     STOCDR_REQUIRE(parsed >= 0, "config: '" + key + "' must be >= 0");
     return static_cast<std::size_t>(parsed);
   } catch (const std::logic_error&) {
@@ -35,7 +40,11 @@ std::size_t parse_size(const std::string& value, const std::string& key) {
 
 double parse_double(const std::string& value, const std::string& key) {
   try {
-    return std::stod(value);
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    STOCDR_REQUIRE(consumed == value.size(),
+                   "config: bad number for '" + key + "': " + value);
+    return parsed;
   } catch (const std::logic_error&) {
     throw PreconditionError("config: bad number for '" + key + "': " + value);
   }
@@ -84,6 +93,10 @@ CdrConfig config_from_text(std::istream& in) {
   CdrConfig config;
   std::string line;
   std::size_t line_number = 0;
+  // First occurrence of each key, so a duplicate can be rejected naming
+  // both lines.  A silent last-wins here once masked a typo'd operating
+  // point for a whole sweep.
+  std::map<std::string, std::size_t> first_seen;
   while (std::getline(in, line)) {
     ++line_number;
     const std::size_t hash = line.find('#');
@@ -99,6 +112,13 @@ CdrConfig config_from_text(std::istream& in) {
     STOCDR_REQUIRE(!key.empty() && !value.empty(),
                    "config: empty key or value on line " +
                        std::to_string(line_number));
+    const auto [it, inserted] = first_seen.emplace(key, line_number);
+    if (!inserted) {
+      throw PreconditionError("config: duplicate key '" + key + "' on line " +
+                              std::to_string(line_number) +
+                              " (first set on line " +
+                              std::to_string(it->second) + ")");
+    }
 
     if (key == "phase_points") {
       config.phase_points = parse_size(value, key);

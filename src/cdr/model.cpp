@@ -220,4 +220,13 @@ solvers::StationaryResult solve_stationary(
                                               options);
 }
 
+robust::RobustResult solve_stationary_robust(
+    const CdrChain& chain, const robust::RobustOptions& options) {
+  obs::Span span("cdr.solve_stationary_robust");
+  if (span.active()) span.attr("states", chain.num_states());
+  const auto hierarchy =
+      chain.hierarchy(options.multilevel.coarsest_size);
+  return robust::solve_stationary_robust(chain.chain(), hierarchy, options);
+}
+
 }  // namespace stocdr::cdr

@@ -12,6 +12,7 @@
 #include "fsm/network.hpp"
 #include "markov/lumping.hpp"
 #include "noise/discrete.hpp"
+#include "robust/robust_solver.hpp"
 #include "solvers/aggregation.hpp"
 
 namespace stocdr::cdr {
@@ -138,5 +139,13 @@ class CdrModel {
 /// solver using the model's phase-pair hierarchy.
 [[nodiscard]] solvers::StationaryResult solve_stationary(
     const CdrChain& chain, const solvers::MultilevelOptions& options = {});
+
+/// Fault-tolerant variant: runs the robust fallback ladder (multilevel ->
+/// GMRES -> SOR -> power -> GTH) on the chain with the model's phase-pair
+/// hierarchy.  Convergence failures, deadlines, and numerical faults come
+/// back as a structured RobustSolveReport instead of a wrong answer or an
+/// exception; see robust/robust_solver.hpp for the budget semantics.
+[[nodiscard]] robust::RobustResult solve_stationary_robust(
+    const CdrChain& chain, const robust::RobustOptions& options = {});
 
 }  // namespace stocdr::cdr

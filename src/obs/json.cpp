@@ -112,4 +112,10 @@ void JsonWriter::value(bool v) {
   need_comma_ = true;
 }
 
+void JsonWriter::raw_value(std::string_view json) {
+  separate();
+  out_ += json;
+  need_comma_ = true;
+}
+
 }  // namespace stocdr::obs

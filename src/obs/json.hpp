@@ -49,6 +49,10 @@ class JsonWriter {
   void value(std::int64_t v);
   void value(bool v);
 
+  /// Splices a pre-serialized JSON value verbatim (no escaping).  The
+  /// caller is responsible for `json` being valid JSON.
+  void raw_value(std::string_view json);
+
   /// key() + value() in one call.
   template <typename T>
   void field(std::string_view k, T&& v) {

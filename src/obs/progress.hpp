@@ -7,16 +7,35 @@
 // cancellation UIs, convergence dashboards, adaptive drivers) without the
 // solver allocating anything on its behalf.
 //
+// The observer returns a ProgressAction: kContinue keeps iterating,
+// kStop makes the solver finish the current iteration, leave
+// `converged = false`, and return its current state.  Cooperative
+// cancellation is what deadline budgets and divergence sentinels
+// (src/robust/) are built on; observers that never cancel simply always
+// return kContinue.
+//
+// Events carry a read-only view of the solver's current iterate (when the
+// method maintains one) so observers can snapshot a last-good vector for
+// checkpoint/restart.  The span aliases solver-internal storage: it is valid
+// only during the callback and must be copied to be kept.
+//
 // The observer is invoked synchronously on the solver thread; it must be
 // cheap and must outlive the solve (FunctionRef does not own the callable).
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <span>
 
 #include "support/function_ref.hpp"
 
 namespace stocdr::obs {
+
+/// What the solver should do after a progress tick.
+enum class ProgressAction {
+  kContinue,  ///< keep iterating
+  kStop,      ///< stop now; report converged = false with the current state
+};
 
 /// One solver progress tick.
 struct ProgressEvent {
@@ -24,22 +43,28 @@ struct ProgressEvent {
   std::size_t iteration = 0;    ///< 1-based sweep / cycle / outer iteration
   double residual = 0.0;        ///< residual after this iteration
   std::size_t matvec_count = 0; ///< cumulative matrix-vector products
+  /// The solver's current iterate (stationary vector / linear solution),
+  /// empty when the method has none at event time.  Valid only during the
+  /// callback.
+  std::span<const double> iterate;
 };
 
 /// Non-owning per-iteration callback (see support/function_ref.hpp for
 /// lifetime rules).
-using ProgressObserver = FunctionRef<void(const ProgressEvent&)>;
+using ProgressObserver = FunctionRef<ProgressAction(const ProgressEvent&)>;
 
 /// How solver options store an optional observer.
 using OptionalProgress = std::optional<ProgressObserver>;
 
 /// Invokes `progress` if set.  Inline fast path: one branch when unset.
-inline void notify(const OptionalProgress& progress, const char* method,
-                   std::size_t iteration, double residual,
-                   std::size_t matvecs) {
-  if (progress) {
-    (*progress)(ProgressEvent{method, iteration, residual, matvecs});
-  }
+/// Returns false when the observer requested a stop.
+[[nodiscard]] inline bool notify(const OptionalProgress& progress,
+                                 const char* method, std::size_t iteration,
+                                 double residual, std::size_t matvecs,
+                                 std::span<const double> iterate = {}) {
+  if (!progress) return true;
+  return (*progress)(ProgressEvent{method, iteration, residual, matvecs,
+                                   iterate}) == ProgressAction::kContinue;
 }
 
 }  // namespace stocdr::obs

@@ -14,6 +14,8 @@
 #include <variant>
 #include <vector>
 
+#include "support/atomic_file.hpp"
+
 namespace stocdr::obs {
 
 /// Attribute value attached to a span: unsigned integer (counts, sizes),
@@ -41,9 +43,15 @@ class TraceSink {
 /// Writes one JSON object per span per line (JSONL).  The format is stable:
 /// {"name":..,"id":..,"parent":..,"depth":..,"ts_ns":..,"dur_ns":..,
 ///  "attrs":{..}}.
+///
+/// Writes are crash-safe: spans stream into `<path>.tmp` and the file is
+/// atomically renamed onto `path` when the sink closes, so a crash or a
+/// deadline kill never leaves a truncated trace behind (the partial
+/// temporary remains for inspection).  An existing `path` is carried into
+/// the new file first, preserving the historical append semantics.
 class JsonlFileSink final : public TraceSink {
  public:
-  /// Opens `path` for appending; throws IoError if it cannot be opened.
+  /// Opens `<path>.tmp` for writing; throws IoError if it cannot be opened.
   explicit JsonlFileSink(const std::string& path);
   ~JsonlFileSink() override;
 
@@ -54,7 +62,7 @@ class JsonlFileSink final : public TraceSink {
 
  private:
   std::mutex mutex_;
-  std::FILE* file_ = nullptr;
+  AtomicFileWriter writer_;
 };
 
 /// Human-readable sink: one indented line per span on stderr, e.g.

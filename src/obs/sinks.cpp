@@ -18,15 +18,9 @@ std::string attr_to_string(const AttrValue& value) {
 }
 
 JsonlFileSink::JsonlFileSink(const std::string& path)
-    : file_(std::fopen(path.c_str(), "a")) {
-  if (file_ == nullptr) {
-    throw IoError("JsonlFileSink: cannot open trace file: " + path);
-  }
-}
+    : writer_(path, /*carry_existing=*/true) {}
 
-JsonlFileSink::~JsonlFileSink() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+JsonlFileSink::~JsonlFileSink() = default;  // AtomicFileWriter commits
 
 void JsonlFileSink::on_span(const SpanRecord& span) {
   JsonWriter w;
@@ -56,9 +50,10 @@ void JsonlFileSink::on_span(const SpanRecord& span) {
   const std::string line = std::move(w).str();
 
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
-  std::fflush(file_);
+  std::FILE* file = writer_.handle();
+  std::fwrite(line.data(), 1, line.size(), file);
+  std::fputc('\n', file);
+  std::fflush(file);
 }
 
 void ConsoleSink::on_span(const SpanRecord& span) {

@@ -1,0 +1,87 @@
+#include "robust/report.hpp"
+
+#include "obs/json.hpp"
+
+namespace stocdr::robust {
+
+const char* to_string(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone: return "none";
+    case FailureCause::kIterationBudget: return "iteration-budget";
+    case FailureCause::kStalled: return "stalled";
+    case FailureCause::kDiverged: return "diverged";
+    case FailureCause::kNumericalFault: return "numerical-fault";
+    case FailureCause::kDeadlineExceeded: return "deadline";
+    case FailureCause::kSkipped: return "skipped";
+    case FailureCause::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string RobustSolveReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("converged", converged);
+  w.field("final_method", final_method);
+  w.field("residual", residual);
+  w.field("seconds", seconds);
+  w.field("states", std::uint64_t{states});
+  w.field("stochasticity_defect", stochasticity_defect);
+  w.field("repaired", repaired);
+  w.field("degraded", degraded);
+  if (degraded) {
+    w.field("degraded_states", std::uint64_t{degraded_states});
+    w.field("degradation_residual", degradation_residual);
+  }
+  w.field("deadline_exceeded", deadline_exceeded);
+  w.field("checkpoints", std::uint64_t{checkpoints_taken});
+  w.key("rungs");
+  w.begin_array();
+  for (const RungReport& rung : rungs) {
+    w.begin_object();
+    w.field("method", rung.method);
+    w.field("failure", to_string(rung.failure));
+    if (!rung.detail.empty()) w.field("detail", rung.detail);
+    if (!rung.predecessor_failure.empty()) {
+      w.field("predecessor_failure", rung.predecessor_failure);
+    }
+    w.field("initial_residual", rung.initial_residual);
+    w.field("warm_started", rung.warm_started);
+    w.field("checkpoints", std::uint64_t{rung.checkpoints});
+    w.field("iterations", std::uint64_t{rung.stats.iterations});
+    w.field("matvecs", std::uint64_t{rung.stats.matvec_count});
+    w.field("seconds", rung.stats.seconds);
+    w.field("residual", rung.stats.residual);
+    w.field("converged", rung.stats.converged);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string RobustSolveReport::summary() const {
+  std::string line;
+  if (converged) {
+    line = "converged via " + final_method;
+  } else if (deadline_exceeded) {
+    line = "deadline exceeded; best iterate from " +
+           (final_method.empty() ? std::string("initial guess") : final_method);
+  } else {
+    line = "ladder exhausted without convergence";
+  }
+  std::string failures;
+  for (const RungReport& rung : rungs) {
+    if (rung.failure == FailureCause::kNone) continue;
+    if (!failures.empty()) failures += ", ";
+    failures += rung.method + ": " + to_string(rung.failure);
+  }
+  if (!failures.empty()) line += " (" + failures + ")";
+  if (repaired) line += " [input repaired]";
+  if (degraded) {
+    line += " [degraded to " + std::to_string(degraded_states) + " states]";
+  }
+  return line;
+}
+
+}  // namespace stocdr::robust

@@ -1,0 +1,90 @@
+// Structured reporting for fault-tolerant solve orchestration.
+//
+// A robust solve is a sequence of rung attempts down a fallback ladder; the
+// report records every attempt (why it was tried, how it ended), the
+// checkpoints taken, any input repair or grid degradation applied, and the
+// budgets consumed — the paper's 1e-12-tail measures are only trustworthy
+// when the solve that produced them can show its work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "solvers/options.hpp"
+
+namespace stocdr::robust {
+
+/// Why a rung (or the whole solve) stopped short of convergence.
+enum class FailureCause {
+  kNone,              ///< the rung converged
+  kIterationBudget,   ///< per-rung max_iterations exhausted
+  kStalled,           ///< sentinel: residual reduction below the stall bound
+  kDiverged,          ///< sentinel: residual grew far beyond the best seen
+  kNumericalFault,    ///< sentinel: NaN/Inf residual observed mid-solve
+  kDeadlineExceeded,  ///< global wall-clock budget expired
+  kSkipped,           ///< rung not applicable (e.g. chain too large for GTH)
+  kError,             ///< the solver threw (message in RungReport::detail)
+};
+
+/// Stable lowercase identifier ("stalled", "deadline", ...), used in JSON
+/// artifacts and trace attributes.
+[[nodiscard]] const char* to_string(FailureCause cause);
+
+/// One attempt on one rung of the ladder.
+struct RungReport {
+  std::string method;  ///< solver name as reported by its SolverStats
+  FailureCause failure = FailureCause::kNone;
+  std::string detail;  ///< human-readable failure description ("" if none)
+  /// Why the ladder reached this rung: the failure of the rung above it
+  /// ("" for the first rung attempted).
+  std::string predecessor_failure;
+  /// Stationary residual of the vector this rung started from.
+  double initial_residual = 0.0;
+  /// True when the rung warm-started from a predecessor's checkpoint
+  /// instead of the caller's initial guess / uniform vector.
+  bool warm_started = false;
+  /// Checkpoints the sentinel snapshotted while this rung ran.
+  std::size_t checkpoints = 0;
+  solvers::SolverStats stats;
+};
+
+/// The full account of a robust solve.
+struct RobustSolveReport {
+  bool converged = false;
+  std::string final_method;  ///< rung that produced the returned vector
+  double residual = 0.0;     ///< L1 stationary residual of the returned vector
+  double seconds = 0.0;      ///< wall-clock of the whole orchestration
+  std::size_t states = 0;    ///< fine-chain state count
+
+  // Input validation gate.
+  double stochasticity_defect = 0.0;  ///< defect of the chain as received
+  bool repaired = false;  ///< rows were renormalized before solving
+
+  // Graceful degradation (state-count ceiling hit).
+  bool degraded = false;
+  std::size_t degraded_states = 0;  ///< coarse chain actually solved
+  /// Fine-grid stationary residual of the expanded coarse solution: the
+  /// accuracy loss the degradation traded for feasibility.
+  double degradation_residual = 0.0;
+
+  bool deadline_exceeded = false;
+  std::size_t checkpoints_taken = 0;
+  std::vector<RungReport> rungs;  ///< in attempt order, fine ladder last
+
+  /// One JSON object (same dialect as the BENCH artifacts).
+  [[nodiscard]] std::string to_json() const;
+
+  /// One human-readable line, e.g.
+  /// "converged via sor after 2 escalations (multilevel: stalled, ...)".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// What a robust solve returns: the best distribution available (which is
+/// the converged one on success, and the last-good checkpoint on a timeout
+/// or total ladder failure) plus the report.
+struct RobustResult {
+  std::vector<double> distribution;
+  RobustSolveReport report;
+};
+
+}  // namespace stocdr::robust

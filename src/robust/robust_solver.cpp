@@ -1,0 +1,483 @@
+#include "robust/robust_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "solvers/linear.hpp"
+#include "solvers/stationary.hpp"
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/text.hpp"
+
+namespace stocdr::robust {
+
+namespace {
+
+obs::Counter& solve_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.solves");
+  return c;
+}
+
+obs::Counter& rung_failure_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.rung_failures");
+  return c;
+}
+
+obs::Counter& repair_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.repairs");
+  return c;
+}
+
+obs::Counter& degradation_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.degradations");
+  return c;
+}
+
+obs::Counter& deadline_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.deadline_exceeded");
+  return c;
+}
+
+/// The deflated stationary operator B = I - P^T + (1/n) e e^T.  B is
+/// nonsingular for an irreducible chain (e spans the left null space of
+/// I - P^T and e^T (e/n) = 1 != 0), and B x = e/n has the stationary
+/// vector as its unique solution: left-multiplying by e^T forces
+/// e^T x = 1, which in turn forces (I - P^T) x = 0.  This turns the
+/// singular eigenproblem into a plain linear system GMRES can attack.
+class StationaryShiftOperator final : public solvers::LinearOperator {
+ public:
+  explicit StationaryShiftOperator(const markov::MarkovChain& chain)
+      : chain_(&chain), scratch_(chain.num_states()) {}
+
+  [[nodiscard]] std::size_t size() const override {
+    return chain_->num_states();
+  }
+
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    chain_->step(x, scratch_);  // P^T x
+    const double mean =
+        kahan_sum(x) / static_cast<double>(chain_->num_states());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = x[i] - scratch_[i] + mean;
+    }
+  }
+
+ private:
+  const markov::MarkovChain* chain_;
+  mutable std::vector<double> scratch_;
+};
+
+/// GMRES rung: solve B (x0 + d) = e/n as B d = e/n - B x0 so the rung
+/// warm-starts from the ladder's checkpoint, then clamp/normalize the
+/// update back onto the probability simplex.
+solvers::StationaryResult run_gmres_rung(const markov::MarkovChain& chain,
+                                         const RungSpec& spec,
+                                         double tolerance,
+                                         SolveSentinel& sentinel,
+                                         std::span<const double> x0) {
+  const Timer timer;
+  const std::size_t n = chain.num_states();
+  solvers::StationaryResult out;
+  out.stats.method = "gmres-stationary";
+
+  const StationaryShiftOperator op(chain);
+  std::vector<double> rhs(n, 1.0 / static_cast<double>(n));
+  std::vector<double> bx0(n);
+  op.apply(x0, bx0);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] -= bx0[i];
+
+  solvers::SolverOptions lopts;
+  lopts.tolerance = tolerance;
+  lopts.max_iterations = spec.max_iterations;
+  const obs::ProgressObserver observer(sentinel);
+  lopts.progress = observer;
+  solvers::LinearResult lin = solvers::gmres(op, rhs, lopts);
+
+  out.stats.iterations = lin.stats.iterations;
+  out.stats.matvec_count = lin.stats.matvec_count;
+  out.stats.residual_history = std::move(lin.stats.residual_history);
+
+  std::vector<double> x(x0.begin(), x0.end());
+  bool finite = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += lin.solution[i];
+    if (!std::isfinite(x[i])) finite = false;
+    if (x[i] < 0.0) x[i] = 0.0;
+  }
+  const double mass = finite ? kahan_sum(x) : 0.0;
+  if (!finite || !(mass > 0.0)) {
+    out.stats.residual = std::numeric_limits<double>::infinity();
+    out.distribution = std::move(x);
+    out.stats.seconds = timer.seconds();
+    return out;
+  }
+  for (double& v : x) v /= mass;
+  out.stats.residual = solvers::stationary_residual(chain, x);
+  // Convergence is judged on the harness metric (L1 stationary residual),
+  // not GMRES's relative 2-norm; a near-miss escalates warm-started.
+  out.stats.converged = out.stats.residual < tolerance;
+  out.distribution = std::move(x);
+  out.stats.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(RungKind kind) {
+  switch (kind) {
+    case RungKind::kMultilevel: return "multilevel";
+    case RungKind::kGmresStationary: return "gmres-stationary";
+    case RungKind::kSor: return "sor";
+    case RungKind::kPower: return "power";
+    case RungKind::kGthDirect: return "gth-direct";
+  }
+  return "unknown";
+}
+
+std::vector<RungSpec> default_ladder() {
+  return {
+      {RungKind::kMultilevel, 500, 1.0},
+      {RungKind::kGmresStationary, 300, 1.0},
+      {RungKind::kSor, 10000, 1.0},
+      {RungKind::kPower, 50000, 0.9},
+      {RungKind::kGthDirect, 1, 1.0},
+  };
+}
+
+RobustSolver::RobustSolver(const markov::MarkovChain& chain,
+                           std::vector<markov::Partition> hierarchy,
+                           RobustOptions options)
+    : chain_(&chain),
+      hierarchy_(std::move(hierarchy)),
+      options_(std::move(options)) {
+  STOCDR_REQUIRE(options_.tolerance > 0.0,
+                 "robust: tolerance must be positive");
+  STOCDR_REQUIRE(
+      hierarchy_.empty() || hierarchy_.front().num_states() == chain.num_states(),
+      "robust: hierarchy does not match the chain");
+
+  // Input validation gate.  kStochasticTol matches MarkovChain's strict
+  // validation: chains below it are exactly what a strict construction
+  // would accept and pass through untouched.
+  constexpr double kStochasticTol = 1e-10;
+  input_defect_ = chain.stochasticity_defect();
+  if (input_defect_ > kStochasticTol) {
+    if (input_defect_ > options_.repair_tolerance) {
+      throw PreconditionError(
+          "robust: row-stochasticity defect " + sci(input_defect_, 2) +
+          " exceeds the repair tolerance " +
+          sci(options_.repair_tolerance, 2) + "; rejecting the chain");
+    }
+    // Repair: renormalize every source state's outgoing mass to 1.
+    const std::vector<double> sums = chain.pt().col_sums();
+    for (std::size_t s = 0; s < sums.size(); ++s) {
+      if (!(sums[s] > 0.0)) {
+        throw PreconditionError(
+            "robust: state " + std::to_string(s) +
+            " has no outgoing probability; cannot renormalize");
+      }
+    }
+    sparse::CooBuilder builder(chain.num_states(), chain.num_states());
+    builder.reserve(chain.pt().nnz());
+    chain.pt().for_each([&](std::size_t dst, std::size_t src, double v) {
+      builder.add(dst, src, v / sums[src]);
+    });
+    repaired_ = std::make_unique<markov::MarkovChain>(
+        builder.to_csr(), markov::Validation::kStrict);
+    repair_counter().add(1);
+  }
+}
+
+std::vector<double> RobustSolver::run_ladder(
+    const markov::MarkovChain& chain,
+    const std::vector<markov::Partition>& hierarchy,
+    std::span<const double> initial, const Timer& clock,
+    RobustSolveReport& report) const {
+  const std::size_t n = chain.num_states();
+  std::vector<double> best = solvers::detail::make_initial(chain, initial);
+  double best_residual = solvers::stationary_residual(chain, best);
+  bool warm = false;
+  std::string predecessor;
+
+  std::vector<RungSpec> ladder = options_.ladder;
+  if (ladder.empty()) ladder = default_ladder();
+
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    const RungSpec& spec = ladder[r];
+    RungReport rung;
+    rung.method = to_string(spec.kind);
+    rung.predecessor_failure = predecessor;
+    rung.initial_residual = best_residual;
+    rung.warm_started = warm;
+
+    // Global deadline gate between rungs (sentinels cover the inside).
+    if (clock.seconds() > options_.time_budget_seconds) {
+      rung.failure = FailureCause::kDeadlineExceeded;
+      rung.detail = "budget exhausted before the rung started";
+      report.deadline_exceeded = true;
+      report.rungs.push_back(std::move(rung));
+      break;
+    }
+    if (spec.kind == RungKind::kGthDirect && n > options_.gth_size_limit) {
+      rung.failure = FailureCause::kSkipped;
+      rung.detail = std::to_string(n) + " states exceed the dense-GTH limit " +
+                    std::to_string(options_.gth_size_limit);
+      report.rungs.push_back(std::move(rung));
+      continue;  // predecessor stays: the *real* failure above this rung
+    }
+
+    SolveSentinel::Options sopt;
+    sopt.stride = options_.sentinel_stride;
+    sopt.divergence_factor = options_.divergence_factor;
+    sopt.stall_factor = options_.stall_factor;
+    sopt.stall_window = options_.stall_window;
+    sopt.deadline_seconds = options_.time_budget_seconds;
+    sopt.clock = &clock;
+    sopt.fault_injector = options_.fault_injector;
+    sopt.forward = options_.progress;
+    // A GMRES progress iterate is the correction of the shifted system, not
+    // a distribution — never checkpoint it.
+    sopt.take_checkpoints = spec.kind != RungKind::kGmresStationary;
+    SolveSentinel sentinel(sopt);
+    const obs::ProgressObserver observer(sentinel);
+
+    obs::Span span("robust.rung");
+    if (span.active()) {
+      span.attr("kind", std::string_view(to_string(spec.kind)));
+      span.attr("rung", r);
+      span.attr("warm_started", rung.warm_started);
+    }
+
+    solvers::StationaryResult result;
+    bool threw = false;
+    try {
+      switch (spec.kind) {
+        case RungKind::kMultilevel: {
+          solvers::MultilevelOptions mopts = options_.multilevel;
+          mopts.tolerance = options_.tolerance;
+          mopts.max_cycles = spec.max_iterations;
+          mopts.progress = observer;
+          result =
+              solvers::solve_stationary_multilevel(chain, hierarchy, mopts,
+                                                   best);
+          break;
+        }
+        case RungKind::kGmresStationary:
+          result = run_gmres_rung(chain, spec, options_.tolerance, sentinel,
+                                  best);
+          break;
+        case RungKind::kSor: {
+          solvers::SolverOptions o;
+          o.tolerance = options_.tolerance;
+          o.max_iterations = spec.max_iterations;
+          o.relaxation = spec.relaxation;
+          o.progress = observer;
+          result = solvers::solve_stationary_sor(chain, o, best);
+          break;
+        }
+        case RungKind::kPower: {
+          solvers::SolverOptions o;
+          o.tolerance = options_.tolerance;
+          o.max_iterations = spec.max_iterations;
+          o.relaxation = spec.relaxation;
+          o.progress = observer;
+          result = solvers::solve_stationary_power(chain, o, best);
+          break;
+        }
+        case RungKind::kGthDirect:
+          result = solvers::solve_stationary_direct(chain);
+          // GTH is direct and subtraction-free: any finite answer is final.
+          result.stats.converged = std::isfinite(result.stats.residual);
+          break;
+      }
+    } catch (const Error& e) {
+      threw = true;
+      rung.failure = FailureCause::kError;
+      rung.detail = e.what();
+      result.stats.method = to_string(spec.kind);
+      result.stats.converged = false;
+    }
+
+    if (!result.stats.method.empty()) rung.method = result.stats.method;
+    rung.stats = result.stats;
+    rung.checkpoints = sentinel.checkpoints_taken();
+    report.checkpoints_taken += sentinel.checkpoints_taken();
+
+    const bool success = !threw && result.stats.converged &&
+                         std::isfinite(result.stats.residual);
+    if (success) {
+      rung.failure = FailureCause::kNone;
+      report.converged = true;
+      report.final_method = rung.method;
+      best = std::move(result.distribution);
+      best_residual = result.stats.residual;
+      if (span.active()) {
+        span.attr("outcome", std::string_view("converged"));
+        span.attr("residual", best_residual);
+      }
+      report.rungs.push_back(std::move(rung));
+      break;
+    }
+
+    // Classify the failure: the sentinel's verdict wins (it saw the fault
+    // live), then non-finite residuals, then the iteration budget.
+    if (!threw) {
+      if (sentinel.verdict() != FailureCause::kNone) {
+        rung.failure = sentinel.verdict();
+        rung.detail = sentinel.verdict_detail();
+      } else if (!std::isfinite(result.stats.residual)) {
+        rung.failure = FailureCause::kNumericalFault;
+        rung.detail = "solver reported a non-finite residual";
+      } else {
+        rung.failure = FailureCause::kIterationBudget;
+        rung.detail = "no convergence within " +
+                      std::to_string(spec.max_iterations) + " iterations";
+      }
+    }
+    rung_failure_counter().add(1);
+    if (span.active()) {
+      span.attr("outcome", std::string_view(to_string(rung.failure)));
+      span.attr("residual", result.stats.residual);
+    }
+
+    // Checkpoint/restart: the next rung starts from the best vector any
+    // predecessor reached — the sentinel's snapshot or the rung's final
+    // iterate, whichever is better — never from scratch.
+    if (sentinel.checkpoint_residual() < best_residual) {
+      best = sentinel.checkpoint();
+      best_residual = sentinel.checkpoint_residual();
+      warm = true;
+      report.final_method = rung.method;
+    }
+    if (!threw && std::isfinite(result.stats.residual) &&
+        result.stats.residual < best_residual &&
+        result.distribution.size() == n) {
+      best = std::move(result.distribution);
+      best_residual = result.stats.residual;
+      warm = true;
+      report.final_method = rung.method;
+    }
+
+    const bool deadline = rung.failure == FailureCause::kDeadlineExceeded;
+    predecessor = to_string(rung.failure);
+    report.rungs.push_back(std::move(rung));
+    if (deadline) {
+      report.deadline_exceeded = true;
+      break;  // the budget is global: no rung below can run either
+    }
+  }
+  report.residual = best_residual;
+  return best;
+}
+
+std::vector<double> RobustSolver::run_degraded(std::span<const double> initial,
+                                               const Timer& clock,
+                                               RobustSolveReport& report) const {
+  const markov::MarkovChain& fine = chain();
+  if (!initial.empty()) {
+    STOCDR_REQUIRE(initial.size() == fine.num_states(),
+                   "robust: initial guess size must match the chain");
+  }
+
+  // Compose hierarchy levels until the coarse chain fits the ceiling (or
+  // the hierarchy runs out — then we solve the coarsest we can reach).
+  markov::Partition composed = hierarchy_.front();
+  std::size_t levels_used = 1;
+  while (composed.num_groups() > options_.max_states &&
+         levels_used < hierarchy_.size()) {
+    composed = composed.compose(hierarchy_[levels_used]);
+    ++levels_used;
+  }
+
+  const std::vector<double> weights(fine.num_states(), 1.0);
+  markov::MarkovChain coarse(
+      markov::aggregate_transposed(fine.pt(), composed, weights),
+      markov::Validation::kNone);
+  const std::vector<markov::Partition> coarse_hierarchy(
+      hierarchy_.begin() + static_cast<std::ptrdiff_t>(levels_used),
+      hierarchy_.end());
+
+  report.degraded = true;
+  report.degraded_states = coarse.num_states();
+  degradation_counter().add(1);
+
+  std::vector<double> coarse_initial;
+  if (!initial.empty()) {
+    coarse_initial = markov::restrict_sum(composed, initial);
+  }
+  std::vector<double> coarse_x =
+      run_ladder(coarse, coarse_hierarchy, coarse_initial, clock, report);
+
+  // Expand: spread each group's stationary mass uniformly over its fine
+  // states, then polish with damped power sweeps (deadline permitting).
+  std::vector<double> x(fine.num_states(), 1.0);
+  markov::disaggregate(composed, coarse_x, x);
+  std::vector<double> scratch(x.size());
+  const double w = options_.multilevel.smoothing_damping;
+  for (std::size_t s = 0; s < options_.degrade_smooth_sweeps; ++s) {
+    if (clock.seconds() > options_.time_budget_seconds) break;
+    fine.step(x, scratch);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = (1.0 - w) * x[i] + w * scratch[i];
+    }
+    normalize_l1(x);
+  }
+  // The accuracy loss of the coarser grid, measured where it matters: on
+  // the fine chain.
+  report.degradation_residual = solvers::stationary_residual(fine, x);
+  report.residual = report.degradation_residual;
+  return x;
+}
+
+RobustResult RobustSolver::solve(std::span<const double> initial) const {
+  const Timer clock;
+  obs::Span span("robust.solve");
+  const markov::MarkovChain& c = chain();
+  solve_counter().add(1);
+
+  RobustResult out;
+  out.report.states = c.num_states();
+  out.report.stochasticity_defect = input_defect_;
+  out.report.repaired = repaired_ != nullptr;
+  if (span.active()) {
+    span.attr("states", c.num_states());
+    span.attr("repaired", out.report.repaired);
+  }
+
+  if (c.num_states() > options_.max_states && !hierarchy_.empty()) {
+    out.distribution = run_degraded(initial, clock, out.report);
+  } else {
+    out.distribution = run_ladder(c, hierarchy_, initial, clock, out.report);
+  }
+  out.report.seconds = clock.seconds();
+  if (out.report.deadline_exceeded) deadline_counter().add(1);
+  if (span.active()) {
+    span.attr("converged", out.report.converged);
+    span.attr("residual", out.report.residual);
+    span.attr("rungs", out.report.rungs.size());
+    span.attr("deadline_exceeded", out.report.deadline_exceeded);
+    span.attr("degraded", out.report.degraded);
+    span.attr("method", std::string_view(out.report.final_method));
+  }
+  return out;
+}
+
+RobustResult solve_stationary_robust(
+    const markov::MarkovChain& chain,
+    const std::vector<markov::Partition>& hierarchy,
+    const RobustOptions& options, std::span<const double> initial) {
+  const RobustSolver solver(chain, hierarchy, options);
+  return solver.solve(initial);
+}
+
+}  // namespace stocdr::robust

@@ -1,0 +1,161 @@
+// Fault-tolerant solve orchestration: the fallback ladder.
+//
+// The paper's measures hinge on one stationary solve of a 1e5+-state chain;
+// if that solve silently stalls or diverges, the reported BER is garbage.
+// Stewart's numerical-Markov-chain treatment prescribes the remedy this
+// harness implements: a ladder of methods ordered fast-but-fragile to
+// slow-but-certain —
+//
+//   multilevel (auto-W)  ->  GMRES on the deflated stationary system
+//                        ->  SOR sweeps  ->  damped power iteration
+//                        ->  GTH direct (when the chain is small enough)
+//
+// — with each rung warm-started from the best checkpoint its predecessors
+// reached, divergence sentinels cancelling rungs that go numerically wrong,
+// wall-clock/iteration/state budgets bounding the worst case, and graceful
+// degradation to a coarser phase grid (via the existing lumping machinery)
+// when the chain exceeds the state ceiling.  Every decision is recorded in
+// a RobustSolveReport and mirrored to the obs layer.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "markov/lumping.hpp"
+#include "robust/report.hpp"
+#include "robust/sentinel.hpp"
+#include "solvers/aggregation.hpp"
+#include "solvers/options.hpp"
+
+namespace stocdr::robust {
+
+/// The methods a ladder rung can dispatch to.
+enum class RungKind {
+  kMultilevel,       ///< the paper's aggregation multigrid (auto V->W)
+  kGmresStationary,  ///< GMRES on (I - P^T + (1/n) e e^T) x = e/n
+  kSor,              ///< successive over-relaxation sweeps
+  kPower,            ///< damped power iteration (slow, unconditionally safe)
+  kGthDirect,        ///< dense GTH; exact, O(n^3), gated by gth_size_limit
+};
+
+[[nodiscard]] const char* to_string(RungKind kind);
+
+/// One rung of the ladder: a method plus its per-rung budgets.
+struct RungSpec {
+  RungKind kind = RungKind::kPower;
+  /// Per-rung iteration budget (cycles / outer iterations / sweeps).
+  std::size_t max_iterations = 200;
+  /// Relaxation / damping where the method has one (SOR, power).
+  double relaxation = 1.0;
+};
+
+/// Options of the robust orchestration harness.
+struct RobustOptions {
+  /// Convergence target on the L1 stationary residual ||P^T x - x||_1.
+  double tolerance = 1e-12;
+
+  /// Wall-clock budget across the *whole* ladder (validation, every rung,
+  /// degradation).  When it expires the harness stops cooperatively and
+  /// returns the last-good iterate with a structured timeout report — no
+  /// exception.  Infinity = no deadline.
+  double time_budget_seconds = std::numeric_limits<double>::infinity();
+
+  /// The ladder, tried in order; empty selects default_ladder().
+  std::vector<RungSpec> ladder;
+
+  // Sentinel knobs (see SolveSentinel::Options).
+  std::size_t sentinel_stride = 4;
+  double divergence_factor = 1e3;
+  double stall_factor = 0.98;
+  std::size_t stall_window = 12;
+
+  /// Input validation gate: a row-stochasticity defect at or below this is
+  /// repaired (rows renormalized, counted in `robust.repairs`); beyond it
+  /// the chain is rejected with a PreconditionError.
+  double repair_tolerance = 1e-6;
+
+  /// State-count ceiling: a chain larger than this is lumped down through
+  /// the hierarchy until it fits (graceful degradation to a coarser phase
+  /// grid), the coarse chain is solved, and the solution is expanded and
+  /// re-smoothed — with the accuracy loss reported.  SIZE_MAX = no ceiling.
+  std::size_t max_states = std::numeric_limits<std::size_t>::max();
+
+  /// Damped power sweeps polishing the expanded coarse solution.
+  std::size_t degrade_smooth_sweeps = 20;
+
+  /// Largest chain the GTH rung will accept (dense O(n^3)).
+  std::size_t gth_size_limit = 4000;
+
+  /// Base options of the multilevel rung (tolerance/max_cycles/progress are
+  /// overridden by the harness).
+  solvers::MultilevelOptions multilevel;
+
+  /// Caller's progress observer, forwarded from inside every rung.
+  obs::OptionalProgress progress;
+
+  /// Fault-injection hook for robustness tests (see robust/sentinel.hpp).
+  std::optional<FaultInjector> fault_injector;
+};
+
+/// The default ladder: multilevel -> GMRES -> SOR -> damped power -> GTH.
+[[nodiscard]] std::vector<RungSpec> default_ladder();
+
+/// The orchestration harness.  Holds a validated (possibly repaired) copy
+/// of the chain when repair was needed, otherwise references the caller's.
+class RobustSolver {
+ public:
+  /// Validates (and, within repair_tolerance, repairs) the chain.  The
+  /// hierarchy follows solvers::build_grid_pair_hierarchy conventions and
+  /// may be empty (the multilevel rung then degenerates; the rest of the
+  /// ladder is unaffected, but no degradation is possible).
+  /// Throws PreconditionError when the stochasticity defect exceeds
+  /// options.repair_tolerance.
+  RobustSolver(const markov::MarkovChain& chain,
+               std::vector<markov::Partition> hierarchy,
+               RobustOptions options = {});
+
+  /// Runs the ladder.  Never throws for convergence failures, timeouts, or
+  /// numerical faults — those come back as a structured report with the
+  /// best iterate attached.  (Precondition violations still throw.)
+  [[nodiscard]] RobustResult solve(std::span<const double> initial = {}) const;
+
+  /// The chain the ladder actually iterates on (the repaired copy when the
+  /// input had a defect).
+  [[nodiscard]] const markov::MarkovChain& chain() const {
+    return repaired_ ? *repaired_ : *chain_;
+  }
+
+  [[nodiscard]] bool repaired() const { return repaired_ != nullptr; }
+
+ private:
+  /// Runs the ladder on `chain` with `hierarchy`, appending to `report`.
+  [[nodiscard]] std::vector<double> run_ladder(
+      const markov::MarkovChain& chain,
+      const std::vector<markov::Partition>& hierarchy,
+      std::span<const double> initial, const Timer& clock,
+      RobustSolveReport& report) const;
+
+  /// Degraded path: lump below max_states, ladder the coarse chain, expand.
+  [[nodiscard]] std::vector<double> run_degraded(
+      std::span<const double> initial, const Timer& clock,
+      RobustSolveReport& report) const;
+
+  const markov::MarkovChain* chain_;
+  std::unique_ptr<markov::MarkovChain> repaired_;
+  std::vector<markov::Partition> hierarchy_;
+  RobustOptions options_;
+  double input_defect_ = 0.0;
+};
+
+/// One-call form: construct a RobustSolver and solve.
+[[nodiscard]] RobustResult solve_stationary_robust(
+    const markov::MarkovChain& chain,
+    const std::vector<markov::Partition>& hierarchy = {},
+    const RobustOptions& options = {}, std::span<const double> initial = {});
+
+}  // namespace stocdr::robust

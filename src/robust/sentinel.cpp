@@ -1,0 +1,91 @@
+#include "robust/sentinel.hpp"
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "support/text.hpp"
+
+namespace stocdr::robust {
+
+namespace {
+
+obs::Counter& checkpoint_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::instance().counter("robust.checkpoints");
+  return counter;
+}
+
+}  // namespace
+
+obs::ProgressAction SolveSentinel::operator()(
+    const obs::ProgressEvent& event) {
+  ++events_seen_;
+  double residual = event.residual;
+  if (options_.fault_injector) {
+    residual = (*options_.fault_injector)(event);
+  }
+
+  // Deadline: checked on every event so a blown budget stops the solve at
+  // the very next tick.
+  if (options_.clock != nullptr &&
+      options_.clock->seconds() > options_.deadline_seconds) {
+    verdict_ = FailureCause::kDeadlineExceeded;
+    detail_ = "wall-clock budget of " + format_duration(
+                  options_.deadline_seconds) + " exhausted at iteration " +
+              std::to_string(event.iteration);
+    return obs::ProgressAction::kStop;
+  }
+
+  // NaN/Inf: a numerical fault, never a candidate for checkpointing.
+  if (!std::isfinite(residual)) {
+    verdict_ = FailureCause::kNumericalFault;
+    detail_ = "non-finite residual at iteration " +
+              std::to_string(event.iteration);
+    return obs::ProgressAction::kStop;
+  }
+
+  const bool check_now = events_seen_ % options_.stride == 0;
+  if (check_now) {
+    // Checkpoint: snapshot the iterate whenever it is the best seen.  The
+    // event contract guarantees `residual` is the residual *of* the carried
+    // iterate, so the pair stays consistent.
+    if (options_.take_checkpoints && !event.iterate.empty() &&
+        residual < checkpoint_residual_) {
+      checkpoint_.assign(event.iterate.begin(), event.iterate.end());
+      checkpoint_residual_ = residual;
+      ++checkpoints_taken_;
+      checkpoint_counter().add(1);
+    }
+
+    if (residual > options_.divergence_factor * best_residual_) {
+      verdict_ = FailureCause::kDiverged;
+      detail_ = "residual " + sci(residual, 2) + " exceeds " +
+                sci(options_.divergence_factor, 1) + "x the best seen (" +
+                sci(best_residual_, 2) + ")";
+      return obs::ProgressAction::kStop;
+    }
+
+    if (options_.stall_factor > 0.0 &&
+        residual >= options_.stall_factor * last_check_residual_) {
+      if (++stalled_checks_ >= options_.stall_window) {
+        verdict_ = FailureCause::kStalled;
+        detail_ = std::to_string(stalled_checks_) +
+                  " consecutive checks with residual reduction above " +
+                  sci(options_.stall_factor, 2) + " (residual " +
+                  sci(residual, 2) + ")";
+        return obs::ProgressAction::kStop;
+      }
+    } else {
+      stalled_checks_ = 0;
+    }
+    last_check_residual_ = residual;
+  }
+  if (residual < best_residual_) best_residual_ = residual;
+
+  if (options_.forward) {
+    return (*options_.forward)(event);
+  }
+  return obs::ProgressAction::kContinue;
+}
+
+}  // namespace stocdr::robust

@@ -1,0 +1,109 @@
+// Divergence sentinel with checkpointing.
+//
+// A SolveSentinel rides a solver's progress callback and watches for the
+// four ways a long solve goes wrong: NaN/Inf residuals, divergence (the
+// residual exploding past the best seen), stall (no meaningful reduction
+// over a window of checks), and a blown wall-clock deadline.  On any of
+// them it requests cooperative cancellation (obs::ProgressAction::kStop)
+// and records a verdict the orchestration harness turns into a
+// FailureCause.
+//
+// Alongside the watchdog role it snapshots the best finite iterate seen —
+// the *checkpoint* — so the next rung of the fallback ladder warm-starts
+// from real progress instead of a uniform vector.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "obs/progress.hpp"
+#include "robust/report.hpp"
+#include "support/function_ref.hpp"
+#include "support/timer.hpp"
+
+namespace stocdr::robust {
+
+/// Fault-injection hook for robustness tests: called once per progress
+/// event, returns the residual the sentinel should believe.  Returning
+/// `event.residual` unchanged is a no-op; returning NaN simulates a
+/// numerical fault at that point of the solve.
+using FaultInjector = FunctionRef<double(const obs::ProgressEvent&)>;
+
+/// Watchdog + checkpointer installed as a solver's progress observer.
+class SolveSentinel {
+ public:
+  struct Options {
+    /// Divergence/stall checks run every `stride` events; the deadline is
+    /// checked on every event (a blown budget must stop the solve at the
+    /// next tick, not up to stride-1 ticks later).
+    std::size_t stride = 4;
+
+    /// Residual above `divergence_factor * best` is divergence.
+    double divergence_factor = 1e3;
+
+    /// A check with residual >= stall_factor * previous-check residual
+    /// counts as a stalled check; `stall_window` consecutive ones trigger
+    /// cancellation.  stall_factor 1.0 disables stall detection only for
+    /// exactly non-decreasing residuals; use 0 to disable entirely.
+    double stall_factor = 0.98;
+    std::size_t stall_window = 12;
+
+    /// Wall-clock budget, measured on `clock` (shared across the ladder so
+    /// rungs consume one common deadline).  Infinity = no deadline.
+    double deadline_seconds = std::numeric_limits<double>::infinity();
+    const Timer* clock = nullptr;  ///< required when deadline_seconds is set
+
+    std::optional<FaultInjector> fault_injector;
+
+    /// The caller's own observer, forwarded after the sentinel's checks
+    /// (it may also request a stop).
+    obs::OptionalProgress forward;
+
+    /// When false the sentinel never copies iterates (used for rungs whose
+    /// progress iterate is not a distribution, e.g. a GMRES correction).
+    bool take_checkpoints = true;
+  };
+
+  explicit SolveSentinel(const Options& options) : options_(options) {}
+
+  /// The progress callback. Bind via obs::ProgressObserver(sentinel).
+  obs::ProgressAction operator()(const obs::ProgressEvent& event);
+
+  /// kNone while healthy; the first failure observed otherwise.
+  [[nodiscard]] FailureCause verdict() const { return verdict_; }
+
+  /// Human-readable elaboration of the verdict ("" while healthy).
+  [[nodiscard]] const std::string& verdict_detail() const { return detail_; }
+
+  /// Best finite iterate seen (empty if none was ever snapshotted).
+  [[nodiscard]] const std::vector<double>& checkpoint() const {
+    return checkpoint_;
+  }
+
+  /// Residual of checkpoint() (infinity if no checkpoint).
+  [[nodiscard]] double checkpoint_residual() const {
+    return checkpoint_residual_;
+  }
+
+  [[nodiscard]] std::size_t checkpoints_taken() const {
+    return checkpoints_taken_;
+  }
+
+ private:
+  Options options_;
+  FailureCause verdict_ = FailureCause::kNone;
+  std::string detail_;
+
+  std::vector<double> checkpoint_;
+  double checkpoint_residual_ = std::numeric_limits<double>::infinity();
+  std::size_t checkpoints_taken_ = 0;
+
+  std::size_t events_seen_ = 0;
+  double best_residual_ = std::numeric_limits<double>::infinity();
+  double last_check_residual_ = std::numeric_limits<double>::infinity();
+  std::size_t stalled_checks_ = 0;
+};
+
+}  // namespace stocdr::robust

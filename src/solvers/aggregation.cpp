@@ -265,7 +265,10 @@ StationaryResult solve_stationary_multilevel(
       }
     }
     cycle_span.end();
-    obs::notify(options.progress, "multilevel", c + 1, res, worker.matvecs());
+    if (!obs::notify(options.progress, "multilevel", c + 1, res,
+                     worker.matvecs(), x)) {
+      break;  // observer cancelled; converged stays false
+    }
     if (res < options.tolerance) {
       result.stats.converged = true;
       break;
@@ -341,7 +344,10 @@ StationaryResult solve_stationary_two_level(
     result.stats.iterations = c + 1;
     result.stats.residual = res;
     recorder.record(res);
-    obs::notify(options.progress, "two-level-ad", c + 1, res, matvecs);
+    if (!obs::notify(options.progress, "two-level-ad", c + 1, res, matvecs,
+                     x)) {
+      break;  // observer cancelled; converged stays false
+    }
     if (res < options.tolerance) {
       result.stats.converged = true;
       break;

@@ -191,7 +191,7 @@ void finish_linear(LinearResult& result, ResidualRecorder& recorder,
 
 }  // namespace
 
-LinearResult gmres(const TransientOperator& op, std::span<const double> b,
+LinearResult gmres(const LinearOperator& op, std::span<const double> b,
                    const SolverOptions& options, std::size_t restart,
                    const Preconditioner& preconditioner) {
   const Timer timer;
@@ -240,8 +240,10 @@ LinearResult gmres(const TransientOperator& op, std::span<const double> b,
     true_residual = rnorm / bnorm;
     result.stats.residual = true_residual;
     recorder.record(true_residual);
-    obs::notify(options.progress, result.stats.method.c_str(), outer + 1,
-                true_residual, result.stats.matvec_count);
+    if (!obs::notify(options.progress, result.stats.method.c_str(), outer + 1,
+                     true_residual, result.stats.matvec_count, x)) {
+      break;  // observer cancelled; converged stays false
+    }
     if (true_residual < options.tolerance) {
       result.stats.converged = true;
       break;
@@ -310,7 +312,7 @@ LinearResult gmres(const TransientOperator& op, std::span<const double> b,
   return result;
 }
 
-LinearResult bicgstab(const TransientOperator& op, std::span<const double> b,
+LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
                       const SolverOptions& options,
                       const Preconditioner& preconditioner) {
   const Timer timer;
@@ -375,8 +377,8 @@ LinearResult bicgstab(const TransientOperator& op, std::span<const double> b,
       result.stats.residual = l2_norm(s) / bnorm;
       result.stats.converged = true;
       recorder.record(result.stats.residual);
-      obs::notify(options.progress, result.stats.method.c_str(), it + 1,
-                  result.stats.residual, result.stats.matvec_count);
+      (void)obs::notify(options.progress, result.stats.method.c_str(), it + 1,
+                        result.stats.residual, result.stats.matvec_count, x);
       break;
     }
 
@@ -393,8 +395,10 @@ LinearResult bicgstab(const TransientOperator& op, std::span<const double> b,
     result.stats.iterations = it + 1;
     result.stats.residual = l2_norm(r) / bnorm;
     recorder.record(result.stats.residual);
-    obs::notify(options.progress, result.stats.method.c_str(), it + 1,
-                result.stats.residual, result.stats.matvec_count);
+    if (!obs::notify(options.progress, result.stats.method.c_str(), it + 1,
+                     result.stats.residual, result.stats.matvec_count, x)) {
+      break;  // observer cancelled; converged stays false
+    }
     if (result.stats.residual < options.tolerance) {
       result.stats.converged = true;
       break;
@@ -433,8 +437,10 @@ LinearResult jacobi_linear(const TransientOperator& op,
     result.stats.iterations = it + 1;
     result.stats.residual = rnorm / bnorm;
     recorder.record(result.stats.residual);
-    obs::notify(options.progress, "jacobi-linear", it + 1,
-                result.stats.residual, result.stats.matvec_count);
+    if (!obs::notify(options.progress, "jacobi-linear", it + 1,
+                     result.stats.residual, result.stats.matvec_count, x)) {
+      break;  // observer cancelled; converged stays false
+    }
     if (result.stats.residual < options.tolerance) {
       result.stats.converged = true;
       break;

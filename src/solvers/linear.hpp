@@ -26,17 +26,32 @@
 
 namespace stocdr::solvers {
 
+/// Matrix-free square operator y = A x, the interface the Krylov solvers
+/// iterate against.  Implementations: TransientOperator (A = I - Q) below
+/// and robust::StationaryShiftOperator (the rank-one-deflated stationary
+/// system); anything that can apply itself to a vector qualifies.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Number of unknowns (the operator is square).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// y = A x; x and y have size() entries and must not alias.
+  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
+};
+
 /// y = A x for the operator A = I - Q, with Q given transposed (the
 /// library's stored orientation for restricted chains).
-class TransientOperator {
+class TransientOperator final : public LinearOperator {
  public:
   /// qt is Q^T; rows are destination states.
   explicit TransientOperator(const sparse::CsrMatrix& qt);
 
-  [[nodiscard]] std::size_t size() const { return qt_->rows(); }
+  [[nodiscard]] std::size_t size() const override { return qt_->rows(); }
 
   /// y = (I - Q) x.
-  void apply(std::span<const double> x, std::span<double> y) const;
+  void apply(std::span<const double> x, std::span<double> y) const override;
 
   /// Diagonal of I - Q (used by Jacobi smoothing).
   [[nodiscard]] const std::vector<double>& diagonal() const { return diag_; }
@@ -111,7 +126,7 @@ struct LinearResult {
 /// the true relative residual ||b - A x||_2 / ||b||_2 against
 /// options.tolerance.
 [[nodiscard]] LinearResult gmres(
-    const TransientOperator& op, std::span<const double> b,
+    const LinearOperator& op, std::span<const double> b,
     const SolverOptions& options = {}, std::size_t restart = 80,
     const Preconditioner& preconditioner = nullptr);
 
@@ -124,7 +139,7 @@ struct LinearResult {
 /// short-recurrence Krylov alternative to GMRES (O(n) memory independent of
 /// the iteration count).  Convergence on the true relative 2-norm residual.
 [[nodiscard]] LinearResult bicgstab(
-    const TransientOperator& op, std::span<const double> b,
+    const LinearOperator& op, std::span<const double> b,
     const SolverOptions& options = {},
     const Preconditioner& preconditioner = nullptr);
 

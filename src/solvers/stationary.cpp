@@ -59,8 +59,14 @@ StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
     ++result.stats.matvec_count;
     const double res = l1_distance(x, y);
     recorder.record(res);
-    obs::notify(options.progress, "power", it + 1, res,
-                result.stats.matvec_count);
+    // The event carries the pre-update iterate: `res` is *its* residual, so
+    // observers checkpoint a (vector, residual) pair that belongs together.
+    if (!obs::notify(options.progress, "power", it + 1, res,
+                     result.stats.matvec_count, x)) {
+      result.stats.iterations = it + 1;
+      result.stats.residual = res;
+      break;  // observer cancelled (deadline / sentinel); converged stays false
+    }
     if (w == 1.0) {
       x.swap(y);
     } else {
@@ -163,8 +169,10 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
     result.stats.iterations = it + 1;
     result.stats.residual = delta;
     recorder.record(delta);
-    obs::notify(options.progress, method, it + 1, delta,
-                result.stats.matvec_count);
+    if (!obs::notify(options.progress, method, it + 1, delta,
+                     result.stats.matvec_count, x)) {
+      break;  // observer cancelled; converged stays false
+    }
     if (delta < options.tolerance) {
       result.stats.converged = true;
       break;

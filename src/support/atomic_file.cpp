@@ -1,0 +1,62 @@
+#include "support/atomic_file.hpp"
+
+#include <cstdio>
+#include <exception>
+
+#include "support/error.hpp"
+
+namespace stocdr {
+
+AtomicFileWriter::AtomicFileWriter(std::string path, bool carry_existing)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp") {
+  file_ = std::fopen(temp_path_.c_str(), "w");
+  if (file_ == nullptr) {
+    throw IoError("AtomicFileWriter: cannot open temporary file: " +
+                  temp_path_);
+  }
+  if (carry_existing) {
+    if (std::FILE* existing = std::fopen(path_.c_str(), "r")) {
+      char buf[1 << 14];
+      std::size_t got;
+      while ((got = std::fread(buf, 1, sizeof buf, existing)) > 0) {
+        std::fwrite(buf, 1, got, file_);
+      }
+      std::fclose(existing);
+    }
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (file_ == nullptr) return;
+  try {
+    commit();
+  } catch (const std::exception&) {
+    // Destructors must not throw; the temporary is left for inspection.
+  }
+}
+
+void AtomicFileWriter::write(const std::string& data) {
+  STOCDR_REQUIRE(file_ != nullptr,
+                 "AtomicFileWriter::write after commit/discard");
+  std::fwrite(data.data(), 1, data.size(), file_);
+}
+
+void AtomicFileWriter::commit() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    throw IoError("AtomicFileWriter: cannot rename " + temp_path_ + " -> " +
+                  path_);
+  }
+}
+
+void AtomicFileWriter::discard() {
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  file_ = nullptr;
+  std::remove(temp_path_.c_str());
+}
+
+}  // namespace stocdr

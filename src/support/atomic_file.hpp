@@ -1,0 +1,57 @@
+// Crash-safe file writing: write to a temporary sibling, rename on commit.
+//
+// Artifact files (BENCH_<name>.json, JSONL traces) are read by downstream
+// tooling; a process killed mid-write — a crash, a deadline kill, an OOM —
+// must never leave a truncated artifact that parses halfway.  POSIX rename()
+// within one directory is atomic, so readers observe either the previous
+// complete file or the new complete file, never a prefix.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace stocdr {
+
+/// Writes `<path>.tmp` and renames it to `<path>` on commit().  If the
+/// process dies before commit, the temporary is left behind and the target
+/// is untouched.  Destruction commits automatically (so RAII users — e.g. a
+/// trace sink closed at exit — finalize without an explicit call); use
+/// discard() to drop the temporary instead.
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp` for writing; throws stocdr::IoError on failure.
+  /// With `carry_existing`, the current contents of `path` (if any) are
+  /// copied into the temporary first, preserving append semantics across
+  /// opens of the same artifact.
+  explicit AtomicFileWriter(std::string path, bool carry_existing = false);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// The stdio handle of the temporary file; valid until commit()/discard().
+  [[nodiscard]] std::FILE* handle() { return file_; }
+
+  /// True while the temporary is open (neither committed nor discarded).
+  [[nodiscard]] bool open() const { return file_ != nullptr; }
+
+  /// Convenience: fwrite the whole string.
+  void write(const std::string& data);
+
+  /// Flushes, closes, and atomically renames the temporary onto the target.
+  /// Idempotent.  Throws stocdr::IoError if the rename fails.
+  void commit();
+
+  /// Closes and removes the temporary without touching the target.
+  void discard();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace stocdr

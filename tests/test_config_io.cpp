@@ -1,5 +1,7 @@
 #include "cdr/config_io.hpp"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "support/error.hpp"
@@ -72,6 +74,67 @@ TEST(ConfigIoTest, RejectsMalformedInput) {
                PreconditionError);
   EXPECT_THROW((void)config_from_string("counter_length = -3\n"),
                PreconditionError);
+}
+
+// Error messages must carry enough context to fix the file: the offending
+// key, value, and (for duplicates) both line numbers.
+TEST(ConfigIoTest, BadIntegerNamesKeyAndValue) {
+  try {
+    (void)config_from_string("phase_points = twelve\n");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad integer"), std::string::npos) << what;
+    EXPECT_NE(what.find("phase_points"), std::string::npos) << what;
+    EXPECT_NE(what.find("twelve"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigIoTest, BadNumberNamesKeyAndValue) {
+  try {
+    (void)config_from_string("sigma_nw = 0.0.5\n");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad number"), std::string::npos) << what;
+    EXPECT_NE(what.find("sigma_nw"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigIoTest, UnknownKeyNamesLineNumber) {
+  try {
+    (void)config_from_string("sigma_nw = 0.05\nmystery_key = 1\n");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key"), std::string::npos) << what;
+    EXPECT_NE(what.find("mystery_key"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigIoTest, DuplicateKeyNamesBothLines) {
+  // Last-wins would silently keep 0.5; the parser must reject instead.
+  try {
+    (void)config_from_string(
+        "sigma_nw = 0.05\n"
+        "counter_length = 8\n"
+        "sigma_nw = 0.5\n");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate key"), std::string::npos) << what;
+    EXPECT_NE(what.find("sigma_nw"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+}
+
+TEST(ConfigIoTest, SerializedConfigHasNoDuplicates) {
+  // to_text output must always re-parse (it would not if it ever repeated
+  // a key).
+  const CdrConfig parsed = config_from_string(to_text(CdrConfig{}));
+  EXPECT_EQ(parsed.phase_points, CdrConfig{}.phase_points);
 }
 
 TEST(ConfigIoTest, ParsedConfigIsValidated) {

@@ -56,6 +56,38 @@ TEST(ResidualRecorderTest, FinishDoesNotDuplicateLastSample) {
   ASSERT_EQ(history.size(), 2u);
 }
 
+TEST(ResidualRecorderTest, ExactlyAtCapDecimatesToEveryOtherSample) {
+  std::vector<double> history;
+  ResidualRecorder recorder(history);
+  for (std::size_t i = 1; i <= kResidualHistoryCap; ++i) {
+    recorder.record(static_cast<double>(i));
+  }
+  // The push that fills the buffer immediately decimates to every other
+  // sample and doubles the stride: exactly cap/2 entries survive, and they
+  // are the even-numbered samples.
+  ASSERT_EQ(history.size(), kResidualHistoryCap / 2);
+  for (std::size_t k = 0; k < history.size(); ++k) {
+    EXPECT_EQ(history[k], static_cast<double>(2 * (k + 1)));
+  }
+}
+
+TEST(ResidualRecorderTest, StrideDoublesTwiceOnDoubleCapRuns) {
+  std::vector<double> history;
+  ResidualRecorder recorder(history);
+  const std::size_t total = 2 * kResidualHistoryCap;
+  for (std::size_t i = 1; i <= total; ++i) {
+    recorder.record(static_cast<double>(i));
+  }
+  // Two decimations: after the second, only every 4th sample survives and
+  // the buffer is back to cap/2.
+  ASSERT_EQ(history.size(), kResidualHistoryCap / 2);
+  for (std::size_t k = 0; k < history.size(); ++k) {
+    EXPECT_EQ(history[k], static_cast<double>(4 * (k + 1)));
+  }
+  recorder.finish(0.5);
+  EXPECT_EQ(history.back(), 0.5);
+}
+
 // --- residual_history from the real solvers --------------------------------
 
 using SolverFn = StationaryResult (*)(const MarkovChain&,
@@ -106,6 +138,7 @@ TEST_P(TelemetrySolverTest, ProgressObserverSeesEverySweep) {
     last_iteration = event.iteration;
     last_residual = event.residual;
     EXPECT_STRNE(event.method, "");
+    return obs::ProgressAction::kContinue;
   };
   SolverOptions options;
   options.tolerance = 1e-12;
@@ -141,6 +174,7 @@ TEST(MultilevelTelemetryTest, ProgressAndHistoryPerCycle) {
     ++cycles_seen;
     EXPECT_STREQ(event.method, "multilevel");
     EXPECT_GT(event.matvec_count, 0u);
+    return obs::ProgressAction::kContinue;
   };
   MultilevelOptions options;
   options.tolerance = 1e-12;
@@ -216,6 +250,7 @@ TEST(LinearTelemetryTest, GmresRecordsHistoryAndProgress) {
   auto observer = [&](const obs::ProgressEvent& event) {
     ++calls;
     EXPECT_STREQ(event.method, "gmres");
+    return obs::ProgressAction::kContinue;
   };
   SolverOptions options;
   options.tolerance = 1e-10;
