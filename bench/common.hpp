@@ -19,6 +19,7 @@
 #include "cdr/measures.hpp"
 #include "cdr/model.hpp"
 #include "obs/json.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "robust/robust_solver.hpp"
@@ -63,6 +64,16 @@ inline cdr::CdrConfig paper_counter_sweep(std::size_t counter_length) {
 
 /// One solved experiment with the numbers the paper annotates per plot.
 struct SolvedCase {
+  /// Per-case metric isolation.  The metrics registry is process-global;
+  /// without a reset, each case's BENCH metrics snapshot would include
+  /// every previous case's histogram observations and counters.  Declared
+  /// first so the reset runs before the model build and solve start
+  /// populating the registry.
+  struct MetricsReset {
+    MetricsReset() { obs::MetricsRegistry::instance().reset_all(); }
+  };
+  MetricsReset metrics_reset;
+
   cdr::CdrConfig config;
   cdr::CdrModel model;
   cdr::CdrChain chain;
@@ -134,6 +145,13 @@ struct SolvedCase {
     obs::JsonWriter w;
     w.begin_object();
     w.field("name", name);
+    // Run provenance: who built this, where it ran, and a hash of the
+    // operating point — bench-diff refuses to silently compare artifacts
+    // from different configurations.
+    obs::RunManifest manifest = obs::current_manifest();
+    manifest.config_hash = obs::fnv1a_hex(config.summary());
+    w.key("manifest");
+    w.raw_value(obs::manifest_to_json(manifest));
     w.key("config");
     w.begin_object();
     w.field("phase_points", std::uint64_t{config.phase_points});
@@ -170,6 +188,12 @@ struct SolvedCase {
       w.raw_value(robust_report->to_json());
     }
     w.field("peak_rss_bytes", obs::peak_rss_bytes());
+    // Per-case metrics snapshot (histograms carry p50/p90/p99); the
+    // registry was reset when this case started, so these numbers belong
+    // to this case alone.
+    w.key("metrics");
+    w.raw_value(
+        obs::metrics_to_json(obs::MetricsRegistry::instance().snapshot()));
     w.end_object();
     return std::move(w).str();
   }

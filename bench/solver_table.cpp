@@ -1,13 +1,18 @@
 // Consolidated performance table: the per-experiment numbers the paper
 // prints under each plot (state-space size, multigrid cycles, matrix-form
 // time, solve time), for every operating point used in Figures 4 and 5.
+//
+// Usage: solver_table [slug-substring]
+// With an argument only the cases whose artifact slug contains the
+// substring run (e.g. `solver_table fig4_top` for the CI smoke bench).
 #include <cstdio>
 #include <string>
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stocdr;
+  const std::string filter = argc > 1 ? argv[1] : "";
   std::printf(
       "=== Solver performance per experiment (paper per-plot annotations) "
       "===\n\n");
@@ -28,7 +33,10 @@ int main() {
 
   TextTable table({"experiment", "states", "transitions", "MG cycles",
                    "matvecs", "form", "solve", "residual", "BER"});
+  std::size_t ran = 0;
   for (const Case& c : cases) {
+    if (!filter.empty() && c.slug.find(filter) == std::string::npos) continue;
+    ++ran;
     const bench::SolvedCase solved(c.config);
     if (bench::bench_json_enabled()) solved.write_bench_json(c.slug);
     table.add_row({c.name, std::to_string(solved.chain.num_states()),
@@ -39,6 +47,10 @@ int main() {
                    format_duration(solved.stationary.stats.seconds),
                    sci(solved.stationary.stats.residual, 1),
                    sci(solved.ber, 2)});
+  }
+  if (!filter.empty() && ran == 0) {
+    std::fprintf(stderr, "no case slug matches '%s'\n", filter.c_str());
+    return 2;
   }
   std::printf("%s", table.render().c_str());
   std::printf(

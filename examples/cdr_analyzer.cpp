@@ -4,7 +4,11 @@
 //
 // Usage:
 //   cdr_analyzer [config.txt] [--export-prefix PREFIX] [--print-config]
-//                [--robust] [--time-budget SECONDS]
+//                [--robust] [--time-budget SECONDS] [--metrics-out FILE]
+//
+// With --metrics-out the final metrics snapshot (counters, gauges, and
+// histograms with p50/p90/p99 quantiles) is dumped as JSON — together with
+// the run-provenance manifest — via an atomic temp+rename write.
 //
 // With --robust the stationary solve runs through the fault-tolerant
 // fallback ladder (src/robust/): divergence sentinels, checkpoint/restart
@@ -27,7 +31,11 @@
 #include "cdr/measures.hpp"
 #include "cdr/model.hpp"
 #include "fsm/graphviz.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "sparse/io.hpp"
+#include "support/atomic_file.hpp"
 #include "support/text.hpp"
 #include "support/timer.hpp"
 
@@ -38,6 +46,7 @@ using namespace stocdr;
 int run(int argc, char** argv) {
   cdr::CdrConfig config;
   std::string export_prefix;
+  std::string metrics_out;
   bool print_config = false;
   bool use_robust = false;
   double time_budget = std::numeric_limits<double>::infinity();
@@ -50,6 +59,12 @@ int run(int argc, char** argv) {
         return 2;
       }
       export_prefix = argv[++i];
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out needs a file path\n");
+        return 2;
+      }
+      metrics_out = argv[++i];
     } else if (arg == "--print-config") {
       print_config = true;
     } else if (arg == "--robust") {
@@ -64,7 +79,8 @@ int run(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: cdr_analyzer [config.txt] [--export-prefix PREFIX] "
-          "[--print-config] [--robust] [--time-budget SECONDS]\n");
+          "[--print-config] [--robust] [--time-budget SECONDS] "
+          "[--metrics-out FILE]\n");
       return 0;
     } else {
       config = cdr::config_from_file(arg);
@@ -140,6 +156,24 @@ int run(int argc, char** argv) {
     std::printf("\nexported %s.mtx, %s.eta.mtx, %s.dot\n",
                 export_prefix.c_str(), export_prefix.c_str(),
                 export_prefix.c_str());
+  }
+
+  if (!metrics_out.empty()) {
+    obs::RunManifest manifest = obs::current_manifest();
+    manifest.config_hash = obs::fnv1a_hex(config.summary());
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("manifest");
+    w.raw_value(obs::manifest_to_json(manifest));
+    w.key("metrics");
+    w.raw_value(
+        obs::metrics_to_json(obs::MetricsRegistry::instance().snapshot()));
+    w.end_object();
+    AtomicFileWriter writer(metrics_out);
+    writer.write(std::move(w).str());
+    writer.write("\n");
+    writer.commit();
+    std::printf("\nwrote metrics snapshot to %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,49 @@
+// Trace analysis: per-name aggregates over a parsed trace, and exporters
+// to the two de-facto profile interchange formats —
+//   * folded stacks ("a;b;c <weight>" lines) for flamegraph.pl and
+//     speedscope, weighted by *self* time in microseconds;
+//   * Chrome trace_event JSON ("ph":"X" complete events) for Perfetto and
+//     chrome://tracing, with span attributes carried in "args" and the run
+//     manifest in "metadata".
+//
+// Span trees are reconstructed per thread from the recorded parent ids;
+// self time is a span's duration minus the duration of its direct children
+// (clamped at zero — clock granularity can make children sum past the
+// parent by a few ns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/reader.hpp"
+
+namespace stocdr::obs::analyze {
+
+/// Aggregate cost of one span name across a trace.
+struct SpanAggregate {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  ///< sum of durations (includes children)
+  std::uint64_t self_ns = 0;   ///< total minus direct children
+  /// Exact nearest-rank duration quantiles over this name's spans.
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p90_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Per-name aggregates, sorted by total_ns descending.
+[[nodiscard]] std::vector<SpanAggregate> aggregate_spans(
+    const std::vector<TraceSpan>& spans);
+
+/// Folded-stack output (one "root;child;leaf weight" line per unique stack,
+/// lexicographically sorted; weight = self time in microseconds, stacks
+/// whose self time rounds to 0 us are dropped).  When the trace holds spans
+/// from more than one thread, stacks are rooted under "thread-<tid>".
+[[nodiscard]] std::string to_folded_stacks(const std::vector<TraceSpan>& spans);
+
+/// Chrome trace_event JSON document for the whole trace.
+[[nodiscard]] std::string to_chrome_trace(const TraceFile& trace);
+
+}  // namespace stocdr::obs::analyze

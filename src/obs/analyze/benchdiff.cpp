@@ -1,0 +1,133 @@
+#include "obs/analyze/benchdiff.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace stocdr::obs::analyze {
+
+namespace {
+
+struct MetricSpec {
+  const char* key;
+  bool gating;
+  bool is_time;  ///< min_seconds floor applies
+};
+
+// Keys into the artifact JSON (dotted paths; see bench/common.hpp to_json).
+constexpr MetricSpec kMetrics[] = {
+    {"matrix_form_seconds", /*gating=*/true, /*is_time=*/true},
+    {"solve.seconds", /*gating=*/true, /*is_time=*/true},
+    {"solve.iterations", /*gating=*/true, /*is_time=*/false},
+    {"solve.matvecs", /*gating=*/true, /*is_time=*/false},
+    {"peak_rss_bytes", /*gating=*/false, /*is_time=*/false},
+    {"states", /*gating=*/false, /*is_time=*/false},
+    {"transitions", /*gating=*/false, /*is_time=*/false},
+    {"ber", /*gating=*/false, /*is_time=*/false},
+};
+
+void note_manifest_drift(const JsonValue& old_doc, const JsonValue& new_doc,
+                         std::vector<std::string>& notes) {
+  const JsonValue* old_manifest = old_doc.find("manifest");
+  const JsonValue* new_manifest = new_doc.find("manifest");
+  if (old_manifest == nullptr || new_manifest == nullptr) {
+    if (old_manifest != new_manifest) {
+      notes.push_back("manifest present in only one artifact");
+    }
+    return;
+  }
+  // git_sha is expected to differ between a baseline and a candidate run;
+  // the fields below changing mean the two costs are not comparable.
+  for (const char* field : {"config_hash", "compiler", "build_type"}) {
+    const JsonValue* old_field = old_manifest->find(field);
+    const JsonValue* new_field = new_manifest->find(field);
+    const std::string_view old_text =
+        old_field == nullptr ? std::string_view() : old_field->string_or("");
+    const std::string_view new_text =
+        new_field == nullptr ? std::string_view() : new_field->string_or("");
+    if (old_text != new_text) {
+      notes.push_back(std::string(field) + " differs: \"" +
+                      std::string(old_text) + "\" vs \"" +
+                      std::string(new_text) + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+BenchDiffReport diff_bench_artifacts(const JsonValue& old_doc,
+                                     const JsonValue& new_doc,
+                                     const BenchDiffOptions& options) {
+  BenchDiffReport report;
+  if (old_doc.find("name") != nullptr && new_doc.find("name") != nullptr &&
+      old_doc.find("name")->string_or("") !=
+          new_doc.find("name")->string_or("")) {
+    report.notes.push_back(
+        "artifact names differ: \"" +
+        std::string(old_doc.find("name")->string_or("")) + "\" vs \"" +
+        std::string(new_doc.find("name")->string_or("")) + "\"");
+  }
+  note_manifest_drift(old_doc, new_doc, report.notes);
+
+  for (const MetricSpec& spec : kMetrics) {
+    MetricDelta delta;
+    delta.key = spec.key;
+    const JsonValue* old_value = old_doc.find_path(spec.key);
+    const JsonValue* new_value = new_doc.find_path(spec.key);
+    if (old_value == nullptr || new_value == nullptr ||
+        old_value->type != JsonValue::Type::kNumber ||
+        new_value->type != JsonValue::Type::kNumber) {
+      if ((old_value == nullptr) != (new_value == nullptr)) {
+        report.notes.push_back(std::string(spec.key) +
+                               " present in only one artifact");
+      }
+      report.deltas.push_back(std::move(delta));
+      continue;
+    }
+    delta.present = true;
+    delta.old_value = old_value->number;
+    delta.new_value = new_value->number;
+    if (delta.old_value != 0.0) {
+      delta.change = (delta.new_value - delta.old_value) / delta.old_value;
+    }
+    const bool below_floor =
+        spec.is_time && delta.old_value < options.min_seconds;
+    delta.gating = spec.gating && !below_floor;
+    delta.regressed = delta.gating &&
+                      ((delta.old_value == 0.0 && delta.new_value > 0.0) ||
+                       delta.change > options.threshold);
+    report.regressed = report.regressed || delta.regressed;
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+std::string BenchDiffReport::render() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-22s %14s %14s %9s\n", "metric", "old",
+                "new", "change");
+  out += line;
+  for (const MetricDelta& delta : deltas) {
+    if (!delta.present) {
+      std::snprintf(line, sizeof line, "%-22s %14s %14s %9s\n",
+                    delta.key.c_str(), "-", "-", "-");
+      out += line;
+      continue;
+    }
+    const char* tag = delta.regressed        ? "  REGRESSED"
+                      : delta.gating         ? ""
+                                             : "  (report-only)";
+    std::snprintf(line, sizeof line, "%-22s %14.6g %14.6g %+8.1f%%%s\n",
+                  delta.key.c_str(), delta.old_value, delta.new_value,
+                  100.0 * delta.change, tag);
+    out += line;
+  }
+  for (const std::string& note : notes) {
+    out += "note: ";
+    out += note;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace stocdr::obs::analyze

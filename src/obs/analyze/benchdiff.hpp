@@ -1,0 +1,55 @@
+// BENCH_<name>.json artifact diffing: the regression gate behind
+// `stocdr-obsctl bench-diff old.json new.json --threshold 10%`.
+//
+// Two classes of metric:
+//   * gating — wall-clock costs (matrix_form_seconds, solve.seconds) and
+//     the deterministic work counts (solve.iterations, solve.matvecs).
+//     A relative increase beyond the threshold marks the diff regressed
+//     (non-zero CLI exit).  Time metrics whose baseline is below
+//     min_seconds are reported but never gate: micro-timings are noise.
+//   * report-only — memory (peak_rss_bytes), problem sizes, BER.  Shown
+//     with their deltas; never fail the gate.
+//
+// Cross-run trust: when both artifacts carry a manifest, mismatched
+// config_hash / compiler / build_type are surfaced as notes — a diff
+// across configurations is labelled, not silently trusted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/analyze/json_parse.hpp"
+
+namespace stocdr::obs::analyze {
+
+struct BenchDiffOptions {
+  double threshold = 0.10;    ///< gating relative increase (0.10 = +10%)
+  double min_seconds = 0.0;   ///< time metrics below this baseline never gate
+};
+
+/// One compared metric.
+struct MetricDelta {
+  std::string key;            ///< dotted path into the artifact
+  bool present = false;       ///< both artifacts carried the metric
+  double old_value = 0.0;
+  double new_value = 0.0;
+  double change = 0.0;        ///< (new - old) / old; 0 when old == 0
+  bool gating = false;
+  bool regressed = false;
+};
+
+struct BenchDiffReport {
+  std::vector<MetricDelta> deltas;
+  std::vector<std::string> notes;  ///< manifest drift, missing metrics, ...
+  bool regressed = false;          ///< any gating metric regressed
+
+  /// Human-readable rendering (one line per metric plus the notes).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Diffs two parsed BENCH artifacts.
+[[nodiscard]] BenchDiffReport diff_bench_artifacts(
+    const JsonValue& old_doc, const JsonValue& new_doc,
+    const BenchDiffOptions& options = {});
+
+}  // namespace stocdr::obs::analyze

@@ -1,0 +1,281 @@
+#include "obs/analyze/json_parse.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+
+namespace stocdr::obs::analyze {
+
+namespace {
+
+/// Bounds recursion on adversarial inputs; real traces nest a few levels.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse_document() {
+    skip_whitespace();
+    JsonValue value;
+    if (!parse_value(value, 0)) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return consume_literal("false");
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return consume_literal("null");
+      default:
+        out.type = JsonValue::Type::kNumber;
+        return parse_number(out.number);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_whitespace();
+    if (consume('}')) return true;
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
+        return false;
+      }
+      skip_whitespace();
+      if (!consume(':')) return false;
+      skip_whitespace();
+      JsonValue member;
+      if (!parse_value(member, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_whitespace();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_whitespace();
+    if (consume(']')) return true;
+    while (true) {
+      skip_whitespace();
+      JsonValue element;
+      if (!parse_value(element, depth + 1)) return false;
+      out.array.push_back(std::move(element));
+      skip_whitespace();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_number(double& out) {
+    // std::from_chars accepts exactly the JSON number grammar minus the
+    // leading '+' (which JSON also forbids), so delegate wholesale.
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc() || ptr == begin) return false;
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text_[pos_ + static_cast<std::size_t>(k)];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      out = (out << 4) | digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: must pair with \uDC00..\uDFFF.
+            std::uint32_t low = 0;
+            if (!consume('\\') || !consume('u') || !parse_hex4(low) ||
+                low < 0xdc00 || low > 0xdfff) {
+              return false;
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return false;  // unpaired low surrogate
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find_path(std::string_view dotted) const {
+  const JsonValue* node = this;
+  while (node != nullptr && !dotted.empty()) {
+    const std::size_t dot = dotted.find('.');
+    const std::string_view hop =
+        dot == std::string_view::npos ? dotted : dotted.substr(0, dot);
+    node = node->find(hop);
+    dotted = dot == std::string_view::npos ? std::string_view()
+                                           : dotted.substr(dot + 1);
+  }
+  return node;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string to_json_text(const JsonValue& value) {
+  switch (value.type) {
+    case JsonValue::Type::kNull:
+      return "null";
+    case JsonValue::Type::kBool:
+      return value.boolean ? "true" : "false";
+    case JsonValue::Type::kNumber:
+      return json_number(value.number);
+    case JsonValue::Type::kString:
+      return '"' + json_escape(value.string) + '"';
+    case JsonValue::Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i != 0) out += ',';
+        out += to_json_text(value.array[i]);
+      }
+      out += ']';
+      return out;
+    }
+    case JsonValue::Type::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < value.object.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '"' + json_escape(value.object[i].first) + "\":";
+        out += to_json_text(value.object[i].second);
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";  // unreachable
+}
+
+}  // namespace stocdr::obs::analyze

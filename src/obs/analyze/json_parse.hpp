@@ -1,0 +1,67 @@
+// The reading half of the observability JSON story (obs/json.hpp is the
+// writing half): a small recursive-descent JSON parser used by the trace
+// analysis toolchain and stocdr-obsctl to consume JSONL traces and
+// BENCH_<name>.json artifacts.
+//
+// Deliberately forgiving about *values* (numbers are held as double, big
+// integers lose precision above 2^53 — fine for our artifact ranges) and
+// strict about *syntax*: any malformed document yields std::nullopt, never
+// a partial tree, so callers can count-and-skip bad JSONL lines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stocdr::obs::analyze {
+
+/// One parsed JSON value.  A tagged struct rather than a std::variant so
+/// lookups read naturally (`value.find("solve")->find("seconds")`).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered (duplicate keys keep the first occurrence on find()).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Dotted-path lookup ("solve.seconds"); nullptr when any hop is missing.
+  [[nodiscard]] const JsonValue* find_path(std::string_view dotted) const;
+
+  [[nodiscard]] double number_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+  [[nodiscard]] std::uint64_t uint_or(std::uint64_t fallback) const {
+    return type == Type::kNumber && number >= 0.0
+               ? static_cast<std::uint64_t>(number)
+               : fallback;
+  }
+  [[nodiscard]] std::string_view string_or(std::string_view fallback) const {
+    return type == Type::kString ? std::string_view(string) : fallback;
+  }
+};
+
+/// Parses one complete JSON document (leading/trailing whitespace allowed;
+/// trailing garbage is an error).  Returns std::nullopt on any syntax
+/// error, unpaired surrogate escape, or nesting deeper than an internal
+/// limit.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+/// Serializes a JsonValue back to compact JSON (used by the Chrome
+/// trace_event exporter to splice parsed attribute values into "args").
+[[nodiscard]] std::string to_json_text(const JsonValue& value);
+
+}  // namespace stocdr::obs::analyze

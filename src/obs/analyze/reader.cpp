@@ -1,0 +1,77 @@
+#include "obs/analyze/reader.hpp"
+
+#include <fstream>
+#include <istream>
+
+#include "support/error.hpp"
+
+namespace stocdr::obs::analyze {
+
+namespace {
+
+/// A span line must carry at least a string name and a positive id; the
+/// remaining fields default to zero so schema-1 traces (no tid) still load.
+bool parse_span_line(const JsonValue& doc, TraceSpan& out) {
+  const JsonValue* name = doc.find("name");
+  const JsonValue* id = doc.find("id");
+  if (name == nullptr || name->type != JsonValue::Type::kString ||
+      id == nullptr || id->type != JsonValue::Type::kNumber) {
+    return false;
+  }
+  out.name = name->string;
+  out.id = id->uint_or(0);
+  if (out.id == 0) return false;
+  if (const JsonValue* v = doc.find("parent")) out.parent = v->uint_or(0);
+  if (const JsonValue* v = doc.find("depth")) {
+    out.depth = static_cast<std::uint32_t>(v->uint_or(0));
+  }
+  if (const JsonValue* v = doc.find("tid")) {
+    out.tid = static_cast<std::uint32_t>(v->uint_or(0));
+  }
+  if (const JsonValue* v = doc.find("ts_ns")) out.ts_ns = v->uint_or(0);
+  if (const JsonValue* v = doc.find("dur_ns")) out.dur_ns = v->uint_or(0);
+  if (const JsonValue* attrs = doc.find("attrs");
+      attrs != nullptr && attrs->is_object()) {
+    out.attrs = attrs->object;
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceFile read_trace(std::istream& in) {
+  TraceFile trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++trace.total_lines;
+    std::optional<JsonValue> doc = parse_json(line);
+    if (!doc || !doc->is_object()) {
+      ++trace.skipped_lines;
+      continue;
+    }
+    if (const JsonValue* manifest = doc->find("manifest");
+        manifest != nullptr && manifest->is_object()) {
+      trace.manifest = *manifest;
+      trace.has_manifest = true;
+      continue;
+    }
+    TraceSpan span;
+    if (parse_span_line(*doc, span)) {
+      trace.spans.push_back(std::move(span));
+    } else {
+      ++trace.skipped_lines;
+    }
+  }
+  return trace;
+}
+
+TraceFile read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw IoError("cannot open trace file: " + path);
+  }
+  return read_trace(in);
+}
+
+}  // namespace stocdr::obs::analyze

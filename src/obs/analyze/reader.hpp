@@ -1,0 +1,52 @@
+// JSONL trace reader: turns the stream a JsonlFileSink wrote back into
+// structured spans plus the run-provenance manifest.
+//
+// Robustness contract (stocdr-obsctl must never crash on a trace): a line
+// that is empty is ignored; a line that is not valid JSON, not an object,
+// or lacks the required span fields is *skipped and counted* — a truncated
+// final line from a killed process is the expected case, not an error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/analyze/json_parse.hpp"
+
+namespace stocdr::obs::analyze {
+
+/// One span parsed back from a trace line (see obs/sink.hpp for the
+/// emitting side).  Attribute values keep their parsed JSON form.
+struct TraceSpan {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  std::uint32_t depth = 0;
+  std::uint32_t tid = 0;     ///< 0 on pre-tid traces (schema 1)
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::vector<std::pair<std::string, JsonValue>> attrs;
+};
+
+/// A fully read trace.
+struct TraceFile {
+  /// The first manifest line ({"manifest":{..}}) if present; later manifest
+  /// lines (appended traces) replace it, so this reflects the newest run.
+  JsonValue manifest;
+  bool has_manifest = false;
+
+  std::vector<TraceSpan> spans;
+
+  std::size_t total_lines = 0;    ///< non-empty lines seen
+  std::size_t skipped_lines = 0;  ///< malformed / unrecognized lines
+};
+
+/// Reads a trace from a stream (one JSON object per line).
+[[nodiscard]] TraceFile read_trace(std::istream& in);
+
+/// Reads a trace file; throws stocdr::IoError if the file cannot be opened.
+[[nodiscard]] TraceFile read_trace_file(const std::string& path);
+
+}  // namespace stocdr::obs::analyze

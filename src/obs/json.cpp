@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace stocdr::obs {
@@ -8,31 +9,67 @@ namespace stocdr::obs {
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+  const auto escape_codepoint = [&out](unsigned int cp) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "\\u%04x", cp);
+    out += buf;
+  };
+  for (std::size_t i = 0; i < s.size();) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"') {
+      out += "\\\"";
+      ++i;
+    } else if (c == '\\') {
+      out += "\\\\";
+      ++i;
+    } else if (c == '\n') {
+      out += "\\n";
+      ++i;
+    } else if (c == '\r') {
+      out += "\\r";
+      ++i;
+    } else if (c == '\t') {
+      out += "\\t";
+      ++i;
+    } else if (c == '\b') {
+      out += "\\b";
+      ++i;
+    } else if (c == '\f') {
+      out += "\\f";
+      ++i;
+    } else if (c < 0x20 || c == 0x7f) {
+      escape_codepoint(c);
+      ++i;
+    } else if (c < 0x80) {
+      out += static_cast<char>(c);
+      ++i;
+    } else {
+      // Multi-byte lead: copy the sequence only if it is well-formed UTF-8
+      // (correct length and continuations, no overlongs, no surrogates,
+      // <= U+10FFFF); otherwise substitute U+FFFD for the one bad byte so
+      // the emitted JSON stays valid regardless of what an attribute
+      // string contains.
+      const std::size_t len = c >= 0xf0 ? 4 : c >= 0xe0 ? 3 : c >= 0xc0 ? 2 : 0;
+      bool ok = len != 0 && i + len <= s.size() && c <= 0xf4;
+      std::uint32_t cp = ok ? (c & (0x7fu >> len)) : 0;
+      for (std::size_t k = 1; ok && k < len; ++k) {
+        const unsigned char cc = static_cast<unsigned char>(s[i + k]);
+        ok = (cc & 0xc0) == 0x80;
+        cp = (cp << 6) | (cc & 0x3fu);
+      }
+      if (ok) {
+        static constexpr std::uint32_t kMinByLen[5] = {0, 0, 0x80, 0x800,
+                                                       0x10000};
+        ok = cp >= kMinByLen[len] && cp <= 0x10ffff &&
+             !(cp >= 0xd800 && cp <= 0xdfff);
+      }
+      if (ok) {
+        out.append(s.substr(i, len));
+        i += len;
+      } else {
+        out += "\\ufffd";
+        ++i;
+      }
     }
   }
   return out;

@@ -11,7 +11,10 @@
 namespace stocdr::obs {
 
 /// Escapes `s` for inclusion inside a JSON string literal (quotes are not
-/// added).  Handles quotes, backslashes, and control characters.
+/// added).  Handles quotes, backslashes, and control characters (including
+/// DEL); well-formed UTF-8 passes through verbatim, and each byte of an
+/// ill-formed sequence is replaced with U+FFFD so the output is always
+/// valid JSON no matter what bytes the input carries.
 [[nodiscard]] std::string json_escape(std::string_view s);
 
 /// Formats a double as a JSON number.  Non-finite values (which JSON cannot

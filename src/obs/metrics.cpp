@@ -1,6 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -24,11 +27,29 @@ void atomic_update(std::atomic<double>& target, double v, Op op) {
 
 }  // namespace
 
+double Histogram::bucket_lower_bound(std::size_t index) {
+  return std::pow(10.0, kMinDecade + static_cast<double>(index) /
+                                         kBucketsPerDecade);
+}
+
 void Histogram::observe(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_update(sum_, v, [](double a, double b) { return a + b; });
   atomic_update(min_, v, [](double a, double b) { return std::min(a, b); });
   atomic_update(max_, v, [](double a, double b) { return std::max(a, b); });
+  // Bucket index: NaN comparisons are false, so NaN lands in underflow.
+  if (!(v >= bucket_lower_bound(0))) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const double position = (std::log10(v) - kMinDecade) * kBucketsPerDecade;
+  if (position >= static_cast<double>(kNumBuckets)) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto index = static_cast<std::size_t>(position);
+  if (index >= kNumBuckets) index = kNumBuckets - 1;  // log10 rounding edge
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
 }
 
 double Histogram::min() const {
@@ -42,6 +63,52 @@ double Histogram::max() const {
 double Histogram::mean() const {
   const std::uint64_t n = count();
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  // Local snapshot so the rank walk sees one consistent-enough view.
+  std::array<std::uint64_t, kNumBuckets> counts;
+  const std::uint64_t under = underflow_.load(std::memory_order_relaxed);
+  const std::uint64_t over = overflow_.load(std::memory_order_relaxed);
+  std::uint64_t total = under + over;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double lo_clamp = min();
+  const double hi_clamp = max();
+  if (q == 0.0) return lo_clamp;  // the extrema are tracked exactly
+  if (q == 1.0) return hi_clamp;
+  const double target = q * static_cast<double>(total - 1);
+  double cum = static_cast<double>(under);
+  if (target < cum) return lo_clamp;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const double c = static_cast<double>(counts[i]);
+    if (c > 0.0 && target < cum + c) {
+      // Geometric interpolation inside the hit bucket (log-spaced bounds).
+      const double f = (target - cum + 0.5) / c;
+      const double lo = bucket_lower_bound(i);
+      const double hi = bucket_lower_bound(i + 1);
+      const double estimate = lo * std::pow(hi / lo, std::clamp(f, 0.0, 1.0));
+      return std::clamp(estimate, lo_clamp, hi_clamp);
+    }
+    cum += c;
+  }
+  return hi_clamp;  // rank fell into overflow
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -85,17 +152,32 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     out.reserve(counters_.size() + gauges_.size() + histograms_.size());
     for (const auto& entry : counters_) {
-      out.push_back({entry.name, MetricSample::Kind::kCounter,
-                     static_cast<double>(entry.metric->value()), 0, 0.0, 0.0});
+      MetricSample sample;
+      sample.name = entry.name;
+      sample.kind = MetricSample::Kind::kCounter;
+      sample.value = static_cast<double>(entry.metric->value());
+      out.push_back(std::move(sample));
     }
     for (const auto& entry : gauges_) {
-      out.push_back({entry.name, MetricSample::Kind::kGauge,
-                     entry.metric->value(), 0, 0.0, 0.0});
+      MetricSample sample;
+      sample.name = entry.name;
+      sample.kind = MetricSample::Kind::kGauge;
+      sample.value = entry.metric->value();
+      out.push_back(std::move(sample));
     }
     for (const auto& entry : histograms_) {
-      out.push_back({entry.name, MetricSample::Kind::kHistogram,
-                     entry.metric->mean(), entry.metric->count(),
-                     entry.metric->min(), entry.metric->max()});
+      MetricSample sample;
+      sample.name = entry.name;
+      sample.kind = MetricSample::Kind::kHistogram;
+      sample.value = entry.metric->mean();
+      sample.count = entry.metric->count();
+      sample.sum = entry.metric->sum();
+      sample.min = entry.metric->min();
+      sample.max = entry.metric->max();
+      sample.p50 = entry.metric->quantile(0.50);
+      sample.p90 = entry.metric->quantile(0.90);
+      sample.p99 = entry.metric->quantile(0.99);
+      out.push_back(std::move(sample));
     }
   }
   std::sort(out.begin(), out.end(),
@@ -108,6 +190,46 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
 void MetricsRegistry::reset_counters() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& entry : counters_) entry.metric->reset();
+}
+
+void MetricsRegistry::reset_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.metric->reset();
+  for (auto& entry : gauges_) entry.metric->reset();
+  for (auto& entry : histograms_) entry.metric->reset();
+}
+
+std::string metrics_to_json(const std::vector<MetricSample>& samples) {
+  JsonWriter w;
+  w.begin_array();
+  for (const MetricSample& sample : samples) {
+    w.begin_object();
+    w.field("name", sample.name);
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        w.field("kind", "counter");
+        w.field("value", static_cast<std::uint64_t>(sample.value));
+        break;
+      case MetricSample::Kind::kGauge:
+        w.field("kind", "gauge");
+        w.field("value", sample.value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        w.field("kind", "histogram");
+        w.field("count", sample.count);
+        w.field("sum", sample.sum);
+        w.field("mean", sample.value);
+        w.field("min", sample.min);
+        w.field("max", sample.max);
+        w.field("p50", sample.p50);
+        w.field("p90", sample.p90);
+        w.field("p99", sample.p99);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  return std::move(w).str();
 }
 
 std::uint64_t peak_rss_bytes() {

@@ -12,6 +12,7 @@
 // "mg.level2.coarsen_ratio", "cdr.states".
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -43,17 +44,31 @@ class Gauge {
   [[nodiscard]] double value() const {
     return value_.load(std::memory_order_relaxed);
   }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
 };
 
-/// Streaming summary histogram: count / sum / min / max of observed values
-/// (residual-reduction factors, per-cycle seconds).  Observation takes one
-/// mutex-free CAS loop per extremum; contention is negligible at solver
-/// cadence.
+/// Fixed log-bucket histogram with streaming count / sum / exact extrema and
+/// quantile estimates (residual-reduction factors, per-cycle seconds).
+///
+/// Buckets are log10-spaced: kBucketsPerDecade per power of ten over
+/// [1e-12, 1e12), plus an underflow bucket (values below 1e-12, including
+/// zero, negatives, and NaN) and an overflow bucket.  An observation is a
+/// handful of relaxed atomic ops plus one log10; contention is negligible at
+/// solver cadence.  Quantiles are estimated by rank-walking the bucket
+/// counts with geometric interpolation inside the hit bucket, then clamped
+/// to the exact observed [min, max] — the estimate is within one bucket
+/// width (a factor of 10^(1/kBucketsPerDecade) ~ 1.78) of the true value.
 class Histogram {
  public:
+  static constexpr int kBucketsPerDecade = 4;
+  static constexpr int kMinDecade = -12;  ///< lowest bucketed value, 1e-12
+  static constexpr int kMaxDecade = 12;   ///< overflow at and above 1e12
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>((kMaxDecade - kMinDecade) * kBucketsPerDecade);
+
   void observe(double v);
 
   [[nodiscard]] std::uint64_t count() const {
@@ -62,16 +77,31 @@ class Histogram {
   [[nodiscard]] double sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
-  /// Extrema; 0 before the first observation.
+  /// Exact extrema; 0 before the first observation.
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
+
+  /// Estimated q-quantile (q in [0, 1], clamped); 0 before the first
+  /// observation.  Underflow observations resolve to min(), overflow to
+  /// max().
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Clears all state (counts, sum, extrema, buckets).
+  void reset();
+
+  /// The lower bound of bucket `index` (index kNumBuckets gives the
+  /// overflow boundary).  Exposed for tests and exporters.
+  [[nodiscard]] static double bucket_lower_bound(std::size_t index);
 
  private:
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
 };
 
 /// One metric in a snapshot.
@@ -80,7 +110,9 @@ struct MetricSample {
   enum class Kind { kCounter, kGauge, kHistogram } kind;
   double value = 0.0;          ///< counter/gauge value, histogram mean
   std::uint64_t count = 0;     ///< histogram observation count
+  double sum = 0.0;            ///< histogram sum of observations
   double min = 0.0, max = 0.0; ///< histogram extrema
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;  ///< histogram quantile estimates
 };
 
 /// The process-global registry.
@@ -99,8 +131,13 @@ class MetricsRegistry {
   [[nodiscard]] std::vector<MetricSample> snapshot() const;
 
   /// Resets counters to zero (gauges and histograms keep their last state);
-  /// intended for tests and between bench cases.
+  /// intended for tests.
   void reset_counters();
+
+  /// Resets everything — counters, gauges, and histogram state — so that a
+  /// following snapshot reflects only work done after this call.  Used
+  /// between bench cases to keep per-case BENCH metrics uncontaminated.
+  void reset_all();
 
  private:
   MetricsRegistry() = default;
@@ -117,6 +154,12 @@ class MetricsRegistry {
   std::vector<Named<Gauge>> gauges_;
   std::vector<Named<Histogram>> histograms_;
 };
+
+/// Serializes a snapshot as a JSON array (one object per metric; histograms
+/// carry count/mean/min/max/sum and the p50/p90/p99 estimates).  Embedded in
+/// BENCH_<name>.json artifacts and `cdr_analyzer --metrics-out` dumps.
+[[nodiscard]] std::string metrics_to_json(
+    const std::vector<MetricSample>& samples);
 
 /// Peak resident-set size of this process in bytes (0 if unavailable).
 /// Reported by bench artifacts alongside solver cost.

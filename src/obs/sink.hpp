@@ -28,6 +28,7 @@ struct SpanRecord {
   std::uint64_t id = 0;        ///< process-unique span id
   std::uint64_t parent_id = 0; ///< 0 = root span
   std::uint32_t depth = 0;     ///< nesting depth on the emitting thread
+  std::uint32_t tid = 0;       ///< small per-process thread index (1-based)
   std::uint64_t start_ns = 0;  ///< monotonic ns since the tracer epoch
   std::uint64_t duration_ns = 0;
   std::vector<std::pair<std::string, AttrValue>> attrs;
@@ -40,9 +41,11 @@ class TraceSink {
   virtual void on_span(const SpanRecord& span) = 0;
 };
 
-/// Writes one JSON object per span per line (JSONL).  The format is stable:
-/// {"name":..,"id":..,"parent":..,"depth":..,"ts_ns":..,"dur_ns":..,
-///  "attrs":{..}}.
+/// Writes one JSON object per span per line (JSONL).  The first line is a
+/// run-provenance manifest ({"manifest":{..}}; see obs/manifest.hpp); each
+/// span is then one stable object:
+/// {"name":..,"id":..,"parent":..,"depth":..,"tid":..,"ts_ns":..,
+///  "dur_ns":..,"attrs":{..}}.
 ///
 /// Writes are crash-safe: spans stream into `<path>.tmp` and the file is
 /// atomically renamed onto `path` when the sink closes, so a crash or a

@@ -1,6 +1,7 @@
 #include "obs/sink.hpp"
 
 #include "obs/json.hpp"
+#include "obs/manifest.hpp"
 #include "support/error.hpp"
 
 namespace stocdr::obs {
@@ -18,7 +19,21 @@ std::string attr_to_string(const AttrValue& value) {
 }
 
 JsonlFileSink::JsonlFileSink(const std::string& path)
-    : writer_(path, /*carry_existing=*/true) {}
+    : writer_(path, /*carry_existing=*/true) {
+  // Stamp provenance before the first span.  Appended traces accumulate one
+  // manifest per sink open; readers treat each as authoritative for the
+  // spans that follow it.
+  JsonWriter w;
+  w.begin_object();
+  w.key("manifest");
+  w.raw_value(manifest_to_json(current_manifest()));
+  w.end_object();
+  const std::string line = std::move(w).str();
+  std::FILE* file = writer_.handle();
+  std::fwrite(line.data(), 1, line.size(), file);
+  std::fputc('\n', file);
+  std::fflush(file);
+}
 
 JsonlFileSink::~JsonlFileSink() = default;  // AtomicFileWriter commits
 
@@ -29,6 +44,7 @@ void JsonlFileSink::on_span(const SpanRecord& span) {
   w.field("id", span.id);
   w.field("parent", span.parent_id);
   w.field("depth", std::uint64_t{span.depth});
+  w.field("tid", std::uint64_t{span.tid});
   w.field("ts_ns", span.start_ns);
   w.field("dur_ns", span.duration_ns);
   if (!span.attrs.empty()) {

@@ -61,6 +61,16 @@ std::uint64_t next_span_id() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// Small dense per-process thread index (1-based, assigned on first span on
+/// the thread) — stable across the thread's lifetime and friendlier to
+/// trace viewers than opaque native handles.
+std::uint32_t this_thread_index() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
 }  // namespace
 
 void Tracer::install(std::unique_ptr<TraceSink> sink) {
@@ -89,6 +99,7 @@ Span::Span(const char* name) : sink_(Tracer::sink()) {
   if (sink_ == nullptr) return;
   record_.name = name;
   record_.id = next_span_id();
+  record_.tid = this_thread_index();
   parent_ = t_current_span;
   if (parent_ != nullptr) {
     record_.parent_id = parent_->record_.id;

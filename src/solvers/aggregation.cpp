@@ -29,6 +29,13 @@ obs::Histogram& cycle_reduction_histogram() {
   return hist;
 }
 
+/// Wall-clock seconds per outer cycle (smoothing + recursion + residual).
+obs::Histogram& cycle_seconds_histogram() {
+  static obs::Histogram& hist =
+      obs::MetricsRegistry::instance().histogram("mg.cycle_seconds");
+  return hist;
+}
+
 /// Residual-reduction factor regarded as a stall, and how many consecutive
 /// stalled cycles trigger the V-to-W escalation.
 constexpr double kStallFactor = 0.7;
@@ -250,8 +257,10 @@ StationaryResult solve_stationary_multilevel(
       cycle_span.attr("shape",
                       std::string_view(worker.cycle_shape() == 1 ? "V" : "W"));
     }
+    const Timer cycle_timer;
     worker.cycle(0, chain.pt(), x);
     const double res = stationary_residual(chain, x);
+    cycle_seconds_histogram().observe(cycle_timer.seconds());
     result.stats.iterations = c + 1;
     result.stats.residual = res;
     recorder.record(res);

@@ -1,9 +1,11 @@
 // Observability primitives: JSON emission, metrics, and trace sinks.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -27,7 +29,27 @@ TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(json_escape("a\nb"), "a\\nb");
   EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
   EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string("a\x7f") + "b"), "a\\u007fb");
+}
+
+TEST(JsonEscapeTest, PassesWellFormedUtf8Through) {
+  EXPECT_EQ(json_escape("\xc2\xb5s"), "\xc2\xb5s");              // µs
+  EXPECT_EQ(json_escape("\xe2\x86\x92"), "\xe2\x86\x92");        // →
+  EXPECT_EQ(json_escape("\xf0\x9f\x98\x80"), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonEscapeTest, ReplacesIllFormedUtf8Bytes) {
+  // Stray continuation byte, truncated lead, overlong encoding, lone
+  // surrogate: every bad byte becomes an escaped U+FFFD, never raw output.
+  EXPECT_EQ(json_escape("a\x80""b"), "a\\ufffdb");
+  EXPECT_EQ(json_escape("a\xc2"), "a\\ufffd");                // truncated
+  EXPECT_EQ(json_escape("\xc0\xaf"), "\\ufffd\\ufffd");       // overlong '/'
+  EXPECT_EQ(json_escape("\xed\xa0\x80"),
+            "\\ufffd\\ufffd\\ufffd");                         // surrogate
+  EXPECT_EQ(json_escape("\xff"), "\\ufffd");
 }
 
 TEST(JsonNumberTest, FiniteAndNonFinite) {
@@ -87,6 +109,71 @@ TEST(MetricsPrimitivesTest, HistogramTracksExtremaAndMean) {
   EXPECT_DOUBLE_EQ(histogram.mean(), 2.0);
 }
 
+// The log-bucket quantile estimate is within one bucket width of the truth:
+// a factor of 10^(1/kBucketsPerDecade) ~ 1.78.
+constexpr double kBucketFactor = 1.7783;
+
+TEST(MetricsPrimitivesTest, HistogramQuantilesOnUniformValues) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.observe(static_cast<double>(i));
+  EXPECT_EQ(histogram.quantile(0.0), 1.0);      // clamped to exact min
+  EXPECT_EQ(histogram.quantile(1.0), 1000.0);   // clamped to exact max
+  const double p50 = histogram.quantile(0.50);
+  const double p90 = histogram.quantile(0.90);
+  const double p99 = histogram.quantile(0.99);
+  EXPECT_GE(p50, 500.0 / kBucketFactor);
+  EXPECT_LE(p50, 500.0 * kBucketFactor);
+  EXPECT_GE(p90, 900.0 / kBucketFactor);
+  EXPECT_LE(p90, 900.0 * kBucketFactor);
+  EXPECT_GE(p99, 990.0 / kBucketFactor);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+}
+
+TEST(MetricsPrimitivesTest, HistogramQuantilesOnLogSpreadValues) {
+  // Residual-reduction style data spanning many decades.
+  Histogram histogram;
+  const double values[] = {1e-9, 1e-6, 1e-3, 0.1, 0.5, 0.9, 2.0, 1e3};
+  for (const double v : values) histogram.observe(v);
+  const double p50 = histogram.quantile(0.5);
+  // True median is between 0.1 and 0.5.
+  EXPECT_GE(p50, 0.1 / kBucketFactor);
+  EXPECT_LE(p50, 0.5 * kBucketFactor);
+}
+
+TEST(MetricsPrimitivesTest, HistogramSingleValueQuantilesAreExact) {
+  Histogram histogram;
+  histogram.observe(0.37);
+  // Clamping to the exact extrema makes every quantile exact here.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.37);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 0.37);
+}
+
+TEST(MetricsPrimitivesTest, HistogramHandlesNonPositiveAndExtremeValues) {
+  Histogram histogram;
+  histogram.observe(0.0);
+  histogram.observe(-3.0);
+  histogram.observe(1e20);  // overflow bucket
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.quantile(0.0), -3.0);   // underflow resolves to min
+  EXPECT_EQ(histogram.quantile(1.0), 1e20);   // overflow resolves to max
+}
+
+TEST(MetricsPrimitivesTest, HistogramResetClearsEverything) {
+  Histogram histogram;
+  histogram.observe(4.0);
+  histogram.observe(7.0);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.min(), 0.0);
+  EXPECT_EQ(histogram.max(), 0.0);
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);
+  histogram.observe(2.0);  // usable again after reset
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 2.0);
+}
+
 TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
   auto& registry = MetricsRegistry::instance();
   registry.counter("obs.test.zzz").add(1);
@@ -99,6 +186,62 @@ TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
   }
 }
 
+TEST(MetricsRegistryTest, SnapshotCarriesHistogramQuantiles) {
+  auto& registry = MetricsRegistry::instance();
+  auto& histogram = registry.histogram("obs.test.quantiles");
+  histogram.reset();
+  for (int i = 1; i <= 100; ++i) histogram.observe(static_cast<double>(i));
+  const auto samples = registry.snapshot();
+  const auto it = std::find_if(samples.begin(), samples.end(),
+                               [](const MetricSample& sample) {
+                                 return sample.name == "obs.test.quantiles";
+                               });
+  ASSERT_NE(it, samples.end());
+  EXPECT_EQ(it->count, 100u);
+  EXPECT_DOUBLE_EQ(it->min, 1.0);
+  EXPECT_DOUBLE_EQ(it->max, 100.0);
+  EXPECT_GT(it->p50, 0.0);
+  EXPECT_LE(it->p50, it->p90);
+  EXPECT_LE(it->p90, it->p99);
+  EXPECT_LE(it->p99, 100.0);
+}
+
+TEST(MetricsRegistryTest, ResetAllClearsCountersGaugesAndHistograms) {
+  auto& registry = MetricsRegistry::instance();
+  registry.counter("obs.test.reset.counter").add(5);
+  registry.gauge("obs.test.reset.gauge").set(2.5);
+  registry.histogram("obs.test.reset.histogram").observe(1.5);
+  registry.reset_all();
+  EXPECT_EQ(registry.counter("obs.test.reset.counter").value(), 0u);
+  EXPECT_EQ(registry.gauge("obs.test.reset.gauge").value(), 0.0);
+  EXPECT_EQ(registry.histogram("obs.test.reset.histogram").count(), 0u);
+}
+
+TEST(MetricsJsonTest, SerializesEveryKindAndParsesBack) {
+  std::vector<MetricSample> samples;
+  MetricSample counter;
+  counter.name = "a.counter";
+  counter.kind = MetricSample::Kind::kCounter;
+  counter.value = 7.0;
+  samples.push_back(counter);
+  MetricSample histogram;
+  histogram.name = "b.histogram";
+  histogram.kind = MetricSample::Kind::kHistogram;
+  histogram.count = 3;
+  histogram.value = 2.0;
+  histogram.sum = 6.0;
+  histogram.min = 1.0;
+  histogram.max = 3.0;
+  histogram.p50 = 2.0;
+  histogram.p90 = 3.0;
+  histogram.p99 = 3.0;
+  samples.push_back(histogram);
+  const std::string json = metrics_to_json(samples);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":3"), std::string::npos);
+}
+
 // --- sinks ------------------------------------------------------------------
 
 SpanRecord make_record() {
@@ -107,6 +250,7 @@ SpanRecord make_record() {
   record.id = 42;
   record.parent_id = 7;
   record.depth = 1;
+  record.tid = 3;
   record.start_ns = 1000;
   record.duration_ns = 2500;
   record.attrs.emplace_back("states", AttrValue{std::uint64_t{64}});
@@ -121,7 +265,7 @@ TEST(AttrToStringTest, AllVariantAlternatives) {
   EXPECT_FALSE(attr_to_string(AttrValue{0.25}).empty());
 }
 
-TEST(JsonlFileSinkTest, WritesOneParseableObjectPerLine) {
+TEST(JsonlFileSinkTest, WritesManifestThenOneParseableObjectPerLine) {
   const std::string path =
       ::testing::TempDir() + "/stocdr_test_trace.jsonl";
   std::remove(path.c_str());
@@ -138,11 +282,19 @@ TEST(JsonlFileSinkTest, WritesOneParseableObjectPerLine) {
     ++lines;
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
+    if (lines == 1) {
+      // Run-provenance manifest precedes the first span.
+      EXPECT_NE(line.find("\"manifest\":{"), std::string::npos);
+      EXPECT_NE(line.find("\"git_sha\""), std::string::npos);
+      EXPECT_NE(line.find("\"compiler\""), std::string::npos);
+      continue;
+    }
     EXPECT_NE(line.find("\"name\":\"test.span\""), std::string::npos);
+    EXPECT_NE(line.find("\"tid\":3"), std::string::npos);
     EXPECT_NE(line.find("\"dur_ns\":2500"), std::string::npos);
     EXPECT_NE(line.find("\"method\":\"power\""), std::string::npos);
   }
-  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(lines, 3u);
   std::remove(path.c_str());
 }
 

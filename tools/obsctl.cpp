@@ -1,0 +1,212 @@
+// stocdr-obsctl — the consumption half of the observability stack.
+//
+// Commands:
+//   summarize  <trace.jsonl>                 per-name cost table
+//   flame      <trace.jsonl> [-o out.folded] folded stacks (flamegraph.pl,
+//                                            speedscope)
+//   chrome     <trace.jsonl> [-o out.json]   Chrome trace_event JSON
+//                                            (Perfetto, chrome://tracing)
+//   bench-diff <old.json> <new.json> [--threshold P%] [--min-seconds S]
+//                                            BENCH artifact regression gate
+//
+// Exit codes: 0 ok / no regression, 1 bench-diff found a regression,
+// 2 usage or I/O error.  Malformed trace lines are skipped and counted,
+// never fatal.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/analyze/analyze.hpp"
+#include "obs/analyze/benchdiff.hpp"
+#include "obs/analyze/json_parse.hpp"
+#include "obs/analyze/reader.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace stocdr;
+using namespace stocdr::obs::analyze;
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: stocdr-obsctl <command> [args]\n"
+               "  summarize  <trace.jsonl>\n"
+               "  flame      <trace.jsonl> [-o out.folded]\n"
+               "  chrome     <trace.jsonl> [-o out.json]\n"
+               "  bench-diff <old.json> <new.json> [--threshold P%%]"
+               " [--min-seconds S]\n");
+  return out == stdout ? 0 : 2;
+}
+
+/// Writes `text` to `path`, or to stdout when path is empty.
+int emit(const std::string& text, const std::string& path) {
+  if (path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(path, std::ios::binary);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "obsctl: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+void report_skipped(const TraceFile& trace) {
+  if (trace.skipped_lines != 0) {
+    std::fprintf(stderr, "obsctl: skipped %zu malformed line(s) of %zu\n",
+                 trace.skipped_lines, trace.total_lines);
+  }
+}
+
+std::optional<JsonValue> load_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "obsctl: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::optional<JsonValue> doc = parse_json(buffer.str());
+  if (!doc) {
+    std::fprintf(stderr, "obsctl: %s is not valid JSON\n", path.c_str());
+  }
+  return doc;
+}
+
+int cmd_summarize(const std::string& trace_path) {
+  const TraceFile trace = read_trace_file(trace_path);
+  report_skipped(trace);
+  if (trace.has_manifest) {
+    const auto field = [&trace](const char* key) {
+      const JsonValue* v = trace.manifest.find(key);
+      return std::string(v == nullptr ? "?" : v->string_or("?"));
+    };
+    std::printf("run: %s  %s  %s  [%s]\n", field("git_sha").c_str(),
+                field("hostname").c_str(), field("date_utc").c_str(),
+                field("build_type").c_str());
+  }
+  std::printf("spans: %zu\n\n", trace.spans.size());
+  TextTable table({"span", "count", "total", "self", "p50", "p90", "p99",
+                   "max"});
+  for (const SpanAggregate& agg : aggregate_spans(trace.spans)) {
+    const auto ns = [](std::uint64_t v) {
+      return format_duration(static_cast<double>(v) * 1e-9);
+    };
+    table.add_row({agg.name, std::to_string(agg.count), ns(agg.total_ns),
+                   ns(agg.self_ns), ns(agg.p50_ns), ns(agg.p90_ns),
+                   ns(agg.p99_ns), ns(agg.max_ns)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_export(const std::string& trace_path, const std::string& out_path,
+               bool chrome) {
+  const TraceFile trace = read_trace_file(trace_path);
+  report_skipped(trace);
+  return emit(chrome ? to_chrome_trace(trace) : to_folded_stacks(trace.spans),
+              out_path);
+}
+
+/// "--threshold 10%" or "--threshold 0.1" — both mean +10%.
+bool parse_threshold(const std::string& text, double& out) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0.0) return false;
+  if (*end == '%') {
+    value /= 100.0;
+    ++end;
+  }
+  if (*end != '\0') return false;
+  out = value;
+  return true;
+}
+
+int cmd_bench_diff(int argc, char** argv) {
+  std::string old_path;
+  std::string new_path;
+  BenchDiffOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc || !parse_threshold(argv[++i], options.threshold)) {
+        std::fprintf(stderr, "obsctl: --threshold needs a value like 10%%\n");
+        return 2;
+      }
+    } else if (arg == "--min-seconds") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obsctl: --min-seconds needs a value\n");
+        return 2;
+      }
+      options.min_seconds = std::strtod(argv[++i], nullptr);
+    } else if (old_path.empty()) {
+      old_path = arg;
+    } else if (new_path.empty()) {
+      new_path = arg;
+    } else {
+      return usage(stderr);
+    }
+  }
+  if (old_path.empty() || new_path.empty()) return usage(stderr);
+
+  const std::optional<JsonValue> old_doc = load_json_file(old_path);
+  const std::optional<JsonValue> new_doc = load_json_file(new_path);
+  if (!old_doc || !new_doc) return 2;
+
+  const BenchDiffReport report =
+      diff_bench_artifacts(*old_doc, *new_doc, options);
+  std::printf("bench-diff %s -> %s (threshold +%.0f%%)\n%s", old_path.c_str(),
+              new_path.c_str(), 100.0 * options.threshold,
+              report.render().c_str());
+  if (report.regressed) {
+    std::fprintf(stderr, "obsctl: REGRESSION detected\n");
+    return 1;
+  }
+  std::printf("no regression\n");
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    return usage(stdout);
+  }
+  if (command == "bench-diff") return cmd_bench_diff(argc - 2, argv + 2);
+
+  if (command != "summarize" && command != "flame" && command != "chrome") {
+    std::fprintf(stderr, "obsctl: unknown command \"%s\"\n", command.c_str());
+    return usage(stderr);
+  }
+  if (argc < 3) return usage(stderr);
+  const std::string trace_path = argv[2];
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage(stderr);
+    }
+  }
+  if (command == "summarize") return cmd_summarize(trace_path);
+  return cmd_export(trace_path, out_path, command == "chrome");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obsctl: %s\n", e.what());
+    return 2;
+  }
+}
