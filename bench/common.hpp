@@ -22,6 +22,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/pool.hpp"
 #include "robust/robust_solver.hpp"
 #include "solvers/aggregation.hpp"
 #include "support/atomic_file.hpp"
@@ -173,6 +174,7 @@ struct SolvedCase {
     w.key("solve");
     w.begin_object();
     w.field("method", stats.method);
+    w.field("threads", std::uint64_t{par::effective_threads()});
     w.field("iterations", std::uint64_t{stats.iterations});
     w.field("matvecs", std::uint64_t{stats.matvec_count});
     w.field("seconds", stats.seconds);

@@ -58,6 +58,56 @@ BENCHMARK(BM_FormAndSolve)
     ->Args({512, 16})
     ->Args({512, 32});
 
+// Thread-count sweep at the full-size baseline: same problem, same solver,
+// worker count 1/2/4/8.  The speedup counter is the serial-to-parallel
+// wall-clock ratio of the solve alone (matrix formation is untimed here);
+// with STOCDR_BENCH_JSON set each thread count drops its own
+// BENCH_scaling_t<N>.json artifact so bench-diff can compare them.
+void BM_ThreadScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  cdr::CdrConfig config = bench::paper_baseline();
+  config.sigma_nw = 0.08;
+
+  static double serial_solve_seconds = 0.0;  // filled by the threads=1 run
+  std::size_t states = 0, cycles = 0;
+  double solve_seconds = 0.0, residual = 0.0;
+  for (auto _ : state) {
+    // Ambient scope (rather than only options.threads) so the BENCH json,
+    // which records par::effective_threads(), reports this run's width.
+    const par::ThreadScope scope(threads);
+    solvers::MultilevelOptions options;
+    options.tolerance = 1e-10;
+    options.threads = threads;
+    const bench::SolvedCase solved(config, options);
+    states = solved.chain.num_states();
+    cycles = solved.stationary.stats.iterations;
+    solve_seconds = solved.stationary.stats.seconds;
+    residual = solved.stationary.stats.residual;
+    benchmark::DoNotOptimize(solved.stationary.distribution.data());
+    if (bench::bench_json_enabled()) {
+      solved.write_bench_json("scaling_t" + std::to_string(threads));
+    }
+  }
+  if (threads == 1) serial_solve_seconds = solve_seconds;
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["mg_cycles"] = static_cast<double>(cycles);
+  state.counters["solve_s"] = solve_seconds;
+  state.counters["residual"] = residual;
+  if (serial_solve_seconds > 0.0 && solve_seconds > 0.0) {
+    state.counters["speedup"] = serial_solve_seconds / solve_seconds;
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+
+BENCHMARK(BM_ThreadScaling)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -34,6 +34,7 @@
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "parallel/pool.hpp"
 #include "sparse/io.hpp"
 #include "support/atomic_file.hpp"
 #include "support/text.hpp"
@@ -50,6 +51,7 @@ int run(int argc, char** argv) {
   bool print_config = false;
   bool use_robust = false;
   double time_budget = std::numeric_limits<double>::infinity();
+  std::size_t threads = 0;  // 0 = inherit STOCDR_THREADS (default serial)
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,11 +78,17 @@ int run(int argc, char** argv) {
       }
       time_budget = std::strtod(argv[++i], nullptr);
       use_robust = true;  // a budget only makes sense on the robust path
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads needs a value (N or 'auto')\n");
+        return 2;
+      }
+      threads = par::parse_threads_spec(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: cdr_analyzer [config.txt] [--export-prefix PREFIX] "
           "[--print-config] [--robust] [--time-budget SECONDS] "
-          "[--metrics-out FILE]\n");
+          "[--threads N|auto] [--metrics-out FILE]\n");
       return 0;
     } else {
       config = cdr::config_from_file(arg);
@@ -92,7 +100,13 @@ int run(int argc, char** argv) {
     return 0;
   }
 
+  // One ambient scope around everything: the solvers (options left at
+  // threads=0) inherit it, as do the measure kernels after the solve.
+  const par::ThreadScope thread_scope(threads);
   std::printf("== stocdr analyzer ==\n%s\n\n", config.summary().c_str());
+  if (par::effective_threads() > 1) {
+    std::printf("threads: %zu\n\n", par::effective_threads());
+  }
 
   const cdr::CdrModel model(config);
   const Timer timer;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "parallel/pool.hpp"
 #include "sparse/coo.hpp"
 #include "support/error.hpp"
 
@@ -199,11 +200,44 @@ sparse::CsrMatrix AggregationPlan::aggregate(
                     : 1.0 / static_cast<double>(sizes[g]);
   }
 
+  // Accumulation pass over the fine entries, iterated directly off the CSR
+  // arrays (the per-entry std::function dispatch of for_each would dominate
+  // this hot loop).  Parallel lanes split the fine rows on nnz-balanced
+  // boundaries and scatter into per-lane partial value arrays, merged in
+  // ascending lane order; a single lane reproduces the serial accumulation
+  // order exactly.
+  const auto row_ptr = pt.row_ptr();
+  const auto col_idx = pt.col_idx();
+  const auto fine_values = pt.values();
   std::vector<double> values(coarse_cols_.size(), 0.0);
-  std::size_t k = 0;
-  pt.for_each([&](std::size_t, std::size_t src, double v) {
-    values[slot_[k++]] += v * scaled[src];
-  });
+  const auto accumulate = [&](std::size_t row_begin, std::size_t row_end,
+                              double* out) {
+    for (std::size_t dst = row_begin; dst < row_end; ++dst) {
+      for (std::size_t k = row_ptr[dst]; k < row_ptr[dst + 1]; ++k) {
+        out[slot_[k]] += fine_values[k] * scaled[col_idx[k]];
+      }
+    }
+  };
+  const std::size_t lanes = par::lanes_for(fine_nnz_);
+  if (lanes <= 1) {
+    accumulate(0, pt.rows(), values.data());
+  } else {
+    const auto bounds = par::balanced_boundaries(row_ptr, lanes);
+    std::vector<double> partials(lanes * values.size(), 0.0);
+    par::run_lanes(lanes, [&](std::size_t lane) {
+      accumulate(bounds[lane], bounds[lane + 1],
+                 partials.data() + lane * values.size());
+    });
+    par::parallel_for(values.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        double acc = 0.0;
+        for (std::size_t t = 0; t < lanes; ++t) {
+          acc += partials[t * values.size() + s];
+        }
+        values[s] = acc;
+      }
+    });
+  }
   return sparse::CsrMatrix(m, m, coarse_ptr_, coarse_cols_,
                            std::move(values));
 }
@@ -227,14 +261,16 @@ void disaggregate(const Partition& partition, std::span<const double> coarse,
                  "disaggregate: fine size mismatch");
   const auto mass = restrict_sum(partition, {x.data(), x.size()});
   const auto sizes = partition.group_sizes();
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const std::uint32_t g = partition.group(i);
-    if (mass[g] > 0.0) {
-      x[i] *= coarse[g] / mass[g];
-    } else {
-      x[i] = coarse[g] / static_cast<double>(sizes[g]);
+  par::parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t g = partition.group(i);
+      if (mass[g] > 0.0) {
+        x[i] *= coarse[g] / mass[g];
+      } else {
+        x[i] = coarse[g] / static_cast<double>(sizes[g]);
+      }
     }
-  }
+  });
 }
 
 }  // namespace stocdr::markov

@@ -1,0 +1,306 @@
+#include "parallel/pool.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace stocdr::par {
+
+namespace {
+
+/// Per-thread ambient context consulted by every kernel (see pool.hpp).
+struct Context {
+  std::size_t threads = 0;  // 0 = unset -> default_threads()
+  const std::atomic<bool>* cancel = nullptr;
+  bool in_worker = false;  // pool workers (and lanes on the caller) force 1
+};
+
+Context& context() {
+  thread_local Context ctx;
+  return ctx;
+}
+
+/// Marks the current thread as executing a chunk so nested kernels run
+/// serially instead of re-entering the pool (which would deadlock the
+/// caller-participation scheme and wreck the static partitioning).
+class WorkerGuard {
+ public:
+  WorkerGuard() : saved_(context().in_worker) { context().in_worker = true; }
+  ~WorkerGuard() { context().in_worker = saved_; }
+
+ private:
+  bool saved_;
+};
+
+std::atomic<std::size_t> g_min_parallel_work{kDefaultMinParallelWork};
+
+[[noreturn]] void throw_cancelled() {
+  throw CancelledError("parallel: cooperative cancel flag set between chunks");
+}
+
+obs::Gauge& threads_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::instance().gauge("parallel.threads");
+  return gauge;
+}
+
+obs::Histogram& imbalance_histogram() {
+  static obs::Histogram& hist =
+      obs::MetricsRegistry::instance().histogram("parallel.imbalance");
+  return hist;
+}
+
+}  // namespace
+
+std::size_t parse_threads_spec(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return 1;
+  const std::string_view sv(spec);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (sv == "auto") return std::min(hw, kMaxThreads);
+  for (const char c : sv) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return 1;
+  }
+  const unsigned long value = std::strtoul(spec, nullptr, 10);
+  if (value == 0) return std::min(hw, kMaxThreads);
+  return std::min<std::size_t>(value, kMaxThreads);
+}
+
+std::size_t default_threads() {
+  static const std::size_t threads =
+      parse_threads_spec(std::getenv("STOCDR_THREADS"));
+  return threads;
+}
+
+std::size_t effective_threads() {
+  const Context& ctx = context();
+  if (ctx.in_worker) return 1;
+  return ctx.threads > 0 ? ctx.threads : default_threads();
+}
+
+ThreadScope::ThreadScope(std::size_t threads, const std::atomic<bool>* cancel)
+    : saved_threads_(context().threads), saved_cancel_(context().cancel) {
+  if (threads > 0) context().threads = std::min(threads, kMaxThreads);
+  if (cancel != nullptr) context().cancel = cancel;
+}
+
+ThreadScope::~ThreadScope() {
+  context().threads = saved_threads_;
+  context().cancel = saved_cancel_;
+}
+
+std::size_t min_parallel_work() {
+  return g_min_parallel_work.load(std::memory_order_relaxed);
+}
+
+void set_min_parallel_work(std::size_t work) {
+  g_min_parallel_work.store(std::max<std::size_t>(1, work),
+                            std::memory_order_relaxed);
+}
+
+std::size_t lanes_for(std::size_t work) {
+  const std::size_t threads = effective_threads();
+  if (threads <= 1) return 1;
+  const std::size_t min_work = min_parallel_work();
+  if (work < min_work) return 1;
+  return std::min(threads, std::max<std::size_t>(1, work / min_work));
+}
+
+Range even_range(std::size_t n, std::size_t lanes, std::size_t lane) {
+  STOCDR_ASSERT(lanes >= 1 && lane < lanes);
+  const std::size_t base = n / lanes;
+  const std::size_t extra = n % lanes;
+  const std::size_t begin = lane * base + std::min(lane, extra);
+  return {begin, begin + base + (lane < extra ? 1 : 0)};
+}
+
+std::vector<std::size_t> balanced_boundaries(
+    std::span<const std::uint32_t> prefix, std::size_t lanes) {
+  STOCDR_REQUIRE(!prefix.empty(), "balanced_boundaries: empty prefix");
+  STOCDR_REQUIRE(lanes >= 1, "balanced_boundaries: lanes must be positive");
+  const std::size_t rows = prefix.size() - 1;
+  const std::uint64_t total = prefix.back() - prefix.front();
+  std::vector<std::size_t> bounds(lanes + 1);
+  bounds[0] = 0;
+  bounds[lanes] = rows;
+  for (std::size_t k = 1; k < lanes; ++k) {
+    const std::uint64_t target = prefix.front() + (total * k) / lanes;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(),
+                                     static_cast<std::uint32_t>(target));
+    std::size_t row = static_cast<std::size_t>(it - prefix.begin());
+    row = std::min(row, rows);
+    bounds[k] = std::max(bounds[k - 1], row);
+  }
+  return bounds;
+}
+
+void observe_imbalance(std::span<const std::uint32_t> prefix,
+                       std::span<const std::size_t> boundaries) {
+  const std::size_t lanes = boundaries.size() - 1;
+  if (lanes <= 1) return;
+  const double total = static_cast<double>(prefix.back() - prefix.front());
+  if (total <= 0.0) return;
+  double max_weight = 0.0;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const double w = static_cast<double>(prefix[boundaries[k + 1]]) -
+                     static_cast<double>(prefix[boundaries[k]]);
+    max_weight = std::max(max_weight, w);
+  }
+  imbalance_histogram().observe(max_weight * static_cast<double>(lanes) /
+                                total);
+}
+
+void run_lanes(std::size_t lanes, FunctionRef<void(std::size_t)> fn) {
+  const std::atomic<bool>* cancel = context().cancel;
+  if (lanes <= 1) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw_cancelled();
+    }
+    const WorkerGuard guard;
+    fn(0);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  pool.ensure_workers(lanes - 1);
+  threads_gauge().set(static_cast<double>(lanes));
+  pool.run(lanes, fn, cancel);
+}
+
+void parallel_for(std::size_t n,
+                  FunctionRef<void(std::size_t, std::size_t)> body) {
+  const std::size_t lanes = lanes_for(n);
+  if (lanes <= 1) {
+    const std::atomic<bool>* cancel = context().cancel;
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw_cancelled();
+    }
+    const WorkerGuard guard;
+    body(0, n);
+    return;
+  }
+  run_lanes(lanes, [&](std::size_t lane) {
+    const Range r = even_range(n, lanes, lane);
+    body(r.begin, r.end);
+  });
+}
+
+ThreadPool::ThreadPool(std::size_t workers) { ensure_workers(workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::workers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return threads_.size();
+}
+
+void ThreadPool::ensure_workers(std::size_t workers) {
+  workers = std::min(workers, kMaxThreads);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  while (threads_.size() < workers) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn,
+                     const std::atomic<bool>* cancel) {
+  if (chunks == 0) return;
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_chunks_ = chunks;
+    job_cancel_ = cancel;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    remaining_ = chunks;
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    const WorkerGuard guard;  // nested kernels on the caller stay serial
+    work(fn, chunks, cancel);
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0 && active_ == 0; });
+    job_fn_ = nullptr;
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    throw_cancelled();
+  }
+}
+
+void ThreadPool::work(const FunctionRef<void(std::size_t)>& fn,
+                      std::size_t chunks, const std::atomic<bool>* cancel) {
+  for (;;) {
+    const std::size_t chunk =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= chunks) return;
+    // Between chunks: abandon the rest of the job on cancellation or after
+    // another lane already failed (its exception will be rethrown).
+    bool skip = cancel != nullptr && cancel->load(std::memory_order_relaxed);
+    if (!skip) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      skip = error_ != nullptr;
+    }
+    if (!skip) {
+      try {
+        fn(chunk);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_main() {
+  context().in_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const FunctionRef<void(std::size_t)>* fn = nullptr;
+    std::size_t chunks = 0;
+    const std::atomic<bool>* cancel = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (generation_ != seen &&
+                                           job_fn_ != nullptr); });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      chunks = job_chunks_;
+      cancel = job_cancel_;
+      ++active_;
+    }
+    work(*fn, chunks, cancel);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0 && remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace stocdr::par

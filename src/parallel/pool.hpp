@@ -1,0 +1,199 @@
+// Shared-memory parallelism with deterministic results.
+//
+// The paper's chains have 1e5-1e6 states, so every performance measure
+// reduces to repeated O(nnz) passes (SpMV, smoothing sweeps, restrict /
+// prolong, reductions).  This subsystem parallelizes those passes across a
+// small persistent thread pool while keeping the numerics reproducible:
+//
+//   * static partitioning — every kernel splits its index space into
+//     exactly `lanes` contiguous ranges that depend only on the problem
+//     shape and the lane count, never on scheduling;
+//   * ordered merges — scatter kernels accumulate into per-lane partials
+//     that are combined in ascending lane order, so a run at a fixed
+//     thread count is bitwise reproducible (and gather kernels, which
+//     keep the serial per-row order, match the serial result exactly);
+//   * serial fallback — with one effective thread (the default) every
+//     kernel runs the exact pre-parallel code path, so `STOCDR_THREADS`
+//     unset reproduces the historical results bit for bit.
+//
+// Thread-count selection is *ambient*: kernels consult the calling
+// thread's context rather than taking a thread-count parameter.  The
+// context defaults to the STOCDR_THREADS environment variable (unset ->
+// serial) and is overridden for a scope with par::ThreadScope — that is
+// how SolverOptions::threads reaches the kernels without widening every
+// signature in between.  Pool workers run with a forced-serial context,
+// so nested kernels inside a chunk never re-enter the pool.
+//
+// Cancellation is cooperative at two granularities: solvers keep honoring
+// obs::ProgressAction between iterations, and the pool itself checks the
+// context's cancel flag between chunks — a long parallel_for aborts with
+// par::CancelledError without waiting for the sweep to finish.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/function_ref.hpp"
+
+namespace stocdr::par {
+
+/// Thrown by run_lanes / parallel_for when the ambient cancel flag was set;
+/// chunks not yet started are abandoned (output buffers are then partial).
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Parses a STOCDR_THREADS-style spec: unset/empty/invalid -> 1 (serial),
+/// "0" or "auto" -> hardware concurrency, otherwise the value clamped to
+/// [1, kMaxThreads].
+[[nodiscard]] std::size_t parse_threads_spec(const char* spec);
+
+/// Upper bound on configurable thread counts (far above any sane host).
+inline constexpr std::size_t kMaxThreads = 256;
+
+/// The process default thread count: STOCDR_THREADS parsed once, lazily.
+[[nodiscard]] std::size_t default_threads();
+
+/// The calling thread's effective thread count: 1 inside pool workers,
+/// otherwise the innermost ThreadScope override, otherwise default_threads().
+[[nodiscard]] std::size_t effective_threads();
+
+/// Installs a thread-count override (and optionally a cooperative cancel
+/// flag) for the current scope on the current thread.  `threads == 0`
+/// keeps the surrounding value — that is how SolverOptions::threads = 0
+/// means "inherit the environment".  Restores the previous context on
+/// destruction; cheap enough for per-solve use.
+class ThreadScope {
+ public:
+  explicit ThreadScope(std::size_t threads,
+                       const std::atomic<bool>* cancel = nullptr);
+  ~ThreadScope();
+
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  std::size_t saved_threads_;
+  const std::atomic<bool>* saved_cancel_;
+};
+
+/// Minimum per-call work (elements or nonzeros) below which kernels stay
+/// serial regardless of the ambient thread count; tunable so tests can
+/// force the parallel paths on tiny problems.
+[[nodiscard]] std::size_t min_parallel_work();
+void set_min_parallel_work(std::size_t work);
+inline constexpr std::size_t kDefaultMinParallelWork = 16384;
+
+/// Number of lanes a kernel with `work` cost units should use: 1 when the
+/// ambient context is serial or the work is below min_parallel_work(),
+/// otherwise at most effective_threads() and at most one lane per
+/// min_parallel_work() unit so tiny tails never fan out.
+[[nodiscard]] std::size_t lanes_for(std::size_t work);
+
+/// Half-open index range.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Lane `lane` of an even split of [0, n) into `lanes` contiguous ranges
+/// (sizes differ by at most one).
+[[nodiscard]] Range even_range(std::size_t n, std::size_t lanes,
+                               std::size_t lane);
+
+/// Row boundaries of a weight-balanced split: `prefix` is a CSR-style
+/// cumulative weight array (rows + 1 entries, e.g. row_ptr, so each row's
+/// cost is its nnz) and the result has lanes + 1 non-decreasing entries
+/// with boundaries[0] = 0 and boundaries[lanes] = rows, chosen so every
+/// lane carries ~equal total weight.  Depends only on (prefix, lanes):
+/// deterministic across runs.
+[[nodiscard]] std::vector<std::size_t> balanced_boundaries(
+    std::span<const std::uint32_t> prefix, std::size_t lanes);
+
+/// Records the max/mean lane-weight ratio of a balanced split into the
+/// "parallel.imbalance" histogram (1.0 = perfectly balanced).
+void observe_imbalance(std::span<const std::uint32_t> prefix,
+                       std::span<const std::size_t> boundaries);
+
+/// Executes fn(lane) for lane in [0, lanes) on the global pool; the calling
+/// thread participates, so `lanes` threads run in total.  Blocks until all
+/// lanes finished.  The first exception thrown by any lane is rethrown on
+/// the caller after the join; if the ambient cancel flag is set, lanes not
+/// yet started are skipped and CancelledError is thrown.  lanes <= 1 runs
+/// inline (still honoring the cancel flag).
+void run_lanes(std::size_t lanes, FunctionRef<void(std::size_t)> fn);
+
+/// Convenience element-wise loop: splits [0, n) into lanes_for(n) even
+/// ranges and runs body(begin, end) per lane.  Serial when n is small.
+void parallel_for(std::size_t n,
+                  FunctionRef<void(std::size_t, std::size_t)> body);
+
+/// A persistent pool of parked worker threads.  One process-global
+/// instance serves all kernels (workers are spawned lazily up to the
+/// largest lane count ever requested); independent instances exist for
+/// tests.  run() may be called from multiple threads — calls serialize.
+class ThreadPool {
+ public:
+  /// Spawns `workers` parked worker threads (0 is valid: run() then
+  /// executes inline on the caller).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Signals shutdown and joins all workers; outstanding run() calls
+  /// complete first (run() holds the pool busy until its job is done).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Current worker-thread count (excludes callers).
+  [[nodiscard]] std::size_t workers() const;
+
+  /// Grows the pool to at least `workers` worker threads.
+  void ensure_workers(std::size_t workers);
+
+  /// Executes fn(chunk) for chunk in [0, chunks); the caller participates
+  /// alongside the workers.  Chunks are claimed dynamically but carry their
+  /// index, so which thread runs a chunk never affects results.  Blocks
+  /// until every chunk completed (or was abandoned after cancellation /
+  /// a thrown exception); rethrows the first exception, then
+  /// CancelledError if `cancel` fired.
+  void run(std::size_t chunks, FunctionRef<void(std::size_t)> fn,
+           const std::atomic<bool>* cancel = nullptr);
+
+  /// The process-global pool used by run_lanes.
+  static ThreadPool& global();
+
+ private:
+  void worker_main();
+  /// Claims and executes chunks of the current job until exhausted.
+  void work(const FunctionRef<void(std::size_t)>& fn, std::size_t chunks,
+            const std::atomic<bool>* cancel);
+
+  mutable std::mutex mutex_;             // guards all job + lifecycle state
+  std::condition_variable work_cv_;      // workers park here
+  std::condition_variable done_cv_;      // run() waits here
+  std::mutex run_mutex_;                 // serializes concurrent run() calls
+
+  const FunctionRef<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_chunks_ = 0;
+  const std::atomic<bool>* job_cancel_ = nullptr;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t remaining_ = 0;     // chunks not yet finished
+  std::size_t active_ = 0;        // workers currently inside a job
+  std::uint64_t generation_ = 0;  // bumped per job; workers wake on change
+  std::exception_ptr error_;      // first failure of the current job
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace stocdr::par

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/pool.hpp"
 #include "solvers/linear.hpp"
 #include "solvers/stationary.hpp"
 #include "sparse/coo.hpp"
@@ -442,6 +443,9 @@ std::vector<double> RobustSolver::run_degraded(std::span<const double> initial,
 RobustResult RobustSolver::solve(std::span<const double> initial) const {
   const Timer clock;
   obs::Span span("robust.solve");
+  // One scope around the entire ladder: every rung (its options leave
+  // threads at 0) inherits it, so fallbacks run at the same width.
+  const par::ThreadScope thread_scope(options_.threads);
   const markov::MarkovChain& c = chain();
   solve_counter().add(1);
 

@@ -91,6 +91,11 @@ struct RobustOptions {
   /// Largest chain the GTH rung will accept (dense O(n^3)).
   std::size_t gth_size_limit = 4000;
 
+  /// Worker threads for every rung's kernels, opened once around the whole
+  /// ladder (0 = inherit STOCDR_THREADS; see solvers::SolverOptions).
+  /// Rungs whose own options leave threads at 0 inherit this value.
+  std::size_t threads = 0;
+
   /// Base options of the multilevel rung (tolerance/max_cycles/progress are
   /// overridden by the harness).
   solvers::MultilevelOptions multilevel;

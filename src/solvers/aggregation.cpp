@@ -6,6 +6,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/pool.hpp"
+#include "parallel/reduce.hpp"
 #include "solvers/stationary.hpp"
 #include "sparse/gth.hpp"
 #include "support/error.hpp"
@@ -48,11 +50,13 @@ void smooth(const sparse::CsrMatrix& pt, double w, std::vector<double>& x,
   if (w == 1.0) {
     x.swap(scratch);
   } else {
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      x[i] = (1.0 - w) * x[i] + w * scratch[i];
-    }
+    par::parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        x[i] = (1.0 - w) * x[i] + w * scratch[i];
+      }
+    });
   }
-  normalize_l1(x);
+  par::normalize_l1(x);
 }
 
 /// Exact coarsest-level solve; falls back to heavy smoothing if the
@@ -143,7 +147,7 @@ class MultilevelWorker {
       smooth(pt, options_.smoothing_damping, x, scratch);
     }
     matvecs_ += options_.post_smooth;
-    normalize_l1(x);
+    par::normalize_l1(x);
     if (traced) {
       span.attr("post_smooth_s", phase_timer.seconds());
       span.attr("lump_s", lump_seconds);
@@ -235,6 +239,7 @@ StationaryResult solve_stationary_multilevel(
     const MultilevelOptions& options, std::span<const double> initial) {
   const Timer timer;
   obs::Span span("solve.multilevel");
+  const par::ThreadScope threads(options.threads);
   if (span.active()) {
     span.attr("states", chain.num_states());
     span.attr("levels", hierarchy.size());
@@ -322,6 +327,7 @@ StationaryResult solve_stationary_two_level(
                  "two-level A/D solves the lumped chain with dense GTH; the "
                  "partition must have at most 4000 groups");
   obs::Span span("solve.two-level-ad");
+  const par::ThreadScope threads(options.threads);
   StationaryResult result;
   result.stats.method = "two-level-ad";
   ResidualRecorder recorder(result.stats.residual_history);
@@ -347,7 +353,7 @@ StationaryResult solve_stationary_two_level(
       smooth(chain.pt(), options.smoothing_damping, x, scratch);
     }
     matvecs += options.post_smooth;
-    normalize_l1(x);
+    par::normalize_l1(x);
 
     const double res = stationary_residual(chain, x);
     result.stats.iterations = c + 1;

@@ -45,6 +45,10 @@ struct MultilevelOptions {
   /// Recursive coarse visits per cycle: 1 = V-cycle, 2 = W-cycle.
   std::size_t cycle_shape = 1;
 
+  /// Worker threads for smoothing, lump/expand, and residual kernels
+  /// (0 = inherit STOCDR_THREADS; see SolverOptions::threads).
+  std::size_t threads = 0;
+
   /// Optional per-cycle callback (see obs/progress.hpp).  Non-owning: the
   /// callable must outlive the solve.
   obs::OptionalProgress progress;

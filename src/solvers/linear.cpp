@@ -5,6 +5,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/pool.hpp"
+#include "parallel/reduce.hpp"
 #include "sparse/coo.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
@@ -27,7 +29,9 @@ void TransientOperator::apply(std::span<const double> x,
                  "TransientOperator::apply size mismatch");
   // y = x - Q x; Q x is the scatter product of the stored Q^T.
   qt_->multiply_transpose(x, scratch_);
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] - scratch_[i];
+  par::parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) y[i] = x[i] - scratch_[i];
+  });
 }
 
 namespace {
@@ -162,11 +166,7 @@ void AggregationPreconditioner::vcycle(std::size_t level,
 
 namespace {
 
-double l2_norm(std::span<const double> v) {
-  double s = 0.0;
-  for (const double x : v) s += x * x;
-  return std::sqrt(s);
-}
+double l2_norm(std::span<const double> v) { return par::l2_norm(v); }
 
 obs::Counter& linear_matvec_counter() {
   static obs::Counter& counter =
@@ -196,6 +196,7 @@ LinearResult gmres(const LinearOperator& op, std::span<const double> b,
                    const Preconditioner& preconditioner) {
   const Timer timer;
   obs::Span span("solve.linear");
+  const par::ThreadScope thread_scope(options.threads);
   const std::size_t n = op.size();
   STOCDR_REQUIRE(b.size() == n, "gmres: rhs size mismatch");
   STOCDR_REQUIRE(restart >= 1, "gmres: restart must be positive");
@@ -235,7 +236,9 @@ LinearResult gmres(const LinearOperator& op, std::span<const double> b,
     // r = b - A x.
     op.apply(x, scratch);
     ++result.stats.matvec_count;
-    for (std::size_t i = 0; i < n; ++i) v[0][i] = b[i] - scratch[i];
+    par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) v[0][i] = b[i] - scratch[i];
+    });
     const double rnorm = l2_norm(v[0]);
     true_residual = rnorm / bnorm;
     result.stats.residual = true_residual;
@@ -257,10 +260,13 @@ LinearResult gmres(const LinearOperator& op, std::span<const double> b,
       apply_preconditioned(v[k], v[k + 1]);
       // Modified Gram-Schmidt.
       for (std::size_t j = 0; j <= k; ++j) {
-        double dot = 0.0;
-        for (std::size_t i = 0; i < n; ++i) dot += v[k + 1][i] * v[j][i];
+        const double dot = par::dot(v[k + 1], v[j]);
         h[j][k] = dot;
-        for (std::size_t i = 0; i < n; ++i) v[k + 1][i] -= dot * v[j][i];
+        par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            v[k + 1][i] -= dot * v[j][i];
+          }
+        });
       }
       h[k + 1][k] = l2_norm(v[k + 1]);
       if (h[k + 1][k] > 0.0) {
@@ -293,16 +299,26 @@ LinearResult gmres(const LinearOperator& op, std::span<const double> b,
       for (std::size_t l = j + 1; l < k; ++l) acc -= h[j][l] * y[l];
       y[j] = h[j][j] != 0.0 ? acc / h[j][j] : 0.0;
     }
-    // Update x (undo right preconditioning on the correction).
+    // Update x (undo right preconditioning on the correction).  Swapping
+    // the (j, i) loop nest keeps each element's additions in ascending-j
+    // order, so the parallel split over i reproduces the serial result.
     std::vector<double> correction(n, 0.0);
-    for (std::size_t j = 0; j < k; ++j) {
-      for (std::size_t i = 0; i < n; ++i) correction[i] += y[j] * v[j][i];
-    }
+    par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < k; ++j) acc += y[j] * v[j][i];
+        correction[i] = acc;
+      }
+    });
     if (preconditioner) {
       preconditioner(correction, scratch);
-      for (std::size_t i = 0; i < n; ++i) x[i] += scratch[i];
+      par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) x[i] += scratch[i];
+      });
     } else {
-      for (std::size_t i = 0; i < n; ++i) x[i] += correction[i];
+      par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) x[i] += correction[i];
+      });
     }
     result.stats.iterations = outer + 1;
   }
@@ -317,6 +333,7 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
                       const Preconditioner& preconditioner) {
   const Timer timer;
   obs::Span span("solve.linear");
+  const par::ThreadScope thread_scope(options.threads);
   const std::size_t n = op.size();
   STOCDR_REQUIRE(b.size() == n, "bicgstab: rhs size mismatch");
   LinearResult result;
@@ -343,11 +360,9 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
       std::copy(in.begin(), in.end(), out.begin());
     }
   };
-  const auto dot = [n](const std::vector<double>& a,
-                       const std::vector<double>& c) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += a[i] * c[i];
-    return acc;
+  const auto dot = [](const std::vector<double>& a,
+                      const std::vector<double>& c) {
+    return par::dot(a, c);
   };
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
@@ -357,9 +372,11 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
       p = r;
     } else {
       const double beta = (rho_next / rho) * (alpha / omega);
-      for (std::size_t i = 0; i < n; ++i) {
-        p[i] = r[i] + beta * (p[i] - omega * v[i]);
-      }
+      par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+      });
     }
     rho = rho_next;
 
@@ -369,7 +386,9 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
     const double r0v = dot(r0, v);
     if (r0v == 0.0) break;
     alpha = rho / r0v;
-    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) s[i] = r[i] - alpha * v[i];
+    });
 
     if (l2_norm(s) / bnorm < options.tolerance) {
       for (std::size_t i = 0; i < n; ++i) x[i] += alpha * y[i];
@@ -388,10 +407,12 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
     const double tt = dot(t, t);
     if (tt == 0.0) break;
     omega = dot(t, s) / tt;
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * y[i] + omega * z[i];
-      r[i] = s[i] - omega * t[i];
-    }
+    par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        x[i] += alpha * y[i] + omega * z[i];
+        r[i] = s[i] - omega * t[i];
+      }
+    });
     result.stats.iterations = it + 1;
     result.stats.residual = l2_norm(r) / bnorm;
     recorder.record(result.stats.residual);
@@ -415,6 +436,7 @@ LinearResult jacobi_linear(const TransientOperator& op,
                            const SolverOptions& options) {
   const Timer timer;
   obs::Span span("solve.linear");
+  const par::ThreadScope thread_scope(options.threads);
   const std::size_t n = op.size();
   STOCDR_REQUIRE(b.size() == n, "jacobi_linear: rhs size mismatch");
   LinearResult result;
@@ -422,18 +444,37 @@ LinearResult jacobi_linear(const TransientOperator& op,
   ResidualRecorder recorder(result.stats.residual_history);
   std::vector<double> x(n, 0.0);
   std::vector<double> ax(n);
-  const double bnorm = std::max(l1_norm(b), 1e-300);
+  const double bnorm = std::max(par::l1_norm(b), 1e-300);
   const double w = options.relaxation;
-  for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    op.apply(x, ax);
-    ++result.stats.matvec_count;
-    double rnorm = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
+  // Fused update + residual-norm reduction: each lane accumulates its own
+  // partial rnorm over a contiguous element range; partials merge in lane
+  // order (identical to serial when one lane runs).
+  std::vector<double> rnorm_partials;
+  const auto sweep = [&](std::size_t begin, std::size_t end, double* partial) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
       const double r = b[i] - ax[i];
-      rnorm += std::abs(r);
+      acc += std::abs(r);
       const double d = op.diagonal()[i] != 0.0 ? op.diagonal()[i] : 1.0;
       x[i] += w * r / d;
     }
+    *partial = acc;
+  };
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    op.apply(x, ax);
+    ++result.stats.matvec_count;
+    const std::size_t lanes = par::lanes_for(n);
+    rnorm_partials.assign(lanes, 0.0);
+    if (lanes <= 1) {
+      sweep(0, n, rnorm_partials.data());
+    } else {
+      par::run_lanes(lanes, [&](std::size_t lane) {
+        const par::Range range = par::even_range(n, lanes, lane);
+        sweep(range.begin, range.end, &rnorm_partials[lane]);
+      });
+    }
+    double rnorm = 0.0;
+    for (const double partial : rnorm_partials) rnorm += partial;
     result.stats.iterations = it + 1;
     result.stats.residual = rnorm / bnorm;
     recorder.record(result.stats.residual);

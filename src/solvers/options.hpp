@@ -23,6 +23,13 @@ struct SolverOptions {
   /// (power iteration, Jacobi, SOR).  1.0 = undamped.
   double relaxation = 1.0;
 
+  /// Worker threads for the solver's kernels (SpMV, sweeps, reductions).
+  /// 0 inherits the ambient context (STOCDR_THREADS environment variable,
+  /// default serial); values >= 1 override it for this solve.  Results are
+  /// bitwise reproducible at a fixed thread count and agree across thread
+  /// counts to rounding (see docs/PARALLELISM.md).
+  std::size_t threads = 0;
+
   /// Optional per-iteration callback (see obs/progress.hpp).  Non-owning:
   /// the callable must outlive the solve.
   obs::OptionalProgress progress;

@@ -6,6 +6,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/pool.hpp"
+#include "parallel/reduce.hpp"
 #include "sparse/gth.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
@@ -38,7 +40,7 @@ double stationary_residual(const markov::MarkovChain& chain,
                            std::span<const double> x) {
   std::vector<double> y(x.size());
   chain.step(x, y);
-  return l1_distance(x, y);
+  return par::l1_distance(x, y);
 }
 
 StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
@@ -46,6 +48,7 @@ StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
                                         std::span<const double> initial) {
   const Timer timer;
   obs::Span span("solve.power");
+  const par::ThreadScope threads(options.threads);
   StationaryResult result;
   result.stats.method = "power";
   ResidualRecorder recorder(result.stats.residual_history);
@@ -57,7 +60,7 @@ StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     chain.step(x, y);
     ++result.stats.matvec_count;
-    const double res = l1_distance(x, y);
+    const double res = par::l1_distance(x, y);
     recorder.record(res);
     // The event carries the pre-update iterate: `res` is *its* residual, so
     // observers checkpoint a (vector, residual) pair that belongs together.
@@ -70,16 +73,18 @@ StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
     if (w == 1.0) {
       x.swap(y);
     } else {
-      for (std::size_t i = 0; i < x.size(); ++i) {
-        x[i] = (1.0 - w) * x[i] + w * y[i];
-      }
+      par::parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          x[i] = (1.0 - w) * x[i] + w * y[i];
+        }
+      });
     }
     if (!std::isfinite(res)) {
       result.stats.residual = std::numeric_limits<double>::infinity();
       result.stats.iterations = it + 1;
       break;  // diverged; report converged = false
     }
-    normalize_l1(x);
+    par::normalize_l1(x);
     result.stats.iterations = it + 1;
     result.stats.residual = res;
     if (res < options.tolerance) {
@@ -112,6 +117,7 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
   const Timer timer;
   obs::Span span("solve.relaxation");
   if (span.active()) span.attr("method", std::string_view(method));
+  const par::ThreadScope threads(options.threads);
   StationaryResult result;
   result.stats.method = method;
   ResidualRecorder recorder(result.stats.residual_history);
@@ -124,9 +130,13 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
   for (std::size_t i = 0; i < n; ++i) diag[i] = pt.at(i, i);
 
   std::vector<double> next(in_place ? 0 : n);
-  for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    double delta = 0.0;  // L1 change across the sweep
-    for (std::size_t i = 0; i < n; ++i) {
+
+  // One Jacobi row update; rows are independent given the previous iterate,
+  // so the Jacobi sweep parallelizes over nnz-balanced row ranges.  The
+  // Gauss-Seidel / SOR sweep (in_place) consumes values it just wrote and
+  // stays serial by construction.
+  const auto jacobi_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
       // Incoming probability mass excluding the self-loop.
       double acc = 0.0;
       const auto cols = pt.row_cols(i);
@@ -139,24 +149,50 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
         throw NumericalError(
             "relaxation solver: absorbing state encountered (p_ii = 1)");
       }
-      const double xi_new = (1.0 - w) * x[i] + w * (acc / denom);
-      if (in_place) {
+      next[i] = (1.0 - w) * x[i] + w * (acc / denom);
+    }
+  };
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    double delta = 0.0;  // L1 change across the sweep
+    if (in_place) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        const auto cols = pt.row_cols(i);
+        const auto vals = pt.row_values(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          if (cols[k] != i) acc += vals[k] * x[cols[k]];
+        }
+        const double denom = 1.0 - diag[i];
+        if (!(denom > 0.0)) {
+          throw NumericalError(
+              "relaxation solver: absorbing state encountered (p_ii = 1)");
+        }
+        const double xi_new = (1.0 - w) * x[i] + w * (acc / denom);
         delta += std::abs(xi_new - x[i]);
         x[i] = xi_new;
+      }
+    } else {
+      const std::size_t lanes = par::lanes_for(pt.nnz());
+      if (lanes <= 1) {
+        jacobi_rows(0, n);
       } else {
-        next[i] = xi_new;
+        const auto bounds = par::balanced_boundaries(pt.row_ptr(), lanes);
+        par::run_lanes(lanes, [&](std::size_t lane) {
+          jacobi_rows(bounds[lane], bounds[lane + 1]);
+        });
       }
     }
     ++result.stats.matvec_count;
     if (!in_place) {
-      delta = l1_distance(x, next);
+      delta = par::l1_distance(x, next);
       x.swap(next);
     }
     // Divergence (e.g. over-relaxed SOR on a non-dominant chain) shows up
     // as a non-finite sweep delta or an iterate whose total mass is no
     // longer positive (overshoot into negative entries): stop and report
     // non-convergence instead of propagating NaNs.
-    const double mass = kahan_sum(x);
+    const double mass = par::sum(x);
     if (!std::isfinite(delta) || !std::isfinite(mass) || !(mass > 0.0)) {
       result.stats.residual = std::numeric_limits<double>::infinity();
       result.stats.iterations = it + 1;
@@ -165,7 +201,9 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
       result.stats.seconds = timer.seconds();
       return result;
     }
-    for (double& v : x) v /= mass;
+    par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) x[i] /= mass;
+    });
     result.stats.iterations = it + 1;
     result.stats.residual = delta;
     recorder.record(delta);

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/pool.hpp"
 #include "support/error.hpp"
 
 namespace stocdr::sparse {
+
+namespace {
+
+/// Parallel scatter only pays off when there are enough nonzeros per output
+/// column to amortize zeroing and merging the per-lane partial vectors.
+constexpr std::size_t kScatterColsFactor = 4;
+
+}  // namespace
 
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
                      std::vector<std::uint32_t> row_ptr,
@@ -67,27 +76,86 @@ void CsrMatrix::multiply(std::span<const double> x,
                          std::span<double> y) const {
   STOCDR_REQUIRE(x.size() == cols_ && y.size() == rows_,
                  "CsrMatrix::multiply dimension mismatch");
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      acc += values_[k] * x[col_idx_[k]];
+  // Gather: each output row is an independent dot product, so the parallel
+  // split (nnz-balanced contiguous row ranges) keeps the serial per-row
+  // accumulation order and the result is identical at any lane count.
+  const auto row_block = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      double acc = 0.0;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        acc += values_[k] * x[col_idx_[k]];
+      }
+      y[r] = acc;
     }
-    y[r] = acc;
+  };
+  const std::size_t lanes = par::lanes_for(nnz());
+  if (lanes <= 1) {
+    row_block(0, rows_);
+    return;
   }
+  const auto bounds = par::balanced_boundaries(row_ptr_, lanes);
+  par::observe_imbalance(row_ptr_, bounds);
+  par::run_lanes(lanes, [&](std::size_t lane) {
+    row_block(bounds[lane], bounds[lane + 1]);
+  });
 }
 
 void CsrMatrix::multiply_transpose(std::span<const double> x,
                                    std::span<double> y) const {
   STOCDR_REQUIRE(x.size() == rows_ && y.size() == cols_,
                  "CsrMatrix::multiply_transpose dimension mismatch");
-  std::fill(y.begin(), y.end(), 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      y[col_idx_[k]] += values_[k] * xr;
+  // Scatter: rows write overlapping output entries, so each lane scatters
+  // into its own partial output vector and the partials are merged by
+  // column range in ascending lane order (per column, contributions keep
+  // ascending row order — only the association of the partial sums differs
+  // from serial).  When the matrix is so sparse that zeroing + merging the
+  // lane-sized partials would dominate (nnz < kScatterColsFactor * cols),
+  // the scatter stays serial; see docs/PARALLELISM.md for the trade-off
+  // against the alternative transposed-copy strategy.
+  std::size_t lanes = par::lanes_for(nnz());
+  if (nnz() < kScatterColsFactor * cols_) lanes = 1;
+  if (lanes <= 1) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        y[col_idx_[k]] += values_[k] * xr;
+      }
     }
+    return;
   }
+  const auto bounds = par::balanced_boundaries(row_ptr_, lanes);
+  par::observe_imbalance(row_ptr_, bounds);
+  // Reused scratch: scatter partials are hot inside passage / expectation
+  // iterations, and a fresh multi-megabyte allocation per matvec would
+  // dominate the win.  Thread-local keeps concurrent multiply_transpose
+  // callers race-free; lanes must go through the captured base pointer —
+  // naming `partials` inside the lambda would resolve to each worker's own
+  // (empty) instance.
+  thread_local std::vector<double> partials;
+  partials.assign(lanes * cols_, 0.0);
+  double* const partials_base = partials.data();
+  par::run_lanes(lanes, [&](std::size_t lane) {
+    double* out = partials_base + lane * cols_;
+    for (std::size_t r = bounds[lane]; r < bounds[lane + 1]; ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        out[col_idx_[k]] += values_[k] * xr;
+      }
+    }
+  });
+  par::run_lanes(lanes, [&](std::size_t lane) {
+    const par::Range range = par::even_range(cols_, lanes, lane);
+    for (std::size_t j = range.begin; j < range.end; ++j) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < lanes; ++t) {
+        acc += partials_base[t * cols_ + j];
+      }
+      y[j] = acc;
+    }
+  });
 }
 
 CsrMatrix CsrMatrix::transpose() const {

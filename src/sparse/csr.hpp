@@ -11,6 +11,13 @@
 // so with A = P^T stored, multiply computes P^T x (stationary iterations
 // x_{k+1} = P^T x_k) and multiply_transpose computes P x (first-passage
 // iterations t = 1 + Q t).
+//
+// Both matvecs run on the shared thread pool when the ambient parallel
+// context grants more than one thread (see parallel/pool.hpp): multiply
+// splits rows into nnz-balanced contiguous ranges (identical results at
+// any thread count); multiply_transpose scatters into per-lane partial
+// outputs merged in lane order (bitwise reproducible at a fixed thread
+// count, rounding-level differences across thread counts).
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,198 @@
+// Solver-level determinism and equivalence of the parallel kernels: the
+// stationary distribution, GMRES solutions, and first-passage times must
+// agree with the serial solve to 1e-12 at any thread count, be bitwise
+// reproducible at a fixed thread count, and keep honoring cooperative
+// cancellation through obs::ProgressAction.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "obs/progress.hpp"
+#include "parallel/pool.hpp"
+#include "solvers/aggregation.hpp"
+#include "solvers/linear.hpp"
+#include "solvers/passage.hpp"
+#include "solvers/stationary.hpp"
+#include "test_util.hpp"
+
+namespace stocdr {
+namespace {
+
+/// Force the parallel paths despite the small test problems; restore the
+/// production threshold afterwards.
+class ParallelSolversTest : public ::testing::Test {
+ protected:
+  void SetUp() override { par::set_min_parallel_work(1); }
+  void TearDown() override {
+    par::set_min_parallel_work(par::kDefaultMinParallelWork);
+  }
+
+  static markov::MarkovChain test_chain() {
+    return markov::MarkovChain(test::random_sparse_stochastic_pt(800, 5, 21));
+  }
+};
+
+TEST_F(ParallelSolversTest, StationaryPowerAgreesAcrossThreadCounts) {
+  const auto chain = test_chain();
+  solvers::SolverOptions options;
+  options.tolerance = 1e-13;
+  options.relaxation = 0.9;
+
+  options.threads = 1;
+  const auto serial = solvers::solve_stationary_power(chain, options);
+  ASSERT_TRUE(serial.stats.converged);
+
+  for (const std::size_t threads : {2u, 7u}) {
+    options.threads = threads;
+    const auto parallel = solvers::solve_stationary_power(chain, options);
+    EXPECT_TRUE(parallel.stats.converged);
+    EXPECT_LT(test::l1(serial.distribution, parallel.distribution), 1e-12)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelSolversTest, StationaryJacobiAgreesAcrossThreadCounts) {
+  const auto chain = test_chain();
+  solvers::SolverOptions options;
+  options.tolerance = 1e-13;
+  options.relaxation = 0.8;
+
+  options.threads = 1;
+  const auto serial = solvers::solve_stationary_jacobi(chain, options);
+  ASSERT_TRUE(serial.stats.converged);
+
+  for (const std::size_t threads : {2u, 7u}) {
+    options.threads = threads;
+    const auto parallel = solvers::solve_stationary_jacobi(chain, options);
+    EXPECT_TRUE(parallel.stats.converged);
+    EXPECT_LT(test::l1(serial.distribution, parallel.distribution), 1e-12)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelSolversTest, MultilevelAgreesAcrossThreadCounts) {
+  const auto chain = test_chain();
+  const auto hierarchy =
+      solvers::build_index_pair_hierarchy(chain.num_states(), 50);
+  solvers::MultilevelOptions options;
+  options.tolerance = 1e-13;
+
+  options.threads = 1;
+  const auto serial =
+      solvers::solve_stationary_multilevel(chain, hierarchy, options);
+  ASSERT_TRUE(serial.stats.converged);
+
+  for (const std::size_t threads : {2u, 7u}) {
+    options.threads = threads;
+    const auto parallel =
+        solvers::solve_stationary_multilevel(chain, hierarchy, options);
+    EXPECT_TRUE(parallel.stats.converged);
+    EXPECT_LT(test::l1(serial.distribution, parallel.distribution), 1e-12)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelSolversTest, MultilevelBitwiseReproducibleAtFixedThreads) {
+  const auto chain = test_chain();
+  const auto hierarchy =
+      solvers::build_index_pair_hierarchy(chain.num_states(), 50);
+  solvers::MultilevelOptions options;
+  options.tolerance = 1e-13;
+  options.threads = 4;
+
+  const auto first =
+      solvers::solve_stationary_multilevel(chain, hierarchy, options);
+  const auto second =
+      solvers::solve_stationary_multilevel(chain, hierarchy, options);
+  ASSERT_TRUE(first.stats.converged);
+  EXPECT_EQ(first.distribution, second.distribution);
+  EXPECT_EQ(first.stats.iterations, second.stats.iterations);
+}
+
+TEST_F(ParallelSolversTest, GmresSolutionAgreesAcrossThreadCounts) {
+  // Mean-hitting-time style system (I - Q) t = 1 on a restricted chain.
+  const auto pt = test::random_sparse_stochastic_pt(600, 5, 33);
+  // Restrict by scaling: drop 1% of each state's outflow so I - Q is
+  // nonsingular (substochastic Q).
+  std::vector<double> values(pt.values().begin(), pt.values().end());
+  for (double& v : values) v *= 0.99;
+  const sparse::CsrMatrix qt(
+      pt.rows(), pt.cols(),
+      std::vector<std::uint32_t>(pt.row_ptr().begin(), pt.row_ptr().end()),
+      std::vector<std::uint32_t>(pt.col_idx().begin(), pt.col_idx().end()),
+      std::move(values));
+  const solvers::TransientOperator op(qt);
+  const std::vector<double> b(op.size(), 1.0);
+
+  solvers::SolverOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 200;
+
+  options.threads = 1;
+  const auto serial = solvers::gmres(op, b, options);
+  ASSERT_TRUE(serial.stats.converged);
+
+  for (const std::size_t threads : {2u, 7u}) {
+    options.threads = threads;
+    const auto parallel = solvers::gmres(op, b, options);
+    EXPECT_TRUE(parallel.stats.converged);
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < serial.solution.size(); ++i) {
+      const double denom = std::abs(serial.solution[i]) + 1.0;
+      max_rel = std::max(
+          max_rel, std::abs(serial.solution[i] - parallel.solution[i]) / denom);
+    }
+    EXPECT_LT(max_rel, 1e-12) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelSolversTest, PassageTimesAgreeAcrossThreadCounts) {
+  const markov::MarkovChain chain(test::birth_death_pt(400, 0.3, 0.2));
+  std::vector<bool> target(chain.num_states(), false);
+  target[chain.num_states() - 1] = true;
+
+  solvers::PassageOptions options;
+  options.linear.tolerance = 1e-12;
+  options.linear.max_iterations = 600;
+
+  options.linear.threads = 1;
+  const auto serial = solvers::mean_hitting_times(chain, target, options);
+  ASSERT_TRUE(serial.stats.converged);
+
+  for (const std::size_t threads : {2u, 7u}) {
+    options.linear.threads = threads;
+    const auto parallel = solvers::mean_hitting_times(chain, target, options);
+    EXPECT_TRUE(parallel.stats.converged);
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < serial.mean_steps.size(); ++i) {
+      const double denom = std::abs(serial.mean_steps[i]) + 1.0;
+      max_rel = std::max(max_rel, std::abs(serial.mean_steps[i] -
+                                           parallel.mean_steps[i]) /
+                                      denom);
+    }
+    EXPECT_LT(max_rel, 1e-12) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelSolversTest, ProgressCancellationStillWorksWithThreads) {
+  const auto chain = test_chain();
+  solvers::SolverOptions options;
+  options.tolerance = 1e-15;  // unreachable: forces the observer to stop it
+  options.relaxation = 0.9;
+  options.threads = 2;
+  std::size_t events = 0;
+  const auto observer = [&](const obs::ProgressEvent&) {
+    return ++events >= 5 ? obs::ProgressAction::kStop
+                         : obs::ProgressAction::kContinue;
+  };
+  options.progress = obs::ProgressObserver(observer);
+  const auto result = solvers::solve_stationary_power(chain, options);
+  EXPECT_FALSE(result.stats.converged);
+  EXPECT_EQ(result.stats.iterations, 5u);
+  EXPECT_EQ(events, 5u);
+}
+
+}  // namespace
+}  // namespace stocdr
