@@ -18,6 +18,7 @@
 #include "cdr/config.hpp"
 #include "cdr/measures.hpp"
 #include "cdr/model.hpp"
+#include "obs/health/health.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -88,6 +89,7 @@ struct SolvedCase {
       : config(cfg), model(cfg), chain(model.build()) {
     stationary = cdr::solve_stationary(chain, options);
     ber = cdr::bit_error_rate(model, chain, stationary.distribution);
+    obs::health::record_tail_conditioning(ber, stationary.stats.residual);
   }
 
   /// Robust variant: the solve runs through the fallback ladder and the
@@ -109,6 +111,7 @@ struct SolvedCase {
     stationary.stats.converged = result.report.converged;
     robust_report = std::move(result.report);
     ber = cdr::bit_error_rate(model, chain, stationary.distribution);
+    obs::health::record_tail_conditioning(ber, stationary.stats.residual);
   }
 
   /// The paper's annotation line above each plot:

@@ -31,6 +31,7 @@
 #include "cdr/measures.hpp"
 #include "cdr/model.hpp"
 #include "fsm/graphviz.hpp"
+#include "obs/health/health.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -50,8 +51,17 @@ int run(int argc, char** argv) {
   std::string metrics_out;
   bool print_config = false;
   bool use_robust = false;
+  std::string inject_fault;
   double time_budget = std::numeric_limits<double>::infinity();
   std::size_t threads = 0;  // 0 = inherit STOCDR_THREADS (default serial)
+
+  // FaultInjector is non-owning; these must outlive the solve.
+  const auto nan_injector = [](const obs::ProgressEvent&) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  const auto stall_injector = [](const obs::ProgressEvent&) {
+    return 1.0;  // a residual that never improves
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +88,18 @@ int run(int argc, char** argv) {
       }
       time_budget = std::strtod(argv[++i], nullptr);
       use_robust = true;  // a budget only makes sense on the robust path
+    } else if (arg == "--inject-fault") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--inject-fault needs 'nan' or 'stall'\n");
+        return 2;
+      }
+      inject_fault = argv[++i];
+      if (inject_fault != "nan" && inject_fault != "stall") {
+        std::fprintf(stderr, "--inject-fault needs 'nan' or 'stall', got %s\n",
+                     inject_fault.c_str());
+        return 2;
+      }
+      use_robust = true;  // the injector rides the robust sentinel
     } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--threads needs a value (N or 'auto')\n");
@@ -88,7 +110,8 @@ int run(int argc, char** argv) {
       std::printf(
           "usage: cdr_analyzer [config.txt] [--export-prefix PREFIX] "
           "[--print-config] [--robust] [--time-budget SECONDS] "
-          "[--threads N|auto] [--metrics-out FILE]\n");
+          "[--inject-fault nan|stall] [--threads N|auto] "
+          "[--metrics-out FILE]\n");
       return 0;
     } else {
       config = cdr::config_from_file(arg);
@@ -119,6 +142,16 @@ int run(int argc, char** argv) {
   if (use_robust) {
     robust::RobustOptions ropts;
     ropts.time_budget_seconds = time_budget;
+    if (inject_fault == "nan") {
+      ropts.fault_injector = robust::FaultInjector(nan_injector);
+    } else if (inject_fault == "stall") {
+      ropts.fault_injector = robust::FaultInjector(stall_injector);
+      // Tighten the sentinel so the injected stall trips before the rung
+      // genuinely converges (the injector only fools the sentinel, not the
+      // solver's own convergence test).
+      ropts.sentinel_stride = 1;
+      ropts.stall_window = 4;
+    }
     auto result = cdr::solve_stationary_robust(chain, ropts);
     std::printf("solve (robust): %s, residual %s, %s, %zu rung(s), "
                 "%zu checkpoint(s)\n\n",
@@ -126,6 +159,10 @@ int run(int argc, char** argv) {
                 sci(result.report.residual, 1).c_str(),
                 format_duration(result.report.seconds).c_str(),
                 result.report.rungs.size(), result.report.checkpoints_taken);
+    if (!result.report.flight_dump_path.empty()) {
+      std::printf("flight recorder dump: %s\n\n",
+                  result.report.flight_dump_path.c_str());
+    }
     solution.distribution = std::move(result.distribution);
     solution.stats.residual = result.report.residual;
     solution.stats.converged = result.report.converged;
@@ -140,6 +177,9 @@ int run(int argc, char** argv) {
 
   const auto& eta = solution.distribution;
   const double ber = cdr::bit_error_rate(model, chain, eta);
+  // How many leading digits of this BER the solve residual actually
+  // supports (gauges health.tail_mass / health.tail_digits when enabled).
+  obs::health::record_tail_conditioning(ber, solution.stats.residual);
   const auto slips = cdr::slip_stats(model, chain, eta);
   const auto moments = cdr::phase_error_moments(model, chain, eta);
   const auto lambda2 =

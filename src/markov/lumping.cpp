@@ -1,12 +1,16 @@
 #include "markov/lumping.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <unordered_map>
 
+#include "obs/health/health.hpp"
 #include "parallel/pool.hpp"
 #include "sparse/coo.hpp"
 #include "support/error.hpp"
+#include "support/math.hpp"
 
 namespace stocdr::markov {
 
@@ -238,8 +242,20 @@ sparse::CsrMatrix AggregationPlan::aggregate(
       }
     });
   }
-  return sparse::CsrMatrix(m, m, coarse_ptr_, coarse_cols_,
+  sparse::CsrMatrix coarse(m, m, coarse_ptr_, coarse_cols_,
                            std::move(values));
+  // Health shadow audit: the aggregated matrix of a stochastic chain must
+  // itself be (column-, in this transposed orientation) stochastic; drift
+  // beyond rounding means the weighted aggregation is losing probability.
+  static std::atomic<std::uint64_t> drift_site{0};
+  if (obs::health::should_sample(drift_site)) {
+    double defect = 0.0;
+    for (const double sum : coarse.col_sums()) {
+      defect = std::max(defect, std::abs(sum - 1.0));
+    }
+    obs::health::record_stochasticity_drift(defect);
+  }
+  return coarse;
 }
 
 std::vector<double> restrict_sum(const Partition& partition,
@@ -249,6 +265,14 @@ std::vector<double> restrict_sum(const Partition& partition,
   std::vector<double> coarse(partition.num_groups(), 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) {
     coarse[partition.group(i)] += x[i];
+  }
+  // Health shadow audit: restriction is a regrouped sum, so total mass is
+  // conserved up to rounding — a larger defect means x carries non-finite
+  // entries or the accumulation went wrong.
+  static std::atomic<std::uint64_t> lump_site{0};
+  if (obs::health::should_sample(lump_site)) {
+    obs::health::audit_mass("lump", kahan_sum(x),
+                            kahan_sum({coarse.data(), coarse.size()}));
   }
   return coarse;
 }
@@ -271,6 +295,15 @@ void disaggregate(const Partition& partition, std::span<const double> coarse,
       }
     }
   });
+  // Health shadow audit: prolongation redistributes each group's coarse
+  // mass across its fine states, conserving the total; and a nonnegative
+  // coarse vector must expand to a nonnegative fine vector.
+  static std::atomic<std::uint64_t> expand_site{0};
+  if (obs::health::should_sample(expand_site)) {
+    obs::health::audit_mass("expand", kahan_sum(coarse),
+                            kahan_sum({x.data(), x.size()}));
+    obs::health::audit_nonnegativity("expand", {x.data(), x.size()});
+  }
 }
 
 }  // namespace stocdr::markov

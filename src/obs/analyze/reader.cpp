@@ -56,6 +56,14 @@ TraceFile read_trace(std::istream& in) {
       trace.has_manifest = true;
       continue;
     }
+    // Crash marker written by the fatal-signal dump path ahead of the ring.
+    if (const JsonValue* crash = doc->find("crash");
+        crash != nullptr && crash->is_object()) {
+      if (const JsonValue* sig = crash->find("signal")) {
+        trace.crash_signal = static_cast<int>(sig->uint_or(0));
+      }
+      continue;
+    }
     TraceSpan span;
     if (parse_span_line(*doc, span)) {
       trace.spans.push_back(std::move(span));
@@ -72,6 +80,20 @@ TraceFile read_trace_file(const std::string& path) {
     throw IoError("cannot open trace file: " + path);
   }
   return read_trace(in);
+}
+
+std::optional<std::string> empty_trace_reason(const TraceFile& trace) {
+  if (!trace.spans.empty()) return std::nullopt;
+  if (trace.total_lines == 0) {
+    return "trace is empty (no lines) — was tracing enabled? "
+           "(STOCDR_TRACE_FILE / STOCDR_TRACE_RING)";
+  }
+  if (trace.skipped_lines == trace.total_lines) {
+    return "trace has no spans: all " + std::to_string(trace.total_lines) +
+           " line(s) are malformed — is this a JSONL trace?";
+  }
+  return "trace has no spans (" + std::to_string(trace.total_lines) +
+         " line(s): manifest/marker only)";
 }
 
 }  // namespace stocdr::obs::analyze

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +40,10 @@ struct TraceFile {
 
   std::vector<TraceSpan> spans;
 
+  /// Signal number from a {"crash":{"signal":N}} marker line (written by
+  /// the fatal-signal flight-recorder dump); 0 = no crash marker.
+  int crash_signal = 0;
+
   std::size_t total_lines = 0;    ///< non-empty lines seen
   std::size_t skipped_lines = 0;  ///< malformed / unrecognized lines
 };
@@ -48,5 +53,11 @@ struct TraceFile {
 
 /// Reads a trace file; throws stocdr::IoError if the file cannot be opened.
 [[nodiscard]] TraceFile read_trace_file(const std::string& path);
+
+/// nullopt when the trace holds at least one span; otherwise a one-line
+/// human-readable reason ("empty trace file", "no spans: ... malformed
+/// line(s)", ...) the CLI surfaces with its distinct exit code.
+[[nodiscard]] std::optional<std::string> empty_trace_reason(
+    const TraceFile& trace);
 
 }  // namespace stocdr::obs::analyze

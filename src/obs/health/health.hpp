@@ -1,0 +1,85 @@
+// Numerical-health monitors: shadow audits of the quantities a correct
+// stationary solve must conserve.
+//
+// The paper certifies BERs near 1e-12 by analysis; a solve that silently
+// loses probability mass, goes negative, or stops contracting produces a
+// confidently wrong tail.  These monitors watch exactly those invariants —
+// per-level multigrid convergence factors, mass conservation across
+// lump/expand, nonnegativity of iterates, coarse-matrix stochasticity
+// drift, and the conditioning of the BER tail mass — and publish what they
+// see as ordinary metrics ("mg.level.rho", "health.*") so the live exporter
+// and BENCH artifacts carry them.
+//
+// Cost contract: every monitor is *read-only* (it never changes an iterate,
+// so solver results are bit-identical whether monitoring is on or off), off
+// by default, and sampled when on.  The disabled fast path is one relaxed
+// atomic load.
+//
+// Enabling: STOCDR_HEALTH=1 (anything but ""/"0"/"off"), or
+// set_enabled(true) programmatically.  STOCDR_HEALTH_SAMPLE=N audits every
+// Nth visit of each call site (default 8; 1 = audit everything).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace stocdr::obs::health {
+
+/// Relative mass defect above which a lump/expand audit counts as an alarm
+/// ("health.mass_alarms").  Rounding on a well-scaled distribution sits many
+/// orders below this; crossing it means mass is genuinely leaking.
+inline constexpr double kMassAlarmThreshold = 1e-9;
+
+/// True when the monitors are on (lazy STOCDR_HEALTH read on first call).
+[[nodiscard]] bool enabled();
+
+/// Programmatic override of STOCDR_HEALTH (tests, embedding services).
+void set_enabled(bool on);
+
+/// Every Nth visit of a call site is audited (>= 1).  Lazy
+/// STOCDR_HEALTH_SAMPLE read on first call; default 8.
+[[nodiscard]] std::size_t sample_stride();
+void set_sample_stride(std::size_t stride);
+
+/// Sampling gate for one call site: the caller owns a static atomic visit
+/// counter; returns true when monitoring is enabled and this visit falls on
+/// the sampling stride.  Guards the O(n) audits below so their cost is
+/// amortized to ~1/stride of visits.
+[[nodiscard]] bool should_sample(std::atomic<std::uint64_t>& site_counter);
+
+/// Per-level asymptotic convergence-factor estimate: the ratio of the
+/// stationary residual after a level's cycle work to the residual before
+/// it.  Observed into the aggregate "mg.level.rho" histogram and the
+/// per-level "mg.level<l>.rho" histogram.  rho >= 1 means the level did
+/// not contract.
+void record_level_rho(std::size_t level, double rho);
+
+/// Mass-conservation audit at an aggregate/disaggregate boundary: `before`
+/// and `after` are the total probability mass on the two sides of the
+/// transfer.  Records the relative defect into "health.mass_defect" and
+/// bumps "health.mass_alarms" when it exceeds kMassAlarmThreshold.
+/// `site` ("lump", "expand", ...) is attached to the per-site counter.
+void audit_mass(const char* site, double before, double after);
+
+/// Nonnegativity audit: counts strictly negative entries of `x` into
+/// "health.negativity" (a correct probability iterate has none).
+void audit_nonnegativity(const char* site, std::span<const double> x);
+
+/// Row-stochasticity drift of a coarse (aggregated) transition matrix:
+/// the largest |column sum - 1| of the transposed coarse TPM.  Published
+/// as the "health.stochasticity_drift" gauge (last audited value).
+void record_stochasticity_drift(double defect);
+
+/// Effective decimal digits to which a tail mass is resolved given the
+/// solve residual: log10(tail / residual), clamped to [0, 17].  A BER of
+/// 1e-12 from a residual-1e-15 solve has ~3 trustworthy digits; a BER at
+/// or below the residual has none.
+[[nodiscard]] double effective_tail_digits(double tail_mass, double residual);
+
+/// Publishes the BER tail-conditioning gauges: "health.tail_mass" (the
+/// tail probability itself) and "health.tail_digits" (effective digits).
+void record_tail_conditioning(double tail_mass, double residual);
+
+}  // namespace stocdr::obs::health

@@ -1,0 +1,146 @@
+#include "obs/live/crash_handler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/live/flight_recorder.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
+namespace stocdr::obs {
+
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+constexpr std::size_t kPathMax = 4096;
+
+// Pre-resolved at install time: the handler must not allocate or touch the
+// heap-backed std::string machinery.
+char g_dump_path[kPathMax];
+char g_backtrace_path[kPathMax];
+std::atomic<bool> g_installed{false};
+volatile std::sig_atomic_t g_handling = 0;
+
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void write_literal(int fd, const char* s) { write_all(fd, s, std::strlen(s)); }
+
+void write_unsigned(int fd, unsigned long value) {
+  char buf[24];
+  std::size_t n = 0;
+  do {
+    buf[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0 && n < sizeof buf);
+  while (n > 0) write_all(fd, &buf[--n], 1);
+}
+
+void fatal_signal_handler(int sig) {
+  // A crash inside the handler itself must not recurse: SA_RESETHAND has
+  // already restored the default disposition, and this flag covers a
+  // *different* fatal signal arriving mid-dump.
+  if (g_handling != 0) {
+    ::raise(sig);
+    return;
+  }
+  g_handling = 1;
+
+  const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    // One marker line the trace reader surfaces as crash_signal, then the
+    // ring (manifest line + retained spans).
+    write_literal(fd, "{\"crash\":{\"signal\":");
+    write_unsigned(fd, static_cast<unsigned long>(sig));
+    write_literal(fd, "}}\n");
+    if (const FlightRecorder* recorder = FlightRecorder::active()) {
+      recorder->dump_to_fd(fd);
+    }
+    ::close(fd);
+  }
+
+#if defined(__GLIBC__)
+  const int bt_fd =
+      ::open(g_backtrace_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (bt_fd >= 0) {
+    void* frames[64];
+    const int depth = ::backtrace(frames, 64);
+    ::backtrace_symbols_fd(frames, depth, bt_fd);
+    ::close(bt_fd);
+  }
+#endif
+
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void copy_path(char (&dst)[kPathMax], const std::string& src) {
+  const std::size_t n = std::min(src.size(), kPathMax - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+void install_crash_handler(const std::string& dump_path) {
+  const std::string path =
+      dump_path.empty() ? std::string("stocdr_crash.jsonl") : dump_path;
+  copy_path(g_dump_path, path);
+  copy_path(g_backtrace_path, path + ".backtrace");
+
+#if defined(__GLIBC__)
+  // backtrace() may dlopen libgcc on first use — do that now, outside any
+  // signal context.
+  void* warmup[2];
+  ::backtrace(warmup, 2);
+#endif
+
+  struct sigaction action {};
+  action.sa_handler = fatal_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // One shot: the disposition resets on entry, so a fault inside the
+  // handler falls through to the default (terminate) action.
+  action.sa_flags = SA_RESETHAND;
+  for (const int sig : kFatalSignals) {
+    ::sigaction(sig, &action, nullptr);
+  }
+  g_installed.store(true, std::memory_order_release);
+}
+
+void install_crash_handler_from_env() {
+  const char* configured = std::getenv("STOCDR_CRASH_DUMP");
+  if (configured != nullptr && std::strcmp(configured, "off") == 0) return;
+  install_crash_handler(configured != nullptr ? configured : "");
+}
+
+bool crash_handler_installed() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+}  // namespace stocdr::obs
+
+#else  // non-POSIX: no signal post-mortem
+
+namespace stocdr::obs {
+
+void install_crash_handler(const std::string&) {}
+void install_crash_handler_from_env() {}
+bool crash_handler_installed() { return false; }
+
+}  // namespace stocdr::obs
+
+#endif

@@ -1,0 +1,31 @@
+// Fatal-signal post-mortem: dump the flight-recorder ring and a backtrace.
+//
+// A solve service killed by SIGSEGV/SIGABRT must leave the same trail a
+// sentinel trip does.  The installed handler is async-signal-safe by
+// construction: the dump path is resolved and the ring lines pre-rendered
+// *before* any signal can arrive, so the handler only open(2)s, write(2)s,
+// and re-raises.  On glibc a symbolized backtrace lands next to the dump
+// (<path>.backtrace via backtrace_symbols_fd).
+//
+// Installed automatically when STOCDR_TRACE_RING enables the ring;
+// STOCDR_CRASH_DUMP overrides the dump path ("off" disables the handler).
+#pragma once
+
+#include <string>
+
+namespace stocdr::obs {
+
+/// Installs handlers for SIGSEGV, SIGABRT, SIGBUS, SIGFPE, and SIGILL.
+/// `dump_path` "" selects the default "stocdr_crash.jsonl".  The handler
+/// writes the dump, restores the default disposition, and re-raises, so the
+/// process still dies by the original signal.  Safe to call more than once
+/// (the latest path wins).  No-op on non-POSIX platforms.
+void install_crash_handler(const std::string& dump_path = "");
+
+/// Env-driven install: honors STOCDR_CRASH_DUMP (path override; "off"
+/// disables).  Called by the trace env init when the ring is enabled.
+void install_crash_handler_from_env();
+
+[[nodiscard]] bool crash_handler_installed();
+
+}  // namespace stocdr::obs

@@ -1,0 +1,84 @@
+// Live telemetry export: a background thread publishing metrics snapshots.
+//
+// The ROADMAP north-star is a long-running solve service; its operators
+// need to see "mg.level.rho" drifting toward 1 *while* the solve runs, not
+// in a BENCH artifact afterwards.  The exporter thread wakes every
+// period_ms, takes a registry snapshot, renders it as OpenMetrics text, and
+// atomically replaces the export file (temp+rename, so a scraper or
+// `stocdr-obsctl watch` never reads a torn document).  Every publish first
+// advances the "export.heartbeat" gauge — a reader seeing the same
+// heartbeat twice knows the producer is stalled or gone.
+//
+// Enable via STOCDR_METRICS_EXPORT=<path> (+ STOCDR_METRICS_PERIOD_MS,
+// default 1000, clamped to [10, 3600000]); the env-driven exporter starts
+// lazily with the first metrics-registry access and publishes a final
+// snapshot at process exit.  An initial snapshot is published on start()
+// and a final one on stop(), so any started exporter leaves a heartbeat of
+// at least 2.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace stocdr::obs {
+
+class LiveExporter {
+ public:
+  struct Options {
+    std::string path;             ///< OpenMetrics output file
+    std::size_t period_ms = 1000; ///< publish cadence
+  };
+
+  explicit LiveExporter(Options options);
+
+  /// Stops and joins, publishing one final snapshot.
+  ~LiveExporter();
+
+  LiveExporter(const LiveExporter&) = delete;
+  LiveExporter& operator=(const LiveExporter&) = delete;
+
+  /// Publishes immediately, then starts the periodic thread.  Idempotent.
+  void start();
+
+  /// Stops the thread and publishes the final snapshot.  Idempotent.
+  void stop();
+
+  /// Publishes one snapshot synchronously (heartbeat + render + atomic
+  /// write).  Callable with or without the thread running.
+  void publish();
+
+  /// Snapshots published so far (== the exported heartbeat gauge).
+  [[nodiscard]] std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const std::string& path() const { return options_.path; }
+
+ private:
+  void thread_main();
+
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  bool write_warned_ = false;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::thread thread_;
+};
+
+namespace detail {
+
+/// Starts the process-wide env-configured exporter on first call (no-op
+/// when STOCDR_METRICS_EXPORT is unset).  Re-entrant: called from inside
+/// MetricsRegistry::instance(), including by the exporter thread itself.
+void ensure_live_exporter_from_env();
+
+}  // namespace detail
+
+}  // namespace stocdr::obs

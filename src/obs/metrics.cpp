@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/json.hpp"
+#include "obs/live/exporter.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -113,6 +114,10 @@ void Histogram::reset() {
 
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
+  // Lazy env hook *after* the registry static: the exporter is constructed
+  // later, so static destruction tears it down first and its final publish
+  // still sees a live registry.  Re-entrant calls return immediately.
+  detail::ensure_live_exporter_from_env();
   return registry;
 }
 

@@ -103,4 +103,13 @@ class CollectingSink final : public TraceSink {
 /// Renders a span's attribute value as text (used by ConsoleSink and tests).
 [[nodiscard]] std::string attr_to_string(const AttrValue& value);
 
+/// Renders one span as its JSONL trace line (no trailing newline) — the
+/// schema JsonlFileSink writes and obs/analyze reads.  Shared with the
+/// flight recorder so ring dumps and streamed traces stay byte-compatible.
+[[nodiscard]] std::string span_to_jsonl(const SpanRecord& span);
+
+/// The {"manifest":{..}} provenance line stamped first into every trace
+/// artifact (no trailing newline).
+[[nodiscard]] std::string manifest_jsonl_line();
+
 }  // namespace stocdr::obs

@@ -18,26 +18,16 @@ std::string attr_to_string(const AttrValue& value) {
   return std::get<std::string>(value);
 }
 
-JsonlFileSink::JsonlFileSink(const std::string& path)
-    : writer_(path, /*carry_existing=*/true) {
-  // Stamp provenance before the first span.  Appended traces accumulate one
-  // manifest per sink open; readers treat each as authoritative for the
-  // spans that follow it.
+std::string manifest_jsonl_line() {
   JsonWriter w;
   w.begin_object();
   w.key("manifest");
   w.raw_value(manifest_to_json(current_manifest()));
   w.end_object();
-  const std::string line = std::move(w).str();
-  std::FILE* file = writer_.handle();
-  std::fwrite(line.data(), 1, line.size(), file);
-  std::fputc('\n', file);
-  std::fflush(file);
+  return std::move(w).str();
 }
 
-JsonlFileSink::~JsonlFileSink() = default;  // AtomicFileWriter commits
-
-void JsonlFileSink::on_span(const SpanRecord& span) {
+std::string span_to_jsonl(const SpanRecord& span) {
   JsonWriter w;
   w.begin_object();
   w.field("name", span.name);
@@ -63,7 +53,25 @@ void JsonlFileSink::on_span(const SpanRecord& span) {
     w.end_object();
   }
   w.end_object();
-  const std::string line = std::move(w).str();
+  return std::move(w).str();
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : writer_(path, /*carry_existing=*/true) {
+  // Stamp provenance before the first span.  Appended traces accumulate one
+  // manifest per sink open; readers treat each as authoritative for the
+  // spans that follow it.
+  const std::string line = manifest_jsonl_line();
+  std::FILE* file = writer_.handle();
+  std::fwrite(line.data(), 1, line.size(), file);
+  std::fputc('\n', file);
+  std::fflush(file);
+}
+
+JsonlFileSink::~JsonlFileSink() = default;  // AtomicFileWriter commits
+
+void JsonlFileSink::on_span(const SpanRecord& span) {
+  const std::string line = span_to_jsonl(span);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   std::FILE* file = writer_.handle();

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/live/crash_handler.hpp"
+#include "obs/live/flight_recorder.hpp"
 #include "support/error.hpp"
 
 namespace stocdr::obs {
@@ -32,24 +35,41 @@ void install_locked(std::unique_ptr<TraceSink> sink) {
   if (sink) retired_sinks().push_back(std::move(sink));
 }
 
-/// One-time sink selection from STOCDR_TRACE / STOCDR_TRACE_FILE.
+/// One-time sink selection from STOCDR_TRACE / STOCDR_TRACE_FILE /
+/// STOCDR_TRACE_RING.  The ring wraps whatever base sink the other two
+/// variables select (or stands alone), so in-memory capture and a streamed
+/// trace coexist.
 void init_from_env() {
   const char* file = std::getenv("STOCDR_TRACE_FILE");
   const char* mode = std::getenv("STOCDR_TRACE");
+  const std::size_t ring =
+      parse_ring_capacity(std::getenv("STOCDR_TRACE_RING"));
   const std::lock_guard<std::mutex> lock(g_install_mutex);
   if (g_sink.load(std::memory_order_acquire) != nullptr) {
     return;  // a programmatic install won the race
   }
+  std::unique_ptr<TraceSink> base;
   if (file != nullptr && *file != '\0') {
     // A bad environment value must not abort the traced program: degrade
     // to untraced with a warning (this runs inside the first Span).
     try {
-      install_locked(std::make_unique<JsonlFileSink>(file));
+      base = std::make_unique<JsonlFileSink>(file);
     } catch (const IoError& e) {
       std::fprintf(stderr, "stocdr: tracing disabled: %s\n", e.what());
     }
   } else if (mode != nullptr && std::strcmp(mode, "console") == 0) {
-    install_locked(std::make_unique<ConsoleSink>());
+    base = std::make_unique<ConsoleSink>();
+  }
+  if (ring > 0) {
+    auto recorder = std::make_unique<FlightRecorder>(ring, base.get());
+    if (base) retired_sinks().push_back(std::move(base));
+    FlightRecorder::set_active(recorder.get());
+    // A ring without a fatal-signal dump path would lose exactly the spans
+    // it was retaining; STOCDR_CRASH_DUMP=off opts out.
+    install_crash_handler_from_env();
+    install_locked(std::move(recorder));
+  } else if (base) {
+    install_locked(std::move(base));
   }
 }
 
@@ -127,6 +147,12 @@ void Span::attr(std::string_view key, std::string_view value) {
 void Span::end() {
   if (sink_ == nullptr) return;
   record_.duration_ns = Tracer::now_ns() - record_.start_ns;
+  // Spans are a per-thread stack: ending one that is not innermost (e.g. a
+  // heap-kept span ended across scopes) would silently corrupt the
+  // parent/depth chain of every span still open above it.  Debug builds
+  // refuse; release builds keep the historical pop-if-top behavior.
+  assert(t_current_span == this &&
+         "obs::Span::end() called out of LIFO order on this thread");
   if (t_current_span == this) t_current_span = parent_;
   TraceSink* sink = sink_;
   sink_ = nullptr;  // idempotent: further calls are no-ops

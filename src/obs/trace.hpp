@@ -56,7 +56,8 @@ class Tracer {
 /// RAII scoped span.  Cheap to construct when tracing is disabled; when
 /// enabled, records duration and attributes and emits on destruction (or on
 /// an explicit end()).  Spans must be ended in LIFO order per thread —
-/// guaranteed by scoping them as locals.
+/// guaranteed by scoping them as locals, and enforced by an assert() in
+/// debug builds (out-of-order end() corrupts parent/depth bookkeeping).
 class Span {
  public:
   /// `name` must be a string literal (stored by pointer).

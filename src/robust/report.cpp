@@ -35,6 +35,9 @@ std::string RobustSolveReport::to_json() const {
   }
   w.field("deadline_exceeded", deadline_exceeded);
   w.field("checkpoints", std::uint64_t{checkpoints_taken});
+  if (!flight_dump_path.empty()) {
+    w.field("flight_dump", flight_dump_path);
+  }
   w.key("rungs");
   w.begin_array();
   for (const RungReport& rung : rungs) {
@@ -80,6 +83,9 @@ std::string RobustSolveReport::summary() const {
   if (repaired) line += " [input repaired]";
   if (degraded) {
     line += " [degraded to " + std::to_string(degraded_states) + " states]";
+  }
+  if (!flight_dump_path.empty()) {
+    line += " [flight dump: " + flight_dump_path + "]";
   }
   return line;
 }

@@ -71,6 +71,12 @@ struct RobustSolveReport {
   std::size_t checkpoints_taken = 0;
   std::vector<RungReport> rungs;  ///< in attempt order, fine ladder last
 
+  /// Path of the flight-recorder dump written when a sentinel tripped
+  /// (divergence/NaN/stall) while a ring was active ("" = no dump: no trip,
+  /// or no STOCDR_TRACE_RING).  The dump holds the spans leading up to the
+  /// fault; read it with `stocdr-obsctl summarize`.
+  std::string flight_dump_path;
+
   /// One JSON object (same dialect as the BENCH artifacts).
   [[nodiscard]] std::string to_json() const;
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
+#include "obs/live/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool.hpp"
@@ -47,6 +50,37 @@ obs::Counter& deadline_counter() {
   static obs::Counter& c =
       obs::MetricsRegistry::instance().counter("robust.deadline_exceeded");
   return c;
+}
+
+obs::Counter& flight_dump_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.flight_dumps");
+  return c;
+}
+
+/// A sentinel trip means the spans leading up to the fault are exactly what
+/// the flight-recorder ring holds right now — dump them before further
+/// rungs overwrite the evidence.  First trip of a solve wins; no-op when no
+/// ring is installed (STOCDR_TRACE_RING unset).
+void dump_flight_recording(const std::string& configured,
+                           RobustSolveReport& report) {
+  if (!report.flight_dump_path.empty()) return;
+  const obs::FlightRecorder* recorder = obs::FlightRecorder::active();
+  if (recorder == nullptr) return;
+  std::string path = configured;
+  if (path.empty()) {
+    if (const char* env = std::getenv("STOCDR_FLIGHT_DUMP")) path = env;
+  }
+  if (path.empty()) path = "stocdr_flight.jsonl";
+  try {
+    recorder->dump(path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "stocdr: flight-recorder dump failed: %s\n",
+                 e.what());
+    return;
+  }
+  report.flight_dump_path = path;
+  flight_dump_counter().add(1);
 }
 
 /// The deflated stationary operator B = I - P^T + (1/n) e e^T.  B is
@@ -346,6 +380,11 @@ std::vector<double> RobustSolver::run_ladder(
       }
     }
     rung_failure_counter().add(1);
+    if (rung.failure == FailureCause::kDiverged ||
+        rung.failure == FailureCause::kStalled ||
+        rung.failure == FailureCause::kNumericalFault) {
+      dump_flight_recording(options_.flight_dump_path, report);
+    }
     if (span.active()) {
       span.attr("outcome", std::string_view(to_string(rung.failure)));
       span.attr("residual", result.stats.residual);

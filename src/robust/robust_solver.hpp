@@ -105,6 +105,13 @@ struct RobustOptions {
 
   /// Fault-injection hook for robustness tests (see robust/sentinel.hpp).
   std::optional<FaultInjector> fault_injector;
+
+  /// Where the flight-recorder ring is dumped when a sentinel trips
+  /// (divergence/NaN/stall) while STOCDR_TRACE_RING is active.  Empty
+  /// defers to STOCDR_FLIGHT_DUMP, then "stocdr_flight.jsonl".  Only the
+  /// first trip of a solve dumps; the path lands in
+  /// RobustSolveReport::flight_dump_path.
+  std::string flight_dump_path;
 };
 
 /// The default ladder: multilevel -> GMRES -> SOR -> damped power -> GTH.

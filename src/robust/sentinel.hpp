@@ -45,8 +45,12 @@ class SolveSentinel {
 
     /// A check with residual >= stall_factor * previous-check residual
     /// counts as a stalled check; `stall_window` consecutive ones trigger
-    /// cancellation.  stall_factor 1.0 disables stall detection only for
-    /// exactly non-decreasing residuals; use 0 to disable entirely.
+    /// cancellation.  At stall_factor 1.0 only checks whose residual did
+    /// not decrease at all count as stalled (any strict decrease, however
+    /// tiny, resets the window), so slow-but-real progress is never
+    /// cancelled.  Values <= 0 disable stall detection entirely (the
+    /// sentinel then skips the stall check; divergence, NaN, and deadline
+    /// watchdogs stay active).
     double stall_factor = 0.98;
     std::size_t stall_window = 12;
 

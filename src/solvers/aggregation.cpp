@@ -1,9 +1,12 @@
 #include "solvers/aggregation.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 
+#include "obs/health/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool.hpp"
@@ -93,6 +96,30 @@ class MultilevelWorker {
       span.attr("states", pt.rows());
     }
     std::vector<double> scratch(x.size());
+
+    // Health shadow monitor: sampled per-level convergence factor, the
+    // ratio of this level's fixed-point residual ||P^T x - x||_1 after its
+    // cycle work to the residual before it.  The two extra matvecs are
+    // read-only (x is untouched), so monitored and unmonitored solves stay
+    // bit-identical; they are deliberately not counted in matvecs_ (solver
+    // stats report solver work, not observability overhead).
+    static std::atomic<std::uint64_t> rho_site{0};
+    const bool monitored = obs::health::should_sample(rho_site);
+    double residual_before = 0.0;
+    if (monitored) {
+      pt.multiply(x, scratch);
+      residual_before = par::l1_distance(scratch, x);
+    }
+    const auto finish_monitor = [&] {
+      if (!monitored) return;
+      pt.multiply(x, scratch);
+      const double residual_after = par::l1_distance(scratch, x);
+      if (residual_before > 0.0) {
+        obs::health::record_level_rho(level,
+                                      residual_after / residual_before);
+      }
+    };
+
     if (pt.rows() <= options_.coarsest_size || level >= hierarchy_.size()) {
       if (pt.rows() <= kGthSizeLimit) {
         solve_coarsest(pt, x, scratch, &matvecs_);
@@ -107,6 +134,7 @@ class MultilevelWorker {
         matvecs_ += kBottomSweeps;
         if (traced) span.attr("role", std::string_view("coarsest-smooth"));
       }
+      finish_monitor();
       return;
     }
 
@@ -158,6 +186,7 @@ class MultilevelWorker {
         .gauge("mg.level" + std::to_string(level) + ".coarsen_ratio")
         .set(static_cast<double>(part.num_groups()) /
              static_cast<double>(part.num_states()));
+    finish_monitor();
   }
 
   [[nodiscard]] std::size_t matvecs() const { return matvecs_; }
@@ -265,6 +294,12 @@ StationaryResult solve_stationary_multilevel(
     const Timer cycle_timer;
     worker.cycle(0, chain.pt(), x);
     const double res = stationary_residual(chain, x);
+    // Health shadow audit: a multilevel iterate is a probability vector and
+    // must stay nonnegative through every lump/expand round trip.
+    static std::atomic<std::uint64_t> iterate_site{0};
+    if (obs::health::should_sample(iterate_site)) {
+      obs::health::audit_nonnegativity("mg.iterate", x);
+    }
     cycle_seconds_histogram().observe(cycle_timer.seconds());
     result.stats.iterations = c + 1;
     result.stats.residual = res;

@@ -1,0 +1,206 @@
+// Numerical-health monitors (src/obs/health/): defaults, sampling,
+// audit units, and the read-only contract against the multilevel solver.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "markov/chain.hpp"
+#include "obs/health/health.hpp"
+#include "obs/metrics.hpp"
+#include "solvers/aggregation.hpp"
+#include "test_util.hpp"
+
+namespace stocdr::obs::health {
+namespace {
+
+double sample_value(const char* name, bool* found = nullptr) {
+  for (const MetricSample& s : MetricsRegistry::instance().snapshot()) {
+    if (s.name == name) {
+      if (found != nullptr) *found = true;
+      return s.kind == MetricSample::Kind::kHistogram
+                 ? static_cast<double>(s.count)
+                 : s.value;
+    }
+  }
+  if (found != nullptr) *found = false;
+  return 0.0;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return MetricsRegistry::instance().counter(name).value();
+}
+
+/// Every test starts from a clean registry with monitors off and full
+/// sampling, and leaves the process state the same way.
+class HealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset_all();
+    set_enabled(false);
+    set_sample_stride(1);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    set_sample_stride(1);
+    MetricsRegistry::instance().reset_all();
+  }
+};
+
+// --- off by default ---------------------------------------------------------
+
+TEST_F(HealthTest, DisabledMonitorsRecordNothing) {
+  record_level_rho(0, 0.5);
+  audit_mass("test", 1.0, 2.0);  // a huge defect — must still be ignored
+  const std::vector<double> x = {-1.0, 0.5};
+  audit_nonnegativity("test", x);
+  record_stochasticity_drift(0.1);
+  record_tail_conditioning(1e-12, 1e-14);
+
+  EXPECT_EQ(counter_value("health.mass_audits"), 0u);
+  EXPECT_EQ(counter_value("health.mass_alarms"), 0u);
+  EXPECT_EQ(counter_value("health.nonneg_audits"), 0u);
+  EXPECT_EQ(counter_value("health.negativity"), 0u);
+  EXPECT_EQ(MetricsRegistry::instance().histogram("mg.level.rho").count(), 0u);
+}
+
+TEST_F(HealthTest, ShouldSampleIsFalseWhenDisabled) {
+  std::atomic<std::uint64_t> site{0};
+  EXPECT_FALSE(should_sample(site));
+  EXPECT_EQ(site.load(), 0u);  // disabled gate must not even count visits
+}
+
+// --- sampling stride --------------------------------------------------------
+
+TEST_F(HealthTest, ShouldSampleFollowsTheStride) {
+  set_enabled(true);
+  set_sample_stride(4);
+  std::atomic<std::uint64_t> site{0};
+  std::vector<bool> hits;
+  for (int i = 0; i < 8; ++i) hits.push_back(should_sample(site));
+  const std::vector<bool> expected = {true, false, false, false,
+                                      true, false, false, false};
+  EXPECT_EQ(hits, expected);
+}
+
+TEST_F(HealthTest, StrideOneSamplesEveryVisit) {
+  set_enabled(true);
+  set_sample_stride(1);
+  std::atomic<std::uint64_t> site{0};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(should_sample(site));
+}
+
+TEST_F(HealthTest, StrideIsClampedToAtLeastOne) {
+  set_sample_stride(0);
+  EXPECT_EQ(sample_stride(), 1u);
+}
+
+// --- audit units ------------------------------------------------------------
+
+TEST_F(HealthTest, MassAuditCountsButDoesNotAlarmWithinThreshold) {
+  set_enabled(true);
+  audit_mass("lump", 1.0, 1.0 + 0.5 * kMassAlarmThreshold);
+  EXPECT_EQ(counter_value("health.mass_audits"), 1u);
+  EXPECT_EQ(counter_value("health.mass_audits.lump"), 1u);
+  EXPECT_EQ(counter_value("health.mass_alarms"), 0u);
+}
+
+TEST_F(HealthTest, MassAuditAlarmsBeyondThreshold) {
+  set_enabled(true);
+  audit_mass("expand", 1.0, 1.0 + 10.0 * kMassAlarmThreshold);
+  EXPECT_EQ(counter_value("health.mass_alarms"), 1u);
+}
+
+TEST_F(HealthTest, MassDefectIsRelative) {
+  set_enabled(true);
+  // Same absolute defect, 1e6x the scale: relative defect shrinks below
+  // the alarm threshold.
+  audit_mass("scaled", 1e6, 1e6 + 10.0 * kMassAlarmThreshold);
+  EXPECT_EQ(counter_value("health.mass_alarms"), 0u);
+}
+
+TEST_F(HealthTest, NonnegativityCountsStrictlyNegativeEntries) {
+  set_enabled(true);
+  const std::vector<double> x = {0.5, -1e-18, 0.0, -0.25};
+  audit_nonnegativity("expand", x);
+  EXPECT_EQ(counter_value("health.nonneg_audits"), 1u);
+  EXPECT_EQ(counter_value("health.negativity"), 2u);
+  EXPECT_EQ(counter_value("health.negativity.expand"), 2u);
+}
+
+TEST_F(HealthTest, StochasticityDriftPublishesGaugeAndCounter) {
+  set_enabled(true);
+  record_stochasticity_drift(3e-14);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::instance().gauge("health.stochasticity_drift").value(),
+      3e-14);
+  EXPECT_EQ(counter_value("health.stochasticity_audits"), 1u);
+}
+
+TEST_F(HealthTest, EffectiveTailDigits) {
+  // A 1e-12 tail from a 1e-15-residual solve: 3 trustworthy digits.
+  EXPECT_DOUBLE_EQ(effective_tail_digits(1e-12, 1e-15), 3.0);
+  // Tail at or below the residual: no trustworthy digits.
+  EXPECT_DOUBLE_EQ(effective_tail_digits(1e-12, 1e-12), 0.0);
+  EXPECT_DOUBLE_EQ(effective_tail_digits(1e-14, 1e-12), 0.0);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(effective_tail_digits(0.0, 1e-12), 0.0);
+  EXPECT_DOUBLE_EQ(effective_tail_digits(1e-12, 0.0), 17.0);
+  // Clamped at 17 (all double digits).
+  EXPECT_DOUBLE_EQ(effective_tail_digits(1.0, 1e-30), 17.0);
+}
+
+TEST_F(HealthTest, TailConditioningPublishesBothGauges) {
+  set_enabled(true);
+  record_tail_conditioning(1e-12, 1e-15);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::instance().gauge("health.tail_mass").value(), 1e-12);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::instance().gauge("health.tail_digits").value(), 3.0);
+}
+
+// --- the read-only contract against a real solve ----------------------------
+
+TEST_F(HealthTest, MonitoredMultilevelSolveIsBitIdenticalAndAuditsClean) {
+  const markov::MarkovChain chain(test::birth_death_pt(96, 0.3, 0.2));
+  const auto hierarchy = solvers::build_index_pair_hierarchy(96, 8);
+  solvers::MultilevelOptions options;
+  options.coarsest_size = 8;
+
+  set_enabled(false);
+  const auto baseline =
+      solvers::solve_stationary_multilevel(chain, hierarchy, options);
+
+  set_enabled(true);
+  set_sample_stride(1);
+  const auto monitored =
+      solvers::solve_stationary_multilevel(chain, hierarchy, options);
+
+  // Read-only shadow audits: the monitored solve must be bitwise identical,
+  // including its reported work (shadow matvecs are not counted).
+  ASSERT_EQ(monitored.distribution.size(), baseline.distribution.size());
+  for (std::size_t i = 0; i < baseline.distribution.size(); ++i) {
+    EXPECT_EQ(monitored.distribution[i], baseline.distribution[i]) << i;
+  }
+  EXPECT_EQ(monitored.stats.iterations, baseline.stats.iterations);
+  EXPECT_EQ(monitored.stats.matvec_count, baseline.stats.matvec_count);
+
+  // The monitors saw the solve: rho estimates and clean mass audits.
+  bool found = false;
+  EXPECT_GT(sample_value("mg.level.rho", &found), 0.0);
+  EXPECT_TRUE(found);
+  EXPECT_GT(counter_value("health.mass_audits"), 0u);
+  EXPECT_GT(counter_value("health.nonneg_audits"), 0u);
+  // A correct solve conserves mass and stays nonnegative.
+  EXPECT_EQ(counter_value("health.mass_alarms"), 0u);
+  EXPECT_EQ(counter_value("health.negativity"), 0u);
+  // Coarse-matrix stochasticity drift stays at rounding level.
+  EXPECT_LT(
+      MetricsRegistry::instance().gauge("health.stochasticity_drift").value(),
+      1e-10);
+}
+
+}  // namespace
+}  // namespace stocdr::obs::health

@@ -1,0 +1,74 @@
+// Thread-safety of the metrics registry under concurrent update + snapshot
+// traffic.  Built into the TSan CI matrix: the assertions here are weak on
+// purpose (exact final counts, no crashes) — the interesting property is
+// that TSan sees no data race between snapshot() and the relaxed-atomic
+// update paths, or between concurrent first-use registrations.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace stocdr::obs {
+namespace {
+
+TEST(MetricsRaceTest, SnapshotRacesUpdatesAndRegistrations) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  registry.reset_all();
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kIterations = 5000;
+  Counter& shared_counter = registry.counter("race.shared.counter");
+  Gauge& shared_gauge = registry.gauge("race.shared.gauge");
+  Histogram& shared_histogram = registry.histogram("race.shared.hist");
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kIterations; ++i) {
+        shared_counter.add(1);
+        shared_gauge.set(static_cast<double>(i));
+        shared_histogram.observe(1e-6 * static_cast<double>(i + 1));
+        // Rotating registrations: snapshot() must tolerate the metric set
+        // growing underneath it.
+        if (i % 64 == 0) {
+          registry
+              .counter("race.registered." + std::to_string(w) + "." +
+                       std::to_string(i / 64))
+              .add(1);
+        }
+      }
+    });
+  }
+  // One reader hammering snapshot() the whole time.
+  std::atomic<bool> writers_done{false};
+  threads.emplace_back([&] {
+    while (!go.load(std::memory_order_acquire)) {}
+    std::size_t last_size = 0;
+    while (!writers_done.load(std::memory_order_acquire)) {
+      const std::vector<MetricSample> samples = registry.snapshot();
+      EXPECT_GE(samples.size(), last_size);  // the metric set only grows
+      last_size = samples.size();
+    }
+  });
+
+  go.store(true, std::memory_order_release);
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  writers_done.store(true, std::memory_order_release);
+  threads.back().join();
+
+  // Counters are exact under contention.
+  EXPECT_EQ(shared_counter.value(), kWriters * kIterations);
+  EXPECT_EQ(shared_histogram.count(), kWriters * kIterations);
+  registry.reset_all();
+}
+
+}  // namespace
+}  // namespace stocdr::obs

@@ -320,5 +320,35 @@ TEST(TracerTest, ClockIsMonotone) {
   EXPECT_LE(a, b);
 }
 
+// --- span LIFO discipline ---------------------------------------------------
+
+// Ending a span that is not the innermost on its thread corrupts the
+// parent/depth bookkeeping; debug builds refuse via assert().
+TEST(SpanLifoDeathTest, OutOfOrderEndAssertsInDebugBuilds) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "assert() is compiled out of NDEBUG builds";
+#else
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Tracer::install(std::make_unique<CollectingSink>(false));
+        auto outer = std::make_unique<Span>("outer");
+        auto inner = std::make_unique<Span>("inner");
+        outer->end();  // not the innermost open span on this thread
+        inner->end();
+      },
+      "LIFO");
+#endif
+}
+
+TEST(SpanLifoTest, InOrderHeapSpansAreFine) {
+  Tracer::install(std::make_unique<CollectingSink>(false));
+  auto outer = std::make_unique<Span>("outer");
+  auto inner = std::make_unique<Span>("inner");
+  inner->end();
+  outer->end();
+  Tracer::install(nullptr);
+}
+
 }  // namespace
 }  // namespace stocdr::obs

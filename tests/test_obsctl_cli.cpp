@@ -1,0 +1,194 @@
+// End-to-end CLI contract of stocdr-obsctl: exit codes and diagnostics for
+// healthy, empty, and missing inputs.  The binary path is injected by CMake
+// as STOCDR_OBSCTL_PATH.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#endif
+
+namespace {
+
+std::string temp_path(const char* file) {
+  return ::testing::TempDir() + "/" + file;
+}
+
+/// Runs obsctl with `args`, captures stdout+stderr into `output`, returns
+/// the exit code (-1 if the shell failed).
+int run_obsctl(const std::string& args, std::string* output = nullptr) {
+  const std::string out_path = temp_path("stocdr_obsctl_out.txt");
+  const std::string command = std::string(STOCDR_OBSCTL_PATH) + " " + args +
+                              " >" + out_path + " 2>&1";
+  const int status = std::system(command.c_str());
+  if (output != nullptr) {
+    std::ifstream in(out_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *output = buffer.str();
+  }
+  std::remove(out_path.c_str());
+#if defined(__unix__) || defined(__APPLE__)
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+#else
+  return status;
+#endif
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+const char kValidTrace[] =
+    "{\"manifest\":{\"git_sha\":\"abc\",\"build_type\":\"Release\"}}\n"
+    "{\"name\":\"solve\",\"id\":1,\"parent\":0,\"depth\":0,\"tid\":1,"
+    "\"ts_ns\":0,\"dur_ns\":1000}\n"
+    "{\"name\":\"mg.cycle\",\"id\":2,\"parent\":1,\"depth\":1,\"tid\":1,"
+    "\"ts_ns\":100,\"dur_ns\":500}\n";
+
+// --- usage errors (exit 2) --------------------------------------------------
+
+TEST(ObsctlCliTest, UnknownCommandExitsTwo) {
+  std::string output;
+  EXPECT_EQ(run_obsctl("frobnicate", &output), 2);
+  EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST(ObsctlCliTest, NoArgumentsExitsTwo) {
+  EXPECT_EQ(run_obsctl(""), 2);
+}
+
+TEST(ObsctlCliTest, HelpExitsZero) {
+  std::string output;
+  EXPECT_EQ(run_obsctl("--help", &output), 0);
+  EXPECT_NE(output.find("summarize"), std::string::npos);
+  EXPECT_NE(output.find("health"), std::string::npos);
+  EXPECT_NE(output.find("watch"), std::string::npos);
+}
+
+// --- empty/missing traces (exit 3) ------------------------------------------
+
+TEST(ObsctlCliTest, MissingTraceExitsThreeWithDiagnostic) {
+  std::string output;
+  EXPECT_EQ(run_obsctl("summarize " + temp_path("no_such_trace.jsonl"),
+                       &output),
+            3);
+  EXPECT_NE(output.find("was tracing enabled"), std::string::npos);
+}
+
+TEST(ObsctlCliTest, EmptyTraceExitsThreeOnEveryReader) {
+  const std::string path = temp_path("stocdr_empty_trace.jsonl");
+  write_file(path, "");
+  for (const char* cmd : {"summarize", "flame", "chrome"}) {
+    std::string output;
+    EXPECT_EQ(run_obsctl(std::string(cmd) + " " + path, &output), 3) << cmd;
+    EXPECT_NE(output.find("trace is empty"), std::string::npos) << cmd;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, MalformedOnlyTraceExitsThree) {
+  const std::string path = temp_path("stocdr_malformed_trace.jsonl");
+  write_file(path, "not json\nalso not json\n");
+  std::string output;
+  EXPECT_EQ(run_obsctl("summarize " + path, &output), 3);
+  EXPECT_NE(output.find("malformed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- valid traces (exit 0) --------------------------------------------------
+
+TEST(ObsctlCliTest, ValidTraceSummarizes) {
+  const std::string path = temp_path("stocdr_valid_trace.jsonl");
+  write_file(path, kValidTrace);
+  std::string output;
+  EXPECT_EQ(run_obsctl("summarize " + path, &output), 0);
+  EXPECT_NE(output.find("spans: 2"), std::string::npos);
+  EXPECT_NE(output.find("mg.cycle"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, CrashMarkerIsSurfaced) {
+  const std::string path = temp_path("stocdr_crash_trace.jsonl");
+  write_file(path, std::string("{\"crash\":{\"signal\":6}}\n") + kValidTrace);
+  std::string output;
+  EXPECT_EQ(run_obsctl("summarize " + path, &output), 0);
+  EXPECT_NE(output.find("crash: signal 6"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- health / watch ---------------------------------------------------------
+
+const char kHealthyOm[] =
+    "# TYPE stocdr_export_heartbeat gauge\n"
+    "stocdr_export_heartbeat 4\n"
+    "# TYPE stocdr_mg_level_rho summary\n"
+    "stocdr_mg_level_rho{quantile=\"0.9\"} 0.35\n"
+    "stocdr_mg_level_rho_count 12\n"
+    "# TYPE stocdr_health_mass_audits counter\n"
+    "stocdr_health_mass_audits_total 8\n"
+    "# EOF\n";
+
+TEST(ObsctlCliTest, HealthOnCleanSnapshotExitsZero) {
+  const std::string path = temp_path("stocdr_health_ok.om");
+  write_file(path, kHealthyOm);
+  std::string output;
+  EXPECT_EQ(run_obsctl("health " + path, &output), 0);
+  EXPECT_NE(output.find("health: ok"), std::string::npos);
+  EXPECT_NE(output.find("0.35"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, HealthAlarmExitsOne) {
+  const std::string path = temp_path("stocdr_health_alarm.om");
+  write_file(path,
+             "stocdr_health_mass_alarms_total 2\n"
+             "# EOF\n");
+  std::string output;
+  EXPECT_EQ(run_obsctl("health " + path, &output), 1);
+  EXPECT_NE(output.find("HEALTH ALARM"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, HealthRejectsIncompleteSnapshot) {
+  const std::string path = temp_path("stocdr_health_torn.om");
+  write_file(path, "stocdr_export_heartbeat 1\n");  // no "# EOF"
+  std::string output;
+  EXPECT_EQ(run_obsctl("health " + path, &output), 2);
+  EXPECT_NE(output.find("EOF"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, HealthMissingFileExitsTwo) {
+  EXPECT_EQ(run_obsctl("health " + temp_path("no_such.om")), 2);
+}
+
+TEST(ObsctlCliTest, WatchPrintsHeartbeatAndExitsZero) {
+  const std::string path = temp_path("stocdr_watch.om");
+  write_file(path, kHealthyOm);
+  std::string output;
+  EXPECT_EQ(run_obsctl("watch " + path + " --count 2 --interval 10", &output),
+            0);
+  EXPECT_NE(output.find("heartbeat=4"), std::string::npos);
+  // Second poll sees the same heartbeat: flagged stale.
+  EXPECT_NE(output.find("stale"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, WatchToleratesMissingFile) {
+  std::string output;
+  EXPECT_EQ(run_obsctl("watch " + temp_path("not_there.om") +
+                           " --count 1 --interval 10",
+                       &output),
+            0);
+  EXPECT_NE(output.find("waiting for exporter"), std::string::npos);
+}
+
+}  // namespace

@@ -8,21 +8,33 @@
 //                                            (Perfetto, chrome://tracing)
 //   bench-diff <old.json> <new.json> [--threshold P%] [--min-seconds S]
 //                                            BENCH artifact regression gate
+//   health     <metrics.om>                  numerical-health verdict from a
+//                                            live OpenMetrics snapshot
+//   watch      <metrics.om> [--interval MS] [--count N]
+//                                            poll a live exporter file and
+//                                            print heartbeat/staleness
 //
-// Exit codes: 0 ok / no regression, 1 bench-diff found a regression,
-// 2 usage or I/O error.  Malformed trace lines are skipped and counted,
-// never fatal.
+// Exit codes: 0 ok / no regression, 1 bench-diff found a regression or
+// health found an alarm, 2 usage or I/O error, 3 trace exists but holds no
+// spans (empty / malformed-only / marker-only — diagnostic on stderr).
+// Malformed trace lines are skipped and counted, never fatal.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "obs/analyze/analyze.hpp"
 #include "obs/analyze/benchdiff.hpp"
 #include "obs/analyze/json_parse.hpp"
 #include "obs/analyze/reader.hpp"
+#include "obs/live/openmetrics.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 #include "support/timer.hpp"
@@ -39,7 +51,9 @@ int usage(std::FILE* out) {
                "  flame      <trace.jsonl> [-o out.folded]\n"
                "  chrome     <trace.jsonl> [-o out.json]\n"
                "  bench-diff <old.json> <new.json> [--threshold P%%]"
-               " [--min-seconds S]\n");
+               " [--min-seconds S]\n"
+               "  health     <metrics.om>\n"
+               "  watch      <metrics.om> [--interval MS] [--count N]\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -66,6 +80,32 @@ void report_skipped(const TraceFile& trace) {
   }
 }
 
+/// Loads a trace for summarize/flame/chrome.  A missing file or a trace
+/// with no usable spans gets a one-line diagnostic on stderr and exit code
+/// 3 (distinct from 2 so scripts can tell "nothing was recorded" apart
+/// from usage mistakes).
+std::optional<TraceFile> load_trace(const std::string& path, int& rc) {
+  std::optional<TraceFile> trace;
+  try {
+    trace = read_trace_file(path);
+  } catch (const IoError&) {
+    std::fprintf(stderr,
+                 "obsctl: no trace at %s — was tracing enabled? "
+                 "(STOCDR_TRACE_FILE / STOCDR_TRACE_RING)\n",
+                 path.c_str());
+    rc = 3;
+    return std::nullopt;
+  }
+  report_skipped(*trace);
+  if (std::optional<std::string> reason = empty_trace_reason(*trace)) {
+    std::fprintf(stderr, "obsctl: %s\n", reason->c_str());
+    rc = 3;
+    return std::nullopt;
+  }
+  rc = 0;
+  return trace;
+}
+
 std::optional<JsonValue> load_json_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
@@ -82,8 +122,10 @@ std::optional<JsonValue> load_json_file(const std::string& path) {
 }
 
 int cmd_summarize(const std::string& trace_path) {
-  const TraceFile trace = read_trace_file(trace_path);
-  report_skipped(trace);
+  int rc = 0;
+  const std::optional<TraceFile> loaded = load_trace(trace_path, rc);
+  if (!loaded) return rc;
+  const TraceFile& trace = *loaded;
   if (trace.has_manifest) {
     const auto field = [&trace](const char* key) {
       const JsonValue* v = trace.manifest.find(key);
@@ -92,6 +134,10 @@ int cmd_summarize(const std::string& trace_path) {
     std::printf("run: %s  %s  %s  [%s]\n", field("git_sha").c_str(),
                 field("hostname").c_str(), field("date_utc").c_str(),
                 field("build_type").c_str());
+  }
+  if (trace.crash_signal != 0) {
+    std::printf("crash: signal %d (flight-recorder dump)\n",
+                trace.crash_signal);
   }
   std::printf("spans: %zu\n\n", trace.spans.size());
   TextTable table({"span", "count", "total", "self", "p50", "p90", "p99",
@@ -110,10 +156,12 @@ int cmd_summarize(const std::string& trace_path) {
 
 int cmd_export(const std::string& trace_path, const std::string& out_path,
                bool chrome) {
-  const TraceFile trace = read_trace_file(trace_path);
-  report_skipped(trace);
-  return emit(chrome ? to_chrome_trace(trace) : to_folded_stacks(trace.spans),
-              out_path);
+  int rc = 0;
+  const std::optional<TraceFile> trace = load_trace(trace_path, rc);
+  if (!trace) return rc;
+  return emit(
+      chrome ? to_chrome_trace(*trace) : to_folded_stacks(trace->spans),
+      out_path);
 }
 
 /// "--threshold 10%" or "--threshold 0.1" — both mean +10%.
@@ -174,6 +222,132 @@ int cmd_bench_diff(int argc, char** argv) {
   return 0;
 }
 
+std::optional<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "obsctl: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// Counter value from a parsed OpenMetrics doc (0 when absent — a health
+/// counter that was never incremented is simply not rendered).
+double om_counter(const obs::OpenMetricsDocument& doc, const char* name) {
+  const double v = obs::openmetrics_value(doc, name);
+  return std::isnan(v) ? 0.0 : v;
+}
+
+int cmd_health(const std::string& om_path) {
+  const std::optional<std::string> text = read_text_file(om_path);
+  if (!text) return 2;
+  const obs::OpenMetricsDocument doc = obs::parse_openmetrics(*text);
+  if (!doc.complete) {
+    std::fprintf(stderr,
+                 "obsctl: %s is not a complete OpenMetrics snapshot "
+                 "(no \"# EOF\" terminator)\n",
+                 om_path.c_str());
+    return 2;
+  }
+
+  const double heartbeat = om_counter(doc, "stocdr_export_heartbeat");
+  const double rho_count = om_counter(doc, "stocdr_mg_level_rho_count");
+  const double rho_p90 =
+      obs::openmetrics_value(doc, "stocdr_mg_level_rho", "quantile=\"0.9\"");
+  const double mass_audits = om_counter(doc, "stocdr_health_mass_audits_total");
+  const double mass_alarms = om_counter(doc, "stocdr_health_mass_alarms_total");
+  const double nonneg_audits =
+      om_counter(doc, "stocdr_health_nonneg_audits_total");
+  const double negativity = om_counter(doc, "stocdr_health_negativity_total");
+  const double drift =
+      obs::openmetrics_value(doc, "stocdr_health_stochasticity_drift");
+  const double tail_digits =
+      obs::openmetrics_value(doc, "stocdr_health_tail_digits");
+
+  TextTable table({"monitor", "value", "note"});
+  const auto num = [](double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", v);
+    return std::string(buffer);
+  };
+  table.add_row({"heartbeat", num(heartbeat),
+                 heartbeat > 0.0 ? "exporter alive" : "no exporter"});
+  table.add_row({"mg.level.rho p90",
+                 std::isnan(rho_p90) ? "-" : num(rho_p90),
+                 num(rho_count) + " estimate(s)"});
+  table.add_row({"mass audits", num(mass_audits),
+                 num(mass_alarms) + " alarm(s)"});
+  table.add_row({"nonneg audits", num(nonneg_audits),
+                 num(negativity) + " negative entr(y/ies)"});
+  table.add_row({"stochasticity drift",
+                 std::isnan(drift) ? "-" : num(drift), "coarse |colsum-1|"});
+  table.add_row({"tail digits", std::isnan(tail_digits) ? "-" : num(tail_digits),
+                 "trustworthy BER digits"});
+  std::printf("%s", table.render().c_str());
+
+  if (mass_alarms > 0.0 || negativity > 0.0) {
+    std::fprintf(stderr,
+                 "obsctl: HEALTH ALARM — %.0f mass alarm(s), %.0f negative "
+                 "entr(y/ies)\n",
+                 mass_alarms, negativity);
+    return 1;
+  }
+  std::printf("health: ok\n");
+  return 0;
+}
+
+int cmd_watch(int argc, char** argv) {
+  std::string om_path;
+  long interval_ms = 1000;
+  long count = 0;  // 0 = until interrupted
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+      if (interval_ms < 1) interval_ms = 1;
+    } else if (arg == "--count" && i + 1 < argc) {
+      count = std::strtol(argv[++i], nullptr, 10);
+    } else if (om_path.empty()) {
+      om_path = arg;
+    } else {
+      return usage(stderr);
+    }
+  }
+  if (om_path.empty()) return usage(stderr);
+
+  double last_heartbeat = std::numeric_limits<double>::quiet_NaN();
+  for (long tick = 0; count == 0 || tick < count; ++tick) {
+    if (tick != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::ifstream in(om_path, std::ios::binary);
+    if (!in.good()) {
+      std::printf("[watch] %s: waiting for exporter (file missing)\n",
+                  om_path.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const obs::OpenMetricsDocument doc =
+        obs::parse_openmetrics(buffer.str());
+    const double heartbeat = om_counter(doc, "stocdr_export_heartbeat");
+    const char* note = "";
+    if (!doc.complete) {
+      note = "  (incomplete snapshot)";
+    } else if (heartbeat == last_heartbeat) {
+      note = "  (stale: heartbeat unchanged)";
+    }
+    std::printf("[watch] heartbeat=%.0f  samples=%zu%s\n", heartbeat,
+                doc.samples.size(), note);
+    std::fflush(stdout);
+    last_heartbeat = heartbeat;
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage(stderr);
   const std::string command = argv[1];
@@ -181,6 +355,11 @@ int run(int argc, char** argv) {
     return usage(stdout);
   }
   if (command == "bench-diff") return cmd_bench_diff(argc - 2, argv + 2);
+  if (command == "watch") return cmd_watch(argc - 2, argv + 2);
+  if (command == "health") {
+    if (argc < 3) return usage(stderr);
+    return cmd_health(argv[2]);
+  }
 
   if (command != "summarize" && command != "flame" && command != "chrome") {
     std::fprintf(stderr, "obsctl: unknown command \"%s\"\n", command.c_str());
