@@ -22,6 +22,8 @@
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/perf.hpp"
+#include "obs/prof/roofline.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool.hpp"
 #include "robust/robust_solver.hpp"
@@ -72,7 +74,13 @@ struct SolvedCase {
   /// first so the reset runs before the model build and solve start
   /// populating the registry.
   struct MetricsReset {
-    MetricsReset() { obs::MetricsRegistry::instance().reset_all(); }
+    MetricsReset() {
+      obs::MetricsRegistry::instance().reset_all();
+      // The prof aggregates (span counters + kernel roofline inputs) are
+      // process-global too; without a reset each case's perf section would
+      // blend every previous case's counts.
+      obs::prof::reset();
+    }
   };
   MetricsReset metrics_reset;
 
@@ -193,6 +201,16 @@ struct SolvedCase {
       w.raw_value(robust_report->to_json());
     }
     w.field("peak_rss_bytes", obs::peak_rss_bytes());
+    // Perf-counter section (STOCDR_PERF=1): per-span counter aggregates,
+    // the per-kernel roofline table, and derived gauges published into the
+    // metrics snapshot below.  Omitted entirely when profiling is off, so
+    // unprofiled artifacts are byte-identical to pre-perf ones.
+    if (obs::prof::enabled()) {
+      obs::prof::publish_to_metrics();
+      obs::prof::publish_kernels_to_metrics();
+      w.key("perf");
+      w.raw_value(obs::prof::perf_section_json());
+    }
     // Per-case metrics snapshot (histograms carry p50/p90/p99); the
     // registry was reset when this case started, so these numbers belong
     // to this case alone.

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "obs/health/health.hpp"
+#include "obs/prof/roofline.hpp"
 #include "parallel/pool.hpp"
 #include "sparse/coo.hpp"
 #include "support/error.hpp"
@@ -262,6 +263,10 @@ std::vector<double> restrict_sum(const Partition& partition,
                                  std::span<const double> x) {
   STOCDR_REQUIRE(x.size() == partition.num_states(),
                  "restrict_sum: vector size mismatch");
+  const obs::prof::KernelScope roofline(
+      "mg_restrict",
+      obs::prof::aggregation_bytes(x.size(), partition.num_groups()),
+      obs::prof::aggregation_flops(x.size()));
   std::vector<double> coarse(partition.num_groups(), 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) {
     coarse[partition.group(i)] += x[i];
@@ -283,6 +288,10 @@ void disaggregate(const Partition& partition, std::span<const double> coarse,
                  "disaggregate: coarse size mismatch");
   STOCDR_REQUIRE(x.size() == partition.num_states(),
                  "disaggregate: fine size mismatch");
+  const obs::prof::KernelScope roofline(
+      "mg_disaggregate",
+      obs::prof::aggregation_bytes(x.size(), coarse.size()),
+      obs::prof::aggregation_flops(x.size()));
   const auto mass = restrict_sum(partition, {x.data(), x.size()});
   const auto sizes = partition.group_sizes();
   par::parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {

@@ -83,6 +83,25 @@ std::vector<SpanAggregate> aggregate_spans(
   return out;
 }
 
+std::string aggregates_to_json(const std::vector<SpanAggregate>& aggregates) {
+  JsonWriter w;
+  w.begin_array();
+  for (const SpanAggregate& agg : aggregates) {
+    w.begin_object();
+    w.field("name", agg.name);
+    w.field("count", agg.count);
+    w.field("total_ns", agg.total_ns);
+    w.field("self_ns", agg.self_ns);
+    w.field("p50_ns", agg.p50_ns);
+    w.field("p90_ns", agg.p90_ns);
+    w.field("p99_ns", agg.p99_ns);
+    w.field("max_ns", agg.max_ns);
+    w.end_object();
+  }
+  w.end_array();
+  return std::move(w).str();
+}
+
 std::string to_folded_stacks(const std::vector<TraceSpan>& spans) {
   const auto by_id = index_by_id(spans);
   const auto self = self_times(spans);

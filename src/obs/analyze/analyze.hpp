@@ -37,6 +37,13 @@ struct SpanAggregate {
 [[nodiscard]] std::vector<SpanAggregate> aggregate_spans(
     const std::vector<TraceSpan>& spans);
 
+/// Machine-readable twin of the summarize table: a JSON array with one
+/// object per aggregate ({"name","count","total_ns","self_ns","p50_ns",
+/// "p90_ns","p99_ns","max_ns"}), in the same order as the input.  Consumed
+/// by CI and the perf reports instead of screen-scraping the table.
+[[nodiscard]] std::string aggregates_to_json(
+    const std::vector<SpanAggregate>& aggregates);
+
 /// Folded-stack output (one "root;child;leaf weight" line per unique stack,
 /// lexicographically sorted; weight = self time in microseconds, stacks
 /// whose self time rounds to 0 us are dropped).  When the trace holds spans

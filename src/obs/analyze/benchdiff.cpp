@@ -10,19 +10,27 @@ namespace {
 struct MetricSpec {
   const char* key;
   bool gating;
-  bool is_time;  ///< min_seconds floor applies
+  bool is_time;     ///< min_seconds floor applies
+  bool is_counter;  ///< instr_threshold applies (perf-counter metric)
 };
 
 // Keys into the artifact JSON (dotted paths; see bench/common.hpp to_json).
 constexpr MetricSpec kMetrics[] = {
-    {"matrix_form_seconds", /*gating=*/true, /*is_time=*/true},
-    {"solve.seconds", /*gating=*/true, /*is_time=*/true},
-    {"solve.iterations", /*gating=*/true, /*is_time=*/false},
-    {"solve.matvecs", /*gating=*/true, /*is_time=*/false},
-    {"peak_rss_bytes", /*gating=*/false, /*is_time=*/false},
-    {"states", /*gating=*/false, /*is_time=*/false},
-    {"transitions", /*gating=*/false, /*is_time=*/false},
-    {"ber", /*gating=*/false, /*is_time=*/false},
+    {"matrix_form_seconds", /*gating=*/true, /*is_time=*/true,
+     /*is_counter=*/false},
+    {"solve.seconds", /*gating=*/true, /*is_time=*/true, /*is_counter=*/false},
+    {"solve.iterations", /*gating=*/true, /*is_time=*/false,
+     /*is_counter=*/false},
+    {"solve.matvecs", /*gating=*/true, /*is_time=*/false,
+     /*is_counter=*/false},
+    {"perf.total.instructions", /*gating=*/true, /*is_time=*/false,
+     /*is_counter=*/true},
+    {"peak_rss_bytes", /*gating=*/false, /*is_time=*/false,
+     /*is_counter=*/false},
+    {"states", /*gating=*/false, /*is_time=*/false, /*is_counter=*/false},
+    {"transitions", /*gating=*/false, /*is_time=*/false,
+     /*is_counter=*/false},
+    {"ber", /*gating=*/false, /*is_time=*/false, /*is_counter=*/false},
 };
 
 void note_manifest_drift(const JsonValue& old_doc, const JsonValue& new_doc,
@@ -73,12 +81,26 @@ BenchDiffReport diff_bench_artifacts(const JsonValue& old_doc,
     delta.key = spec.key;
     const JsonValue* old_value = old_doc.find_path(spec.key);
     const JsonValue* new_value = new_doc.find_path(spec.key);
-    if (old_value == nullptr || new_value == nullptr ||
-        old_value->type != JsonValue::Type::kNumber ||
-        new_value->type != JsonValue::Type::kNumber) {
-      if ((old_value == nullptr) != (new_value == nullptr)) {
-        report.notes.push_back(std::string(spec.key) +
-                               " present in only one artifact");
+    const bool old_ok =
+        old_value != nullptr && old_value->type == JsonValue::Type::kNumber;
+    const bool new_ok =
+        new_value != nullptr && new_value->type == JsonValue::Type::kNumber;
+    if (!old_ok || !new_ok) {
+      // A gating metric carried by only one side means the two runs were
+      // measured differently (instrumentation added/removed, counters
+      // available on one host only) — that is coverage drift worth a note,
+      // not a silent skip.
+      if (old_ok != new_ok) {
+        report.notes.push_back(
+            std::string(spec.key) + " present in only one artifact" +
+            (spec.gating ? " — gating-metric coverage drift (gate skipped)"
+                         : ""));
+      }
+      if (spec.is_counter) {
+        report.notes.push_back(
+            "instructions-retired gate unavailable (perf counters absent "
+            "from at least one artifact); the wall-clock seconds gate "
+            "applies");
       }
       report.deltas.push_back(std::move(delta));
       continue;
@@ -91,10 +113,12 @@ BenchDiffReport diff_bench_artifacts(const JsonValue& old_doc,
     }
     const bool below_floor =
         spec.is_time && delta.old_value < options.min_seconds;
+    const double threshold =
+        spec.is_counter ? options.instr_threshold : options.threshold;
     delta.gating = spec.gating && !below_floor;
     delta.regressed = delta.gating &&
                       ((delta.old_value == 0.0 && delta.new_value > 0.0) ||
-                       delta.change > options.threshold);
+                       delta.change > threshold);
     report.regressed = report.regressed || delta.regressed;
     report.deltas.push_back(std::move(delta));
   }

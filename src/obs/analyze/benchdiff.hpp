@@ -1,18 +1,25 @@
 // BENCH_<name>.json artifact diffing: the regression gate behind
 // `stocdr-obsctl bench-diff old.json new.json --threshold 10%`.
 //
-// Two classes of metric:
+// Three classes of metric:
 //   * gating — wall-clock costs (matrix_form_seconds, solve.seconds) and
 //     the deterministic work counts (solve.iterations, solve.matvecs).
 //     A relative increase beyond the threshold marks the diff regressed
 //     (non-zero CLI exit).  Time metrics whose baseline is below
 //     min_seconds are reported but never gate: micro-timings are noise.
+//   * counter-gating — instructions retired (perf.total.instructions, from
+//     STOCDR_PERF=1 runs).  Nearly deterministic, so it gates at the much
+//     tighter instr_threshold (default +3%).  When either artifact lacks
+//     the counter (profiling off, PMU unavailable) the gate is skipped
+//     with an explicit note — the wall-clock seconds gate still applies.
 //   * report-only — memory (peak_rss_bytes), problem sizes, BER.  Shown
 //     with their deltas; never fail the gate.
 //
 // Cross-run trust: when both artifacts carry a manifest, mismatched
 // config_hash / compiler / build_type are surfaced as notes — a diff
-// across configurations is labelled, not silently trusted.
+// across configurations is labelled, not silently trusted.  A gating
+// metric present in only one artifact is likewise surfaced as coverage
+// drift instead of being silently skipped.
 #pragma once
 
 #include <string>
@@ -25,6 +32,10 @@ namespace stocdr::obs::analyze {
 struct BenchDiffOptions {
   double threshold = 0.10;    ///< gating relative increase (0.10 = +10%)
   double min_seconds = 0.0;   ///< time metrics below this baseline never gate
+  /// Gating relative increase for counter metrics (instructions retired).
+  /// Counters are nearly deterministic, so the default is far tighter than
+  /// the wall-clock threshold.
+  double instr_threshold = 0.03;
 };
 
 /// One compared metric.

@@ -88,10 +88,16 @@ double Histogram::quantile(double q) const {
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     const double c = static_cast<double>(counts[i]);
     if (c > 0.0 && target < cum + c) {
-      // Geometric interpolation inside the hit bucket (log-spaced bounds).
+      // Geometric interpolation inside the hit bucket (log-spaced bounds),
+      // tightened to the exact extrema: in the first (last) populated
+      // bucket no value lies below min() (above max()), so interpolating
+      // between the raw bounds would pin tail quantiles to a bucket edge.
+      // The tightening is safe unconditionally — when the extremum lives
+      // in another bucket, min()/max() lie outside [lo, hi] and the
+      // max/min below are no-ops.
       const double f = (target - cum + 0.5) / c;
-      const double lo = bucket_lower_bound(i);
-      const double hi = bucket_lower_bound(i + 1);
+      const double lo = std::max(bucket_lower_bound(i), lo_clamp);
+      const double hi = std::min(bucket_lower_bound(i + 1), hi_clamp);
       const double estimate = lo * std::pow(hi / lo, std::clamp(f, 0.0, 1.0));
       return std::clamp(estimate, lo_clamp, hi_clamp);
     }

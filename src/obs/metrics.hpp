@@ -58,12 +58,15 @@ class Gauge {
 /// zero, negatives, and NaN) and an overflow bucket.  An observation is a
 /// handful of relaxed atomic ops plus one log10; contention is negligible at
 /// solver cadence.  Quantiles are estimated by rank-walking the bucket
-/// counts with geometric interpolation inside the hit bucket, then clamped
-/// to the exact observed [min, max] — the estimate is within one bucket
-/// width (a factor of 10^(1/kBucketsPerDecade) ~ 1.78) of the true value.
+/// counts with geometric interpolation inside the hit bucket; the hit
+/// bucket's bounds are first tightened to the exact observed [min, max]
+/// (which matters in the terminal buckets, where a wide bucket otherwise
+/// collapses tail quantiles onto its 10^(k/kBucketsPerDecade) edge) — the
+/// estimate is within one bucket width (a factor of
+/// 10^(1/kBucketsPerDecade) ~ 1.33) of the true value.
 class Histogram {
  public:
-  static constexpr int kBucketsPerDecade = 4;
+  static constexpr int kBucketsPerDecade = 8;
   static constexpr int kMinDecade = -12;  ///< lowest bucketed value, 1e-12
   static constexpr int kMaxDecade = 12;   ///< overflow at and above 1e12
   static constexpr std::size_t kNumBuckets =

@@ -1,0 +1,518 @@
+#include "obs/prof/perf.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/prof/roofline.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/time.h>
+#endif
+
+namespace stocdr::obs::prof {
+
+namespace {
+
+constexpr const char* kCounterNames[kNumCounters] = {
+    "cycles",
+    "instructions",
+    "cache_references",
+    "cache_misses",
+    "branch_misses",
+    "stalled_cycles_backend",
+    "task_clock_ns",
+    "page_faults",
+};
+
+constexpr std::uint64_t bit(std::size_t index) {
+  return std::uint64_t{1} << index;
+}
+
+constexpr std::uint64_t kHardwareMask =
+    bit(kCycles) | bit(kInstructions) | bit(kCacheReferences) |
+    bit(kCacheMisses) | bit(kBranchMisses) | bit(kStalledCyclesBackend);
+constexpr std::uint64_t kSoftwareMask = bit(kTaskClockNs) | bit(kPageFaults);
+
+// --- process-wide configuration --------------------------------------------
+
+/// -1 = follow STOCDR_PERF; 0/1 = test override.
+std::atomic<int> g_enabled_override{-1};
+std::atomic<bool> g_force_unavailable{false};
+/// Bumped whenever a test hook changes; per-thread counter state re-opens
+/// when it observes a stale generation.
+std::atomic<std::uint64_t> g_config_generation{0};
+/// Cached process source; -1 = not yet probed.
+std::atomic<int> g_source{-1};
+
+bool env_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("STOCDR_PERF");
+    return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+// --- per-thread counter file descriptors ------------------------------------
+
+#if defined(__linux__)
+
+long sys_perf_event_open(perf_event_attr* attr, int group_fd) {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) {
+    errno = EACCES;
+    return -1;
+  }
+  return syscall(SYS_perf_event_open, attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+                 /*flags=*/0UL);
+}
+
+perf_event_attr make_attr(std::uint32_t type, std::uint64_t config,
+                          bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  // Leaders start disabled and the whole group is enabled with one ioctl,
+  // so every member covers the same interval; exclude_kernel/hv keeps the
+  // open legal at kernel.perf_event_paranoid = 2 (the common default).
+  attr.disabled = leader ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+/// One perf_event group: a leader fd plus the slot order of its members.
+struct EventGroup {
+  int fd = -1;                       ///< leader; -1 = group unavailable
+  std::vector<std::size_t> slots;    ///< counter slot per read position
+
+  void close_all(std::vector<int>& member_fds) {
+    for (const int member : member_fds) ::close(member);
+    member_fds.clear();
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    slots.clear();
+  }
+};
+
+struct GroupSpec {
+  std::size_t slot;
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr GroupSpec kHardwareSpecs[] = {
+    {kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {kInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {kCacheReferences, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {kCacheMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {kBranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {kStalledCyclesBackend, PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+constexpr GroupSpec kSoftwareSpecs[] = {
+    {kTaskClockNs, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {kPageFaults, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+};
+
+/// The calling thread's counter state.  Opened lazily on first read and
+/// closed when the thread exits; re-opened when the test hooks bump the
+/// config generation.
+class ThreadCounters {
+ public:
+  ~ThreadCounters() { close_groups(); }
+
+  CounterReading read() {
+    const std::uint64_t generation =
+        g_config_generation.load(std::memory_order_acquire);
+    if (!opened_ || generation != generation_) {
+      close_groups();
+      open_groups();
+      generation_ = generation;
+      opened_ = true;
+    }
+    CounterReading reading;
+    read_group(hw_, reading);
+    read_group(sw_, reading);
+    if ((reading.mask & kSoftwareMask) != kSoftwareMask) {
+      read_rusage(reading);
+    }
+    return reading;
+  }
+
+ private:
+  /// Opens `specs` as one group (first successful open leads).  Members
+  /// that fail to open are skipped individually — a PMU without a
+  /// stalled-cycles counter still yields the rest of the group.
+  template <std::size_t N>
+  EventGroup open_group(const GroupSpec (&specs)[N]) {
+    EventGroup group;
+    for (const GroupSpec& spec : specs) {
+      const bool leader = group.fd < 0;
+      perf_event_attr attr = make_attr(spec.type, spec.config, leader);
+      const long fd =
+          sys_perf_event_open(&attr, leader ? -1 : group.fd);
+      if (fd < 0) {
+        if (leader) return group;  // no leader, no group
+        continue;
+      }
+      if (leader) {
+        group.fd = static_cast<int>(fd);
+      } else {
+        member_fds_.push_back(static_cast<int>(fd));
+      }
+      group.slots.push_back(spec.slot);
+    }
+    if (group.fd >= 0) {
+      ioctl(group.fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+      ioctl(group.fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    }
+    return group;
+  }
+
+  void open_groups() {
+    hw_ = open_group(kHardwareSpecs);
+    sw_ = open_group(kSoftwareSpecs);
+    // First thread to open publishes the process-wide source (threads in
+    // one process resolve identically; a racing store writes the same
+    // value).
+    const Source source = hw_.fd >= 0   ? Source::kHardware
+                          : sw_.fd >= 0 ? Source::kSoftware
+                                        : Source::kRusage;
+    g_source.store(static_cast<int>(source), std::memory_order_release);
+  }
+
+  void close_groups() {
+    hw_.close_all(member_fds_);
+    sw_.close_all(member_fds_);
+  }
+
+  static void read_group(const EventGroup& group, CounterReading& reading) {
+    if (group.fd < 0) return;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+    std::uint64_t buffer[3 + kNumCounters] = {};
+    const ssize_t n = ::read(group.fd, buffer, sizeof buffer);
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return;
+    const std::uint64_t nr = buffer[0];
+    const std::uint64_t enabled = buffer[1];
+    const std::uint64_t running = buffer[2];
+    // Multiplex scaling: when the PMU rotated this group out for part of
+    // the interval, extrapolate linearly.  running == 0 means the group
+    // never counted — report nothing rather than zeros.
+    if (running == 0) return;
+    const double scale =
+        running < enabled
+            ? static_cast<double>(enabled) / static_cast<double>(running)
+            : 1.0;
+    const std::size_t count =
+        std::min<std::size_t>(nr, group.slots.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t slot = group.slots[i];
+      reading.values[slot] =
+          static_cast<std::uint64_t>(static_cast<double>(buffer[3 + i]) *
+                                     scale);
+      reading.mask |= bit(slot);
+    }
+  }
+
+  static void read_rusage(CounterReading& reading) {
+#if defined(RUSAGE_THREAD)
+    struct rusage usage {};
+    if (getrusage(RUSAGE_THREAD, &usage) != 0) return;
+    const auto tv_ns = [](const timeval& tv) {
+      return static_cast<std::uint64_t>(tv.tv_sec) * 1000000000ULL +
+             static_cast<std::uint64_t>(tv.tv_usec) * 1000ULL;
+    };
+    if (!reading.has(kTaskClockNs)) {
+      reading.values[kTaskClockNs] =
+          tv_ns(usage.ru_utime) + tv_ns(usage.ru_stime);
+      reading.mask |= bit(kTaskClockNs);
+    }
+    if (!reading.has(kPageFaults)) {
+      reading.values[kPageFaults] =
+          static_cast<std::uint64_t>(usage.ru_minflt) +
+          static_cast<std::uint64_t>(usage.ru_majflt);
+      reading.mask |= bit(kPageFaults);
+    }
+#else
+    (void)reading;
+#endif
+  }
+
+  bool opened_ = false;
+  std::uint64_t generation_ = 0;
+  EventGroup hw_;
+  EventGroup sw_;
+  std::vector<int> member_fds_;
+};
+
+ThreadCounters& thread_counters() {
+  thread_local ThreadCounters counters;
+  return counters;
+}
+
+#else  // !__linux__
+
+/// Non-Linux: no perf_event_open; rusage-process fallback only (good
+/// enough to keep the API total — this project targets Linux).
+struct ThreadCounters {
+  CounterReading read() {
+    CounterReading reading;
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      const auto tv_ns = [](const timeval& tv) {
+        return static_cast<std::uint64_t>(tv.tv_sec) * 1000000000ULL +
+               static_cast<std::uint64_t>(tv.tv_usec) * 1000ULL;
+      };
+      reading.values[kTaskClockNs] =
+          tv_ns(usage.ru_utime) + tv_ns(usage.ru_stime);
+      reading.values[kPageFaults] =
+          static_cast<std::uint64_t>(usage.ru_minflt) +
+          static_cast<std::uint64_t>(usage.ru_majflt);
+      reading.mask = kSoftwareMask;
+    }
+#endif
+    g_source.store(static_cast<int>(Source::kRusage),
+                   std::memory_order_release);
+    return reading;
+  }
+};
+
+ThreadCounters& thread_counters() {
+  thread_local ThreadCounters counters;
+  return counters;
+}
+
+#endif  // __linux__
+
+// --- foreign (pool-worker) contributions ------------------------------------
+
+/// Worker deltas banked against this thread by add_foreign(); folded into
+/// every reading so open spans on the dispatching thread absorb worker
+/// work.  Plain thread-local (only the owner reads and writes it).
+thread_local std::array<std::uint64_t, kNumCounters> t_foreign{};
+
+/// Per-thread profiled-span nesting depth.
+thread_local std::uint32_t t_region_depth = 0;
+
+// --- per-name aggregation ----------------------------------------------------
+
+struct AggregateCells {
+  std::uint64_t regions = 0;
+  std::uint64_t wall_ns = 0;
+  std::array<std::uint64_t, kNumCounters> values{};
+  std::uint64_t mask = ~std::uint64_t{0};  ///< intersection of contributions
+  bool touched = false;
+
+  void add(const CounterReading& delta, std::uint64_t wall) {
+    ++regions;
+    wall_ns += wall;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      values[i] += delta.values[i];
+    }
+    mask &= delta.mask;
+    touched = true;
+  }
+
+  [[nodiscard]] PerfAggregate to_aggregate(const std::string& name) const {
+    PerfAggregate agg;
+    agg.name = name;
+    agg.regions = regions;
+    agg.wall_ns = wall_ns;
+    agg.values = values;
+    agg.mask = touched ? mask : 0;
+    return agg;
+  }
+};
+
+struct AggregateTable {
+  std::mutex mutex;
+  std::map<std::string, AggregateCells, std::less<>> by_name;
+  AggregateCells total;
+};
+
+AggregateTable& table() {
+  static AggregateTable t;
+  return t;
+}
+
+}  // namespace
+
+const char* counter_name(std::size_t index) {
+  return index < kNumCounters ? kCounterNames[index] : "?";
+}
+
+const char* source_name(Source source) {
+  switch (source) {
+    case Source::kHardware:
+      return "perf_event_hw";
+    case Source::kSoftware:
+      return "perf_event_sw";
+    case Source::kRusage:
+      return "rusage";
+  }
+  return "?";
+}
+
+double PerfAggregate::ipc() const {
+  if (!has(kCycles) || !has(kInstructions) || values[kCycles] == 0) return 0.0;
+  return static_cast<double>(values[kInstructions]) /
+         static_cast<double>(values[kCycles]);
+}
+
+double PerfAggregate::cache_miss_rate() const {
+  if (!has(kCacheReferences) || !has(kCacheMisses) ||
+      values[kCacheReferences] == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(values[kCacheMisses]) /
+         static_cast<double>(values[kCacheReferences]);
+}
+
+bool enabled() {
+  const int override_value =
+      g_enabled_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return override_value != 0;
+  return env_enabled();
+}
+
+Source source() {
+  int cached = g_source.load(std::memory_order_acquire);
+  if (cached < 0) {
+    (void)thread_counters().read();  // probe opens and publishes the source
+    cached = g_source.load(std::memory_order_acquire);
+  }
+  return cached < 0 ? Source::kRusage : static_cast<Source>(cached);
+}
+
+bool counters_available() { return source() == Source::kHardware; }
+
+CounterReading read_current_thread() {
+  CounterReading reading = thread_counters().read();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    reading.values[i] += t_foreign[i];
+  }
+  return reading;
+}
+
+void add_foreign(const CounterReading& delta) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    t_foreign[i] += delta.values[i];
+  }
+}
+
+CounterReading reading_delta(const CounterReading& start,
+                             const CounterReading& end) {
+  CounterReading delta;
+  delta.mask = start.mask & end.mask;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    delta.values[i] =
+        end.values[i] > start.values[i] ? end.values[i] - start.values[i] : 0;
+  }
+  return delta;
+}
+
+void accumulate(const char* name, const CounterReading& delta,
+                std::uint64_t wall_ns, bool top_level) {
+  AggregateTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  auto it = t.by_name.find(std::string_view(name));
+  if (it == t.by_name.end()) {
+    it = t.by_name.emplace(std::string(name), AggregateCells{}).first;
+  }
+  it->second.add(delta, wall_ns);
+  if (top_level) t.total.add(delta, wall_ns);
+}
+
+std::uint32_t enter_region() { return t_region_depth++; }
+
+void leave_region() {
+  if (t_region_depth > 0) --t_region_depth;
+}
+
+std::vector<PerfAggregate> snapshot() {
+  AggregateTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  std::vector<PerfAggregate> out;
+  out.reserve(t.by_name.size());
+  for (const auto& [name, cells] : t.by_name) {
+    // reset() keeps name keys registered; empty aggregates are not data.
+    if (cells.regions == 0) continue;
+    out.push_back(cells.to_aggregate(name));
+  }
+  return out;
+}
+
+PerfAggregate total() {
+  AggregateTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  return t.total.to_aggregate("total");
+}
+
+void reset() {
+  {
+    AggregateTable& t = table();
+    const std::lock_guard<std::mutex> lock(t.mutex);
+    for (auto& [name, cells] : t.by_name) cells = AggregateCells{};
+    t.total = AggregateCells{};
+  }
+  reset_kernels();
+}
+
+void publish_to_metrics() {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  const auto publish = [&registry](const PerfAggregate& agg) {
+    const std::string prefix = "perf." + agg.name + ".";
+    if (agg.has(kInstructions)) {
+      registry.gauge(prefix + "instructions")
+          .set(static_cast<double>(agg.values[kInstructions]));
+    }
+    if (agg.has(kCycles)) {
+      registry.gauge(prefix + "ipc").set(agg.ipc());
+    }
+    if (agg.has(kCacheReferences)) {
+      registry.gauge(prefix + "cache_miss_rate").set(agg.cache_miss_rate());
+    }
+    if (agg.has(kTaskClockNs)) {
+      registry.gauge(prefix + "task_clock_seconds")
+          .set(static_cast<double>(agg.values[kTaskClockNs]) * 1e-9);
+    }
+  };
+  publish(total());
+  for (const PerfAggregate& agg : snapshot()) {
+    if (agg.regions > 0) publish(agg);
+  }
+}
+
+namespace detail {
+
+void set_enabled_for_test(bool enabled) {
+  g_enabled_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  g_config_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void set_force_unavailable_for_test(bool force) {
+  g_force_unavailable.store(force, std::memory_order_relaxed);
+  g_source.store(-1, std::memory_order_release);
+  g_config_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace detail
+
+}  // namespace stocdr::obs::prof

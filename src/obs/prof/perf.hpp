@@ -1,0 +1,160 @@
+// Hardware performance-counter profiling (STOCDR_PERF=1).
+//
+// The roadmap's matrix-free and SIMD items both rest on the claim that the
+// SpMV-bound hot loop is memory-bandwidth-limited; wall-clock spans cannot
+// prove that.  This layer attaches *hardware evidence* to the existing span
+// taxonomy: per-thread perf_event_open counter groups whose deltas are
+// snapshotted around every obs::Span and aggregated per span name, so a
+// profiled run reports instructions retired, IPC, cache-miss rates and
+// achieved bandwidth next to the wall-clock numbers — and the bench gate
+// can compare instructions retired, which is nearly deterministic where
+// wall-clock on shared CI runners is noise.
+//
+// Counter sources, best first, degrading gracefully and never fatally:
+//   * hardware group — one perf_event_open group per thread, leader
+//     CPU cycles, members instructions / cache-references / cache-misses /
+//     branch-misses / stalled-cycles-backend, read atomically with
+//     PERF_FORMAT_GROUP and scaled by time_enabled/time_running when the
+//     PMU multiplexes;
+//   * software group — task-clock (ns) and page-faults, which work in most
+//     containers where the PMU is hidden;
+//   * rusage fallback — RUSAGE_THREAD cpu time + fault counts when
+//     perf_event_open is unavailable entirely (EACCES under
+//     kernel.perf_event_paranoid >= 3, ENOSYS, seccomp, no /proc PMU).
+//
+// Profiling is off unless STOCDR_PERF is set (to anything but "" or "0");
+// when off, every entry point is a relaxed load + branch.  Enabling
+// profiling changes no solver result bit: counters are observed strictly
+// outside the numerics.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stocdr::obs::prof {
+
+/// Counter slots, fixed order.  kTaskClockNs is nanoseconds of cpu time;
+/// everything else is an event count.
+enum Counter : std::size_t {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranchMisses,
+  kStalledCyclesBackend,
+  kTaskClockNs,
+  kPageFaults,
+  kNumCounters,
+};
+
+/// Canonical JSON/metric name of a counter slot ("cycles", "instructions",
+/// "cache_references", ...).
+[[nodiscard]] const char* counter_name(std::size_t index);
+
+/// Where this process's counters come from (the best source that opened).
+enum class Source {
+  kRusage,       ///< getrusage + steady clock only
+  kSoftware,     ///< perf software events (task-clock, page-faults)
+  kHardware,     ///< full hardware group + software group
+};
+
+[[nodiscard]] const char* source_name(Source source);
+
+/// One snapshot of the calling thread's counters (monotonic running
+/// totals).  `mask` has bit i set when counter slot i carries a value.
+struct CounterReading {
+  std::array<std::uint64_t, kNumCounters> values{};
+  std::uint64_t mask = 0;
+
+  [[nodiscard]] bool has(std::size_t index) const {
+    return (mask >> index) & 1u;
+  }
+};
+
+/// Per-name (or total) counter aggregate: summed deltas over all regions
+/// that carried the name, plus wall time.  `mask` is the intersection of
+/// the contributing deltas' masks — a counter is only reported when every
+/// contribution carried it.
+struct PerfAggregate {
+  std::string name;
+  std::uint64_t regions = 0;   ///< completed spans merged in
+  std::uint64_t wall_ns = 0;   ///< summed wall time of those spans
+  std::array<std::uint64_t, kNumCounters> values{};
+  std::uint64_t mask = 0;
+
+  [[nodiscard]] bool has(std::size_t index) const {
+    return (mask >> index) & 1u;
+  }
+  /// Instructions per cycle; 0 when either counter is absent or cycles = 0.
+  [[nodiscard]] double ipc() const;
+  /// cache_misses / cache_references; 0 when absent or no references.
+  [[nodiscard]] double cache_miss_rate() const;
+};
+
+/// True when STOCDR_PERF enables profiling (parsed once, lazily).
+[[nodiscard]] bool enabled();
+
+/// The counter source this process resolved to.  Performs the first
+/// (lazy) perf_event_open probe; cheap afterwards.
+[[nodiscard]] Source source();
+
+/// True when the full hardware group (instructions, cycles, ...) opened.
+[[nodiscard]] bool counters_available();
+
+/// Reads the calling thread's counters (opening them lazily on first use),
+/// *plus* the foreign work pool workers banked for this thread — see
+/// add_foreign().  Returns an all-zero reading with an rusage-level mask
+/// when nothing better is available.
+[[nodiscard]] CounterReading read_current_thread();
+
+/// Banks counter deltas measured on pool worker threads against the
+/// calling thread, so an open profiled span on the dispatching thread
+/// absorbs worker work into its delta.  Merging is a per-slot u64 sum —
+/// deterministic regardless of worker scheduling.
+void add_foreign(const CounterReading& delta);
+
+/// Computes `end - start` per slot (mask = intersection), saturating at 0
+/// per slot so a counter reset mid-flight cannot produce garbage.
+[[nodiscard]] CounterReading reading_delta(const CounterReading& start,
+                                           const CounterReading& end);
+
+/// Folds one completed region's delta into the per-name aggregate table
+/// (creating the name on first use) and, when `top_level` is true, into
+/// the process "total" aggregate.
+void accumulate(const char* name, const CounterReading& delta,
+                std::uint64_t wall_ns, bool top_level);
+
+/// Per-thread profiled-span nesting depth (top-level regions feed the
+/// "total" aggregate).  Exposed for the Span integration in obs/trace.cpp.
+[[nodiscard]] std::uint32_t enter_region();
+void leave_region();
+
+/// Snapshot of every named aggregate with at least one completed region,
+/// sorted by name (reset() keeps names registered but empties them).
+[[nodiscard]] std::vector<PerfAggregate> snapshot();
+
+/// The process "total" aggregate (deltas of top-level profiled spans).
+[[nodiscard]] PerfAggregate total();
+
+/// Clears every aggregate (names stay registered); used by the bench
+/// harness for per-case isolation alongside MetricsRegistry::reset_all().
+void reset();
+
+/// Publishes derived per-name gauges into the global MetricsRegistry:
+/// perf.<name>.ipc, perf.<name>.cache_miss_rate, perf.<name>.instructions,
+/// plus perf.total.* — so metrics snapshots and the live exporter carry
+/// the derived rates next to the wall-clock histograms.
+void publish_to_metrics();
+
+namespace detail {
+/// Test hooks.  force_unavailable makes every perf_event_open attempt fail
+/// (exercising the rusage fallback); set_enabled overrides STOCDR_PERF.
+/// Both reset per-process cached state so tests can flip them mid-run.
+void set_enabled_for_test(bool enabled);
+void set_force_unavailable_for_test(bool force);
+}  // namespace detail
+
+}  // namespace stocdr::obs::prof

@@ -1,0 +1,157 @@
+#include "obs/prof/roofline.hpp"
+
+#include <map>
+#include <mutex>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace stocdr::obs::prof {
+
+namespace {
+
+struct KernelCells {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t flops = 0;
+  double seconds = 0.0;
+};
+
+struct KernelTable {
+  std::mutex mutex;
+  std::map<std::string, KernelCells, std::less<>> by_name;
+};
+
+KernelTable& table() {
+  static KernelTable t;
+  return t;
+}
+
+}  // namespace
+
+double KernelAggregate::arithmetic_intensity() const {
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(flops) / static_cast<double>(bytes);
+}
+
+double KernelAggregate::achieved_gbps() const {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / seconds * 1e-9;
+}
+
+double KernelAggregate::gflops() const {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(flops) / seconds * 1e-9;
+}
+
+void record_kernel(const char* name, std::uint64_t bytes, std::uint64_t flops,
+                   double seconds) {
+  KernelTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  auto it = t.by_name.find(std::string_view(name));
+  if (it == t.by_name.end()) {
+    it = t.by_name.emplace(std::string(name), KernelCells{}).first;
+  }
+  KernelCells& cells = it->second;
+  ++cells.calls;
+  cells.bytes += bytes;
+  cells.flops += flops;
+  cells.seconds += seconds;
+}
+
+std::vector<KernelAggregate> kernel_snapshot() {
+  KernelTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  std::vector<KernelAggregate> out;
+  out.reserve(t.by_name.size());
+  for (const auto& [name, cells] : t.by_name) {
+    // reset_kernels() keeps name keys registered; skip empty aggregates.
+    if (cells.calls == 0) continue;
+    KernelAggregate agg;
+    agg.name = name;
+    agg.calls = cells.calls;
+    agg.bytes = cells.bytes;
+    agg.flops = cells.flops;
+    agg.seconds = cells.seconds;
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+void reset_kernels() {
+  KernelTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  for (auto& [name, cells] : t.by_name) cells = KernelCells{};
+}
+
+void publish_kernels_to_metrics() {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  for (const KernelAggregate& agg : kernel_snapshot()) {
+    if (agg.calls == 0) continue;
+    const std::string prefix = "perf.kernel." + agg.name + ".";
+    registry.gauge(prefix + "gbps").set(agg.achieved_gbps());
+    registry.gauge(prefix + "arithmetic_intensity")
+        .set(agg.arithmetic_intensity());
+  }
+}
+
+namespace {
+
+void write_aggregate_fields(JsonWriter& w, const PerfAggregate& agg) {
+  w.field("regions", agg.regions);
+  w.field("wall_seconds", static_cast<double>(agg.wall_ns) * 1e-9);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (agg.has(i)) w.field(counter_name(i), agg.values[i]);
+  }
+  if (agg.has(kCycles) && agg.has(kInstructions)) {
+    w.field("ipc", agg.ipc());
+  }
+  if (agg.has(kCacheReferences) && agg.has(kCacheMisses)) {
+    w.field("cache_miss_rate", agg.cache_miss_rate());
+  }
+}
+
+}  // namespace
+
+std::string perf_section_json() {
+  JsonWriter w;
+  w.begin_object();
+  w.field("enabled", true);
+  w.field("available", counters_available());
+  w.field("source", source_name(source()));
+  w.key("total");
+  w.begin_object();
+  write_aggregate_fields(w, total());
+  w.end_object();
+  w.key("spans");
+  w.begin_object();
+  for (const PerfAggregate& agg : snapshot()) {
+    if (agg.regions == 0) continue;
+    w.key(agg.name);
+    w.begin_object();
+    write_aggregate_fields(w, agg);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("kernels");
+  w.begin_object();
+  for (const KernelAggregate& agg : kernel_snapshot()) {
+    if (agg.calls == 0) continue;
+    w.key(agg.name);
+    w.begin_object();
+    w.field("calls", agg.calls);
+    w.field("bytes", agg.bytes);
+    w.field("flops", agg.flops);
+    w.field("seconds", agg.seconds);
+    w.field("arithmetic_intensity", agg.arithmetic_intensity());
+    w.field("achieved_gbps", agg.achieved_gbps());
+    w.field("gflops", agg.gflops());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace stocdr::obs::prof

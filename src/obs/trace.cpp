@@ -116,17 +116,25 @@ std::uint64_t Tracer::now_ns() {
 }
 
 Span::Span(const char* name) : sink_(Tracer::sink()) {
-  if (sink_ == nullptr) return;
   record_.name = name;
-  record_.id = next_span_id();
-  record_.tid = this_thread_index();
-  parent_ = t_current_span;
-  if (parent_ != nullptr) {
-    record_.parent_id = parent_->record_.id;
-    record_.depth = parent_->record_.depth + 1;
+  if (sink_ != nullptr) {
+    record_.id = next_span_id();
+    record_.tid = this_thread_index();
+    parent_ = t_current_span;
+    if (parent_ != nullptr) {
+      record_.parent_id = parent_->record_.id;
+      record_.depth = parent_->record_.depth + 1;
+    }
+    t_current_span = this;
+    record_.start_ns = Tracer::now_ns();
   }
-  t_current_span = this;
-  record_.start_ns = Tracer::now_ns();
+  if (prof::enabled()) {
+    perf_ = true;
+    perf_top_ = prof::enter_region() == 0;
+    perf_start_ns_ =
+        sink_ != nullptr ? record_.start_ns : Tracer::now_ns();
+    perf_start_ = prof::read_current_thread();
+  }
 }
 
 void Span::attr(std::string_view key, std::uint64_t value) {
@@ -145,6 +153,31 @@ void Span::attr(std::string_view key, std::string_view value) {
 }
 
 void Span::end() {
+  if (perf_) {
+    perf_ = false;
+    // Counters first, clock second: any profiling overhead lands in the
+    // wall number, never as phantom counted work.
+    const prof::CounterReading now = prof::read_current_thread();
+    const std::uint64_t end_ns = Tracer::now_ns();
+    prof::leave_region();
+    const prof::CounterReading delta = prof::reading_delta(perf_start_, now);
+    prof::accumulate(record_.name, delta, end_ns - perf_start_ns_, perf_top_);
+    if (sink_ != nullptr) {
+      // Traced + profiled runs carry the headline counters per span record.
+      if (delta.has(prof::kInstructions)) {
+        attr("perf.instructions", delta.values[prof::kInstructions]);
+      }
+      if (delta.has(prof::kCycles)) {
+        attr("perf.cycles", delta.values[prof::kCycles]);
+      }
+      if (delta.has(prof::kCacheMisses)) {
+        attr("perf.cache_misses", delta.values[prof::kCacheMisses]);
+      }
+      if (delta.has(prof::kTaskClockNs)) {
+        attr("perf.task_clock_ns", delta.values[prof::kTaskClockNs]);
+      }
+    }
+  }
   if (sink_ == nullptr) return;
   record_.duration_ns = Tracer::now_ns() - record_.start_ns;
   // Spans are a per-thread stack: ending one that is not innermost (e.g. a

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <type_traits>
 
+#include "obs/prof/perf.hpp"
 #include "obs/sink.hpp"
 
 namespace stocdr::obs {
@@ -91,8 +92,18 @@ class Span {
 
  private:
   TraceSink* sink_;       // nullptr = disabled span, all calls no-ops
-  SpanRecord record_;     // untouched when disabled
+  SpanRecord record_;     // only `name` is set when disabled
   Span* parent_ = nullptr;
+
+  // Perf-counter integration (STOCDR_PERF=1): a profiled span snapshots the
+  // thread's counters at both ends and folds the delta into the per-name
+  // prof aggregates — independent of whether a trace sink is installed, so
+  // profiling works on untraced runs.  Perf-only spans never touch the
+  // per-thread parent/depth chain.
+  bool perf_ = false;       // counters snapshotted; end() must accumulate
+  bool perf_top_ = false;   // outermost profiled span on this thread
+  std::uint64_t perf_start_ns_ = 0;
+  prof::CounterReading perf_start_;
 };
 
 }  // namespace stocdr::obs

@@ -215,6 +215,7 @@ void ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn,
                      const std::atomic<bool>* cancel) {
   if (chunks == 0) return;
   const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const bool profiled = obs::prof::enabled();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_fn_ = &fn;
@@ -224,6 +225,9 @@ void ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn,
     remaining_ = chunks;
     error_ = nullptr;
     ++generation_;
+    if (profiled) {
+      for (auto& slot : job_perf_) slot.store(0, std::memory_order_relaxed);
+    }
   }
   work_cv_.notify_all();
   {
@@ -236,6 +240,15 @@ void ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn,
     done_cv_.wait(lock, [this] { return remaining_ == 0 && active_ == 0; });
     job_fn_ = nullptr;
     error = error_;
+  }
+  if (profiled) {
+    // Workers finished (active_ == 0 under the mutex), so every banked
+    // delta is visible; credit the caller with the workers' share.
+    obs::prof::CounterReading delta;
+    for (std::size_t i = 0; i < obs::prof::kNumCounters; ++i) {
+      delta.values[i] = job_perf_[i].load(std::memory_order_relaxed);
+    }
+    obs::prof::add_foreign(delta);
   }
   if (error) std::rethrow_exception(error);
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -290,7 +303,20 @@ void ThreadPool::worker_main() {
       cancel = job_cancel_;
       ++active_;
     }
-    work(*fn, chunks, cancel);
+    if (obs::prof::enabled()) {
+      const obs::prof::CounterReading before = obs::prof::read_current_thread();
+      work(*fn, chunks, cancel);
+      const obs::prof::CounterReading after = obs::prof::read_current_thread();
+      const obs::prof::CounterReading delta =
+          obs::prof::reading_delta(before, after);
+      for (std::size_t i = 0; i < obs::prof::kNumCounters; ++i) {
+        if (delta.values[i] != 0) {
+          job_perf_[i].fetch_add(delta.values[i], std::memory_order_relaxed);
+        }
+      }
+    } else {
+      work(*fn, chunks, cancel);
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (--active_ == 0 && remaining_ == 0) done_cv_.notify_all();

@@ -30,6 +30,7 @@
 // par::CancelledError without waiting for the sweep to finish.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -40,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/prof/perf.hpp"
 #include "support/error.hpp"
 #include "support/function_ref.hpp"
 
@@ -192,6 +194,13 @@ class ThreadPool {
   std::uint64_t generation_ = 0;  // bumped per job; workers wake on change
   std::exception_ptr error_;      // first failure of the current job
   bool stop_ = false;
+
+  /// Per-job perf-counter deltas banked by workers (STOCDR_PERF=1): each
+  /// worker measures its own counters around its share of the job and
+  /// fetch_adds the delta here; run() folds the sums into the caller's
+  /// foreign bank so open profiled spans on the caller absorb worker work.
+  /// u64 sums are order-independent — deterministic under any scheduling.
+  std::array<std::atomic<std::uint64_t>, obs::prof::kNumCounters> job_perf_{};
 
   std::vector<std::thread> threads_;
 };

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "obs/prof/roofline.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool.hpp"
 #include "parallel/reduce.hpp"
@@ -70,21 +71,26 @@ StationaryResult solve_stationary_power(const markov::MarkovChain& chain,
       result.stats.residual = res;
       break;  // observer cancelled (deadline / sentinel); converged stays false
     }
-    if (w == 1.0) {
-      x.swap(y);
-    } else {
-      par::parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          x[i] = (1.0 - w) * x[i] + w * y[i];
-        }
-      });
+    {
+      const obs::prof::KernelScope roofline(
+          "power_update", obs::prof::power_update_bytes(x.size()),
+          obs::prof::power_update_flops(x.size()));
+      if (w == 1.0) {
+        x.swap(y);
+      } else {
+        par::parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            x[i] = (1.0 - w) * x[i] + w * y[i];
+          }
+        });
+      }
+      if (std::isfinite(res)) par::normalize_l1(x);
     }
     if (!std::isfinite(res)) {
       result.stats.residual = std::numeric_limits<double>::infinity();
       result.stats.iterations = it + 1;
       break;  // diverged; report converged = false
     }
-    par::normalize_l1(x);
     result.stats.iterations = it + 1;
     result.stats.residual = res;
     if (res < options.tolerance) {
@@ -173,6 +179,9 @@ StationaryResult relaxation_solve(const markov::MarkovChain& chain,
         x[i] = xi_new;
       }
     } else {
+      const obs::prof::KernelScope roofline(
+          "jacobi_sweep", obs::prof::jacobi_bytes(n, pt.nnz()),
+          obs::prof::jacobi_flops(n, pt.nnz()));
       const std::size_t lanes = par::lanes_for(pt.nnz());
       if (lanes <= 1) {
         jacobi_rows(0, n);

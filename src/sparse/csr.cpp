@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/prof/roofline.hpp"
 #include "parallel/pool.hpp"
 #include "support/error.hpp"
 
@@ -76,6 +77,9 @@ void CsrMatrix::multiply(std::span<const double> x,
                          std::span<double> y) const {
   STOCDR_REQUIRE(x.size() == cols_ && y.size() == rows_,
                  "CsrMatrix::multiply dimension mismatch");
+  const obs::prof::KernelScope roofline(
+      "spmv", obs::prof::spmv_bytes(rows_, cols_, nnz()),
+      obs::prof::spmv_flops(nnz()));
   // Gather: each output row is an independent dot product, so the parallel
   // split (nnz-balanced contiguous row ranges) keeps the serial per-row
   // accumulation order and the result is identical at any lane count.
@@ -104,6 +108,9 @@ void CsrMatrix::multiply_transpose(std::span<const double> x,
                                    std::span<double> y) const {
   STOCDR_REQUIRE(x.size() == rows_ && y.size() == cols_,
                  "CsrMatrix::multiply_transpose dimension mismatch");
+  const obs::prof::KernelScope roofline(
+      "spmv_t", obs::prof::spmv_bytes(rows_, cols_, nnz()),
+      obs::prof::spmv_flops(nnz()));
   // Scatter: rows write overlapping output entries, so each lane scatters
   // into its own partial output vector and the partials are merged by
   // column range in ascending lane order (per column, contributions keep

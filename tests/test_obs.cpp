@@ -110,8 +110,8 @@ TEST(MetricsPrimitivesTest, HistogramTracksExtremaAndMean) {
 }
 
 // The log-bucket quantile estimate is within one bucket width of the truth:
-// a factor of 10^(1/kBucketsPerDecade) ~ 1.78.
-constexpr double kBucketFactor = 1.7783;
+// a factor of 10^(1/kBucketsPerDecade) ~ 1.334.
+constexpr double kBucketFactor = 1.3336;
 
 TEST(MetricsPrimitivesTest, HistogramQuantilesOnUniformValues) {
   Histogram histogram;
@@ -148,6 +148,23 @@ TEST(MetricsPrimitivesTest, HistogramSingleValueQuantilesAreExact) {
   // Clamping to the exact extrema makes every quantile exact here.
   EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.37);
   EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 0.37);
+}
+
+TEST(MetricsPrimitivesTest, HistogramTerminalBucketInterpolatesWithinExtrema) {
+  // All observations land in one log bucket.  Before the hit-bucket bounds
+  // were tightened to the exact extrema, the p99 estimate collapsed onto
+  // the bucket's upper edge (then clamped to max), so tail quantiles of
+  // tightly clustered data were pinned to 10^(k/kBucketsPerDecade) values.
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) {
+    histogram.observe(0.025 + 0.00005 * i);  // [0.025, 0.03), one bucket
+  }
+  const double p50 = histogram.quantile(0.50);
+  const double p99 = histogram.quantile(0.99);
+  EXPECT_GT(p50, 0.025);
+  EXPECT_LT(p50, 0.030);
+  EXPECT_GT(p99, p50);
+  EXPECT_LT(p99, histogram.max());  // not pinned to the bucket edge or max
 }
 
 TEST(MetricsPrimitivesTest, HistogramHandlesNonPositiveAndExtremeValues) {

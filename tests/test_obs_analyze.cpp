@@ -302,7 +302,11 @@ TEST(BenchDiffTest, IdenticalArtifactsDoNotRegress) {
   const BenchDiffReport report =
       diff_bench_artifacts(artifact(), artifact(), {});
   EXPECT_FALSE(report.regressed);
-  EXPECT_TRUE(report.notes.empty());
+  // Unprofiled artifacts carry exactly one note: the explicit statement
+  // that the instructions-retired gate fell back to wall-clock seconds.
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("instructions-retired gate unavailable"),
+            std::string::npos);
   for (const MetricDelta& delta : report.deltas) {
     if (delta.present) EXPECT_DOUBLE_EQ(delta.change, 0.0);
   }
@@ -375,6 +379,98 @@ TEST(BenchDiffTest, NotesConfigDrift) {
       artifact(1.0, "abc"), artifact(1.0, "def"), {});
   ASSERT_FALSE(report.notes.empty());
   EXPECT_NE(report.notes[0].find("config_hash"), std::string::npos);
+}
+
+/// An artifact whose perf section carries an instructions-retired total.
+JsonValue profiled_artifact(double instructions) {
+  JsonValue doc = artifact();
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                R"({"enabled":true,"available":true,"source":"perf_event_hw",)"
+                R"("total":{"instructions":%.0f}})",
+                instructions);
+  auto perf = parse_json(buffer);
+  EXPECT_TRUE(perf.has_value());
+  doc.object.emplace_back("perf", *perf);
+  return doc;
+}
+
+TEST(BenchDiffTest, InstructionCountGatesAtTighterThreshold) {
+  // +5% instructions: inside the +10% wall-clock threshold but past the
+  // +3% counter threshold — must regress on the counter alone.
+  const BenchDiffReport report = diff_bench_artifacts(
+      profiled_artifact(1e9), profiled_artifact(1.05e9), {});
+  EXPECT_TRUE(report.regressed);
+  bool flagged = false;
+  for (const MetricDelta& delta : report.deltas) {
+    if (delta.key == "perf.total.instructions") {
+      flagged = delta.regressed;
+      EXPECT_TRUE(delta.gating);
+      EXPECT_NEAR(delta.change, 0.05, 1e-9);
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(BenchDiffTest, InstructionCountHeadroomPasses) {
+  const BenchDiffReport report = diff_bench_artifacts(
+      profiled_artifact(1e9), profiled_artifact(1.02e9), {});
+  EXPECT_FALSE(report.regressed);
+}
+
+TEST(BenchDiffTest, InstructionThresholdIsConfigurable) {
+  BenchDiffOptions options;
+  options.instr_threshold = 0.01;
+  const BenchDiffReport report = diff_bench_artifacts(
+      profiled_artifact(1e9), profiled_artifact(1.02e9), options);
+  EXPECT_TRUE(report.regressed);
+}
+
+TEST(BenchDiffTest, CounterAbsentFromOneArtifactNotesDriftAndSkipsGate) {
+  // Baseline profiled, candidate not (or vice versa): the counter gate is
+  // skipped with two explicit notes — coverage drift plus the seconds
+  // fallback — and never regresses on the missing metric.
+  const BenchDiffReport report =
+      diff_bench_artifacts(profiled_artifact(1e9), artifact(), {});
+  EXPECT_FALSE(report.regressed);
+  bool drift_note = false;
+  bool fallback_note = false;
+  for (const std::string& note : report.notes) {
+    if (note.find("perf.total.instructions present in only one artifact") !=
+        std::string::npos) {
+      drift_note = note.find("coverage drift") != std::string::npos;
+    }
+    if (note.find("instructions-retired gate unavailable") !=
+        std::string::npos) {
+      fallback_note = true;
+    }
+  }
+  EXPECT_TRUE(drift_note);
+  EXPECT_TRUE(fallback_note);
+}
+
+TEST(BenchDiffTest, GatingMetricInOneArtifactOnlyNotesCoverageDrift) {
+  JsonValue stripped = artifact();
+  for (auto& [key, value] : stripped.object) {
+    if (key == "solve") {
+      std::erase_if(value.object, [](const auto& member) {
+        return member.first == "matvecs";
+      });
+    }
+  }
+  const BenchDiffReport report =
+      diff_bench_artifacts(artifact(), stripped, {});
+  bool noted = false;
+  for (const std::string& note : report.notes) {
+    if (note.find("solve.matvecs present in only one artifact") !=
+            std::string::npos &&
+        note.find("gating-metric coverage drift") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+  // Missing on one side is drift, not a regression.
+  EXPECT_FALSE(report.regressed);
 }
 
 }  // namespace

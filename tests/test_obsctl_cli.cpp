@@ -11,18 +11,26 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/wait.h>
+#include <unistd.h>
 #endif
 
 namespace {
 
-std::string temp_path(const char* file) {
+std::string temp_path(const std::string& file) {
   return ::testing::TempDir() + "/" + file;
 }
 
 /// Runs obsctl with `args`, captures stdout+stderr into `output`, returns
-/// the exit code (-1 if the shell failed).
+/// the exit code (-1 if the shell failed).  The capture file is unique per
+/// test process: ctest runs these tests concurrently out of one TempDir,
+/// and a shared path would let parallel tests clobber each other's output.
 int run_obsctl(const std::string& args, std::string* output = nullptr) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string out_path = temp_path(
+      "stocdr_obsctl_out_" + std::to_string(::getpid()) + ".txt");
+#else
   const std::string out_path = temp_path("stocdr_obsctl_out.txt");
+#endif
   const std::string command = std::string(STOCDR_OBSCTL_PATH) + " " + args +
                               " >" + out_path + " 2>&1";
   const int status = std::system(command.c_str());
@@ -179,6 +187,102 @@ TEST(ObsctlCliTest, WatchPrintsHeartbeatAndExitsZero) {
   EXPECT_NE(output.find("heartbeat=4"), std::string::npos);
   // Second poll sees the same heartbeat: flagged stale.
   EXPECT_NE(output.find("stale"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- summarize --json -------------------------------------------------------
+
+TEST(ObsctlCliTest, SummarizeJsonEmitsMachineReadableAggregates) {
+  const std::string path = temp_path("stocdr_json_trace.jsonl");
+  write_file(path, kValidTrace);
+  std::string output;
+  EXPECT_EQ(run_obsctl("summarize " + path + " --json", &output), 0);
+  EXPECT_EQ(output.front(), '[');
+  EXPECT_NE(output.find("\"name\":\"solve\""), std::string::npos);
+  EXPECT_NE(output.find("\"total_ns\":1000"), std::string::npos);
+  EXPECT_NE(output.find("\"self_ns\":500"), std::string::npos);
+  // The human table's header must not leak into the JSON output.
+  EXPECT_EQ(output.find("spans:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- perf / roofline --------------------------------------------------------
+
+/// A BENCH artifact with a perf section, as bench/common.hpp emits under
+/// STOCDR_PERF=1 on a host with working hardware counters.
+const char kProfiledArtifact[] =
+    R"({"name":"case","solve":{"seconds":2.0},)"
+    R"("perf":{"enabled":true,"available":true,"source":"perf_event_hw",)"
+    R"("total":{"regions":1,"wall_seconds":2.0,"cycles":4000000,)"
+    R"("instructions":8000000,"ipc":2.0,"cache_miss_rate":0.125,)"
+    R"("task_clock_ns":2000000000},)"
+    R"("spans":{"solve":{"regions":1,"wall_seconds":2.0,)"
+    R"("instructions":8000000,"cycles":4000000,"ipc":2.0}},)"
+    R"("kernels":{"spmv":{"calls":10,"bytes":1000000,"flops":160000,)"
+    R"("seconds":0.001,"arithmetic_intensity":0.16,"achieved_gbps":1.0,)"
+    R"("gflops":0.16}}}})";
+
+TEST(ObsctlCliTest, PerfRendersCounterTable) {
+  const std::string path = temp_path("stocdr_perf_bench.json");
+  write_file(path, kProfiledArtifact);
+  std::string output;
+  EXPECT_EQ(run_obsctl("perf " + path, &output), 0);
+  EXPECT_NE(output.find("perf_event_hw"), std::string::npos);
+  EXPECT_NE(output.find("(total)"), std::string::npos);
+  EXPECT_NE(output.find("solve"), std::string::npos);
+  EXPECT_NE(output.find("8M"), std::string::npos);  // instructions
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, RooflineRendersKernelTable) {
+  const std::string path = temp_path("stocdr_roofline_bench.json");
+  write_file(path, kProfiledArtifact);
+  std::string output;
+  EXPECT_EQ(run_obsctl("roofline " + path, &output), 0);
+  EXPECT_NE(output.find("spmv"), std::string::npos);
+  EXPECT_NE(output.find("flop/B"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, RooflinePeakGbpsAddsPercentColumn) {
+  const std::string path = temp_path("stocdr_roofline_peak.json");
+  write_file(path, kProfiledArtifact);
+  std::string output;
+  EXPECT_EQ(run_obsctl("roofline " + path + " --peak-gbps 10", &output), 0);
+  EXPECT_NE(output.find("%peak"), std::string::npos);
+  EXPECT_NE(output.find("10.0%"), std::string::npos);  // 1.0 of 10 GB/s
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, PerfWithoutSectionExitsThreeWithHint) {
+  const std::string path = temp_path("stocdr_unprofiled_bench.json");
+  write_file(path, R"({"name":"case","solve":{"seconds":2.0}})");
+  for (const char* cmd : {"perf", "roofline"}) {
+    std::string output;
+    EXPECT_EQ(run_obsctl(std::string(cmd) + " " + path, &output), 3) << cmd;
+    EXPECT_NE(output.find("STOCDR_PERF=1"), std::string::npos) << cmd;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, PerfOnMissingOrInvalidFileExitsTwo) {
+  EXPECT_EQ(run_obsctl("perf " + temp_path("no_such_bench.json")), 2);
+  const std::string path = temp_path("stocdr_invalid_bench.json");
+  write_file(path, "not json at all");
+  EXPECT_EQ(run_obsctl("roofline " + path), 2);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, PerfMarksUnavailableCounters) {
+  const std::string path = temp_path("stocdr_fallback_bench.json");
+  write_file(path,
+             R"({"perf":{"enabled":true,"available":false,"source":"rusage",)"
+             R"("total":{"regions":1,"wall_seconds":1.0,)"
+             R"("task_clock_ns":1000000000},"spans":{},"kernels":{}}})");
+  std::string output;
+  EXPECT_EQ(run_obsctl("perf " + path, &output), 0);
+  EXPECT_NE(output.find("ABSENT"), std::string::npos);
+  EXPECT_NE(output.find("perf_event_paranoid"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -1,13 +1,17 @@
 // stocdr-obsctl — the consumption half of the observability stack.
 //
 // Commands:
-//   summarize  <trace.jsonl>                 per-name cost table
+//   summarize  <trace.jsonl> [--json]        per-name cost table (or JSON)
 //   flame      <trace.jsonl> [-o out.folded] folded stacks (flamegraph.pl,
 //                                            speedscope)
 //   chrome     <trace.jsonl> [-o out.json]   Chrome trace_event JSON
 //                                            (Perfetto, chrome://tracing)
 //   bench-diff <old.json> <new.json> [--threshold P%] [--min-seconds S]
-//                                            BENCH artifact regression gate
+//              [--instr-threshold P%]        BENCH artifact regression gate
+//   perf       <BENCH.json>                  per-span perf-counter report
+//                                            from a STOCDR_PERF=1 artifact
+//   roofline   <BENCH.json> [--peak-gbps X]  per-kernel arithmetic-intensity
+//                                            / achieved-bandwidth report
 //   health     <metrics.om>                  numerical-health verdict from a
 //                                            live OpenMetrics snapshot
 //   watch      <metrics.om> [--interval MS] [--count N]
@@ -15,8 +19,9 @@
 //                                            print heartbeat/staleness
 //
 // Exit codes: 0 ok / no regression, 1 bench-diff found a regression or
-// health found an alarm, 2 usage or I/O error, 3 trace exists but holds no
-// spans (empty / malformed-only / marker-only — diagnostic on stderr).
+// health found an alarm, 2 usage or I/O error, 3 input exists but holds no
+// data for the command (empty / malformed-only / marker-only trace, or a
+// BENCH artifact without a perf section — diagnostic on stderr).
 // Malformed trace lines are skipped and counted, never fatal.
 #include <chrono>
 #include <cmath>
@@ -29,6 +34,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/analyze/analyze.hpp"
 #include "obs/analyze/benchdiff.hpp"
@@ -47,11 +53,14 @@ using namespace stocdr::obs::analyze;
 int usage(std::FILE* out) {
   std::fprintf(out,
                "usage: stocdr-obsctl <command> [args]\n"
-               "  summarize  <trace.jsonl>\n"
+               "  summarize  <trace.jsonl> [--json]\n"
                "  flame      <trace.jsonl> [-o out.folded]\n"
                "  chrome     <trace.jsonl> [-o out.json]\n"
                "  bench-diff <old.json> <new.json> [--threshold P%%]"
                " [--min-seconds S]\n"
+               "             [--instr-threshold P%%]\n"
+               "  perf       <BENCH.json>\n"
+               "  roofline   <BENCH.json> [--peak-gbps X]\n"
                "  health     <metrics.om>\n"
                "  watch      <metrics.om> [--interval MS] [--count N]\n");
   return out == stdout ? 0 : 2;
@@ -121,11 +130,16 @@ std::optional<JsonValue> load_json_file(const std::string& path) {
   return doc;
 }
 
-int cmd_summarize(const std::string& trace_path) {
+int cmd_summarize(const std::string& trace_path, bool as_json) {
   int rc = 0;
   const std::optional<TraceFile> loaded = load_trace(trace_path, rc);
   if (!loaded) return rc;
   const TraceFile& trace = *loaded;
+  if (as_json) {
+    const std::string json = aggregates_to_json(aggregate_spans(trace.spans));
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
   if (trace.has_manifest) {
     const auto field = [&trace](const char* key) {
       const JsonValue* v = trace.manifest.find(key);
@@ -195,6 +209,13 @@ int cmd_bench_diff(int argc, char** argv) {
         return 2;
       }
       options.min_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--instr-threshold") {
+      if (i + 1 >= argc ||
+          !parse_threshold(argv[++i], options.instr_threshold)) {
+        std::fprintf(stderr,
+                     "obsctl: --instr-threshold needs a value like 3%%\n");
+        return 2;
+      }
     } else if (old_path.empty()) {
       old_path = arg;
     } else if (new_path.empty()) {
@@ -211,14 +232,182 @@ int cmd_bench_diff(int argc, char** argv) {
 
   const BenchDiffReport report =
       diff_bench_artifacts(*old_doc, *new_doc, options);
-  std::printf("bench-diff %s -> %s (threshold +%.0f%%)\n%s", old_path.c_str(),
-              new_path.c_str(), 100.0 * options.threshold,
-              report.render().c_str());
+  std::printf("bench-diff %s -> %s (threshold +%.0f%%, instructions +%.0f%%)\n%s",
+              old_path.c_str(), new_path.c_str(), 100.0 * options.threshold,
+              100.0 * options.instr_threshold, report.render().c_str());
   if (report.regressed) {
     std::fprintf(stderr, "obsctl: REGRESSION detected\n");
     return 1;
   }
   std::printf("no regression\n");
+  return 0;
+}
+
+/// Loads the `perf` section of a BENCH artifact.  A valid artifact without
+/// one (STOCDR_PERF unset when the bench ran) is "no data", exit 3, with a
+/// hint — distinct from the exit-2 I/O and parse errors.
+const JsonValue* load_perf_section(const JsonValue& doc,
+                                   const std::string& path, int& rc) {
+  const JsonValue* perf = doc.find("perf");
+  if (perf == nullptr || !perf->is_object()) {
+    std::fprintf(stderr,
+                 "obsctl: %s has no perf section — was the bench run with "
+                 "STOCDR_PERF=1?\n",
+                 path.c_str());
+    rc = 3;
+    return nullptr;
+  }
+  rc = 0;
+  return perf;
+}
+
+std::string format_count(double v) {
+  char buffer[64];
+  if (v >= 1e9) {
+    std::snprintf(buffer, sizeof buffer, "%.3gG", v * 1e-9);
+  } else if (v >= 1e6) {
+    std::snprintf(buffer, sizeof buffer, "%.3gM", v * 1e-6);
+  } else if (v >= 1e3) {
+    std::snprintf(buffer, sizeof buffer, "%.3gk", v * 1e-3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.4g", v);
+  }
+  return buffer;
+}
+
+/// A counter field of a perf aggregate, formatted; "-" when absent (masks
+/// report absence explicitly — zeros are real measurements).
+std::string perf_field(const JsonValue& agg, const char* key) {
+  const JsonValue* v = agg.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return "-";
+  return format_count(v->number);
+}
+
+std::string perf_rate(const JsonValue& agg, const char* key) {
+  const JsonValue* v = agg.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return "-";
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", v->number);
+  return buffer;
+}
+
+void print_perf_header(const JsonValue& perf) {
+  const JsonValue* source = perf.find("source");
+  const JsonValue* available = perf.find("available");
+  std::printf("source: %s  hardware counters: %s\n",
+              source == nullptr
+                  ? "?"
+                  : std::string(source->string_or("?")).c_str(),
+              available != nullptr && available->boolean ? "available"
+                                                         : "ABSENT");
+}
+
+void add_perf_row(TextTable& table, const std::string& name,
+                  const JsonValue& agg) {
+  const JsonValue* wall = agg.find("wall_seconds");
+  table.add_row(
+      {name, perf_field(agg, "regions"),
+       wall == nullptr ? "-" : format_duration(wall->number_or(0.0)),
+       perf_field(agg, "instructions"), perf_field(agg, "cycles"),
+       perf_rate(agg, "ipc"), perf_rate(agg, "cache_miss_rate"),
+       perf_field(agg, "task_clock_ns")});
+}
+
+int cmd_perf(const std::string& path) {
+  const std::optional<JsonValue> doc = load_json_file(path);
+  if (!doc) return 2;
+  int rc = 0;
+  const JsonValue* perf = load_perf_section(*doc, path, rc);
+  if (perf == nullptr) return rc;
+  print_perf_header(*perf);
+  TextTable table({"span", "regions", "wall", "instr", "cycles", "ipc",
+                   "miss-rate", "task-clk-ns"});
+  if (const JsonValue* total = perf->find("total"); total != nullptr) {
+    add_perf_row(table, "(total)", *total);
+  }
+  if (const JsonValue* spans = perf->find("spans");
+      spans != nullptr && spans->is_object()) {
+    for (const auto& [name, agg] : spans->object) {
+      add_perf_row(table, name, agg);
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  if (const JsonValue* available = perf->find("available");
+      available != nullptr && !available->boolean) {
+    std::printf(
+        "hardware counters were unavailable; see docs/OBSERVABILITY.md "
+        "(kernel.perf_event_paranoid, container PMU access)\n");
+  }
+  return 0;
+}
+
+int cmd_roofline(int argc, char** argv) {
+  std::string path;
+  double peak_gbps = 0.0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--peak-gbps") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obsctl: --peak-gbps needs a value\n");
+        return 2;
+      }
+      peak_gbps = std::strtod(argv[++i], nullptr);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(stderr);
+    }
+  }
+  if (path.empty()) return usage(stderr);
+  const std::optional<JsonValue> doc = load_json_file(path);
+  if (!doc) return 2;
+  int rc = 0;
+  const JsonValue* perf = load_perf_section(*doc, path, rc);
+  if (perf == nullptr) return rc;
+  const JsonValue* kernels = perf->find("kernels");
+  if (kernels == nullptr || !kernels->is_object() ||
+      kernels->object.empty()) {
+    std::fprintf(stderr,
+                 "obsctl: %s has a perf section but no kernel roofline "
+                 "data (no instrumented kernel ran)\n",
+                 path.c_str());
+    return 3;
+  }
+  print_perf_header(*perf);
+  std::vector<std::string> header = {"kernel",   "calls",  "bytes",
+                                     "seconds",  "flop/B", "GB/s",
+                                     "Gflop/s"};
+  if (peak_gbps > 0.0) header.push_back("%peak");
+  TextTable table(header);
+  for (const auto& [name, kernel] : kernels->object) {
+    const double seconds =
+        kernel.find("seconds") == nullptr
+            ? 0.0
+            : kernel.find("seconds")->number_or(0.0);
+    std::vector<std::string> row = {
+        name,
+        perf_field(kernel, "calls"),
+        perf_field(kernel, "bytes"),
+        format_duration(seconds),
+        perf_rate(kernel, "arithmetic_intensity"),
+        perf_rate(kernel, "achieved_gbps"),
+        perf_rate(kernel, "gflops"),
+    };
+    if (peak_gbps > 0.0) {
+      const JsonValue* gbps = kernel.find("achieved_gbps");
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.1f%%",
+                    gbps == nullptr
+                        ? 0.0
+                        : 100.0 * gbps->number_or(0.0) / peak_gbps);
+      row.push_back(buffer);
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "bytes/flops are compulsory-traffic models (see "
+      "docs/OBSERVABILITY.md); GB/s = model bytes / wall seconds\n");
   return 0;
 }
 
@@ -355,10 +544,11 @@ int run(int argc, char** argv) {
     return usage(stdout);
   }
   if (command == "bench-diff") return cmd_bench_diff(argc - 2, argv + 2);
+  if (command == "roofline") return cmd_roofline(argc - 2, argv + 2);
   if (command == "watch") return cmd_watch(argc - 2, argv + 2);
-  if (command == "health") {
+  if (command == "health" || command == "perf") {
     if (argc < 3) return usage(stderr);
-    return cmd_health(argv[2]);
+    return command == "health" ? cmd_health(argv[2]) : cmd_perf(argv[2]);
   }
 
   if (command != "summarize" && command != "flame" && command != "chrome") {
@@ -368,14 +558,19 @@ int run(int argc, char** argv) {
   if (argc < 3) return usage(stderr);
   const std::string trace_path = argv[2];
   std::string out_path;
+  bool as_json = false;
   for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc &&
+        command != "summarize") {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 &&
+               command == "summarize") {
+      as_json = true;
     } else {
       return usage(stderr);
     }
   }
-  if (command == "summarize") return cmd_summarize(trace_path);
+  if (command == "summarize") return cmd_summarize(trace_path, as_json);
   return cmd_export(trace_path, out_path, command == "chrome");
 }
 
