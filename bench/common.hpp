@@ -26,6 +26,7 @@
 #include "obs/prof/roofline.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool.hpp"
+#include "robust/journal/sweep.hpp"
 #include "robust/robust_solver.hpp"
 #include "solvers/aggregation.hpp"
 #include "support/atomic_file.hpp"
@@ -264,6 +265,116 @@ inline void report_case(const std::string& name, const SolvedCase& solved,
     std::printf("robust: %s\n", solved.robust_report->summary().c_str());
   }
   if (bench_json_enabled()) solved.write_bench_json(name);
+}
+
+// ---------------------------------------------------------------------------
+// Journaled sweep mode (the crash-consistency story, robust/journal).
+//
+// When STOCDR_SWEEP_JOURNAL names a journal file, a bench binary runs its
+// points through the resumable sweep runner instead of the direct path:
+// every completed point is journaled with an fsync'd append, a killed run
+// (SIGKILL included) resumes by replaying completed points from the
+// journal, and the final BENCH_<name>_sweep.json artifact is byte-identical
+// to an uninterrupted run's — the artifact depends only on deterministic
+// per-point results, never on wall-clock or host facts.
+
+/// The journal path for this run ("" disables journaled mode).
+inline const char* sweep_journal_path() {
+  const char* v = std::getenv("STOCDR_SWEEP_JOURNAL");
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+/// True when STOCDR_SWEEP_COARSE asks journaled sweeps to shrink the phase
+/// grid (256 points, the same coarse grid fig5's extended sweep uses) — the
+/// chaos CI kills and resumes sweeps repeatedly and needs each point to
+/// solve in seconds, not minutes.  The coarse grid changes the sweep's
+/// config hash, so coarse and full journals/artifacts never mix.
+inline bool sweep_coarse_requested() {
+  const char* v = std::getenv("STOCDR_SWEEP_COARSE");
+  return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+}
+
+/// One named point of a journaled sweep.
+struct SweepPointSpec {
+  std::string key;
+  cdr::CdrConfig config;
+};
+
+/// The deterministic per-point result: exactly the fields that are
+/// bit-reproducible across runs at a fixed thread count (config, problem
+/// sizes, BER, solver counts and residual) — no seconds, no manifest, no
+/// RSS.  This is what the journal replays and the sweep artifact is built
+/// from, so resumed artifacts match uninterrupted ones byte for byte.
+inline std::string deterministic_point_json(const SolvedCase& solved) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("summary", solved.config.summary());
+  w.field("states", std::uint64_t{solved.chain.num_states()});
+  w.field("transitions",
+          std::uint64_t{solved.chain.chain().num_transitions()});
+  w.field("ber", solved.ber);
+  const solvers::SolverStats& stats = solved.stationary.stats;
+  w.field("method", stats.method);
+  w.field("iterations", std::uint64_t{stats.iterations});
+  w.field("matvecs", std::uint64_t{stats.matvec_count});
+  w.field("residual", stats.residual);
+  w.field("converged", stats.converged);
+  w.end_object();
+  return std::move(w).str();
+}
+
+/// Runs `points` through the resumable sweep runner and writes
+/// BENCH_<bench_name>_sweep.json.  The sweep's config hash covers the bench
+/// name and every point's key + operating point, so a journal left behind
+/// by a different sweep (or grid) is discarded rather than replayed.
+inline int run_journaled_sweep(const std::string& bench_name,
+                               std::vector<SweepPointSpec> points) {
+  const char* journal_path = sweep_journal_path();
+  STOCDR_REQUIRE(journal_path != nullptr,
+                 "run_journaled_sweep: STOCDR_SWEEP_JOURNAL is not set");
+  if (sweep_coarse_requested()) {
+    for (SweepPointSpec& p : points) p.config.phase_points = 256;
+  }
+
+  std::string identity = bench_name;
+  std::vector<std::string> keys;
+  keys.reserve(points.size());
+  for (const SweepPointSpec& p : points) {
+    identity += "|" + p.key + "=" + p.config.summary();
+    keys.push_back(p.key);
+  }
+  const std::string config_hash = obs::fnv1a_hex(identity);
+
+  const auto solve_point = [&](const std::string& key) -> std::string {
+    for (const SweepPointSpec& p : points) {
+      if (p.key != key) continue;
+      std::printf("solving point %s ...\n", key.c_str());
+      const SolvedCase solved(p.config);
+      return deterministic_point_json(solved);
+    }
+    throw PreconditionError("run_journaled_sweep: unknown point " + key);
+  };
+
+  const robust::jnl::SweepOutcome outcome = robust::jnl::run_sweep(
+      journal_path, config_hash, keys, solve_point);
+  std::printf("sweep %s: %zu point(s) solved, %zu replayed from %s",
+              bench_name.c_str(), outcome.computed, outcome.skipped,
+              journal_path);
+  if (outcome.journal.torn_tail_bytes > 0) {
+    std::printf(" (%zu torn tail byte(s) truncated)",
+                outcome.journal.torn_tail_bytes);
+  }
+  if (outcome.journal.malformed_lines > 0) {
+    std::printf(" (%zu malformed line(s) skipped)",
+                outcome.journal.malformed_lines);
+  }
+  std::printf("\n");
+
+  const std::string artifact = "BENCH_" + bench_name + "_sweep.json";
+  robust::jnl::write_sweep_artifact(artifact, bench_name, config_hash, keys,
+                                    outcome.results);
+  std::printf("wrote %s\n", artifact.c_str());
+  return 0;
 }
 
 /// Prints the two stationary densities the paper plots in Figures 4/5:

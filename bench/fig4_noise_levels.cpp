@@ -13,6 +13,15 @@
 
 int main() {
   using namespace stocdr;
+
+  // Journaled sweep mode (STOCDR_SWEEP_JOURNAL): resumable, kill-safe, and
+  // byte-identical to an uninterrupted run — see bench/common.hpp.
+  if (bench::sweep_journal_path() != nullptr) {
+    return bench::run_journaled_sweep(
+        "fig4", {{"baseline", bench::paper_baseline()},
+                 {"high_noise", bench::paper_high_noise()}});
+  }
+
   std::printf("=== Figure 4: phase error probability density and BER ===\n");
 
   std::printf("\n--- top plot: baseline noise ---\n");

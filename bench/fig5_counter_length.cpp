@@ -18,6 +18,18 @@
 
 int main() {
   using namespace stocdr;
+
+  // Journaled sweep mode (STOCDR_SWEEP_JOURNAL): resumable, kill-safe, and
+  // byte-identical to an uninterrupted run — see bench/common.hpp.
+  if (bench::sweep_journal_path() != nullptr) {
+    std::vector<bench::SweepPointSpec> points;
+    for (const std::size_t n : {2, 8, 32}) {
+      points.push_back({"counter" + std::to_string(n),
+                        bench::paper_counter_sweep(n)});
+    }
+    return bench::run_journaled_sweep("fig5", std::move(points));
+  }
+
   std::printf("=== Figure 5: effect of counter length on BER ===\n");
 
   std::vector<std::size_t> lengths{2, 8, 32};

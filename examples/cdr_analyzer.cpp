@@ -5,6 +5,8 @@
 // Usage:
 //   cdr_analyzer [config.txt] [--export-prefix PREFIX] [--print-config]
 //                [--robust] [--time-budget SECONDS] [--metrics-out FILE]
+//                [--checkpoint FILE [--checkpoint-period N]]
+//                [--journal FILE] [--inject-fault nan|stall]
 //
 // With --metrics-out the final metrics snapshot (counters, gauges, and
 // histograms with p50/p90/p99 quantiles) is dumped as JSON — together with
@@ -15,6 +17,21 @@
 // between methods, and an optional --time-budget wall-clock deadline that
 // returns the best iterate reached instead of hanging.
 //
+// With --checkpoint the robust solve persists durable on-disk checkpoints
+// (robust/checkpoint) keyed to this operating point's config hash, and a
+// restarted analysis warm-starts from the newest valid generation; torn or
+// corrupted files degrade to a counted cold start.
+//
+// With --journal the analysis result (the measures table) is recorded in a
+// crash-recoverable journal (robust/journal) keyed to the config hash: a
+// re-run with the same operating point replays the recorded measures
+// instead of solving again.
+//
+// --inject-fault is a front end of the deterministic fault-injection
+// engine (robust/faultinject): `nan` installs the plan "solver:nan" and
+// `stall` installs "solver:stall".  Arbitrary plans (any site, any firing
+// count) can be set via the STOCDR_FAULT_PLAN environment variable.
+//
 // With --export-prefix the tool writes PREFIX.mtx (the transition matrix,
 // Matrix Market), PREFIX.eta.mtx (the stationary vector) and PREFIX.dot
 // (the FSM network diagram for Graphviz).
@@ -23,6 +40,7 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -31,11 +49,14 @@
 #include "cdr/measures.hpp"
 #include "cdr/model.hpp"
 #include "fsm/graphviz.hpp"
+#include "obs/analyze/json_parse.hpp"
 #include "obs/health/health.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/pool.hpp"
+#include "robust/faultinject/faultinject.hpp"
+#include "robust/journal/journal.hpp"
 #include "sparse/io.hpp"
 #include "support/atomic_file.hpp"
 #include "support/text.hpp"
@@ -52,16 +73,11 @@ int run(int argc, char** argv) {
   bool print_config = false;
   bool use_robust = false;
   std::string inject_fault;
+  std::string checkpoint_path;
+  std::size_t checkpoint_period = 16;
+  std::string journal_path;
   double time_budget = std::numeric_limits<double>::infinity();
   std::size_t threads = 0;  // 0 = inherit STOCDR_THREADS (default serial)
-
-  // FaultInjector is non-owning; these must outlive the solve.
-  const auto nan_injector = [](const obs::ProgressEvent&) {
-    return std::numeric_limits<double>::quiet_NaN();
-  };
-  const auto stall_injector = [](const obs::ProgressEvent&) {
-    return 1.0;  // a residual that never improves
-  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,6 +116,30 @@ int run(int argc, char** argv) {
         return 2;
       }
       use_robust = true;  // the injector rides the robust sentinel
+    } else if (arg == "--checkpoint") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--checkpoint needs a file path\n");
+        return 2;
+      }
+      checkpoint_path = argv[++i];
+      use_robust = true;  // durable checkpoints ride the robust harness
+    } else if (arg == "--checkpoint-period") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--checkpoint-period needs a value\n");
+        return 2;
+      }
+      checkpoint_period =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (checkpoint_period == 0) {
+        std::fprintf(stderr, "--checkpoint-period must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--journal") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--journal needs a file path\n");
+        return 2;
+      }
+      journal_path = argv[++i];
     } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--threads needs a value (N or 'auto')\n");
@@ -111,7 +151,8 @@ int run(int argc, char** argv) {
           "usage: cdr_analyzer [config.txt] [--export-prefix PREFIX] "
           "[--print-config] [--robust] [--time-budget SECONDS] "
           "[--inject-fault nan|stall] [--threads N|auto] "
-          "[--metrics-out FILE]\n");
+          "[--metrics-out FILE] [--checkpoint FILE] "
+          "[--checkpoint-period N] [--journal FILE]\n");
       return 0;
     } else {
       config = cdr::config_from_file(arg);
@@ -131,6 +172,48 @@ int run(int argc, char** argv) {
     std::printf("threads: %zu\n\n", par::effective_threads());
   }
 
+  const std::string config_hash = obs::fnv1a_hex(config.summary());
+
+  // Resumable journal: when this exact operating point (by config hash) has
+  // already completed under this journal, replay the recorded measures
+  // instead of solving again.  Torn or foreign journals recover per
+  // robust/journal's rules (truncate the tail, discard on mismatch).
+  std::unique_ptr<robust::jnl::SweepJournal> journal;
+  if (!journal_path.empty()) {
+    journal = std::make_unique<robust::jnl::SweepJournal>(journal_path,
+                                                          config_hash);
+    if (const std::string* cached = journal->result("analysis")) {
+      const auto parsed = obs::analyze::parse_json(*cached);
+      if (parsed.has_value() && parsed->is_object()) {
+        const auto num = [&](const char* key) {
+          const obs::analyze::JsonValue* v = parsed->find(key);
+          return v != nullptr ? v->number_or(0.0) : 0.0;
+        };
+        std::printf("replaying measures journaled in %s (config hash %s)\n",
+                    journal_path.c_str(), config_hash.c_str());
+        TextTable report({"measure", "value"});
+        report.add_row({"bit-error rate", sci(num("ber"), 3)});
+        report.add_row({"cycle-slip rate / bit", sci(num("slip_rate"), 3)});
+        report.add_row({"mean bits between slips",
+                        sci(num("slip_mean_between"), 3)});
+        report.add_row({"slip flux up : down",
+                        sci(num("slip_rate_up"), 1) + " : " +
+                            sci(num("slip_rate_down"), 1)});
+        report.add_row({"static phase offset (UI)",
+                        fixed(num("static_offset"), 5)});
+        report.add_row({"rms phase error (UI)", fixed(num("rms"), 5)});
+        report.add_row({"|lambda_2| (loop memory)",
+                        fixed(num("lambda2"), 6) + "  (" +
+                            fixed(num("mixing_bits"), 0) + " bits)"});
+        std::printf("%s", report.render().c_str());
+        return 0;
+      }
+      std::fprintf(stderr,
+                   "journal record for this config is unreadable; re-running "
+                   "the analysis\n");
+    }
+  }
+
   const cdr::CdrModel model(config);
   const Timer timer;
   const cdr::CdrChain chain = model.build();
@@ -142,15 +225,23 @@ int run(int argc, char** argv) {
   if (use_robust) {
     robust::RobustOptions ropts;
     ropts.time_budget_seconds = time_budget;
+    // --inject-fault rides the deterministic fault-injection engine: the
+    // bare plans below fire on every arming of the sentinel's "solver"
+    // site, which reproduces the original ad-hoc injectors exactly.
     if (inject_fault == "nan") {
-      ropts.fault_injector = robust::FaultInjector(nan_injector);
+      robust::fi::install_plan(robust::fi::FaultPlan::parse("solver:nan"));
     } else if (inject_fault == "stall") {
-      ropts.fault_injector = robust::FaultInjector(stall_injector);
+      robust::fi::install_plan(robust::fi::FaultPlan::parse("solver:stall"));
       // Tighten the sentinel so the injected stall trips before the rung
-      // genuinely converges (the injector only fools the sentinel, not the
+      // genuinely converges (the injection only fools the sentinel, not the
       // solver's own convergence test).
       ropts.sentinel_stride = 1;
       ropts.stall_window = 4;
+    }
+    if (!checkpoint_path.empty()) {
+      ropts.checkpoint_path = checkpoint_path;
+      ropts.checkpoint_period = checkpoint_period;
+      ropts.checkpoint_config_hash = config_hash;
     }
     auto result = cdr::solve_stationary_robust(chain, ropts);
     std::printf("solve (robust): %s, residual %s, %s, %zu rung(s), "
@@ -162,6 +253,12 @@ int run(int argc, char** argv) {
     if (!result.report.flight_dump_path.empty()) {
       std::printf("flight recorder dump: %s\n\n",
                   result.report.flight_dump_path.c_str());
+    }
+    if (result.report.durable_checkpoints > 0 ||
+        result.report.checkpoint_write_failures > 0) {
+      std::printf("durable checkpoints: %zu written to %s (%zu failed)\n\n",
+                  result.report.durable_checkpoints, checkpoint_path.c_str(),
+                  result.report.checkpoint_write_failures);
     }
     solution.distribution = std::move(result.distribution);
     solution.stats.residual = result.report.residual;
@@ -199,6 +296,23 @@ int run(int argc, char** argv) {
                       fixed(lambda2.mixing_steps(), 0) + " bits)"});
   std::printf("%s", report.render().c_str());
 
+  if (journal != nullptr && !journal->has("analysis")) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("ber", ber);
+    w.field("slip_rate", slips.rate());
+    w.field("slip_mean_between", slips.mean_cycles_between());
+    w.field("slip_rate_up", slips.rate_up);
+    w.field("slip_rate_down", slips.rate_down);
+    w.field("static_offset", moments.mean);
+    w.field("rms", moments.rms);
+    w.field("lambda2", lambda2.magnitude);
+    w.field("mixing_bits", lambda2.mixing_steps());
+    w.end_object();
+    journal->append("analysis", std::move(w).str());
+    std::printf("\njournaled measures to %s\n", journal_path.c_str());
+  }
+
   if (!export_prefix.empty()) {
     sparse::write_matrix_market_file(export_prefix + ".mtx",
                                      chain.chain().to_row_stochastic(),
@@ -214,7 +328,7 @@ int run(int argc, char** argv) {
 
   if (!metrics_out.empty()) {
     obs::RunManifest manifest = obs::current_manifest();
-    manifest.config_hash = obs::fnv1a_hex(config.summary());
+    manifest.config_hash = config_hash;
     obs::JsonWriter w;
     w.begin_object();
     w.key("manifest");

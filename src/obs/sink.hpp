@@ -47,14 +47,16 @@ class TraceSink {
 /// {"name":..,"id":..,"parent":..,"depth":..,"tid":..,"ts_ns":..,
 ///  "dur_ns":..,"attrs":{..}}.
 ///
-/// Writes are crash-safe: spans stream into `<path>.tmp` and the file is
-/// atomically renamed onto `path` when the sink closes, so a crash or a
-/// deadline kill never leaves a truncated trace behind (the partial
-/// temporary remains for inspection).  An existing `path` is carried into
-/// the new file first, preserving the historical append semantics.
+/// Writes are crash-safe: spans stream into the pid-unique temporary
+/// `<path>.<pid>.tmp` and the file is fsync'd and atomically renamed onto
+/// `path` when the sink closes, so a crash or a deadline kill never leaves
+/// a truncated trace behind (the partial temporary remains for inspection)
+/// and two concurrent processes tracing to the same path never clobber
+/// each other's temporary.  An existing `path` is carried into the new
+/// file first, preserving the historical append semantics.
 class JsonlFileSink final : public TraceSink {
  public:
-  /// Opens `<path>.tmp` for writing; throws IoError if it cannot be opened.
+  /// Opens the pid-unique temporary; throws IoError if it cannot be opened.
   explicit JsonlFileSink(const std::string& path);
   ~JsonlFileSink() override;
 

@@ -1,0 +1,266 @@
+#include "robust/checkpoint/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "robust/faultinject/faultinject.hpp"
+#include "support/atomic_file.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace stocdr::robust::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'O', 'C', 'D', 'R', 'C', 'P'};
+constexpr char kEndMarker[4] = {'C', 'K', 'P', 'T'};
+/// Layout bytes before the variable-length hash: magic + version +
+/// hash_length + iteration + residual + vector_length.
+constexpr std::size_t kFixedHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kTrailerBytes = 4 + 4;  // crc32 + end marker
+/// A config_hash is 16 hex chars today; anything past this bound is not a
+/// checkpoint we wrote.
+constexpr std::uint32_t kMaxHashBytes = 256;
+
+template <typename T>
+void append_raw(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_raw(const char* bytes) {
+  T value;
+  std::memcpy(&value, bytes, sizeof value);
+  return value;
+}
+
+LoadResult reject(LoadStatus status, std::string detail) {
+  LoadResult result;
+  result.status = status;
+  result.detail = std::move(detail);
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(LoadStatus status) {
+  switch (status) {
+    case LoadStatus::kOk: return "ok";
+    case LoadStatus::kMissing: return "missing";
+    case LoadStatus::kTorn: return "torn";
+    case LoadStatus::kCorrupt: return "corrupt";
+    case LoadStatus::kVersionSkew: return "version-skew";
+    case LoadStatus::kConfigMismatch: return "config-mismatch";
+    case LoadStatus::kSizeMismatch: return "size-mismatch";
+  }
+  return "unknown";
+}
+
+std::string serialize(const Checkpoint& checkpoint) {
+  STOCDR_REQUIRE(checkpoint.config_hash.size() <= kMaxHashBytes,
+                 "checkpoint: config_hash is implausibly long");
+  std::string out;
+  out.reserve(kFixedHeaderBytes + checkpoint.config_hash.size() +
+              checkpoint.iterate.size() * sizeof(double) + kTrailerBytes);
+  out.append(kMagic, sizeof kMagic);
+  append_raw(out, kFormatVersion);
+  append_raw(out, static_cast<std::uint32_t>(checkpoint.config_hash.size()));
+  append_raw(out, checkpoint.iteration);
+  append_raw(out, checkpoint.residual);
+  append_raw(out, static_cast<std::uint64_t>(checkpoint.iterate.size()));
+  out.append(checkpoint.config_hash);
+  out.append(reinterpret_cast<const char*>(checkpoint.iterate.data()),
+             checkpoint.iterate.size() * sizeof(double));
+  const std::uint32_t crc = crc32(out);
+  append_raw(out, crc);
+  out.append(kEndMarker, sizeof kEndMarker);
+  return out;
+}
+
+LoadResult deserialize(std::string_view bytes, std::string_view expected_hash,
+                       std::size_t expected_size) {
+  if (bytes.size() < kFixedHeaderBytes + kTrailerBytes) {
+    return reject(LoadStatus::kTorn,
+                  "file holds " + std::to_string(bytes.size()) +
+                      " bytes, below the minimum checkpoint layout");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return reject(LoadStatus::kCorrupt, "bad magic (not a stocdr checkpoint)");
+  }
+  const auto version = read_raw<std::uint32_t>(bytes.data() + 8);
+  if (version != kFormatVersion) {
+    return reject(LoadStatus::kVersionSkew,
+                  "format version " + std::to_string(version) +
+                      " (this build reads version " +
+                      std::to_string(kFormatVersion) + ")");
+  }
+  const auto hash_length = read_raw<std::uint32_t>(bytes.data() + 12);
+  if (hash_length > kMaxHashBytes) {
+    return reject(LoadStatus::kCorrupt,
+                  "hash length " + std::to_string(hash_length) +
+                      " exceeds the format bound");
+  }
+  const auto iteration = read_raw<std::uint64_t>(bytes.data() + 16);
+  const auto residual = read_raw<double>(bytes.data() + 24);
+  const auto vector_length = read_raw<std::uint64_t>(bytes.data() + 32);
+
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(vector_length) * sizeof(double);
+  const std::size_t expected_bytes =
+      kFixedHeaderBytes + hash_length + payload_bytes + kTrailerBytes;
+  if (vector_length > (std::size_t{1} << 40) ||
+      expected_bytes < kFixedHeaderBytes) {  // overflow guard
+    return reject(LoadStatus::kCorrupt, "nonsense vector length");
+  }
+  if (bytes.size() < expected_bytes) {
+    return reject(LoadStatus::kTorn,
+                  "file holds " + std::to_string(bytes.size()) + " of " +
+                      std::to_string(expected_bytes) + " promised bytes");
+  }
+  if (bytes.size() > expected_bytes) {
+    return reject(LoadStatus::kCorrupt, "trailing bytes after the trailer");
+  }
+
+  const std::size_t crc_offset = expected_bytes - kTrailerBytes;
+  if (std::memcmp(bytes.data() + crc_offset + 4, kEndMarker,
+                  sizeof kEndMarker) != 0) {
+    return reject(LoadStatus::kCorrupt, "end marker missing");
+  }
+  const auto stored_crc = read_raw<std::uint32_t>(bytes.data() + crc_offset);
+  const std::uint32_t actual_crc = crc32(bytes.substr(0, crc_offset));
+  if (stored_crc != actual_crc) {
+    return reject(LoadStatus::kCorrupt, "CRC mismatch (bit rot or torn write)");
+  }
+
+  LoadResult result;
+  result.checkpoint.config_hash =
+      std::string(bytes.substr(kFixedHeaderBytes, hash_length));
+  result.checkpoint.iteration = iteration;
+  result.checkpoint.residual = residual;
+
+  if (!expected_hash.empty() &&
+      result.checkpoint.config_hash != expected_hash) {
+    return reject(LoadStatus::kConfigMismatch,
+                  "config_hash " + result.checkpoint.config_hash +
+                      " does not match expected " + std::string(expected_hash));
+  }
+  if (expected_size != 0 && vector_length != expected_size) {
+    return reject(LoadStatus::kSizeMismatch,
+                  "iterate holds " + std::to_string(vector_length) +
+                      " states, expected " + std::to_string(expected_size));
+  }
+
+  result.checkpoint.iterate.resize(static_cast<std::size_t>(vector_length));
+  std::memcpy(result.checkpoint.iterate.data(),
+              bytes.data() + kFixedHeaderBytes + hash_length, payload_bytes);
+  result.status = LoadStatus::kOk;
+  return result;
+}
+
+std::string generation_path(const std::string& path, std::size_t generation) {
+  return generation == 0 ? path : path + "." + std::to_string(generation);
+}
+
+void write_checkpoint(const std::string& path, const Checkpoint& checkpoint,
+                      std::size_t keep_generations) {
+  if (keep_generations == 0) keep_generations = 1;
+
+  std::string bytes;
+  switch (fi::arm("checkpoint_write")) {
+    case fi::Action::kFail:
+      throw IoError("checkpoint: injected write failure for " + path);
+    case fi::Action::kCorrupt:
+      bytes = serialize(checkpoint);
+      // Flip one payload byte: the CRC in the (already-computed) trailer no
+      // longer matches, exactly like bit rot under the file.
+      if (bytes.size() > kFixedHeaderBytes + kTrailerBytes) {
+        bytes[kFixedHeaderBytes + checkpoint.config_hash.size()] ^= 0x40;
+      }
+      break;
+    case fi::Action::kTorn:
+      // Keep only half the file, as a crash mid-write on a non-atomic
+      // filesystem would.
+      bytes = serialize(checkpoint);
+      bytes.resize(bytes.size() / 2);
+      break;
+    default:
+      bytes = serialize(checkpoint);
+      break;
+  }
+
+  // Rotate the surviving generations oldest-first, newest (path itself)
+  // last: path.<k> -> path.<k+1>, then path -> path.1.  rename() of a
+  // missing source simply fails, which is fine — gaps heal as new
+  // checkpoints arrive.  Rotation is not atomic as a whole, but every file
+  // it moves is individually complete, so a crash mid-rotation costs at
+  // most one generation of history, never integrity.
+  for (std::size_t g = keep_generations - 1; g >= 1; --g) {
+    (void)std::rename(generation_path(path, g - 1).c_str(),
+                      generation_path(path, g).c_str());
+  }
+
+  AtomicFileWriter writer(path);
+  writer.write(bytes);
+  writer.commit();
+}
+
+LoadResult load_checkpoint(const std::string& path,
+                           std::string_view expected_hash,
+                           std::size_t expected_size) {
+  switch (fi::arm("checkpoint_load")) {
+    case fi::Action::kFail:
+      throw IoError("checkpoint: injected load failure for " + path);
+    case fi::Action::kCorrupt:
+      return reject(LoadStatus::kCorrupt,
+                    "injected corruption loading " + path);
+    default:
+      break;
+  }
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return reject(LoadStatus::kMissing, "no file at " + path);
+  }
+  std::string bytes;
+  char buf[1 << 15];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, file)) > 0) {
+    bytes.append(buf, got);
+  }
+  std::fclose(file);
+  return deserialize(bytes, expected_hash, expected_size);
+}
+
+RestoreScan load_latest(const std::string& path, std::size_t keep_generations,
+                        std::string_view expected_hash,
+                        std::size_t expected_size) {
+  if (keep_generations == 0) keep_generations = 1;
+  RestoreScan scan;
+  scan.best.status = LoadStatus::kMissing;
+  for (std::size_t g = 0; g < keep_generations; ++g) {
+    const std::string file = generation_path(path, g);
+    LoadResult result;
+    try {
+      result = load_checkpoint(file, expected_hash, expected_size);
+    } catch (const Error& e) {
+      // An I/O failure (real or injected) reading one generation must not
+      // abort the scan: count it and fall through to the next generation.
+      result = reject(LoadStatus::kCorrupt, e.what());
+    }
+    if (result.status == LoadStatus::kOk) {
+      scan.best = std::move(result);
+      scan.restored_path = file;
+      return scan;
+    }
+    if (is_reject(result.status)) {
+      ++scan.rejected;
+      scan.reject_details.push_back(file + ": " + to_string(result.status) +
+                                    " — " + result.detail);
+      scan.best = std::move(result);  // remember the most recent failure
+    }
+  }
+  return scan;
+}
+
+}  // namespace stocdr::robust::ckpt

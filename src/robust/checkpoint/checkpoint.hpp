@@ -1,0 +1,122 @@
+// Durable on-disk checkpoints for solver iterates.
+//
+// The paper's corner sweeps iterate 1e5+-state chains for seconds to
+// minutes per point; a killed process must restart warm from its last good
+// iterate, not from a uniform vector.  PR 2's sentinel checkpoints are
+// in-memory and die with the process — this module is their durable twin: a
+// versioned binary file, written fsync'd-atomically (temp + rename via
+// AtomicFileWriter), validated end to end on load, and *never* trusted
+// blindly: a torn, bit-flipped, version-skewed, or configuration-mismatched
+// file is rejected with a structured status (counted by the caller as
+// `robust.checkpoint_rejects`) and the solve cold-starts.
+//
+// On-disk layout (native endianness — a checkpoint is a same-machine
+// restart artifact, not an interchange format):
+//
+//   offset 0   magic           8 bytes  "STOCDRCP"
+//              format_version  u32      kFormatVersion
+//              hash_length     u32      bytes of config_hash that follow
+//              iteration       u64      solver iteration of the iterate
+//              residual        f64      L1 stationary residual of the iterate
+//              vector_length   u64      number of f64 payload entries
+//              config_hash     hash_length bytes (manifest config_hash)
+//              payload         vector_length f64
+//   trailer    crc32           u32      CRC-32 of every byte above
+//              end marker      4 bytes  "CKPT"
+//
+// Generations: write_checkpoint(path, ..., keep) rotates path -> path.1 ->
+// ... -> path.<keep-1> before committing the new file, and
+// load_latest() scans newest to oldest, so one bad generation degrades to
+// the next-best instead of to a cold start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stocdr::robust::ckpt {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// One checkpointed iterate plus the facts needed to trust it.
+struct Checkpoint {
+  std::string config_hash;      ///< manifest config_hash of the experiment
+  std::uint64_t iteration = 0;  ///< solver iteration the iterate came from
+  double residual = 0.0;        ///< residual of the iterate when snapshotted
+  std::vector<double> iterate;
+};
+
+/// Why a load did (or did not) produce a usable checkpoint.
+enum class LoadStatus {
+  kOk,              ///< validated end to end
+  kMissing,         ///< no file at the path (a normal cold start)
+  kTorn,            ///< file shorter than its own layout promises
+  kCorrupt,         ///< bad magic / CRC mismatch / nonsense lengths
+  kVersionSkew,     ///< valid magic, format_version != kFormatVersion
+  kConfigMismatch,  ///< config_hash differs from the expected one
+  kSizeMismatch,    ///< vector length differs from the expected state count
+};
+
+[[nodiscard]] const char* to_string(LoadStatus status);
+
+/// True for every status that must count as a rejection (everything between
+/// "usable" and "simply absent").
+[[nodiscard]] inline bool is_reject(LoadStatus status) {
+  return status != LoadStatus::kOk && status != LoadStatus::kMissing;
+}
+
+struct LoadResult {
+  LoadStatus status = LoadStatus::kMissing;
+  Checkpoint checkpoint;  ///< populated only when status == kOk
+  std::string detail;     ///< human-readable rejection reason ("" when kOk)
+};
+
+/// Serializes `checkpoint` to the on-disk byte layout (header + payload +
+/// CRC trailer).
+[[nodiscard]] std::string serialize(const Checkpoint& checkpoint);
+
+/// Validates and decodes one serialized checkpoint.  `expected_hash` and
+/// `expected_size` gate config/shape compatibility; pass "" / 0 to skip
+/// either check (the corruption checks always run).
+[[nodiscard]] LoadResult deserialize(std::string_view bytes,
+                                     std::string_view expected_hash,
+                                     std::size_t expected_size);
+
+/// The file backing generation `generation` of `path` (0 = path itself,
+/// g >= 1 = "<path>.<g>").
+[[nodiscard]] std::string generation_path(const std::string& path,
+                                          std::size_t generation);
+
+/// Writes `checkpoint` to `path` via an fsync'd atomic temp+rename,
+/// rotating existing generations so the newest `keep_generations` files
+/// survive.  Fault-injection sites: "checkpoint_write" (fail/corrupt/torn)
+/// and the writer's own "io_write".  Throws stocdr::IoError on failure
+/// (injected or real); the previous generations are untouched by a failed
+/// write.
+void write_checkpoint(const std::string& path, const Checkpoint& checkpoint,
+                      std::size_t keep_generations = 1);
+
+/// Loads and validates the checkpoint at exactly `path` (no generation
+/// scan).  Fault-injection site: "checkpoint_load" (fail/corrupt).
+[[nodiscard]] LoadResult load_checkpoint(const std::string& path,
+                                         std::string_view expected_hash,
+                                         std::size_t expected_size);
+
+/// What a newest-to-oldest generation scan found.
+struct RestoreScan {
+  LoadResult best;            ///< first kOk generation, or the last failure
+  std::string restored_path;  ///< file behind `best` when it is kOk
+  std::size_t rejected = 0;   ///< generations rejected before (or without) kOk
+  std::vector<std::string> reject_details;  ///< one line per rejection
+};
+
+/// Scans path, path.1, ..., path.<keep_generations-1> newest to oldest and
+/// returns the first generation that validates, counting every rejection on
+/// the way.  All generations missing => best.status == kMissing.
+[[nodiscard]] RestoreScan load_latest(const std::string& path,
+                                      std::size_t keep_generations,
+                                      std::string_view expected_hash,
+                                      std::size_t expected_size);
+
+}  // namespace stocdr::robust::ckpt

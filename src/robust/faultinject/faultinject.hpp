@@ -1,0 +1,115 @@
+// Deterministic fault injection: one seeded plan, many sites.
+//
+// Chaos testing a crash-consistent substrate (checkpoints, journals,
+// fsync'd artifact writes) needs faults that fire at *exactly* the same
+// point on every run — a flaky kill proves nothing, a seeded one proves
+// resume is bit-identical.  A FaultPlan is a parsed list of directives
+//
+//   STOCDR_FAULT_PLAN="io_write:fail@3;checkpoint_load:corrupt@1;solver:nan@120"
+//
+// where each directive is `site:action[@N | @N+]`:
+//
+//   site    a named injection point the code arms as it runs; the sites
+//           registered today are
+//             io_write         AtomicFileWriter::commit (every artifact)
+//             checkpoint_write durable checkpoint serialization
+//             checkpoint_load  durable checkpoint deserialization
+//             journal_append   one sweep-journal line append
+//             solver           one solver progress event (via SolveSentinel)
+//             sweep_point      start of one uncached sweep-runner point
+//   action  fail | corrupt | torn | nan | stall | kill — how the site
+//           misbehaves (sites document which actions they honor; `kill`
+//           raises SIGKILL from any site and is handled by the engine)
+//   @N      fire on exactly the Nth arming of that site (1-based)
+//   @N+     fire on the Nth arming and every one after it
+//   (none)  shorthand for @1+ — fire on every arming
+//
+// The same plan grammar backs `cdr_analyzer --inject-fault`, the chaos CI
+// job, the corruption-matrix tests, and (future) stocdr-serve admission
+// tests: one source of truth for how faults enter the system.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stocdr::robust::fi {
+
+/// What a firing directive asks the armed site to do.
+enum class Action {
+  kNone,     ///< no directive fired at this arming
+  kFail,     ///< fail the operation (throw its natural IoError)
+  kCorrupt,  ///< flip bits in the payload and carry on
+  kTorn,     ///< persist only a prefix, as a mid-write crash would
+  kNan,      ///< report a NaN residual (solver site)
+  kStall,    ///< report a never-improving residual (solver site)
+  kKill,     ///< raise SIGKILL (engine-handled; any site)
+};
+
+[[nodiscard]] const char* to_string(Action action);
+
+/// One parsed `site:action@N[+]` clause.
+struct Directive {
+  std::string site;
+  Action action = Action::kNone;
+  std::uint64_t at = 1;  ///< 1-based arming count the directive fires on
+  bool sticky = false;   ///< true for `@N+` and the bare-`site:action` form
+};
+
+/// A parsed fault plan plus its per-site arming counters.  Deterministic by
+/// construction: counters advance only when a site is armed, so the same
+/// binary + plan fires at the same operation on every run.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the STOCDR_FAULT_PLAN grammar above.  Throws
+  /// stocdr::PreconditionError on malformed specs (unknown action, bad
+  /// count, empty site); an empty/blank spec parses to an empty plan.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  /// Arms `site`: advances its counter and returns the action of the first
+  /// directive that fires at this count (kNone otherwise).
+  [[nodiscard]] Action arm(std::string_view site);
+
+  [[nodiscard]] bool empty() const { return directives_.empty(); }
+  [[nodiscard]] const std::vector<Directive>& directives() const {
+    return directives_;
+  }
+
+  /// Total armings observed for `site` so far.
+  [[nodiscard]] std::uint64_t hits(std::string_view site) const;
+
+  /// Total directives fired so far.
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct SiteCount {
+    std::string site;
+    std::uint64_t hits = 0;
+  };
+
+  std::vector<Directive> directives_;
+  std::vector<SiteCount> counts_;
+  std::uint64_t fired_ = 0;
+};
+
+/// Arms `site` against the process-global plan.  The first call initializes
+/// the plan from STOCDR_FAULT_PLAN (unset/empty = no plan; the no-plan fast
+/// path is one atomic load).  A firing directive is announced on stderr and
+/// counted in the `faultinject.fired` metric; Action::kKill is executed
+/// here (SIGKILL) and never returned.
+[[nodiscard]] Action arm(std::string_view site);
+
+/// Installs `plan` as the process-global plan (std::nullopt uninstalls and
+/// re-arms nothing).  Replaces any environment-selected plan; used by tests
+/// and by `cdr_analyzer --inject-fault`.  Not thread-safe against
+/// concurrent arm() — install before starting work, as the env init does.
+void install_plan(std::optional<FaultPlan> plan);
+
+/// True when a plan (environment or installed) is active.
+[[nodiscard]] bool plan_active();
+
+}  // namespace stocdr::robust::fi

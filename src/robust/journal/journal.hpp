@@ -1,0 +1,93 @@
+// Append-only, crash-recoverable sweep journal.
+//
+// A parameter sweep (fig4's noise ladder, fig5's counter-length ladder, a
+// cdr_analyzer batch) is a list of independent points, each seconds to
+// minutes of solve time.  The journal makes a killed sweep resumable: every
+// completed point appends one JSONL record — fsync'd before the runner
+// moves on — and a restarted run skips every point whose record survived.
+//
+// File format (JSONL, one JSON object per '\n'-terminated line):
+//
+//   line 1   {"journal":"stocdr-sweep","version":1,"config_hash":"<hash>"}
+//   line 2+  {"point":"<point key>","result":<deterministic result JSON>}
+//
+// The header's config_hash keys the journal to one sweep configuration: a
+// journal written under a different configuration is discarded (counted as
+// config_mismatch), never silently replayed.  Recovery tolerates exactly
+// the damage a crash can cause: a torn *trailing* line (no newline, or
+// malformed JSON on the final line) is counted and truncated away so later
+// appends start on a clean boundary; a malformed *interior* line (bit rot)
+// is counted and skipped.  Every record is fsync'd at append time, so the
+// journal never promises a point the filesystem might still lose.
+//
+// Resume is bit-identical by construction: records hold only deterministic
+// result JSON (no wall-clock, no manifest), so an artifact assembled from
+// journal records in point order is byte-equal whether the sweep ran
+// straight through or died and resumed ten times.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stocdr::robust::jnl {
+
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/// What journal recovery found (and repaired) at open time.
+struct JournalStats {
+  std::size_t resumed = 0;          ///< usable point records loaded
+  std::size_t torn_tail_bytes = 0;  ///< bytes truncated off a torn tail
+  std::size_t malformed_lines = 0;  ///< interior lines counted and skipped
+  bool fresh = false;               ///< started empty (no usable journal)
+  bool config_mismatch = false;     ///< prior journal keyed to another config
+};
+
+/// One open journal: recovers on construction, then appends fsync'd records.
+class SweepJournal {
+ public:
+  /// Opens (or creates) the journal at `path`, keyed to `config_hash`.
+  /// Recovers any prior records per the rules above.  Fault-injection site
+  /// "journal_append" covers every append, including the header.  Throws
+  /// stocdr::IoError when the file cannot be opened or written.
+  SweepJournal(std::string path, std::string config_hash);
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  [[nodiscard]] const JournalStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& config_hash() const { return config_hash_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// The recorded result JSON for `point_key`, or nullptr if the point has
+  /// not completed.
+  [[nodiscard]] const std::string* result(std::string_view point_key) const;
+
+  [[nodiscard]] bool has(std::string_view point_key) const {
+    return result(point_key) != nullptr;
+  }
+
+  /// Appends one completed point (flushed and fsync'd before returning) and
+  /// remembers it for result()/has().  `result_json` must be a complete
+  /// JSON value and should be deterministic — it is replayed verbatim on
+  /// resume.  Fault site "journal_append": fail throws IoError; torn
+  /// persists a prefix of the line and then throws (modelling a crash
+  /// mid-append).
+  void append(std::string_view point_key, std::string_view result_json);
+
+ private:
+  void recover();
+  void append_line(const std::string& line, const char* what);
+
+  std::string path_;
+  std::string config_hash_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> records_;
+  JournalStats stats_;
+};
+
+}  // namespace stocdr::robust::jnl

@@ -1,0 +1,66 @@
+#include "robust/journal/sweep.hpp"
+
+#include "obs/json.hpp"
+#include "robust/faultinject/faultinject.hpp"
+#include "support/atomic_file.hpp"
+#include "support/error.hpp"
+
+namespace stocdr::robust::jnl {
+
+SweepOutcome run_sweep(const std::string& journal_path,
+                       const std::string& config_hash,
+                       const std::vector<std::string>& point_keys,
+                       FunctionRef<std::string(const std::string&)>
+                           solve_point) {
+  SweepJournal journal(journal_path, config_hash);
+  SweepOutcome outcome;
+  outcome.journal = journal.stats();
+  outcome.results.reserve(point_keys.size());
+  for (const std::string& key : point_keys) {
+    if (const std::string* cached = journal.result(key)) {
+      outcome.results.push_back(*cached);
+      ++outcome.skipped;
+      continue;
+    }
+    if (fi::arm("sweep_point") == fi::Action::kFail) {
+      throw IoError("sweep: injected failure at point " + key);
+    }
+    std::string result = solve_point(key);
+    journal.append(key, result);
+    outcome.results.push_back(std::move(result));
+    ++outcome.computed;
+  }
+  return outcome;
+}
+
+void write_sweep_artifact(const std::string& path, std::string_view bench_name,
+                          std::string_view config_hash,
+                          const std::vector<std::string>& point_keys,
+                          const std::vector<std::string>& results) {
+  STOCDR_REQUIRE(point_keys.size() == results.size(),
+                 "write_sweep_artifact: one result per point required");
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "stocdr-sweep-artifact-v1");
+  w.field("bench", bench_name);
+  w.field("config_hash", config_hash);
+  w.field("points_total", static_cast<std::uint64_t>(point_keys.size()));
+  w.key("points");
+  w.begin_array();
+  for (std::size_t i = 0; i < point_keys.size(); ++i) {
+    w.begin_object();
+    w.field("key", point_keys[i]);
+    w.key("result");
+    w.raw_value(results[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  AtomicFileWriter writer(path);
+  writer.write(std::move(w).str());
+  writer.write("\n");
+  writer.commit();
+}
+
+}  // namespace stocdr::robust::jnl

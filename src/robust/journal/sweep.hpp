@@ -1,0 +1,47 @@
+// Resumable sweep runner on top of SweepJournal.
+//
+// Drives an ordered list of named sweep points through a caller-supplied
+// solve function, journaling each completed point before moving to the
+// next.  Killed at any moment (including by the `sweep_point:kill@N` fault
+// directive), a rerun with the same journal path and config_hash skips the
+// completed prefix — and because the journal records only deterministic
+// result JSON, the artifact assembled afterwards is byte-identical to an
+// uninterrupted run's.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "robust/journal/journal.hpp"
+#include "support/function_ref.hpp"
+
+namespace stocdr::robust::jnl {
+
+struct SweepOutcome {
+  std::vector<std::string> results;  ///< result JSON per point, sweep order
+  std::size_t computed = 0;          ///< points solved this run
+  std::size_t skipped = 0;           ///< points replayed from the journal
+  JournalStats journal;              ///< what recovery found at open
+};
+
+/// Runs every point of `point_keys` in order: journaled points are replayed
+/// without solving; the rest are solved via `solve_point` (which must
+/// return a complete, deterministic JSON value) and journaled fsync'd
+/// before the next point starts.  Fault-injection site "sweep_point" is
+/// armed once per *solved* point (fail throws; kill is engine-handled).
+[[nodiscard]] SweepOutcome run_sweep(
+    const std::string& journal_path, const std::string& config_hash,
+    const std::vector<std::string>& point_keys,
+    FunctionRef<std::string(const std::string&)> solve_point);
+
+/// Serializes a finished sweep to `path` via an fsync'd atomic write.  The
+/// bytes depend only on (bench_name, config_hash, point_keys, results) — no
+/// timestamps, no host facts — so resumed and uninterrupted runs of the
+/// same sweep produce identical artifacts.
+void write_sweep_artifact(const std::string& path, std::string_view bench_name,
+                          std::string_view config_hash,
+                          const std::vector<std::string>& point_keys,
+                          const std::vector<std::string>& results);
+
+}  // namespace stocdr::robust::jnl

@@ -11,6 +11,7 @@ const char* to_string(FailureCause cause) {
     case FailureCause::kStalled: return "stalled";
     case FailureCause::kDiverged: return "diverged";
     case FailureCause::kNumericalFault: return "numerical-fault";
+    case FailureCause::kBreakdown: return "breakdown";
     case FailureCause::kDeadlineExceeded: return "deadline";
     case FailureCause::kSkipped: return "skipped";
     case FailureCause::kError: return "error";
@@ -35,6 +36,21 @@ std::string RobustSolveReport::to_json() const {
   }
   w.field("deadline_exceeded", deadline_exceeded);
   w.field("checkpoints", std::uint64_t{checkpoints_taken});
+  if (checkpoint_restored || checkpoint_rejects > 0 ||
+      durable_checkpoints > 0 || checkpoint_write_failures > 0) {
+    w.key("durable_checkpoint");
+    w.begin_object();
+    w.field("restored", checkpoint_restored);
+    if (checkpoint_restored) {
+      w.field("restore_path", checkpoint_restore_path);
+      w.field("restore_iteration", checkpoint_restore_iteration);
+      w.field("restore_residual", checkpoint_restore_residual);
+    }
+    w.field("rejects", std::uint64_t{checkpoint_rejects});
+    w.field("written", std::uint64_t{durable_checkpoints});
+    w.field("write_failures", std::uint64_t{checkpoint_write_failures});
+    w.end_object();
+  }
   if (!flight_dump_path.empty()) {
     w.field("flight_dump", flight_dump_path);
   }
@@ -50,6 +66,9 @@ std::string RobustSolveReport::to_json() const {
     }
     w.field("initial_residual", rung.initial_residual);
     w.field("warm_started", rung.warm_started);
+    if (!rung.stats.breakdown.empty()) {
+      w.field("breakdown", rung.stats.breakdown);
+    }
     w.field("checkpoints", std::uint64_t{rung.checkpoints});
     w.field("iterations", std::uint64_t{rung.stats.iterations});
     w.field("matvecs", std::uint64_t{rung.stats.matvec_count});
@@ -81,6 +100,14 @@ std::string RobustSolveReport::summary() const {
   }
   if (!failures.empty()) line += " (" + failures + ")";
   if (repaired) line += " [input repaired]";
+  if (checkpoint_restored) {
+    line += " [restored from " + checkpoint_restore_path + " @ iteration " +
+            std::to_string(checkpoint_restore_iteration) + "]";
+  }
+  if (checkpoint_rejects > 0) {
+    line += " [" + std::to_string(checkpoint_rejects) +
+            " checkpoint generation(s) rejected]";
+  }
   if (degraded) {
     line += " [degraded to " + std::to_string(degraded_states) + " states]";
   }

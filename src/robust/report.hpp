@@ -7,6 +7,7 @@
 // when the solve that produced them can show its work.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@ enum class FailureCause {
   kStalled,           ///< sentinel: residual reduction below the stall bound
   kDiverged,          ///< sentinel: residual grew far beyond the best seen
   kNumericalFault,    ///< sentinel: NaN/Inf residual observed mid-solve
+  kBreakdown,         ///< algorithmic breakdown (SolverStats::breakdown set)
   kDeadlineExceeded,  ///< global wall-clock budget expired
   kSkipped,           ///< rung not applicable (e.g. chain too large for GTH)
   kError,             ///< the solver threw (message in RungReport::detail)
@@ -70,6 +72,20 @@ struct RobustSolveReport {
   bool deadline_exceeded = false;
   std::size_t checkpoints_taken = 0;
   std::vector<RungReport> rungs;  ///< in attempt order, fine ladder last
+
+  // Durable checkpointing (robust/checkpoint; active only when
+  // RobustOptions::checkpoint_path is set).
+  bool checkpoint_restored = false;  ///< warm-started from an on-disk file
+  std::string checkpoint_restore_path;       ///< generation restored from
+  std::uint64_t checkpoint_restore_iteration = 0;
+  double checkpoint_restore_residual = 0.0;  ///< as recorded in the file
+  /// Generations rejected at restore time (torn / corrupt / version-skewed
+  /// / config-mismatched files) — each one also counted in the
+  /// `robust.checkpoint_rejects` metric and degraded to the next generation
+  /// or a cold start, never a crash.
+  std::size_t checkpoint_rejects = 0;
+  std::size_t durable_checkpoints = 0;       ///< files persisted this solve
+  std::size_t checkpoint_write_failures = 0; ///< persists that failed (logged)
 
   /// Path of the flight-recorder dump written when a sentinel tripped
   /// (divergence/NaN/stall) while a ring was active ("" = no dump: no trip,

@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool.hpp"
+#include "robust/checkpoint/checkpoint.hpp"
 #include "solvers/linear.hpp"
 #include "solvers/stationary.hpp"
 #include "sparse/coo.hpp"
@@ -55,6 +56,30 @@ obs::Counter& deadline_counter() {
 obs::Counter& flight_dump_counter() {
   static obs::Counter& c =
       obs::MetricsRegistry::instance().counter("robust.flight_dumps");
+  return c;
+}
+
+obs::Counter& durable_checkpoint_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.durable_checkpoints");
+  return c;
+}
+
+obs::Counter& checkpoint_reject_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.checkpoint_rejects");
+  return c;
+}
+
+obs::Counter& checkpoint_write_failure_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter(
+      "robust.checkpoint_write_failures");
+  return c;
+}
+
+obs::Counter& checkpoint_restore_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.checkpoint_restores");
   return c;
 }
 
@@ -247,6 +272,30 @@ std::vector<double> RobustSolver::run_ladder(
   std::vector<RungSpec> ladder = options_.ladder;
   if (ladder.empty()) ladder = default_ladder();
 
+  // Durable-checkpoint sink: persists sentinel snapshots so a killed
+  // process restarts warm.  A failed persist is counted and logged but
+  // never takes down the solve it exists to protect.
+  const bool durable = !options_.checkpoint_path.empty();
+  auto persist_sink = [&](std::uint64_t iteration, double res,
+                          const std::vector<double>& iterate) {
+    ckpt::Checkpoint snapshot;
+    snapshot.config_hash = options_.checkpoint_config_hash;
+    snapshot.iteration = iteration;
+    snapshot.residual = res;
+    snapshot.iterate = iterate;
+    try {
+      ckpt::write_checkpoint(options_.checkpoint_path, snapshot,
+                             options_.checkpoint_keep);
+      ++report.durable_checkpoints;
+      durable_checkpoint_counter().add(1);
+    } catch (const Error& e) {
+      ++report.checkpoint_write_failures;
+      checkpoint_write_failure_counter().add(1);
+      std::fprintf(stderr, "stocdr: durable checkpoint write failed: %s\n",
+                   e.what());
+    }
+  };
+
   for (std::size_t r = 0; r < ladder.size(); ++r) {
     const RungSpec& spec = ladder[r];
     RungReport rung;
@@ -283,6 +332,10 @@ std::vector<double> RobustSolver::run_ladder(
     // A GMRES progress iterate is the correction of the shifted system, not
     // a distribution — never checkpoint it.
     sopt.take_checkpoints = spec.kind != RungKind::kGmresStationary;
+    if (durable && sopt.take_checkpoints) {
+      sopt.persist = CheckpointSink(persist_sink);
+      sopt.persist_period = options_.checkpoint_period;
+    }
     SolveSentinel sentinel(sopt);
     const obs::ProgressObserver observer(sentinel);
 
@@ -370,6 +423,9 @@ std::vector<double> RobustSolver::run_ladder(
       if (sentinel.verdict() != FailureCause::kNone) {
         rung.failure = sentinel.verdict();
         rung.detail = sentinel.verdict_detail();
+      } else if (!result.stats.breakdown.empty()) {
+        rung.failure = FailureCause::kBreakdown;
+        rung.detail = result.stats.breakdown;
       } else if (!std::isfinite(result.stats.residual)) {
         rung.failure = FailureCause::kNumericalFault;
         rung.detail = "solver reported a non-finite residual";
@@ -497,10 +553,44 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
     span.attr("repaired", out.report.repaired);
   }
 
+  // Durable-checkpoint restore: warm-start from the newest on-disk
+  // generation that validates for this configuration.  Every rejected
+  // generation is counted, noted on the trace, and degraded past — a bad
+  // checkpoint costs warmth, never correctness.
+  std::span<const double> start = initial;
+  std::vector<double> restored;
+  if (!options_.checkpoint_path.empty()) {
+    ckpt::RestoreScan scan = ckpt::load_latest(
+        options_.checkpoint_path, options_.checkpoint_keep,
+        options_.checkpoint_config_hash, c.num_states());
+    out.report.checkpoint_rejects = scan.rejected;
+    if (scan.rejected > 0) {
+      checkpoint_reject_counter().add(scan.rejected);
+      obs::Span note("robust.checkpoint_reject");
+      if (note.active()) {
+        note.attr("rejected", scan.rejected);
+        note.attr("detail", std::string_view(scan.reject_details.front()));
+      }
+      for (const std::string& line : scan.reject_details) {
+        std::fprintf(stderr, "stocdr: checkpoint rejected: %s\n",
+                     line.c_str());
+      }
+    }
+    if (scan.best.status == ckpt::LoadStatus::kOk && initial.empty()) {
+      out.report.checkpoint_restored = true;
+      out.report.checkpoint_restore_path = scan.restored_path;
+      out.report.checkpoint_restore_iteration = scan.best.checkpoint.iteration;
+      out.report.checkpoint_restore_residual = scan.best.checkpoint.residual;
+      checkpoint_restore_counter().add(1);
+      restored = std::move(scan.best.checkpoint.iterate);
+      start = restored;
+    }
+  }
+
   if (c.num_states() > options_.max_states && !hierarchy_.empty()) {
-    out.distribution = run_degraded(initial, clock, out.report);
+    out.distribution = run_degraded(start, clock, out.report);
   } else {
-    out.distribution = run_ladder(c, hierarchy_, initial, clock, out.report);
+    out.distribution = run_ladder(c, hierarchy_, start, clock, out.report);
   }
   out.report.seconds = clock.seconds();
   if (out.report.deadline_exceeded) deadline_counter().add(1);
@@ -510,6 +600,7 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
     span.attr("rungs", out.report.rungs.size());
     span.attr("deadline_exceeded", out.report.deadline_exceeded);
     span.attr("degraded", out.report.degraded);
+    span.attr("checkpoint_restored", out.report.checkpoint_restored);
     span.attr("method", std::string_view(out.report.final_method));
   }
   return out;

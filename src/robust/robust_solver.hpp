@@ -106,6 +106,25 @@ struct RobustOptions {
   /// Fault-injection hook for robustness tests (see robust/sentinel.hpp).
   std::optional<FaultInjector> fault_injector;
 
+  // Durable checkpointing (robust/checkpoint).  When checkpoint_path is
+  // non-empty the harness (a) warm-starts solve() from the newest valid
+  // on-disk generation — unless the caller passed an explicit initial
+  // guess — and (b) persists every checkpoint_period-th sentinel snapshot
+  // back to that path with an fsync'd atomic write, keeping
+  // checkpoint_keep generations.  Torn, corrupted, version-skewed, or
+  // config-mismatched files degrade to the next generation or a cold
+  // start (counted in `robust.checkpoint_rejects` and the report), never
+  // a crash.  Note: while solving a *degraded* (coarsened) chain the
+  // persisted iterates are coarse-sized and will be size-rejected by a
+  // later full-size restore — an accepted cold start, not corruption.
+  std::string checkpoint_path;
+  std::size_t checkpoint_period = 16;  ///< snapshots per durable write
+  std::size_t checkpoint_keep = 2;     ///< on-disk generations retained
+  /// Stamps written files and gates restores; use the experiment manifest's
+  /// config_hash so a checkpoint never leaks across configurations.  Empty
+  /// disables the hash check on restore (files are still CRC-validated).
+  std::string checkpoint_config_hash;
+
   /// Where the flight-recorder ring is dumped when a sentinel trips
   /// (divergence/NaN/stall) while STOCDR_TRACE_RING is active.  Empty
   /// defers to STOCDR_FLIGHT_DUMP, then "stocdr_flight.jsonl".  Only the

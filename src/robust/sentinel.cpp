@@ -1,8 +1,10 @@
 #include "robust/sentinel.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "obs/metrics.hpp"
+#include "robust/faultinject/faultinject.hpp"
 #include "support/text.hpp"
 
 namespace stocdr::robust {
@@ -23,6 +25,19 @@ obs::ProgressAction SolveSentinel::operator()(
   double residual = event.residual;
   if (options_.fault_injector) {
     residual = (*options_.fault_injector)(event);
+  }
+  // The generic "solver" fault site: one arming per progress event, so
+  // `solver:nan@120` corrupts exactly the 120th event of the solve.  This
+  // is the plan-driven twin of the ad-hoc fault_injector above.
+  switch (fi::arm("solver")) {
+    case fi::Action::kNan:
+      residual = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case fi::Action::kStall:
+      residual = 1.0;  // never improves: trips the stall watchdog
+      break;
+    default:
+      break;
   }
 
   // Deadline: checked on every event so a blown budget stops the solve at
@@ -55,6 +70,11 @@ obs::ProgressAction SolveSentinel::operator()(
       checkpoint_residual_ = residual;
       ++checkpoints_taken_;
       checkpoint_counter().add(1);
+      if (options_.persist && --persist_countdown_ == 0) {
+        persist_countdown_ =
+            options_.persist_period == 0 ? 1 : options_.persist_period;
+        (*options_.persist)(event.iteration, residual, checkpoint_);
+      }
     }
 
     if (residual > options_.divergence_factor * best_residual_) {

@@ -31,6 +31,14 @@ namespace stocdr::robust {
 /// numerical fault at that point of the solve.
 using FaultInjector = FunctionRef<double(const obs::ProgressEvent&)>;
 
+/// Durable-checkpoint sink: called with the iteration, residual, and
+/// iterate of a freshly taken in-memory checkpoint so the harness can
+/// persist it (robust/checkpoint).  Must not throw — persistence failures
+/// are the sink's problem, never the solve's.
+using CheckpointSink = FunctionRef<void(
+    std::uint64_t iteration, double residual,
+    const std::vector<double>& iterate)>;
+
 /// Watchdog + checkpointer installed as a solver's progress observer.
 class SolveSentinel {
  public:
@@ -60,6 +68,13 @@ class SolveSentinel {
     const Timer* clock = nullptr;  ///< required when deadline_seconds is set
 
     std::optional<FaultInjector> fault_injector;
+
+    /// When set, every `persist_period`-th in-memory checkpoint is also
+    /// handed to this sink (the durable-checkpoint writer).  The first
+    /// checkpoint of a solve is always persisted, so even short solves
+    /// leave a restart point behind.
+    std::optional<CheckpointSink> persist;
+    std::size_t persist_period = 16;
 
     /// The caller's own observer, forwarded after the sentinel's checks
     /// (it may also request a stop).
@@ -105,6 +120,7 @@ class SolveSentinel {
   std::size_t checkpoints_taken_ = 0;
 
   std::size_t events_seen_ = 0;
+  std::size_t persist_countdown_ = 1;  ///< persist the first checkpoint
   double best_residual_ = std::numeric_limits<double>::infinity();
   double last_check_residual_ = std::numeric_limits<double>::infinity();
   std::size_t stalled_checks_ = 0;

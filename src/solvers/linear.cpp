@@ -174,11 +174,18 @@ obs::Counter& linear_matvec_counter() {
   return counter;
 }
 
+obs::Counter& breakdown_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::instance().counter("solver.linear.breakdowns");
+  return counter;
+}
+
 /// Shared epilogue of the linear solvers: history tail, metrics, span attrs.
 void finish_linear(LinearResult& result, ResidualRecorder& recorder,
                    obs::Span& span, std::size_t n, const Timer& timer) {
   recorder.finish(result.stats.residual);
   linear_matvec_counter().add(result.stats.matvec_count);
+  if (!result.stats.breakdown.empty()) breakdown_counter().add(1);
   result.stats.seconds = timer.seconds();
   if (span.active()) {
     span.attr("method", std::string_view(result.stats.method));
@@ -186,6 +193,9 @@ void finish_linear(LinearResult& result, ResidualRecorder& recorder,
     span.attr("iterations", result.stats.iterations);
     span.attr("residual", result.stats.residual);
     span.attr("converged", result.stats.converged);
+    if (!result.stats.breakdown.empty()) {
+      span.attr("breakdown", std::string_view(result.stats.breakdown));
+    }
   }
 }
 
@@ -367,7 +377,14 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     const double rho_next = dot(r0, r);
-    if (rho_next == 0.0) break;  // breakdown: restart not implemented
+    if (rho_next == 0.0) {
+      // Lanczos breakdown: the shadow residual became orthogonal to the
+      // residual.  Restart is not implemented; surface the condition so the
+      // caller sees a structured breakdown, not a silent non-convergence.
+      result.stats.breakdown =
+          "rho = (r0, r) vanished at iteration " + std::to_string(it + 1);
+      break;
+    }
     if (it == 0) {
       p = r;
     } else {
@@ -384,7 +401,11 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
     op.apply(y, v);
     ++result.stats.matvec_count;
     const double r0v = dot(r0, v);
-    if (r0v == 0.0) break;
+    if (r0v == 0.0) {
+      result.stats.breakdown =
+          "(r0, A p) vanished at iteration " + std::to_string(it + 1);
+      break;
+    }
     alpha = rho / r0v;
     par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) s[i] = r[i] - alpha * v[i];
@@ -405,7 +426,11 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
     op.apply(z, t);
     ++result.stats.matvec_count;
     const double tt = dot(t, t);
-    if (tt == 0.0) break;
+    if (tt == 0.0) {
+      result.stats.breakdown =
+          "(t, t) vanished at iteration " + std::to_string(it + 1);
+      break;
+    }
     omega = dot(t, s) / tt;
     par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
@@ -424,7 +449,11 @@ LinearResult bicgstab(const LinearOperator& op, std::span<const double> b,
       result.stats.converged = true;
       break;
     }
-    if (omega == 0.0) break;
+    if (omega == 0.0) {
+      result.stats.breakdown =
+          "stabilizer omega vanished at iteration " + std::to_string(it + 1);
+      break;
+    }
   }
   result.solution = std::move(x);
   finish_linear(result, recorder, span, n, timer);

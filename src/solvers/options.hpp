@@ -47,6 +47,13 @@ struct SolverStats {
   bool converged = false;       ///< tolerance reached within the budget
   std::size_t matvec_count = 0; ///< matrix-vector products consumed
 
+  /// Non-empty when the method stopped on an *algorithmic breakdown* — a
+  /// quantity its recurrence divides by vanished (e.g. BiCGSTAB's rho or
+  /// stabilizer omega).  Names the vanished quantity and the iteration, so
+  /// the condition surfaces as a structured event instead of a silent
+  /// early return with converged == false.
+  std::string breakdown;
+
   /// Residual trajectory, oldest first, at most kResidualHistoryCap entries.
   /// Long runs are decimated (the sampling stride doubles whenever the
   /// buffer fills), so the trajectory keeps its overall shape; the final

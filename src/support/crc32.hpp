@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the durable-checkpoint format (src/robust/checkpoint/) to detect
+// torn or bit-flipped files before a corrupted iterate can poison a warm
+// restart.  Table-driven, one byte per step — integrity checking is a
+// rounding error next to the solve the checkpoint protects.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace stocdr {
+
+/// Incremental form: feed successive chunks with the previous return value
+/// as `seed` (start from 0).  Equivalent to crc32(all bytes at once).
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t seed,
+                                         const void* data, std::size_t size);
+
+/// CRC-32 of one contiguous buffer.
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data) {
+  return crc32_update(0, data.data(), data.size());
+}
+
+}  // namespace stocdr

@@ -260,5 +260,28 @@ TEST(GmresTest, SizeMismatchRejected) {
   EXPECT_THROW((void)gmres(op, bad), PreconditionError);
 }
 
+/// A = [[0,1],[0,0]]: with b = (0,1) the shadow residual r0 = b is exactly
+/// orthogonal to A p on the first step, so BiCGSTAB must break down — and
+/// must say so structurally, not stop as a silent non-convergence.
+class NilpotentOperator final : public LinearOperator {
+ public:
+  [[nodiscard]] std::size_t size() const override { return 2; }
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    y[0] = x[1];
+    y[1] = 0.0;
+  }
+};
+
+TEST(BicgstabTest, BreakdownIsSurfacedStructurally) {
+  const NilpotentOperator op;
+  const std::vector<double> b = {0.0, 1.0};
+  const auto result = bicgstab(op, b);
+  EXPECT_FALSE(result.stats.converged);
+  ASSERT_FALSE(result.stats.breakdown.empty());
+  EXPECT_NE(result.stats.breakdown.find("vanished at iteration 1"),
+            std::string::npos)
+      << result.stats.breakdown;
+}
+
 }  // namespace
 }  // namespace stocdr::solvers

@@ -17,11 +17,17 @@
 //   watch      <metrics.om> [--interval MS] [--count N]
 //                                            poll a live exporter file and
 //                                            print heartbeat/staleness
+//   journal    <sweep.jsonl>                 inspect a resumable sweep
+//                                            journal (read-only: header,
+//                                            completed points, damage)
+//   checkpoint <file>                        validate and describe a durable
+//                                            solver checkpoint
 //
-// Exit codes: 0 ok / no regression, 1 bench-diff found a regression or
-// health found an alarm, 2 usage or I/O error, 3 input exists but holds no
-// data for the command (empty / malformed-only / marker-only trace, or a
-// BENCH artifact without a perf section — diagnostic on stderr).
+// Exit codes: 0 ok / no regression, 1 bench-diff found a regression,
+// health found an alarm, or checkpoint failed validation, 2 usage or I/O
+// error, 3 input exists but holds no data for the command (empty /
+// malformed-only / marker-only trace, a BENCH artifact without a perf
+// section, or a journal with no completed points — diagnostic on stderr).
 // Malformed trace lines are skipped and counted, never fatal.
 #include <chrono>
 #include <cmath>
@@ -41,6 +47,7 @@
 #include "obs/analyze/json_parse.hpp"
 #include "obs/analyze/reader.hpp"
 #include "obs/live/openmetrics.hpp"
+#include "robust/checkpoint/checkpoint.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 #include "support/timer.hpp"
@@ -62,7 +69,9 @@ int usage(std::FILE* out) {
                "  perf       <BENCH.json>\n"
                "  roofline   <BENCH.json> [--peak-gbps X]\n"
                "  health     <metrics.om>\n"
-               "  watch      <metrics.om> [--interval MS] [--count N]\n");
+               "  watch      <metrics.om> [--interval MS] [--count N]\n"
+               "  journal    <sweep.jsonl>\n"
+               "  checkpoint <file>\n");
   return out == stdout ? 0 : 2;
 }
 
@@ -537,6 +546,108 @@ int cmd_watch(int argc, char** argv) {
   return 0;
 }
 
+/// Read-only sweep-journal inspection.  Deliberately does NOT go through
+/// robust::jnl::SweepJournal — that class repairs (truncates) torn tails on
+/// open, and an inspector must never modify the file it describes.
+int cmd_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "obsctl: no journal at %s\n", path.c_str());
+    return 3;
+  }
+  std::string config_hash = "?";
+  std::string version = "?";
+  std::vector<std::string> points;
+  std::size_t malformed = 0;
+  bool header_seen = false;
+  bool torn_tail = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const bool terminated = !in.eof();  // getline at EOF = no trailing '\n'
+    const std::optional<JsonValue> parsed = parse_json(line);
+    bool good = parsed.has_value() && parsed->is_object() && terminated;
+    if (good && line_no == 1) {
+      const JsonValue* kind = parsed->find("journal");
+      if (kind != nullptr && kind->string_or("") == "stocdr-sweep") {
+        header_seen = true;
+        if (const JsonValue* h = parsed->find("config_hash")) {
+          config_hash = h->string_or("?");
+        }
+        if (const JsonValue* v = parsed->find("version")) {
+          version = std::to_string(v->uint_or(0));
+        }
+      } else {
+        good = false;
+      }
+    } else if (good) {
+      const JsonValue* point = parsed->find("point");
+      if (point != nullptr && point->type == JsonValue::Type::kString &&
+          parsed->find("result") != nullptr) {
+        points.push_back(point->string);
+      } else {
+        good = false;
+      }
+    }
+    if (!good) {
+      if (!terminated) {
+        torn_tail = true;  // exactly what a mid-append crash leaves behind
+      } else {
+        ++malformed;
+      }
+    }
+  }
+
+  std::printf("journal: %s\n", path.c_str());
+  std::printf("  header:      %s (version %s, config hash %s)\n",
+              header_seen ? "ok" : "missing/foreign", version.c_str(),
+              config_hash.c_str());
+  std::printf("  completed:   %zu point(s)\n", points.size());
+  for (const std::string& key : points) {
+    std::printf("    - %s\n", key.c_str());
+  }
+  if (torn_tail) {
+    std::printf("  torn tail:   yes (will be truncated on next resume)\n");
+  }
+  if (malformed > 0) {
+    std::printf("  malformed:   %zu line(s) (skipped on resume)\n", malformed);
+  }
+  if (!header_seen || points.empty()) {
+    std::fprintf(stderr, "obsctl: journal holds no replayable points\n");
+    return 3;
+  }
+  return 0;
+}
+
+/// Validates and describes one durable checkpoint file.
+int cmd_checkpoint(const std::string& path) {
+  const robust::ckpt::LoadResult result =
+      robust::ckpt::load_checkpoint(path, /*expected_hash=*/"",
+                                    /*expected_size=*/0);
+  if (result.status == robust::ckpt::LoadStatus::kMissing) {
+    std::fprintf(stderr, "obsctl: no checkpoint at %s\n", path.c_str());
+    return 3;
+  }
+  std::printf("checkpoint: %s\n", path.c_str());
+  std::printf("  status:      %s\n", robust::ckpt::to_string(result.status));
+  if (result.status != robust::ckpt::LoadStatus::kOk) {
+    std::printf("  detail:      %s\n", result.detail.c_str());
+    std::fprintf(stderr, "obsctl: checkpoint failed validation (%s)\n",
+                 robust::ckpt::to_string(result.status));
+    return 1;
+  }
+  std::printf("  config hash: %s\n",
+              result.checkpoint.config_hash.empty()
+                  ? "(none)"
+                  : result.checkpoint.config_hash.c_str());
+  std::printf("  iteration:   %llu\n",
+              static_cast<unsigned long long>(result.checkpoint.iteration));
+  std::printf("  residual:    %s\n", sci(result.checkpoint.residual, 3).c_str());
+  std::printf("  states:      %zu\n", result.checkpoint.iterate.size());
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage(stderr);
   const std::string command = argv[1];
@@ -546,9 +657,13 @@ int run(int argc, char** argv) {
   if (command == "bench-diff") return cmd_bench_diff(argc - 2, argv + 2);
   if (command == "roofline") return cmd_roofline(argc - 2, argv + 2);
   if (command == "watch") return cmd_watch(argc - 2, argv + 2);
-  if (command == "health" || command == "perf") {
+  if (command == "health" || command == "perf" || command == "journal" ||
+      command == "checkpoint") {
     if (argc < 3) return usage(stderr);
-    return command == "health" ? cmd_health(argv[2]) : cmd_perf(argv[2]);
+    if (command == "health") return cmd_health(argv[2]);
+    if (command == "perf") return cmd_perf(argv[2]);
+    if (command == "journal") return cmd_journal(argv[2]);
+    return cmd_checkpoint(argv[2]);
   }
 
   if (command != "summarize" && command != "flame" && command != "chrome") {
