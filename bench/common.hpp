@@ -21,6 +21,8 @@
 #include "obs/health/health.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/mem/capacity.hpp"
+#include "obs/mem/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof/perf.hpp"
 #include "obs/prof/roofline.hpp"
@@ -75,12 +77,20 @@ struct SolvedCase {
   /// first so the reset runs before the model build and solve start
   /// populating the registry.
   struct MetricsReset {
+    /// Per-case RSS attribution: begun here so the kernel's RSS high-water
+    /// restarts before the model build allocates anything.
+    obs::PeakRssSampler rss;
+
     MetricsReset() {
       obs::MetricsRegistry::instance().reset_all();
       // The prof aggregates (span counters + kernel roofline inputs) are
       // process-global too; without a reset each case's perf section would
       // blend every previous case's counts.
       obs::prof::reset();
+      // Likewise the mem aggregates and the live-byte high-water
+      // (STOCDR_MEM=1): each case's mem section reports its own peak.
+      obs::mem::reset();
+      rss.begin();
     }
   };
   MetricsReset metrics_reset;
@@ -201,7 +211,18 @@ struct SolvedCase {
       w.key("robust");
       w.raw_value(robust_report->to_json());
     }
-    w.field("peak_rss_bytes", obs::peak_rss_bytes());
+    // ru_maxrss is a process-wide monotone max; the per-case sampler
+    // resets the kernel high-water when this case began, so multi-case
+    // artifacts attribute RSS to the case that actually caused it.  The
+    // "source" field says whether the per-case reset worked or the number
+    // is the monotone fallback.
+    w.field("peak_rss_bytes", metrics_reset.rss.peak());
+    w.key("rss");
+    w.begin_object();
+    w.field("peak_rss_bytes", metrics_reset.rss.peak());
+    w.field("current_rss_bytes", obs::current_rss_bytes());
+    w.field("source", metrics_reset.rss.source());
+    w.end_object();
     // Perf-counter section (STOCDR_PERF=1): per-span counter aggregates,
     // the per-kernel roofline table, and derived gauges published into the
     // metrics snapshot below.  Omitted entirely when profiling is off, so
@@ -211,6 +232,22 @@ struct SolvedCase {
       obs::prof::publish_kernels_to_metrics();
       w.key("perf");
       w.raw_value(obs::prof::perf_section_json());
+    }
+    // Mem section (STOCDR_MEM=1): tracked heap totals, per-span byte
+    // aggregates, component footprints, and the capacity model's
+    // prediction for this chain's dimensions (so predicted-vs-actual
+    // drift is visible per artifact).  Omitted entirely when tracking is
+    // off, keeping untracked artifacts byte-identical.
+    if (obs::mem::enabled()) {
+      obs::mem::publish_to_metrics();
+      obs::mem::CapacityInputs cap;
+      cap.states = chain.num_states();
+      cap.transitions = chain.chain().num_transitions();
+      const std::uint64_t predicted =
+          obs::mem::estimate_capacity(cap).peak_bytes();
+      w.key("mem");
+      w.raw_value(obs::mem::mem_section_json(
+          predicted, std::uint64_t{chain.num_states()}));
     }
     // Per-case metrics snapshot (histograms carry p50/p90/p99); the
     // registry was reset when this case started, so these numbers belong

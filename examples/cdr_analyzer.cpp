@@ -7,6 +7,16 @@
 //                [--robust] [--time-budget SECONDS] [--metrics-out FILE]
 //                [--checkpoint FILE [--checkpoint-period N]]
 //                [--journal FILE] [--inject-fault nan|stall]
+//                [--mem-estimate] [--memory-budget BYTES]
+//
+// With --mem-estimate the analytic capacity model (cdr/capacity) predicts
+// the chain dimensions and peak heap footprint from the config alone and
+// prints the breakdown table — nothing is built or solved.
+//
+// With --memory-budget the robust solve runs behind the memory admission
+// gate: a predicted footprint over BYTES degrades to a coarser grid that
+// fits, or refuses with a structured report and exit code 4 (never an
+// OOM kill).
 //
 // With --metrics-out the final metrics snapshot (counters, gauges, and
 // histograms with p50/p90/p99 quantiles) is dumped as JSON — together with
@@ -45,6 +55,7 @@
 #include <utility>
 
 #include "analysis/eigen.hpp"
+#include "cdr/capacity.hpp"
 #include "cdr/config_io.hpp"
 #include "cdr/measures.hpp"
 #include "cdr/model.hpp"
@@ -71,6 +82,8 @@ int run(int argc, char** argv) {
   std::string export_prefix;
   std::string metrics_out;
   bool print_config = false;
+  bool mem_estimate = false;
+  std::size_t memory_budget = 0;
   bool use_robust = false;
   std::string inject_fault;
   std::string checkpoint_path;
@@ -95,6 +108,20 @@ int run(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--print-config") {
       print_config = true;
+    } else if (arg == "--mem-estimate") {
+      mem_estimate = true;
+    } else if (arg == "--memory-budget") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--memory-budget needs a value (bytes)\n");
+        return 2;
+      }
+      memory_budget =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (memory_budget == 0) {
+        std::fprintf(stderr, "--memory-budget must be >= 1 byte\n");
+        return 2;
+      }
+      use_robust = true;  // the admission gate lives in the robust harness
     } else if (arg == "--robust") {
       use_robust = true;
     } else if (arg == "--time-budget") {
@@ -152,7 +179,8 @@ int run(int argc, char** argv) {
           "[--print-config] [--robust] [--time-budget SECONDS] "
           "[--inject-fault nan|stall] [--threads N|auto] "
           "[--metrics-out FILE] [--checkpoint FILE] "
-          "[--checkpoint-period N] [--journal FILE]\n");
+          "[--checkpoint-period N] [--journal FILE] "
+          "[--mem-estimate] [--memory-budget BYTES]\n");
       return 0;
     } else {
       config = cdr::config_from_file(arg);
@@ -161,6 +189,39 @@ int run(int argc, char** argv) {
   }
   if (print_config) {
     std::printf("%s\n", cdr::to_text(config).c_str());
+    return 0;
+  }
+  if (mem_estimate) {
+    // Pure prediction from the config — nothing is built or solved.
+    const cdr::CdrCapacityEstimate est = cdr::estimate_cdr_capacity(config);
+    const auto mib = [](std::uint64_t bytes) {
+      return fixed(static_cast<double>(bytes) / (1024.0 * 1024.0), 2) +
+             " MiB";
+    };
+    std::printf("== capacity estimate ==\n%s\n\n", config.summary().c_str());
+    std::printf("predicted states:      %llu\n",
+                static_cast<unsigned long long>(est.states));
+    std::printf("predicted transitions: %llu\n\n",
+                static_cast<unsigned long long>(est.transitions));
+    TextTable table({"owner", "bytes"});
+    table.add_row({"chain CSR", mib(est.breakdown.csr_bytes)});
+    table.add_row({"build transient", mib(est.breakdown.build_bytes)});
+    table.add_row({"annotations", mib(est.breakdown.annotation_bytes)});
+    table.add_row({"lumping hierarchy", mib(est.breakdown.hierarchy_bytes)});
+    table.add_row({"coarse chains", mib(est.breakdown.coarse_bytes)});
+    table.add_row({"solver workspace", mib(est.breakdown.workspace_bytes)});
+    table.add_row({"fixed overhead", mib(est.breakdown.fixed_bytes)});
+    table.add_row({"peak (build phase)",
+                   mib(est.breakdown.build_phase_bytes())});
+    table.add_row({"peak (solve phase)",
+                   mib(est.breakdown.solve_phase_bytes())});
+    table.add_row({"predicted peak", mib(est.peak_bytes())});
+    std::printf("%s", table.render().c_str());
+    if (memory_budget > 0) {
+      const bool fits = est.peak_bytes() <= memory_budget;
+      std::printf("\nbudget %s: %s\n", mib(memory_budget).c_str(),
+                  fits ? "fits" : "over budget (solve would degrade/refuse)");
+    }
     return 0;
   }
 
@@ -225,6 +286,7 @@ int run(int argc, char** argv) {
   if (use_robust) {
     robust::RobustOptions ropts;
     ropts.time_budget_seconds = time_budget;
+    ropts.memory_budget_bytes = memory_budget;
     // --inject-fault rides the deterministic fault-injection engine: the
     // bare plans below fire on every arming of the sentinel's "solver"
     // site, which reproduces the original ad-hoc injectors exactly.
@@ -244,6 +306,14 @@ int run(int argc, char** argv) {
       ropts.checkpoint_config_hash = config_hash;
     }
     auto result = cdr::solve_stationary_robust(chain, ropts);
+    if (result.report.admission_refused) {
+      // Structured refusal: the gate predicted an over-budget footprint and
+      // no hierarchy level fits.  Print the report and exit distinctly —
+      // this is the designed alternative to an OOM kill.
+      std::printf("solve (robust): %s\n", result.report.summary().c_str());
+      std::printf("%s\n", result.report.to_json().c_str());
+      return 4;
+    }
     std::printf("solve (robust): %s, residual %s, %s, %zu rung(s), "
                 "%zu checkpoint(s)\n\n",
                 result.report.summary().c_str(),

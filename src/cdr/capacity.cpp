@@ -1,0 +1,62 @@
+#include "cdr/capacity.hpp"
+
+#include <algorithm>
+
+namespace stocdr::cdr {
+
+namespace {
+
+// Branches of one clock cycle that land on an already-stored successor
+// merge into one CSR entry; measured on the Figure 4 configuration
+// (11.19 nnz/state against a 2 x 7 branching product).
+constexpr double kBranchMergeFactor = 0.8;
+
+/// Reachable loop-filter states.  The up/down counter of overflow length N
+/// visits counts -(N-1)..(N-1); the majority-vote filter's (ups, downs)
+/// pairs are bounded by ups + downs < N, a triangle of N(N+1)/2 states out
+/// of its N^2 encoding.
+std::uint64_t counter_reachable(const CdrConfig& config) {
+  const std::uint64_t n = config.counter_length;
+  if (config.filter_type == FilterType::kUpDownCounter) {
+    return 2 * n - 1;
+  }
+  return n * (n + 1) / 2;
+}
+
+}  // namespace
+
+CdrCapacityEstimate estimate_cdr_capacity(const CdrConfig& config) {
+  CdrCapacityEstimate out;
+
+  std::uint64_t states = std::max<std::uint64_t>(config.max_run_length, 1);
+  states *= counter_reachable(config);
+  states *= std::max<std::uint64_t>(config.phase_points, 1);
+  if (config.sj_amplitude > 0.0) {
+    states *= std::max<std::uint64_t>(config.sj_period, 1);
+  }
+  if (config.pd_noise_mode == PdNoiseMode::kDiscretized) {
+    states *= std::max<std::uint64_t>(config.nw_atoms, 1);
+  }
+  out.states = states;
+
+  // Branching of one cycle: data transition / no transition (2), times the
+  // n_r PMF atoms, times the n_w atoms when they enter as an explicit
+  // source.  Deflated by the measured merge factor.
+  double branches = 2.0 * static_cast<double>(
+                              std::max<std::uint64_t>(config.nr_atoms, 1));
+  if (config.pd_noise_mode == PdNoiseMode::kDiscretized) {
+    branches *= static_cast<double>(std::max<std::uint64_t>(
+        config.nw_atoms, 1));
+  }
+  const double per_state = std::max(1.0, branches * kBranchMergeFactor);
+  out.transitions =
+      static_cast<std::uint64_t>(static_cast<double>(states) * per_state);
+
+  obs::mem::CapacityInputs in;
+  in.states = out.states;
+  in.transitions = out.transitions;
+  out.breakdown = obs::mem::estimate_capacity(in);
+  return out;
+}
+
+}  // namespace stocdr::cdr

@@ -1,0 +1,54 @@
+// Config-level capacity prediction for CDR chains.
+//
+// Predicts the composed chain's state and transition counts *from the
+// configuration alone* — before any enumeration — and feeds them to the
+// generic heap-capacity model (obs/mem/capacity.hpp).  This is what lets
+// `cdr_analyzer --mem-estimate` print a footprint table without building
+// the chain, and what a caller can use to set
+// RobustOptions::memory_budget_bytes ahead of time.
+//
+// The state count is the product of the per-component *reachable* state
+// counts (the composition prunes unreachable product states, but for this
+// network the pruning is tiny: measured 0.998 of the full product on the
+// paper's Figure 4 configuration):
+//
+//   states ~= max_run_length                    (data source)
+//           * counter_reachable(filter, N)      (2N-1 up/down; N(N+1)/2 vote)
+//           * phase_points                      (phase-error FSM)
+//           * sj_period      (when sj_amplitude > 0)
+//           * nw_atoms       (when pd_noise_mode == kDiscretized)
+//
+// The transition count per state is the branching factor of one clock
+// cycle — data transition (2) x n_r atoms x n_w atoms when discretized —
+// deflated by a merge factor for branches that land on the same successor
+// (measured 0.8 on Figure 4: 11.19 stored transitions per state against a
+// 2 x 7 branching product).
+#pragma once
+
+#include <cstdint>
+
+#include "cdr/config.hpp"
+#include "obs/mem/capacity.hpp"
+
+namespace stocdr::cdr {
+
+/// The prediction: structural counts plus the byte breakdown they imply.
+struct CdrCapacityEstimate {
+  std::uint64_t states = 0;       ///< predicted composed-chain states
+  std::uint64_t transitions = 0;  ///< predicted stored transitions (nnz)
+  obs::mem::CapacityBreakdown breakdown;  ///< byte model at those counts
+
+  /// Headline number: predicted peak live bytes of build + solve.
+  [[nodiscard]] std::uint64_t peak_bytes() const {
+    return breakdown.peak_bytes();
+  }
+};
+
+/// Predicts the chain dimensions and footprint for `config`.  Pure
+/// function; does not build anything.  The config should be valid
+/// (config.validate() passes); the prediction is still well-defined for
+/// invalid configs but meaningless.
+[[nodiscard]] CdrCapacityEstimate estimate_cdr_capacity(
+    const CdrConfig& config);
+
+}  // namespace stocdr::cdr

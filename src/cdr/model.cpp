@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "noise/jitter.hpp"
+#include "obs/mem/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
@@ -201,6 +202,13 @@ CdrChain CdrModel::build(const fsm::ComposeOptions& options) const {
 
   obs::MetricsRegistry::instance().gauge("cdr.reachable_states")
       .set(static_cast<double>(n));
+  if (obs::mem::enabled()) {
+    obs::mem::report_component("cdr.chain_csr",
+                               composed.chain().footprint_bytes());
+    obs::mem::report_component(
+        "cdr.annotations",
+        n * (sizeof(std::uint32_t) * 2 + sizeof(double)));
+  }
   if (span.active()) {
     span.attr("states", n);
     span.attr("transitions", composed.chain().num_transitions());
@@ -211,11 +219,28 @@ CdrChain CdrModel::build(const fsm::ComposeOptions& options) const {
                   form_seconds);
 }
 
+namespace {
+
+/// Tags the lumping hierarchy's partition vectors as a mem.component.*
+/// footprint (STOCDR_MEM=1).
+void report_hierarchy_footprint(
+    const std::vector<markov::Partition>& hierarchy) {
+  if (!obs::mem::enabled()) return;
+  std::uint64_t bytes = 0;
+  for (const markov::Partition& p : hierarchy) {
+    bytes += p.num_states() * sizeof(std::uint32_t);
+  }
+  obs::mem::report_component("cdr.hierarchy", bytes);
+}
+
+}  // namespace
+
 solvers::StationaryResult solve_stationary(
     const CdrChain& chain, const solvers::MultilevelOptions& options) {
   obs::Span span("cdr.solve_stationary");
   if (span.active()) span.attr("states", chain.num_states());
   const auto hierarchy = chain.hierarchy(options.coarsest_size);
+  report_hierarchy_footprint(hierarchy);
   return solvers::solve_stationary_multilevel(chain.chain(), hierarchy,
                                               options);
 }
@@ -226,6 +251,7 @@ robust::RobustResult solve_stationary_robust(
   if (span.active()) span.attr("states", chain.num_states());
   const auto hierarchy =
       chain.hierarchy(options.multilevel.coarsest_size);
+  report_hierarchy_footprint(hierarchy);
   return robust::solve_stationary_robust(chain.chain(), hierarchy, options);
 }
 

@@ -69,6 +69,12 @@ class MarkovChain {
   /// Maximum deviation of any state's outgoing probability mass from 1.
   [[nodiscard]] double stochasticity_defect() const;
 
+  /// Heap bytes held by the stored P^T arrays (see
+  /// CsrMatrix::footprint_bytes).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return pt_.footprint_bytes();
+  }
+
  private:
   sparse::CsrMatrix pt_;
 };

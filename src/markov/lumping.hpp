@@ -106,6 +106,16 @@ class AggregationPlan {
   [[nodiscard]] const Partition& partition() const { return partition_; }
   [[nodiscard]] std::size_t coarse_nnz() const { return coarse_cols_.size(); }
 
+  /// Heap bytes held by the plan arrays (slot map + coarse pattern + the
+  /// retained partition).  Reported as a mem.component.* footprint by the
+  /// multilevel solver.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return partition_.num_states() * sizeof(std::uint32_t) +
+           slot_.capacity() * sizeof(std::uint32_t) +
+           coarse_ptr_.capacity() * sizeof(std::uint32_t) +
+           coarse_cols_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   Partition partition_;
   std::size_t fine_nnz_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 
 namespace stocdr::obs::analyze {
 
@@ -25,6 +26,10 @@ constexpr MetricSpec kMetrics[] = {
      /*is_counter=*/false},
     {"perf.total.instructions", /*gating=*/true, /*is_time=*/false,
      /*is_counter=*/true},
+    {"mem.bytes_per_state", /*gating=*/true, /*is_time=*/false,
+     /*is_counter=*/false},
+    {"mem.peak_live_bytes", /*gating=*/false, /*is_time=*/false,
+     /*is_counter=*/false},
     {"peak_rss_bytes", /*gating=*/false, /*is_time=*/false,
      /*is_counter=*/false},
     {"states", /*gating=*/false, /*is_time=*/false, /*is_counter=*/false},
@@ -76,6 +81,7 @@ BenchDiffReport diff_bench_artifacts(const JsonValue& old_doc,
   }
   note_manifest_drift(old_doc, new_doc, report.notes);
 
+  bool mem_note_emitted = false;
   for (const MetricSpec& spec : kMetrics) {
     MetricDelta delta;
     delta.key = spec.key;
@@ -101,6 +107,14 @@ BenchDiffReport diff_bench_artifacts(const JsonValue& old_doc,
             "instructions-retired gate unavailable (perf counters absent "
             "from at least one artifact); the wall-clock seconds gate "
             "applies");
+      }
+      if (!mem_note_emitted &&
+          std::string_view(spec.key).starts_with("mem.")) {
+        mem_note_emitted = true;
+        report.notes.push_back(
+            "memory telemetry absent from at least one artifact (was the "
+            "bench run with STOCDR_MEM=1?); the bytes-per-state gate is "
+            "skipped");
       }
       report.deltas.push_back(std::move(delta));
       continue;

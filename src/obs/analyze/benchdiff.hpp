@@ -12,8 +12,13 @@
 //     tighter instr_threshold (default +3%).  When either artifact lacks
 //     the counter (profiling off, PMU unavailable) the gate is skipped
 //     with an explicit note — the wall-clock seconds gate still applies.
-//   * report-only — memory (peak_rss_bytes), problem sizes, BER.  Shown
-//     with their deltas; never fail the gate.
+//   * gating, memory — bytes per state (mem.bytes_per_state, from
+//     STOCDR_MEM=1 runs): the chain's normalized heap footprint, nearly
+//     deterministic like the instruction count.  Gates at the wall-clock
+//     threshold.  When either artifact lacks the mem section the gate is
+//     skipped with an explicit coverage-drift note.
+//   * report-only — memory (peak_rss_bytes, mem.peak_live_bytes), problem
+//     sizes, BER.  Shown with their deltas; never fail the gate.
 //
 // Cross-run trust: when both artifacts carry a manifest, mismatched
 // config_hash / compiler / build_type are surfaced as notes — a diff

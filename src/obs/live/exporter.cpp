@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "obs/live/openmetrics.hpp"
+#include "obs/mem/mem.hpp"
 #include "obs/metrics.hpp"
 #include "support/atomic_file.hpp"
 #include "support/error.hpp"
@@ -47,6 +48,13 @@ void LiveExporter::publish() {
       ticks_.fetch_add(1, std::memory_order_acq_rel) + 1;
   MetricsRegistry& registry = MetricsRegistry::instance();
   registry.gauge("export.heartbeat").set(static_cast<double>(tick));
+  // Memory is sampled at publish time so watchers see live values: current
+  // and peak RSS always, plus the heap-byte gauges when STOCDR_MEM=1.
+  registry.gauge("process.current_rss_bytes")
+      .set(static_cast<double>(current_rss_bytes()));
+  registry.gauge("process.peak_rss_bytes")
+      .set(static_cast<double>(peak_rss_bytes()));
+  mem::publish_to_metrics();
   const std::string text = to_openmetrics(registry.snapshot());
   try {
     AtomicFileWriter writer(options_.path);

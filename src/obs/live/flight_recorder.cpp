@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/mem/mem.hpp"
 #include "obs/trace.hpp"
 #include "support/atomic_file.hpp"
 
@@ -47,7 +48,11 @@ std::size_t parse_ring_capacity(const char* spec) {
 FlightRecorder::FlightRecorder(std::size_t capacity, TraceSink* downstream)
     : downstream_(downstream),
       manifest_line_(manifest_jsonl_line()),
-      slots_(std::clamp(capacity, kMinCapacity, kMaxCapacity)) {}
+      slots_(std::clamp(capacity, kMinCapacity, kMaxCapacity)) {
+  // The ring's slot array is a fixed multi-megabyte owner at large
+  // capacities — tag it so mem telemetry attributes it.
+  mem::report_component("obs.trace_ring", slots_.size() * sizeof(Slot));
+}
 
 void FlightRecorder::on_span(const SpanRecord& span) {
   std::string line = span_to_jsonl(span);

@@ -1,0 +1,496 @@
+// Replaceable global operator new/delete plus the thread-local counter and
+// per-span banking machinery behind obs/mem/mem.hpp.
+//
+// Everything the allocation hooks touch lives in this translation unit and
+// is constant-initialized (plain atomics and trivially-destructible
+// thread-locals), so a hook can never recurse into the allocator or trip a
+// static-init-order hazard.  The hooks themselves do arithmetic only; the
+// map-backed aggregate table is touched exclusively from span_end /
+// accumulate, which run outside the hooks (their own allocations are simply
+// counted like any other).
+//
+// Linkage note: these operators live in a static archive, so they replace
+// the default allocator only when this object file is pulled into the link.
+// mem::enabled() is defined here and called by obs::Span (obs/trace.cpp),
+// which every stocdr binary links — that reference guarantees the pull-in.
+
+#include "obs/mem/mem.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <malloc.h>
+#define STOCDR_MEM_HAVE_USABLE_SIZE 1
+#else
+#define STOCDR_MEM_HAVE_USABLE_SIZE 0
+#endif
+
+// In this TU the compiler sees both the replaced operator new (malloc-
+// backed) and operator delete (free-backed) and flags every new/free pair
+// it inlines as mismatched.  The pairing is the whole point of the funnel:
+// every variant goes through malloc/posix_memalign + free so usable-size
+// accounting agrees on both sides.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace stocdr::obs::mem {
+
+namespace {
+
+// --- process-wide configuration --------------------------------------------
+
+/// -1 = follow STOCDR_MEM; 0/1 = test override.
+std::atomic<int> g_enabled_override{-1};
+/// Resolved tracking state: -1 unknown, 0 off, 1 on.  The allocation hooks
+/// read this with one relaxed load; resolution happens on first use.
+std::atomic<int> g_tracking{-1};
+
+bool compute_enabled() {
+  const int override_value =
+      g_enabled_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return override_value != 0;
+  const char* v = std::getenv("STOCDR_MEM");
+  return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+}
+
+bool tracking_on() {
+  int state = g_tracking.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = compute_enabled() ? 1 : 0;
+    g_tracking.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+// --- process-wide totals -----------------------------------------------------
+
+std::atomic<std::int64_t> g_live{0};
+std::atomic<std::uint64_t> g_peak{0};
+std::atomic<std::uint64_t> g_total_allocated{0};
+std::atomic<std::uint64_t> g_total_freed{0};
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_free_count{0};
+
+void update_global_peak(std::uint64_t live) {
+  std::uint64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak.compare_exchange_weak(peak, live,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// --- per-thread counters -----------------------------------------------------
+
+/// Trivially-destructible, constant-initialized: safe to touch from inside
+/// the allocation hooks on any thread at any point of its lifetime.
+struct ThreadMem {
+  std::uint64_t allocated;
+  std::uint64_t freed;
+  std::uint64_t allocs;
+  std::uint64_t frees;
+  std::uint64_t live;  ///< this thread's net view, clamped at 0
+  std::uint64_t peak;  ///< high-water of `live` since last span_begin/reset
+  std::uint32_t depth;  ///< tracked-region nesting depth
+};
+thread_local ThreadMem t_mem{};
+
+/// Worker deltas banked by add_foreign(); only the owner touches it.
+struct ForeignMem {
+  std::uint64_t allocated;
+  std::uint64_t freed;
+  std::uint64_t allocs;
+  std::uint64_t frees;
+};
+thread_local ForeignMem t_foreign{};
+
+std::size_t usable_size(void* p) {
+#if STOCDR_MEM_HAVE_USABLE_SIZE
+  return malloc_usable_size(p);
+#else
+  (void)p;
+  return 0;
+#endif
+}
+
+void note_alloc(void* p) {
+  if (p == nullptr || !tracking_on()) return;
+  const std::uint64_t bytes = usable_size(p);
+  ThreadMem& t = t_mem;
+  t.allocated += bytes;
+  t.allocs += 1;
+  t.live += bytes;
+  if (t.live > t.peak) t.peak = t.live;
+  const std::int64_t live =
+      g_live.fetch_add(static_cast<std::int64_t>(bytes),
+                       std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  if (live > 0) update_global_peak(static_cast<std::uint64_t>(live));
+  g_total_allocated.fetch_add(bytes, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void note_free(void* p) {
+  if (p == nullptr || !tracking_on()) return;
+  const std::uint64_t bytes = usable_size(p);
+  ThreadMem& t = t_mem;
+  t.freed += bytes;
+  t.frees += 1;
+  // A block freed on a thread other than its allocator would drive this
+  // thread's net view negative; clamp at zero (the global live count stays
+  // exact because alloc and free sides use the same usable size).
+  t.live = bytes < t.live ? t.live - bytes : 0;
+  g_live.fetch_sub(static_cast<std::int64_t>(bytes),
+                   std::memory_order_relaxed);
+  g_total_freed.fetch_add(bytes, std::memory_order_relaxed);
+  g_free_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+// --- raw allocation paths ----------------------------------------------------
+
+void* alloc_plain(std::size_t size) { return std::malloc(size ? size : 1); }
+
+void* alloc_aligned(std::size_t size, std::size_t alignment) {
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  // posix_memalign (unlike std::aligned_alloc) has no size-multiple
+  // requirement, and its result is legal to pass to free() /
+  // malloc_usable_size().
+  if (posix_memalign(&p, alignment, size ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+// --- per-name aggregation ----------------------------------------------------
+
+struct AggregateCells {
+  std::uint64_t regions = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t allocated_bytes = 0;
+  std::uint64_t freed_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+  std::uint64_t peak_live_bytes = 0;  ///< max over regions
+
+  void add(const MemDelta& delta, std::uint64_t wall) {
+    ++regions;
+    wall_ns += wall;
+    allocated_bytes += delta.allocated_bytes;
+    freed_bytes += delta.freed_bytes;
+    alloc_count += delta.alloc_count;
+    free_count += delta.free_count;
+    peak_live_bytes = std::max(peak_live_bytes, delta.peak_live_bytes);
+  }
+
+  [[nodiscard]] MemAggregate to_aggregate(const std::string& name) const {
+    MemAggregate agg;
+    agg.name = name;
+    agg.regions = regions;
+    agg.wall_ns = wall_ns;
+    agg.allocated_bytes = allocated_bytes;
+    agg.freed_bytes = freed_bytes;
+    agg.alloc_count = alloc_count;
+    agg.free_count = free_count;
+    agg.peak_live_bytes = peak_live_bytes;
+    return agg;
+  }
+};
+
+struct AggregateTable {
+  std::mutex mutex;
+  std::map<std::string, AggregateCells, std::less<>> by_name;
+  AggregateCells total;
+  std::map<std::string, std::uint64_t, std::less<>> components;
+};
+
+AggregateTable& table() {
+  static AggregateTable t;
+  return t;
+}
+
+}  // namespace
+
+bool enabled() { return tracking_on(); }
+
+bool tracking_available() { return STOCDR_MEM_HAVE_USABLE_SIZE != 0; }
+
+std::uint64_t live_bytes() {
+  const std::int64_t live = g_live.load(std::memory_order_relaxed);
+  return live > 0 ? static_cast<std::uint64_t>(live) : 0;
+}
+
+std::uint64_t peak_live_bytes() {
+  return g_peak.load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_allocated_bytes() {
+  return g_total_allocated.load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_freed_bytes() {
+  return g_total_freed.load(std::memory_order_relaxed);
+}
+
+MemReading read_current_thread() {
+  const ThreadMem& t = t_mem;
+  const ForeignMem& f = t_foreign;
+  MemReading reading;
+  reading.allocated_bytes = t.allocated + f.allocated;
+  reading.freed_bytes = t.freed + f.freed;
+  reading.alloc_count = t.allocs + f.allocs;
+  reading.free_count = t.frees + f.frees;
+  return reading;
+}
+
+void add_foreign(const MemDelta& delta) {
+  ForeignMem& f = t_foreign;
+  f.allocated += delta.allocated_bytes;
+  f.freed += delta.freed_bytes;
+  f.allocs += delta.alloc_count;
+  f.frees += delta.free_count;
+}
+
+SpanStart span_begin(std::uint64_t start_ns) {
+  ThreadMem& t = t_mem;
+  SpanStart start;
+  start.top_level = t.depth == 0;
+  ++t.depth;
+  start.start_ns = start_ns;
+  start.start = read_current_thread();
+  // Restart this thread's high-water at the current live level so the
+  // region harvests its *own* peak; the enclosing region's running peak is
+  // restored (max-merged) in span_end.  Relies on the per-thread span LIFO
+  // invariant asserted in obs/trace.cpp.
+  start.saved_peak = t.peak;
+  t.peak = t.live;
+  return start;
+}
+
+MemDelta span_end(const SpanStart& start) {
+  ThreadMem& t = t_mem;
+  if (t.depth > 0) --t.depth;
+  const MemReading now = read_current_thread();
+  MemDelta delta;
+  delta.allocated_bytes =
+      sat_sub(now.allocated_bytes, start.start.allocated_bytes);
+  delta.freed_bytes = sat_sub(now.freed_bytes, start.start.freed_bytes);
+  delta.alloc_count = sat_sub(now.alloc_count, start.start.alloc_count);
+  delta.free_count = sat_sub(now.free_count, start.start.free_count);
+  delta.peak_live_bytes = t.peak;
+  t.peak = std::max(start.saved_peak, t.peak);
+  return delta;
+}
+
+void accumulate(const char* name, const MemDelta& delta,
+                std::uint64_t wall_ns, bool top_level) {
+  AggregateTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  auto it = t.by_name.find(std::string_view(name));
+  if (it == t.by_name.end()) {
+    it = t.by_name.emplace(std::string(name), AggregateCells{}).first;
+  }
+  it->second.add(delta, wall_ns);
+  if (top_level) t.total.add(delta, wall_ns);
+}
+
+std::vector<MemAggregate> snapshot() {
+  AggregateTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  std::vector<MemAggregate> out;
+  out.reserve(t.by_name.size());
+  for (const auto& [name, cells] : t.by_name) {
+    if (cells.regions == 0) continue;
+    out.push_back(cells.to_aggregate(name));
+  }
+  return out;
+}
+
+MemAggregate total() {
+  AggregateTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  return t.total.to_aggregate("total");
+}
+
+void reset() {
+  {
+    AggregateTable& t = table();
+    const std::lock_guard<std::mutex> lock(t.mutex);
+    for (auto& [name, cells] : t.by_name) cells = AggregateCells{};
+    t.total = AggregateCells{};
+    t.components.clear();
+  }
+  // Restart the process high-water at the current live level (and the
+  // calling thread's running peak; other threads' peaks restart at their
+  // next span_begin).
+  g_peak.store(live_bytes(), std::memory_order_relaxed);
+  ThreadMem& t = t_mem;
+  t.peak = t.live;
+}
+
+void report_component(std::string_view tag, std::uint64_t bytes) {
+  if (!tracking_on()) return;
+  AggregateTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  if (bytes == 0) {
+    t.components.erase(std::string(tag));
+  } else {
+    t.components.insert_or_assign(std::string(tag), bytes);
+  }
+}
+
+std::map<std::string, std::uint64_t, std::less<>> component_snapshot() {
+  AggregateTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mutex);
+  return t.components;
+}
+
+void publish_to_metrics() {
+  if (!tracking_on()) return;
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  registry.gauge("mem.live_bytes")
+      .set(static_cast<double>(live_bytes()));
+  registry.gauge("mem.peak_live_bytes")
+      .set(static_cast<double>(peak_live_bytes()));
+  registry.gauge("mem.total_allocated_bytes")
+      .set(static_cast<double>(total_allocated_bytes()));
+  registry.gauge("mem.total_freed_bytes")
+      .set(static_cast<double>(total_freed_bytes()));
+  const auto publish = [&registry](const MemAggregate& agg) {
+    const std::string prefix = "mem." + agg.name + ".";
+    registry.gauge(prefix + "allocated_bytes")
+        .set(static_cast<double>(agg.allocated_bytes));
+    registry.gauge(prefix + "peak_live_bytes")
+        .set(static_cast<double>(agg.peak_live_bytes));
+  };
+  publish(total());
+  for (const MemAggregate& agg : snapshot()) {
+    if (agg.regions > 0) publish(agg);
+  }
+  for (const auto& [tag, bytes] : component_snapshot()) {
+    registry.gauge("mem.component." + tag)
+        .set(static_cast<double>(bytes));
+  }
+}
+
+namespace detail {
+
+void set_enabled_for_test(bool enabled) {
+  g_enabled_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  g_tracking.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace stocdr::obs::mem
+
+// --- replaceable global allocation functions ---------------------------------
+//
+// Every variant funnels into malloc / posix_memalign + free so the alloc
+// and free sides agree on malloc_usable_size, then notes the event.  These
+// are the standard-mandated replaceable signatures ([new.delete]);
+// placement forms are untouched.  Unnamed-namespace helpers above are
+// reachable here via their enclosing namespace.
+
+namespace memhook = stocdr::obs::mem;
+
+void* operator new(std::size_t size) {
+  void* p = memhook::alloc_plain(size);
+  if (p == nullptr) throw std::bad_alloc();
+  memhook::note_alloc(p);
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = memhook::alloc_plain(size);
+  memhook::note_alloc(p);
+  return p;
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p =
+      memhook::alloc_aligned(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  memhook::note_alloc(p);
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  void* p =
+      memhook::alloc_aligned(size, static_cast<std::size_t>(alignment));
+  memhook::note_alloc(p);
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, alignment, tag);
+}
+
+void operator delete(void* p) noexcept {
+  memhook::note_free(p);
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}

@@ -1,0 +1,86 @@
+#include "obs/mem/capacity.hpp"
+
+#include <algorithm>
+
+namespace stocdr::obs::mem {
+
+namespace {
+
+// Bytes-per-element coefficients, from the concrete containers involved
+// (sparse/csr.hpp, sparse/coo.hpp, cdr/model.cpp) plus calibration against
+// STOCDR_MEM=1 tracked high-water on the paper's fig4/fig5 configs.
+
+/// CSR: double value (8) + u32 col index (4) per nnz.
+constexpr double kCsrBytesPerNnz = 12.0;
+/// CSR row_ptr: u32 per row (+1, absorbed into fixed overhead).
+constexpr double kCsrBytesPerRow = 4.0;
+/// Build transient per nnz: 16-byte COO Triplet, sort/merge scratch, and
+/// the per-branch successor records of the composition frontier, all
+/// coexisting with the nascent CSR arrays.  Calibrated: 42 bytes/nnz fits
+/// the tracked build high-water of both fig4 (50.2 MB measured vs 50.7
+/// predicted) and fig5 counter=32 (210.9 MB vs 211.3) to within ~1%.
+constexpr double kBuildBytesPerNnz = 42.0;
+/// Build transient per state: composition frontier, coordinate decode
+/// scratch and the state-index hash table (node + bucket overhead).
+constexpr double kBuildBytesPerState = 64.0;
+/// Per-state annotations: phase coordinate (u32) + lump label (u32) +
+/// effective phase (double), cdr/model.cpp.
+constexpr double kAnnotationBytesPerState = 16.0;
+/// Lumping hierarchy: u32 partition vector per level; levels halve, so the
+/// geometric sum over levels is ~2n entries.
+constexpr double kHierarchyBytesPerState = 8.0;
+/// Multilevel solve residency beyond the fine CSR, as a multiple of it:
+/// the coarse-chain CSRs of every level (geometric sum ~1x), the
+/// aggregation plans' slot maps and quotient patterns (~1x: one u32 per
+/// fine nnz plus the coarse patterns), and re-aggregation scratch.
+/// Calibrated: 2.8 reproduces the tracked solve-phase high-water of fig4
+/// (44.1 MB measured vs 44.2 predicted) and fig5 counter=32 (190.1 MB vs
+/// 183.6).
+constexpr double kCoarseCsrFactor = 2.8;
+/// Solver iterate vectors are doubles.
+constexpr double kBytesPerVectorEntry = 8.0;
+/// Allocator slack: glibc malloc rounds requests up and vectors grow
+/// geometrically, so live usable bytes run above the sum of ideal sizes.
+constexpr double kAllocatorSlack = 1.15;
+/// Process-fixed live heap (metrics registry, trace machinery, stdio,
+/// noise tables) — independent of problem size.
+constexpr std::uint64_t kFixedBytes = 2ull << 20;
+
+std::uint64_t scaled(double value) {
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value * kAllocatorSlack);
+}
+
+}  // namespace
+
+std::uint64_t CapacityBreakdown::build_phase_bytes() const {
+  return fixed_bytes + build_bytes + csr_bytes + annotation_bytes;
+}
+
+std::uint64_t CapacityBreakdown::solve_phase_bytes() const {
+  return fixed_bytes + csr_bytes + annotation_bytes + hierarchy_bytes +
+         coarse_bytes + workspace_bytes;
+}
+
+std::uint64_t CapacityBreakdown::peak_bytes() const {
+  return std::max(build_phase_bytes(), solve_phase_bytes());
+}
+
+CapacityBreakdown estimate_capacity(const CapacityInputs& in) {
+  const auto n = static_cast<double>(in.states);
+  const auto nnz = static_cast<double>(in.transitions);
+  CapacityBreakdown out;
+  out.csr_bytes = scaled(kCsrBytesPerNnz * nnz + kCsrBytesPerRow * n);
+  out.build_bytes = scaled(kBuildBytesPerNnz * nnz + kBuildBytesPerState * n);
+  out.annotation_bytes = scaled(kAnnotationBytesPerState * n);
+  out.hierarchy_bytes = scaled(kHierarchyBytesPerState * n);
+  if (in.multilevel) {
+    out.coarse_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(out.csr_bytes) * kCoarseCsrFactor);
+  }
+  out.workspace_bytes =
+      scaled(in.workspace_vectors * kBytesPerVectorEntry * n);
+  out.fixed_bytes = kFixedBytes;
+  return out;
+}
+
+}  // namespace stocdr::obs::mem

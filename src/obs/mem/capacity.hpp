@@ -1,0 +1,60 @@
+// Analytic heap-capacity model.
+//
+// Predicts the peak live-byte footprint of building and solving a chain
+// from its structural dimensions (states, stored transitions) and the
+// solver configuration — *before* any allocation happens — so callers can
+// refuse or degrade work that will not fit (RobustOptions::
+// memory_budget_bytes) and `cdr_analyzer --mem-estimate` can print a
+// footprint table without solving.  The model is deliberately coarse: it
+// tracks the handful of owners that dominate at scale (CSR arrays, the
+// build-time COO/exploration transient, per-state annotations, the lumping
+// hierarchy, multilevel coarse chains, solver iterate vectors) and folds
+// everything else into a fixed overhead.  Constants are calibrated against
+// STOCDR_MEM=1 tracked high-water on the paper's fig4/fig5 configurations;
+// the committed tolerance is ±25% (tests/test_mem.cpp).
+//
+// This layer knows nothing about CDR configs; predicting states and
+// transitions *from a config* is the job of src/cdr/capacity.hpp, which
+// feeds its estimates into this model.
+#pragma once
+
+#include <cstdint>
+
+namespace stocdr::obs::mem {
+
+/// Structural dimensions of the problem whose footprint is being predicted.
+struct CapacityInputs {
+  std::uint64_t states = 0;       ///< chain states n
+  std::uint64_t transitions = 0;  ///< stored nnz of P^T
+  /// True when the solve runs the aggregation/multilevel path (coarse
+  /// chains and the lumping hierarchy are then resident during the solve).
+  bool multilevel = true;
+  /// n-length double vectors the solver keeps live at once (iterates,
+  /// residuals, scratch).  The default covers the stationary power /
+  /// multilevel smoother working set.
+  double workspace_vectors = 6.0;
+};
+
+/// Per-owner byte breakdown.  `peak_bytes()` is the model's headline
+/// number: fixed + max(build-phase, solve-phase) resident bytes.
+struct CapacityBreakdown {
+  std::uint64_t csr_bytes = 0;         ///< values + col_idx + row_ptr
+  std::uint64_t build_bytes = 0;       ///< COO triplets + exploration tables
+  std::uint64_t annotation_bytes = 0;  ///< per-state labels/coordinates
+  std::uint64_t hierarchy_bytes = 0;   ///< lumping partition vectors
+  std::uint64_t coarse_bytes = 0;      ///< multilevel coarse-chain CSRs
+  std::uint64_t workspace_bytes = 0;   ///< solver iterate vectors
+  std::uint64_t fixed_bytes = 0;       ///< everything not scaling with n/nnz
+
+  /// Peak of the build phase (COO + CSR coexist during conversion).
+  [[nodiscard]] std::uint64_t build_phase_bytes() const;
+  /// Peak of the solve phase (hierarchy + coarse chains + workspace).
+  [[nodiscard]] std::uint64_t solve_phase_bytes() const;
+  /// Predicted live-byte high-water across both phases.
+  [[nodiscard]] std::uint64_t peak_bytes() const;
+};
+
+/// Evaluates the model.  Pure function of its inputs.
+[[nodiscard]] CapacityBreakdown estimate_capacity(const CapacityInputs& in);
+
+}  // namespace stocdr::obs::mem

@@ -1,0 +1,76 @@
+// JSON serialization for the bench "mem" section.  The counter machinery
+// and component registry live in alloc.cpp (everything the allocation
+// hooks touch stays in one constant-initialized translation unit); this
+// file only reads snapshots.
+
+#include "obs/mem/mem.hpp"
+
+#include "obs/json.hpp"
+
+namespace stocdr::obs::mem {
+
+namespace {
+
+void write_aggregate_fields(JsonWriter& w, const MemAggregate& agg) {
+  w.field("regions", agg.regions);
+  w.field("wall_seconds", static_cast<double>(agg.wall_ns) * 1e-9);
+  w.field("allocated_bytes", agg.allocated_bytes);
+  w.field("freed_bytes", agg.freed_bytes);
+  w.field("alloc_count", agg.alloc_count);
+  w.field("free_count", agg.free_count);
+  w.field("peak_live_bytes", agg.peak_live_bytes);
+}
+
+}  // namespace
+
+std::string mem_section_json(std::uint64_t predicted_peak_bytes,
+                             std::uint64_t states) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("enabled", true);
+  w.field("available", tracking_available());
+  const std::uint64_t measured = peak_live_bytes();
+  w.field("live_bytes", live_bytes());
+  w.field("peak_live_bytes", measured);
+  w.field("total_allocated_bytes", total_allocated_bytes());
+  w.field("total_freed_bytes", total_freed_bytes());
+  if (predicted_peak_bytes > 0) {
+    w.field("predicted_peak_bytes", predicted_peak_bytes);
+    if (measured > 0) {
+      // Signed relative drift of the prediction against the tracked
+      // high-water: +0.25 = model predicts 25% above what was measured.
+      w.field("prediction_drift",
+              (static_cast<double>(predicted_peak_bytes) -
+               static_cast<double>(measured)) /
+                  static_cast<double>(measured));
+    }
+  }
+  if (states > 0) {
+    w.field("bytes_per_state",
+            static_cast<double>(measured) / static_cast<double>(states));
+  }
+  w.key("total");
+  w.begin_object();
+  write_aggregate_fields(w, total());
+  w.end_object();
+  w.key("spans");
+  w.begin_object();
+  for (const MemAggregate& agg : snapshot()) {
+    if (agg.regions == 0) continue;
+    w.key(agg.name);
+    w.begin_object();
+    write_aggregate_fields(w, agg);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("components");
+  w.begin_object();
+  for (const auto& [tag, bytes] : component_snapshot()) {
+    w.field(tag, bytes);
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace stocdr::obs::mem

@@ -1,0 +1,178 @@
+// Heap allocation telemetry (STOCDR_MEM=1).
+//
+// The roadmap's matrix-free and sharded/out-of-core items are memory-bound,
+// yet the only memory signal used to be a single process-wide ru_maxrss.
+// This layer attaches *byte attribution* to the existing span taxonomy: the
+// replaceable global operator new/delete (src/obs/mem/alloc.cpp) feed
+// thread-local counters, deltas are snapshotted around every obs::Span and
+// aggregated per span name — the same banking pattern src/obs/prof/ uses
+// for perf counters — so a tracked run reports bytes allocated / freed,
+// allocation counts and the live-byte high-water per span next to the
+// wall-clock and perf numbers.
+//
+// Byte accounting uses malloc_usable_size() at both allocation and free on
+// Linux (so alloc and free sides agree exactly and cross-thread frees
+// balance globally); elsewhere only allocation *counts* are tracked and
+// tracking_available() reports false.
+//
+// Per-span live high-water rides on the per-thread Span LIFO invariant
+// (debug-asserted in obs/trace.cpp): span_begin() saves the thread's
+// running peak and restarts it at the current live level; span_end()
+// harvests the span's own peak and restores max(saved, span peak) so an
+// enclosing span still sees the inner maximum.  Worker-pool jobs bank
+// allocated/freed/count deltas to the dispatching thread (add_foreign) as
+// deterministic u64 sums; worker-side peaks are thread-local and are *not*
+// banked (a cross-thread high-water has no well-defined single timeline).
+//
+// Tracking is off unless STOCDR_MEM is set (to anything but "" or "0");
+// when off, every allocation pays one relaxed load + branch.  Enabling
+// tracking changes no solver result bit: counters are observed strictly
+// outside the numerics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stocdr::obs::mem {
+
+/// Cumulative per-thread totals (monotone running sums, foreign included).
+struct MemReading {
+  std::uint64_t allocated_bytes = 0;
+  std::uint64_t freed_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+};
+
+/// One completed region's contribution: summed deltas plus the region's own
+/// live-byte high-water (thread-local, relative to process live bytes).
+struct MemDelta {
+  std::uint64_t allocated_bytes = 0;
+  std::uint64_t freed_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+  std::uint64_t peak_live_bytes = 0;
+};
+
+/// Per-name (or total) aggregate over completed spans.  `peak_live_bytes`
+/// is the max over contributing regions, not a sum.
+struct MemAggregate {
+  std::string name;
+  std::uint64_t regions = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t allocated_bytes = 0;
+  std::uint64_t freed_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+  std::uint64_t peak_live_bytes = 0;
+};
+
+/// True when STOCDR_MEM enables tracking (parsed once, lazily; test hook
+/// can override).
+[[nodiscard]] bool enabled();
+
+/// True when byte-exact accounting is compiled in (malloc_usable_size);
+/// false on platforms where only allocation counts are tracked.
+[[nodiscard]] bool tracking_available();
+
+/// Process-wide live heap bytes right now (0 when tracking is off or
+/// unavailable).
+[[nodiscard]] std::uint64_t live_bytes();
+
+/// Process-wide live-byte high-water since process start or the last
+/// reset().
+[[nodiscard]] std::uint64_t peak_live_bytes();
+
+/// Cumulative process totals (sum over all threads; approximate only in
+/// the sense that threads publish at allocation granularity).
+[[nodiscard]] std::uint64_t total_allocated_bytes();
+[[nodiscard]] std::uint64_t total_freed_bytes();
+
+/// Reads the calling thread's cumulative counters *plus* whatever pool
+/// workers banked for this thread — see add_foreign().
+[[nodiscard]] MemReading read_current_thread();
+
+/// Banks worker-side deltas against the calling thread, so an open tracked
+/// span on the dispatching thread absorbs worker allocations into its
+/// delta.  Per-slot u64 sums — deterministic regardless of scheduling.
+/// `peak_live_bytes` of the delta is ignored (see file comment).
+void add_foreign(const MemDelta& delta);
+
+/// Opaque state captured at span start; pass back to span_end().
+struct SpanStart {
+  MemReading start;
+  std::uint64_t saved_peak = 0;
+  std::uint64_t start_ns = 0;
+  bool top_level = false;
+};
+
+/// Begins a tracked region on this thread: snapshots cumulative counters,
+/// saves the thread's running peak and restarts peak tracking at the
+/// current live level.  Also bumps the per-thread region depth
+/// (`top_level` is set for the outermost region).
+[[nodiscard]] SpanStart span_begin(std::uint64_t start_ns);
+
+/// Ends a tracked region: computes the delta (saturating per slot),
+/// harvests this region's live high-water, restores the enclosing peak and
+/// pops the region depth.  Does NOT accumulate — the caller decides the
+/// name (mirrors prof::reading_delta + accumulate).
+[[nodiscard]] MemDelta span_end(const SpanStart& start);
+
+/// Folds one completed region's delta into the per-name aggregate table
+/// (creating the name on first use) and, when `top_level`, into the
+/// process "total" aggregate.
+void accumulate(const char* name, const MemDelta& delta,
+                std::uint64_t wall_ns, bool top_level);
+
+/// Snapshot of every named aggregate with at least one completed region,
+/// sorted by name (reset() keeps names registered but empties them).
+[[nodiscard]] std::vector<MemAggregate> snapshot();
+
+/// The process "total" aggregate (deltas of top-level tracked spans).
+[[nodiscard]] MemAggregate total();
+
+/// Clears every aggregate (names stay registered), clears component
+/// footprints, and restarts the process high-water at the current live
+/// level; used by the bench harness for per-case isolation alongside
+/// MetricsRegistry::reset_all() and prof::reset().
+void reset();
+
+/// Publishes mem.* gauges into the global MetricsRegistry:
+/// mem.live_bytes, mem.peak_live_bytes, mem.total_allocated_bytes,
+/// mem.<span>.allocated_bytes / peak_live_bytes, plus every
+/// mem.component.<tag> footprint — so metrics snapshots and the live
+/// exporter carry byte attribution next to wall-clock histograms.
+void publish_to_metrics();
+
+// --- component footprint registry -------------------------------------------
+
+/// Big owners (CsrMatrix, solver workspaces, the lumping hierarchy, the
+/// trace ring) report their tagged footprint here; surfaces as
+/// mem.component.<tag> gauges and in the bench mem section.  Reporting the
+/// same tag overwrites (latest wins); 0 removes the tag.  No-op when
+/// tracking is disabled.
+void report_component(std::string_view tag, std::uint64_t bytes);
+
+/// All currently reported component footprints, sorted by tag.
+[[nodiscard]] std::map<std::string, std::uint64_t, std::less<>>
+component_snapshot();
+
+// --- bench JSON --------------------------------------------------------------
+
+/// Serializes the "mem" object of a BENCH_*.json artifact (the caller
+/// splices it after a "mem" key): enabled/available flags, process totals,
+/// predicted vs. measured peak, bytes-per-state, per-span aggregates and
+/// component footprints.  `predicted_peak_bytes` = 0 means no prediction
+/// (fields omitted); `states` = 0 omits bytes_per_state.
+[[nodiscard]] std::string mem_section_json(std::uint64_t predicted_peak_bytes,
+                                           std::uint64_t states);
+
+namespace detail {
+/// Test hook: overrides STOCDR_MEM (true/false); pass reset_override to
+/// return to environment control.
+void set_enabled_for_test(bool enabled);
+}  // namespace detail
+
+}  // namespace stocdr::obs::mem

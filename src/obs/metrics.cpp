@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "obs/json.hpp"
 #include "obs/live/exporter.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#endif
+#if defined(__linux__)
+#include <unistd.h>
 #endif
 
 namespace stocdr::obs {
@@ -255,6 +259,57 @@ std::uint64_t peak_rss_bytes() {
 #else
   return 0;
 #endif
+}
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "re");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+void PeakRssSampler::begin() {
+  reset_worked_ = false;
+#if defined(__linux__)
+  // "5" resets the process's RSS high-water (VmHWM); needs write access to
+  // /proc/self/clear_refs, which sandboxes sometimes withhold — the
+  // fallback below keeps peak() total.
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "we");
+  if (f != nullptr) {
+    reset_worked_ = std::fputs("5", f) >= 0;
+    if (std::fclose(f) != 0) reset_worked_ = false;
+  }
+#endif
+}
+
+std::uint64_t PeakRssSampler::peak() const {
+#if defined(__linux__)
+  if (reset_worked_) {
+    std::FILE* f = std::fopen("/proc/self/status", "re");
+    if (f != nullptr) {
+      char line[256];
+      while (std::fgets(line, sizeof line, f) != nullptr) {
+        unsigned long long kib = 0;
+        if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) {
+          std::fclose(f);
+          return static_cast<std::uint64_t>(kib) * 1024;
+        }
+      }
+      std::fclose(f);
+    }
+  }
+#endif
+  return peak_rss_bytes();
 }
 
 }  // namespace stocdr::obs

@@ -165,7 +165,41 @@ class MetricsRegistry {
     const std::vector<MetricSample>& samples);
 
 /// Peak resident-set size of this process in bytes (0 if unavailable).
-/// Reported by bench artifacts alongside solver cost.
+/// Reported by bench artifacts alongside solver cost.  NOTE: ru_maxrss is
+/// a monotone process-wide maximum — for per-case attribution use
+/// PeakRssSampler, which resets the kernel high-water between cases.
 [[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Current resident-set size of this process in bytes (0 if unavailable);
+/// sampled from /proc/self/statm on Linux.  Exported as a live gauge so
+/// `stocdr-obsctl watch` can show memory next to solver progress.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+/// Per-interval peak-RSS attribution.  On Linux, begin() resets the
+/// kernel's per-process RSS high-water (writing "5" to
+/// /proc/self/clear_refs) and peak() reads VmHWM from /proc/self/status,
+/// so consecutive intervals each report their *own* peak instead of
+/// inheriting the largest case's (the ru_maxrss contamination bug).  When
+/// the reset is unavailable (non-Linux, restricted /proc), peak() falls
+/// back to the monotone ru_maxrss value and source() says so.
+class PeakRssSampler {
+ public:
+  /// Starts an attribution interval (resets the kernel high-water when
+  /// possible).
+  void begin();
+
+  /// Peak RSS in bytes since begin() — or the process-monotone ru_maxrss
+  /// when the per-interval reset is unavailable.
+  [[nodiscard]] std::uint64_t peak() const;
+
+  /// "vmhwm_reset" when peak() is per-interval, "ru_maxrss" when it is the
+  /// process-wide fallback.
+  [[nodiscard]] const char* source() const {
+    return reset_worked_ ? "vmhwm_reset" : "ru_maxrss";
+  }
+
+ private:
+  bool reset_worked_ = false;
+};
 
 }  // namespace stocdr::obs

@@ -135,6 +135,13 @@ Span::Span(const char* name) : sink_(Tracer::sink()) {
         sink_ != nullptr ? record_.start_ns : Tracer::now_ns();
     perf_start_ = prof::read_current_thread();
   }
+  if (mem::enabled()) {
+    mem_ = true;
+    const std::uint64_t start_ns =
+        perf_ ? perf_start_ns_
+              : (sink_ != nullptr ? record_.start_ns : Tracer::now_ns());
+    mem_start_ = mem::span_begin(start_ns);
+  }
 }
 
 void Span::attr(std::string_view key, std::uint64_t value) {
@@ -153,6 +160,19 @@ void Span::attr(std::string_view key, std::string_view value) {
 }
 
 void Span::end() {
+  if (mem_) {
+    mem_ = false;
+    // Harvest the region's allocation delta and live high-water before the
+    // perf/trace bookkeeping below allocates anything of its own.
+    const mem::MemDelta delta = mem::span_end(mem_start_);
+    const std::uint64_t end_ns = Tracer::now_ns();
+    mem::accumulate(record_.name, delta, end_ns - mem_start_.start_ns,
+                    mem_start_.top_level);
+    if (sink_ != nullptr) {
+      attr("mem.allocated_bytes", delta.allocated_bytes);
+      attr("mem.peak_live_bytes", delta.peak_live_bytes);
+    }
+  }
   if (perf_) {
     perf_ = false;
     // Counters first, clock second: any profiling overhead lands in the

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <type_traits>
 
+#include "obs/mem/mem.hpp"
 #include "obs/prof/perf.hpp"
 #include "obs/sink.hpp"
 
@@ -104,6 +105,13 @@ class Span {
   bool perf_top_ = false;   // outermost profiled span on this thread
   std::uint64_t perf_start_ns_ = 0;
   prof::CounterReading perf_start_;
+
+  // Allocation-telemetry integration (STOCDR_MEM=1): same banking shape as
+  // perf — a tracked span snapshots the thread's allocation counters at
+  // both ends and folds the delta (plus the region's live high-water) into
+  // the per-name mem aggregates, independent of any trace sink.
+  bool mem_ = false;        // mem snapshotted; end() must accumulate
+  mem::SpanStart mem_start_;
 };
 
 }  // namespace stocdr::obs

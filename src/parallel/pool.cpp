@@ -216,6 +216,7 @@ void ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn,
   if (chunks == 0) return;
   const std::lock_guard<std::mutex> run_lock(run_mutex_);
   const bool profiled = obs::prof::enabled();
+  const bool mem_tracked = obs::mem::enabled();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_fn_ = &fn;
@@ -227,6 +228,9 @@ void ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn,
     ++generation_;
     if (profiled) {
       for (auto& slot : job_perf_) slot.store(0, std::memory_order_relaxed);
+    }
+    if (mem_tracked) {
+      for (auto& slot : job_mem_) slot.store(0, std::memory_order_relaxed);
     }
   }
   work_cv_.notify_all();
@@ -249,6 +253,14 @@ void ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn,
       delta.values[i] = job_perf_[i].load(std::memory_order_relaxed);
     }
     obs::prof::add_foreign(delta);
+  }
+  if (mem_tracked) {
+    obs::mem::MemDelta delta;
+    delta.allocated_bytes = job_mem_[0].load(std::memory_order_relaxed);
+    delta.freed_bytes = job_mem_[1].load(std::memory_order_relaxed);
+    delta.alloc_count = job_mem_[2].load(std::memory_order_relaxed);
+    delta.free_count = job_mem_[3].load(std::memory_order_relaxed);
+    obs::mem::add_foreign(delta);
   }
   if (error) std::rethrow_exception(error);
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -303,6 +315,9 @@ void ThreadPool::worker_main() {
       cancel = job_cancel_;
       ++active_;
     }
+    const bool mem_tracked = obs::mem::enabled();
+    obs::mem::MemReading mem_before;
+    if (mem_tracked) mem_before = obs::mem::read_current_thread();
     if (obs::prof::enabled()) {
       const obs::prof::CounterReading before = obs::prof::read_current_thread();
       work(*fn, chunks, cancel);
@@ -316,6 +331,20 @@ void ThreadPool::worker_main() {
       }
     } else {
       work(*fn, chunks, cancel);
+    }
+    if (mem_tracked) {
+      const obs::mem::MemReading mem_after = obs::mem::read_current_thread();
+      const std::uint64_t diffs[4] = {
+          mem_after.allocated_bytes - mem_before.allocated_bytes,
+          mem_after.freed_bytes - mem_before.freed_bytes,
+          mem_after.alloc_count - mem_before.alloc_count,
+          mem_after.free_count - mem_before.free_count,
+      };
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (diffs[i] != 0) {
+          job_mem_[i].fetch_add(diffs[i], std::memory_order_relaxed);
+        }
+      }
     }
     {
       const std::lock_guard<std::mutex> lock(mutex_);

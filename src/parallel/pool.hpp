@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/mem/mem.hpp"
 #include "obs/prof/perf.hpp"
 #include "support/error.hpp"
 #include "support/function_ref.hpp"
@@ -201,6 +202,12 @@ class ThreadPool {
   /// foreign bank so open profiled spans on the caller absorb worker work.
   /// u64 sums are order-independent — deterministic under any scheduling.
   std::array<std::atomic<std::uint64_t>, obs::prof::kNumCounters> job_perf_{};
+
+  /// Per-job allocation deltas banked the same way (STOCDR_MEM=1):
+  /// allocated bytes, freed bytes, alloc count, free count.  Worker-side
+  /// live peaks are *not* banked — a high-water across threads has no
+  /// single-timeline meaning (see obs/mem/mem.hpp).
+  std::array<std::atomic<std::uint64_t>, 4> job_mem_{};
 
   std::vector<std::thread> threads_;
 };

@@ -34,6 +34,15 @@ std::string RobustSolveReport::to_json() const {
     w.field("degraded_states", std::uint64_t{degraded_states});
     w.field("degradation_residual", degradation_residual);
   }
+  if (memory_budget_bytes > 0) {
+    w.key("admission");
+    w.begin_object();
+    w.field("memory_budget_bytes", memory_budget_bytes);
+    w.field("predicted_peak_bytes", predicted_peak_bytes);
+    w.field("refused", admission_refused);
+    w.field("degraded_for_memory", degraded_for_memory);
+    w.end_object();
+  }
   w.field("deadline_exceeded", deadline_exceeded);
   w.field("checkpoints", std::uint64_t{checkpoints_taken});
   if (checkpoint_restored || checkpoint_rejects > 0 ||
@@ -84,6 +93,12 @@ std::string RobustSolveReport::to_json() const {
 
 std::string RobustSolveReport::summary() const {
   std::string line;
+  if (admission_refused) {
+    return "refused: predicted peak " +
+           std::to_string(predicted_peak_bytes) +
+           " bytes exceeds memory budget " +
+           std::to_string(memory_budget_bytes) + " bytes";
+  }
   if (converged) {
     line = "converged via " + final_method;
   } else if (deadline_exceeded) {
@@ -109,7 +124,9 @@ std::string RobustSolveReport::summary() const {
             " checkpoint generation(s) rejected]";
   }
   if (degraded) {
-    line += " [degraded to " + std::to_string(degraded_states) + " states]";
+    line += " [degraded to " + std::to_string(degraded_states) + " states";
+    if (degraded_for_memory) line += " for memory budget";
+    line += "]";
   }
   if (!flight_dump_path.empty()) {
     line += " [flight dump: " + flight_dump_path + "]";

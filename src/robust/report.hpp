@@ -69,6 +69,18 @@ struct RobustSolveReport {
   /// accuracy loss the degradation traded for feasibility.
   double degradation_residual = 0.0;
 
+  // Memory admission gate (active only when RobustOptions::
+  // memory_budget_bytes is set).  `predicted_peak_bytes` is the analytic
+  // capacity-model estimate for the fine chain; when it exceeds the budget
+  // the solve either degrades to a coarse grid that fits
+  // (`degraded_for_memory`, the degradation fields above describe the
+  // grid used) or is refused outright (`admission_refused`: no solver
+  // allocation happened, the distribution is empty).
+  std::uint64_t memory_budget_bytes = 0;   ///< 0 = gate inactive
+  std::uint64_t predicted_peak_bytes = 0;  ///< capacity-model estimate
+  bool admission_refused = false;
+  bool degraded_for_memory = false;
+
   bool deadline_exceeded = false;
   std::size_t checkpoints_taken = 0;
   std::vector<RungReport> rungs;  ///< in attempt order, fine ladder last

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/live/flight_recorder.hpp"
+#include "obs/mem/capacity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool.hpp"
@@ -44,6 +45,18 @@ obs::Counter& repair_counter() {
 obs::Counter& degradation_counter() {
   static obs::Counter& c =
       obs::MetricsRegistry::instance().counter("robust.degradations");
+  return c;
+}
+
+obs::Counter& admission_reject_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.admission_rejects");
+  return c;
+}
+
+obs::Counter& admission_degrade_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("robust.admission_degrades");
   return c;
 }
 
@@ -476,7 +489,8 @@ std::vector<double> RobustSolver::run_ladder(
   return best;
 }
 
-std::vector<double> RobustSolver::run_degraded(std::span<const double> initial,
+std::vector<double> RobustSolver::run_degraded(std::size_t max_states,
+                                               std::span<const double> initial,
                                                const Timer& clock,
                                                RobustSolveReport& report) const {
   const markov::MarkovChain& fine = chain();
@@ -489,7 +503,7 @@ std::vector<double> RobustSolver::run_degraded(std::span<const double> initial,
   // the hierarchy runs out — then we solve the coarsest we can reach).
   markov::Partition composed = hierarchy_.front();
   std::size_t levels_used = 1;
-  while (composed.num_groups() > options_.max_states &&
+  while (composed.num_groups() > max_states &&
          levels_used < hierarchy_.size()) {
     composed = composed.compose(hierarchy_[levels_used]);
     ++levels_used;
@@ -553,6 +567,61 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
     span.attr("repaired", out.report.repaired);
   }
 
+  // Memory admission gate: predict the solve's peak footprint with the
+  // analytic capacity model *before* any solver allocation.  A prediction
+  // over budget first tightens the degradation ceiling to the coarsest
+  // hierarchy level whose prediction fits; when nothing fits the solve is
+  // refused with a structured report — never an OOM kill mid-ladder.
+  std::size_t admission_max_states = options_.max_states;
+  if (options_.memory_budget_bytes > 0) {
+    const auto predict = [](std::uint64_t states, std::uint64_t transitions) {
+      obs::mem::CapacityInputs in;
+      in.states = states;
+      in.transitions = transitions;
+      return obs::mem::estimate_capacity(in).peak_bytes();
+    };
+    const std::uint64_t fine_states = c.num_states();
+    const std::uint64_t fine_nnz = c.num_transitions();
+    out.report.memory_budget_bytes = options_.memory_budget_bytes;
+    out.report.predicted_peak_bytes = predict(fine_states, fine_nnz);
+    if (out.report.predicted_peak_bytes > options_.memory_budget_bytes) {
+      // Coarse nnz is unknown before aggregation; scale the fine nnz by
+      // the state ratio (floor: one transition per state).  Lumping keeps
+      // the relative density, so this is the right order of magnitude.
+      std::size_t fit_states = 0;
+      if (!hierarchy_.empty()) {
+        markov::Partition composed = hierarchy_.front();
+        for (std::size_t level = 1;; ++level) {
+          const std::uint64_t groups = composed.num_groups();
+          const std::uint64_t nnz = std::max<std::uint64_t>(
+              groups,
+              fine_nnz * groups / std::max<std::uint64_t>(fine_states, 1));
+          if (predict(groups, nnz) <= options_.memory_budget_bytes) {
+            fit_states = groups;
+            break;
+          }
+          if (level >= hierarchy_.size()) break;
+          composed = composed.compose(hierarchy_[level]);
+        }
+      }
+      if (fit_states > 0) {
+        admission_max_states = std::min(admission_max_states, fit_states);
+        out.report.degraded_for_memory = true;
+        admission_degrade_counter().add(1);
+      } else {
+        out.report.admission_refused = true;
+        admission_reject_counter().add(1);
+        out.report.seconds = clock.seconds();
+        if (span.active()) {
+          span.attr("admission_refused", true);
+          span.attr("predicted_peak_bytes", out.report.predicted_peak_bytes);
+          span.attr("memory_budget_bytes", out.report.memory_budget_bytes);
+        }
+        return out;
+      }
+    }
+  }
+
   // Durable-checkpoint restore: warm-start from the newest on-disk
   // generation that validates for this configuration.  Every rejected
   // generation is counted, noted on the trace, and degraded past — a bad
@@ -587,8 +656,9 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
     }
   }
 
-  if (c.num_states() > options_.max_states && !hierarchy_.empty()) {
-    out.distribution = run_degraded(start, clock, out.report);
+  if (c.num_states() > admission_max_states && !hierarchy_.empty()) {
+    out.distribution =
+        run_degraded(admission_max_states, start, clock, out.report);
   } else {
     out.distribution = run_ladder(c, hierarchy_, start, clock, out.report);
   }
@@ -600,6 +670,7 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
     span.attr("rungs", out.report.rungs.size());
     span.attr("deadline_exceeded", out.report.deadline_exceeded);
     span.attr("degraded", out.report.degraded);
+    span.attr("degraded_for_memory", out.report.degraded_for_memory);
     span.attr("checkpoint_restored", out.report.checkpoint_restored);
     span.attr("method", std::string_view(out.report.final_method));
   }

@@ -88,6 +88,15 @@ struct RobustOptions {
   /// Damped power sweeps polishing the expanded coarse solution.
   std::size_t degrade_smooth_sweeps = 20;
 
+  /// Heap budget for the solve, in bytes (0 = unlimited).  Before any
+  /// solver allocation the harness predicts the peak footprint with the
+  /// analytic capacity model (obs/mem/capacity.hpp); a prediction over
+  /// budget first tries to degrade through the lumping hierarchy to a
+  /// coarse size that fits, and refuses with a structured report (never an
+  /// OOM) when even the coarsest level will not.  Refusals bump the
+  /// `robust.admission_rejects` metric.
+  std::size_t memory_budget_bytes = 0;
+
   /// Largest chain the GTH rung will accept (dense O(n^3)).
   std::size_t gth_size_limit = 4000;
 
@@ -171,10 +180,12 @@ class RobustSolver {
       std::span<const double> initial, const Timer& clock,
       RobustSolveReport& report) const;
 
-  /// Degraded path: lump below max_states, ladder the coarse chain, expand.
+  /// Degraded path: lump below `max_states` (the options ceiling, possibly
+  /// tightened by the memory admission gate), ladder the coarse chain,
+  /// expand.
   [[nodiscard]] std::vector<double> run_degraded(
-      std::span<const double> initial, const Timer& clock,
-      RobustSolveReport& report) const;
+      std::size_t max_states, std::span<const double> initial,
+      const Timer& clock, RobustSolveReport& report) const;
 
   const markov::MarkovChain* chain_;
   std::unique_ptr<markov::MarkovChain> repaired_;

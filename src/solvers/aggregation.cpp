@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "obs/health/health.hpp"
+#include "obs/mem/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pool.hpp"
@@ -155,6 +156,13 @@ class MultilevelWorker {
     if (plans_.size() <= level) plans_.resize(level + 1);
     if (!plans_[level]) {
       plans_[level] = std::make_unique<markov::AggregationPlan>(pt, part);
+      if (obs::mem::enabled()) {
+        std::uint64_t bytes = 0;
+        for (const auto& plan : plans_) {
+          if (plan) bytes += plan->footprint_bytes();
+        }
+        obs::mem::report_component("solver.aggregation_plans", bytes);
+      }
     }
     double lump_seconds = 0.0;
     double expand_seconds = 0.0;
@@ -280,6 +288,10 @@ StationaryResult solve_stationary_multilevel(
   result.stats.method = "multilevel";
   ResidualRecorder recorder(result.stats.residual_history);
   std::vector<double> x = detail::make_initial(chain, initial);
+  if (obs::mem::enabled()) {
+    obs::mem::report_component("solver.iterate",
+                               x.capacity() * sizeof(double));
+  }
 
   MultilevelWorker worker(hierarchy, options);
   double previous_residual = 0.0;

@@ -93,6 +93,15 @@ class CsrMatrix {
   /// True if shapes, patterns and values match exactly.
   [[nodiscard]] bool equals(const CsrMatrix& other) const;
 
+  /// Heap bytes held by the three CSR arrays (vector capacities — what the
+  /// allocator actually retains).  Reported as a mem.component.* footprint
+  /// by the owners of large matrices.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return row_ptr_.capacity() * sizeof(std::uint32_t) +
+           col_idx_.capacity() * sizeof(std::uint32_t) +
+           values_.capacity() * sizeof(double);
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

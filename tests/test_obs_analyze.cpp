@@ -302,10 +302,13 @@ TEST(BenchDiffTest, IdenticalArtifactsDoNotRegress) {
   const BenchDiffReport report =
       diff_bench_artifacts(artifact(), artifact(), {});
   EXPECT_FALSE(report.regressed);
-  // Unprofiled artifacts carry exactly one note: the explicit statement
-  // that the instructions-retired gate fell back to wall-clock seconds.
-  ASSERT_EQ(report.notes.size(), 1u);
+  // Unprofiled, untracked artifacts carry exactly two notes: the explicit
+  // statements that the instructions-retired gate fell back to wall-clock
+  // seconds and that the bytes-per-state gate was skipped.
+  ASSERT_EQ(report.notes.size(), 2u);
   EXPECT_NE(report.notes[0].find("instructions-retired gate unavailable"),
+            std::string::npos);
+  EXPECT_NE(report.notes[1].find("memory telemetry absent"),
             std::string::npos);
   for (const MetricDelta& delta : report.deltas) {
     if (delta.present) EXPECT_DOUBLE_EQ(delta.change, 0.0);
@@ -471,6 +474,51 @@ TEST(BenchDiffTest, GatingMetricInOneArtifactOnlyNotesCoverageDrift) {
   EXPECT_TRUE(noted);
   // Missing on one side is drift, not a regression.
   EXPECT_FALSE(report.regressed);
+}
+
+/// An artifact whose mem section carries a bytes-per-state footprint.
+JsonValue tracked_artifact(double bytes_per_state) {
+  JsonValue doc = artifact();
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                R"({"enabled":true,"available":true,)"
+                R"("peak_live_bytes":50000000,"bytes_per_state":%.1f})",
+                bytes_per_state);
+  auto mem = parse_json(buffer);
+  EXPECT_TRUE(mem.has_value());
+  doc.object.emplace_back("mem", *mem);
+  return doc;
+}
+
+TEST(BenchDiffTest, BytesPerStateGatesAtWallClockThreshold) {
+  // +20% heap per state: past the +10% default threshold even though every
+  // time metric is identical.
+  const BenchDiffReport report =
+      diff_bench_artifacts(tracked_artifact(800.0), tracked_artifact(960.0),
+                           {});
+  EXPECT_TRUE(report.regressed);
+  bool flagged = false;
+  for (const MetricDelta& delta : report.deltas) {
+    if (delta.key == "mem.bytes_per_state") flagged = delta.regressed;
+  }
+  EXPECT_TRUE(flagged);
+  // Within the threshold: no regression.
+  EXPECT_FALSE(diff_bench_artifacts(tracked_artifact(800.0),
+                                    tracked_artifact(840.0), {})
+                   .regressed);
+}
+
+TEST(BenchDiffTest, MemSectionAbsentFromOneArtifactNotesDriftOnce) {
+  const BenchDiffReport report =
+      diff_bench_artifacts(tracked_artifact(800.0), artifact(), {});
+  EXPECT_FALSE(report.regressed);
+  std::size_t mem_notes = 0;
+  for (const std::string& note : report.notes) {
+    if (note.find("memory telemetry absent") != std::string::npos)
+      ++mem_notes;
+  }
+  // Two mem metrics are missing, but the hint is emitted exactly once.
+  EXPECT_EQ(mem_notes, 1u);
 }
 
 }  // namespace

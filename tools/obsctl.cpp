@@ -10,6 +10,10 @@
 //              [--instr-threshold P%]        BENCH artifact regression gate
 //   perf       <BENCH.json>                  per-span perf-counter report
 //                                            from a STOCDR_PERF=1 artifact
+//   mem        <BENCH.json>                  per-span allocation / component
+//                                            footprint report (and predicted
+//                                            vs measured capacity drift)
+//                                            from a STOCDR_MEM=1 artifact
 //   roofline   <BENCH.json> [--peak-gbps X]  per-kernel arithmetic-intensity
 //                                            / achieved-bandwidth report
 //   health     <metrics.om>                  numerical-health verdict from a
@@ -26,8 +30,9 @@
 // Exit codes: 0 ok / no regression, 1 bench-diff found a regression,
 // health found an alarm, or checkpoint failed validation, 2 usage or I/O
 // error, 3 input exists but holds no data for the command (empty /
-// malformed-only / marker-only trace, a BENCH artifact without a perf
-// section, or a journal with no completed points — diagnostic on stderr).
+// malformed-only / marker-only trace, a BENCH artifact without a perf or
+// mem section, or a journal with no completed points — diagnostic on
+// stderr).
 // Malformed trace lines are skipped and counted, never fatal.
 #include <chrono>
 #include <cmath>
@@ -67,6 +72,7 @@ int usage(std::FILE* out) {
                " [--min-seconds S]\n"
                "             [--instr-threshold P%%]\n"
                "  perf       <BENCH.json>\n"
+               "  mem        <BENCH.json>\n"
                "  roofline   <BENCH.json> [--peak-gbps X]\n"
                "  health     <metrics.om>\n"
                "  watch      <metrics.om> [--interval MS] [--count N]\n"
@@ -346,6 +352,110 @@ int cmd_perf(const std::string& path) {
     std::printf(
         "hardware counters were unavailable; see docs/OBSERVABILITY.md "
         "(kernel.perf_event_paranoid, container PMU access)\n");
+  }
+  return 0;
+}
+
+std::string format_bytes(double v) {
+  char buffer[64];
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f GiB", v / (1024.0 * 1024.0 * 1024.0));
+  } else if (v >= 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f MiB", v / (1024.0 * 1024.0));
+  } else if (v >= 1024.0) {
+    std::snprintf(buffer, sizeof buffer, "%.1f KiB", v / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.0f B", v);
+  }
+  return buffer;
+}
+
+/// A byte field of a mem aggregate, formatted; "-" when absent.
+std::string mem_bytes_field(const JsonValue& agg, const char* key) {
+  const JsonValue* v = agg.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return "-";
+  return format_bytes(v->number);
+}
+
+int cmd_mem(const std::string& path) {
+  const std::optional<JsonValue> doc = load_json_file(path);
+  if (!doc) return 2;
+  const JsonValue* mem = doc->find("mem");
+  if (mem == nullptr || !mem->is_object()) {
+    std::fprintf(stderr,
+                 "obsctl: %s has no mem section — was the bench run with "
+                 "STOCDR_MEM=1?\n",
+                 path.c_str());
+    return 3;
+  }
+  const JsonValue* available = mem->find("available");
+  std::printf("byte tracking: %s\n",
+              available != nullptr && available->boolean
+                  ? "exact (malloc_usable_size)"
+                  : "counts only (usable-size probe ABSENT)");
+
+  const auto num = [&mem](const char* key) {
+    const JsonValue* v = mem->find(key);
+    return v == nullptr ? std::numeric_limits<double>::quiet_NaN()
+                        : v->number_or(std::numeric_limits<double>::quiet_NaN());
+  };
+  const double peak = num("peak_live_bytes");
+  const double predicted = num("predicted_peak_bytes");
+  std::printf("peak live: %s   allocated: %s   freed: %s\n",
+              format_bytes(peak).c_str(),
+              format_bytes(num("total_allocated_bytes")).c_str(),
+              format_bytes(num("total_freed_bytes")).c_str());
+  if (!std::isnan(predicted)) {
+    const double drift = num("prediction_drift");
+    std::printf("capacity model: predicted %s, measured %s (drift %+.1f%%)\n",
+                format_bytes(predicted).c_str(), format_bytes(peak).c_str(),
+                std::isnan(drift) ? 0.0 : 100.0 * drift);
+  }
+  if (const double bps = num("bytes_per_state"); !std::isnan(bps)) {
+    std::printf("bytes per state: %.1f\n", bps);
+  }
+  std::printf("\n");
+
+  TextTable spans({"span", "regions", "wall", "allocated", "freed",
+                   "allocs", "peak-live"});
+  if (const JsonValue* total = mem->find("total"); total != nullptr) {
+    const JsonValue* wall = total->find("wall_seconds");
+    spans.add_row({"(total)", perf_field(*total, "regions"),
+                   wall == nullptr ? "-"
+                                   : format_duration(wall->number_or(0.0)),
+                   mem_bytes_field(*total, "allocated_bytes"),
+                   mem_bytes_field(*total, "freed_bytes"),
+                   perf_field(*total, "alloc_count"),
+                   mem_bytes_field(*total, "peak_live_bytes")});
+  }
+  if (const JsonValue* span_map = mem->find("spans");
+      span_map != nullptr && span_map->is_object()) {
+    for (const auto& [name, agg] : span_map->object) {
+      const JsonValue* wall = agg.find("wall_seconds");
+      spans.add_row({name, perf_field(agg, "regions"),
+                     wall == nullptr ? "-"
+                                     : format_duration(wall->number_or(0.0)),
+                     mem_bytes_field(agg, "allocated_bytes"),
+                     mem_bytes_field(agg, "freed_bytes"),
+                     perf_field(agg, "alloc_count"),
+                     mem_bytes_field(agg, "peak_live_bytes")});
+    }
+  }
+  std::printf("%s", spans.render().c_str());
+
+  if (const JsonValue* components = mem->find("components");
+      components != nullptr && components->is_object() &&
+      !components->object.empty()) {
+    std::printf("\n");
+    TextTable owners({"component", "bytes", "share of peak"});
+    for (const auto& [tag, bytes] : components->object) {
+      const double b = bytes.number_or(0.0);
+      char share[32];
+      std::snprintf(share, sizeof share, "%.1f%%",
+                    peak > 0.0 ? 100.0 * b / peak : 0.0);
+      owners.add_row({tag, format_bytes(b), share});
+    }
+    std::printf("%s", owners.render().c_str());
   }
   return 0;
 }
@@ -657,11 +767,12 @@ int run(int argc, char** argv) {
   if (command == "bench-diff") return cmd_bench_diff(argc - 2, argv + 2);
   if (command == "roofline") return cmd_roofline(argc - 2, argv + 2);
   if (command == "watch") return cmd_watch(argc - 2, argv + 2);
-  if (command == "health" || command == "perf" || command == "journal" ||
-      command == "checkpoint") {
+  if (command == "health" || command == "perf" || command == "mem" ||
+      command == "journal" || command == "checkpoint") {
     if (argc < 3) return usage(stderr);
     if (command == "health") return cmd_health(argv[2]);
     if (command == "perf") return cmd_perf(argv[2]);
+    if (command == "mem") return cmd_mem(argv[2]);
     if (command == "journal") return cmd_journal(argv[2]);
     return cmd_checkpoint(argv[2]);
   }
