@@ -4,10 +4,19 @@
 //
 // Usage:
 //   cdr_analyzer [config.txt] [--export-prefix PREFIX] [--print-config]
-//                [--robust] [--time-budget SECONDS] [--metrics-out FILE]
+//                [--robust] [--tolerance EPS] [--time-budget SECONDS]
+//                [--metrics-out FILE]
 //                [--checkpoint FILE [--checkpoint-period N]]
 //                [--journal FILE] [--inject-fault nan|stall]
 //                [--mem-estimate] [--memory-budget BYTES]
+//                [--matrix-free auto|on|off]
+//
+// With --matrix-free on the TPM is never materialized: the solve runs
+// through the Kronecker descriptor (cdr/kron_model) and the matrix-free
+// robust ladder.  The default, auto, picks the representation under a
+// --memory-budget: when the explicit CSR's predicted peak exceeds the
+// budget but the descriptor path fits, it switches to matrix-free instead
+// of refusing.  `off` forces the explicit path (the pre-PR behaviour).
 //
 // With --mem-estimate the analytic capacity model (cdr/capacity) predicts
 // the chain dimensions and peak heap footprint from the config alone and
@@ -51,12 +60,14 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "analysis/eigen.hpp"
 #include "cdr/capacity.hpp"
 #include "cdr/config_io.hpp"
+#include "cdr/kron_model.hpp"
 #include "cdr/measures.hpp"
 #include "cdr/model.hpp"
 #include "fsm/graphviz.hpp"
@@ -64,7 +75,10 @@
 #include "obs/health/health.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/mem/mem.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/perf.hpp"
+#include "obs/prof/roofline.hpp"
 #include "parallel/pool.hpp"
 #include "robust/faultinject/faultinject.hpp"
 #include "robust/journal/journal.hpp"
@@ -90,7 +104,9 @@ int run(int argc, char** argv) {
   std::size_t checkpoint_period = 16;
   std::string journal_path;
   double time_budget = std::numeric_limits<double>::infinity();
+  double tolerance = 0.0;  // 0 = solver default
   std::size_t threads = 0;  // 0 = inherit STOCDR_THREADS (default serial)
+  std::string matrix_free_mode = "auto";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -124,6 +140,16 @@ int run(int argc, char** argv) {
       use_robust = true;  // the admission gate lives in the robust harness
     } else if (arg == "--robust") {
       use_robust = true;
+    } else if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--tolerance needs a value (L1 residual)\n");
+        return 2;
+      }
+      tolerance = std::strtod(argv[++i], nullptr);
+      if (!(tolerance > 0.0)) {
+        std::fprintf(stderr, "--tolerance must be > 0\n");
+        return 2;
+      }
     } else if (arg == "--time-budget") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--time-budget needs a value (seconds)\n");
@@ -173,14 +199,29 @@ int run(int argc, char** argv) {
         return 2;
       }
       threads = par::parse_threads_spec(argv[++i]);
+    } else if (arg == "--matrix-free") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--matrix-free needs 'auto', 'on', or 'off'\n");
+        return 2;
+      }
+      matrix_free_mode = argv[++i];
+      if (matrix_free_mode != "auto" && matrix_free_mode != "on" &&
+          matrix_free_mode != "off") {
+        std::fprintf(stderr,
+                     "--matrix-free needs 'auto', 'on', or 'off', got %s\n",
+                     matrix_free_mode.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: cdr_analyzer [config.txt] [--export-prefix PREFIX] "
-          "[--print-config] [--robust] [--time-budget SECONDS] "
+          "[--print-config] [--robust] [--tolerance EPS] "
+          "[--time-budget SECONDS] "
           "[--inject-fault nan|stall] [--threads N|auto] "
           "[--metrics-out FILE] [--checkpoint FILE] "
           "[--checkpoint-period N] [--journal FILE] "
-          "[--mem-estimate] [--memory-budget BYTES]\n");
+          "[--mem-estimate] [--memory-budget BYTES] "
+          "[--matrix-free auto|on|off]\n");
       return 0;
     } else {
       config = cdr::config_from_file(arg);
@@ -275,18 +316,79 @@ int run(int argc, char** argv) {
     }
   }
 
+  // ---- representation selection -----------------------------------------
+  bool matrix_free = false;
+  if (matrix_free_mode == "on") {
+    std::string reason;
+    if (!cdr::kronecker_supported(config, &reason)) {
+      std::fprintf(stderr, "--matrix-free on: %s\n", reason.c_str());
+      return 2;
+    }
+    matrix_free = true;
+    use_robust = true;  // the matrix-free ladder lives in the robust harness
+  } else if (matrix_free_mode == "auto" && memory_budget > 0) {
+    std::string reason;
+    if (cdr::kronecker_supported(config, &reason)) {
+      const cdr::CdrCapacityEstimate explicit_est =
+          cdr::estimate_cdr_capacity(config);
+      const cdr::KronCapacityEstimate kron_est =
+          cdr::estimate_kron_capacity(config);
+      if (explicit_est.peak_bytes() > memory_budget &&
+          kron_est.peak_bytes() <= memory_budget) {
+        std::printf(
+            "representation: explicit CSR predicted peak %llu bytes exceeds "
+            "the %zu-byte budget; switching to the matrix-free Kronecker "
+            "descriptor (predicted peak %llu bytes)\n\n",
+            static_cast<unsigned long long>(explicit_est.peak_bytes()),
+            memory_budget,
+            static_cast<unsigned long long>(kron_est.peak_bytes()));
+        matrix_free = true;
+      }
+    }
+  }
+
+  // ---- pre-build admission gate (explicit representation) ---------------
+  // The in-solve gate cannot help once the *enumeration* would blow the
+  // budget: a predicted build-phase footprint over budget is refused before
+  // anything is allocated, with the same structured report and exit code
+  // the solve-phase refusal produces.
+  if (!matrix_free && memory_budget > 0) {
+    const cdr::CdrCapacityEstimate est = cdr::estimate_cdr_capacity(config);
+    if (est.breakdown.build_phase_bytes() > memory_budget) {
+      robust::RobustSolveReport refusal;
+      refusal.states = est.states;
+      refusal.memory_budget_bytes = memory_budget;
+      refusal.predicted_peak_bytes = est.peak_bytes();
+      refusal.admission_refused = true;
+      std::printf("solve (robust): %s\n", refusal.summary().c_str());
+      std::printf("%s\n", refusal.to_json().c_str());
+      return 4;
+    }
+  }
+
   const cdr::CdrModel model(config);
-  const Timer timer;
-  const cdr::CdrChain chain = model.build();
-  std::printf("chain: %zu states, %zu transitions (formed in %s)\n",
-              chain.num_states(), chain.chain().num_transitions(),
-              format_duration(chain.form_seconds()).c_str());
+  std::optional<cdr::CdrChain> chain;
+  std::optional<cdr::KroneckerCdrModel> kron;
+  if (matrix_free) {
+    kron.emplace(model);
+    std::printf(
+        "kron descriptor: %zu states (full product), %zu terms, %zu factor "
+        "bytes (formed in %s)\n",
+        kron->num_states(), kron->descriptor().num_terms(),
+        kron->storage_bytes(), format_duration(kron->form_seconds()).c_str());
+  } else {
+    chain.emplace(model.build());
+    std::printf("chain: %zu states, %zu transitions (formed in %s)\n",
+                chain->num_states(), chain->chain().num_transitions(),
+                format_duration(chain->form_seconds()).c_str());
+  }
 
   solvers::StationaryResult solution;
   if (use_robust) {
     robust::RobustOptions ropts;
     ropts.time_budget_seconds = time_budget;
     ropts.memory_budget_bytes = memory_budget;
+    if (tolerance > 0.0) ropts.tolerance = tolerance;
     // --inject-fault rides the deterministic fault-injection engine: the
     // bare plans below fire on every arming of the sentinel's "solver"
     // site, which reproduces the original ad-hoc injectors exactly.
@@ -305,7 +407,8 @@ int run(int argc, char** argv) {
       ropts.checkpoint_period = checkpoint_period;
       ropts.checkpoint_config_hash = config_hash;
     }
-    auto result = cdr::solve_stationary_robust(chain, ropts);
+    auto result = matrix_free ? cdr::solve_stationary_robust(*kron, ropts)
+                              : cdr::solve_stationary_robust(*chain, ropts);
     if (result.report.admission_refused) {
       // Structured refusal: the gate predicted an over-budget footprint and
       // no hierarchy level fits.  Print the report and exit distinctly —
@@ -334,7 +437,9 @@ int run(int argc, char** argv) {
     solution.stats.residual = result.report.residual;
     solution.stats.converged = result.report.converged;
   } else {
-    solution = cdr::solve_stationary(chain);
+    solvers::MultilevelOptions mopts;
+    if (tolerance > 0.0) mopts.tolerance = tolerance;
+    solution = cdr::solve_stationary(*chain, mopts);
     std::printf("solve: %zu cycles, residual %s, %s (%s)\n\n",
                 solution.stats.iterations,
                 sci(solution.stats.residual, 1).c_str(),
@@ -343,14 +448,27 @@ int run(int argc, char** argv) {
   }
 
   const auto& eta = solution.distribution;
-  const double ber = cdr::bit_error_rate(model, chain, eta);
+  const double ber = matrix_free ? kron->bit_error_rate(eta)
+                                 : cdr::bit_error_rate(model, *chain, eta);
   // How many leading digits of this BER the solve residual actually
   // supports (gauges health.tail_mass / health.tail_digits when enabled).
   obs::health::record_tail_conditioning(ber, solution.stats.residual);
-  const auto slips = cdr::slip_stats(model, chain, eta);
-  const auto moments = cdr::phase_error_moments(model, chain, eta);
-  const auto lambda2 =
-      analysis::subdominant_eigenvalue(chain.chain(), eta, 1e-7, 50000);
+  const auto slips = matrix_free ? kron->slip_stats(eta)
+                                 : cdr::slip_stats(model, *chain, eta);
+  const auto moments = matrix_free
+                           ? kron->phase_error_moments(eta)
+                           : cdr::phase_error_moments(model, *chain, eta);
+  // The subdominant eigenvalue needs deflated power iteration on the
+  // explicit matrix; the matrix-free path reports it as unavailable rather
+  // than paying a second full solve through the descriptor.
+  double lambda2_mag = 0.0;
+  double mixing_bits = 0.0;
+  if (!matrix_free) {
+    const auto lambda2 =
+        analysis::subdominant_eigenvalue(chain->chain(), eta, 1e-7, 50000);
+    lambda2_mag = lambda2.magnitude;
+    mixing_bits = lambda2.mixing_steps();
+  }
 
   TextTable report({"measure", "value"});
   report.add_row({"bit-error rate", sci(ber, 3)});
@@ -362,8 +480,9 @@ int run(int argc, char** argv) {
   report.add_row({"static phase offset (UI)", fixed(moments.mean, 5)});
   report.add_row({"rms phase error (UI)", fixed(moments.rms, 5)});
   report.add_row({"|lambda_2| (loop memory)",
-                  fixed(lambda2.magnitude, 6) + "  (" +
-                      fixed(lambda2.mixing_steps(), 0) + " bits)"});
+                  matrix_free ? std::string("n/a (matrix-free)")
+                              : fixed(lambda2_mag, 6) + "  (" +
+                                    fixed(mixing_bits, 0) + " bits)"});
   std::printf("%s", report.render().c_str());
 
   if (journal != nullptr && !journal->has("analysis")) {
@@ -376,16 +495,19 @@ int run(int argc, char** argv) {
     w.field("slip_rate_down", slips.rate_down);
     w.field("static_offset", moments.mean);
     w.field("rms", moments.rms);
-    w.field("lambda2", lambda2.magnitude);
-    w.field("mixing_bits", lambda2.mixing_steps());
+    w.field("lambda2", lambda2_mag);
+    w.field("mixing_bits", mixing_bits);
     w.end_object();
     journal->append("analysis", std::move(w).str());
     std::printf("\njournaled measures to %s\n", journal_path.c_str());
   }
 
-  if (!export_prefix.empty()) {
+  if (!export_prefix.empty() && matrix_free) {
+    std::printf("\n--export needs the explicit representation; skipping "
+                "(rerun with --matrix-free off)\n");
+  } else if (!export_prefix.empty()) {
     sparse::write_matrix_market_file(export_prefix + ".mtx",
-                                     chain.chain().to_row_stochastic(),
+                                     chain->chain().to_row_stochastic(),
                                      "stocdr TPM: " + config.summary());
     std::ofstream eta_out(export_prefix + ".eta.mtx");
     sparse::write_vector_market(eta_out, eta, "stationary distribution");
@@ -399,6 +521,18 @@ int run(int argc, char** argv) {
   if (!metrics_out.empty()) {
     obs::RunManifest manifest = obs::current_manifest();
     manifest.config_hash = config_hash;
+    // Stamp the process high-water RSS so scale jobs can assert a ceiling
+    // from the snapshot alone (gauges are filtered like any other metric),
+    // and fold the telemetry aggregates (mem components, perf kernels)
+    // into gauges when their subsystems are on.
+    obs::MetricsRegistry::instance()
+        .gauge("process.peak_rss_bytes")
+        .set(static_cast<double>(obs::peak_rss_bytes()));
+    if (obs::mem::enabled()) obs::mem::publish_to_metrics();
+    if (obs::prof::enabled()) {
+      obs::prof::publish_to_metrics();
+      obs::prof::publish_kernels_to_metrics();
+    }
     obs::JsonWriter w;
     w.begin_object();
     w.key("manifest");

@@ -59,4 +59,33 @@ CdrCapacityEstimate estimate_cdr_capacity(const CdrConfig& config) {
   return out;
 }
 
+KronCapacityEstimate estimate_kron_capacity(const CdrConfig& config) {
+  KronCapacityEstimate out;
+
+  // The descriptor spans the full tensor product: the filter factor uses
+  // the component's complete state encoding, not the reachable subset.
+  const std::uint64_t n = config.counter_length;
+  const std::uint64_t filter_states =
+      config.filter_type == FilterType::kUpDownCounter ? 2 * n - 1 : n * n;
+  const std::uint64_t n_d = std::max<std::uint64_t>(config.max_run_length, 1);
+  const std::uint64_t points = std::max<std::uint64_t>(config.phase_points, 1);
+  out.states = n_d * std::max<std::uint64_t>(filter_states, 1) * points;
+
+  // Factor storage bound: the phase factors dominate at <= M x nr_atoms
+  // entries each across ~6 main terms plus the (sparse) slip restrictions;
+  // data and filter factors carry O(n_d) / O(n_c) entries per term.  CSR
+  // storage is ~16 bytes per entry (value + column index + amortized row
+  // pointers).
+  const std::uint64_t atoms = std::max<std::uint64_t>(config.nr_atoms, 1);
+  const std::uint64_t factor_nnz =
+      8 * points * atoms + 8 * (n_d + filter_states);
+  out.descriptor_bytes = 16 * factor_nnz;
+
+  obs::mem::OperatorCapacityInputs in;
+  in.states = out.states;
+  in.operator_bytes = out.descriptor_bytes;
+  out.breakdown = obs::mem::estimate_operator_capacity(in);
+  return out;
+}
+
 }  // namespace stocdr::cdr

@@ -51,4 +51,23 @@ struct CdrCapacityEstimate {
 [[nodiscard]] CdrCapacityEstimate estimate_cdr_capacity(
     const CdrConfig& config);
 
+/// The matrix-free counterpart: predicted footprint of solving through the
+/// Kronecker descriptor (cdr/kron_model.hpp).  States are the *full*
+/// tensor product (the descriptor does no reachability pruning); the
+/// operator bytes bound the factor storage of the main + slip descriptors;
+/// the workspace prices the operator ladder's iterate vectors.  Only
+/// meaningful when kronecker_supported(config) holds.
+struct KronCapacityEstimate {
+  std::uint64_t states = 0;            ///< full product-space states
+  std::uint64_t descriptor_bytes = 0;  ///< predicted factor storage
+  obs::mem::CapacityBreakdown breakdown;
+
+  [[nodiscard]] std::uint64_t peak_bytes() const {
+    return breakdown.peak_bytes();
+  }
+};
+
+[[nodiscard]] KronCapacityEstimate estimate_kron_capacity(
+    const CdrConfig& config);
+
 }  // namespace stocdr::cdr

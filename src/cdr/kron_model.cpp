@@ -1,0 +1,305 @@
+#include "cdr/kron_model.hpp"
+
+#include <array>
+#include <cmath>
+#include <utility>
+
+#include "cdr/components.hpp"
+#include "fsm/component.hpp"
+#include "kronecker/step_operator.hpp"
+#include "obs/mem/mem.hpp"
+#include "obs/trace.hpp"
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/timer.hpp"
+
+namespace stocdr::cdr {
+
+namespace {
+
+/// Which phase-factor entries a build pass keeps: everything, or only the
+/// transitions whose raw (unwrapped) phase successor leaves the grid in one
+/// direction — the slip-flux restrictions.
+enum class PhaseFilter { kAll, kWrapUp, kWrapDown };
+
+std::vector<std::size_t> make_dims(const CdrModel& model) {
+  const fsm::Network& net = model.network();
+  return {net.component(model.data_index()).num_states(),
+          net.component(model.counter_index()).num_states(),
+          net.component(model.phase_index()).num_states()};
+}
+
+}  // namespace
+
+bool kronecker_supported(const CdrConfig& config, std::string* reason) {
+  const auto fail = [&](const char* why) {
+    if (reason) *reason = why;
+    return false;
+  };
+  if (config.sj_amplitude > 0.0) {
+    return fail(
+        "sinusoidal jitter feeds the rotor phase into the detector, so the "
+        "TPM does not factor over (data, filter, phase)");
+  }
+  if (config.pd_noise_mode == PdNoiseMode::kDiscretized) {
+    return fail(
+        "discretized n_w routes an extra noise source into the detector "
+        "commands; only the exact-Gaussian detector is factorized");
+  }
+  if (reason) reason->clear();
+  return true;
+}
+
+KroneckerCdrModel::KroneckerCdrModel(const CdrModel& model)
+    : model_(&model),
+      descriptor_(make_dims(model)),
+      slip_up_(make_dims(model)),
+      slip_down_(make_dims(model)) {
+  std::string reason;
+  STOCDR_REQUIRE(kronecker_supported(model.config(), &reason),
+                 "KroneckerCdrModel: " + reason);
+  const Timer timer;
+  obs::Span span("cdr.kron_form");
+
+  const fsm::Network& net = model.network();
+  const auto& pd = dynamic_cast<const PhaseDetector&>(
+      net.component(model.phase_detector_index()));
+  const auto& filter = dynamic_cast<const fsm::DeterministicComponent&>(
+      net.component(model.counter_index()));
+  const auto& phase_fsm =
+      dynamic_cast<const PhaseErrorFsm&>(net.component(model.phase_index()));
+  const auto& nr_source = dynamic_cast<const fsm::IidSource&>(
+      net.component(model.nr_source_index()));
+  const std::vector<double>& pmf = nr_source.pmf();
+
+  const std::size_t n_d = dims()[0];
+  const std::size_t n_c = dims()[1];
+  const std::size_t points = dims()[2];
+  const PhaseGrid& grid = model.grid();
+
+  // Per-phase detector probabilities, with PhaseDetector::enumerate's exact
+  // residue folding so both representations place mass on the same branches.
+  std::vector<double> p_lead(points), p_lag(points), p_null(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    double lead = pd.lead_probability(grid.value(i));
+    double lag = pd.lag_probability(grid.value(i));
+    double null = 1.0 - lead - lag;
+    if (null > 0.0 && null < 1e-12) {
+      (lead >= lag ? lead : lag) += null;
+      null = 0.0;
+    }
+    p_lead[i] = lead;
+    p_lag[i] = lag;
+    p_null[i] = null;
+  }
+
+  // Data factors: A^(1)[d, 0] = p_trans(d) (transition resets the run),
+  // A^(0)[d, d+1] = 1 - p_trans(d), with the transition forced at the
+  // maximum run length.
+  sparse::CooBuilder a1_builder(n_d, n_d);
+  sparse::CooBuilder a0_builder(n_d, n_d);
+  const double density = model.config().transition_density;
+  for (std::size_t d = 0; d < n_d; ++d) {
+    const double p = d + 1 >= n_d ? 1.0 : density;
+    a1_builder.add(d, 0, p);
+    if (p < 1.0) a0_builder.add(d, d + 1, 1.0 - p);
+  }
+  const sparse::CsrMatrix a1 = a1_builder.to_csr();
+  const sparse::CsrMatrix a0 = a0_builder.to_csr();
+
+  // Filter factors C^(a,b): the deterministic (state, successor) pairs under
+  // detector command a, grouped by the command b the filter emits.  Built
+  // from the component's own next_state/outputs, so it is generic over both
+  // loop-filter types.
+  std::array<std::array<std::vector<std::pair<std::uint32_t, std::uint32_t>>,
+                        3>,
+             3>
+      filter_pairs;
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (std::uint32_t c = 0; c < n_c; ++c) {
+      std::uint32_t b = kHold;
+      filter.outputs(c, std::span<const std::uint32_t>(&a, 1),
+                     std::span<std::uint32_t>(&b, 1));
+      STOCDR_REQUIRE(b < 3, "KroneckerCdrModel: filter emitted a non-command");
+      const std::uint32_t next =
+          filter.next_state(c, std::span<const std::uint32_t>(&a, 1));
+      filter_pairs[a][b].emplace_back(c, next);
+    }
+  }
+  const auto filter_csr =
+      [&](const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) {
+        sparse::CooBuilder builder(n_c, n_c);
+        for (const auto& [c, next] : pairs) builder.add(c, next, 1.0);
+        return builder.to_csr();
+      };
+
+  // Phase factors Diag(w) * S_b: row phi carries weight w(phi) spread over
+  // the n_r atoms, with successors from the phase FSM's own raw/wrap/clamp
+  // arithmetic.  `weight == nullptr` means weight 1 (the detector-blind
+  // no-transition cycle).
+  const auto phase_csr = [&](std::uint32_t b, const std::vector<double>* weight,
+                             PhaseFilter restrict_to) {
+    sparse::CooBuilder builder(points, points);
+    for (std::uint32_t phi = 0; phi < points; ++phi) {
+      const double w = weight ? (*weight)[phi] : 1.0;
+      if (!(w > 0.0)) continue;
+      for (std::uint32_t r = 0; r < pmf.size(); ++r) {
+        if (pmf[r] <= 0.0) continue;
+        if (restrict_to != PhaseFilter::kAll) {
+          const std::int64_t raw = phase_fsm.raw_next(phi, b, r);
+          const bool wraps_up = raw >= static_cast<std::int64_t>(points);
+          const bool wraps_down = raw < 0;
+          if (restrict_to == PhaseFilter::kWrapUp && !wraps_up) continue;
+          if (restrict_to == PhaseFilter::kWrapDown && !wraps_down) continue;
+        }
+        const std::uint32_t inputs[2] = {b, r};
+        builder.add(phi, phase_fsm.next_state(phi, inputs), w * pmf[r]);
+      }
+    }
+    return builder.to_csr();
+  };
+
+  // Assemble the additive terms.  Per conditioning case (t=0 blind cycle;
+  // t=1 with detector command a) and per emitted command b, the term is
+  // data (x) filter (x) phase — each factor transposed so the descriptor
+  // stores P^T, the library-wide storage convention.
+  struct Case {
+    const sparse::CsrMatrix* data;
+    std::uint32_t a;
+    const std::vector<double>* weight;
+  };
+  const std::array<Case, 4> cases = {{
+      {&a0, kHold, nullptr},  // no data edge: detector blind, holds
+      {&a1, kHold, &p_null},  // edge, dead-zone NULL
+      {&a1, kUp, &p_lead},    // edge, LEAD
+      {&a1, kDown, &p_lag},   // edge, LAG
+  }};
+  const auto add_terms = [&](kron::KroneckerDescriptor& dest,
+                             PhaseFilter restrict_to) {
+    for (const Case& cs : cases) {
+      if (cs.data->nnz() == 0) continue;
+      for (std::uint32_t b = 0; b < 3; ++b) {
+        if (filter_pairs[cs.a][b].empty()) continue;
+        sparse::CsrMatrix phase = phase_csr(b, cs.weight, restrict_to);
+        if (phase.nnz() == 0) continue;
+        kron::KroneckerTerm term;
+        term.factors.push_back(cs.data->transpose());
+        term.factors.push_back(filter_csr(filter_pairs[cs.a][b]).transpose());
+        term.factors.push_back(phase.transpose());
+        dest.add_term(std::move(term));
+      }
+    }
+  };
+  add_terms(descriptor_, PhaseFilter::kAll);
+  if (model.config().boundary == BoundaryMode::kWrap) {
+    add_terms(slip_up_, PhaseFilter::kWrapUp);
+    add_terms(slip_down_, PhaseFilter::kWrapDown);
+  }
+
+  storage_bytes_ = descriptor_.storage_bytes() + slip_up_.storage_bytes() +
+                   slip_down_.storage_bytes();
+  form_seconds_ = timer.seconds();
+  if (obs::mem::enabled()) {
+    obs::mem::report_component("kron_descriptor", storage_bytes_);
+  }
+  if (span.active()) {
+    span.attr("states", static_cast<std::uint64_t>(num_states()));
+    span.attr("terms", static_cast<std::uint64_t>(descriptor_.num_terms()));
+    span.attr("storage_bytes", static_cast<std::uint64_t>(storage_bytes_));
+    span.attr("form_seconds", form_seconds_);
+  }
+}
+
+std::size_t KroneckerCdrModel::state_index(std::uint32_t d, std::uint32_t c,
+                                           std::uint32_t phi) const {
+  const std::vector<std::size_t>& dm = dims();
+  STOCDR_REQUIRE(d < dm[0] && c < dm[1] && phi < dm[2],
+                 "state_index: coordinate out of range");
+  return (static_cast<std::size_t>(d) * dm[1] + c) * dm[2] + phi;
+}
+
+std::vector<double> KroneckerCdrModel::phase_marginal(
+    std::span<const double> eta) const {
+  STOCDR_REQUIRE(eta.size() == num_states(),
+                 "phase_marginal: eta size mismatch");
+  const std::size_t points = dims().back();
+  std::vector<double> marginal(points, 0.0);
+  for (std::size_t i = 0; i < eta.size(); ++i) {
+    marginal[i % points] += eta[i];
+  }
+  return marginal;
+}
+
+std::vector<double> KroneckerCdrModel::phase_density(
+    std::span<const double> eta) const {
+  std::vector<double> density = phase_marginal(eta);
+  const double step = model_->grid().step();
+  for (double& d : density) d /= step;
+  return density;
+}
+
+double KroneckerCdrModel::bit_error_rate(std::span<const double> eta) const {
+  obs::Span span("cdr.measure.ber");
+  const std::vector<double> marginal = phase_marginal(eta);
+  // Only the exact-Gaussian detector reaches here (the discretized mode is
+  // rejected at construction), and without SJ the effective phase is the
+  // grid value itself.
+  const double sigma = model_->config().sigma_nw;
+  const PhaseGrid& grid = model_->grid();
+  double ber = 0.0;
+  for (std::size_t i = 0; i < marginal.size(); ++i) {
+    if (marginal[i] == 0.0) continue;
+    const double phi = grid.value(i);
+    double p_err;
+    if (sigma == 0.0) {
+      p_err = std::abs(phi) > 0.5 ? 1.0 : 0.0;
+    } else {
+      p_err = gaussian_tail((0.5 - phi) / sigma) +
+              gaussian_tail((0.5 + phi) / sigma);
+    }
+    ber += marginal[i] * p_err;
+  }
+  return ber;
+}
+
+PhaseErrorMoments KroneckerCdrModel::phase_error_moments(
+    std::span<const double> eta) const {
+  const std::vector<double> marginal = phase_marginal(eta);
+  const PhaseGrid& grid = model_->grid();
+  PhaseErrorMoments moments;
+  double second = 0.0;
+  for (std::size_t i = 0; i < marginal.size(); ++i) {
+    const double phi = grid.value(i);
+    moments.mean += marginal[i] * phi;
+    second += marginal[i] * phi * phi;
+  }
+  moments.rms = std::sqrt(second);
+  return moments;
+}
+
+SlipStats KroneckerCdrModel::slip_stats(std::span<const double> eta) const {
+  STOCDR_REQUIRE(model_->config().boundary == BoundaryMode::kWrap,
+                 "slip_stats requires BoundaryMode::kWrap");
+  STOCDR_REQUIRE(eta.size() == num_states(), "slip_stats: eta size mismatch");
+  // The slip flux is the total mass the wrap-restricted kernels move in one
+  // step: rate = 1^T (P_wrap^T eta), one shuffle apply per direction.  A raw
+  // successor >= M wrapped downward in index, i.e. the phase crossed +1/2 UI.
+  std::vector<double> flux(num_states());
+  SlipStats stats;
+  slip_up_.apply(eta, flux);
+  stats.rate_up = kahan_sum(flux);
+  slip_down_.apply(eta, flux);
+  stats.rate_down = kahan_sum(flux);
+  return stats;
+}
+
+robust::RobustResult solve_stationary_robust(const KroneckerCdrModel& model,
+                                             const robust::RobustOptions& options,
+                                             std::span<const double> initial) {
+  const kron::KroneckerStepOperator op(model.descriptor());
+  return robust::solve_stationary_robust(op, options, initial,
+                                         model.storage_bytes(), "kronecker");
+}
+
+}  // namespace stocdr::cdr

@@ -1,0 +1,140 @@
+// The CDR model's composite TPM as a matrix-free Kronecker descriptor.
+//
+// Conditioned on the three wire values of one cycle — the data transition
+// indicator t, the phase-detector command a, and the loop-filter output b —
+// every component transitions independently, so the TPM is an exact sum of
+// Kronecker products over (data run-length) x (loop filter) x (phase
+// error):
+//
+//   P = A^(0) (x) C^(H,H) (x) S_H                         (no transition)
+//     + sum_{a,b} A^(1) (x) C^(a,b) (x) Diag(w_a) S_b     (transition)
+//
+// with w_U = p_lead(phi), w_D = p_lag(phi), w_H = p_null(phi) — the
+// phase-conditional detector probabilities folded into the phase factor,
+// which is where the cross-component coupling lives.  The descriptor stores
+// ~O(n_d + n_c + M x atoms) factor entries in place of the explicit
+// product's O(n_d x n_c x M x atoms) — the paper's stated path past
+// explicit sparse storage ("the dimension of the problem is only limited by
+// the available computer memory").
+//
+// The factorization reuses the *same component objects* the explicit
+// compose path enumerates (PhaseDetector probabilities with their residue
+// folding, the filter's next_state/outputs, PhaseErrorFsm's raw/wrap/clamp
+// arithmetic, the IidSource's renormalized n_r PMF), so both
+// representations describe the same chain up to floating-point summation
+// order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cdr/measures.hpp"
+#include "cdr/model.hpp"
+#include "kronecker/descriptor.hpp"
+#include "robust/robust_solver.hpp"
+
+namespace stocdr::cdr {
+
+/// True when `config` admits the exact Kronecker factorization.  On false,
+/// `reason` (when non-null) explains which feature couples the components:
+/// the SJ rotor feeds the detector (phase factors would need a rotor
+/// index), and the discretized-n_w detector routes an extra source into the
+/// command probabilities.  Dead zones, both boundary modes, and both filter
+/// types are supported.
+[[nodiscard]] bool kronecker_supported(const CdrConfig& config,
+                                       std::string* reason = nullptr);
+
+/// Builds and owns the descriptor form of a CdrModel's TPM (transposed,
+/// matching the library-wide P^T storage convention: apply() computes
+/// P^T x), plus the wrap-restricted auxiliary descriptors slip detection
+/// needs.  Descriptor storage is reported to the mem layer as
+/// `mem.component.kron_descriptor`.
+///
+/// The product state space is the *full* tensor product (no reachability
+/// pruning): index = (d * n_c + c) * M + phi, phase fastest.  States the
+/// explicit compose path would prune are transient, so the stationary
+/// distribution is supported on the common recurrent class and every
+/// stationary measure below agrees with the explicit-path one.
+class KroneckerCdrModel {
+ public:
+  /// Requires kronecker_supported(model.config()); throws
+  /// PreconditionError otherwise.  `model` must outlive this object.
+  explicit KroneckerCdrModel(const CdrModel& model);
+
+  [[nodiscard]] const kron::KroneckerDescriptor& descriptor() const {
+    return descriptor_;
+  }
+  [[nodiscard]] const CdrModel& model() const { return *model_; }
+
+  /// Component dimensions {n_d, n_c, M}.
+  [[nodiscard]] const std::vector<std::size_t>& dims() const {
+    return descriptor_.dims();
+  }
+  [[nodiscard]] std::size_t num_states() const {
+    return descriptor_.dimension();
+  }
+
+  /// Wall-clock seconds spent building the factors (the descriptor-path
+  /// "Matrixformtime"; compare CdrChain::form_seconds()).
+  [[nodiscard]] double form_seconds() const { return form_seconds_; }
+
+  /// Factor storage of the main + slip descriptors, in bytes.
+  [[nodiscard]] std::size_t storage_bytes() const { return storage_bytes_; }
+
+  /// Product-space index of (data run d, filter state c, phase cell phi).
+  [[nodiscard]] std::size_t state_index(std::uint32_t d, std::uint32_t c,
+                                        std::uint32_t phi) const;
+
+  /// Phase-grid index of a product-space state (phase varies fastest).
+  [[nodiscard]] std::uint32_t phase_of(std::size_t index) const {
+    return static_cast<std::uint32_t>(index % dims().back());
+  }
+
+  // -- Stationary measures on a product-space distribution ----------------
+  // Matrix-free counterparts of cdr/measures.hpp; `eta` is a stationary
+  // vector over num_states() product states.
+
+  /// Stationary probability mass per phase-error grid cell.
+  [[nodiscard]] std::vector<double> phase_marginal(
+      std::span<const double> eta) const;
+
+  /// Mass / cell width per cell (the paper's Figure 4/5 quantity).
+  [[nodiscard]] std::vector<double> phase_density(
+      std::span<const double> eta) const;
+
+  /// BER = P(|Phi + n_w| > 1/2) by exact Gaussian tail integration.
+  [[nodiscard]] double bit_error_rate(std::span<const double> eta) const;
+
+  /// Mean and RMS phase error in UI.
+  [[nodiscard]] PhaseErrorMoments phase_error_moments(
+      std::span<const double> eta) const;
+
+  /// Cycle-slip flux through the +-1/2 UI boundary, computed by applying
+  /// the wrap-restricted descriptors (no transition enumeration).  Requires
+  /// BoundaryMode::kWrap.
+  [[nodiscard]] SlipStats slip_stats(std::span<const double> eta) const;
+
+ private:
+  const CdrModel* model_;
+  kron::KroneckerDescriptor descriptor_;
+  /// P restricted to transitions whose raw phase successor wraps up past
+  /// +1/2 UI (raw >= M) / down past -1/2 UI (raw < 0); empty term lists
+  /// outside kWrap mode.
+  kron::KroneckerDescriptor slip_up_;
+  kron::KroneckerDescriptor slip_down_;
+  double form_seconds_ = 0.0;
+  std::size_t storage_bytes_ = 0;
+};
+
+/// Runs the matrix-free robust ladder (GMRES -> Jacobi -> power; see
+/// robust/robust_solver.hpp) on the descriptor, pricing its factor storage
+/// in the memory admission gate and stamping the report's representation as
+/// "kronecker".
+[[nodiscard]] robust::RobustResult solve_stationary_robust(
+    const KroneckerCdrModel& model, const robust::RobustOptions& options = {},
+    std::span<const double> initial = {});
+
+}  // namespace stocdr::cdr

@@ -5,9 +5,17 @@
 // the shuffle algorithm in O(sum_k nnz(M_k) * prod_{j!=k} n_j) work and
 // O(prod n_k) memory — without ever materializing the product matrix.
 // This is the paper's stated path to models beyond explicit sparse storage.
+//
+// The shuffle passes are parallelized over the thread pool with the same
+// determinism discipline as sparse/csr.hpp: lanes own disjoint contiguous
+// output blocks (split over the left index) or disjoint right-index slices
+// (split over the right index), and within a lane every output element
+// accumulates its factor entries in exactly the serial order — so results
+// are bitwise identical at ANY thread count, not merely at a fixed one.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -24,6 +32,14 @@ struct KroneckerTerm {
 /// A sum of Kronecker-product terms over fixed per-component dimensions.
 class KroneckerDescriptor {
  public:
+  /// Reusable apply scratch (two product-space vectors).  Passing one to
+  /// apply() lets a solver avoid two heap allocations per matvec; the
+  /// buffers grow on first use and are content-agnostic between calls.
+  struct Workspace {
+    std::vector<double> ping;
+    std::vector<double> pong;
+  };
+
   /// `dims` are the component state-space sizes (all >= 1).
   explicit KroneckerDescriptor(std::vector<std::size_t> dims);
 
@@ -44,25 +60,47 @@ class KroneckerDescriptor {
 
   /// y = D x via the shuffle algorithm.
   void apply(std::span<const double> x, std::span<double> y) const;
+  void apply(std::span<const double> x, std::span<double> y,
+             Workspace& workspace) const;
 
   /// y = D^T x.
   void apply_transpose(std::span<const double> x, std::span<double> y) const;
+  void apply_transpose(std::span<const double> x, std::span<double> y,
+                       Workspace& workspace) const;
+
+  /// The product matrix's diagonal, diag(D)[i] = sum_e c_e prod_k
+  /// diag(M_{e,k})[i_k] — what a matrix-free Jacobi sweep needs.
+  [[nodiscard]] std::vector<double> diagonal() const;
 
   /// Materializes D as an explicit sparse matrix (validation / small cases).
   [[nodiscard]] sparse::CsrMatrix to_csr() const;
 
-  /// Bytes of factor storage held by the descriptor (compare against
+  /// Bytes of factor storage held by the descriptor — values, column
+  /// indices, and row pointers at allocated capacity (compare against
   /// ~12 bytes/nnz for the explicit product).
   [[nodiscard]] std::size_t storage_bytes() const;
 
+  /// Modelled compulsory memory traffic / flops of one apply() call (the
+  /// roofline inputs of the "kron.apply" kernel).
+  [[nodiscard]] std::uint64_t apply_bytes() const { return apply_bytes_; }
+  [[nodiscard]] std::uint64_t apply_flops() const { return apply_flops_; }
+
  private:
-  void apply_term(const KroneckerTerm& term, bool transpose,
+  void apply_impl(bool transpose, std::span<const double> x,
+                  std::span<double> y, Workspace& workspace) const;
+  void apply_term(const KroneckerTerm& term,
+                  const std::vector<char>& identity, bool transpose,
                   std::span<const double> x, std::span<double> y,
-                  std::vector<double>& scratch) const;
+                  Workspace& workspace) const;
 
   std::vector<std::size_t> dims_;
   std::size_t total_ = 1;
   std::vector<KroneckerTerm> terms_;
+  /// Per-term, per-factor structural-identity flags (identity factors are
+  /// skipped by the shuffle), computed once at add_term time.
+  std::vector<std::vector<char>> identity_;
+  std::uint64_t apply_bytes_ = 0;
+  std::uint64_t apply_flops_ = 0;
 };
 
 }  // namespace stocdr::kron

@@ -83,4 +83,14 @@ CapacityBreakdown estimate_capacity(const CapacityInputs& in) {
   return out;
 }
 
+CapacityBreakdown estimate_operator_capacity(const OperatorCapacityInputs& in) {
+  const auto n = static_cast<double>(in.states);
+  CapacityBreakdown out;
+  out.csr_bytes = scaled(static_cast<double>(in.operator_bytes));
+  out.workspace_bytes =
+      scaled(in.workspace_vectors * kBytesPerVectorEntry * n);
+  out.fixed_bytes = kFixedBytes;
+  return out;
+}
+
 }  // namespace stocdr::obs::mem

@@ -57,4 +57,24 @@ struct CapacityBreakdown {
 /// Evaluates the model.  Pure function of its inputs.
 [[nodiscard]] CapacityBreakdown estimate_capacity(const CapacityInputs& in);
 
+/// Structural dimensions of a matrix-free (operator / Kronecker-descriptor)
+/// solve.  Nothing scaling with the product nnz is ever resident: the peak
+/// is the operator's own storage (factor matrices, a few KB even for 10^7
+/// states) plus the n-length iterate/shuffle vectors the ladder keeps live.
+struct OperatorCapacityInputs {
+  std::uint64_t states = 0;         ///< product-space dimension n
+  std::uint64_t operator_bytes = 0; ///< descriptor storage_bytes()
+  /// n-length double vectors resident at once: solver iterates (x, y,
+  /// next, diag, best) plus the shuffle ping/pong workspace.  Krylov rungs
+  /// add their basis on top — price that by raising this.
+  double workspace_vectors = 8.0;
+};
+
+/// Evaluates the matrix-free model.  The breakdown reuses `csr_bytes` for
+/// the operator's storage (the analogous "matrix bytes" owner); build,
+/// annotation, hierarchy, and coarse owners are all zero — there is no
+/// build transient and no lumping machinery on this path.
+[[nodiscard]] CapacityBreakdown estimate_operator_capacity(
+    const OperatorCapacityInputs& in);
+
 }  // namespace stocdr::obs::mem

@@ -57,6 +57,33 @@ namespace stocdr::obs::prof {
   return 4 * n;
 }
 
+/// One mode of the Kronecker shuffle matvec (I_L (x) M (x) I_R) x over a
+/// product space of `dim` elements: the factor's CSR arrays once (cached
+/// across the L x R repetitions), the input and output product vectors
+/// once each.  Flops: every stored factor entry multiplies-and-adds one
+/// length-(dim / rows) slice of the product vector.
+[[nodiscard]] constexpr std::uint64_t kron_mode_bytes(std::uint64_t dim,
+                                                      std::uint64_t rows,
+                                                      std::uint64_t nnz) {
+  return nnz * (8 + 4) + (rows + 1) * 4 + 2 * dim * 8;
+}
+[[nodiscard]] constexpr std::uint64_t kron_mode_flops(std::uint64_t dim,
+                                                      std::uint64_t rows,
+                                                      std::uint64_t nnz) {
+  return rows == 0 ? 0 : 2 * nnz * (dim / rows);
+}
+
+/// Per-term accumulation y += c * z after the shuffle passes: read z and y,
+/// write y; one multiply + one add per element.
+[[nodiscard]] constexpr std::uint64_t kron_accumulate_bytes(
+    std::uint64_t dim) {
+  return 3 * dim * 8;
+}
+[[nodiscard]] constexpr std::uint64_t kron_accumulate_flops(
+    std::uint64_t dim) {
+  return 2 * dim;
+}
+
 /// Multilevel restriction (lump fine vector into aggregates) or
 /// disaggregation (expand coarse correction): one fine-vector pass, one
 /// coarse-vector pass, one aggregate-map pass (4B indices).

@@ -27,6 +27,7 @@ std::string RobustSolveReport::to_json() const {
   w.field("residual", residual);
   w.field("seconds", seconds);
   w.field("states", std::uint64_t{states});
+  w.field("representation", representation);
   w.field("stochasticity_defect", stochasticity_defect);
   w.field("repaired", repaired);
   w.field("degraded", degraded);

@@ -57,6 +57,10 @@ struct RobustSolveReport {
   double residual = 0.0;     ///< L1 stationary residual of the returned vector
   double seconds = 0.0;      ///< wall-clock of the whole orchestration
   std::size_t states = 0;    ///< fine-chain state count
+  /// How the chain was represented during the solve: "csr" for the
+  /// explicit sparse matrix, "kronecker" for the matrix-free descriptor
+  /// operator (generic StepOperator callers report "operator").
+  std::string representation = "csr";
 
   // Input validation gate.
   double stochasticity_defect = 0.0;  ///< defect of the chain as received

@@ -14,6 +14,7 @@
 #include "parallel/pool.hpp"
 #include "robust/checkpoint/checkpoint.hpp"
 #include "solvers/linear.hpp"
+#include "solvers/operator_stationary.hpp"
 #include "solvers/stationary.hpp"
 #include "sparse/coo.hpp"
 #include "support/error.hpp"
@@ -204,6 +205,312 @@ solvers::StationaryResult run_gmres_rung(const markov::MarkovChain& chain,
   return out;
 }
 
+/// The deflated stationary operator B = I - P^T + (1/n) e e^T over an
+/// abstract StepOperator — the matrix-free twin of StationaryShiftOperator.
+class OperatorShiftOperator final : public solvers::LinearOperator {
+ public:
+  explicit OperatorShiftOperator(const solvers::StepOperator& op)
+      : op_(&op), scratch_(op.size()) {}
+
+  [[nodiscard]] std::size_t size() const override { return op_->size(); }
+
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    op_->step(x, scratch_);  // P^T x
+    const double mean = kahan_sum(x) / static_cast<double>(op_->size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = x[i] - scratch_[i] + mean;
+    }
+  }
+
+ private:
+  const solvers::StepOperator* op_;
+  mutable std::vector<double> scratch_;
+};
+
+/// Matrix-free GMRES rung; identical to run_gmres_rung except that the
+/// shifted system applies through the StepOperator and the Krylov restart
+/// is budget-sized by the caller.
+solvers::StationaryResult run_operator_gmres_rung(
+    const solvers::StepOperator& sop, const RungSpec& spec, double tolerance,
+    SolveSentinel& sentinel, std::span<const double> x0,
+    std::size_t restart) {
+  const Timer timer;
+  const std::size_t n = sop.size();
+  solvers::StationaryResult out;
+  out.stats.method = "gmres-stationary";
+
+  const OperatorShiftOperator op(sop);
+  std::vector<double> rhs(n, 1.0 / static_cast<double>(n));
+  std::vector<double> bx0(n);
+  op.apply(x0, bx0);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] -= bx0[i];
+
+  solvers::SolverOptions lopts;
+  lopts.tolerance = tolerance;
+  lopts.max_iterations = spec.max_iterations;
+  const obs::ProgressObserver observer(sentinel);
+  lopts.progress = observer;
+  solvers::LinearResult lin = solvers::gmres(op, rhs, lopts, restart);
+
+  out.stats.iterations = lin.stats.iterations;
+  out.stats.matvec_count = lin.stats.matvec_count;
+  out.stats.residual_history = std::move(lin.stats.residual_history);
+
+  std::vector<double> x(x0.begin(), x0.end());
+  bool finite = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += lin.solution[i];
+    if (!std::isfinite(x[i])) finite = false;
+    if (x[i] < 0.0) x[i] = 0.0;
+  }
+  const double mass = finite ? kahan_sum(x) : 0.0;
+  if (!finite || !(mass > 0.0)) {
+    out.stats.residual = std::numeric_limits<double>::infinity();
+    out.distribution = std::move(x);
+    out.stats.seconds = timer.seconds();
+    return out;
+  }
+  for (double& v : x) v /= mass;
+  out.stats.residual = solvers::stationary_residual(sop, x);
+  out.stats.converged = out.stats.residual < tolerance;
+  out.distribution = std::move(x);
+  out.stats.seconds = timer.seconds();
+  return out;
+}
+
+std::vector<double> make_operator_initial(std::size_t n,
+                                          std::span<const double> initial) {
+  if (initial.empty()) {
+    return std::vector<double>(n, 1.0 / static_cast<double>(n));
+  }
+  STOCDR_REQUIRE(initial.size() == n,
+                 "robust: initial guess size must match the operator");
+  std::vector<double> x(initial.begin(), initial.end());
+  for (double& v : x) v = std::max(v, 0.0);
+  normalize_l1(x);
+  return x;
+}
+
+/// The matrix-free ladder loop.  Mirrors RobustSolver::run_ladder rung for
+/// rung (sentinels, warm starts, durable persists, flight dumps, failure
+/// classification) but dispatches only to operator-capable methods; the
+/// explicit-matrix rungs report kSkipped so a caller handing the default
+/// explicit ladder to an operator sees *why* the ladder thinned out.
+std::vector<double> run_operator_ladder(const solvers::StepOperator& op,
+                                        const RobustOptions& options,
+                                        std::span<const double> initial,
+                                        const Timer& clock,
+                                        std::size_t gmres_restart,
+                                        RobustSolveReport& report) {
+  const std::size_t n = op.size();
+  std::vector<double> best = make_operator_initial(n, initial);
+  double best_residual = solvers::stationary_residual(op, best);
+  bool warm = false;
+  std::string predecessor;
+
+  std::vector<RungSpec> ladder = options.ladder;
+  if (ladder.empty()) ladder = default_matrix_free_ladder();
+
+  const bool durable = !options.checkpoint_path.empty();
+  auto persist_sink = [&](std::uint64_t iteration, double res,
+                          const std::vector<double>& iterate) {
+    ckpt::Checkpoint snapshot;
+    snapshot.config_hash = options.checkpoint_config_hash;
+    snapshot.iteration = iteration;
+    snapshot.residual = res;
+    snapshot.iterate = iterate;
+    try {
+      ckpt::write_checkpoint(options.checkpoint_path, snapshot,
+                             options.checkpoint_keep);
+      ++report.durable_checkpoints;
+      durable_checkpoint_counter().add(1);
+    } catch (const Error& e) {
+      ++report.checkpoint_write_failures;
+      checkpoint_write_failure_counter().add(1);
+      std::fprintf(stderr, "stocdr: durable checkpoint write failed: %s\n",
+                   e.what());
+    }
+  };
+
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    const RungSpec& spec = ladder[r];
+    RungReport rung;
+    rung.method = to_string(spec.kind);
+    rung.predecessor_failure = predecessor;
+    rung.initial_residual = best_residual;
+    rung.warm_started = warm;
+
+    if (clock.seconds() > options.time_budget_seconds) {
+      rung.failure = FailureCause::kDeadlineExceeded;
+      rung.detail = "budget exhausted before the rung started";
+      report.deadline_exceeded = true;
+      report.rungs.push_back(std::move(rung));
+      break;
+    }
+
+    // Rungs that need a materialized matrix cannot run here; the skip is
+    // reported (with the predecessor preserved) rather than silent.
+    const char* skip_reason = nullptr;
+    switch (spec.kind) {
+      case RungKind::kMultilevel:
+        skip_reason =
+            "no explicit matrix: multilevel aggregation needs CSR rows; "
+            "power-family rungs cover the fallback";
+        break;
+      case RungKind::kSor:
+        skip_reason = "no explicit matrix: SOR's in-place sweep needs row "
+                      "access";
+        break;
+      case RungKind::kGthDirect:
+        skip_reason = "no explicit matrix: dense GTH needs materialized rows";
+        break;
+      default: break;
+    }
+    if (spec.kind == RungKind::kGmresStationary && gmres_restart == 0) {
+      skip_reason = "Krylov basis cannot fit the memory budget";
+    }
+    if (skip_reason != nullptr) {
+      rung.failure = FailureCause::kSkipped;
+      rung.detail = skip_reason;
+      report.rungs.push_back(std::move(rung));
+      continue;  // predecessor stays: the *real* failure above this rung
+    }
+
+    SolveSentinel::Options sopt;
+    sopt.stride = options.sentinel_stride;
+    sopt.divergence_factor = options.divergence_factor;
+    sopt.stall_factor = options.stall_factor;
+    sopt.stall_window = options.stall_window;
+    sopt.deadline_seconds = options.time_budget_seconds;
+    sopt.clock = &clock;
+    sopt.fault_injector = options.fault_injector;
+    sopt.forward = options.progress;
+    sopt.take_checkpoints = spec.kind != RungKind::kGmresStationary;
+    if (durable && sopt.take_checkpoints) {
+      sopt.persist = CheckpointSink(persist_sink);
+      sopt.persist_period = options.checkpoint_period;
+    }
+    SolveSentinel sentinel(sopt);
+    const obs::ProgressObserver observer(sentinel);
+
+    obs::Span span("robust.rung");
+    if (span.active()) {
+      span.attr("kind", std::string_view(to_string(spec.kind)));
+      span.attr("rung", r);
+      span.attr("warm_started", rung.warm_started);
+    }
+
+    solvers::StationaryResult result;
+    bool threw = false;
+    try {
+      switch (spec.kind) {
+        case RungKind::kGmresStationary:
+          result = run_operator_gmres_rung(op, spec, options.tolerance,
+                                           sentinel, best, gmres_restart);
+          break;
+        case RungKind::kJacobi: {
+          solvers::SolverOptions o;
+          o.tolerance = options.tolerance;
+          o.max_iterations = spec.max_iterations;
+          o.relaxation = spec.relaxation;
+          o.progress = observer;
+          result = solvers::solve_stationary_jacobi(op, o, best);
+          break;
+        }
+        case RungKind::kPower: {
+          solvers::SolverOptions o;
+          o.tolerance = options.tolerance;
+          o.max_iterations = spec.max_iterations;
+          o.relaxation = spec.relaxation;
+          o.progress = observer;
+          result = solvers::solve_stationary_power(op, o, best);
+          break;
+        }
+        default: break;  // unreachable: skipped above
+      }
+    } catch (const Error& e) {
+      threw = true;
+      rung.failure = FailureCause::kError;
+      rung.detail = e.what();
+      result.stats.method = to_string(spec.kind);
+      result.stats.converged = false;
+    }
+
+    if (!result.stats.method.empty()) rung.method = result.stats.method;
+    rung.stats = result.stats;
+    rung.checkpoints = sentinel.checkpoints_taken();
+    report.checkpoints_taken += sentinel.checkpoints_taken();
+
+    const bool success = !threw && result.stats.converged &&
+                         std::isfinite(result.stats.residual);
+    if (success) {
+      rung.failure = FailureCause::kNone;
+      report.converged = true;
+      report.final_method = rung.method;
+      best = std::move(result.distribution);
+      best_residual = result.stats.residual;
+      if (span.active()) {
+        span.attr("outcome", std::string_view("converged"));
+        span.attr("residual", best_residual);
+      }
+      report.rungs.push_back(std::move(rung));
+      break;
+    }
+
+    if (!threw) {
+      if (sentinel.verdict() != FailureCause::kNone) {
+        rung.failure = sentinel.verdict();
+        rung.detail = sentinel.verdict_detail();
+      } else if (!result.stats.breakdown.empty()) {
+        rung.failure = FailureCause::kBreakdown;
+        rung.detail = result.stats.breakdown;
+      } else if (!std::isfinite(result.stats.residual)) {
+        rung.failure = FailureCause::kNumericalFault;
+        rung.detail = "solver reported a non-finite residual";
+      } else {
+        rung.failure = FailureCause::kIterationBudget;
+        rung.detail = "no convergence within " +
+                      std::to_string(spec.max_iterations) + " iterations";
+      }
+    }
+    rung_failure_counter().add(1);
+    if (rung.failure == FailureCause::kDiverged ||
+        rung.failure == FailureCause::kStalled ||
+        rung.failure == FailureCause::kNumericalFault) {
+      dump_flight_recording(options.flight_dump_path, report);
+    }
+    if (span.active()) {
+      span.attr("outcome", std::string_view(to_string(rung.failure)));
+      span.attr("residual", result.stats.residual);
+    }
+
+    if (sentinel.checkpoint_residual() < best_residual) {
+      best = sentinel.checkpoint();
+      best_residual = sentinel.checkpoint_residual();
+      warm = true;
+      report.final_method = rung.method;
+    }
+    if (!threw && std::isfinite(result.stats.residual) &&
+        result.stats.residual < best_residual &&
+        result.distribution.size() == n) {
+      best = std::move(result.distribution);
+      best_residual = result.stats.residual;
+      warm = true;
+      report.final_method = rung.method;
+    }
+
+    const bool deadline = rung.failure == FailureCause::kDeadlineExceeded;
+    predecessor = to_string(rung.failure);
+    report.rungs.push_back(std::move(rung));
+    if (deadline) {
+      report.deadline_exceeded = true;
+      break;
+    }
+  }
+  report.residual = best_residual;
+  return best;
+}
+
 }  // namespace
 
 const char* to_string(RungKind kind) {
@@ -211,6 +518,7 @@ const char* to_string(RungKind kind) {
     case RungKind::kMultilevel: return "multilevel";
     case RungKind::kGmresStationary: return "gmres-stationary";
     case RungKind::kSor: return "sor";
+    case RungKind::kJacobi: return "jacobi";
     case RungKind::kPower: return "power";
     case RungKind::kGthDirect: return "gth-direct";
   }
@@ -224,6 +532,14 @@ std::vector<RungSpec> default_ladder() {
       {RungKind::kSor, 10000, 1.0},
       {RungKind::kPower, 50000, 0.9},
       {RungKind::kGthDirect, 1, 1.0},
+  };
+}
+
+std::vector<RungSpec> default_matrix_free_ladder() {
+  return {
+      {RungKind::kGmresStationary, 300, 1.0},
+      {RungKind::kJacobi, 20000, 1.0},
+      {RungKind::kPower, 50000, 0.9},
   };
 }
 
@@ -384,6 +700,16 @@ std::vector<double> RobustSolver::run_ladder(
           o.relaxation = spec.relaxation;
           o.progress = observer;
           result = solvers::solve_stationary_sor(chain, o, best);
+          break;
+        }
+        case RungKind::kJacobi: {
+          solvers::SolverOptions o;
+          o.tolerance = options_.tolerance;
+          o.max_iterations = spec.max_iterations;
+          o.relaxation = spec.relaxation;
+          o.progress = observer;
+          const solvers::ChainStepOperator op(chain);
+          result = solvers::solve_stationary_jacobi(op, o, best);
           break;
         }
         case RungKind::kPower: {
@@ -683,6 +1009,125 @@ RobustResult solve_stationary_robust(
     const RobustOptions& options, std::span<const double> initial) {
   const RobustSolver solver(chain, hierarchy, options);
   return solver.solve(initial);
+}
+
+RobustResult solve_stationary_robust(const solvers::StepOperator& op,
+                                     const RobustOptions& options,
+                                     std::span<const double> initial,
+                                     std::uint64_t operator_storage_bytes,
+                                     std::string_view representation) {
+  STOCDR_REQUIRE(options.tolerance > 0.0,
+                 "robust: tolerance must be positive");
+  const Timer clock;
+  obs::Span span("robust.solve");
+  const par::ThreadScope thread_scope(options.threads);
+  solve_counter().add(1);
+
+  RobustResult out;
+  const std::size_t n = op.size();
+  out.report.states = n;
+  out.report.representation = std::string(representation);
+  if (span.active()) {
+    span.attr("states", n);
+    span.attr("representation", representation);
+  }
+
+  // Validation gate.  A matrix-free operator cannot be renormalized in
+  // place, so anything beyond the repair tolerance is a rejection rather
+  // than a repair; sub-tolerance defects are recorded and tolerated (the
+  // power-family rungs re-normalize every iterate).
+  out.report.stochasticity_defect = solvers::stochasticity_defect(op);
+  if (out.report.stochasticity_defect > options.repair_tolerance) {
+    throw PreconditionError(
+        "robust: row-stochasticity defect " +
+        sci(out.report.stochasticity_defect, 2) +
+        " exceeds the repair tolerance " + sci(options.repair_tolerance, 2) +
+        "; matrix-free operators cannot be renormalized in place");
+  }
+
+  // Memory admission gate: the matrix-free capacity model prices the
+  // operator's own storage plus the iterate/shuffle workspace.  No grid
+  // degradation exists on this path (there is no lumping hierarchy), so an
+  // over-budget prediction refuses outright.  When the base footprint
+  // fits, the GMRES restart is shrunk until its Krylov basis fits too —
+  // the rung is skipped (never the solve refused) when no useful basis
+  // does.
+  std::size_t gmres_restart = 80;
+  if (options.memory_budget_bytes > 0) {
+    obs::mem::OperatorCapacityInputs cin;
+    cin.states = n;
+    cin.operator_bytes = operator_storage_bytes;
+    out.report.memory_budget_bytes = options.memory_budget_bytes;
+    out.report.predicted_peak_bytes =
+        obs::mem::estimate_operator_capacity(cin).peak_bytes();
+    if (out.report.predicted_peak_bytes > options.memory_budget_bytes) {
+      out.report.admission_refused = true;
+      admission_reject_counter().add(1);
+      out.report.seconds = clock.seconds();
+      if (span.active()) {
+        span.attr("admission_refused", true);
+        span.attr("predicted_peak_bytes", out.report.predicted_peak_bytes);
+        span.attr("memory_budget_bytes", out.report.memory_budget_bytes);
+      }
+      return out;
+    }
+    const auto peak_with_basis = [&](std::size_t m) {
+      obs::mem::OperatorCapacityInputs basis = cin;
+      // Basis vectors plus the rhs / B x0 / update temporaries of the rung.
+      basis.workspace_vectors += static_cast<double>(m + 4);
+      return obs::mem::estimate_operator_capacity(basis).peak_bytes();
+    };
+    while (gmres_restart > 0 &&
+           peak_with_basis(gmres_restart) > options.memory_budget_bytes) {
+      gmres_restart = gmres_restart >= 20 ? gmres_restart / 2 : 0;
+    }
+  }
+
+  // Durable-checkpoint restore, as on the explicit path.
+  std::span<const double> start = initial;
+  std::vector<double> restored;
+  if (!options.checkpoint_path.empty()) {
+    ckpt::RestoreScan scan =
+        ckpt::load_latest(options.checkpoint_path, options.checkpoint_keep,
+                          options.checkpoint_config_hash, n);
+    out.report.checkpoint_rejects = scan.rejected;
+    if (scan.rejected > 0) {
+      checkpoint_reject_counter().add(scan.rejected);
+      obs::Span note("robust.checkpoint_reject");
+      if (note.active()) {
+        note.attr("rejected", scan.rejected);
+        note.attr("detail", std::string_view(scan.reject_details.front()));
+      }
+      for (const std::string& line : scan.reject_details) {
+        std::fprintf(stderr, "stocdr: checkpoint rejected: %s\n",
+                     line.c_str());
+      }
+    }
+    if (scan.best.status == ckpt::LoadStatus::kOk && initial.empty()) {
+      out.report.checkpoint_restored = true;
+      out.report.checkpoint_restore_path = scan.restored_path;
+      out.report.checkpoint_restore_iteration = scan.best.checkpoint.iteration;
+      out.report.checkpoint_restore_residual = scan.best.checkpoint.residual;
+      checkpoint_restore_counter().add(1);
+      restored = std::move(scan.best.checkpoint.iterate);
+      start = restored;
+    }
+  }
+
+  out.distribution =
+      run_operator_ladder(op, options, start, clock, gmres_restart,
+                          out.report);
+  out.report.seconds = clock.seconds();
+  if (out.report.deadline_exceeded) deadline_counter().add(1);
+  if (span.active()) {
+    span.attr("converged", out.report.converged);
+    span.attr("residual", out.report.residual);
+    span.attr("rungs", out.report.rungs.size());
+    span.attr("deadline_exceeded", out.report.deadline_exceeded);
+    span.attr("checkpoint_restored", out.report.checkpoint_restored);
+    span.attr("method", std::string_view(out.report.final_method));
+  }
+  return out;
 }
 
 }  // namespace stocdr::robust

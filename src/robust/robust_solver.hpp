@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "markov/chain.hpp"
@@ -30,6 +32,7 @@
 #include "robust/report.hpp"
 #include "robust/sentinel.hpp"
 #include "solvers/aggregation.hpp"
+#include "solvers/operator_stationary.hpp"
 #include "solvers/options.hpp"
 
 namespace stocdr::robust {
@@ -39,6 +42,7 @@ enum class RungKind {
   kMultilevel,       ///< the paper's aggregation multigrid (auto V->W)
   kGmresStationary,  ///< GMRES on (I - P^T + (1/n) e e^T) x = e/n
   kSor,              ///< successive over-relaxation sweeps
+  kJacobi,           ///< damped Jacobi sweeps (diagonal-only; matrix-free OK)
   kPower,            ///< damped power iteration (slow, unconditionally safe)
   kGthDirect,        ///< dense GTH; exact, O(n^3), gated by gth_size_limit
 };
@@ -145,6 +149,13 @@ struct RobustOptions {
 /// The default ladder: multilevel -> GMRES -> SOR -> damped power -> GTH.
 [[nodiscard]] std::vector<RungSpec> default_ladder();
 
+/// The default matrix-free ladder: GMRES -> Jacobi -> damped power.  The
+/// rungs that require a materialized matrix (multilevel aggregation, SOR's
+/// row sweeps, dense GTH) are absent; when an explicit-path ladder is run
+/// through an operator those rungs are reported as skipped, not silently
+/// dropped.
+[[nodiscard]] std::vector<RungSpec> default_matrix_free_ladder();
+
 /// The orchestration harness.  Holds a validated (possibly repaired) copy
 /// of the chain when repair was needed, otherwise references the caller's.
 class RobustSolver {
@@ -199,5 +210,22 @@ class RobustSolver {
     const markov::MarkovChain& chain,
     const std::vector<markov::Partition>& hierarchy = {},
     const RobustOptions& options = {}, std::span<const double> initial = {});
+
+/// Matrix-free form: runs the ladder through an abstract StepOperator (the
+/// Kronecker descriptor path).  Rungs that need an explicit matrix
+/// (multilevel, SOR, GTH) report FailureCause::kSkipped with an explanatory
+/// detail; an empty options.ladder selects default_matrix_free_ladder().
+/// No repair (a defect beyond repair_tolerance throws — the operator cannot
+/// be renormalized in place) and no grid degradation (there is no lumping
+/// hierarchy); the memory admission gate prices `operator_storage_bytes`
+/// plus the iterate workspace via estimate_operator_capacity, and shrinks
+/// the GMRES restart until the Krylov basis fits the budget (skipping the
+/// rung when even a minimal basis will not).  `representation` lands in
+/// RobustSolveReport::representation ("kronecker" for descriptor callers).
+[[nodiscard]] RobustResult solve_stationary_robust(
+    const solvers::StepOperator& op, const RobustOptions& options = {},
+    std::span<const double> initial = {},
+    std::uint64_t operator_storage_bytes = 0,
+    std::string_view representation = "operator");
 
 }  // namespace stocdr::robust

@@ -1,0 +1,224 @@
+#include "solvers/operator_stationary.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/prof/roofline.hpp"
+#include "obs/trace.hpp"
+#include "parallel/pool.hpp"
+#include "solvers/stationary.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/timer.hpp"
+
+namespace stocdr::solvers {
+
+namespace {
+
+std::vector<double> make_initial(std::size_t n,
+                                 std::span<const double> initial) {
+  if (initial.empty()) {
+    return std::vector<double>(n, 1.0 / static_cast<double>(n));
+  }
+  STOCDR_REQUIRE(initial.size() == n,
+                 "initial guess size must match the operator");
+  std::vector<double> x(initial.begin(), initial.end());
+  for (double& v : x) v = std::max(v, 0.0);
+  normalize_l1(x);
+  return x;
+}
+
+/// Serial-sum L1 normalization with a parallel element-wise divide: the sum
+/// does not depend on the lane count and the divide is exact per element,
+/// so the result is bit-identical at any thread count.
+void normalize_l1_deterministic(std::vector<double>& x) {
+  const double mass = kahan_sum(x);
+  STOCDR_REQUIRE(std::isfinite(mass) && mass > 0.0,
+                 "normalize_l1: vector has no positive mass");
+  par::parallel_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) x[i] /= mass;
+  });
+}
+
+}  // namespace
+
+std::vector<double> ChainStepOperator::diagonal() const {
+  const std::size_t n = chain_.num_states();
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = chain_.pt().at(i, i);
+  return diag;
+}
+
+double stationary_residual(const StepOperator& op,
+                           std::span<const double> x) {
+  std::vector<double> y(x.size());
+  op.step(x, y);
+  return l1_distance(x, y);
+}
+
+double stochasticity_defect(const StepOperator& op) {
+  const std::size_t n = op.size();
+  const std::vector<double> ones(n, 1.0);
+  std::vector<double> row_sums(n);
+  op.step_backward(ones, row_sums);
+  double defect = 0.0;
+  for (const double s : row_sums) {
+    defect = std::max(defect, std::abs(s - 1.0));
+  }
+  return defect;
+}
+
+StationaryResult solve_stationary_power(const StepOperator& op,
+                                        const SolverOptions& options,
+                                        std::span<const double> initial) {
+  const Timer timer;
+  obs::Span span("solve.power");
+  if (span.active()) span.attr("representation", std::string_view("operator"));
+  const par::ThreadScope threads(options.threads);
+  StationaryResult result;
+  result.stats.method = "power";
+  ResidualRecorder recorder(result.stats.residual_history);
+  const std::size_t n = op.size();
+  std::vector<double> x = make_initial(n, initial);
+  std::vector<double> y(n);
+  const double w = options.relaxation;
+  STOCDR_REQUIRE(w > 0.0 && w <= 1.0,
+                 "power iteration damping must be in (0, 1]");
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    op.step(x, y);
+    ++result.stats.matvec_count;
+    const double res = l1_distance(x, y);
+    recorder.record(res);
+    // The event carries the pre-update iterate: `res` is *its* residual, so
+    // observers checkpoint a (vector, residual) pair that belongs together.
+    if (!obs::notify(options.progress, "power", it + 1, res,
+                     result.stats.matvec_count, x)) {
+      result.stats.iterations = it + 1;
+      result.stats.residual = res;
+      break;  // observer cancelled (deadline / sentinel); converged stays false
+    }
+    {
+      const obs::prof::KernelScope roofline(
+          "power_update", obs::prof::power_update_bytes(n),
+          obs::prof::power_update_flops(n));
+      if (w == 1.0) {
+        x.swap(y);
+      } else {
+        par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            x[i] = (1.0 - w) * x[i] + w * y[i];
+          }
+        });
+      }
+      if (std::isfinite(res)) normalize_l1_deterministic(x);
+    }
+    if (!std::isfinite(res)) {
+      result.stats.residual = std::numeric_limits<double>::infinity();
+      result.stats.iterations = it + 1;
+      break;  // diverged; report converged = false
+    }
+    result.stats.iterations = it + 1;
+    result.stats.residual = res;
+    if (res < options.tolerance) {
+      result.stats.converged = true;
+      break;
+    }
+  }
+  recorder.finish(result.stats.residual);
+  detail::stationary_matvec_counter().add(result.stats.matvec_count);
+  result.distribution = std::move(x);
+  result.stats.seconds = timer.seconds();
+  if (span.active()) {
+    span.attr("states", n);
+    span.attr("iterations", result.stats.iterations);
+    span.attr("residual", result.stats.residual);
+    span.attr("converged", result.stats.converged);
+  }
+  return result;
+}
+
+StationaryResult solve_stationary_jacobi(const StepOperator& op,
+                                         const SolverOptions& options,
+                                         std::span<const double> initial) {
+  const Timer timer;
+  obs::Span span("solve.relaxation");
+  if (span.active()) {
+    span.attr("method", std::string_view("jacobi"));
+    span.attr("representation", std::string_view("operator"));
+  }
+  const par::ThreadScope threads(options.threads);
+  const double w = options.relaxation;
+  STOCDR_REQUIRE(w > 0.0 && w <= 1.0, "Jacobi relaxation must be in (0, 1]");
+  StationaryResult result;
+  result.stats.method = "jacobi";
+  ResidualRecorder recorder(result.stats.residual_history);
+  const std::size_t n = op.size();
+  std::vector<double> x = make_initial(n, initial);
+  std::vector<double> y(n);
+  std::vector<double> next(n);
+
+  const std::vector<double> diag = op.diagonal();
+  for (const double d : diag) {
+    if (!(1.0 - d > 0.0)) {
+      throw NumericalError(
+          "relaxation solver: absorbing state encountered (p_ii = 1)");
+    }
+  }
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    op.step(x, y);  // y = P^T x; row i's off-diagonal mass is y_i - p_ii x_i
+    ++result.stats.matvec_count;
+    {
+      const obs::prof::KernelScope roofline(
+          "jacobi_update", obs::prof::power_update_bytes(n),
+          obs::prof::power_update_flops(n));
+      par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const double acc = y[i] - diag[i] * x[i];
+          next[i] = (1.0 - w) * x[i] + w * (acc / (1.0 - diag[i]));
+        }
+      });
+    }
+    const double delta = l1_distance(x, next);
+    x.swap(next);
+    const double mass = kahan_sum(x);
+    if (!std::isfinite(delta) || !std::isfinite(mass) || !(mass > 0.0)) {
+      result.stats.residual = std::numeric_limits<double>::infinity();
+      result.stats.iterations = it + 1;
+      recorder.finish(result.stats.residual);
+      result.distribution = std::move(x);
+      result.stats.seconds = timer.seconds();
+      return result;
+    }
+    par::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) x[i] /= mass;
+    });
+    result.stats.iterations = it + 1;
+    result.stats.residual = delta;
+    recorder.record(delta);
+    if (!obs::notify(options.progress, "jacobi", it + 1, delta,
+                     result.stats.matvec_count, x)) {
+      break;  // observer cancelled; converged stays false
+    }
+    if (delta < options.tolerance) {
+      result.stats.converged = true;
+      break;
+    }
+  }
+  // Report the true stationary residual rather than the sweep delta.
+  result.stats.residual = stationary_residual(op, x);
+  recorder.finish(result.stats.residual);
+  detail::stationary_matvec_counter().add(result.stats.matvec_count);
+  result.distribution = std::move(x);
+  result.stats.seconds = timer.seconds();
+  if (span.active()) {
+    span.attr("states", n);
+    span.attr("iterations", result.stats.iterations);
+    span.attr("residual", result.stats.residual);
+    span.attr("converged", result.stats.converged);
+  }
+  return result;
+}
+
+}  // namespace stocdr::solvers

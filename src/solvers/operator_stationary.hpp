@@ -1,0 +1,93 @@
+// Stationary solvers over an abstract step operator (matrix-free path).
+//
+// A StepOperator exposes exactly what the power-family stationary solvers
+// need from a Markov chain — y = P^T x, y = P x, and diag(P) — without
+// committing to an explicit sparse matrix.  markov::MarkovChain adapts
+// trivially (ChainStepOperator); the Kronecker descriptor path
+// (kronecker/step_operator.hpp) is the reason this layer exists: it lets
+// the robust ladder and the measure code solve 10^6-10^7-state CDR models
+// whose transition matrix is never materialized.
+//
+// Determinism: unlike their explicit-matrix twins (stationary.cpp), which
+// use the lane-merged par:: reductions (bitwise reproducible at a FIXED
+// thread count), these solvers compute every reduction serially with Kahan
+// compensation.  Combined with a step() that is bit-identical at any lane
+// count (the Kronecker shuffle guarantees this) the whole solve is bitwise
+// reproducible across thread counts — the property the matrix-free CI
+// scale job asserts.  The reductions are O(n) against the O(nnz) step, so
+// the serial pass is noise in the profile.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "markov/chain.hpp"
+#include "solvers/options.hpp"
+
+namespace stocdr::solvers {
+
+/// The minimal chain surface a matrix-free stationary solver needs.
+class StepOperator {
+ public:
+  virtual ~StepOperator() = default;
+
+  /// Number of states (vector length of both step directions).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// One distribution step: y = P^T x.
+  virtual void step(std::span<const double> x, std::span<double> y) const = 0;
+
+  /// One backward step: y = P x (stochasticity audits, measures).
+  virtual void step_backward(std::span<const double> x,
+                             std::span<double> y) const = 0;
+
+  /// diag(P) — what a matrix-free Jacobi sweep divides by.
+  [[nodiscard]] virtual std::vector<double> diagonal() const = 0;
+};
+
+/// Adapter: an explicit MarkovChain viewed as a StepOperator (tests and
+/// cross-validation against the explicit path).
+class ChainStepOperator final : public StepOperator {
+ public:
+  explicit ChainStepOperator(const markov::MarkovChain& chain)
+      : chain_(chain) {}
+
+  [[nodiscard]] std::size_t size() const override {
+    return chain_.num_states();
+  }
+  void step(std::span<const double> x, std::span<double> y) const override {
+    chain_.step(x, y);
+  }
+  void step_backward(std::span<const double> x,
+                     std::span<double> y) const override {
+    chain_.step_backward(x, y);
+  }
+  [[nodiscard]] std::vector<double> diagonal() const override;
+
+ private:
+  const markov::MarkovChain& chain_;
+};
+
+/// L1 distance between x and P^T x (the stationary residual).
+[[nodiscard]] double stationary_residual(const StepOperator& op,
+                                         std::span<const double> x);
+
+/// max_i |(P 1)_i - 1| — how far the operator is from row-stochastic.
+[[nodiscard]] double stochasticity_defect(const StepOperator& op);
+
+/// Damped power iteration through the operator; mirrors
+/// solve_stationary_power (same damping semantics, progress events, and
+/// residual recording) with serial Kahan reductions.
+[[nodiscard]] StationaryResult solve_stationary_power(
+    const StepOperator& op, const SolverOptions& options = {},
+    std::span<const double> initial = {});
+
+/// Damped Jacobi through the operator: one step() per sweep plus an
+/// element-wise update dividing by 1 - p_ii.  Throws NumericalError on an
+/// absorbing state (p_ii = 1).
+[[nodiscard]] StationaryResult solve_stationary_jacobi(
+    const StepOperator& op, const SolverOptions& options = {},
+    std::span<const double> initial = {});
+
+}  // namespace stocdr::solvers

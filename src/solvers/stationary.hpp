@@ -11,6 +11,10 @@
 #include "markov/chain.hpp"
 #include "solvers/options.hpp"
 
+namespace stocdr::obs {
+class Counter;
+}  // namespace stocdr::obs
+
 namespace stocdr::solvers {
 
 /// Damped power iteration: x <- (1-w) x + w P^T x, renormalized.
@@ -53,6 +57,9 @@ namespace detail {
 /// (validated and normalized), otherwise the uniform distribution.
 std::vector<double> make_initial(const markov::MarkovChain& chain,
                                  std::span<const double> initial);
+/// The shared `solver.stationary.matvec` metric; the operator-based
+/// solvers (operator_stationary.cpp) count into the same stream.
+obs::Counter& stationary_matvec_counter();
 }  // namespace detail
 
 }  // namespace stocdr::solvers

@@ -1,3 +1,4 @@
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -5,6 +6,7 @@
 #include "../tests/test_util.hpp"
 #include "kronecker/descriptor.hpp"
 #include "kronecker/kron.hpp"
+#include "parallel/pool.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/gth.hpp"
 #include "support/error.hpp"
@@ -162,6 +164,81 @@ TEST(DescriptorTest, StorageFarBelowExplicit) {
   const std::size_t explicit_nnz = 16u * 16 * 16 * 16 * 16 * 16;
   EXPECT_LT(d.storage_bytes(),
             explicit_nnz * (sizeof(double) + sizeof(std::uint32_t)) / 100);
+}
+
+TEST(DescriptorTest, DiagonalMatchesExplicitProduct) {
+  KroneckerDescriptor d({3, 4, 2});
+  Rng rng(91);
+  for (int term = 0; term < 3; ++term) {
+    KroneckerTerm t;
+    t.coefficient = rng.uniform(-2, 2);
+    for (std::size_t k = 0; k < 3; ++k) {
+      t.factors.push_back(random_matrix(d.dims()[k], 50 * term + k + 7, 0.7));
+    }
+    d.add_term(std::move(t));
+  }
+  const sparse::CsrMatrix explicit_d = d.to_csr();
+  const std::vector<double> diag = d.diagonal();
+  ASSERT_EQ(diag.size(), d.dimension());
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    EXPECT_NEAR(diag[i], explicit_d.at(i, i), 1e-13) << i;
+  }
+}
+
+TEST(DescriptorTest, ApplyBitIdenticalAcrossThreadCounts) {
+  // The shuffle's lane decomposition must not change any accumulation
+  // order: verify bitwise-equal outputs at several thread counts with the
+  // parallel threshold forced to 1 element.
+  KroneckerDescriptor d({6, 5, 7});
+  Rng rng(17);
+  for (int term = 0; term < 2; ++term) {
+    KroneckerTerm t;
+    t.coefficient = rng.uniform(-1, 1);
+    for (std::size_t k = 0; k < 3; ++k) {
+      t.factors.push_back(random_matrix(d.dims()[k], 30 * term + k + 3, 0.8));
+    }
+    d.add_term(std::move(t));
+  }
+  std::vector<double> x(d.dimension());
+  for (double& v : x) v = rng.uniform(-1, 1);
+
+  const std::size_t saved = par::min_parallel_work();
+  par::set_min_parallel_work(1);
+  std::vector<double> reference(x.size());
+  {
+    const par::ThreadScope scope(1);
+    d.apply(x, reference);
+  }
+  for (const std::size_t threads : {2u, 3u, 7u, 16u}) {
+    const par::ThreadScope scope(threads);
+    std::vector<double> y(x.size()), yt(x.size()), yt_ref(x.size());
+    d.apply(x, y);
+    EXPECT_EQ(std::memcmp(y.data(), reference.data(),
+                          y.size() * sizeof(double)),
+              0)
+        << threads << " threads";
+    d.apply_transpose(x, yt);
+    {
+      const par::ThreadScope serial(1);
+      d.apply_transpose(x, yt_ref);
+    }
+    EXPECT_EQ(std::memcmp(yt.data(), yt_ref.data(),
+                          yt.size() * sizeof(double)),
+              0)
+        << threads << " threads (transpose)";
+  }
+  par::set_min_parallel_work(saved);
+}
+
+TEST(DescriptorTest, RejectsDegenerateDimensions) {
+  EXPECT_THROW(KroneckerDescriptor({}), PreconditionError);
+  EXPECT_THROW(KroneckerDescriptor({3, 0, 2}), PreconditionError);
+  EXPECT_THROW(KroneckerDescriptor({0}), PreconditionError);
+  // An empty term list cannot be materialized.
+  KroneckerDescriptor empty({2, 2});
+  EXPECT_THROW((void)empty.to_csr(), PreconditionError);
+  KroneckerTerm no_factors;
+  EXPECT_THROW(empty.add_term(std::move(no_factors)), PreconditionError);
 }
 
 TEST(DescriptorTest, ValidatesShapes) {
