@@ -26,9 +26,21 @@ struct TraceSpan {
   std::uint64_t parent = 0;  ///< 0 = root
   std::uint32_t depth = 0;
   std::uint32_t tid = 0;     ///< 0 on pre-tid traces (schema 1)
+  std::uint32_t pid = 0;     ///< 0 on pre-pid traces (schema <= 2)
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;
+  /// Cross-process parent reference ((pid, span id) in the spawning
+  /// process); both 0 when absent.  merge_traces resolves it.
+  std::uint32_t remote_parent_pid = 0;
+  std::uint64_t remote_parent_id = 0;
   std::vector<std::pair<std::string, JsonValue>> attrs;
+};
+
+/// One resolved cross-process parent->child link, as indices into
+/// TraceFile::spans (stable under the id renumbering merge_traces does).
+struct FlowLink {
+  std::size_t from_index = 0;  ///< parent (spawning) span
+  std::size_t to_index = 0;    ///< child root span
 };
 
 /// A fully read trace.
@@ -39,6 +51,10 @@ struct TraceFile {
   bool has_manifest = false;
 
   std::vector<TraceSpan> spans;
+
+  /// Cross-process parent->child links stitched by merge_traces (empty for
+  /// a single-file read; the Chrome exporter renders them as flow arrows).
+  std::vector<FlowLink> flows;
 
   /// Signal number from a {"crash":{"signal":N}} marker line (written by
   /// the fatal-signal flight-recorder dump); 0 = no crash marker.
@@ -59,5 +75,17 @@ struct TraceFile {
 /// line(s)", ...) the CLI surfaces with its distinct exit code.
 [[nodiscard]] std::optional<std::string> empty_trace_reason(
     const TraceFile& trace);
+
+/// Merges per-process traces (one file per worker) into a single trace:
+///   - span ids are renumbered so ids from different processes never
+///     collide (parent references are remapped consistently);
+///   - a worker root span carrying a (remote_parent_pid, remote_parent_id)
+///     reference is stitched under the matching span of the spawning
+///     process — its parent/depth are rewritten and the link is recorded
+///     in TraceFile::flows for the Chrome exporter's flow arrows.
+/// The merged manifest is the first file's (workers inherit the parent's
+/// trace id, so any file's manifest identifies the run); line counts are
+/// summed and the first nonzero crash signal wins.
+[[nodiscard]] TraceFile merge_traces(std::vector<TraceFile> files);
 
 }  // namespace stocdr::obs::analyze

@@ -1,0 +1,216 @@
+#include "obs/dist/context.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+extern char** environ;
+#endif
+
+namespace stocdr::obs::dist {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash for trace-id
+/// derivation (no cryptographic requirement — only collision unlikelihood
+/// between unrelated runs on the same host).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_trace_id() {
+  const auto wall = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  const std::uint64_t id =
+      mix64(wall ^ (static_cast<std::uint64_t>(process_pid()) << 32));
+  return id != 0 ? id : 1;
+}
+
+bool parse_hex(std::string_view text, std::uint64_t& out) {
+  out = 0;
+  if (text.empty()) return false;
+  for (const char c : text) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;  // uppercase rejected: the format is lowercase-only
+    }
+    out = (out << 4) | digit;
+  }
+  return true;
+}
+
+struct ProcessContext {
+  std::optional<TraceContext> remote;
+  std::uint64_t trace_id = 0;
+};
+
+/// One-time resolution of STOCDR_TRACE_PARENT and the process trace id.
+const ProcessContext& process_context() {
+  static const ProcessContext ctx = [] {
+    ProcessContext out;
+    if (const char* env = std::getenv("STOCDR_TRACE_PARENT");
+        env != nullptr && *env != '\0') {
+      out.remote = parse_traceparent(env);
+      if (!out.remote.has_value()) {
+        std::fprintf(stderr,
+                     "stocdr: ignoring malformed STOCDR_TRACE_PARENT "
+                     "\"%s\"\n",
+                     env);
+      }
+    }
+    out.trace_id =
+        out.remote.has_value() ? out.remote->trace_id : derive_trace_id();
+    return out;
+  }();
+  return ctx;
+}
+
+}  // namespace
+
+std::string format_traceparent(const TraceContext& ctx) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 "-%08x-%016" PRIx64,
+                ctx.trace_id, ctx.pid, ctx.span_id);
+  return buf;
+}
+
+std::optional<TraceContext> parse_traceparent(std::string_view text) {
+  // Fixed widths: 16 + 1 + 8 + 1 + 16.
+  if (text.size() != 42 || text[16] != '-' || text[25] != '-') {
+    return std::nullopt;
+  }
+  TraceContext ctx;
+  std::uint64_t pid = 0;
+  if (!parse_hex(text.substr(0, 16), ctx.trace_id) ||
+      !parse_hex(text.substr(17, 8), pid) ||
+      !parse_hex(text.substr(26, 16), ctx.span_id)) {
+    return std::nullopt;
+  }
+  if (ctx.trace_id == 0) return std::nullopt;
+  ctx.pid = static_cast<std::uint32_t>(pid);
+  return ctx;
+}
+
+const std::optional<TraceContext>& remote_parent() {
+  return process_context().remote;
+}
+
+std::uint64_t process_trace_id() { return process_context().trace_id; }
+
+std::uint32_t process_pid() {
+#if defined(__unix__) || defined(__APPLE__)
+  static const std::uint32_t pid = static_cast<std::uint32_t>(::getpid());
+  return pid;
+#else
+  return 0;
+#endif
+}
+
+TraceContext current_context() {
+  TraceContext ctx;
+  ctx.trace_id = process_trace_id();
+  ctx.pid = process_pid();
+  ctx.span_id = Tracer::current_span_id();
+  return ctx;
+}
+
+std::string current_traceparent() {
+  return format_traceparent(current_context());
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+int spawn_child(const std::vector<std::string>& argv,
+                const std::vector<std::string>& extra_env) {
+  STOCDR_REQUIRE(!argv.empty(), "spawn_child: argv must not be empty");
+
+  std::vector<std::string> env_storage;
+  std::vector<std::string> overrides = extra_env;
+  overrides.push_back("STOCDR_TRACE_PARENT=" + current_traceparent());
+
+  const auto key_of = [](std::string_view entry) {
+    return entry.substr(0, entry.find('='));
+  };
+  // Inherited environment minus any overridden keys, then the overrides
+  // (later overrides win by shadowing earlier ones in reverse scan).
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string_view entry(*e);
+    bool overridden = false;
+    for (const std::string& o : overrides) {
+      if (key_of(o) == key_of(entry)) {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) env_storage.emplace_back(entry);
+  }
+  for (auto it = overrides.begin(); it != overrides.end(); ++it) {
+    bool shadowed = false;
+    for (auto later = it + 1; later != overrides.end(); ++later) {
+      if (key_of(*later) == key_of(*it)) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) env_storage.push_back(*it);
+  }
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  std::vector<char*> cenv;
+  cenv.reserve(env_storage.size() + 1);
+  for (const std::string& e : env_storage) {
+    cenv.push_back(const_cast<char*>(e.c_str()));
+  }
+  cenv.push_back(nullptr);
+
+  std::fflush(nullptr);  // do not duplicate buffered output into the child
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw IoError("spawn_child: fork failed for " + argv.front());
+  }
+  if (pid == 0) {
+    ::execve(cargv[0], cargv.data(), cenv.data());
+    // Only reached when exec failed; stdio state is the parent's, so use
+    // the async-signal-safe exit.
+    _exit(127);
+  }
+  return static_cast<int>(pid);
+}
+
+int wait_child(int pid) {
+  int status = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(static_cast<pid_t>(pid), &status, 0);
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) {
+    throw IoError("wait_child: waitpid failed for pid " + std::to_string(pid));
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+#endif  // __unix__ || __APPLE__
+
+}  // namespace stocdr::obs::dist

@@ -1,0 +1,213 @@
+#include "obs/dist/event_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/dist/context.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/atomic_file.hpp"
+
+namespace stocdr::obs::evt {
+
+namespace {
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t parse_capacity(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(text, &end, 10);
+  if (end == text || parsed == 0) return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+/// publish() can re-enter itself: an injected "event_append" fault is
+/// announced by the faultinject engine, which publishes a fault.fired
+/// event.  The guard turns the inner publish into a drop instead of an
+/// unbounded recursion.
+thread_local bool t_in_publish = false;
+
+}  // namespace
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kAlarm: return "alarm";
+  }
+  return "unknown";
+}
+
+std::string event_to_jsonl(const EventRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("event", record.kind);
+  w.field("severity", to_string(record.severity));
+  w.field("ts_ns", record.ts_ns);
+  w.field("pid", std::uint64_t{record.pid});
+  char trace_hex[17];
+  std::snprintf(trace_hex, sizeof trace_hex, "%016" PRIx64, record.trace_id);
+  w.field("trace_id", trace_hex);
+  w.field("span_id", record.span_id);
+  if (!record.attrs.empty()) {
+    w.key("attrs");
+    w.begin_object();
+    for (const auto& [key, value] : record.attrs) {
+      w.key(key);
+      if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+        w.value(*u);
+      } else if (const auto* d = std::get_if<double>(&value)) {
+        w.value(*d);
+      } else {
+        w.value(std::get<std::string>(value));
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return std::move(w).str();
+}
+
+EventLog::EventLog() {
+  if (const std::size_t ring =
+          parse_capacity(std::getenv("STOCDR_EVENT_RING"));
+      ring > 0) {
+    ring_capacity_ = ring;
+  }
+  if (const char* path = std::getenv("STOCDR_EVENT_LOG");
+      path != nullptr && *path != '\0') {
+    install(path);
+  }
+}
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::install(const std::string& path, std::size_t ring_capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ring_only_ = path.empty();
+  if (ring_capacity > 0) ring_capacity_ = ring_capacity;
+  ring_.clear();
+  if (!path.empty()) {
+    // O_APPEND so a fleet of processes can share one ordered file: each
+    // whole-line write(2) lands atomically at the current end.
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+      std::fprintf(stderr, "stocdr: event log disabled: cannot open %s\n",
+                   path.c_str());
+      ring_only_ = false;
+      active_.store(false, std::memory_order_relaxed);
+      return;
+    }
+  }
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void EventLog::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ring_only_ = false;
+  active_.store(false, std::memory_order_relaxed);
+}
+
+bool EventLog::append_line(const std::string& line) {
+  // Under mutex_.  Faults model a crash mid-append: `torn` persists a
+  // newline-less prefix (the next record's line merges with it and the
+  // reader counts one malformed line), `fail` drops the record.  Neither
+  // throws — observability must not take down the host solve.
+  std::size_t persist = line.size();
+  switch (arm_io_fault("event_append")) {
+    case 1:
+      ++dropped_;
+      return false;
+    case 2:
+      persist = line.size() / 2;
+      break;
+    default:
+      break;
+  }
+  if (fd_ >= 0) {
+    std::string out = line.substr(0, persist);
+    if (persist == line.size()) out += '\n';
+    const ssize_t wrote = ::write(fd_, out.data(), out.size());
+    if (wrote != static_cast<ssize_t>(out.size())) {
+      ++dropped_;
+      return false;
+    }
+  }
+  if (persist != line.size()) {
+    ++dropped_;  // torn: the prefix is on disk but the record is lost
+    return false;
+  }
+  ring_.push_back(line);
+  while (ring_.size() > ring_capacity_) ring_.pop_front();
+  ++published_;
+  return true;
+}
+
+void EventLog::publish(std::string_view kind, Severity severity,
+                       EventAttrs attrs) {
+  if (!enabled()) return;
+  if (t_in_publish) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++dropped_;
+    return;
+  }
+  t_in_publish = true;
+  EventRecord record;
+  record.kind = std::string(kind);
+  record.severity = severity;
+  record.ts_ns = wall_ns();
+  record.pid = dist::process_pid();
+  record.trace_id = dist::process_trace_id();
+  record.span_id = Tracer::current_span_id();
+  record.attrs = std::move(attrs);
+  const std::string line = event_to_jsonl(record);
+  bool appended;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    appended = append_line(line);
+  }
+  MetricsRegistry::instance()
+      .counter(appended ? "events.published" : "events.dropped")
+      .add(1);
+  t_in_publish = false;
+}
+
+std::vector<std::string> EventLog::recent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t EventLog::published() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace stocdr::obs::evt

@@ -1,0 +1,138 @@
+// Unified structured event log: one ordered file for everything notable.
+//
+// The robust substrate already *detects* every interesting condition —
+// sentinel trips, ladder rung changes, checkpoint writes/restores/rejects,
+// journal recovery, admission decisions, health alarms, fault firings —
+// but reports them through six different side channels (stderr lines,
+// counters, trace attributes, report structs).  "What happened during this
+// 4-hour sweep" should be one ordered file.  The EventLog is that file:
+// bounded, thread-safe, multi-process-safe, and deliberately lossy-on-
+// error (an observability sink must never take down the solve it
+// observes).
+//
+// Record schema (JSONL, one object per line):
+//
+//   {"event":"<kind>","severity":"info|warning|alarm","ts_ns":<wall ns>,
+//    "pid":<pid>,"trace_id":"<hex16>","span_id":<id>,"attrs":{...}}
+//
+//   ts_ns     CLOCK_REALTIME nanoseconds (wall, not monotonic) so records
+//             from different processes order meaningfully
+//   trace_id  the process trace id (obs/dist/context.hpp) — identical
+//             across a fleet spawned from one parent
+//   span_id   the innermost span open on the emitting thread (0 = none)
+//
+// Multi-process ordering: the file is opened O_APPEND and each record is
+// written with a single write(2), so a parent and its workers can share
+// one event-log path and the kernel interleaves whole lines.  (POSIX
+// guarantees atomicity for O_APPEND writes well past this record size on
+// regular files.)  No fsync: a torn final line after a crash is expected,
+// and every reader skips malformed lines.
+//
+// Enabling: STOCDR_EVENT_LOG=<path> (read once, lazily), or
+// EventLog::instance().install(path).  Disabled, emit() is one relaxed
+// atomic load.  The last `ring_capacity` rendered lines are also retained
+// in memory (recent()) for tests and crash diagnostics, mirroring the
+// flight recorder's ring-tee shape.
+//
+// Fault site "event_append" (STOCDR_FAULT_PLAN): `fail` drops the record
+// (counted in events.dropped), `torn` persists half the line with no
+// newline — both return normally; the event log never throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace stocdr::obs::evt {
+
+enum class Severity {
+  kInfo,     ///< progress, lifecycle
+  kWarning,  ///< degraded but proceeding (rung failure, reject, degrade)
+  kAlarm,    ///< numerical-health alarm; `obsctl events` exits non-zero
+};
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// Attribute list of one event; reuses the span AttrValue variant.
+using EventAttrs = std::vector<std::pair<std::string, AttrValue>>;
+
+/// One event as rendered/parsed (exposed for tests and obsctl).
+struct EventRecord {
+  std::string kind;
+  Severity severity = Severity::kInfo;
+  std::uint64_t ts_ns = 0;    ///< CLOCK_REALTIME ns
+  std::uint32_t pid = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  EventAttrs attrs;
+};
+
+/// Renders one record as its JSONL line (no trailing newline).
+[[nodiscard]] std::string event_to_jsonl(const EventRecord& record);
+
+/// The process-global event log.
+class EventLog {
+ public:
+  static EventLog& instance();
+
+  /// True when a destination (file or ring-only install) is active.  The
+  /// disabled fast path is one relaxed atomic load.
+  [[nodiscard]] bool enabled() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Stamps ts/pid/trace_id/span_id and appends one record.  Never throws;
+  /// write failures and injected faults increment dropped().
+  void publish(std::string_view kind, Severity severity,
+               EventAttrs attrs = {});
+
+  /// Programmatic install: `path` "" keeps the ring tee only (tests);
+  /// `ring_capacity` 0 keeps the current capacity.  Replaces any prior
+  /// destination (including the environment-selected one) and clears the
+  /// ring.
+  void install(const std::string& path, std::size_t ring_capacity = 0);
+
+  /// Closes the file destination and disables the log (ring retained).
+  void close();
+
+  /// The retained rendered lines, oldest first.
+  [[nodiscard]] std::vector<std::string> recent() const;
+
+  [[nodiscard]] std::uint64_t published() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  EventLog();
+
+  bool append_line(const std::string& line);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> active_{false};
+  int fd_ = -1;              ///< O_APPEND file, -1 = none
+  bool ring_only_ = false;   ///< installed with an empty path
+  std::size_t ring_capacity_ = 256;
+  std::deque<std::string> ring_;
+  std::uint64_t published_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Convenience: EventLog::instance().publish(...) behind an enabled()
+/// guard, so call sites pay nothing when the log is off.
+inline void emit(std::string_view kind, Severity severity = Severity::kInfo,
+                 EventAttrs attrs = {}) {
+  EventLog& log = EventLog::instance();
+  if (log.enabled()) log.publish(kind, severity, std::move(attrs));
+}
+
+/// True when the process event log is active (cheap; for call sites that
+/// want to skip attr construction entirely).
+[[nodiscard]] inline bool enabled() { return EventLog::instance().enabled(); }
+
+}  // namespace stocdr::obs::evt

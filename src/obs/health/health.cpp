@@ -1,3 +1,4 @@
+#include "obs/dist/event_log.hpp"
 #include "obs/health/health.hpp"
 
 #include <algorithm>
@@ -97,6 +98,8 @@ void audit_mass(const char* site, double before, double after) {
   site_counter("health.mass_audits.", site).add(1);
   if (!(defect <= kMassAlarmThreshold)) {  // NaN counts as an alarm
     registry.counter("health.mass_alarms").add(1);
+    evt::emit("health.mass_alarm", evt::Severity::kAlarm,
+              {{"site", std::string(site)}, {"defect", defect}});
   }
 }
 
@@ -111,6 +114,8 @@ void audit_nonnegativity(const char* site, std::span<const double> x) {
   if (negatives > 0) {
     registry.counter("health.negativity").add(negatives);
     site_counter("health.negativity.", site).add(negatives);
+    evt::emit("health.negativity", evt::Severity::kAlarm,
+              {{"site", std::string(site)}, {"negatives", negatives}});
   }
 }
 

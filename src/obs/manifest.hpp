@@ -33,7 +33,9 @@ struct RunManifest {
   std::string hostname;
   std::string date_utc;
   std::string config_hash;
-  std::uint32_t schema = 2;
+  std::uint32_t pid = 0;      ///< emitting process (fleet trace merging)
+  std::string trace_id;       ///< process trace id, 16 hex digits
+  std::uint32_t schema = 3;
 };
 
 /// The manifest for this process (config_hash left empty; stamp it per

@@ -29,8 +29,13 @@ struct SpanRecord {
   std::uint64_t parent_id = 0; ///< 0 = root span
   std::uint32_t depth = 0;     ///< nesting depth on the emitting thread
   std::uint32_t tid = 0;       ///< small per-process thread index (1-based)
+  std::uint32_t pid = 0;       ///< OS pid of the emitting process
   std::uint64_t start_ns = 0;  ///< monotonic ns since the tracer epoch
   std::uint64_t duration_ns = 0;
+  /// Cross-process parent (root spans under STOCDR_TRACE_PARENT; see
+  /// obs/dist/context.hpp).  Both 0 when there is no remote parent.
+  std::uint32_t remote_parent_pid = 0;
+  std::uint64_t remote_parent_id = 0;
   std::vector<std::pair<std::string, AttrValue>> attrs;
 };
 

@@ -35,8 +35,13 @@ std::string span_to_jsonl(const SpanRecord& span) {
   w.field("parent", span.parent_id);
   w.field("depth", std::uint64_t{span.depth});
   w.field("tid", std::uint64_t{span.tid});
+  w.field("pid", std::uint64_t{span.pid});
   w.field("ts_ns", span.start_ns);
   w.field("dur_ns", span.duration_ns);
+  if (span.remote_parent_pid != 0 || span.remote_parent_id != 0) {
+    w.field("remote_parent_pid", std::uint64_t{span.remote_parent_pid});
+    w.field("remote_parent_id", span.remote_parent_id);
+  }
   if (!span.attrs.empty()) {
     w.key("attrs");
     w.begin_object();

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/dist/context.hpp"
 #include "obs/live/crash_handler.hpp"
 #include "obs/live/flight_recorder.hpp"
 #include "support/error.hpp"
@@ -106,6 +107,10 @@ TraceSink* Tracer::sink() {
   return g_sink.load(std::memory_order_acquire);
 }
 
+std::uint64_t Tracer::current_span_id() {
+  return t_current_span != nullptr ? t_current_span->id() : 0;
+}
+
 std::uint64_t Tracer::now_ns() {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point epoch = Clock::now();
@@ -120,10 +125,18 @@ Span::Span(const char* name) : sink_(Tracer::sink()) {
   if (sink_ != nullptr) {
     record_.id = next_span_id();
     record_.tid = this_thread_index();
+    record_.pid = dist::process_pid();
     parent_ = t_current_span;
     if (parent_ != nullptr) {
       record_.parent_id = parent_->record_.id;
       record_.depth = parent_->record_.depth + 1;
+    } else if (const std::optional<dist::TraceContext>& remote =
+                   dist::remote_parent();
+               remote.has_value() && remote->span_id != 0) {
+      // Root span of a spawned worker: link it under the spawning span so a
+      // merged multi-process trace reconstructs the cross-process chain.
+      record_.remote_parent_pid = remote->pid;
+      record_.remote_parent_id = remote->span_id;
     }
     t_current_span = this;
     record_.start_ns = Tracer::now_ns();

@@ -53,6 +53,12 @@ class Tracer {
   /// Monotonic nanoseconds since the process tracer epoch (the first use of
   /// the tracing clock); shares steady_clock with stocdr::Timer.
   static std::uint64_t now_ns();
+
+  /// Id of the innermost span open on the calling thread (0 when tracing is
+  /// disabled or no span is open).  Cross-process context capture
+  /// (obs/dist/context.hpp) exports this so a spawned child's root spans
+  /// can link under the spawning span.
+  static std::uint64_t current_span_id();
 };
 
 /// RAII scoped span.  Cheap to construct when tracing is disabled; when
@@ -90,6 +96,9 @@ class Span {
 
   /// Ends the span early (idempotent; the destructor is then a no-op).
   void end();
+
+  /// The span's process-unique id (0 when inactive).
+  [[nodiscard]] std::uint64_t id() const { return record_.id; }
 
  private:
   TraceSink* sink_;       // nullptr = disabled span, all calls no-ops

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/analyze/json_parse.hpp"
+#include "obs/dist/event_log.hpp"
 #include "obs/json.hpp"
 #include "robust/faultinject/faultinject.hpp"
 #include "support/atomic_file.hpp"
@@ -29,29 +30,45 @@ std::string slurp(const std::string& path) {
   return bytes;
 }
 
-std::string header_line(std::string_view config_hash) {
+std::string header_line(std::string_view config_hash,
+                        std::size_t points_total) {
   obs::JsonWriter w;
   w.begin_object();
   w.field("journal", "stocdr-sweep");
   w.field("version", std::uint64_t{kJournalVersion});
   w.field("config_hash", config_hash);
+  if (points_total > 0) {
+    w.field("points_total", static_cast<std::uint64_t>(points_total));
+  }
   w.end_object();
   return std::move(w).str();
 }
 
 }  // namespace
 
-SweepJournal::SweepJournal(std::string path, std::string config_hash)
-    : path_(std::move(path)), config_hash_(std::move(config_hash)) {
+SweepJournal::SweepJournal(std::string path, std::string config_hash,
+                           std::size_t points_total)
+    : path_(std::move(path)),
+      config_hash_(std::move(config_hash)),
+      points_total_(points_total) {
   STOCDR_REQUIRE(!path_.empty(), "SweepJournal: path must not be empty");
   recover();
   const bool need_header = stats_.fresh;
+  if (need_header) points_total_ = points_total;  // recover() may have reset
   file_ = std::fopen(path_.c_str(), need_header ? "wb" : "ab");
   if (file_ == nullptr) {
     throw IoError("SweepJournal: cannot open " + path_);
   }
   if (need_header) {
-    append_line(header_line(config_hash_), "journal header");
+    append_line(header_line(config_hash_, points_total_), "journal header");
+  } else if (stats_.resumed > 0 || stats_.torn_tail_bytes > 0 ||
+             stats_.malformed_lines > 0) {
+    obs::evt::emit(
+        "journal.recovered", obs::evt::Severity::kInfo,
+        {{"path", path_},
+         {"resumed", std::uint64_t{stats_.resumed}},
+         {"torn_tail_bytes", std::uint64_t{stats_.torn_tail_bytes}},
+         {"malformed_lines", std::uint64_t{stats_.malformed_lines}}});
   }
 }
 
@@ -89,11 +106,18 @@ void SweepJournal::recover() {
         const auto* kind = parsed->find("journal");
         const auto* version = parsed->find("version");
         const auto* hash = parsed->find("config_hash");
+        const std::uint64_t v =
+            version != nullptr ? version->uint_or(0) : 0;
         if (kind != nullptr && kind->string_or("") == "stocdr-sweep" &&
-            version != nullptr && version->uint_or(0) == kJournalVersion &&
+            v >= kOldestReplayableVersion && v <= kJournalVersion &&
             hash != nullptr && hash->string_or("") == config_hash_) {
           good = terminated;
           header_ok = good;
+          if (good) {
+            if (const auto* total = parsed->find("points_total")) {
+              points_total_ = static_cast<std::size_t>(total->uint_or(0));
+            }
+          }
         } else {
           // A well-formed header for some *other* sweep: the whole journal
           // is for a different configuration.  Start fresh rather than
@@ -111,8 +135,27 @@ void SweepJournal::recover() {
             result != nullptr) {
           good = terminated;
           if (good) {
-            records_.emplace_back(point->string,
-                                  obs::analyze::to_json_text(*result));
+            Record record;
+            record.point = point->string;
+            record.result = obs::analyze::to_json_text(*result);
+            // v2 ledger entry; absent (v1) leaves stats.valid false.
+            if (const auto* stats = parsed->find("stats");
+                stats != nullptr && stats->is_object()) {
+              record.stats.valid = true;
+              if (const auto* f = stats->find("wall_seconds")) {
+                record.stats.wall_seconds = f->number_or(0.0);
+              }
+              if (const auto* f = stats->find("iterations")) {
+                record.stats.iterations = f->uint_or(0);
+              }
+              if (const auto* f = stats->find("residual")) {
+                record.stats.residual = f->number_or(0.0);
+              }
+              if (const auto* f = stats->find("peak_bytes")) {
+                record.stats.peak_bytes = f->uint_or(0);
+              }
+            }
+            records_.push_back(std::move(record));
           }
         }
       }
@@ -152,8 +195,18 @@ void SweepJournal::recover() {
 }
 
 const std::string* SweepJournal::result(std::string_view point_key) const {
-  for (const auto& [key, json] : records_) {
-    if (key == point_key) return &json;
+  for (const Record& record : records_) {
+    if (record.point == point_key) return &record.result;
+  }
+  return nullptr;
+}
+
+const PointStats* SweepJournal::point_stats(
+    std::string_view point_key) const {
+  for (const Record& record : records_) {
+    if (record.point == point_key) {
+      return record.stats.valid ? &record.stats : nullptr;
+    }
   }
   return nullptr;
 }
@@ -184,7 +237,8 @@ void SweepJournal::append_line(const std::string& line, const char* what) {
 }
 
 void SweepJournal::append(std::string_view point_key,
-                          std::string_view result_json) {
+                          std::string_view result_json,
+                          const PointStats& stats) {
   STOCDR_REQUIRE(!has(point_key),
                  "SweepJournal: point appended twice: " +
                      std::string(point_key));
@@ -193,9 +247,22 @@ void SweepJournal::append(std::string_view point_key,
   w.field("point", point_key);
   w.key("result");
   w.raw_value(result_json);
+  if (stats.valid) {
+    w.key("stats");
+    w.begin_object();
+    w.field("wall_seconds", stats.wall_seconds);
+    w.field("iterations", stats.iterations);
+    w.field("residual", stats.residual);
+    w.field("peak_bytes", stats.peak_bytes);
+    w.end_object();
+  }
   w.end_object();
   append_line(std::move(w).str(), "point record");
-  records_.emplace_back(std::string(point_key), std::string(result_json));
+  Record record;
+  record.point = std::string(point_key);
+  record.result = std::string(result_json);
+  record.stats = stats;
+  records_.push_back(std::move(record));
 }
 
 }  // namespace stocdr::robust::jnl

@@ -8,8 +8,18 @@
 //
 // File format (JSONL, one JSON object per '\n'-terminated line):
 //
-//   line 1   {"journal":"stocdr-sweep","version":1,"config_hash":"<hash>"}
-//   line 2+  {"point":"<point key>","result":<deterministic result JSON>}
+//   line 1   {"journal":"stocdr-sweep","version":2,"config_hash":"<hash>"
+//             [,"points_total":<n>]}
+//   line 2+  {"point":"<point key>","result":<deterministic result JSON>
+//             [,"stats":{"wall_seconds":...,"iterations":...,
+//                        "residual":...,"peak_bytes":...}]}
+//
+// Version 2 adds the optional per-point "stats" object (the progress/ETA
+// ledger: wall seconds, solver iterations, final residual, peak RSS) and
+// the optional header points_total.  Both ride OUTSIDE "result", so
+// artifact assembly — which replays result JSON verbatim — stays
+// byte-identical whether stats were recorded or not.  Version-1 journals
+// (no stats) remain fully replayable.
 //
 // The header's config_hash keys the journal to one sweep configuration: a
 // journal written under a different configuration is discarded (counted as
@@ -26,6 +36,8 @@
 // straight through or died and resumed ten times.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -34,7 +46,22 @@
 
 namespace stocdr::robust::jnl {
 
-inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::uint32_t kJournalVersion = 2;
+
+/// The oldest journal version recover() still replays (version-1 journals
+/// simply lack per-point stats).
+inline constexpr std::uint32_t kOldestReplayableVersion = 1;
+
+/// Per-point execution stats (journal v2): the sweep progress/ETA ledger.
+/// `valid` false means "not recorded" (a replayed v1 record, or a caller
+/// that declined to measure) — such stats are never serialized.
+struct PointStats {
+  double wall_seconds = 0.0;
+  std::uint64_t iterations = 0;
+  double residual = 0.0;
+  std::uint64_t peak_bytes = 0;
+  bool valid = false;
+};
 
 /// What journal recovery found (and repaired) at open time.
 struct JournalStats {
@@ -48,11 +75,22 @@ struct JournalStats {
 /// One open journal: recovers on construction, then appends fsync'd records.
 class SweepJournal {
  public:
+  /// One recovered or appended point record.
+  struct Record {
+    std::string point;
+    std::string result;
+    PointStats stats;  ///< stats.valid false for v1 records / unmeasured
+  };
+
   /// Opens (or creates) the journal at `path`, keyed to `config_hash`.
-  /// Recovers any prior records per the rules above.  Fault-injection site
-  /// "journal_append" covers every append, including the header.  Throws
-  /// stocdr::IoError when the file cannot be opened or written.
-  SweepJournal(std::string path, std::string config_hash);
+  /// Recovers any prior records per the rules above.  `points_total`
+  /// (0 = unknown) is stamped into a fresh journal's header so progress
+  /// tooling can price a partially-run sweep without the sweep definition.
+  /// Fault-injection site "journal_append" covers every append, including
+  /// the header.  Throws stocdr::IoError when the file cannot be opened or
+  /// written.
+  SweepJournal(std::string path, std::string config_hash,
+               std::size_t points_total = 0);
   ~SweepJournal();
 
   SweepJournal(const SweepJournal&) = delete;
@@ -67,17 +105,31 @@ class SweepJournal {
   /// not completed.
   [[nodiscard]] const std::string* result(std::string_view point_key) const;
 
+  /// The recorded execution stats for `point_key`; nullptr when the point
+  /// has not completed or carries no stats (v1 record).
+  [[nodiscard]] const PointStats* point_stats(
+      std::string_view point_key) const;
+
   [[nodiscard]] bool has(std::string_view point_key) const {
     return result(point_key) != nullptr;
   }
 
+  /// All recovered + appended records, in journal order.
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+  /// The header's points_total: the fresh-journal constructor argument, or
+  /// the recovered header's value on resume (0 = unknown / v1 header).
+  [[nodiscard]] std::size_t points_total() const { return points_total_; }
+
   /// Appends one completed point (flushed and fsync'd before returning) and
   /// remembers it for result()/has().  `result_json` must be a complete
   /// JSON value and should be deterministic — it is replayed verbatim on
-  /// resume.  Fault site "journal_append": fail throws IoError; torn
-  /// persists a prefix of the line and then throws (modelling a crash
-  /// mid-append).
-  void append(std::string_view point_key, std::string_view result_json);
+  /// resume.  `stats` (when valid) rides outside the result as the
+  /// progress/ETA ledger entry.  Fault site "journal_append": fail throws
+  /// IoError; torn persists a prefix of the line and then throws
+  /// (modelling a crash mid-append).
+  void append(std::string_view point_key, std::string_view result_json,
+              const PointStats& stats = {});
 
  private:
   void recover();
@@ -85,8 +137,9 @@ class SweepJournal {
 
   std::string path_;
   std::string config_hash_;
+  std::size_t points_total_ = 0;
   std::FILE* file_ = nullptr;
-  std::vector<std::pair<std::string, std::string>> records_;
+  std::vector<Record> records_;
   JournalStats stats_;
 };
 

@@ -30,10 +30,24 @@ struct SweepOutcome {
 /// return a complete, deterministic JSON value) and journaled fsync'd
 /// before the next point starts.  Fault-injection site "sweep_point" is
 /// armed once per *solved* point (fail throws; kill is engine-handled).
+///
+/// Progress/ETA ledger: each solved point is timed (wall seconds, peak RSS,
+/// and iterations/residual parsed from the result JSON) and recorded as the
+/// journal's v2 stats.  Live gauges `sweep.points_total`,
+/// `sweep.points_done`, and `sweep.eta_seconds` plus the
+/// `sweep.point_seconds` histogram track the run; a `sweep.progress` event
+/// follows every point.  The ETA prices remaining points from
+/// `predicted_costs` (one relative cost per point — e.g. the capacity
+/// model's predicted transition count; empty = uniform), calibrated
+/// against the measured seconds-per-cost of the points solved so far
+/// (including replayed points whose recovered stats carry wall seconds).
+/// The measurements live strictly OUTSIDE the result JSON, so resumed and
+/// uninterrupted runs still assemble byte-identical artifacts.
 [[nodiscard]] SweepOutcome run_sweep(
     const std::string& journal_path, const std::string& config_hash,
     const std::vector<std::string>& point_keys,
-    FunctionRef<std::string(const std::string&)> solve_point);
+    FunctionRef<std::string(const std::string&)> solve_point,
+    const std::vector<double>& predicted_costs = {});
 
 /// Serializes a finished sweep to `path` via an fsync'd atomic write.  The
 /// bytes depend only on (bench_name, config_hash, point_keys, results) — no

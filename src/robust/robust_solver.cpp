@@ -7,6 +7,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/dist/event_log.hpp"
 #include "obs/live/flight_recorder.hpp"
 #include "obs/mem/capacity.hpp"
 #include "obs/metrics.hpp"
@@ -120,6 +121,8 @@ void dump_flight_recording(const std::string& configured,
   }
   report.flight_dump_path = path;
   flight_dump_counter().add(1);
+  obs::evt::emit("flight.dump", obs::evt::Severity::kWarning,
+                 {{"path", path}});
 }
 
 /// The deflated stationary operator B = I - P^T + (1/n) e e^T.  B is
@@ -324,9 +327,13 @@ std::vector<double> run_operator_ladder(const solvers::StepOperator& op,
                              options.checkpoint_keep);
       ++report.durable_checkpoints;
       durable_checkpoint_counter().add(1);
+      obs::evt::emit("checkpoint.write", obs::evt::Severity::kInfo,
+                     {{"iteration", iteration}, {"residual", res}});
     } catch (const Error& e) {
       ++report.checkpoint_write_failures;
       checkpoint_write_failure_counter().add(1);
+      obs::evt::emit("checkpoint.write_failure", obs::evt::Severity::kWarning,
+                     {{"error", std::string(e.what())}});
       std::fprintf(stderr, "stocdr: durable checkpoint write failed: %s\n",
                    e.what());
     }
@@ -447,6 +454,11 @@ std::vector<double> run_operator_ladder(const solvers::StepOperator& op,
       rung.failure = FailureCause::kNone;
       report.converged = true;
       report.final_method = rung.method;
+      obs::evt::emit("rung.success", obs::evt::Severity::kInfo,
+                     {{"method", rung.method},
+                      {"residual", result.stats.residual},
+                      {"iterations",
+                       std::uint64_t{result.stats.iterations}}});
       best = std::move(result.distribution);
       best_residual = result.stats.residual;
       if (span.active()) {
@@ -474,6 +486,11 @@ std::vector<double> run_operator_ladder(const solvers::StepOperator& op,
       }
     }
     rung_failure_counter().add(1);
+    obs::evt::emit("rung.failure", obs::evt::Severity::kWarning,
+                   {{"method", rung.method},
+                    {"cause", std::string(to_string(rung.failure))},
+                    {"detail", rung.detail},
+                    {"residual", result.stats.residual}});
     if (rung.failure == FailureCause::kDiverged ||
         rung.failure == FailureCause::kStalled ||
         rung.failure == FailureCause::kNumericalFault) {
@@ -617,9 +634,13 @@ std::vector<double> RobustSolver::run_ladder(
                              options_.checkpoint_keep);
       ++report.durable_checkpoints;
       durable_checkpoint_counter().add(1);
+      obs::evt::emit("checkpoint.write", obs::evt::Severity::kInfo,
+                     {{"iteration", iteration}, {"residual", res}});
     } catch (const Error& e) {
       ++report.checkpoint_write_failures;
       checkpoint_write_failure_counter().add(1);
+      obs::evt::emit("checkpoint.write_failure", obs::evt::Severity::kWarning,
+                     {{"error", std::string(e.what())}});
       std::fprintf(stderr, "stocdr: durable checkpoint write failed: %s\n",
                    e.what());
     }
@@ -746,6 +767,11 @@ std::vector<double> RobustSolver::run_ladder(
       rung.failure = FailureCause::kNone;
       report.converged = true;
       report.final_method = rung.method;
+      obs::evt::emit("rung.success", obs::evt::Severity::kInfo,
+                     {{"method", rung.method},
+                      {"residual", result.stats.residual},
+                      {"iterations",
+                       std::uint64_t{result.stats.iterations}}});
       best = std::move(result.distribution);
       best_residual = result.stats.residual;
       if (span.active()) {
@@ -775,6 +801,11 @@ std::vector<double> RobustSolver::run_ladder(
       }
     }
     rung_failure_counter().add(1);
+    obs::evt::emit("rung.failure", obs::evt::Severity::kWarning,
+                   {{"method", rung.method},
+                    {"cause", std::string(to_string(rung.failure))},
+                    {"detail", rung.detail},
+                    {"residual", result.stats.residual}});
     if (rung.failure == FailureCause::kDiverged ||
         rung.failure == FailureCause::kStalled ||
         rung.failure == FailureCause::kNumericalFault) {
@@ -846,6 +877,8 @@ std::vector<double> RobustSolver::run_degraded(std::size_t max_states,
   report.degraded = true;
   report.degraded_states = coarse.num_states();
   degradation_counter().add(1);
+  obs::evt::emit("degrade.lump", obs::evt::Severity::kWarning,
+                 {{"states", std::uint64_t{coarse.num_states()}}});
 
   std::vector<double> coarse_initial;
   if (!initial.empty()) {
@@ -934,9 +967,17 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
         admission_max_states = std::min(admission_max_states, fit_states);
         out.report.degraded_for_memory = true;
         admission_degrade_counter().add(1);
+        obs::evt::emit(
+            "admission.degrade", obs::evt::Severity::kWarning,
+            {{"predicted_peak_bytes", out.report.predicted_peak_bytes},
+             {"memory_budget_bytes", out.report.memory_budget_bytes}});
       } else {
         out.report.admission_refused = true;
         admission_reject_counter().add(1);
+        obs::evt::emit(
+            "admission.refuse", obs::evt::Severity::kWarning,
+            {{"predicted_peak_bytes", out.report.predicted_peak_bytes},
+             {"memory_budget_bytes", out.report.memory_budget_bytes}});
         out.report.seconds = clock.seconds();
         if (span.active()) {
           span.attr("admission_refused", true);
@@ -961,6 +1002,9 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
     out.report.checkpoint_rejects = scan.rejected;
     if (scan.rejected > 0) {
       checkpoint_reject_counter().add(scan.rejected);
+      obs::evt::emit("checkpoint.reject", obs::evt::Severity::kWarning,
+                     {{"rejected", std::uint64_t{scan.rejected}},
+                      {"detail", scan.reject_details.front()}});
       obs::Span note("robust.checkpoint_reject");
       if (note.active()) {
         note.attr("rejected", scan.rejected);
@@ -977,6 +1021,11 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
       out.report.checkpoint_restore_iteration = scan.best.checkpoint.iteration;
       out.report.checkpoint_restore_residual = scan.best.checkpoint.residual;
       checkpoint_restore_counter().add(1);
+      obs::evt::emit(
+          "checkpoint.restore", obs::evt::Severity::kInfo,
+          {{"iteration",
+            std::uint64_t{scan.best.checkpoint.iteration}},
+           {"residual", scan.best.checkpoint.residual}});
       restored = std::move(scan.best.checkpoint.iterate);
       start = restored;
     }
@@ -989,7 +1038,11 @@ RobustResult RobustSolver::solve(std::span<const double> initial) const {
     out.distribution = run_ladder(c, hierarchy_, start, clock, out.report);
   }
   out.report.seconds = clock.seconds();
-  if (out.report.deadline_exceeded) deadline_counter().add(1);
+  if (out.report.deadline_exceeded) {
+    deadline_counter().add(1);
+    obs::evt::emit("deadline.exceeded", obs::evt::Severity::kWarning,
+                   {{"seconds", out.report.seconds}});
+  }
   if (span.active()) {
     span.attr("converged", out.report.converged);
     span.attr("residual", out.report.residual);
@@ -1063,6 +1116,10 @@ RobustResult solve_stationary_robust(const solvers::StepOperator& op,
     if (out.report.predicted_peak_bytes > options.memory_budget_bytes) {
       out.report.admission_refused = true;
       admission_reject_counter().add(1);
+      obs::evt::emit(
+          "admission.refuse", obs::evt::Severity::kWarning,
+          {{"predicted_peak_bytes", out.report.predicted_peak_bytes},
+           {"memory_budget_bytes", out.report.memory_budget_bytes}});
       out.report.seconds = clock.seconds();
       if (span.active()) {
         span.attr("admission_refused", true);
@@ -1093,6 +1150,9 @@ RobustResult solve_stationary_robust(const solvers::StepOperator& op,
     out.report.checkpoint_rejects = scan.rejected;
     if (scan.rejected > 0) {
       checkpoint_reject_counter().add(scan.rejected);
+      obs::evt::emit("checkpoint.reject", obs::evt::Severity::kWarning,
+                     {{"rejected", std::uint64_t{scan.rejected}},
+                      {"detail", scan.reject_details.front()}});
       obs::Span note("robust.checkpoint_reject");
       if (note.active()) {
         note.attr("rejected", scan.rejected);
@@ -1109,6 +1169,11 @@ RobustResult solve_stationary_robust(const solvers::StepOperator& op,
       out.report.checkpoint_restore_iteration = scan.best.checkpoint.iteration;
       out.report.checkpoint_restore_residual = scan.best.checkpoint.residual;
       checkpoint_restore_counter().add(1);
+      obs::evt::emit(
+          "checkpoint.restore", obs::evt::Severity::kInfo,
+          {{"iteration",
+            std::uint64_t{scan.best.checkpoint.iteration}},
+           {"residual", scan.best.checkpoint.residual}});
       restored = std::move(scan.best.checkpoint.iterate);
       start = restored;
     }
@@ -1118,7 +1183,11 @@ RobustResult solve_stationary_robust(const solvers::StepOperator& op,
       run_operator_ladder(op, options, start, clock, gmres_restart,
                           out.report);
   out.report.seconds = clock.seconds();
-  if (out.report.deadline_exceeded) deadline_counter().add(1);
+  if (out.report.deadline_exceeded) {
+    deadline_counter().add(1);
+    obs::evt::emit("deadline.exceeded", obs::evt::Severity::kWarning,
+                   {{"seconds", out.report.seconds}});
+  }
   if (span.active()) {
     span.attr("converged", out.report.converged);
     span.attr("residual", out.report.residual);

@@ -1,0 +1,227 @@
+// Distributed trace context: traceparent format/parse, the fork/exec
+// helper, and the end-to-end cross-process stitch — a parent span spawns
+// this very test binary as a worker, both write JSONL traces, and
+// merge_traces reconstructs the cross-process chain.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/analyze/reader.hpp"
+#include "obs/dist/context.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace stocdr::obs::dist {
+namespace {
+
+// --- traceparent format -----------------------------------------------------
+
+TEST(TraceparentTest, FormatParseRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_id = 0x00c2f1d4a9e37b58ULL;
+  ctx.pid = 0x4e21;
+  ctx.span_id = 7;
+  const std::string text = format_traceparent(ctx);
+  EXPECT_EQ(text.size(), 42u);
+  EXPECT_EQ(text, "00c2f1d4a9e37b58-00004e21-0000000000000007");
+  const auto parsed = parse_traceparent(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ctx);
+}
+
+TEST(TraceparentTest, ParseRejectsMalformedText) {
+  const char* good = "00c2f1d4a9e37b58-00004e21-0000000000000007";
+  ASSERT_TRUE(parse_traceparent(good).has_value());
+  // Wrong length.
+  EXPECT_FALSE(parse_traceparent("").has_value());
+  EXPECT_FALSE(parse_traceparent("abc").has_value());
+  EXPECT_FALSE(
+      parse_traceparent(std::string(good) + "0").has_value());
+  // Dashes in the wrong place.
+  EXPECT_FALSE(parse_traceparent(
+                   "00c2f1d4a9e37b580-0004e21-0000000000000007")
+                   .has_value());
+  // Uppercase hex: the format is lowercase-only.
+  EXPECT_FALSE(parse_traceparent(
+                   "00C2F1D4A9E37B58-00004e21-0000000000000007")
+                   .has_value());
+  // Non-hex digit.
+  EXPECT_FALSE(parse_traceparent(
+                   "00c2f1d4a9e37g58-00004e21-0000000000000007")
+                   .has_value());
+  // Zero trace_id never identifies a run.
+  EXPECT_FALSE(parse_traceparent(
+                   "0000000000000000-00004e21-0000000000000007")
+                   .has_value());
+}
+
+TEST(TraceContextTest, ProcessIdentityIsStable) {
+  EXPECT_NE(process_trace_id(), 0u);
+  EXPECT_EQ(process_trace_id(), process_trace_id());
+  EXPECT_NE(process_pid(), 0u);
+  const TraceContext ctx = current_context();
+  EXPECT_EQ(ctx.trace_id, process_trace_id());
+  EXPECT_EQ(ctx.pid, process_pid());
+  EXPECT_EQ(current_traceparent(), format_traceparent(ctx));
+}
+
+// --- fork/exec helper -------------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(SpawnChildTest, WaitChildReturnsExitStatus) {
+  const int pid = spawn_child({"/bin/sh", "-c", "exit 7"});
+  EXPECT_EQ(wait_child(pid), 7);
+}
+
+TEST(SpawnChildTest, PropagatesTraceparentIntoChildEnvironment) {
+  const int pid = spawn_child(
+      {"/bin/sh", "-c", "test \"$STOCDR_TRACE_PARENT\" = \"$1\"", "sh",
+       current_traceparent()});
+  EXPECT_EQ(wait_child(pid), 0);
+}
+
+TEST(SpawnChildTest, ExtraEnvOverridesInheritedAndLaterEntriesWin) {
+  const int pid = spawn_child(
+      {"/bin/sh", "-c", "test \"$STOCDR_DIST_TEST_VAR\" = override"},
+      {"STOCDR_DIST_TEST_VAR=first", "STOCDR_DIST_TEST_VAR=override"});
+  EXPECT_EQ(wait_child(pid), 0);
+}
+
+TEST(SpawnChildTest, FailedExecExitsWith127) {
+  const int pid = spawn_child({"/nonexistent-binary-for-stocdr-test"});
+  EXPECT_EQ(wait_child(pid), 127);
+}
+
+#endif  // __unix__ || __APPLE__
+
+// --- cross-process stitch ---------------------------------------------------
+
+/// The worker half of the fork/exec test below: only does real work when
+/// re-executed with STOCDR_DIST_CHILD=1 (the spawner also injects
+/// STOCDR_TRACE_FILE, so the spans land in the worker's own JSONL file and
+/// the root picks up its remote parent from STOCDR_TRACE_PARENT).  The
+/// env-selected file sink commits when the process exits.
+TEST(DistChildTest, ChildEmitsSpans) {
+  if (std::getenv("STOCDR_DIST_CHILD") == nullptr) {
+    GTEST_SKIP() << "worker half of ForkExecStitchesTraces";
+  }
+  Span root("child.root");
+  Span work("child.work");
+  work.end();
+  root.end();
+}
+
+#if defined(__linux__)
+
+/// The spawning half: trace files only materialise at process exit
+/// (installed sinks are retired, never destroyed mid-run), so the
+/// spawning span must live in its own process too.  Gated on
+/// STOCDR_DIST_PARENT; STOCDR_TRACE_FILE is already set by the outer
+/// test and STOCDR_DIST_CHILD_TRACE names the worker's trace file.
+TEST(DistChildTest, ParentSpawnsWorker) {
+  const char* child_trace = std::getenv("STOCDR_DIST_CHILD_TRACE");
+  if (std::getenv("STOCDR_DIST_PARENT") == nullptr ||
+      child_trace == nullptr) {
+    GTEST_SKIP() << "spawning half of ForkExecStitchesTraces";
+  }
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+  ASSERT_GT(n, 0);
+  exe[n] = '\0';
+
+  int status = -1;
+  {
+    Span spawner("dist.test.spawn");
+    const int pid = spawn_child(
+        {exe, "--gtest_filter=DistChildTest.ChildEmitsSpans"},
+        {"STOCDR_DIST_CHILD=1",
+         std::string("STOCDR_TRACE_FILE=") + child_trace});
+    status = wait_child(pid);
+    spawner.end();
+  }
+  ASSERT_EQ(status, 0);
+}
+
+TEST(DistSpawnTest, ForkExecStitchesTraces) {
+  namespace analyze = stocdr::obs::analyze;
+  const std::string tag = std::to_string(::getpid());
+  const std::string parent_path =
+      ::testing::TempDir() + "/stocdr_dist_parent." + tag + ".jsonl";
+  const std::string child_path =
+      ::testing::TempDir() + "/stocdr_dist_child." + tag + ".jsonl";
+  std::remove(parent_path.c_str());
+  std::remove(child_path.c_str());
+
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+  ASSERT_GT(n, 0);
+  exe[n] = '\0';
+
+  const int pid = spawn_child(
+      {exe, "--gtest_filter=DistChildTest.ParentSpawnsWorker"},
+      {"STOCDR_DIST_PARENT=1", "STOCDR_TRACE_FILE=" + parent_path,
+       "STOCDR_DIST_CHILD_TRACE=" + child_path});
+  ASSERT_EQ(wait_child(pid), 0);
+
+  analyze::TraceFile parent_trace = analyze::read_trace_file(parent_path);
+  analyze::TraceFile child_trace = analyze::read_trace_file(child_path);
+  ASSERT_EQ(parent_trace.spans.size(), 1u);
+  ASSERT_EQ(child_trace.spans.size(), 2u);
+
+  // Every span carries its emitter's real pid, and the two halves ran in
+  // distinct processes (neither of them this one).
+  const std::uint32_t spawner_pid = parent_trace.spans[0].pid;
+  EXPECT_NE(spawner_pid, 0u);
+  EXPECT_NE(spawner_pid, process_pid());
+  EXPECT_NE(child_trace.spans[0].pid, spawner_pid);
+  EXPECT_NE(child_trace.spans[0].pid, 0u);
+
+  // The child root recorded the spawning span as its cross-process parent.
+  const analyze::TraceSpan* child_root = nullptr;
+  for (const analyze::TraceSpan& span : child_trace.spans) {
+    if (span.name == "child.root") child_root = &span;
+  }
+  ASSERT_NE(child_root, nullptr);
+  EXPECT_EQ(child_root->remote_parent_pid, spawner_pid);
+  EXPECT_EQ(child_root->remote_parent_id, parent_trace.spans[0].id);
+
+  std::vector<analyze::TraceFile> files;
+  files.push_back(std::move(parent_trace));
+  files.push_back(std::move(child_trace));
+  const analyze::TraceFile merged = analyze::merge_traces(std::move(files));
+  ASSERT_EQ(merged.spans.size(), 3u);
+
+  const analyze::TraceSpan* spawn = nullptr;
+  const analyze::TraceSpan* root = nullptr;
+  const analyze::TraceSpan* work = nullptr;
+  for (const analyze::TraceSpan& span : merged.spans) {
+    if (span.name == "dist.test.spawn") spawn = &span;
+    if (span.name == "child.root") root = &span;
+    if (span.name == "child.work") work = &span;
+  }
+  ASSERT_NE(spawn, nullptr);
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(root->parent, spawn->id);
+  EXPECT_EQ(root->depth, spawn->depth + 1);
+  EXPECT_EQ(work->parent, root->id);
+  EXPECT_EQ(work->depth, root->depth + 1);
+  ASSERT_EQ(merged.flows.size(), 1u);
+  EXPECT_EQ(merged.spans[merged.flows[0].from_index].name,
+            "dist.test.spawn");
+  EXPECT_EQ(merged.spans[merged.flows[0].to_index].name, "child.root");
+
+  std::remove(parent_path.c_str());
+  std::remove(child_path.c_str());
+}
+
+#endif  // __linux__
+
+}  // namespace
+}  // namespace stocdr::obs::dist

@@ -1,0 +1,174 @@
+// Unified structured event log: schema, ordering, ring tee, torn-append
+// fault tolerance, and thread safety (this binary also runs under TSan).
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/analyze/json_parse.hpp"
+#include "obs/dist/context.hpp"
+#include "obs/dist/event_log.hpp"
+#include "robust/faultinject/faultinject.hpp"
+
+namespace stocdr::obs::evt {
+namespace {
+
+using analyze::JsonValue;
+using analyze::parse_json;
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  // Pid-unique path: ctest runs the tests of this binary in parallel
+  // processes, and a shared name would let one fixture unlink another's
+  // live log.
+  EventLogTest()
+      : path_(::testing::TempDir() + "/stocdr_event_log." +
+              std::to_string(::getpid()) + ".jsonl") {
+    std::remove(path_.c_str());
+    published_before_ = EventLog::instance().published();
+    dropped_before_ = EventLog::instance().dropped();
+  }
+  ~EventLogTest() override {
+    EventLog::instance().close();
+    std::remove(path_.c_str());
+  }
+
+  [[nodiscard]] std::uint64_t published_delta() const {
+    return EventLog::instance().published() - published_before_;
+  }
+  [[nodiscard]] std::uint64_t dropped_delta() const {
+    return EventLog::instance().dropped() - dropped_before_;
+  }
+
+  std::string path_;
+  std::uint64_t published_before_ = 0;
+  std::uint64_t dropped_before_ = 0;
+};
+
+TEST_F(EventLogTest, WritesSchemaCompleteOrderedRecords) {
+  EventLog::instance().install(path_);
+  emit("rung.failure", Severity::kWarning,
+       {{"method", std::string("power")}, {"residual", 0.25}});
+  emit("health.mass_alarm", Severity::kAlarm, {{"negatives", std::uint64_t{3}}});
+  emit("sweep.done");
+  EventLog::instance().close();
+
+  const std::vector<std::string> lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(published_delta(), 3u);
+
+  const auto first = parse_json(lines[0]);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->find("event")->string_or(""), "rung.failure");
+  EXPECT_EQ(first->find("severity")->string_or(""), "warning");
+  EXPECT_GT(first->find("ts_ns")->uint_or(0), 0u);
+  EXPECT_EQ(first->find("pid")->uint_or(0), dist::process_pid());
+  // trace_id renders as fixed-width lowercase hex.
+  EXPECT_EQ(first->find("trace_id")->string_or("").size(), 16u);
+  ASSERT_NE(first->find("attrs"), nullptr);
+  EXPECT_EQ(first->find("attrs")->find("method")->string_or(""), "power");
+  EXPECT_DOUBLE_EQ(first->find("attrs")->find("residual")->number_or(0),
+                   0.25);
+
+  const auto second = parse_json(lines[1]);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->find("event")->string_or(""), "health.mass_alarm");
+  EXPECT_EQ(second->find("severity")->string_or(""), "alarm");
+  EXPECT_EQ(second->find("attrs")->find("negatives")->uint_or(0), 3u);
+  // Every record of one process shares the process trace id.
+  EXPECT_EQ(second->find("trace_id")->string_or(""),
+            first->find("trace_id")->string_or(""));
+
+  const auto third = parse_json(lines[2]);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->find("event")->string_or(""), "sweep.done");
+  EXPECT_EQ(third->find("attrs"), nullptr);  // empty attrs are omitted
+  // Wall timestamps are monotone within one thread.
+  EXPECT_LE(first->find("ts_ns")->uint_or(0), third->find("ts_ns")->uint_or(0));
+}
+
+TEST_F(EventLogTest, RingOnlyInstallKeepsBoundedRecent) {
+  EventLog::instance().install("", /*ring_capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    emit("tick." + std::to_string(i));
+  }
+  const std::vector<std::string> recent = EventLog::instance().recent();
+  ASSERT_EQ(recent.size(), 4u);  // oldest two evicted
+  EXPECT_NE(recent.front().find("\"tick.2\""), std::string::npos);
+  EXPECT_NE(recent.back().find("\"tick.5\""), std::string::npos);
+  EXPECT_EQ(published_delta(), 6u);
+}
+
+TEST_F(EventLogTest, DisabledEmitIsANoOp) {
+  EventLog::instance().close();
+  emit("ignored.event");
+  EXPECT_EQ(published_delta(), 0u);
+  EXPECT_EQ(dropped_delta(), 0u);
+}
+
+TEST_F(EventLogTest, TornAppendDropsOneRecordButFileStaysReadable) {
+  EventLog::instance().install(path_);
+  robust::fi::install_plan(
+      robust::fi::FaultPlan::parse("event_append:torn@2"));
+  emit("first.event");
+  emit("second.event");  // torn: half the line, no newline
+  emit("third.event");   // merges onto the torn prefix -> one malformed line
+  robust::fi::install_plan(std::nullopt);
+  EventLog::instance().close();
+
+  EXPECT_EQ(published_delta(), 2u);
+  EXPECT_EQ(dropped_delta(), 1u);
+
+  const std::vector<std::string> lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 2u);
+  const auto good = parse_json(lines[0]);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->find("event")->string_or(""), "first.event");
+  // The torn prefix plus the next record make exactly one malformed line —
+  // readers (obsctl events) skip and count it, never fail.
+  EXPECT_FALSE(parse_json(lines[1]).has_value());
+}
+
+TEST_F(EventLogTest, ConcurrentEmittersProduceWholeLines) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  EventLog::instance().install(path_, /*ring_capacity=*/kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        emit("thread." + std::to_string(t), Severity::kInfo,
+             {{"i", std::uint64_t{static_cast<std::uint64_t>(i)}}});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EventLog::instance().close();
+
+  EXPECT_EQ(published_delta(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  const std::vector<std::string> lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    const auto parsed = parse_json(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_NE(parsed->find("event"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace stocdr::obs::evt

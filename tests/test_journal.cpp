@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "robust/faultinject/faultinject.hpp"
 #include "robust/journal/journal.hpp"
 #include "robust/journal/sweep.hpp"
@@ -146,6 +147,76 @@ TEST(SweepJournalTest, ForeignConfigHashDiscardsTheJournal) {
   EXPECT_FALSE(reopened.stats().config_mismatch);
 }
 
+// --- journal v2: stats ledger, points_total, v1 compat ----------------------
+
+TEST(SweepJournalTest, VersionOneJournalStillReplays) {
+  const std::string path = fresh_path("stocdr_jnl_v1.jsonl");
+  // Hand-written v1 journal: no points_total, records without stats.
+  append_raw(path,
+             "{\"journal\":\"stocdr-sweep\",\"version\":1,"
+             "\"config_hash\":\"hash-a\"}\n");
+  append_raw(path, "{\"point\":\"p1\",\"result\":{\"v\":1}}\n");
+
+  SweepJournal journal(path, "hash-a");
+  EXPECT_FALSE(journal.stats().fresh);
+  EXPECT_FALSE(journal.stats().config_mismatch);
+  EXPECT_EQ(journal.stats().resumed, 1u);
+  EXPECT_EQ(journal.points_total(), 0u);  // v1 headers carry no total
+  ASSERT_NE(journal.result("p1"), nullptr);
+  EXPECT_EQ(*journal.result("p1"), "{\"v\":1}");
+  // v1 records carry no ledger entry.
+  EXPECT_EQ(journal.point_stats("p1"), nullptr);
+
+  // Appends (with stats) extend the v1 file in place and replay fine.
+  PointStats stats;
+  stats.wall_seconds = 1.5;
+  stats.valid = true;
+  journal.append("p2", "{\"v\":2}", stats);
+  SweepJournal reopened(path, "hash-a");
+  EXPECT_EQ(reopened.stats().resumed, 2u);
+  ASSERT_NE(reopened.point_stats("p2"), nullptr);
+  EXPECT_DOUBLE_EQ(reopened.point_stats("p2")->wall_seconds, 1.5);
+}
+
+TEST(SweepJournalTest, FutureVersionIsDiscardedAsForeign) {
+  const std::string path = fresh_path("stocdr_jnl_v9.jsonl");
+  append_raw(path,
+             "{\"journal\":\"stocdr-sweep\",\"version\":9,"
+             "\"config_hash\":\"hash-a\"}\n");
+  append_raw(path, "{\"point\":\"p1\",\"result\":{\"v\":1}}\n");
+  SweepJournal journal(path, "hash-a");
+  EXPECT_TRUE(journal.stats().fresh);
+  EXPECT_TRUE(journal.stats().config_mismatch);
+  EXPECT_FALSE(journal.has("p1"));
+}
+
+TEST(SweepJournalTest, StatsAndPointsTotalRoundTrip) {
+  const std::string path = fresh_path("stocdr_jnl_stats.jsonl");
+  {
+    SweepJournal journal(path, "hash-a", /*points_total=*/5);
+    EXPECT_EQ(journal.points_total(), 5u);
+    PointStats stats;
+    stats.wall_seconds = 0.125;
+    stats.iterations = 42;
+    stats.residual = 1e-10;
+    stats.peak_bytes = 1u << 20;
+    stats.valid = true;
+    journal.append("p1", "{\"v\":1}", stats);
+    journal.append("p2", "{\"v\":2}");  // unmeasured: no stats object
+  }
+  SweepJournal journal(path, "hash-a");
+  EXPECT_EQ(journal.points_total(), 5u);  // recovered from the header
+  EXPECT_EQ(journal.stats().resumed, 2u);
+  const PointStats* stats = journal.point_stats("p1");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->valid);
+  EXPECT_DOUBLE_EQ(stats->wall_seconds, 0.125);
+  EXPECT_EQ(stats->iterations, 42u);
+  EXPECT_DOUBLE_EQ(stats->residual, 1e-10);
+  EXPECT_EQ(stats->peak_bytes, 1u << 20);
+  EXPECT_EQ(journal.point_stats("p2"), nullptr);
+}
+
 // --- resumable sweep runner -------------------------------------------------
 
 std::string toy_result(const std::string& key) {
@@ -171,6 +242,27 @@ TEST(SweepRunnerTest, RunsEveryPointAndReplaysOnRerun) {
   EXPECT_EQ(second.computed, 0u);
   EXPECT_EQ(second.skipped, 3u);
   EXPECT_EQ(second.results, first.results);
+}
+
+TEST(SweepRunnerTest, RecordsLedgerStatsAndProgressGauges) {
+  const std::string path = fresh_path("stocdr_sweep_ledger.jsonl");
+  const std::vector<std::string> points = {"alpha", "beta"};
+  const SweepOutcome outcome = run_sweep(path, "hash-a", points, toy_result);
+  EXPECT_EQ(outcome.computed, 2u);
+
+  // Every solved point left a v2 ledger entry behind.
+  SweepJournal journal(path, "hash-a");
+  EXPECT_EQ(journal.points_total(), 2u);
+  const PointStats* stats = journal.point_stats("alpha");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->valid);
+  EXPECT_GE(stats->wall_seconds, 0.0);
+
+  // Live progress gauges reflect the finished run (ETA drains to zero).
+  auto& registry = obs::MetricsRegistry::instance();
+  EXPECT_DOUBLE_EQ(registry.gauge("sweep.points_total").value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("sweep.points_done").value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("sweep.eta_seconds").value(), 0.0);
 }
 
 TEST(SweepRunnerTest, ArtifactBytesAreDeterministic) {

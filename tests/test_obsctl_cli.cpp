@@ -286,6 +286,194 @@ TEST(ObsctlCliTest, PerfMarksUnavailableCounters) {
   std::remove(path.c_str());
 }
 
+// --- multi-file traces ------------------------------------------------------
+
+/// Two single-process traces with colliding span ids but distinct pids, as
+/// a two-worker fleet run leaves behind.
+const char kWorkerATrace[] =
+    "{\"manifest\":{\"git_sha\":\"abc\",\"build_type\":\"Release\"}}\n"
+    "{\"name\":\"sweep.fleet\",\"id\":1,\"parent\":0,\"depth\":0,\"tid\":1,"
+    "\"ts_ns\":0,\"dur_ns\":9000,\"pid\":100}\n";
+const char kWorkerBTrace[] =
+    "{\"manifest\":{\"git_sha\":\"abc\",\"build_type\":\"Release\"}}\n"
+    "{\"name\":\"sweep.shard\",\"id\":1,\"parent\":0,\"depth\":0,\"tid\":1,"
+    "\"ts_ns\":100,\"dur_ns\":5000,\"pid\":200,"
+    "\"remote_parent_pid\":100,\"remote_parent_id\":1}\n";
+
+TEST(ObsctlCliTest, SummarizeMergesMultipleTraceFiles) {
+  const std::string a = temp_path("stocdr_fleet_a.jsonl");
+  const std::string b = temp_path("stocdr_fleet_b.jsonl");
+  write_file(a, kWorkerATrace);
+  write_file(b, kWorkerBTrace);
+  std::string output;
+  EXPECT_EQ(run_obsctl("summarize " + a + " " + b, &output), 0);
+  EXPECT_NE(output.find("processes: 2"), std::string::npos);
+  EXPECT_NE(output.find("spans: 2"), std::string::npos);
+  EXPECT_NE(output.find("sweep.shard"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ObsctlCliTest, SummarizeSkipsMissingFileWhenAnotherYieldsSpans) {
+  const std::string a = temp_path("stocdr_fleet_present.jsonl");
+  write_file(a, kWorkerATrace);
+  std::string output;
+  EXPECT_EQ(run_obsctl("summarize " + temp_path("stocdr_fleet_absent.jsonl") +
+                           " " + a,
+                       &output),
+            0);
+  // The missing worker is diagnosed but does not fail the merge.
+  EXPECT_NE(output.find("was tracing enabled"), std::string::npos);
+  EXPECT_NE(output.find("sweep.fleet"), std::string::npos);
+  std::remove(a.c_str());
+}
+
+TEST(ObsctlCliTest, ChromeExportOfMergedTraceCarriesFlowArrow) {
+  const std::string a = temp_path("stocdr_chrome_a.jsonl");
+  const std::string b = temp_path("stocdr_chrome_b.jsonl");
+  const std::string out = temp_path("stocdr_chrome_merged.json");
+  write_file(a, kWorkerATrace);
+  write_file(b, kWorkerBTrace);
+  EXPECT_EQ(run_obsctl("chrome " + a + " " + b + " -o " + out), 0);
+  std::ifstream in(out);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  // Real pids on the X events plus one s/f flow pair across processes.
+  EXPECT_NE(json.find("\"pid\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":200"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(out.c_str());
+}
+
+// --- fleet ------------------------------------------------------------------
+
+/// One worker's OpenMetrics snapshot: heartbeat + pid, a counter, and a
+/// one-bucket histogram (value 1.0 lands in bucket 96 of the log grid).
+std::string worker_om(int pid, int count, int done) {
+  std::ostringstream om;
+  om << "stocdr_export_heartbeat 4\n"
+     << "stocdr_process_pid " << pid << "\n"
+     << "stocdr_sweep_points_done_total " << done << "\n"
+     << "stocdr_solve_seconds{quantile=\"0.5\"} 1\n"
+     << "stocdr_solve_seconds_count " << count << "\n"
+     << "stocdr_solve_seconds_sum " << count << "\n"
+     << "stocdr_solve_seconds_min 1\n"
+     << "stocdr_solve_seconds_max 1\n"
+     << "stocdr_solve_seconds_bucket{i=\"96\"} " << count << "\n"
+     << "# EOF\n";
+  return om.str();
+}
+
+TEST(ObsctlCliTest, FleetMergesTwoWorkerSnapshots) {
+  const std::string a = temp_path("stocdr_fleet_a.om");
+  const std::string b = temp_path("stocdr_fleet_b.om");
+  write_file(a, worker_om(111, 3, 2));
+  write_file(b, worker_om(222, 2, 3));
+  std::string output;
+  EXPECT_EQ(run_obsctl("fleet " + a + " " + b, &output), 0);
+  EXPECT_NE(output.find("workers: 2"), std::string::npos);
+  // Both pids in the per-worker status table.
+  EXPECT_NE(output.find("111"), std::string::npos);
+  EXPECT_NE(output.find("222"), std::string::npos);
+  // Counters add (2+3) and histograms merge exactly (3+2 observations).
+  EXPECT_NE(output.find("sweep_points_done"), std::string::npos);
+  EXPECT_NE(output.find("solve_seconds"), std::string::npos);
+  EXPECT_NE(output.find("5"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ObsctlCliTest, FleetWithOnlyIncompleteSnapshotsExitsThree) {
+  const std::string path = temp_path("stocdr_fleet_torn.om");
+  write_file(path, "stocdr_export_heartbeat 1\n");  // no "# EOF"
+  std::string output;
+  EXPECT_EQ(run_obsctl("fleet " + path, &output), 3);
+  EXPECT_NE(output.find("incomplete"), std::string::npos);
+  EXPECT_NE(output.find("workers: 0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- events -----------------------------------------------------------------
+
+const char kEventLog[] =
+    "{\"event\":\"sweep.start\",\"severity\":\"info\",\"ts_ns\":1000000000,"
+    "\"pid\":42,\"trace_id\":\"00000000000000ab\",\"span_id\":1,"
+    "\"attrs\":{\"points_total\":3}}\n"
+    "{\"event\":\"sweep.done\",\"severity\":\"info\",\"ts_ns\":2500000000,"
+    "\"pid\":42,\"trace_id\":\"00000000000000ab\",\"span_id\":1}\n";
+
+TEST(ObsctlCliTest, EventsPrettyPrintsRecordsAndExitsZero) {
+  const std::string path = temp_path("stocdr_events_ok.jsonl");
+  write_file(path, kEventLog);
+  std::string output;
+  EXPECT_EQ(run_obsctl("events " + path, &output), 0);
+  EXPECT_NE(output.find("sweep.start"), std::string::npos);
+  EXPECT_NE(output.find("points_total=3"), std::string::npos);
+  EXPECT_NE(output.find("+1.500s"), std::string::npos);  // relative time
+  EXPECT_NE(output.find("events: 2  alarms: 0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, EventsAlarmSeverityExitsOne) {
+  const std::string path = temp_path("stocdr_events_alarm.jsonl");
+  write_file(path,
+             std::string(kEventLog) +
+                 "{\"event\":\"health.mass_alarm\",\"severity\":\"alarm\","
+                 "\"ts_ns\":3000000000,\"pid\":42,"
+                 "\"trace_id\":\"00000000000000ab\",\"span_id\":0}\n");
+  std::string output;
+  EXPECT_EQ(run_obsctl("events " + path, &output), 1);
+  EXPECT_NE(output.find("ALARM"), std::string::npos);
+  EXPECT_NE(output.find("events: 3  alarms: 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, EventsKindFilterAndTornTailAreHandled) {
+  const std::string path = temp_path("stocdr_events_filter.jsonl");
+  // A torn final line, exactly as a crash mid-append leaves it.
+  write_file(path, std::string(kEventLog) + "{\"event\":\"half");
+  std::string output;
+  EXPECT_EQ(run_obsctl("events " + path + " --kind sweep.done", &output), 0);
+  EXPECT_NE(output.find("events: 1"), std::string::npos);
+  EXPECT_NE(output.find("skipped 1 malformed line(s)"), std::string::npos);
+  // A filter matching nothing is no-data, not success.
+  EXPECT_EQ(run_obsctl("events " + path + " --kind no.such", &output), 3);
+  std::remove(path.c_str());
+}
+
+TEST(ObsctlCliTest, EventsMissingFileExitsThreeWithHint) {
+  std::string output;
+  EXPECT_EQ(run_obsctl("events " + temp_path("no_events.jsonl"), &output), 3);
+  EXPECT_NE(output.find("STOCDR_EVENT_LOG"), std::string::npos);
+}
+
+// --- journal v2 ledger ------------------------------------------------------
+
+TEST(ObsctlCliTest, JournalShowsProgressWallAndEta) {
+  const std::string path = temp_path("stocdr_journal_v2.jsonl");
+  write_file(path,
+             "{\"journal\":\"stocdr-sweep\",\"version\":2,"
+             "\"config_hash\":\"abc\",\"points_total\":4}\n"
+             "{\"point\":\"alpha\",\"result\":{\"v\":1},"
+             "\"stats\":{\"wall_seconds\":2.0,\"iterations\":12,"
+             "\"residual\":1e-10}}\n"
+             "{\"point\":\"beta\",\"result\":{\"v\":2},"
+             "\"stats\":{\"wall_seconds\":4.0}}\n");
+  std::string output;
+  EXPECT_EQ(run_obsctl("journal " + path, &output), 0);
+  EXPECT_NE(output.find("progress:    2/4 point(s)"), std::string::npos);
+  EXPECT_NE(output.find("12 iter"), std::string::npos);
+  EXPECT_NE(output.find("6.00s total, 3.00s/point (2 measured)"),
+            std::string::npos);
+  EXPECT_NE(output.find("eta:         6.00s (2 remaining x mean)"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(ObsctlCliTest, WatchToleratesMissingFile) {
   std::string output;
   EXPECT_EQ(run_obsctl("watch " + temp_path("not_there.om") +

@@ -1,11 +1,18 @@
 // stocdr-obsctl — the consumption half of the observability stack.
 //
 // Commands:
-//   summarize  <trace.jsonl> [--json]        per-name cost table (or JSON)
-//   flame      <trace.jsonl> [-o out.folded] folded stacks (flamegraph.pl,
+//   summarize  <trace.jsonl>... [--json]     per-name cost table (or JSON);
+//                                            multiple files / globs are
+//                                            merged into one cross-process
+//                                            trace (fleet runs)
+//   flame      <trace.jsonl>... [-o out.folded]
+//                                            folded stacks (flamegraph.pl,
 //                                            speedscope)
-//   chrome     <trace.jsonl> [-o out.json]   Chrome trace_event JSON
-//                                            (Perfetto, chrome://tracing)
+//   chrome     <trace.jsonl>... [-o out.json]
+//                                            Chrome trace_event JSON
+//                                            (Perfetto, chrome://tracing);
+//                                            merged traces gain flow arrows
+//                                            between spawner and worker
 //   bench-diff <old.json> <new.json> [--threshold P%] [--min-seconds S]
 //              [--instr-threshold P%]        BENCH artifact regression gate
 //   perf       <BENCH.json>                  per-span perf-counter report
@@ -21,27 +28,43 @@
 //   watch      <metrics.om> [--interval MS] [--count N]
 //                                            poll a live exporter file and
 //                                            print heartbeat/staleness
+//   fleet      <metrics.om>... [--stale-seconds S]
+//                                            aggregate N workers' exporter
+//                                            snapshots into one dashboard
+//                                            (exact histogram merge) with
+//                                            per-worker staleness
+//   events     <events.jsonl> [--kind K]     pretty-print the unified event
+//                                            log; exits 1 when any alarm-
+//                                            severity record is present
 //   journal    <sweep.jsonl>                 inspect a resumable sweep
 //                                            journal (read-only: header,
-//                                            completed points, damage)
+//                                            completed points, damage,
+//                                            v2 throughput/ETA ledger)
 //   checkpoint <file>                        validate and describe a durable
 //                                            solver checkpoint
 //
 // Exit codes: 0 ok / no regression, 1 bench-diff found a regression,
-// health found an alarm, or checkpoint failed validation, 2 usage or I/O
-// error, 3 input exists but holds no data for the command (empty /
-// malformed-only / marker-only trace, a BENCH artifact without a perf or
-// mem section, or a journal with no completed points — diagnostic on
+// health found an alarm, events saw an alarm record, or checkpoint failed
+// validation, 2 usage or I/O error, 3 input exists but holds no data for
+// the command (empty / malformed-only / marker-only trace — for multi-file
+// commands only when NO file yields data — a BENCH artifact without a perf
+// or mem section, a fleet with no complete snapshot, an event log with no
+// matching records, or a journal with no completed points — diagnostic on
 // stderr).
 // Malformed trace lines are skipped and counted, never fatal.
+#include <glob.h>
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <limits>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -52,6 +75,7 @@
 #include "obs/analyze/json_parse.hpp"
 #include "obs/analyze/reader.hpp"
 #include "obs/live/openmetrics.hpp"
+#include "obs/metrics.hpp"
 #include "robust/checkpoint/checkpoint.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -65,9 +89,9 @@ using namespace stocdr::obs::analyze;
 int usage(std::FILE* out) {
   std::fprintf(out,
                "usage: stocdr-obsctl <command> [args]\n"
-               "  summarize  <trace.jsonl> [--json]\n"
-               "  flame      <trace.jsonl> [-o out.folded]\n"
-               "  chrome     <trace.jsonl> [-o out.json]\n"
+               "  summarize  <trace.jsonl>... [--json]\n"
+               "  flame      <trace.jsonl>... [-o out.folded]\n"
+               "  chrome     <trace.jsonl>... [-o out.json]\n"
                "  bench-diff <old.json> <new.json> [--threshold P%%]"
                " [--min-seconds S]\n"
                "             [--instr-threshold P%%]\n"
@@ -76,6 +100,8 @@ int usage(std::FILE* out) {
                "  roofline   <BENCH.json> [--peak-gbps X]\n"
                "  health     <metrics.om>\n"
                "  watch      <metrics.om> [--interval MS] [--count N]\n"
+               "  fleet      <metrics.om>... [--stale-seconds S]\n"
+               "  events     <events.jsonl> [--kind K]\n"
                "  journal    <sweep.jsonl>\n"
                "  checkpoint <file>\n");
   return out == stdout ? 0 : 2;
@@ -97,37 +123,64 @@ int emit(const std::string& text, const std::string& path) {
   return 0;
 }
 
-void report_skipped(const TraceFile& trace) {
-  if (trace.skipped_lines != 0) {
-    std::fprintf(stderr, "obsctl: skipped %zu malformed line(s) of %zu\n",
-                 trace.skipped_lines, trace.total_lines);
+/// Expands shell-style glob patterns (a pattern matching nothing is kept
+/// literally, so a plain missing path still gets its own diagnostic).
+std::vector<std::string> expand_globs(
+    const std::vector<std::string>& patterns) {
+  std::vector<std::string> paths;
+  for (const std::string& pattern : patterns) {
+    ::glob_t g{};
+    if (::glob(pattern.c_str(), GLOB_NOCHECK, nullptr, &g) == 0) {
+      for (std::size_t i = 0; i < g.gl_pathc; ++i) {
+        paths.emplace_back(g.gl_pathv[i]);
+      }
+    } else {
+      paths.push_back(pattern);
+    }
+    ::globfree(&g);
   }
+  return paths;
 }
 
-/// Loads a trace for summarize/flame/chrome.  A missing file or a trace
-/// with no usable spans gets a one-line diagnostic on stderr and exit code
-/// 3 (distinct from 2 so scripts can tell "nothing was recorded" apart
-/// from usage mistakes).
-std::optional<TraceFile> load_trace(const std::string& path, int& rc) {
-  std::optional<TraceFile> trace;
-  try {
-    trace = read_trace_file(path);
-  } catch (const IoError&) {
-    std::fprintf(stderr,
-                 "obsctl: no trace at %s — was tracing enabled? "
-                 "(STOCDR_TRACE_FILE / STOCDR_TRACE_RING)\n",
-                 path.c_str());
+/// Loads one or more traces for summarize/flame/chrome, merging multiple
+/// files (one per worker process) via merge_traces.  Unreadable files are
+/// skipped with a warning and malformed lines counted per file; exit code
+/// 3 only when NO file yields a usable span (distinct from 2 so scripts
+/// can tell "nothing was recorded" apart from usage mistakes).
+std::optional<TraceFile> load_traces(
+    const std::vector<std::string>& patterns, int& rc) {
+  const std::vector<std::string> paths = expand_globs(patterns);
+  std::vector<TraceFile> files;
+  for (const std::string& path : paths) {
+    TraceFile trace;
+    try {
+      trace = read_trace_file(path);
+    } catch (const IoError&) {
+      std::fprintf(stderr,
+                   "obsctl: no trace at %s — was tracing enabled? "
+                   "(STOCDR_TRACE_FILE / STOCDR_TRACE_RING)\n",
+                   path.c_str());
+      continue;
+    }
+    if (trace.skipped_lines != 0) {
+      std::fprintf(stderr, "obsctl: %s: skipped %zu malformed line(s) of %zu\n",
+                   path.c_str(), trace.skipped_lines, trace.total_lines);
+    }
+    files.push_back(std::move(trace));
+  }
+  if (files.empty()) {
     rc = 3;
     return std::nullopt;
   }
-  report_skipped(*trace);
-  if (std::optional<std::string> reason = empty_trace_reason(*trace)) {
+  TraceFile merged = files.size() == 1 ? std::move(files.front())
+                                       : merge_traces(std::move(files));
+  if (std::optional<std::string> reason = empty_trace_reason(merged)) {
     std::fprintf(stderr, "obsctl: %s\n", reason->c_str());
     rc = 3;
     return std::nullopt;
   }
   rc = 0;
-  return trace;
+  return merged;
 }
 
 std::optional<JsonValue> load_json_file(const std::string& path) {
@@ -145,9 +198,9 @@ std::optional<JsonValue> load_json_file(const std::string& path) {
   return doc;
 }
 
-int cmd_summarize(const std::string& trace_path, bool as_json) {
+int cmd_summarize(const std::vector<std::string>& trace_paths, bool as_json) {
   int rc = 0;
-  const std::optional<TraceFile> loaded = load_trace(trace_path, rc);
+  const std::optional<TraceFile> loaded = load_traces(trace_paths, rc);
   if (!loaded) return rc;
   const TraceFile& trace = *loaded;
   if (as_json) {
@@ -168,6 +221,11 @@ int cmd_summarize(const std::string& trace_path, bool as_json) {
     std::printf("crash: signal %d (flight-recorder dump)\n",
                 trace.crash_signal);
   }
+  std::set<std::uint32_t> pids;
+  for (const TraceSpan& span : trace.spans) pids.insert(span.pid);
+  if (pids.size() > 1) {
+    std::printf("processes: %zu\n", pids.size());
+  }
   std::printf("spans: %zu\n\n", trace.spans.size());
   TextTable table({"span", "count", "total", "self", "p50", "p90", "p99",
                    "max"});
@@ -183,10 +241,10 @@ int cmd_summarize(const std::string& trace_path, bool as_json) {
   return 0;
 }
 
-int cmd_export(const std::string& trace_path, const std::string& out_path,
-               bool chrome) {
+int cmd_export(const std::vector<std::string>& trace_paths,
+               const std::string& out_path, bool chrome) {
   int rc = 0;
-  const std::optional<TraceFile> trace = load_trace(trace_path, rc);
+  const std::optional<TraceFile> trace = load_traces(trace_paths, rc);
   if (!trace) return rc;
   return emit(
       chrome ? to_chrome_trace(*trace) : to_folded_stacks(trace->spans),
@@ -656,6 +714,232 @@ int cmd_watch(int argc, char** argv) {
   return 0;
 }
 
+/// Seconds since `path` was last modified; NaN when unknowable.
+double file_age_seconds(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::difftime(std::time(nullptr), st.st_mtime);
+}
+
+/// Aggregates N workers' OpenMetrics snapshots into one merged dashboard.
+/// Counters add, gauges take the last file's value, histograms merge their
+/// raw bucket state exactly (see Histogram::merge) — the merged quantile
+/// estimates equal what one histogram observing every worker's samples
+/// would report.  Incomplete or unreadable snapshots are reported per
+/// worker and excluded from the merge; exit 3 when none merged.
+int cmd_fleet(int argc, char** argv) {
+  std::vector<std::string> patterns;
+  double stale_seconds = 300.0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stale-seconds") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obsctl: --stale-seconds needs a value\n");
+        return 2;
+      }
+      stale_seconds = std::strtod(argv[++i], nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(stderr);
+    } else {
+      patterns.push_back(arg);
+    }
+  }
+  if (patterns.empty()) return usage(stderr);
+
+  const std::vector<std::string> paths = expand_globs(patterns);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  std::size_t workers = 0;
+  TextTable status({"worker", "pid", "heartbeat", "age", "status"});
+  for (const std::string& path : paths) {
+    const double age = file_age_seconds(path);
+    const std::string age_text =
+        std::isnan(age) ? "-" : format_duration(age < 0.0 ? 0.0 : age);
+    const std::optional<std::string> text = [&]() -> std::optional<std::string> {
+      std::ifstream in(path, std::ios::binary);
+      if (!in.good()) return std::nullopt;
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      return std::move(buffer).str();
+    }();
+    if (!text) {
+      status.add_row({path, "-", "-", age_text, "unreadable"});
+      continue;
+    }
+    const obs::OpenMetricsDocument doc = obs::parse_openmetrics(*text);
+    const double heartbeat = om_counter(doc, "stocdr_export_heartbeat");
+    const double pid = obs::openmetrics_value(doc, "stocdr_process_pid");
+    const auto num = [](double v) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.0f", v);
+      return std::string(buffer);
+    };
+    if (!doc.complete) {
+      status.add_row({path, std::isnan(pid) ? "-" : num(pid), num(heartbeat),
+                      age_text, "incomplete"});
+      continue;
+    }
+    registry.merge_snapshot(obs::openmetrics_to_samples(doc));
+    ++workers;
+    status.add_row({path, std::isnan(pid) ? "-" : num(pid), num(heartbeat),
+                    age_text,
+                    !std::isnan(age) && age > stale_seconds ? "STALE" : "ok"});
+  }
+  std::printf("%s", status.render().c_str());
+  std::printf("workers: %zu\n", workers);
+  if (workers == 0) {
+    std::fprintf(stderr,
+                 "obsctl: no complete OpenMetrics snapshot among %zu "
+                 "path(s)\n",
+                 paths.size());
+    return 3;
+  }
+
+  std::printf("\n");
+  TextTable merged({"metric", "kind", "value", "count", "mean", "p50", "p90",
+                    "p99", "min", "max"});
+  const auto num = [](double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", v);
+    return std::string(buffer);
+  };
+  for (const obs::MetricSample& s : registry.snapshot()) {
+    switch (s.kind) {
+      case obs::MetricSample::Kind::kCounter:
+        merged.add_row({s.name, "counter", num(s.value), "-", "-", "-", "-",
+                        "-", "-", "-"});
+        break;
+      case obs::MetricSample::Kind::kGauge:
+        merged.add_row({s.name, "gauge", num(s.value), "-", "-", "-", "-",
+                        "-", "-", "-"});
+        break;
+      case obs::MetricSample::Kind::kHistogram:
+        merged.add_row({s.name, "histogram", "-", std::to_string(s.count),
+                        num(s.value), num(s.p50), num(s.p90), num(s.p99),
+                        num(s.min), num(s.max)});
+        break;
+    }
+  }
+  std::printf("%s", merged.render().c_str());
+  return 0;
+}
+
+/// Pretty-prints the unified event log (obs/dist/event_log.hpp).  Read-only
+/// line-by-line JSONL parse; malformed lines (torn tails) are counted and
+/// skipped.  Exit 1 when any displayed record has alarm severity — the CI
+/// shape for "the sweep finished but a health monitor fired".
+int cmd_events(int argc, char** argv) {
+  std::string path;
+  std::string kind_filter;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--kind") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obsctl: --kind needs a value\n");
+        return 2;
+      }
+      kind_filter = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(stderr);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(stderr);
+    }
+  }
+  if (path.empty()) return usage(stderr);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr,
+                 "obsctl: no event log at %s — was STOCDR_EVENT_LOG set?\n",
+                 path.c_str());
+    return 3;
+  }
+
+  struct Row {
+    std::uint64_t ts_ns;
+    std::string severity;
+    std::string pid;
+    std::string kind;
+    std::string attrs;
+    bool alarm;
+  };
+  std::vector<Row> rows;
+  std::size_t malformed = 0;
+  std::size_t alarms = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const bool terminated = !in.eof();  // getline at EOF = no trailing '\n'
+    const std::optional<JsonValue> parsed = parse_json(line);
+    const JsonValue* kind =
+        parsed.has_value() && parsed->is_object() ? parsed->find("event")
+                                                  : nullptr;
+    if (!terminated || kind == nullptr ||
+        kind->type != JsonValue::Type::kString) {
+      ++malformed;  // torn tail or foreign line: skip, never fatal
+      continue;
+    }
+    if (!kind_filter.empty() && kind->string != kind_filter) continue;
+    Row row;
+    row.kind = kind->string;
+    const JsonValue* severity = parsed->find("severity");
+    row.severity =
+        severity == nullptr ? "?" : std::string(severity->string_or("?"));
+    row.alarm = row.severity == "alarm";
+    if (row.alarm) ++alarms;
+    const JsonValue* ts = parsed->find("ts_ns");
+    row.ts_ns = ts == nullptr ? 0 : ts->uint_or(0);
+    const JsonValue* pid = parsed->find("pid");
+    row.pid = pid == nullptr ? "-" : std::to_string(pid->uint_or(0));
+    if (const JsonValue* attrs = parsed->find("attrs");
+        attrs != nullptr && attrs->is_object()) {
+      std::string joined;
+      for (const auto& [key, value] : attrs->object) {
+        if (!joined.empty()) joined += "  ";
+        joined += key;
+        joined += '=';
+        joined += value.type == JsonValue::Type::kString
+                      ? value.string
+                      : to_json_text(value);
+      }
+      row.attrs = std::move(joined);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (malformed > 0) {
+    std::fprintf(stderr, "obsctl: skipped %zu malformed line(s)\n", malformed);
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "obsctl: %s holds no%s event records\n", path.c_str(),
+                 kind_filter.empty()
+                     ? ""
+                     : (" \"" + kind_filter + "\"").c_str());
+    return 3;
+  }
+
+  const std::uint64_t t0 = rows.front().ts_ns;
+  TextTable table({"t", "severity", "pid", "event", "attrs"});
+  for (const Row& row : rows) {
+    char rel[64];
+    std::snprintf(rel, sizeof rel, "+%.3fs",
+                  row.ts_ns >= t0
+                      ? static_cast<double>(row.ts_ns - t0) * 1e-9
+                      : 0.0);
+    table.add_row({rel, row.severity, row.pid, row.kind, row.attrs});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("events: %zu  alarms: %zu\n", rows.size(), alarms);
+  if (alarms > 0) {
+    std::fprintf(stderr, "obsctl: ALARM — %zu alarm-severity event(s)\n",
+                 alarms);
+    return 1;
+  }
+  return 0;
+}
+
 /// Read-only sweep-journal inspection.  Deliberately does NOT go through
 /// robust::jnl::SweepJournal — that class repairs (truncates) torn tails on
 /// open, and an inspector must never modify the file it describes.
@@ -668,6 +952,9 @@ int cmd_journal(const std::string& path) {
   std::string config_hash = "?";
   std::string version = "?";
   std::vector<std::string> points;
+  std::size_t points_total = 0;
+  double wall_total = 0.0;
+  std::size_t wall_measured = 0;
   std::size_t malformed = 0;
   bool header_seen = false;
   bool torn_tail = false;
@@ -688,6 +975,9 @@ int cmd_journal(const std::string& path) {
         if (const JsonValue* v = parsed->find("version")) {
           version = std::to_string(v->uint_or(0));
         }
+        if (const JsonValue* total = parsed->find("points_total")) {
+          points_total = static_cast<std::size_t>(total->uint_or(0));
+        }
       } else {
         good = false;
       }
@@ -695,7 +985,29 @@ int cmd_journal(const std::string& path) {
       const JsonValue* point = parsed->find("point");
       if (point != nullptr && point->type == JsonValue::Type::kString &&
           parsed->find("result") != nullptr) {
-        points.push_back(point->string);
+        std::string entry = point->string;
+        // v2 ledger: per-point wall/iterations/residual ride next to the
+        // result (absent on v1 journals — the listing then stays bare).
+        if (const JsonValue* stats = parsed->find("stats");
+            stats != nullptr && stats->is_object()) {
+          const JsonValue* wall = stats->find("wall_seconds");
+          if (wall != nullptr) {
+            const double seconds = wall->number_or(0.0);
+            wall_total += seconds;
+            ++wall_measured;
+            entry += "  (" + format_duration(seconds);
+            if (const JsonValue* iter = stats->find("iterations");
+                iter != nullptr && iter->uint_or(0) > 0) {
+              entry += ", " + std::to_string(iter->uint_or(0)) + " iter";
+            }
+            if (const JsonValue* res = stats->find("residual");
+                res != nullptr && res->number_or(0.0) > 0.0) {
+              entry += ", residual " + sci(res->number_or(0.0), 2);
+            }
+            entry += ")";
+          }
+        }
+        points.push_back(std::move(entry));
       } else {
         good = false;
       }
@@ -713,9 +1025,26 @@ int cmd_journal(const std::string& path) {
   std::printf("  header:      %s (version %s, config hash %s)\n",
               header_seen ? "ok" : "missing/foreign", version.c_str(),
               config_hash.c_str());
+  if (points_total > 0) {
+    std::printf("  progress:    %zu/%zu point(s)\n", points.size(),
+                points_total);
+  }
   std::printf("  completed:   %zu point(s)\n", points.size());
   for (const std::string& key : points) {
     std::printf("    - %s\n", key.c_str());
+  }
+  if (wall_measured > 0) {
+    const double mean = wall_total / static_cast<double>(wall_measured);
+    std::printf("  wall:        %s total, %s/point (%zu measured)\n",
+                format_duration(wall_total).c_str(),
+                format_duration(mean).c_str(), wall_measured);
+    if (points_total > points.size()) {
+      const std::size_t remaining = points_total - points.size();
+      std::printf("  eta:         %s (%zu remaining x mean)\n",
+                  format_duration(mean * static_cast<double>(remaining))
+                      .c_str(),
+                  remaining);
+    }
   }
   if (torn_tail) {
     std::printf("  torn tail:   yes (will be truncated on next resume)\n");
@@ -767,6 +1096,8 @@ int run(int argc, char** argv) {
   if (command == "bench-diff") return cmd_bench_diff(argc - 2, argv + 2);
   if (command == "roofline") return cmd_roofline(argc - 2, argv + 2);
   if (command == "watch") return cmd_watch(argc - 2, argv + 2);
+  if (command == "fleet") return cmd_fleet(argc - 2, argv + 2);
+  if (command == "events") return cmd_events(argc - 2, argv + 2);
   if (command == "health" || command == "perf" || command == "mem" ||
       command == "journal" || command == "checkpoint") {
     if (argc < 3) return usage(stderr);
@@ -782,22 +1113,25 @@ int run(int argc, char** argv) {
     return usage(stderr);
   }
   if (argc < 3) return usage(stderr);
-  const std::string trace_path = argv[2];
+  std::vector<std::string> trace_paths;
   std::string out_path;
   bool as_json = false;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc &&
         command != "summarize") {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 &&
                command == "summarize") {
       as_json = true;
-    } else {
+    } else if (argv[i][0] == '-') {
       return usage(stderr);
+    } else {
+      trace_paths.emplace_back(argv[i]);
     }
   }
-  if (command == "summarize") return cmd_summarize(trace_path, as_json);
-  return cmd_export(trace_path, out_path, command == "chrome");
+  if (trace_paths.empty()) return usage(stderr);
+  if (command == "summarize") return cmd_summarize(trace_paths, as_json);
+  return cmd_export(trace_paths, out_path, command == "chrome");
 }
 
 }  // namespace
